@@ -1,0 +1,18 @@
+package hputune
+
+import (
+	"hputune/internal/adaptive"
+)
+
+// Adaptive tuning: interleaved inference and re-tuning for requesters who
+// do not know the market's price→rate curve up front (closing the loop
+// the paper sketches in Sec 3.3).
+type (
+	// AdaptiveGroupSpec is one group of identical tasks to run adaptively.
+	AdaptiveGroupSpec = adaptive.GroupSpec
+	// AdaptiveController runs a job in repetition waves, re-fitting the
+	// believed λo(c) model from each wave's observed acceptance times.
+	AdaptiveController = adaptive.Controller
+	// AdaptiveReport is the outcome of an adaptive run.
+	AdaptiveReport = adaptive.Report
+)

@@ -1,0 +1,119 @@
+// Command crowdsim runs the discrete-event crowdsourcing marketplace on a
+// batch of identical tasks and prints the run summary and optional trace —
+// the smallest way to observe the HPU latency model end to end.
+//
+// Usage:
+//
+//	crowdsim [-tasks 50] [-reps 3] [-price 2] [-k 1] [-b 1] [-proc 2]
+//	         [-mode independent|workers] [-arrival 10] [-seed 1] [-trace]
+//	         [-abandon 0.2 -abandonrate 4] [-out trace.csv|trace.jsonl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"hputune"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crowdsim: ")
+	tasks := flag.Int("tasks", 50, "number of tasks to post")
+	reps := flag.Int("reps", 3, "repetitions per task")
+	price := flag.Int("price", 2, "payment per repetition (units)")
+	k := flag.Float64("k", 1, "acceptance model slope")
+	b := flag.Float64("b", 1, "acceptance model intercept")
+	proc := flag.Float64("proc", 2, "processing rate λp")
+	accuracy := flag.Float64("accuracy", 0.9, "worker answer accuracy")
+	mode := flag.String("mode", "independent", "acceptance mode: independent or workers")
+	arrival := flag.Float64("arrival", 10, "worker arrival rate (workers mode)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	trace := flag.Bool("trace", false, "print the per-repetition trace")
+	abandon := flag.Float64("abandon", 0, "probability an accepting worker returns the repetition unfinished")
+	abandonRate := flag.Float64("abandonrate", 4, "rate of the give-up time when -abandon > 0")
+	out := flag.String("out", "", "write the trace to this file (.csv or .jsonl)")
+	flag.Parse()
+
+	cfg := hputune.MarketConfig{Seed: *seed}
+	if *abandon > 0 {
+		cfg.AbandonProb = *abandon
+		cfg.AbandonRate = *abandonRate
+	}
+	switch *mode {
+	case "independent":
+		cfg.Mode = hputune.ModeIndependent
+	case "workers":
+		cfg.Mode = hputune.ModeWorkerChoice
+		cfg.ArrivalRate = *arrival
+	default:
+		log.Fatalf("unknown mode %q (want independent or workers)", *mode)
+	}
+	class := &hputune.TaskClass{
+		Name:     "task",
+		Accept:   hputune.Linear{K: *k, B: *b},
+		ProcRate: *proc,
+		Accuracy: *accuracy,
+	}
+	sim, err := hputune.NewMarket(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < *tasks; i++ {
+		prices := make([]int, *reps)
+		for r := range prices {
+			prices[r] = *price
+		}
+		err := sim.Post(hputune.TaskSpec{
+			ID:        fmt.Sprintf("task-%03d", i),
+			Class:     class,
+			RepPrices: prices,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	results, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(hputune.SummarizeMarket(results))
+	if n := sim.Abandoned(); n > 0 {
+		fmt.Printf("abandoned acceptances: %d\n", n)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recs := sim.AllRecords()
+		switch {
+		case strings.HasSuffix(*out, ".jsonl"):
+			err = hputune.WriteTraceJSONL(f, recs)
+		case strings.HasSuffix(*out, ".csv"):
+			err = hputune.WriteTraceCSV(f, recs)
+		default:
+			err = fmt.Errorf("unknown trace format %q (want .csv or .jsonl)", *out)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d records)\n", *out, len(recs))
+	}
+	if *trace {
+		fmt.Println("\ntask        rep  price   posted  accepted      done   onhold     proc")
+		for _, res := range results {
+			for _, r := range res.Reps {
+				fmt.Printf("%-10s %4d %6d %8.3f %9.3f %9.3f %8.3f %8.3f\n",
+					r.TaskID, r.Rep, r.Price, r.PostedAt, r.Accepted, r.Done,
+					r.OnHold(), r.Processing())
+			}
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Command htune solves an H-Tuning instance described in JSON and prints
+// the tuned payment plan.
+//
+// Usage:
+//
+//	htune -spec problem.json [-algorithm auto|ea|ra|ha] [-simulate 2000]
+//	htune -spec problem.json -compare [-simulate 2000]
+//	htune -spec problem.json -saturation 50
+//
+// Spec format:
+//
+//	{
+//	  "budget": 1000,
+//	  "groups": [
+//	    {"name": "sort-vote", "tasks": 50, "reps": 3, "procRate": 2.0,
+//	     "model": {"kind": "linear", "k": 1, "b": 1}},
+//	    {"name": "yesno-vote", "tasks": 50, "reps": 5, "procRate": 3.0,
+//	     "model": {"kind": "log"}}
+//	  ]
+//	}
+//
+// Model kinds: "linear" (k, b), "quadratic", "log", "table" (points:
+// {"price": rate, ...}).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hputune"
+)
+
+type modelSpec struct {
+	Kind   string             `json:"kind"`
+	K      float64            `json:"k"`
+	B      float64            `json:"b"`
+	Points map[string]float64 `json:"points"`
+}
+
+type groupSpec struct {
+	Name     string    `json:"name"`
+	Tasks    int       `json:"tasks"`
+	Reps     int       `json:"reps"`
+	ProcRate float64   `json:"procRate"`
+	Model    modelSpec `json:"model"`
+}
+
+type problemSpec struct {
+	Budget int         `json:"budget"`
+	Groups []groupSpec `json:"groups"`
+}
+
+func (m modelSpec) build(name string) (hputune.RateModel, error) {
+	switch m.Kind {
+	case "linear":
+		return hputune.Linear{K: m.K, B: m.B}, nil
+	case "quadratic":
+		return hputune.Quadratic{}, nil
+	case "log":
+		return hputune.Logarithmic{}, nil
+	case "table":
+		points := make(map[float64]float64, len(m.Points))
+		for k, v := range m.Points {
+			var price float64
+			if _, err := fmt.Sscanf(k, "%g", &price); err != nil {
+				return nil, fmt.Errorf("bad table price %q: %w", k, err)
+			}
+			points[price] = v
+		}
+		return hputune.NewRateTable(name, points)
+	}
+	return nil, fmt.Errorf("unknown model kind %q (want linear, quadratic, log or table)", m.Kind)
+}
+
+func load(path string) (hputune.Problem, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return hputune.Problem{}, err
+	}
+	var spec problemSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return hputune.Problem{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	p := hputune.Problem{Budget: spec.Budget}
+	for i, g := range spec.Groups {
+		model, err := g.Model.build(g.Name)
+		if err != nil {
+			return hputune.Problem{}, fmt.Errorf("group %d: %w", i, err)
+		}
+		p.Groups = append(p.Groups, hputune.Group{
+			Type:  &hputune.TaskType{Name: g.Name, Accept: model, ProcRate: g.ProcRate},
+			Tasks: g.Tasks,
+			Reps:  g.Reps,
+		})
+	}
+	return p, nil
+}
+
+// pickAlgorithm chooses the scenario solver the paper prescribes for the
+// instance's shape.
+func pickAlgorithm(p hputune.Problem) string {
+	if len(p.Groups) == 1 {
+		return "ea"
+	}
+	proc := p.Groups[0].Type.ProcRate
+	for _, g := range p.Groups[1:] {
+		if g.Type.ProcRate != proc {
+			return "ha"
+		}
+	}
+	return "ra"
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("htune: ")
+	specPath := flag.String("spec", "", "path to the JSON problem spec (required)")
+	algorithm := flag.String("algorithm", "auto", "solver: auto, ea (Scenario I), ra (II) or ha (III)")
+	simulate := flag.Int("simulate", 0, "Monte-Carlo trials to score the plan (0 = skip)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	compare := flag.Bool("compare", false, "score every applicable solver, the paper's baselines and the [29] comparator")
+	saturation := flag.Int("saturation", 0, "scan per-group price saturation up to this price (0 = skip)")
+	flag.Parse()
+	if *specPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	p, err := load(*specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *saturation > 0 {
+		runSaturation(p, *saturation)
+		return
+	}
+	if *compare {
+		runCompare(p, *simulate, *seed)
+		return
+	}
+	algo := *algorithm
+	if algo == "auto" {
+		algo = pickAlgorithm(p)
+	}
+	var alloc hputune.Allocation
+	switch algo {
+	case "ea":
+		alloc, err = hputune.EvenAllocation(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("algorithm: EA (Scenario I)\n")
+	case "ra":
+		res, rerr := hputune.SolveRepetition(hputune.NewEstimator(), p)
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		fmt.Printf("algorithm: RA (Scenario II), per-group prices %v, objective %.4f\n",
+			res.Prices, res.Objective)
+		alloc, err = res.Allocation(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "ha":
+		res, herr := hputune.SolveHeterogeneous(hputune.NewEstimator(), p)
+		if herr != nil {
+			log.Fatal(herr)
+		}
+		fmt.Printf("algorithm: HA (Scenario III), per-group prices %v, closeness %.4f to utopia (%.4f, %.4f)\n",
+			res.Prices, res.Closeness, res.Utopia.O1, res.Utopia.O2)
+		alloc, err = res.Allocation(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown algorithm %q", algo)
+	}
+	fmt.Printf("allocation: %s\n", alloc)
+	fmt.Printf("spend: %d of %d units\n", alloc.Cost(), p.Budget)
+	if *simulate > 0 {
+		lat, err := hputune.SimulateJobLatency(p, alloc, hputune.PhaseBoth, *simulate, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("expected job latency (both phases, %d trials): %.4f\n", *simulate, lat)
+	}
+}
+
+// runCompare scores every applicable strategy on the instance with the
+// exact wall-clock E[max] (and optional Monte Carlo).
+func runCompare(p hputune.Problem, trials int, seed uint64) {
+	est := hputune.NewEstimator()
+	type entry struct {
+		name   string
+		prices []int
+		alloc  hputune.Allocation
+	}
+	var entries []entry
+
+	if len(p.Groups) == 1 {
+		if a, err := hputune.EvenAllocation(p); err == nil {
+			entries = append(entries, entry{name: "EA", alloc: a})
+		}
+	}
+	if ra, err := hputune.SolveRepetition(est, p); err == nil {
+		entries = append(entries, entry{name: "RA", prices: ra.Prices})
+	}
+	if dp, err := hputune.SolveRepetitionDP(est, p); err == nil {
+		entries = append(entries, entry{name: "RA-DP", prices: dp.Prices})
+	}
+	if ha, err := hputune.SolveHeterogeneous(est, p); err == nil {
+		entries = append(entries, entry{name: "HA", prices: ha.Prices})
+	}
+	if par, err := hputune.MinimizeExpectedMaxParallel(p); err == nil {
+		entries = append(entries, entry{name: "[29]", prices: par.Prices})
+	}
+	if te, err := hputune.TaskEvenAllocation(p); err == nil {
+		entries = append(entries, entry{name: "task-even", alloc: te})
+	}
+	if re, err := hputune.RepEvenAllocation(p); err == nil {
+		entries = append(entries, entry{name: "rep-even", alloc: re})
+	}
+
+	fmt.Printf("%-10s %-22s %10s %12s", "strategy", "per-group prices", "spend", "E[max] wall")
+	if trials > 0 {
+		fmt.Printf(" %14s", "simulated")
+	}
+	fmt.Println()
+	for _, e := range entries {
+		var analytic float64
+		var spend int
+		var err error
+		if e.prices != nil {
+			analytic, err = est.JobExpectedLatency(p.Groups, e.prices, hputune.PhaseBoth)
+			if err != nil {
+				log.Fatalf("%s: %v", e.name, err)
+			}
+			for i, g := range p.Groups {
+				spend += g.UnitCost() * e.prices[i]
+			}
+			if e.alloc, err = hputune.NewUniformAllocation(p, e.prices); err != nil {
+				log.Fatalf("%s: %v", e.name, err)
+			}
+		} else {
+			spend = e.alloc.Cost()
+			analytic, err = hputune.SimulateJobLatency(p, e.alloc, hputune.PhaseBoth, 20000, seed)
+			if err != nil {
+				log.Fatalf("%s: %v", e.name, err)
+			}
+		}
+		priceCol := "-"
+		if e.prices != nil {
+			priceCol = fmt.Sprint(e.prices)
+		}
+		fmt.Printf("%-10s %-22s %10d %12.4f", e.name, priceCol, spend, analytic)
+		if trials > 0 {
+			lat, err := hputune.SimulateJobLatency(p, e.alloc, hputune.PhaseBoth, trials, seed)
+			if err != nil {
+				log.Fatalf("%s: %v", e.name, err)
+			}
+			fmt.Printf(" %14.4f", lat)
+		}
+		fmt.Println()
+	}
+}
+
+// runSaturation prints each group's marginal-return curve summary.
+func runSaturation(p hputune.Problem, maxPrice int) {
+	est := hputune.NewEstimator()
+	for i, g := range p.Groups {
+		res, err := hputune.SaturationScan(est, g, maxPrice, 0.01)
+		if err != nil {
+			log.Fatalf("group %d: %v", i, err)
+		}
+		fmt.Printf("group %d (%s, %d tasks x %d reps): processing floor %.4f\n",
+			i, g.Type.Name, g.Tasks, g.Reps, res.ProcessingFloor)
+		if res.Saturated() {
+			fmt.Printf("  saturates at price %d (marginal gain < 1%% of floor)\n", res.SaturationPrice)
+		} else {
+			fmt.Printf("  no saturation below price %d\n", maxPrice)
+		}
+		last := res.Curve[len(res.Curve)-1]
+		fmt.Printf("  latency at price 1: %.4f, at price %d: %.4f\n",
+			res.Curve[0].Latency, last.Price, last.Latency)
+	}
+}

@@ -1,0 +1,93 @@
+// Command probe estimates marketplace parameters the way Sec 3.3 of the
+// paper prescribes: publish probe tasks at several prices, measure
+// acceptance with the MLE λ̂ = N/T₀, and fit the Linearity Hypothesis
+// λo(c) = k·c + b.
+//
+// Usage:
+//
+//	probe [-k 1] [-b 1] [-prices 1,2,3,4,5] [-tasks 2000] [-seed 1]
+//
+// The probe runs against the built-in marketplace simulator with ground
+// truth λo(c) = k·c + b, so the printed fit can be compared to the truth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"hputune"
+)
+
+func parsePrices(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad price %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) < 2 {
+		return nil, fmt.Errorf("need at least 2 prices, got %d", len(out))
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("probe: ")
+	k := flag.Float64("k", 1, "ground-truth slope of λo(c)")
+	b := flag.Float64("b", 1, "ground-truth intercept of λo(c)")
+	pricesFlag := flag.String("prices", "1,2,3,4,5,6", "comma-separated probe prices")
+	tasks := flag.Int("tasks", 2000, "probe tasks per price")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	prices, err := parsePrices(*pricesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := hputune.Linear{K: *k, B: *b}
+	class := &hputune.TaskClass{
+		Name:     "probe",
+		Accept:   truth,
+		ProcRate: 1e6, // probe tasks are submitted immediately (Sec 3.3.1)
+		Accuracy: 1,
+	}
+	probe := hputune.Probe{Class: class, Tasks: *tasks, Seed: *seed}
+	sweep, err := probe.SweepLinearity(prices, *tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("price   λ̂o (probe)      95% CI          λo (truth)  covered")
+	for pi, price := range prices {
+		// Each price level gets its own stream; a shared seed would make
+		// the estimates perfectly correlated across prices.
+		perPrice := probe
+		perPrice.Seed = *seed + uint64(pi+1)*0x9e3779b97f4a7c15
+		est, err := perPrice.RunOnHold(price, *tasks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ci, err := hputune.RateIntervalFromDurations(est.N, est.Period, 0.95)
+		if err != nil {
+			log.Fatal(err)
+		}
+		real := truth.Rate(float64(price))
+		mark := "yes"
+		if !ci.Contains(real) {
+			mark = "NO"
+		}
+		fmt.Printf("%5d   %10.4f   [%7.4f, %7.4f]   %8.4f  %s\n",
+			price, est.Rate, ci.Lo, ci.Hi, real, mark)
+	}
+	fmt.Printf("\nlinearity fit: %s\n", sweep.Fit)
+	fmt.Printf("ground truth:  y = %g*x + %g\n", *k, *b)
+}

@@ -1,0 +1,80 @@
+// Command repro regenerates the tables and figures of "Tuning
+// Crowdsourced Human Computation" (Cao et al., ICDE 2017) on the
+// simulated substrate and renders them as ASCII charts and tables.
+//
+// Usage:
+//
+//	repro -list
+//	repro -exp fig2-homo [-fast] [-seed 7] [-trials 2000] [-rounds 24]
+//	repro -exp all -table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hputune"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("repro: ")
+	list := flag.Bool("list", false, "list the reproducible experiments")
+	exp := flag.String("exp", "all", "experiment name, or 'all'")
+	fast := flag.Bool("fast", false, "trimmed sweeps for a quick smoke run")
+	seed := flag.Uint64("seed", 0, "experiment seed (0 = default)")
+	trials := flag.Int("trials", 0, "Monte-Carlo trials per point (0 = default)")
+	rounds := flag.Int("rounds", 0, "marketplace replications per point (0 = default)")
+	tableOnly := flag.Bool("table", false, "render tables only (no ASCII charts)")
+	width := flag.Int("width", 72, "chart width")
+	height := flag.Int("height", 18, "chart height")
+	flag.Parse()
+
+	if *list {
+		for _, name := range hputune.ExperimentNames() {
+			desc, err := hputune.DescribeExperiment(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-12s %s\n", name, desc)
+		}
+		return
+	}
+
+	cfg := hputune.ExperimentConfig{
+		Seed:   *seed,
+		Trials: *trials,
+		Rounds: *rounds,
+		Fast:   *fast,
+	}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = hputune.ExperimentNames()
+	}
+	failed := false
+	for _, name := range names {
+		fmt.Printf("==== %s ====\n", name)
+		res, err := hputune.RunExperiment(name, cfg)
+		if err != nil {
+			log.Printf("%s: %v", name, err)
+			failed = true
+			continue
+		}
+		for _, fig := range res.Figures {
+			if *tableOnly {
+				fmt.Println(hputune.RenderTable(fig))
+			} else {
+				fmt.Println(hputune.RenderChart(fig, *width, *height))
+			}
+		}
+		for _, note := range res.Notes {
+			fmt.Printf("note: %s\n", note)
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+package hputune
+
+import (
+	"hputune/internal/deadline"
+	"hputune/internal/randx"
+	"hputune/internal/retainer"
+)
+
+// Comparator baselines from the paper's related-work section: the
+// deadline-driven pricing model of Gao & Parameswaran (reference [29],
+// acceptance-only latency, pure-parallel repetitions) and the prepaid
+// Retainer Model of Bernstein et al. (references [26–28]).
+type (
+	// DeadlineTask is one atomic task with its own acceptance deadline.
+	DeadlineTask = deadline.Task
+	// MinCostResult is a solved min-cost-under-deadlines instance.
+	MinCostResult = deadline.MinCostResult
+	// ParallelResult is a solved min-makespan-under-budget instance in
+	// the pure-parallel model of [29].
+	ParallelResult = deadline.ParallelResult
+	// RetainerPool is a prepaid worker pool configuration.
+	RetainerPool = retainer.Pool
+	// RetainerChoice is an optimized pool size with its cost/makespan.
+	RetainerChoice = retainer.PoolChoice
+)
+
+// MinCostForDeadlines solves problem 1 of [29]: the cheapest per-task
+// payments meeting every acceptance deadline with the given confidence.
+func MinCostForDeadlines(tasks []DeadlineTask, confidence float64, maxPrice int) (MinCostResult, error) {
+	return deadline.MinCostForDeadlines(tasks, confidence, maxPrice)
+}
+
+// MinimizeExpectedMaxParallel solves problem 2 of [29]: minimize the
+// expected acceptance makespan under a budget, treating every repetition
+// as an independent parallel task. Use it as the comparator against
+// SolveRepetition/SolveHeterogeneous.
+func MinimizeExpectedMaxParallel(p Problem) (ParallelResult, error) {
+	return deadline.MinimizeExpectedMax(p)
+}
+
+// QuantileDeadline returns the time by which the whole pure-parallel task
+// set is accepted with the given confidence under uniform per-group
+// prices — the deadline [29] would quote for an allocation.
+func QuantileDeadline(groups []Group, prices []int, confidence float64) (float64, error) {
+	return deadline.QuantileDeadline(groups, prices, confidence)
+}
+
+// RetainerBatchMakespan returns the exact expected makespan of n tasks on
+// a retainer pool (work-conserving dispatch, exponential service).
+func RetainerBatchMakespan(p RetainerPool, n int) (float64, error) {
+	return retainer.BatchMakespan(p, n)
+}
+
+// RetainerBatchCost returns the expected cost of an n-task batch on the
+// pool: per-task payments plus fees over the expected makespan.
+func RetainerBatchCost(p RetainerPool, n int) (float64, error) {
+	return retainer.BatchCost(p, n)
+}
+
+// OptimizeRetainerPool picks the pool size minimizing expected batch
+// makespan within an expected-cost budget.
+func OptimizeRetainerPool(n int, budget float64, serviceRate, fee, taskPayment float64, maxWorkers int) (RetainerChoice, error) {
+	return retainer.OptimizePoolSize(n, budget, serviceRate, fee, taskPayment, maxWorkers)
+}
+
+// RetainerSteadyStateLatency returns the expected task latency (queueing
+// wait plus service) of a streaming retainer pool facing Poisson arrivals
+// at rate lambda — the M/M/c analysis of [27].
+func RetainerSteadyStateLatency(p RetainerPool, lambda float64) (float64, error) {
+	return retainer.SteadyStateLatency(p, lambda)
+}
+
+// SimulateRetainerBatch runs one batch through the pool and returns the
+// realized makespan (seeded).
+func SimulateRetainerBatch(p RetainerPool, n int, seed uint64) (float64, error) {
+	return retainer.SimulateBatch(p, n, randx.New(seed))
+}

@@ -1,0 +1,102 @@
+package hputune
+
+import (
+	"hputune/internal/crowddb"
+	"hputune/internal/randx"
+)
+
+// Crowd-powered database layer (the paper's motivating application):
+// sort, filter and max queries decomposed into atomic voting tasks.
+type (
+	// Item is a database item with a latent numeric value.
+	Item = crowddb.Item
+	// Dataset is an ordered collection of items.
+	Dataset = crowddb.Dataset
+	// VoteTask is one atomic voting task a query planner emits.
+	VoteTask = crowddb.VoteTask
+	// VotePlan is one parallel phase of voting tasks.
+	VotePlan = crowddb.Plan
+	// Decision is a voting task's aggregated majority outcome.
+	Decision = crowddb.Decision
+	// PhaseOutcome is a completed plan execution with quality metrics.
+	PhaseOutcome = crowddb.PhaseOutcome
+	// CrowdExecutor runs voting plans on the simulated marketplace.
+	CrowdExecutor = crowddb.Executor
+	// PricePolicy decides each voting task's per-repetition payments.
+	PricePolicy = crowddb.PricePolicy
+	// VoteDifficulty buckets tasks by cognitive load.
+	VoteDifficulty = crowddb.Difficulty
+	// VoteClassSet maps difficulty buckets to marketplace classes.
+	VoteClassSet = crowddb.ClassSet
+)
+
+// Vote difficulty buckets.
+const (
+	// VoteEasy is a well-separated comparison or far-from-threshold vote.
+	VoteEasy = crowddb.Easy
+	// VoteMedium sits between.
+	VoteMedium = crowddb.Medium
+	// VoteHard is a close comparison or near-threshold vote.
+	VoteHard = crowddb.Hard
+)
+
+// DotImages synthesizes n images with uniform random dot counts in
+// [lo, hi] — the workload of the paper's image-filter experiment.
+func DotImages(n, lo, hi int, seed uint64) (Dataset, error) {
+	return crowddb.DotImages(n, lo, hi, randx.New(seed))
+}
+
+// DefaultVoteClasses builds marketplace classes for the three difficulty
+// buckets over a base acceptance model.
+func DefaultVoteClasses(base RateModel, baseProcRate float64) (*VoteClassSet, error) {
+	return crowddb.DefaultClassSet(base, baseProcRate)
+}
+
+// UniformPrice pays every repetition of every voting task the same.
+func UniformPrice(price int) PricePolicy { return crowddb.UniformPrice(price) }
+
+// PriceByDifficulty pays per difficulty bucket.
+func PriceByDifficulty(prices map[VoteDifficulty]int) PricePolicy {
+	return crowddb.PriceByDifficulty(prices)
+}
+
+// PlanSortPairs emits one comparison task per item pair with difficulty-
+// scaled repetitions.
+func PlanSortPairs(items Dataset, baseReps int) (VotePlan, error) {
+	return crowddb.PlanSortPairs(items, baseReps)
+}
+
+// PlanFilter emits one threshold vote per item.
+func PlanFilter(items Dataset, threshold float64, reps int) (VotePlan, error) {
+	return crowddb.PlanFilter(items, threshold, reps)
+}
+
+// KendallTau returns the normalized Kendall tau distance between two
+// rankings (0 identical, 1 reversed).
+func KendallTau(a, b []string) (float64, error) { return crowddb.KendallTau(a, b) }
+
+// FilterQuality reports precision and recall of a predicted id set.
+func FilterQuality(predicted, truth []string) (precision, recall float64) {
+	return crowddb.FilterQuality(predicted, truth)
+}
+
+// Group-by and top-k operators (Davidson et al., reference [10] of the
+// paper), re-exported from the crowd database layer.
+type (
+	// GroupByResult is a completed crowd group-by query.
+	GroupByResult = crowddb.GroupByResult
+	// TopKResult is a completed crowd top-k query.
+	TopKResult = crowddb.TopKResult
+)
+
+// CategorizedItems synthesizes n items spread round-robin over latent
+// categories — the group-by workload.
+func CategorizedItems(n int, classes []string, lo, hi int, seed uint64) (Dataset, error) {
+	return crowddb.CategorizedItems(n, classes, lo, hi, randx.New(seed))
+}
+
+// RandIndex scores a clustering against the items' latent classes
+// (1.0 = perfect recovery).
+func RandIndex(clusters [][]string, items Dataset) (float64, error) {
+	return crowddb.RandIndex(clusters, items)
+}

@@ -1,0 +1,71 @@
+package hputune
+
+import (
+	"hputune/internal/dist"
+	"hputune/internal/randx"
+)
+
+// Latency distributions of the HPU model and the heavy-tailed
+// alternatives used by the robustness experiments.
+type (
+	// Distribution is a non-negative continuous latency distribution.
+	Distribution = dist.Distribution
+	// Exponential is the single-phase HPU latency.
+	Exponential = dist.Exponential
+	// Erlang is the latency of k sequential repetitions (Lemma 3).
+	Erlang = dist.Erlang
+	// HyperExponential is a mixture of exponentials: a heterogeneous
+	// worker population, over-dispersed relative to the HPU model.
+	HyperExponential = dist.HyperExponential
+	// LogNormal is the heavy-tailed processing alternative reported by
+	// empirical crowdsourcing studies.
+	LogNormal = dist.LogNormal
+)
+
+// NewExponential returns Exp(rate).
+func NewExponential(rate float64) (Exponential, error) { return dist.NewExponential(rate) }
+
+// NewErlang returns Erlang(k, rate).
+func NewErlang(k int, rate float64) (Erlang, error) { return dist.NewErlang(k, rate) }
+
+// NewHyperExponential returns the exponential mixture with the given
+// component weights (normalized) and rates.
+func NewHyperExponential(weights, rates []float64) (HyperExponential, error) {
+	return dist.NewHyperExponential(weights, rates)
+}
+
+// NewLogNormal returns LogNormal(mu, sigma).
+func NewLogNormal(mu, sigma float64) (LogNormal, error) { return dist.NewLogNormal(mu, sigma) }
+
+// LogNormalFromMoments returns the log-normal with the given mean and
+// coefficient of variation — handy for matching an exponential's mean
+// while turning up the tail.
+func LogNormalFromMoments(mean, cv float64) (LogNormal, error) {
+	return dist.LogNormalFromMoments(mean, cv)
+}
+
+// CoefficientOfVariation returns std/mean for distributions with a
+// closed-form variance; the exponential's is exactly 1.
+func CoefficientOfVariation(d Distribution) (float64, error) {
+	return dist.CoefficientOfVariation(d)
+}
+
+// SampleDistribution draws n seeded samples from d.
+func SampleDistribution(d Distribution, n int, seed uint64) ([]float64, error) {
+	if d == nil {
+		return nil, errNilDistribution
+	}
+	r := randx.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(r)
+	}
+	return out, nil
+}
+
+var errNilDistribution = errorString("hputune: nil distribution")
+
+// errorString is a tiny constant-error helper.
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

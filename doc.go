@@ -1,0 +1,49 @@
+// Package hputune is a Go implementation of "Tuning Crowdsourced Human
+// Computation" (Cao, Liu, Chen, Jagadish — ICDE 2017): budget allocation
+// that minimizes the expected completion latency of crowdsourced jobs.
+//
+// # The model
+//
+// A crowd worker is a Human Processing Unit (HPU). A task offered at
+// price c waits on the marketplace for an exponential on-hold time with
+// rate λo(c) (higher pay, faster pickup — the Linearity Hypothesis says
+// λo(c) ≈ k·c + b), then takes an exponential processing time with rate
+// λp set by task difficulty alone. A job is a set of atomic tasks, each
+// answered by a number of sequential repetitions; distinct tasks run in
+// parallel and the job finishes when the slowest task does.
+//
+// # The H-Tuning problem
+//
+// Given a discrete budget B, choose per-repetition payments minimizing
+// the expected job latency. Three scenarios, three solvers:
+//
+//	Scenario I   identical tasks & repetitions  → EvenAllocation (EA)
+//	Scenario II  repetitions differ by group    → SolveRepetition (RA)
+//	Scenario III difficulty also differs        → SolveHeterogeneous (HA)
+//
+// # Quick start
+//
+//	typ := &hputune.TaskType{
+//		Name:     "pairwise-vote",
+//		Accept:   hputune.Linear{K: 1, B: 1}, // λo(c) = c + 1
+//		ProcRate: 2.0,                        // λp
+//	}
+//	p := hputune.Problem{
+//		Groups: []hputune.Group{{Type: typ, Tasks: 100, Reps: 5}},
+//		Budget: 2000,
+//	}
+//	alloc, err := hputune.EvenAllocation(p)
+//
+// Beyond the tuning algorithms the module ships every substrate the paper
+// depends on: a discrete-event marketplace simulator standing in for
+// Amazon Mechanical Turk (NewMarket), parameter inference probes
+// (Probe, EstimateFixedPeriod, ...), a crowd-powered database layer
+// (sort/filter/max/top-k/group-by over pairwise votes, in
+// internal/crowddb, surfaced by the examples), comparator baselines from
+// the paper's related work (the deadline pricing of [29] and the prepaid
+// Retainer Model of [26–28]), statistical model validation (KS and
+// chi-square exponentiality tests, exact rate confidence intervals),
+// trace interchange (CSV/JSONL), an adaptive inference-and-retuning
+// controller, and the harness regenerating every figure and table of the
+// paper's evaluation (RunExperiment).
+package hputune

@@ -1,0 +1,66 @@
+// Adaptive tuning: a requester who does not know the market's price→rate
+// curve starts from a wrong prior, observes each repetition wave's
+// acceptance times, re-fits the Linearity Hypothesis and re-tunes the
+// remaining budget — versus a stubborn requester who never updates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hputune"
+)
+
+func main() {
+	// The market truly behaves as λo(c) = c + 1, but the requester
+	// believes payment barely matters (λo ≈ 8 regardless of price).
+	truth := hputune.Linear{K: 1, B: 1}
+	wrongPrior := hputune.Linear{K: 0.05, B: 8}
+
+	class := &hputune.TaskClass{
+		Name:     "vote",
+		Accept:   truth,
+		ProcRate: 4,
+		Accuracy: 1,
+	}
+	groups := []hputune.AdaptiveGroupSpec{
+		{Name: "big", Tasks: 40, Reps: 3, TrueClass: class},
+		{Name: "small", Tasks: 10, Reps: 5, TrueClass: class},
+	}
+
+	run := func(freeze bool) hputune.AdaptiveReport {
+		c := &hputune.AdaptiveController{
+			Groups: groups,
+			Budget: 2500,
+			Prior:  wrongPrior,
+			Seed:   7,
+			Freeze: freeze,
+		}
+		rep, err := c.Run()
+		if err != nil {
+			log.Fatalf("adaptive run (freeze=%v): %v", freeze, err)
+		}
+		return rep
+	}
+
+	adaptive := run(false)
+	frozen := run(true)
+
+	fmt.Printf("frozen wrong prior: makespan %.3f h, spent %d units\n",
+		frozen.Makespan, frozen.Spent)
+	fmt.Printf("adaptive:           makespan %.3f h, spent %d units\n",
+		adaptive.Makespan, adaptive.Spent)
+	fmt.Printf("speedup from learning the market: %.1f%%\n",
+		100*(1-adaptive.Makespan/frozen.Makespan))
+
+	fmt.Printf("\nfitted model after the run: λo(c) ≈ %.2f·c + %.2f (truth: 1·c + 1)\n",
+		adaptive.FinalFit.Slope, adaptive.FinalFit.Intercept)
+	fmt.Println("\nwave-by-wave prices (per repetition, active groups in order):")
+	for w, prices := range adaptive.WavePrices {
+		fmt.Printf("  wave %d: %v\n", w, prices)
+	}
+	fmt.Println("\nobserved price levels -> estimated rates:")
+	for i, p := range adaptive.PriceLevels {
+		fmt.Printf("  c=%-4.0f λ̂o=%.3f\n", p, adaptive.RateEstimates[i])
+	}
+}

@@ -1,0 +1,75 @@
+// Quickstart: tune a batch of identical crowdsourcing tasks (Scenario I)
+// and check the tuned allocation against biased splits, both analytically
+// and on the simulated marketplace.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hputune"
+)
+
+func main() {
+	// 100 pairwise-voting tasks, 5 answers each. The crowd picks a task up
+	// at rate λo(c) = c + 1 per hour when it pays c units, and answers at
+	// rate λp = 2 per hour once picked up.
+	voteType := &hputune.TaskType{
+		Name:     "pairwise-vote",
+		Accept:   hputune.Linear{K: 1, B: 1},
+		ProcRate: 2.0,
+	}
+	problem := hputune.Problem{
+		Groups: []hputune.Group{{Type: voteType, Tasks: 100, Reps: 5}},
+		Budget: 2000,
+	}
+
+	// Algorithm 1 (EA): the provably optimal even split.
+	optimal, err := hputune.EvenAllocation(problem)
+	if err != nil {
+		log.Fatalf("even allocation: %v", err)
+	}
+	fmt.Printf("optimal allocation: %s (spends %d of %d)\n",
+		optimal, optimal.Cost(), problem.Budget)
+
+	// Compare with the biased baselines of the paper's evaluation.
+	const trials = 4000
+	optLat, err := hputune.SimulateJobLatency(problem, optimal, hputune.PhaseOnHold, trials, 1)
+	if err != nil {
+		log.Fatalf("simulate optimal: %v", err)
+	}
+	fmt.Printf("expected on-hold completion (optimal): %.3f h\n", optLat)
+
+	for _, alpha := range []float64{0.67, 0.75} {
+		biased, err := hputune.BiasAllocation(problem, alpha, 7)
+		if err != nil {
+			log.Fatalf("bias allocation: %v", err)
+		}
+		lat, err := hputune.SimulateJobLatency(problem, biased, hputune.PhaseOnHold, trials, 1)
+		if err != nil {
+			log.Fatalf("simulate bias: %v", err)
+		}
+		fmt.Printf("expected on-hold completion (bias α=%.2f): %.3f h (+%.1f%%)\n",
+			alpha, lat, 100*(lat/optLat-1))
+	}
+
+	// Replay the tuned allocation on the discrete-event marketplace.
+	specs, err := hputune.SpecsForAllocation(problem, optimal, 0.95)
+	if err != nil {
+		log.Fatalf("specs: %v", err)
+	}
+	sim, err := hputune.NewMarket(hputune.MarketConfig{Seed: 42})
+	if err != nil {
+		log.Fatalf("market: %v", err)
+	}
+	for _, spec := range specs {
+		if err := sim.Post(spec); err != nil {
+			log.Fatalf("post: %v", err)
+		}
+	}
+	results, err := sim.Run()
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	fmt.Printf("marketplace replay: %v\n", hputune.SummarizeMarket(results))
+}

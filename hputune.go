@@ -1,0 +1,168 @@
+package hputune
+
+import (
+	"hputune/internal/htuning"
+	"hputune/internal/pricing"
+	"hputune/internal/randx"
+)
+
+// Core problem vocabulary, re-exported from the tuning engine.
+type (
+	// TaskType describes one class of atomic task: acceptance behaviour as
+	// a function of price, and price-independent processing rate.
+	TaskType = htuning.TaskType
+	// Group is a set of identical tasks sharing a repetition requirement.
+	Group = htuning.Group
+	// Problem is an H-Tuning instance: groups plus a discrete budget.
+	Problem = htuning.Problem
+	// Allocation assigns a payment to every repetition of every task.
+	Allocation = htuning.Allocation
+	// RepetitionResult is a Scenario II solution (per-group prices).
+	RepetitionResult = htuning.RepetitionResult
+	// HeterogeneousResult is a Scenario III solution with bi-objective
+	// diagnostics (Utopia Point, Closeness).
+	HeterogeneousResult = htuning.HeterogeneousResult
+	// UtopiaPoint is the pair of independently optimized objectives of
+	// Scenario III.
+	UtopiaPoint = htuning.UtopiaPoint
+	// Estimator computes and memoizes expected latencies.
+	Estimator = htuning.Estimator
+	// Phase selects on-hold-only or wall-clock latency in estimates.
+	Phase = htuning.Phase
+)
+
+// Phase values.
+const (
+	// PhaseOnHold scores only the acceptance phase (what payment controls).
+	PhaseOnHold = htuning.PhaseOnHold
+	// PhaseBoth scores acceptance plus processing (wall clock).
+	PhaseBoth = htuning.PhaseBoth
+)
+
+// ErrBudgetTooSmall is wrapped by solvers when a budget cannot give every
+// repetition at least one payment unit.
+var ErrBudgetTooSmall = htuning.ErrBudgetTooSmall
+
+// Price→rate models (Sec 3.3 of the paper).
+type (
+	// RateModel maps a per-repetition price to the on-hold rate λo.
+	RateModel = pricing.RateModel
+	// Linear is the paper's Hypothesis 1: λo(c) = K·c + B.
+	Linear = pricing.Linear
+	// Quadratic is the synthetic non-linear model λo(c) = 1 + c².
+	Quadratic = pricing.Quadratic
+	// Logarithmic is the synthetic non-linear model λo(c) = log(1 + c).
+	Logarithmic = pricing.Logarithmic
+	// RateTable interpolates an empirical price→rate table.
+	RateTable = pricing.Table
+)
+
+// NewRateTable builds an interpolating price→rate model from observed
+// (price, rate) points, e.g. probe measurements.
+func NewRateTable(name string, points map[float64]float64) (*RateTable, error) {
+	return pricing.NewTable(name, points)
+}
+
+// SyntheticModels returns the six price→rate models of the paper's
+// synthetic evaluation in panel order (a)–(f).
+func SyntheticModels() []RateModel { return pricing.SyntheticModels() }
+
+// NewEstimator returns an empty latency estimator (memoizing cache).
+func NewEstimator() *Estimator { return htuning.NewEstimator() }
+
+// EvenAllocation solves Scenario I (Algorithm 1, EA): one group of
+// identical tasks, budget split evenly per repetition with the remainder
+// spread one unit at a time. Optimal under the Linearity Hypothesis
+// (Theorem 1 of the paper).
+func EvenAllocation(p Problem) (Allocation, error) { return htuning.EvenAllocation(p) }
+
+// SolveRepetition solves Scenario II (Algorithm 2, RA): marginal-gain
+// allocation over per-group expected latencies.
+func SolveRepetition(est *Estimator, p Problem) (RepetitionResult, error) {
+	return htuning.SolveRepetition(est, p)
+}
+
+// SolveRepetitionDP solves Scenario II exactly by dynamic programming over
+// the budget; the certification oracle for SolveRepetition.
+func SolveRepetitionDP(est *Estimator, p Problem) (RepetitionResult, error) {
+	return htuning.SolveRepetitionDP(est, p)
+}
+
+// SolveHeterogeneous solves Scenario III (Algorithm 3, HA): compromise
+// programming against the Utopia Point of the bi-objective problem.
+func SolveHeterogeneous(est *Estimator, p Problem) (HeterogeneousResult, error) {
+	return htuning.SolveHeterogeneous(est, p)
+}
+
+// ClosenessNorm selects the distance of Definition 6; the paper uses the
+// first-order (L1) norm.
+type ClosenessNorm = htuning.Norm
+
+// Closeness norms for SolveHeterogeneousNorm.
+const (
+	// NormL1 is the paper's first-order distance.
+	NormL1 = htuning.NormL1
+	// NormL2 is the Euclidean distance (ablation).
+	NormL2 = htuning.NormL2
+	// NormLInf is the Chebyshev distance (ablation).
+	NormLInf = htuning.NormLInf
+)
+
+// SolveHeterogeneousNorm is SolveHeterogeneous under a chosen Closeness
+// norm, for ablating the paper's first-order-distance design choice.
+func SolveHeterogeneousNorm(est *Estimator, p Problem, norm ClosenessNorm) (HeterogeneousResult, error) {
+	return htuning.SolveHeterogeneousNorm(est, p, norm)
+}
+
+// Baseline allocations from the paper's evaluation.
+
+// BiasAllocation gives a random half of the tasks a share alpha of the
+// budget (Scenario I baseline; alpha in [0.5, 1)).
+func BiasAllocation(p Problem, alpha float64, seed uint64) (Allocation, error) {
+	return htuning.BiasAllocation(p, alpha, randx.New(seed))
+}
+
+// TaskEvenAllocation pays every task the same total ("te" baseline).
+func TaskEvenAllocation(p Problem) (Allocation, error) { return htuning.TaskEvenAllocation(p) }
+
+// RepEvenAllocation pays every repetition the same ("re" baseline).
+func RepEvenAllocation(p Problem) (Allocation, error) { return htuning.RepEvenAllocation(p) }
+
+// UniformTypeAllocation pays every group the same total (the "HEU"
+// heuristic of the paper's Fig 5(c)).
+func UniformTypeAllocation(p Problem) (Allocation, error) { return htuning.UniformTypeAllocation(p) }
+
+// NewUniformAllocation materializes uniform per-group prices into a full
+// repetition-level allocation for p.
+func NewUniformAllocation(p Problem, prices []int) (Allocation, error) {
+	return htuning.NewUniformAllocation(p, prices)
+}
+
+// SimulateJobLatency estimates the expected job completion latency of an
+// allocation by Monte Carlo over the HPU model (trials samples, seeded).
+func SimulateJobLatency(p Problem, a Allocation, phase Phase, trials int, seed uint64) (float64, error) {
+	return htuning.SimulateJobLatency(p, a, phase, trials, randx.New(seed))
+}
+
+// Diminishing-returns diagnostics (the paper's Sec 5.1 finding: when the
+// rate is price-sensitive, past some price the latency is set by
+// processing time and further payment is wasted).
+type (
+	// PricePoint is one step of a marginal-return curve.
+	PricePoint = htuning.PricePoint
+	// SaturationResult locates where extra payment stops helping.
+	SaturationResult = htuning.SaturationResult
+)
+
+// SaturationScan walks a group's expected latency over prices 1..maxPrice
+// and finds where one more unit buys less than frac of the group's
+// irreducible processing latency.
+func SaturationScan(est *Estimator, g Group, maxPrice int, frac float64) (SaturationResult, error) {
+	return htuning.SaturationScan(est, g, maxPrice, frac)
+}
+
+// EffectiveBudget returns the smallest budget whose tuned job latency is
+// within (1+slack) of the latency at maxBudget.
+func EffectiveBudget(est *Estimator, p Problem, maxBudget, step int, slack float64) (int, error) {
+	return htuning.EffectiveBudget(est, p, maxBudget, step, slack)
+}

@@ -1,0 +1,296 @@
+// Package adaptive closes the loop the paper sketches in Sec 3.3: a
+// requester rarely knows the market's true price→rate curve up front, so
+// the controller here interleaves tuning with inference. The job runs in
+// repetition waves; each wave is priced with the current belief about
+// λo(c), the wave's observed acceptance latencies update the belief (MLE
+// per price level, then a linearity fit once two price levels have been
+// observed), and the remaining budget is re-tuned before the next wave.
+//
+// The controller's value is measured against two anchors in the tests:
+// an oracle that tunes with the true model from the start, and a
+// stubborn controller that never updates its (wrong) prior.
+package adaptive
+
+import (
+	"fmt"
+	"sort"
+
+	"hputune/internal/htuning"
+	"hputune/internal/inference"
+	"hputune/internal/market"
+	"hputune/internal/numeric"
+	"hputune/internal/pricing"
+)
+
+// GroupSpec is one group of identical tasks to run adaptively.
+type GroupSpec struct {
+	// Name labels the group in traces.
+	Name string
+	// Tasks and Reps define the group's workload.
+	Tasks int
+	Reps  int
+	// TrueClass is the marketplace's actual behaviour (unknown to the
+	// tuner; the controller only ever reads its answers' timing).
+	TrueClass *market.TaskClass
+}
+
+// Controller runs a multi-group job with interleaved inference and
+// re-tuning.
+type Controller struct {
+	// Groups is the workload.
+	Groups []GroupSpec
+	// Budget is the total payment budget in units.
+	Budget int
+	// Prior is the initial belief about λo(c), shared by all groups.
+	Prior pricing.RateModel
+	// Seed drives both the marketplace and any sampling.
+	Seed uint64
+	// Freeze disables belief updates (the "stubborn" baseline).
+	Freeze bool
+	// MinObservations is the number of on-hold samples a price level
+	// needs before it contributes to the belief (default 5).
+	MinObservations int
+}
+
+// Report is the outcome of an adaptive run.
+type Report struct {
+	// Makespan is the total wall-clock time across waves.
+	Makespan float64
+	// Spent is the number of budget units paid out.
+	Spent int
+	// WavePrices records the per-group price chosen for each wave.
+	WavePrices [][]int
+	// PriceLevels and RateEstimates are the final belief's support: the
+	// observed price levels and their MLE rates.
+	PriceLevels   []float64
+	RateEstimates []float64
+	// FinalFit is the linearity fit over the observed levels (zero value
+	// if fewer than two levels were observed).
+	FinalFit numeric.LinearFit
+}
+
+// validate checks the controller configuration.
+func (c *Controller) validate() error {
+	if len(c.Groups) == 0 {
+		return fmt.Errorf("adaptive: no groups")
+	}
+	minBudget := 0
+	for i, g := range c.Groups {
+		if g.Tasks < 1 || g.Reps < 1 {
+			return fmt.Errorf("adaptive: group %d has %d tasks × %d reps", i, g.Tasks, g.Reps)
+		}
+		if err := g.TrueClass.Validate(); err != nil {
+			return fmt.Errorf("adaptive: group %d: %w", i, err)
+		}
+		minBudget += g.Tasks * g.Reps
+	}
+	if c.Budget < minBudget {
+		return fmt.Errorf("%w: budget %d below %d repetitions", htuning.ErrBudgetTooSmall, c.Budget, minBudget)
+	}
+	if c.Prior == nil {
+		return fmt.Errorf("adaptive: nil prior model")
+	}
+	return nil
+}
+
+// belief tracks observed on-hold durations per price level and produces
+// the current λo(c) model.
+type belief struct {
+	prior     pricing.RateModel
+	durations map[int][]float64 // price level → observed on-hold durations
+	minObs    int
+}
+
+func newBelief(prior pricing.RateModel, minObs int) *belief {
+	if minObs < 1 {
+		minObs = 5
+	}
+	return &belief{prior: prior, durations: map[int][]float64{}, minObs: minObs}
+}
+
+func (b *belief) observe(price int, onhold float64) {
+	b.durations[price] = append(b.durations[price], onhold)
+}
+
+// levels returns the observed price levels with enough samples, sorted,
+// with their MLE rates.
+func (b *belief) levels() (prices, rates []float64) {
+	var ps []int
+	for p, ds := range b.durations {
+		if len(ds) >= b.minObs {
+			ps = append(ps, p)
+		}
+	}
+	sort.Ints(ps)
+	for _, p := range ps {
+		est, err := inference.EstimateFromDurations(b.durations[p])
+		if err != nil {
+			continue
+		}
+		prices = append(prices, float64(p))
+		rates = append(rates, est.Rate)
+	}
+	return prices, rates
+}
+
+// model returns the current belief: the prior until data arrives, a
+// scaled prior with one observed level, a fresh linear fit with two or
+// more.
+func (b *belief) model() (pricing.RateModel, numeric.LinearFit) {
+	prices, rates := b.levels()
+	switch len(prices) {
+	case 0:
+		return b.prior, numeric.LinearFit{}
+	case 1:
+		predicted := b.prior.Rate(prices[0])
+		if predicted <= 0 {
+			return b.prior, numeric.LinearFit{}
+		}
+		return pricing.Scaled{Base: b.prior, Factor: rates[0] / predicted}, numeric.LinearFit{}
+	}
+	fit, err := numeric.FitLinear(prices, rates)
+	if err != nil || fit.Slope <= 0 {
+		// A non-increasing fit would break the tuner's monotonicity
+		// assumption; fall back to scaling the prior at the richest level.
+		predicted := b.prior.Rate(prices[len(prices)-1])
+		if predicted <= 0 {
+			return b.prior, numeric.LinearFit{}
+		}
+		return pricing.Scaled{Base: b.prior, Factor: rates[len(rates)-1] / predicted}, fit
+	}
+	// A negative intercept (common when the fit extrapolates below the
+	// observed price range) would give non-positive rates at low prices;
+	// floor the model there.
+	return flooredModel{base: pricing.Linear{K: fit.Slope, B: fit.Intercept}}, fit
+}
+
+// flooredModel clamps a rate model to a small positive floor so tuners
+// can evaluate any price >= 1 on it.
+type flooredModel struct {
+	base pricing.RateModel
+}
+
+func (f flooredModel) Rate(price float64) float64 {
+	const floor = 1e-6
+	if r := f.base.Rate(price); r > floor {
+		return r
+	}
+	return floor
+}
+
+func (f flooredModel) Name() string { return "floor(" + f.base.Name() + ")" }
+
+// Run executes the job wave by wave and returns the report.
+func (c *Controller) Run() (Report, error) {
+	if err := c.validate(); err != nil {
+		return Report{}, err
+	}
+	bel := newBelief(c.Prior, c.MinObservations)
+	maxReps := 0
+	for _, g := range c.Groups {
+		if g.Reps > maxReps {
+			maxReps = g.Reps
+		}
+	}
+	var report Report
+	remaining := c.Budget
+	est := htuning.NewEstimator()
+	for wave := 0; wave < maxReps; wave++ {
+		// Groups still active this wave, with one repetition each.
+		var active []int
+		for gi, g := range c.Groups {
+			if g.Reps > wave {
+				active = append(active, gi)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+		model, fit := bel.model()
+		if c.Freeze {
+			model, fit = c.Prior, numeric.LinearFit{}
+		}
+		report.FinalFit = fit
+
+		// Plan the whole remaining job under the current belief — the
+		// belief shapes how the budget is paced across waves — then
+		// execute only the next wave and re-plan after observing it.
+		prices, err := planRemaining(est, c.Groups, wave, maxReps, model, remaining)
+		if err != nil {
+			return Report{}, fmt.Errorf("adaptive: wave %d: %w", wave, err)
+		}
+		report.WavePrices = append(report.WavePrices, prices)
+
+		// Post the wave and observe.
+		sim, err := market.New(market.Config{Seed: c.Seed + uint64(wave)*0x9e3779b9})
+		if err != nil {
+			return Report{}, err
+		}
+		for ai, gi := range active {
+			g := c.Groups[gi]
+			for t := 0; t < g.Tasks; t++ {
+				err := sim.Post(market.TaskSpec{
+					ID:        fmt.Sprintf("%s-t%d-w%d", g.Name, t, wave),
+					Class:     g.TrueClass,
+					RepPrices: []int{prices[ai]},
+				})
+				if err != nil {
+					return Report{}, err
+				}
+			}
+		}
+		results, err := sim.Run()
+		if err != nil {
+			return Report{}, err
+		}
+		report.Makespan += sim.Makespan()
+		for _, res := range results {
+			for _, rec := range res.Reps {
+				report.Spent += rec.Price
+				remaining -= rec.Price
+				bel.observe(rec.Price, rec.OnHold())
+			}
+		}
+	}
+	report.PriceLevels, report.RateEstimates = bel.levels()
+	return report, nil
+}
+
+// planRemaining allocates the remaining budget across every remaining
+// (wave, group) repetition under the believed model: waves run
+// sequentially, so the planner minimizes the sum of expected wave
+// latencies (the paper's Scenario II surrogate, with each wave-group as
+// its own single-repetition pseudo-group). Only the next wave's prices
+// are returned; the rest of the plan is provisional and recomputed after
+// the wave's observations update the belief.
+func planRemaining(est *htuning.Estimator, groups []GroupSpec, wave, maxReps int, model pricing.RateModel, budget int) ([]int, error) {
+	var pseudo []htuning.Group
+	nextWave := 0
+	for s := wave; s < maxReps; s++ {
+		for _, g := range groups {
+			if g.Reps <= s {
+				continue
+			}
+			pseudo = append(pseudo, htuning.Group{
+				Type: &htuning.TaskType{
+					Name:     fmt.Sprintf("%s@w%d", g.Name, s),
+					Accept:   model,
+					ProcRate: g.TrueClass.ProcRate,
+				},
+				Tasks: g.Tasks,
+				Reps:  1,
+			})
+			if s == wave {
+				nextWave++
+			}
+		}
+	}
+	p := htuning.Problem{Groups: pseudo, Budget: budget}
+	// Cached means are keyed by the model's rates, so sharing the
+	// estimator across evolving beliefs is safe.
+	res, err := htuning.SolveRepetition(est, p)
+	if err != nil {
+		return nil, err
+	}
+	return res.Prices[:nextWave], nil
+}

@@ -1,0 +1,221 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+
+	"hputune/internal/market"
+	"hputune/internal/pricing"
+)
+
+// trueModel is the market's actual acceptance behaviour in these tests.
+var trueModel = pricing.Linear{K: 1, B: 1}
+
+func testGroups() []GroupSpec {
+	class := &market.TaskClass{
+		Name:     "vote",
+		Accept:   trueModel,
+		ProcRate: 4,
+		Accuracy: 1,
+	}
+	return []GroupSpec{
+		{Name: "g3", Tasks: 25, Reps: 3, TrueClass: class},
+		{Name: "g5", Tasks: 25, Reps: 5, TrueClass: class},
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	c := &Controller{Groups: testGroups(), Budget: 10, Prior: trueModel}
+	if _, err := c.Run(); err == nil {
+		t.Error("starved budget accepted")
+	}
+	c = &Controller{Budget: 1000, Prior: trueModel}
+	if _, err := c.Run(); err == nil {
+		t.Error("empty groups accepted")
+	}
+	c = &Controller{Groups: testGroups(), Budget: 1000}
+	if _, err := c.Run(); err == nil {
+		t.Error("nil prior accepted")
+	}
+	bad := testGroups()
+	bad[0].Tasks = 0
+	c = &Controller{Groups: bad, Budget: 1000, Prior: trueModel}
+	if _, err := c.Run(); err == nil {
+		t.Error("zero-task group accepted")
+	}
+}
+
+func TestControllerCompletesAndSpendsWithinBudget(t *testing.T) {
+	c := &Controller{Groups: testGroups(), Budget: 1500, Prior: trueModel, Seed: 3}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan <= 0 {
+		t.Error("no makespan")
+	}
+	if rep.Spent > c.Budget {
+		t.Errorf("overspent: %d > %d", rep.Spent, c.Budget)
+	}
+	// 5 waves: max reps across groups.
+	if len(rep.WavePrices) != 5 {
+		t.Errorf("got %d waves, want 5", len(rep.WavePrices))
+	}
+	// Wave 0 prices cover both groups; wave 4 only the 5-rep group.
+	if len(rep.WavePrices[0]) != 2 || len(rep.WavePrices[4]) != 1 {
+		t.Errorf("wave price shapes wrong: %v", rep.WavePrices)
+	}
+}
+
+func TestBeliefRecoversTrueModel(t *testing.T) {
+	// Start from a badly wrong prior; after the run the fitted model
+	// should be close to the truth.
+	wrongPrior := pricing.Linear{K: 6, B: 0.2}
+	c := &Controller{Groups: testGroups(), Budget: 2500, Prior: wrongPrior, Seed: 11}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PriceLevels) < 1 {
+		t.Fatal("no price levels observed")
+	}
+	// Each observed level's MLE must be near the true rate.
+	for i, p := range rep.PriceLevels {
+		want := trueModel.Rate(p)
+		got := rep.RateEstimates[i]
+		if math.Abs(got-want) > 0.35*want {
+			t.Errorf("price %v: λ̂ = %v, true %v", p, got, want)
+		}
+	}
+	if len(rep.PriceLevels) >= 2 {
+		if math.Abs(rep.FinalFit.Slope-1) > 0.5 {
+			t.Errorf("fitted slope %v, true 1", rep.FinalFit.Slope)
+		}
+	}
+}
+
+func TestAdaptiveBeatsFrozenWrongPrior(t *testing.T) {
+	// Belief shape only matters when the workload is asymmetric: the
+	// planner equalizes per-cost marginal gains (H_n/n)·g(p) across
+	// groups, so with equal task counts every belief yields the same
+	// near-uniform plan. Here a 40-task group faces a 10-task group, and
+	// the wrong prior believes price barely moves the rate (g almost
+	// flat): its plan starves the big group at price 1 and dumps the
+	// budget on the small group. A frozen controller repeats that
+	// mistake every wave; the adaptive controller observes wave 0 and
+	// recovers the true model, so it must finish clearly faster.
+	class := &market.TaskClass{Name: "vote", Accept: trueModel, ProcRate: 4, Accuracy: 1}
+	groups := []GroupSpec{
+		{Name: "big", Tasks: 40, Reps: 3, TrueClass: class},
+		{Name: "small", Tasks: 10, Reps: 5, TrueClass: class},
+	}
+	wrongPrior := pricing.Linear{K: 0.05, B: 8}
+	const rounds = 5
+	meanMakespan := func(freeze bool) float64 {
+		total := 0.0
+		for r := 0; r < rounds; r++ {
+			c := &Controller{
+				Groups: groups,
+				Budget: 2500,
+				Prior:  wrongPrior,
+				Seed:   uint64(100 + r),
+				Freeze: freeze,
+			}
+			rep, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += rep.Makespan
+		}
+		return total / rounds
+	}
+	adaptive := meanMakespan(false)
+	frozen := meanMakespan(true)
+	if adaptive >= frozen {
+		t.Errorf("adaptive %.3f not faster than frozen wrong prior %.3f", adaptive, frozen)
+	}
+}
+
+func TestAdaptiveApproachesOracle(t *testing.T) {
+	// The oracle starts with the true model. The adaptive run starts
+	// wrong but must land within 2x of the oracle's makespan (it pays a
+	// first-wave learning tax).
+	const rounds = 5
+	run := func(prior pricing.RateModel) float64 {
+		total := 0.0
+		for r := 0; r < rounds; r++ {
+			c := &Controller{
+				Groups: testGroups(),
+				Budget: 2500,
+				Prior:  prior,
+				Seed:   uint64(500 + r),
+			}
+			rep, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += rep.Makespan
+		}
+		return total / rounds
+	}
+	oracle := run(trueModel)
+	adaptive := run(pricing.Linear{K: 20, B: 0.1})
+	if adaptive > 2*oracle {
+		t.Errorf("adaptive %.3f more than 2x oracle %.3f", adaptive, oracle)
+	}
+}
+
+func TestFreezeKeepsPrior(t *testing.T) {
+	c := &Controller{Groups: testGroups(), Budget: 1500, Prior: trueModel, Seed: 9, Freeze: true}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalFit.N != 0 {
+		t.Errorf("frozen controller fitted a model: %+v", rep.FinalFit)
+	}
+}
+
+func TestBeliefFallbacks(t *testing.T) {
+	b := newBelief(trueModel, 3)
+	// No data: prior.
+	m, _ := b.model()
+	if m.Rate(2) != trueModel.Rate(2) {
+		t.Error("empty belief should return the prior")
+	}
+	// One level with enough data: scaled prior.
+	for i := 0; i < 5; i++ {
+		b.observe(2, 0.5) // MLE rate 2; prior says 3 at price 2
+	}
+	m, _ = b.model()
+	want := trueModel.Rate(2) * (2.0 / 3.0)
+	if math.Abs(m.Rate(2)-want) > 1e-9 {
+		t.Errorf("scaled belief Rate(2) = %v, want %v", m.Rate(2), want)
+	}
+	// Two levels: linear fit.
+	for i := 0; i < 5; i++ {
+		b.observe(4, 0.2) // MLE rate 5 at price 4
+	}
+	m, fit := b.model()
+	if fit.N != 2 {
+		t.Errorf("fit over %d levels, want 2", fit.N)
+	}
+	// Line through (2,2) and (4,5): slope 1.5, intercept -1.
+	if math.Abs(m.Rate(2)-2) > 1e-6 || math.Abs(m.Rate(4)-5) > 1e-6 {
+		t.Errorf("fitted model wrong: Rate(2)=%v Rate(4)=%v", m.Rate(2), m.Rate(4))
+	}
+}
+
+func TestBeliefRejectsNegativeSlope(t *testing.T) {
+	b := newBelief(trueModel, 2)
+	// Observations implying rate falls with price (noise artifact).
+	for i := 0; i < 3; i++ {
+		b.observe(2, 0.2) // rate 5
+		b.observe(4, 0.5) // rate 2
+	}
+	m, _ := b.model()
+	// Fallback must still be increasing in price.
+	if m.Rate(5) < m.Rate(2) {
+		t.Errorf("belief not monotone: Rate(2)=%v Rate(5)=%v", m.Rate(2), m.Rate(5))
+	}
+}

@@ -1,0 +1,167 @@
+package crowddb
+
+import (
+	"fmt"
+	"math"
+)
+
+// sameDifficulty buckets a "same type?" vote: the judgment is hard when
+// appearance disagrees with the truth — items of one category whose
+// values differ widely, or items of different categories whose values
+// nearly coincide.
+func sameDifficulty(a, b Item) Difficulty {
+	gap := math.Abs(a.Value-b.Value) / (1 + math.Max(math.Abs(a.Value), math.Abs(b.Value)))
+	same := a.Class == b.Class
+	switch {
+	case same && gap < 0.08, !same && gap >= 0.25:
+		return Easy
+	case same && gap < 0.25, !same && gap >= 0.08:
+		return Medium
+	default:
+		return Hard
+	}
+}
+
+// PlanGroupByPhase emits one parallel phase of the crowd group-by
+// operator (Davidson et al., reference [10] of the paper): every
+// unassigned item is compared against every current cluster
+// representative with a "same type?" vote.
+func PlanGroupByPhase(unassigned, representatives Dataset, phase, reps int) (Plan, error) {
+	if len(unassigned) == 0 {
+		return Plan{}, fmt.Errorf("crowddb: group-by phase with no unassigned items")
+	}
+	if len(representatives) == 0 {
+		return Plan{}, fmt.Errorf("crowddb: group-by phase with no representatives")
+	}
+	if reps < 1 {
+		return Plan{}, fmt.Errorf("crowddb: reps must be >= 1, got %d", reps)
+	}
+	plan := Plan{Label: fmt.Sprintf("group-by-phase-%d", phase)}
+	for _, it := range unassigned {
+		for _, rep := range representatives {
+			plan.Tasks = append(plan.Tasks, VoteTask{
+				Kind:  VoteSame,
+				A:     it.ID,
+				B:     rep.ID,
+				Truth: it.Class == rep.Class,
+				Diff:  sameDifficulty(it, rep),
+				Reps:  reps,
+			})
+		}
+	}
+	return plan, nil
+}
+
+// GroupByResult is the outcome of a crowd group-by query.
+type GroupByResult struct {
+	// Clusters holds the member ids of each discovered group; the first
+	// id of each cluster is its representative.
+	Clusters [][]string
+	// Makespan is the wall clock across all sequential phases.
+	Makespan float64
+	// Phases holds the per-phase outcomes.
+	Phases []PhaseOutcome
+}
+
+// Paid returns the total budget units spent across phases.
+func (g GroupByResult) Paid() int {
+	total := 0
+	for _, p := range g.Phases {
+		total += p.Paid
+	}
+	return total
+}
+
+// RunGroupBy executes the crowd group-by: sequential phases compare
+// unassigned items against cluster representatives ("same type?" votes);
+// an item joins the representative with the strongest majority-yes, and
+// per phase one item matching no representative founds a new cluster —
+// the sequential-discovery structure of [10], with each phase a parallel
+// marketplace round. Phase count is therefore at most the number of
+// latent categories plus one.
+func (e *Executor) RunGroupBy(items Dataset, reps int, policy PricePolicy) (GroupByResult, error) {
+	if len(items) == 0 {
+		return GroupByResult{}, fmt.Errorf("crowddb: group-by needs items")
+	}
+	if len(items) == 1 {
+		return GroupByResult{Clusters: [][]string{{items[0].ID}}}, nil
+	}
+	byID := make(map[string]Item, len(items))
+	for _, it := range items {
+		byID[it.ID] = it
+	}
+
+	representatives := Dataset{items[0]}
+	clusters := [][]string{{items[0].ID}}
+	unassigned := append(Dataset(nil), items[1:]...)
+
+	var result GroupByResult
+	phase := 0
+	for len(unassigned) > 0 {
+		plan, err := PlanGroupByPhase(unassigned, representatives, phase, reps)
+		if err != nil {
+			return GroupByResult{}, err
+		}
+		exec := *e
+		exec.Config.Seed = e.Config.Seed + uint64(phase+1)*0x9e3779b9
+		out, err := exec.RunPlan(plan, policy)
+		if err != nil {
+			return GroupByResult{}, err
+		}
+		result.Makespan += out.Makespan
+		result.Phases = append(result.Phases, out)
+
+		// Strongest majority-yes representative per item.
+		type match struct {
+			cluster int
+			yes     int
+			votes   int
+		}
+		best := make(map[string]match, len(unassigned))
+		repIndex := make(map[string]int, len(representatives))
+		for ci, members := range clusters {
+			repIndex[members[0]] = ci
+		}
+		for _, d := range out.Decisions {
+			if !d.Outcome {
+				continue
+			}
+			ci, ok := repIndex[d.Task.B]
+			if !ok {
+				return GroupByResult{}, fmt.Errorf("crowddb: vote against unknown representative %q", d.Task.B)
+			}
+			m, seen := best[d.Task.A]
+			// Prefer the larger yes-fraction; break ties toward the
+			// earlier cluster for determinism.
+			better := !seen ||
+				d.YesVotes*m.votes > m.yes*d.Votes ||
+				(d.YesVotes*m.votes == m.yes*d.Votes && ci < m.cluster)
+			if better {
+				best[d.Task.A] = match{cluster: ci, yes: d.YesVotes, votes: d.Votes}
+			}
+		}
+
+		var leftover Dataset
+		founded := false
+		for _, it := range unassigned {
+			if m, ok := best[it.ID]; ok {
+				clusters[m.cluster] = append(clusters[m.cluster], it.ID)
+				continue
+			}
+			if !founded {
+				// First unmatched item founds the next cluster; the rest
+				// wait so two items of one new category cannot both
+				// become representatives.
+				clusters = append(clusters, []string{it.ID})
+				representatives = append(representatives, byID[it.ID])
+				founded = true
+				continue
+			}
+			leftover = append(leftover, it)
+		}
+		unassigned = leftover
+		phase++
+	}
+	result.Clusters = clusters
+	return result, nil
+}

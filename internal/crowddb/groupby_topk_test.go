@@ -1,0 +1,358 @@
+package crowddb
+
+import (
+	"testing"
+
+	"hputune/internal/market"
+	"hputune/internal/pricing"
+	"hputune/internal/randx"
+)
+
+// perfectExecutor returns an executor whose classes always answer
+// correctly, so operator logic can be tested deterministically.
+func perfectExecutor(seed uint64) (*Executor, error) {
+	cs, err := DefaultClassSet(pricing.Linear{K: 1, B: 1}, 2)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range []Difficulty{Easy, Medium, Hard} {
+		c, err := cs.Class(d)
+		if err != nil {
+			return nil, err
+		}
+		c.Accuracy = 1
+	}
+	return &Executor{Classes: cs, Config: market.Config{Seed: seed}}, nil
+}
+
+func noisyExecutor(seed uint64) (*Executor, error) {
+	cs, err := DefaultClassSet(pricing.Linear{K: 1, B: 1}, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{Classes: cs, Config: market.Config{Seed: seed}}, nil
+}
+
+func categorized(t *testing.T, n int, classes []string, seed uint64) Dataset {
+	t.Helper()
+	items, err := CategorizedItems(n, classes, 10, 100, randx.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return items
+}
+
+func TestCategorizedItemsValidation(t *testing.T) {
+	r := randx.New(1)
+	if _, err := CategorizedItems(0, []string{"a"}, 0, 1, r); err == nil {
+		t.Error("zero items accepted")
+	}
+	if _, err := CategorizedItems(3, nil, 0, 1, r); err == nil {
+		t.Error("no categories accepted")
+	}
+	if _, err := CategorizedItems(3, []string{"a"}, 2, 1, r); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := CategorizedItems(3, []string{"a"}, 0, 1, nil); err == nil {
+		t.Error("nil rand accepted")
+	}
+}
+
+func TestCategorizedItemsRoundRobin(t *testing.T) {
+	items := categorized(t, 6, []string{"cat", "dog"}, 2)
+	for i, it := range items {
+		want := "cat"
+		if i%2 == 1 {
+			want = "dog"
+		}
+		if it.Class != want {
+			t.Errorf("item %d class %q, want %q", i, it.Class, want)
+		}
+	}
+}
+
+func TestRandIndexPerfectAndWorst(t *testing.T) {
+	items := Dataset{
+		{ID: "a", Class: "x"}, {ID: "b", Class: "x"},
+		{ID: "c", Class: "y"}, {ID: "d", Class: "y"},
+	}
+	perfect := [][]string{{"a", "b"}, {"c", "d"}}
+	ri, err := RandIndex(perfect, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != 1 {
+		t.Errorf("perfect clustering Rand index %v, want 1", ri)
+	}
+	crossed := [][]string{{"a", "c"}, {"b", "d"}}
+	ri, err = RandIndex(crossed, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != 1.0/3 {
+		t.Errorf("crossed clustering Rand index %v, want 1/3", ri)
+	}
+}
+
+func TestRandIndexValidation(t *testing.T) {
+	items := Dataset{{ID: "a", Class: "x"}, {ID: "b", Class: "y"}}
+	if _, err := RandIndex([][]string{{"a"}}, items); err == nil {
+		t.Error("partial clustering accepted")
+	}
+	if _, err := RandIndex([][]string{{"a"}, {"a", "b"}}, items); err == nil {
+		t.Error("duplicated id accepted")
+	}
+	if _, err := RandIndex([][]string{{"a", "b", "z"}}, items); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestPlanGroupByPhaseShape(t *testing.T) {
+	items := categorized(t, 7, []string{"cat", "dog", "owl"}, 3)
+	plan, err := PlanGroupByPhase(items[1:], items[:1], 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Tasks) != 6 { // 6 unassigned × 1 representative
+		t.Fatalf("got %d tasks, want 6", len(plan.Tasks))
+	}
+	for _, task := range plan.Tasks {
+		if task.Kind != VoteSame {
+			t.Errorf("task kind %v, want VoteSame", task.Kind)
+		}
+		if task.Reps != 3 {
+			t.Errorf("task reps %d, want 3", task.Reps)
+		}
+	}
+}
+
+func TestPlanGroupByPhaseValidation(t *testing.T) {
+	items := categorized(t, 4, []string{"a"}, 4)
+	if _, err := PlanGroupByPhase(nil, items[:1], 0, 1); err == nil {
+		t.Error("no unassigned accepted")
+	}
+	if _, err := PlanGroupByPhase(items[1:], nil, 0, 1); err == nil {
+		t.Error("no representatives accepted")
+	}
+	if _, err := PlanGroupByPhase(items[1:], items[:1], 0, 0); err == nil {
+		t.Error("zero reps accepted")
+	}
+}
+
+func TestRunGroupByPerfectWorkersRecoverClasses(t *testing.T) {
+	e, err := perfectExecutor(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := categorized(t, 12, []string{"cat", "dog", "owl"}, 5)
+	res, err := e.RunGroupBy(items, 3, UniformPrice(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := RandIndex(res.Clusters, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != 1 {
+		t.Errorf("perfect workers Rand index %v, want 1 (clusters %v)", ri, res.Clusters)
+	}
+	if len(res.Clusters) != 3 {
+		t.Errorf("found %d clusters, want 3", len(res.Clusters))
+	}
+	if res.Makespan <= 0 {
+		t.Error("no makespan recorded")
+	}
+	if res.Paid() <= 0 {
+		t.Error("nothing paid")
+	}
+}
+
+func TestRunGroupByNoisyWorkersStillCover(t *testing.T) {
+	e, err := noisyExecutor(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := categorized(t, 15, []string{"cat", "dog"}, 7)
+	res, err := e.RunGroupBy(items, 5, UniformPrice(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every item must be clustered exactly once even when votes err.
+	seen := make(map[string]bool)
+	for _, cl := range res.Clusters {
+		for _, id := range cl {
+			if seen[id] {
+				t.Fatalf("id %q clustered twice", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != len(items) {
+		t.Errorf("clustered %d of %d items", len(seen), len(items))
+	}
+	// Noisy majority voting should still be far better than random.
+	ri, err := RandIndex(res.Clusters, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri < 0.6 {
+		t.Errorf("noisy Rand index %v below 0.6", ri)
+	}
+}
+
+func TestRunGroupByEdgeCases(t *testing.T) {
+	e, err := perfectExecutor(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunGroupBy(nil, 3, UniformPrice(1)); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	one := Dataset{{ID: "solo", Class: "x"}}
+	res, err := e.RunGroupBy(one, 3, UniformPrice(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 || len(res.Clusters[0]) != 1 || res.Clusters[0][0] != "solo" {
+		t.Errorf("single item clustering %v", res.Clusters)
+	}
+}
+
+func TestSameDifficultyBuckets(t *testing.T) {
+	// Same class, near values: easy. Same class, distant values: hard.
+	a := Item{ID: "a", Value: 50, Class: "x"}
+	near := Item{ID: "b", Value: 51, Class: "x"}
+	far := Item{ID: "c", Value: 99, Class: "x"}
+	otherNear := Item{ID: "d", Value: 51, Class: "y"}
+	otherFar := Item{ID: "e", Value: 99, Class: "y"}
+	if d := sameDifficulty(a, near); d != Easy {
+		t.Errorf("same/near = %v, want easy", d)
+	}
+	if d := sameDifficulty(a, far); d != Hard {
+		t.Errorf("same/far = %v, want hard", d)
+	}
+	if d := sameDifficulty(a, otherNear); d != Hard {
+		t.Errorf("diff/near = %v, want hard", d)
+	}
+	if d := sameDifficulty(a, otherFar); d != Easy {
+		t.Errorf("diff/far = %v, want easy", d)
+	}
+}
+
+func TestPlanTopKRoundPods(t *testing.T) {
+	items := categorized(t, 10, []string{"a"}, 19)
+	plan, pods, err := PlanTopKRound(items, 0, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pods) != 3 { // 4 + 4 + 2
+		t.Fatalf("got %d pods, want 3", len(pods))
+	}
+	// Pairwise tasks: C(4,2)+C(4,2)+C(2,2) = 6+6+1.
+	if len(plan.Tasks) != 13 {
+		t.Errorf("got %d tasks, want 13", len(plan.Tasks))
+	}
+}
+
+func TestPlanTopKRoundValidation(t *testing.T) {
+	items := categorized(t, 4, []string{"a"}, 23)
+	if _, _, err := PlanTopKRound(items[:1], 0, 1, 4); err == nil {
+		t.Error("single survivor accepted")
+	}
+	if _, _, err := PlanTopKRound(items, 0, 0, 4); err == nil {
+		t.Error("zero reps accepted")
+	}
+	if _, _, err := PlanTopKRound(items, 0, 1, 1); err == nil {
+		t.Error("pod size 1 accepted")
+	}
+}
+
+func TestRunTopKPerfectWorkersFindTruth(t *testing.T) {
+	e, err := perfectExecutor(29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := DotImages(20, 10, 200, randx.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3
+	res, err := e.RunTopK(items, k, 3, UniformPrice(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopK) != k {
+		t.Fatalf("got %d winners, want %d", len(res.TopK), k)
+	}
+	want := items.ByValue().IDs()[:k]
+	got := make(map[string]bool, k)
+	for _, id := range res.TopK {
+		got[id] = true
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("true top-%d item %s missing from %v", k, id, res.TopK)
+		}
+	}
+	if len(res.Rounds) < 2 {
+		t.Errorf("expected multiple tournament rounds, got %d", len(res.Rounds))
+	}
+	if res.Makespan <= 0 || res.Paid() <= 0 {
+		t.Errorf("missing makespan/cost: %v / %d", res.Makespan, res.Paid())
+	}
+}
+
+func TestRunTopKDegenerateCases(t *testing.T) {
+	e, err := perfectExecutor(37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := DotImages(5, 10, 100, randx.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunTopK(nil, 2, 3, UniformPrice(1)); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := e.RunTopK(items, 0, 3, UniformPrice(1)); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// k >= n returns everything, best first, without crowd work.
+	res, err := e.RunTopK(items, 5, 3, UniformPrice(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopK) != 5 || res.Paid() != 0 {
+		t.Errorf("k=n shortcut wrong: %v paid %d", res.TopK, res.Paid())
+	}
+}
+
+func TestRunTopKNoisyStillReasonable(t *testing.T) {
+	e, err := noisyExecutor(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := DotImages(16, 10, 200, randx.New(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4
+	res, err := e.RunTopK(items, k, 5, UniformPrice(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least half of the noisy top-k should be truly top-k.
+	truth := make(map[string]bool, k)
+	for _, id := range items.ByValue().IDs()[:k] {
+		truth[id] = true
+	}
+	hits := 0
+	for _, id := range res.TopK {
+		if truth[id] {
+			hits++
+		}
+	}
+	if hits < k/2 {
+		t.Errorf("noisy top-%d recovered only %d true members: %v", k, hits, res.TopK)
+	}
+}

@@ -1,0 +1,169 @@
+package crowddb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PlanTopKRound emits one round of the tournament top-k operator: the
+// survivors are partitioned into pods of podSize, and every pod runs all
+// its internal pairwise comparisons in parallel. The caller advances the
+// top half of each pod by Copeland score (pairwise wins).
+func PlanTopKRound(survivors Dataset, round, reps, podSize int) (Plan, []Dataset, error) {
+	if len(survivors) < 2 {
+		return Plan{}, nil, fmt.Errorf("crowddb: a top-k round needs at least 2 survivors, got %d", len(survivors))
+	}
+	if reps < 1 {
+		return Plan{}, nil, fmt.Errorf("crowddb: reps must be >= 1, got %d", reps)
+	}
+	if podSize < 2 {
+		return Plan{}, nil, fmt.Errorf("crowddb: pod size must be >= 2, got %d", podSize)
+	}
+	plan := Plan{Label: fmt.Sprintf("top-k-round-%d", round)}
+	var pods []Dataset
+	for start := 0; start < len(survivors); start += podSize {
+		end := start + podSize
+		if end > len(survivors) {
+			end = len(survivors)
+		}
+		pod := survivors[start:end]
+		pods = append(pods, pod)
+		for i := 0; i < len(pod); i++ {
+			for j := i + 1; j < len(pod); j++ {
+				plan.Tasks = append(plan.Tasks, VoteTask{
+					Kind:  VoteCompare,
+					A:     pod[i].ID,
+					B:     pod[j].ID,
+					Truth: pod[i].Value > pod[j].Value,
+					Diff:  compareDifficulty(pod[i], pod[j]),
+					Reps:  reps,
+				})
+			}
+		}
+	}
+	return plan, pods, nil
+}
+
+// TopKResult is the outcome of a crowd top-k query.
+type TopKResult struct {
+	// TopK holds the chosen ids, best first by the final round's scores.
+	TopK []string
+	// Makespan is the wall clock across all sequential rounds.
+	Makespan float64
+	// Rounds holds the per-round outcomes.
+	Rounds []PhaseOutcome
+}
+
+// Paid returns the total budget units spent across rounds.
+func (t TopKResult) Paid() int {
+	total := 0
+	for _, p := range t.Rounds {
+		total += p.Paid
+	}
+	return total
+}
+
+// RunTopK executes the tournament top-k query (Davidson et al.,
+// reference [10] of the paper): rounds of pod-local pairwise voting
+// eliminate the bottom half of each pod until at most max(2k, podSize)
+// survivors remain, then one full pairwise round ranks the finalists and
+// the best k are returned. Each round is a parallel marketplace phase;
+// rounds run sequentially, so the makespan accumulates — exactly the
+// multi-phase job structure whose latency the H-Tuning problem prices.
+func (e *Executor) RunTopK(items Dataset, k, reps int, policy PricePolicy) (TopKResult, error) {
+	if len(items) == 0 {
+		return TopKResult{}, fmt.Errorf("crowddb: top-k needs items")
+	}
+	if k < 1 {
+		return TopKResult{}, fmt.Errorf("crowddb: k must be >= 1, got %d", k)
+	}
+	if k >= len(items) {
+		return TopKResult{TopK: items.ByValue().IDs()}, nil
+	}
+	const podSize = 4
+	byID := make(map[string]Item, len(items))
+	for _, it := range items {
+		byID[it.ID] = it
+	}
+	survivors := append(Dataset(nil), items...)
+	var result TopKResult
+	round := 0
+	cut := 2 * k
+	if cut < podSize {
+		cut = podSize
+	}
+	for len(survivors) > cut {
+		plan, pods, err := PlanTopKRound(survivors, round, reps, podSize)
+		if err != nil {
+			return TopKResult{}, err
+		}
+		out, err := e.runRound(plan, policy, round)
+		if err != nil {
+			return TopKResult{}, err
+		}
+		result.Makespan += out.Makespan
+		result.Rounds = append(result.Rounds, out)
+		wins := copelandScores(out.Decisions)
+		var next Dataset
+		for _, pod := range pods {
+			keep := (len(pod) + 1) / 2
+			ranked := rankByWins(pod, wins)
+			for _, id := range ranked[:keep] {
+				next = append(next, byID[id])
+			}
+		}
+		if len(next) >= len(survivors) {
+			return TopKResult{}, fmt.Errorf("crowddb: top-k round %d made no progress (%d -> %d survivors)", round, len(survivors), len(next))
+		}
+		survivors = next
+		round++
+	}
+	// Final full-pairwise round among the finalists.
+	plan, _, err := PlanTopKRound(survivors, round, reps, len(survivors))
+	if err != nil {
+		return TopKResult{}, err
+	}
+	out, err := e.runRound(plan, policy, round)
+	if err != nil {
+		return TopKResult{}, err
+	}
+	result.Makespan += out.Makespan
+	result.Rounds = append(result.Rounds, out)
+	ranked := rankByWins(survivors, copelandScores(out.Decisions))
+	result.TopK = ranked[:k]
+	return result, nil
+}
+
+// runRound executes one plan with a per-round seed offset so sequential
+// rounds see fresh marketplace randomness.
+func (e *Executor) runRound(plan Plan, policy PricePolicy, round int) (PhaseOutcome, error) {
+	exec := *e
+	exec.Config.Seed = e.Config.Seed + uint64(round+1)*0x9e3779b9
+	return exec.RunPlan(plan, policy)
+}
+
+// copelandScores tallies pairwise wins per item id.
+func copelandScores(decisions []Decision) map[string]int {
+	wins := make(map[string]int, len(decisions))
+	for _, d := range decisions {
+		if d.Outcome {
+			wins[d.Task.A]++
+		} else {
+			wins[d.Task.B]++
+		}
+	}
+	return wins
+}
+
+// rankByWins orders the pod's ids by descending win count, id ascending
+// on ties for determinism.
+func rankByWins(pod Dataset, wins map[string]int) []string {
+	ids := pod.IDs()
+	sort.SliceStable(ids, func(i, j int) bool {
+		if wins[ids[i]] != wins[ids[j]] {
+			return wins[ids[i]] > wins[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}

@@ -1,0 +1,266 @@
+// Package deadline reimplements the pricing model of the paper's closest
+// related work — Gao & Parameswaran, "Finish Them! Pricing Algorithms for
+// Human Computation" (VLDB 2014), reference [29] of "Tuning Crowdsourced
+// Human Computation" — as a comparator baseline.
+//
+// The [29] model differs from the HPU tuner in exactly the two ways the
+// paper calls out (Sec 2):
+//
+//   - it prices only the acceptance phase ("[29] only considers the
+//     latency of the tasks' acceptance"), ignoring processing time;
+//   - it assumes pure parallel processing: every answer repetition is an
+//     independent task posted simultaneously, never a sequential chain.
+//
+// Two optimization problems from [29] are provided:
+//
+//   - MinCostForDeadlines: minimize total payment such that every task
+//     is accepted by its deterministic deadline with the requested
+//     confidence (problem 1 of [29]);
+//   - MinimizeExpectedMax: minimize the expected acceptance makespan of
+//     the whole task set under a fixed budget (problem 2 of [29], the
+//     objective shared with the H-Tuning problem).
+//
+// The experiments score both tuners under the true HPU model (sequential
+// repetitions, on-hold plus processing): the comparator matches the
+// H-Tuning solvers when processing is negligible and repetitions are
+// single, and falls behind once either assumption bites.
+package deadline
+
+import (
+	"fmt"
+	"math"
+
+	"hputune/internal/htuning"
+	"hputune/internal/numeric"
+)
+
+// Task is one atomic task with its own completion deadline, the unit of
+// the [29] min-cost problem.
+type Task struct {
+	// Type supplies the acceptance rate model λo(c).
+	Type *htuning.TaskType
+	// Deadline is the latest acceptable acceptance time, in the same
+	// clock units as the rate model.
+	Deadline float64
+}
+
+// MinCostResult is the outcome of MinCostForDeadlines.
+type MinCostResult struct {
+	// Prices holds the chosen per-task payment, aligned with the input.
+	Prices []int
+	// Total is the summed payment.
+	Total int
+	// Confidence is the per-task acceptance probability guaranteed by
+	// each deadline.
+	Confidence float64
+}
+
+// MinCostForDeadlines solves problem 1 of [29] under the HPU acceptance
+// model: for each task independently, find the smallest integer payment c
+// such that P(Exp(λo(c)) ≤ deadline) ≥ confidence, i.e.
+// λo(c) ≥ −ln(1−confidence)/deadline. Payments are scanned upward from 1
+// to maxPrice so no monotonicity of the rate model is assumed; a task
+// whose deadline is unreachable at maxPrice yields an error identifying
+// the task.
+func MinCostForDeadlines(tasks []Task, confidence float64, maxPrice int) (MinCostResult, error) {
+	if len(tasks) == 0 {
+		return MinCostResult{}, fmt.Errorf("deadline: no tasks")
+	}
+	if !(confidence > 0 && confidence < 1) {
+		return MinCostResult{}, fmt.Errorf("deadline: confidence %v outside (0, 1)", confidence)
+	}
+	if maxPrice < 1 {
+		return MinCostResult{}, fmt.Errorf("deadline: maxPrice %d below 1", maxPrice)
+	}
+	res := MinCostResult{Prices: make([]int, len(tasks)), Confidence: confidence}
+	for i, task := range tasks {
+		if err := task.Type.Validate(); err != nil {
+			return MinCostResult{}, fmt.Errorf("deadline: task %d: %w", i, err)
+		}
+		if !(task.Deadline > 0) {
+			return MinCostResult{}, fmt.Errorf("deadline: task %d deadline %v not positive", i, task.Deadline)
+		}
+		need := -math.Log(1-confidence) / task.Deadline
+		price := 0
+		for c := 1; c <= maxPrice; c++ {
+			if task.Type.Accept.Rate(float64(c)) >= need {
+				price = c
+				break
+			}
+		}
+		if price == 0 {
+			return MinCostResult{}, fmt.Errorf("deadline: task %d (%s) cannot meet deadline %v with confidence %v at any price <= %d (needs rate %.4g)",
+				i, task.Type.Name, task.Deadline, confidence, maxPrice, need)
+		}
+		res.Prices[i] = price
+		res.Total += price
+	}
+	return res, nil
+}
+
+// ParallelResult is the outcome of MinimizeExpectedMax.
+type ParallelResult struct {
+	// Prices is the uniform per-repetition price chosen for each group.
+	Prices []int
+	// Objective is the comparator's own objective at Prices: the expected
+	// acceptance-phase makespan under the pure-parallel assumption.
+	Objective float64
+	// Spent is the budget consumed.
+	Spent int
+}
+
+// MinimizeExpectedMax solves problem 2 of [29] under the HPU acceptance
+// model: spend the budget to minimize E[max acceptance time] where every
+// repetition of every task is posted in parallel. Group i therefore
+// contributes Tasks×Reps iid Exp(λo(p_i)) acceptance clocks. Allocation
+// is greedy by marginal makespan decrease; the objective is evaluated
+// exactly as E[max] = ∫(1 − Π_i F_i^{n_i·k_i}) dt. Because the
+// acceptance-phase makespan under any price vector strictly decreases
+// when any group's price rises (for monotone rate models), the greedy
+// step is well defined; for non-monotone models steps that do not help
+// are skipped.
+func MinimizeExpectedMax(p htuning.Problem) (ParallelResult, error) {
+	if err := p.Validate(); err != nil {
+		return ParallelResult{}, err
+	}
+	n := len(p.Groups)
+	prices := make([]int, n)
+	costs := make([]int, n)
+	spent := 0
+	for i, g := range p.Groups {
+		prices[i] = 1
+		costs[i] = g.UnitCost()
+		spent += costs[i]
+	}
+	current, err := parallelMakespan(p.Groups, prices)
+	if err != nil {
+		return ParallelResult{}, err
+	}
+	remaining := p.Budget - spent
+	for {
+		bestI := -1
+		bestVal := current
+		for i := range p.Groups {
+			if costs[i] > remaining {
+				continue
+			}
+			prices[i]++
+			cand, err := parallelMakespan(p.Groups, prices)
+			prices[i]--
+			if err != nil {
+				return ParallelResult{}, err
+			}
+			if cand < bestVal-1e-15 {
+				bestVal = cand
+				bestI = i
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		prices[bestI]++
+		current = bestVal
+		remaining -= costs[bestI]
+		spent += costs[bestI]
+	}
+	return ParallelResult{Prices: prices, Objective: current, Spent: spent}, nil
+}
+
+// parallelMakespan computes E[max acceptance time] when every repetition
+// of group i is an independent Exp(λo(p_i)) clock:
+// ∫₀^∞ (1 − Π_i (1 − e^{−λ_i t})^{n_i k_i}) dt.
+func parallelMakespan(groups []htuning.Group, prices []int) (float64, error) {
+	rates := make([]float64, len(groups))
+	counts := make([]int, len(groups))
+	for i, g := range groups {
+		r := g.Type.Accept.Rate(float64(prices[i]))
+		if !(r > 0) {
+			return 0, fmt.Errorf("deadline: group %d rate %v at price %d", i, r, prices[i])
+		}
+		rates[i] = r
+		counts[i] = g.Tasks * g.Reps
+	}
+	if len(groups) == 1 {
+		// Closed form: E[max of m iid Exp(λ)] = H_m/λ.
+		return numeric.Harmonic(counts[0]) / rates[0], nil
+	}
+	v, err := numeric.IntegrateToInf(func(t float64) float64 {
+		prod := 1.0
+		for i, rate := range rates {
+			f := 1 - math.Exp(-rate*t)
+			if f == 0 {
+				return 1
+			}
+			prod *= powInt(f, counts[i])
+			if prod == 0 {
+				return 1
+			}
+		}
+		return 1 - prod
+	}, 0, 1e-9)
+	if err != nil {
+		return v, fmt.Errorf("deadline: makespan integral: %w", err)
+	}
+	return v, nil
+}
+
+// powInt computes x^n for n >= 0 by binary exponentiation.
+func powInt(x float64, n int) float64 {
+	r := 1.0
+	for n > 0 {
+		if n&1 == 1 {
+			r *= x
+		}
+		x *= x
+		n >>= 1
+	}
+	return r
+}
+
+// QuantileDeadline returns the time by which the whole pure-parallel task
+// set is accepted with the requested confidence under uniform per-group
+// prices: the q-quantile of max over Π_i F_i^{n_i k_i}, found by
+// bisection. This is the deadline [29] would quote for a given budget
+// allocation.
+func QuantileDeadline(groups []htuning.Group, prices []int, confidence float64) (float64, error) {
+	if len(groups) != len(prices) {
+		return 0, fmt.Errorf("deadline: %d prices for %d groups", len(prices), len(groups))
+	}
+	if !(confidence > 0 && confidence < 1) {
+		return 0, fmt.Errorf("deadline: confidence %v outside (0, 1)", confidence)
+	}
+	rates := make([]float64, len(groups))
+	counts := make([]int, len(groups))
+	slowest := math.Inf(1)
+	for i, g := range groups {
+		if err := g.Validate(); err != nil {
+			return 0, err
+		}
+		r := g.Type.Accept.Rate(float64(prices[i]))
+		if !(r > 0) {
+			return 0, fmt.Errorf("deadline: group %d rate %v at price %d", i, r, prices[i])
+		}
+		rates[i] = r
+		counts[i] = g.Tasks * g.Reps
+		if r < slowest {
+			slowest = r
+		}
+	}
+	cdf := func(t float64) float64 {
+		prod := 1.0
+		for i, rate := range rates {
+			prod *= powInt(1-math.Exp(-rate*t), counts[i])
+		}
+		return prod
+	}
+	// Bracket the quantile: the all-tasks CDF is below any single task's,
+	// so start from the slowest group's scale and grow.
+	hi := 1 / slowest
+	for cdf(hi) < confidence {
+		hi *= 2
+		if hi > 1e18 {
+			return 0, fmt.Errorf("deadline: quantile bracket failed")
+		}
+	}
+	return numeric.Bisect(func(t float64) float64 { return cdf(t) - confidence }, 0, hi, 1e-10)
+}

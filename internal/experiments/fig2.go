@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hputune/internal/htuning"
+	"hputune/internal/pricing"
+	"hputune/internal/randx"
+	"hputune/internal/textplot"
+	"hputune/internal/workload"
+)
+
+func init() {
+	register("fig2-homo",
+		"Fig 2 (a)-(f): Scenario I, EA vs biased splits over six price-rate models",
+		func(cfg Config) (Result, error) { return runFig2(cfg, workload.Homogeneous) })
+	register("fig2-repe",
+		"Fig 2 (g)-(l): Scenario II, RA vs task-even/rep-even",
+		func(cfg Config) (Result, error) { return runFig2(cfg, workload.Repetition) })
+	register("fig2-heter",
+		"Fig 2 (m)-(r): Scenario III, HA vs task-even/rep-even",
+		func(cfg Config) (Result, error) { return runFig2(cfg, workload.Heterogeneous) })
+}
+
+// fig2Models returns the panel models, trimmed in fast mode.
+func fig2Models(cfg Config) []pricing.RateModel {
+	models := pricing.SyntheticModels()
+	if cfg.Fast {
+		return []pricing.RateModel{models[0], models[4]} // one linear, one non-linear
+	}
+	return models
+}
+
+func fig2Budgets(cfg Config) []int {
+	budgets := workload.Fig2Budgets()
+	if cfg.Fast {
+		return []int{budgets[0], budgets[4], budgets[8]}
+	}
+	return budgets
+}
+
+// runFig2 regenerates one Fig 2 row (six panels = one figure per model).
+// Every strategy — tuned and baseline — is materialized as a concrete
+// discrete allocation on the paper's payment grid and scored by Monte
+// Carlo simulation of the full job (max over task latencies), with a
+// shared seed per budget so comparisons are paired.
+func runFig2(cfg Config, scenario workload.Scenario) (Result, error) {
+	var res Result
+	for _, model := range fig2Models(cfg) {
+		fig, notes, err := fig2Panel(cfg, scenario, model)
+		if err != nil {
+			return Result{}, fmt.Errorf("fig2 %s (%s): %w", scenario, model.Name(), err)
+		}
+		res.Figures = append(res.Figures, fig)
+		res.Notes = append(res.Notes, notes...)
+	}
+	return res, nil
+}
+
+// fig2Phase: Scenarios I and II tune (and are scored on) the on-hold
+// phase — processing time is iid across all tasks there, exactly the
+// paper's argument for dropping it. Scenario III is scored on wall-clock
+// latency because difficulty differences make processing allocation-
+// relevant.
+func fig2Phase(scenario workload.Scenario) htuning.Phase {
+	if scenario == workload.Heterogeneous {
+		return htuning.PhaseBoth
+	}
+	return htuning.PhaseOnHold
+}
+
+// fig2Panel evaluates one (scenario, model) panel over the budget sweep.
+func fig2Panel(cfg Config, scenario workload.Scenario, model pricing.RateModel) (textplot.Figure, []string, error) {
+	budgets := fig2Budgets(cfg)
+	est := htuning.NewEstimator()
+
+	var seriesNames []string
+	switch scenario {
+	case workload.Homogeneous:
+		seriesNames = []string{"opt", "bias_1", "bias_2"}
+	default:
+		seriesNames = []string{"opt", "te", "re"}
+	}
+	series := make([]textplot.Series, len(seriesNames))
+	for i, n := range seriesNames {
+		series[i] = textplot.Series{Name: n}
+	}
+
+	var notes []string
+	optWins := 0
+	for _, budget := range budgets {
+		p, err := workload.Fig2Problem(scenario, model, budget)
+		if err != nil {
+			return textplot.Figure{}, nil, err
+		}
+		allocs, err := fig2Allocations(est, p, scenario, cfg.Seed)
+		if err != nil {
+			return textplot.Figure{}, nil, err
+		}
+		if len(allocs) != len(series) {
+			return textplot.Figure{}, nil, fmt.Errorf("internal: %d allocations for %d series", len(allocs), len(series))
+		}
+		lats := make([]float64, len(allocs))
+		for si, a := range allocs {
+			// Shared seed per budget pairs the strategies' noise.
+			r := randx.New(cfg.Seed ^ (uint64(budget) * 0x9e3779b97f4a7c15))
+			lat, err := htuning.SimulateJobLatency(p, a, fig2Phase(scenario), cfg.Trials, r)
+			if err != nil {
+				return textplot.Figure{}, nil, fmt.Errorf("budget %d strategy %s: %w", budget, seriesNames[si], err)
+			}
+			lats[si] = lat
+			series[si].X = append(series[si].X, float64(budget))
+			series[si].Y = append(series[si].Y, lat)
+		}
+		best := true
+		for si := 1; si < len(lats); si++ {
+			if lats[0] > lats[si]*1.03 {
+				best = false
+			}
+		}
+		if best {
+			optWins++
+		}
+	}
+	notes = append(notes, fmt.Sprintf("fig2-%s(%s): opt best-or-tied (3%% band) at %d/%d budgets",
+		scenario, model.Name(), optWins, len(budgets)))
+
+	fig := textplot.Figure{
+		ID:     fmt.Sprintf("fig2-%s-%s", scenario, model.Name()),
+		Title:  fmt.Sprintf("Scenario %s under λo(p) = %s", scenario, model.Name()),
+		XLabel: "budget",
+		YLabel: "latency",
+		Series: series,
+	}
+	return fig, notes, nil
+}
+
+// fig2Allocations produces the strategies' concrete discrete allocations
+// for one problem instance, in series order.
+func fig2Allocations(est *htuning.Estimator, p htuning.Problem, scenario workload.Scenario, seed uint64) ([]htuning.Allocation, error) {
+	switch scenario {
+	case workload.Homogeneous:
+		opt, err := htuning.EvenAllocation(p)
+		if err != nil {
+			return nil, fmt.Errorf("EA: %w", err)
+		}
+		b1, err := htuning.BiasAllocation(p, 0.67, randx.New(seed+1))
+		if err != nil {
+			return nil, fmt.Errorf("bias 0.67: %w", err)
+		}
+		b2, err := htuning.BiasAllocation(p, 0.75, randx.New(seed+2))
+		if err != nil {
+			return nil, fmt.Errorf("bias 0.75: %w", err)
+		}
+		return []htuning.Allocation{opt, b1, b2}, nil
+	case workload.Repetition, workload.Heterogeneous:
+		var opt htuning.Allocation
+		if scenario == workload.Heterogeneous {
+			res, err := htuning.SolveHeterogeneous(est, p)
+			if err != nil {
+				return nil, fmt.Errorf("HA: %w", err)
+			}
+			opt, err = res.Allocation(p)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			res, err := htuning.SolveRepetition(est, p)
+			if err != nil {
+				return nil, fmt.Errorf("RA: %w", err)
+			}
+			var aerr error
+			opt, aerr = res.Allocation(p)
+			if aerr != nil {
+				return nil, aerr
+			}
+		}
+		te, err := htuning.TaskEvenAllocation(p)
+		if err != nil {
+			return nil, fmt.Errorf("task-even: %w", err)
+		}
+		re, err := htuning.RepEvenAllocation(p)
+		if err != nil {
+			return nil, fmt.Errorf("rep-even: %w", err)
+		}
+		return []htuning.Allocation{opt, te, re}, nil
+	}
+	return nil, fmt.Errorf("unknown scenario %d", scenario)
+}

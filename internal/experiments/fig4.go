@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hputune/internal/inference"
+	"hputune/internal/market"
+	"hputune/internal/numeric"
+	"hputune/internal/textplot"
+	"hputune/internal/workload"
+)
+
+func init() {
+	register("fig4",
+		"Fig 4: reward vs latency on a 10-repetition task ($0.05-$0.12) and λ̂ estimates",
+		runFig4)
+}
+
+// fig4Rewards are the paper's reward levels in cents.
+var fig4Rewards = []int{5, 8, 10, 12}
+
+// runFig4 runs one 10-repetition image-filter task per reward level and
+// plots the completion epoch of each repetition against its order,
+// averaged over cfg.Rounds replications — the paper's Fig 4. It also
+// re-estimates λ at each reward from the on-hold durations, reproducing
+// the λ₁..λ₄ ≈ {0.0038, 0.0062, 0.0121, 0.0131} s⁻¹ support for the
+// Linearity Hypothesis.
+func runFig4(cfg Config) (Result, error) {
+	const reps = 10
+	class, err := workload.ImageFilterClass(4)
+	if err != nil {
+		return Result{}, err
+	}
+	var series []textplot.Series
+	var notes []string
+	var estRates []float64
+	for ri, reward := range fig4Rewards {
+		epochs := make([]*numeric.Kahan, reps)
+		for i := range epochs {
+			epochs[i] = numeric.NewKahan()
+		}
+		var onholds []float64
+		for round := 0; round < cfg.Rounds; round++ {
+			sim, err := market.New(market.Config{Seed: cfg.Seed + uint64(ri*1000+round)})
+			if err != nil {
+				return Result{}, err
+			}
+			prices := make([]int, reps)
+			for i := range prices {
+				prices[i] = reward
+			}
+			err = sim.Post(market.TaskSpec{
+				ID:        fmt.Sprintf("fig4-%dc", reward),
+				Class:     class,
+				RepPrices: prices,
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			results, err := sim.Run()
+			if err != nil {
+				return Result{}, err
+			}
+			for _, res := range results {
+				for i, rep := range res.Reps {
+					if i < reps {
+						epochs[i].Add(rep.Done / 60)
+					}
+					onholds = append(onholds, rep.OnHold())
+				}
+			}
+		}
+		x := make([]float64, reps)
+		y := make([]float64, reps)
+		for i := 0; i < reps; i++ {
+			x[i] = float64(i + 1)
+			y[i] = epochs[i].Sum() / float64(cfg.Rounds)
+		}
+		series = append(series, textplot.Series{
+			Name: fmt.Sprintf("$0.%02d", reward),
+			X:    x,
+			Y:    y,
+		})
+		est, err := inference.EstimateFromDurations(onholds)
+		if err != nil {
+			return Result{}, fmt.Errorf("reward %d: %w", reward, err)
+		}
+		estRates = append(estRates, est.Rate)
+		notes = append(notes, fmt.Sprintf("fig4: reward $0.%02d → λ̂o = %.4f s⁻¹ (n=%d)", reward, est.Rate, est.N))
+	}
+	// Higher rewards must finish sooner: compare final-repetition epochs.
+	last := func(s textplot.Series) float64 { return s.Y[len(s.Y)-1] }
+	if !(last(series[0]) > last(series[len(series)-1])) {
+		notes = append(notes, "WARNING: increasing the reward did not shorten the job")
+	} else {
+		notes = append(notes, fmt.Sprintf("fig4: total latency falls from %.1f min ($0.05) to %.1f min ($0.12) — 'increase on rewards incurs shorter latencies'",
+			last(series[0]), last(series[len(series)-1])))
+	}
+	xs := make([]float64, len(fig4Rewards))
+	for i, r := range fig4Rewards {
+		xs[i] = float64(r)
+	}
+	fit, err := numeric.FitLinear(xs, estRates)
+	if err != nil {
+		return Result{}, err
+	}
+	notes = append(notes, fmt.Sprintf("fig4: λ̂o(c) linear fit %s — supports Hypothesis 1", fit))
+
+	fig := textplot.Figure{
+		ID:     "fig4",
+		Title:  "Money vs latency (10 sequential repetitions)",
+		XLabel: "order",
+		YLabel: "completion epoch/min",
+		Series: series,
+	}
+	return Result{Figures: []textplot.Figure{fig}, Notes: notes}, nil
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hputune/internal/htuning"
+	"hputune/internal/market"
+	"hputune/internal/numeric"
+	"hputune/internal/textplot"
+	"hputune/internal/workload"
+)
+
+func init() {
+	register("fig5a",
+		"Fig 5(a): task difficulty (4/6/8 votes) vs phase-1 latency at $0.05 and $0.08",
+		func(cfg Config) (Result, error) { return runFig5Difficulty(cfg, phase1) })
+	register("fig5b",
+		"Fig 5(b): task difficulty (4/6/8 votes) vs phase-2 latency at $0.05 and $0.08",
+		func(cfg Config) (Result, error) { return runFig5Difficulty(cfg, phase2) })
+	register("fig5c",
+		"Fig 5(c): tuned allocation (OPT) vs equal-payment heuristic (HEU), budgets $6-$10",
+		runFig5c)
+}
+
+type fig5Phase int
+
+const (
+	phase1 fig5Phase = iota
+	phase2
+)
+
+// runFig5Difficulty posts 10 single-repetition tasks per (votes, price)
+// combination and plots the chosen phase's latency by acceptance order,
+// averaged over rounds — the paper's Fig 5(a)/(b): harder tasks (more
+// internal votes) are accepted more slowly and processed more slowly, and
+// a higher reward shortens phase 1 but not phase 2.
+func runFig5Difficulty(cfg Config, ph fig5Phase) (Result, error) {
+	const nTasks = 10
+	votesList := []int{4, 6, 8}
+	pricesList := []int{5, 8}
+	var series []textplot.Series
+	var notes []string
+	meanByConfig := map[string]float64{}
+	for _, price := range pricesList {
+		for _, votes := range votesList {
+			class, err := workload.ImageFilterClass(votes)
+			if err != nil {
+				return Result{}, err
+			}
+			acc := make([]*numeric.Kahan, nTasks)
+			for i := range acc {
+				acc[i] = numeric.NewKahan()
+			}
+			for round := 0; round < cfg.Rounds; round++ {
+				sim, err := market.New(market.Config{Seed: cfg.Seed + uint64(votes*100+price*10+round)})
+				if err != nil {
+					return Result{}, err
+				}
+				for i := 0; i < nTasks; i++ {
+					err := sim.Post(market.TaskSpec{
+						ID:        fmt.Sprintf("fig5-%dv-%dc-%d", votes, price, i),
+						Class:     class,
+						RepPrices: []int{price},
+					})
+					if err != nil {
+						return Result{}, err
+					}
+				}
+				results, err := sim.Run()
+				if err != nil {
+					return Result{}, err
+				}
+				phases := market.CollectPhases(results)
+				for i := 0; i < nTasks && i < len(phases.OnHold); i++ {
+					switch ph {
+					case phase1:
+						acc[i].Add(phases.AcceptEpochs[i] / 60) // minutes
+					case phase2:
+						acc[i].Add(phases.Processing[i]) // seconds, like the paper
+					}
+				}
+			}
+			x := make([]float64, nTasks)
+			y := make([]float64, nTasks)
+			for i := 0; i < nTasks; i++ {
+				x[i] = float64(i + 1)
+				y[i] = acc[i].Sum() / float64(cfg.Rounds)
+			}
+			name := fmt.Sprintf("$0.%02d+%dv", price, votes)
+			series = append(series, textplot.Series{Name: name, X: x, Y: y})
+			meanByConfig[name] = numeric.Mean(y)
+		}
+	}
+	// Difficulty ordering notes: at fixed price, more votes ⇒ slower.
+	for _, price := range pricesList {
+		e := meanByConfig[fmt.Sprintf("$0.%02d+4v", price)]
+		h := meanByConfig[fmt.Sprintf("$0.%02d+8v", price)]
+		label := "phase-1 epoch"
+		if ph == phase2 {
+			label = "phase-2 latency"
+		}
+		notes = append(notes, fmt.Sprintf("fig5%s: at $0.%02d mean %s rises from %.2f (4v) to %.2f (8v)",
+			phaseSuffix(ph), price, label, e, h))
+		if h <= e {
+			notes = append(notes, fmt.Sprintf("WARNING: difficulty did not slow %s at $0.%02d", label, price))
+		}
+	}
+	id := "fig5a"
+	title := "Difficulty vs Phase 1 (acceptance epoch by order)"
+	ylabel := "latency/min"
+	if ph == phase2 {
+		id = "fig5b"
+		title = "Difficulty vs Phase 2 (processing latency by order)"
+		ylabel = "latency/second"
+	}
+	fig := textplot.Figure{ID: id, Title: title, XLabel: "order", YLabel: ylabel, Series: series}
+	return Result{Figures: []textplot.Figure{fig}, Notes: notes}, nil
+}
+
+func phaseSuffix(ph fig5Phase) string {
+	if ph == phase2 {
+		return "b"
+	}
+	return "a"
+}
+
+// runFig5c reproduces the paper's tuning comparison on the marketplace:
+// three task types with 10/15/20 required repetitions, budgets $6–$10;
+// OPT (Algorithm 3) against the equal-payment heuristic. Each point is
+// the mean completion time per task type over cfg.Rounds marketplace
+// runs, in minutes — the layout of the paper's Fig 5(c).
+func runFig5c(cfg Config) (Result, error) {
+	budgets := workload.Fig5cBudgets()
+	if cfg.Fast {
+		budgets = []int{budgets[0], budgets[len(budgets)-1]}
+	}
+	est := htuning.NewEstimator()
+	typeNames := []string{"t1", "t2", "t3"}
+	mkSeries := func(prefix string) []textplot.Series {
+		out := make([]textplot.Series, len(typeNames))
+		for i, tn := range typeNames {
+			out[i] = textplot.Series{Name: prefix + "(" + tn + ")"}
+		}
+		return out
+	}
+	optSeries := mkSeries("OPT")
+	heuSeries := mkSeries("HEU")
+	var notes []string
+
+	for _, budget := range budgets {
+		p, err := workload.Fig5cProblem(budget)
+		if err != nil {
+			return Result{}, err
+		}
+		optRes, err := htuning.SolveHeterogeneous(est, p)
+		if err != nil {
+			return Result{}, fmt.Errorf("budget %d OPT: %w", budget, err)
+		}
+		optAlloc, err := optRes.Allocation(p)
+		if err != nil {
+			return Result{}, err
+		}
+		heuAlloc, err := htuning.UniformTypeAllocation(p)
+		if err != nil {
+			return Result{}, fmt.Errorf("budget %d HEU: %w", budget, err)
+		}
+		optLat, err := fig5cRun(cfg, p, optAlloc, uint64(budget)*2)
+		if err != nil {
+			return Result{}, err
+		}
+		heuLat, err := fig5cRun(cfg, p, heuAlloc, uint64(budget)*2+1)
+		if err != nil {
+			return Result{}, err
+		}
+		for i := range typeNames {
+			optSeries[i].X = append(optSeries[i].X, float64(budget)/100)
+			optSeries[i].Y = append(optSeries[i].Y, optLat[i])
+			heuSeries[i].X = append(heuSeries[i].X, float64(budget)/100)
+			heuSeries[i].Y = append(heuSeries[i].Y, heuLat[i])
+		}
+		optMax, heuMax := maxOf(optLat), maxOf(heuLat)
+		notes = append(notes, fmt.Sprintf("fig5c: budget $%.0f OPT makespan %.1f min vs HEU %.1f min (prices %v)",
+			float64(budget)/100, optMax, heuMax, optRes.Prices))
+		if optMax > heuMax*1.05 {
+			notes = append(notes, fmt.Sprintf("WARNING: OPT lost at budget %d", budget))
+		}
+	}
+	fig := textplot.Figure{
+		ID:     "fig5c",
+		Title:  "OPT vs equal-payment heuristic (3 types, 10/15/20 reps)",
+		XLabel: "budget/$",
+		YLabel: "latency/min",
+		Series: append(optSeries, heuSeries...),
+	}
+	return Result{Figures: []textplot.Figure{fig}, Notes: notes}, nil
+}
+
+// fig5cRun replays an allocation on the marketplace cfg.Rounds times and
+// returns the mean completion time (minutes) of each group's tasks.
+func fig5cRun(cfg Config, p htuning.Problem, a htuning.Allocation, salt uint64) ([]float64, error) {
+	acc := make([]*numeric.Kahan, len(p.Groups))
+	for i := range acc {
+		acc[i] = numeric.NewKahan()
+	}
+	specs, err := workload.SpecsForAllocation(p, a, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		sim, err := market.New(market.Config{Seed: cfg.Seed + salt*1_000_003 + uint64(round)})
+		if err != nil {
+			return nil, err
+		}
+		if err := sim.PostAll(specs); err != nil {
+			return nil, err
+		}
+		results, err := sim.Run()
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range results {
+			var gi int
+			if _, err := fmt.Sscanf(res.TaskID, "g%d-", &gi); err != nil || gi < 0 || gi >= len(acc) {
+				return nil, fmt.Errorf("unparseable task id %q", res.TaskID)
+			}
+			acc[gi].Add(res.CompletedAt / 60)
+		}
+	}
+	out := make([]float64, len(acc))
+	for i, k := range acc {
+		out[i] = k.Sum() / float64(cfg.Rounds*p.Groups[i].Tasks)
+	}
+	return out, nil
+}
+
+func maxOf(xs []float64) float64 {
+	best := 0.0
+	for _, x := range xs {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hputune/internal/dist"
+	"hputune/internal/htuning"
+	"hputune/internal/market"
+	"hputune/internal/pricing"
+	"hputune/internal/randx"
+	"hputune/internal/stats"
+	"hputune/internal/textplot"
+	"hputune/internal/workload"
+)
+
+func init() {
+	register("heavytail",
+		"extension: does EA's win survive heavy-tailed (log-normal) processing latencies?",
+		runHeavyTail)
+}
+
+// runHeavyTail swaps the HPU model's exponential processing for
+// log-normal latencies of growing coefficient of variation while keeping
+// the mean fixed, and re-runs the EA-vs-bias comparison. Payment only
+// moves the on-hold phase, so EA keeps its edge — but the edge shrinks
+// as the tail grows, because the makespan (a max over 500 repetitions)
+// is increasingly set by processing draws no payment can shorten. That
+// shrinkage is the finding; the makespan estimator uses the median over
+// rounds because heavy-tailed maxima make round means very noisy.
+// CV = 1 is the exponential baseline.
+func runHeavyTail(cfg Config) (Result, error) {
+	cfg = cfg.Normalize()
+	cvs := []float64{1, 2, 3}
+	if cfg.Fast {
+		cvs = []float64{1, 3}
+	}
+	const budget = 3000
+	const procMean = 0.5 // matches the paper's λp = 2.0
+	p, err := workload.Fig2Problem(workload.Homogeneous, pricing.Linear{K: 1, B: 1}, budget)
+	if err != nil {
+		return Result{}, err
+	}
+	opt, err := htuning.EvenAllocation(p)
+	if err != nil {
+		return Result{}, err
+	}
+	bias, err := htuning.BiasAllocation(p, 0.75, randx.New(cfg.Seed+177))
+	if err != nil {
+		return Result{}, err
+	}
+
+	var xs, optY, biasY []float64
+	optWins := 0
+	for ci, cv := range cvs {
+		var proc dist.Distribution
+		if cv != 1 {
+			ln, err := dist.LogNormalFromMoments(procMean, cv)
+			if err != nil {
+				return Result{}, err
+			}
+			proc = ln
+		}
+		rounds := cfg.Rounds * 3
+		runOne := func(a htuning.Allocation, salt uint64) ([]float64, error) {
+			specs, err := workload.SpecsForAllocation(p, a, 1)
+			if err != nil {
+				return nil, err
+			}
+			// Override every spec's class processing distribution.
+			for i := range specs {
+				class := *specs[i].Class
+				class.Proc = proc
+				specs[i].Class = &class
+			}
+			spans := make([]float64, rounds)
+			for round := range spans {
+				sim, err := market.New(market.Config{
+					Seed: cfg.Seed + salt + uint64(ci*10000+round)*0x9e3779b9,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if err := sim.PostAll(specs); err != nil {
+					return nil, err
+				}
+				if _, err := sim.Run(); err != nil {
+					return nil, err
+				}
+				spans[round] = sim.Makespan()
+			}
+			return spans, nil
+		}
+		optSpans, err := runOne(opt, 11)
+		if err != nil {
+			return Result{}, fmt.Errorf("heavytail cv=%v opt: %w", cv, err)
+		}
+		biasSpans, err := runOne(bias, 22)
+		if err != nil {
+			return Result{}, fmt.Errorf("heavytail cv=%v bias: %w", cv, err)
+		}
+		optLat, err := stats.Quantile(optSpans, 0.5)
+		if err != nil {
+			return Result{}, err
+		}
+		biasLat, err := stats.Quantile(biasSpans, 0.5)
+		if err != nil {
+			return Result{}, err
+		}
+		xs = append(xs, cv)
+		optY = append(optY, optLat)
+		biasY = append(biasY, biasLat)
+		if optLat <= biasLat {
+			optWins++
+		}
+	}
+	fig := textplot.Figure{
+		ID:     "heavytail",
+		Title:  "EA vs bias(0.75) under log-normal processing (mean fixed, CV swept)",
+		XLabel: "processing CV",
+		YLabel: "makespan",
+		Series: []textplot.Series{
+			{Name: "opt", X: xs, Y: optY},
+			{Name: "bias", X: xs, Y: biasY},
+		},
+	}
+	notes := []string{
+		fmt.Sprintf("heavytail: EA won (median makespan) at %d/%d tail levels", optWins, len(cvs)),
+		"expected shape: both curves rise with the tail (max over 500 repetitions) and EA stays at-or-below bias, but its relative edge shrinks — payment moves only the on-hold phase, and a heavier processing tail owns a growing share of the makespan",
+	}
+	return Result{Figures: []textplot.Figure{fig}, Notes: notes}, nil
+}

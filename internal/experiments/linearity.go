@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hputune/internal/inference"
+	"hputune/internal/market"
+	"hputune/internal/pricing"
+	"hputune/internal/textplot"
+)
+
+func init() {
+	register("linearity",
+		"Hypothesis 1: probe sweep estimating λo(c) and its least-squares linearity fit",
+		runLinearity)
+}
+
+// runLinearity validates the inference pipeline end to end: a probe task
+// class with a known linear ground truth λo(c) = 0.9c + 0.4 is swept over
+// prices on the simulated market; the recovered rates must fit a line
+// with slope/intercept near the truth and R² near 1 (Sec 3.3.2).
+func runLinearity(cfg Config) (Result, error) {
+	truth := pricing.Linear{K: 0.9, B: 0.4}
+	class := &market.TaskClass{
+		Name:     "probe",
+		Accept:   truth,
+		ProcRate: 1e6, // probes are submitted immediately (Sec 3.3.1)
+		Accuracy: 1,
+	}
+	tasks := 120 * cfg.Rounds
+	probe := inference.Probe{Class: class, Tasks: tasks, Seed: cfg.Seed}
+	prices := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if cfg.Fast {
+		prices = []int{1, 3, 5, 7}
+	}
+	sweep, err := probe.SweepLinearity(prices, tasks)
+	if err != nil {
+		return Result{}, err
+	}
+	truthY := make([]float64, len(sweep.Prices))
+	for i, p := range sweep.Prices {
+		truthY[i] = truth.Rate(p)
+	}
+	fig := textplot.Figure{
+		ID:     "linearity",
+		Title:  "Probe-estimated λo(c) vs ground truth",
+		XLabel: "price",
+		YLabel: "λo",
+		Series: []textplot.Series{
+			{Name: "estimated", X: sweep.Prices, Y: sweep.Rates},
+			{Name: "truth", X: sweep.Prices, Y: truthY},
+		},
+	}
+	notes := []string{
+		fmt.Sprintf("linearity: fit %s (truth slope %.2f intercept %.2f)", sweep.Fit, truth.K, truth.B),
+	}
+	if sweep.Fit.R2 < 0.97 {
+		notes = append(notes, "WARNING: linearity fit below R²=0.97")
+	}
+	return Result{Figures: []textplot.Figure{fig}, Notes: notes}, nil
+}

@@ -1,0 +1,153 @@
+package htuning
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Allocation assigns a payment (in discrete units) to every repetition of
+// every task of a problem. Entry [g][t][r] is the price of repetition r of
+// task t in group g. Prices are at least 1 unit: a repetition offered for
+// nothing is never accepted.
+type Allocation struct {
+	RepPrices [][][]int
+}
+
+// NewUniformAllocation gives every repetition of every task in every group
+// the group's price from prices (one entry per group).
+func NewUniformAllocation(p Problem, prices []int) (Allocation, error) {
+	if len(prices) != len(p.Groups) {
+		return Allocation{}, fmt.Errorf("htuning: %d group prices for %d groups", len(prices), len(p.Groups))
+	}
+	a := Allocation{RepPrices: make([][][]int, len(p.Groups))}
+	for gi, g := range p.Groups {
+		if prices[gi] < 1 {
+			return Allocation{}, fmt.Errorf("htuning: group %d price %d below 1 unit", gi, prices[gi])
+		}
+		a.RepPrices[gi] = make([][]int, g.Tasks)
+		for ti := 0; ti < g.Tasks; ti++ {
+			row := make([]int, g.Reps)
+			for ri := range row {
+				row[ri] = prices[gi]
+			}
+			a.RepPrices[gi][ti] = row
+		}
+	}
+	return a, nil
+}
+
+// Cost returns the total number of payment units the allocation spends.
+func (a Allocation) Cost() int {
+	total := 0
+	for _, g := range a.RepPrices {
+		for _, t := range g {
+			for _, price := range t {
+				total += price
+			}
+		}
+	}
+	return total
+}
+
+// GroupPrice returns the uniform per-repetition price of group g if the
+// group is uniformly priced, and ok=false otherwise.
+func (a Allocation) GroupPrice(g int) (price int, ok bool) {
+	if g < 0 || g >= len(a.RepPrices) || len(a.RepPrices[g]) == 0 {
+		return 0, false
+	}
+	price = a.RepPrices[g][0][0]
+	for _, t := range a.RepPrices[g] {
+		for _, p := range t {
+			if p != price {
+				return 0, false
+			}
+		}
+	}
+	return price, true
+}
+
+// Validate checks the allocation's shape against p, that every repetition
+// receives at least one unit, and that the total spend does not exceed the
+// budget.
+func (a Allocation) Validate(p Problem) error {
+	if len(a.RepPrices) != len(p.Groups) {
+		return fmt.Errorf("htuning: allocation covers %d groups, problem has %d", len(a.RepPrices), len(p.Groups))
+	}
+	for gi, g := range p.Groups {
+		if len(a.RepPrices[gi]) != g.Tasks {
+			return fmt.Errorf("htuning: group %d: allocation covers %d tasks, group has %d", gi, len(a.RepPrices[gi]), g.Tasks)
+		}
+		for ti, reps := range a.RepPrices[gi] {
+			if len(reps) != g.Reps {
+				return fmt.Errorf("htuning: group %d task %d: %d repetition prices, need %d", gi, ti, len(reps), g.Reps)
+			}
+			for ri, price := range reps {
+				if price < 1 {
+					return fmt.Errorf("htuning: group %d task %d rep %d priced at %d, need >= 1", gi, ti, ri, price)
+				}
+			}
+		}
+	}
+	if c := a.Cost(); c > p.Budget {
+		return fmt.Errorf("htuning: allocation spends %d, budget is %d", c, p.Budget)
+	}
+	return nil
+}
+
+// String renders a compact summary like "g0: 100×5 reps @3 (+20 reps @4)".
+func (a Allocation) String() string {
+	var b strings.Builder
+	for gi, g := range a.RepPrices {
+		if gi > 0 {
+			b.WriteString("; ")
+		}
+		counts := map[int]int{}
+		reps := 0
+		for _, t := range g {
+			for _, p := range t {
+				counts[p]++
+				reps++
+			}
+		}
+		fmt.Fprintf(&b, "g%d[%d tasks, %d reps]:", gi, len(g), reps)
+		if price, ok := a.GroupPrice(gi); ok {
+			fmt.Fprintf(&b, " all @%d", price)
+			continue
+		}
+		first := true
+		for p := minKey(counts); p <= maxKey(counts); p++ {
+			if n, present := counts[p]; present {
+				if !first {
+					b.WriteString(",")
+				}
+				fmt.Fprintf(&b, " %d reps @%d", n, p)
+				first = false
+			}
+		}
+	}
+	return b.String()
+}
+
+func minKey(m map[int]int) int {
+	first := true
+	best := 0
+	for k := range m {
+		if first || k < best {
+			best = k
+			first = false
+		}
+	}
+	return best
+}
+
+func maxKey(m map[int]int) int {
+	first := true
+	best := 0
+	for k := range m {
+		if first || k > best {
+			best = k
+			first = false
+		}
+	}
+	return best
+}

@@ -1,0 +1,200 @@
+package htuning
+
+import (
+	"fmt"
+
+	"hputune/internal/randx"
+)
+
+// Baselines from the paper's evaluation (Sec 5.1):
+//
+//   - BiasAllocation — Scenario I comparison: half the tasks take a share α
+//     of the budget, the other half 1−α; α = 1/2 recovers EA.
+//   - TaskEvenAllocation — every task receives the same total payment,
+//     split evenly over its repetitions ("te").
+//   - RepEvenAllocation — every repetition of every task receives the same
+//     payment ("re").
+//   - UniformTypeAllocation — every group (type) receives the same total
+//     payment (the Fig 5(c) "HEU" heuristic).
+
+// BiasAllocation splits the budget of a single-group problem unevenly:
+// a randomly selected half of the tasks (the "prior group") shares
+// α·B, the remaining tasks share (1−α)·B; within each half, payments are
+// even per repetition with remainders spread one unit at a time. Requires
+// 1/2 ≤ α < 1; α = 1/2 is the even allocation.
+func BiasAllocation(p Problem, alpha float64, r *randx.Rand) (Allocation, error) {
+	if len(p.Groups) != 1 {
+		return Allocation{}, fmt.Errorf("htuning: BiasAllocation handles exactly one group, got %d", len(p.Groups))
+	}
+	if err := p.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	if alpha < 0.5 || alpha >= 1 {
+		return Allocation{}, fmt.Errorf("htuning: bias α = %v outside [0.5, 1)", alpha)
+	}
+	if r == nil {
+		return Allocation{}, fmt.Errorf("htuning: BiasAllocation needs a random source to pick the prior half")
+	}
+	g := p.Groups[0]
+	n, m := g.Tasks, g.Reps
+	nPrior := n / 2
+	if nPrior == 0 {
+		nPrior = 1
+	}
+	nRest := n - nPrior
+	bPrior := int(alpha * float64(p.Budget))
+	bRest := p.Budget - bPrior
+	// Both halves must still afford one unit per repetition.
+	if bPrior < nPrior*m || bRest < nRest*m {
+		return Allocation{}, fmt.Errorf("%w: bias α=%v leaves a half below one unit per repetition", ErrBudgetTooSmall, alpha)
+	}
+
+	perm := r.Perm(n)
+	prior := make(map[int]bool, nPrior)
+	for _, ti := range perm[:nPrior] {
+		prior[ti] = true
+	}
+
+	fill := func(tasks []int, budget int, out [][]int) {
+		if len(tasks) == 0 {
+			return
+		}
+		reps := len(tasks) * m
+		base := budget / reps
+		rem := budget % reps
+		for _, ti := range tasks {
+			row := make([]int, m)
+			for ri := range row {
+				row[ri] = base
+				if rem > 0 {
+					row[ri]++
+					rem--
+				}
+			}
+			out[ti] = row
+		}
+	}
+
+	var priorIdx, restIdx []int
+	for ti := 0; ti < n; ti++ {
+		if prior[ti] {
+			priorIdx = append(priorIdx, ti)
+		} else {
+			restIdx = append(restIdx, ti)
+		}
+	}
+	rows := make([][]int, n)
+	fill(priorIdx, bPrior, rows)
+	fill(restIdx, bRest, rows)
+	return Allocation{RepPrices: [][][]int{rows}}, nil
+}
+
+// TaskEvenAllocation gives every atomic task the same total payment,
+// dividing it evenly over the task's repetitions (the paper's "task-even"
+// baseline: a task needing more repetitions pays less per repetition).
+// Remainder units are spread one per task, then one per repetition.
+func TaskEvenAllocation(p Problem) (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	total := p.TotalTasks()
+	perTask := p.Budget / total
+	remTasks := p.Budget % total
+
+	a := Allocation{RepPrices: make([][][]int, len(p.Groups))}
+	taskCounter := 0
+	for gi, g := range p.Groups {
+		if perTask < g.Reps {
+			return Allocation{}, fmt.Errorf("%w: per-task budget %d below %d repetitions of group %d", ErrBudgetTooSmall, perTask, g.Reps, gi)
+		}
+		a.RepPrices[gi] = make([][]int, g.Tasks)
+		for ti := 0; ti < g.Tasks; ti++ {
+			budget := perTask
+			if taskCounter < remTasks {
+				budget++
+			}
+			taskCounter++
+			row := make([]int, g.Reps)
+			base := budget / g.Reps
+			rem := budget % g.Reps
+			for ri := range row {
+				row[ri] = base
+				if ri < rem {
+					row[ri]++
+				}
+			}
+			a.RepPrices[gi][ti] = row
+		}
+	}
+	return a, nil
+}
+
+// RepEvenAllocation gives every repetition of every task the same payment
+// (the paper's "rep-even" baseline: a task with more repetitions receives
+// a proportionally larger total). Remainder units go one per repetition in
+// index order.
+func RepEvenAllocation(p Problem) (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	totalReps := p.MinBudget() // one unit per repetition == repetition count
+	base := p.Budget / totalReps
+	rem := p.Budget % totalReps
+	if base < 1 {
+		return Allocation{}, fmt.Errorf("%w: budget %d below %d repetitions", ErrBudgetTooSmall, p.Budget, totalReps)
+	}
+	a := Allocation{RepPrices: make([][][]int, len(p.Groups))}
+	for gi, g := range p.Groups {
+		a.RepPrices[gi] = make([][]int, g.Tasks)
+		for ti := 0; ti < g.Tasks; ti++ {
+			row := make([]int, g.Reps)
+			for ri := range row {
+				row[ri] = base
+				if rem > 0 {
+					row[ri]++
+					rem--
+				}
+			}
+			a.RepPrices[gi][ti] = row
+		}
+	}
+	return a, nil
+}
+
+// UniformTypeAllocation gives every group the same total payment, split
+// evenly over the group's repetitions — the "HEU" heuristic the paper
+// compares OPT against on Mechanical Turk (Fig 5(c)).
+func UniformTypeAllocation(p Problem) (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	nG := len(p.Groups)
+	perGroup := p.Budget / nG
+	remG := p.Budget % nG
+	a := Allocation{RepPrices: make([][][]int, nG)}
+	for gi, g := range p.Groups {
+		budget := perGroup
+		if gi < remG {
+			budget++
+		}
+		reps := g.UnitCost()
+		base := budget / reps
+		rem := budget % reps
+		if base < 1 {
+			return Allocation{}, fmt.Errorf("%w: group %d share %d below %d repetitions", ErrBudgetTooSmall, gi, budget, reps)
+		}
+		a.RepPrices[gi] = make([][]int, g.Tasks)
+		for ti := 0; ti < g.Tasks; ti++ {
+			row := make([]int, g.Reps)
+			for ri := range row {
+				row[ri] = base
+				if rem > 0 {
+					row[ri]++
+					rem--
+				}
+			}
+			a.RepPrices[gi][ti] = row
+		}
+	}
+	return a, nil
+}

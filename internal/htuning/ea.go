@@ -1,0 +1,52 @@
+package htuning
+
+import "fmt"
+
+// EvenAllocation implements Algorithm 1 (EA) for Scenario I: a single
+// group of identical tasks with identical repetitions. The budget is split
+// evenly across all repetitions; the indivisible remainder is spread one
+// unit at a time, first round-robin over repetitions of every task
+// (γ rounds), then over σ distinct tasks, exactly as the paper specifies.
+// Theorem 1 proves the even split minimizes the expected Phase-1 latency
+// under the Linearity Hypothesis.
+//
+// The remainder placement uses the first repetitions/tasks in index order;
+// tasks are exchangeable, so "random selection" in the paper affects
+// nothing observable, and deterministic placement keeps runs reproducible.
+func EvenAllocation(p Problem) (Allocation, error) {
+	if len(p.Groups) != 1 {
+		return Allocation{}, fmt.Errorf("htuning: EvenAllocation handles exactly one group (Scenario I), got %d", len(p.Groups))
+	}
+	if err := p.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	g := p.Groups[0]
+	n, m := g.Tasks, g.Reps
+	if p.Budget < n*m {
+		return Allocation{}, fmt.Errorf("%w: budget %d < %d repetitions", ErrBudgetTooSmall, p.Budget, n*m)
+	}
+
+	delta := p.Budget / (m * n) // base per-repetition payment
+	rem := p.Budget % (m * n)   // leftover units
+	gamma := rem / n            // whole extra units per task
+	sigma := rem % n            // tasks receiving one more unit
+
+	a := Allocation{RepPrices: make([][][]int, 1)}
+	a.RepPrices[0] = make([][]int, n)
+	for ti := 0; ti < n; ti++ {
+		row := make([]int, m)
+		for ri := 0; ri < m; ri++ {
+			row[ri] = delta
+			if ri < gamma {
+				row[ri]++ // γ repetitions of every task get one extra unit
+			}
+		}
+		// σ tasks get one further unit, on a repetition not already
+		// increased (repetition index γ exists because rem < m·n ⇒ γ < m).
+		if ti < sigma {
+			row[gamma]++
+		}
+		a.RepPrices[0][ti] = row
+	}
+	return a, nil
+}

@@ -1,0 +1,332 @@
+package htuning
+
+import (
+	"fmt"
+	"math"
+)
+
+// UtopiaPoint is the pair of independently optimized objectives of
+// Scenario III (Definition 4 of the paper):
+//
+//	O1* — minimal Σ_i E[Phase-1 latency of group i];
+//	O2* — minimal max_i (E[Phase-1 of g_i] + E[Phase-2 of g_i]).
+type UtopiaPoint struct {
+	O1 float64
+	O2 float64
+}
+
+// HeterogeneousResult extends RepetitionResult with the bi-objective
+// diagnostics of Scenario III.
+type HeterogeneousResult struct {
+	Prices    []int
+	O1        float64     // Σ group Phase-1 latencies at Prices
+	O2        float64     // max group total latency at Prices
+	Utopia    UtopiaPoint // the independently optimal objectives
+	Closeness float64     // ‖(O1,O2) − Utopia‖₁ (Definition 6)
+	Spent     int
+}
+
+// Allocation materializes the per-group prices into a full allocation.
+func (r HeterogeneousResult) Allocation(p Problem) (Allocation, error) {
+	return NewUniformAllocation(p, r.Prices)
+}
+
+// objectives evaluates (O1, O2) for a uniform price vector.
+func objectives(est *Estimator, p Problem, prices []int) (o1, o2 float64, err error) {
+	o2 = -math.MaxFloat64
+	for i, g := range p.Groups {
+		e1, err := est.GroupPhase1Mean(g, prices[i])
+		if err != nil {
+			return 0, 0, err
+		}
+		e2, err := est.GroupPhase2Mean(g)
+		if err != nil {
+			return 0, 0, err
+		}
+		o1 += e1
+		if tot := e1 + e2; tot > o2 {
+			o2 = tot
+		}
+	}
+	return o1, o2, nil
+}
+
+// minimizeO2 finds the minimal achievable O2 = max_i (E1_i(p_i) + C_i)
+// within the budget, by binary searching the target over the candidate
+// values and checking feasibility (each group independently buys the
+// cheapest price reaching the target; feasible iff the costs fit in B).
+func minimizeO2(est *Estimator, p Problem) (float64, error) {
+	n := len(p.Groups)
+	u := make([]int, n)
+	c2 := make([]float64, n)
+	maxPrice := make([]int, n)
+	minB := p.MinBudget()
+	for i, g := range p.Groups {
+		u[i] = g.UnitCost()
+		v, err := est.GroupPhase2Mean(g)
+		if err != nil {
+			return 0, err
+		}
+		c2[i] = v
+		maxPrice[i] = (p.Budget - (minB - u[i])) / u[i]
+	}
+	// cheapestFor returns the cheapest total spend such that every group's
+	// E1_i + C_i <= target, or -1 when no affordable price reaches it.
+	cheapestFor := func(target float64) (int, error) {
+		total := 0
+		for i, g := range p.Groups {
+			found := -1
+			for price := 1; price <= maxPrice[i]; price++ {
+				e1, err := est.GroupPhase1Mean(g, price)
+				if err != nil {
+					return 0, err
+				}
+				if e1+c2[i] <= target+1e-12 {
+					found = price
+					break
+				}
+			}
+			if found < 0 {
+				return -1, nil
+			}
+			total += u[i] * found
+		}
+		return total, nil
+	}
+	// Bounds: at max affordable prices O2 is the lowest reachable value;
+	// at price 1 everywhere it is the highest.
+	lo, hi := 0.0, 0.0
+	for i, g := range p.Groups {
+		e1max, err := est.GroupPhase1Mean(g, maxPrice[i])
+		if err != nil {
+			return 0, err
+		}
+		e1min, err := est.GroupPhase1Mean(g, 1)
+		if err != nil {
+			return 0, err
+		}
+		if v := e1max + c2[i]; v > lo {
+			lo = v
+		}
+		if v := e1min + c2[i]; v > hi {
+			hi = v
+		}
+	}
+	if hi < lo {
+		hi = lo
+	}
+	// lo is achievable only if all groups can simultaneously afford their
+	// max prices — generally not. Binary search the smallest feasible target.
+	for iter := 0; iter < 60 && hi-lo > 1e-10*(1+hi); iter++ {
+		mid := lo + (hi-lo)/2
+		spend, err := cheapestFor(mid)
+		if err != nil {
+			return 0, err
+		}
+		if spend >= 0 && spend <= p.Budget {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// Norm selects the distance used by the Closeness. Definition 6 of the
+// paper states the general form ‖OP − UP‖ and instantiates it with the
+// "first order distance" (L1); the other norms exist for the ablation
+// benchmarks of the design choice.
+type Norm int
+
+const (
+	// NormL1 is the paper's first-order distance |ΔO1| + |ΔO2|.
+	NormL1 Norm = iota
+	// NormL2 is the Euclidean distance.
+	NormL2
+	// NormLInf is the Chebyshev distance max(|ΔO1|, |ΔO2|).
+	NormLInf
+)
+
+// distance evaluates the norm on the two objective gaps.
+func (n Norm) distance(dx, dy float64) float64 {
+	dx, dy = math.Abs(dx), math.Abs(dy)
+	switch n {
+	case NormL2:
+		return math.Hypot(dx, dy)
+	case NormLInf:
+		return math.Max(dx, dy)
+	default:
+		return dx + dy
+	}
+}
+
+// String implements fmt.Stringer.
+func (n Norm) String() string {
+	switch n {
+	case NormL2:
+		return "L2"
+	case NormLInf:
+		return "Linf"
+	default:
+		return "L1"
+	}
+}
+
+// SolveHeterogeneous implements Algorithm 3 (HA) for Scenario III with
+// the paper's first-order (L1) Closeness. See SolveHeterogeneousNorm.
+func SolveHeterogeneous(est *Estimator, p Problem) (HeterogeneousResult, error) {
+	return SolveHeterogeneousNorm(est, p, NormL1)
+}
+
+// SolveHeterogeneousNorm implements Algorithm 3 (HA) for Scenario III. It
+// computes the Utopia Point (O1*, O2*) — O1* via the exact Scenario II
+// dynamic program, O2* via feasibility binary search — then greedily
+// spends the budget one price increment at a time, always taking the
+// increment that most decreases the Closeness ‖(O1,O2) − UP‖ under the
+// chosen norm (Definitions 4–6 of the paper; the paper uses NormL1),
+// stopping when no affordable increment improves it.
+func SolveHeterogeneousNorm(est *Estimator, p Problem, norm Norm) (HeterogeneousResult, error) {
+	if err := p.Validate(); err != nil {
+		return HeterogeneousResult{}, err
+	}
+	if est == nil {
+		est = NewEstimator()
+	}
+	o1DP, err := SolveRepetitionDP(est, p)
+	if err != nil {
+		return HeterogeneousResult{}, err
+	}
+	o2Star, err := minimizeO2(est, p)
+	if err != nil {
+		return HeterogeneousResult{}, err
+	}
+	up := UtopiaPoint{O1: o1DP.Objective, O2: o2Star}
+
+	n := len(p.Groups)
+	prices := make([]int, n)
+	costs := make([]int, n)
+	spent := 0
+	for i, g := range p.Groups {
+		prices[i] = 1
+		costs[i] = g.UnitCost()
+		spent += costs[i]
+	}
+	closeness := func(prs []int) (float64, float64, float64, error) {
+		o1, o2, err := objectives(est, p, prs)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return norm.distance(o1-up.O1, o2-up.O2), o1, o2, nil
+	}
+	curCL, curO1, curO2, err := closeness(prices)
+	if err != nil {
+		return HeterogeneousResult{}, err
+	}
+	remaining := p.Budget - spent
+	for {
+		bestI := -1
+		bestCL, bestO1, bestO2 := curCL, curO1, curO2
+		for i := range p.Groups {
+			if costs[i] > remaining {
+				continue
+			}
+			prices[i]++
+			cl, o1, o2, err := closeness(prices)
+			prices[i]--
+			if err != nil {
+				return HeterogeneousResult{}, err
+			}
+			// Prefer strictly smaller closeness; tie-break on cheaper cost.
+			if cl < bestCL-1e-15 || (bestI >= 0 && math.Abs(cl-bestCL) <= 1e-15 && costs[i] < costs[bestI]) {
+				bestCL, bestO1, bestO2 = cl, o1, o2
+				bestI = i
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		prices[bestI]++
+		remaining -= costs[bestI]
+		spent += costs[bestI]
+		curCL, curO1, curO2 = bestCL, bestO1, bestO2
+	}
+	return HeterogeneousResult{
+		Prices:    prices,
+		O1:        curO1,
+		O2:        curO2,
+		Utopia:    up,
+		Closeness: curCL,
+		Spent:     spent,
+	}, nil
+}
+
+// EnumerateHeterogeneous brute-forces the Scenario III closeness over all
+// feasible uniform price vectors, for tests on small instances. The Utopia
+// Point is computed the same way as in SolveHeterogeneous so closeness
+// values are comparable.
+func EnumerateHeterogeneous(est *Estimator, p Problem, maxStates int) (HeterogeneousResult, error) {
+	if err := p.Validate(); err != nil {
+		return HeterogeneousResult{}, err
+	}
+	if est == nil {
+		est = NewEstimator()
+	}
+	o1DP, err := SolveRepetitionDP(est, p)
+	if err != nil {
+		return HeterogeneousResult{}, err
+	}
+	o2Star, err := minimizeO2(est, p)
+	if err != nil {
+		return HeterogeneousResult{}, err
+	}
+	up := UtopiaPoint{O1: o1DP.Objective, O2: o2Star}
+
+	n := len(p.Groups)
+	prices := make([]int, n)
+	for i := range prices {
+		prices[i] = 1
+	}
+	best := HeterogeneousResult{Closeness: math.MaxFloat64, Utopia: up}
+	states := 0
+	var rec func(i, spent int) error
+	rec = func(i, spent int) error {
+		if i == n {
+			o1, o2, err := objectives(est, p, prices)
+			if err != nil {
+				return err
+			}
+			cl := math.Abs(o1-up.O1) + math.Abs(o2-up.O2)
+			if cl < best.Closeness {
+				best.Closeness = cl
+				best.Prices = append([]int(nil), prices...)
+				best.O1, best.O2, best.Spent = o1, o2, spent
+			}
+			return nil
+		}
+		g := p.Groups[i]
+		u := g.UnitCost()
+		restMin := 0
+		for j := i + 1; j < n; j++ {
+			restMin += p.Groups[j].UnitCost()
+		}
+		for price := 1; spent+u*price+restMin <= p.Budget; price++ {
+			states++
+			if states > maxStates {
+				return fmt.Errorf("htuning: EnumerateHeterogeneous exceeded %d states", maxStates)
+			}
+			prices[i] = price
+			if err := rec(i+1, spent+u*price); err != nil {
+				return err
+			}
+		}
+		prices[i] = 1
+		return nil
+	}
+	if err := rec(0, 0); err != nil {
+		return HeterogeneousResult{}, err
+	}
+	if best.Prices == nil {
+		return HeterogeneousResult{}, fmt.Errorf("%w: no feasible allocation", ErrBudgetTooSmall)
+	}
+	return best, nil
+}

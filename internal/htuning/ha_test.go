@@ -1,0 +1,254 @@
+package htuning
+
+import (
+	"testing"
+
+	"hputune/internal/randx"
+)
+
+// scenarioIII builds the paper's Scenario III shape: two groups differing
+// in both repetitions and difficulty (λp 2.0 vs 3.0).
+func scenarioIII(tasks, budget int) Problem {
+	easy := linType("easy", 1, 1, 3.0)
+	hard := linType("hard", 1, 1, 2.0)
+	return Problem{
+		Groups: []Group{
+			{Type: hard, Tasks: tasks, Reps: 3},
+			{Type: easy, Tasks: tasks, Reps: 5},
+		},
+		Budget: budget,
+	}
+}
+
+func TestSolveHeterogeneousBasics(t *testing.T) {
+	p := scenarioIII(5, 300)
+	res, err := SolveHeterogeneous(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Prices) != 2 {
+		t.Fatalf("got %d prices", len(res.Prices))
+	}
+	if res.Spent > p.Budget {
+		t.Errorf("spent %d over budget %d", res.Spent, p.Budget)
+	}
+	a, err := res.Allocation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(p); err != nil {
+		t.Errorf("allocation invalid: %v", err)
+	}
+	// Diagnostics must dominate the utopia point.
+	if res.O1 < res.Utopia.O1-1e-9 {
+		t.Errorf("O1 %v below utopia %v", res.O1, res.Utopia.O1)
+	}
+	if res.O2 < res.Utopia.O2-1e-9 {
+		t.Errorf("O2 %v below utopia %v", res.O2, res.Utopia.O2)
+	}
+	if res.Closeness < -1e-12 {
+		t.Errorf("negative closeness %v", res.Closeness)
+	}
+}
+
+func TestSolveHeterogeneousNearBruteForce(t *testing.T) {
+	// On a small instance the greedy's closeness must be within 5% of the
+	// exhaustive optimum (the paper's algorithm is the same greedy).
+	easy := linType("easy", 1, 1, 3.0)
+	hard := linType("hard", 1, 1, 2.0)
+	p := Problem{
+		Groups: []Group{
+			{Type: hard, Tasks: 2, Reps: 2},
+			{Type: easy, Tasks: 2, Reps: 3},
+		},
+		Budget: 50,
+	}
+	est := NewEstimator()
+	greedy, err := SolveHeterogeneous(est, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := EnumerateHeterogeneous(est, p, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Closeness > exact.Closeness*1.05+1e-6 {
+		t.Errorf("greedy closeness %.6f far from optimum %.6f (prices %v vs %v)",
+			greedy.Closeness, exact.Closeness, greedy.Prices, exact.Prices)
+	}
+}
+
+func TestSolveHeterogeneousBeatsUniformHeuristic(t *testing.T) {
+	// Fig 5(c): OPT beats the equal-payment heuristic on wall-clock
+	// latency of the whole job.
+	p := scenarioIII(6, 400)
+	est := NewEstimator()
+	res, err := SolveHeterogeneous(est, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := res.Allocation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heu, err := UniformTypeAllocation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optLat, err := SimulateJobLatency(p, opt, PhaseBoth, 8000, randx.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heuLat, err := SimulateJobLatency(p, heu, PhaseBoth, 8000, randx.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optLat > heuLat*1.03 {
+		t.Errorf("OPT %.4f worse than heuristic %.4f", optLat, heuLat)
+	}
+}
+
+func TestSolveHeterogeneousFavoursDifficultGroup(t *testing.T) {
+	// The hard group (lower λp → longer processing) dominates O2, so HA
+	// should not starve it relative to rep-even pricing.
+	veryHard := linType("very-hard", 1, 1, 0.5)
+	easy := linType("easy", 1, 1, 10.0)
+	p := Problem{
+		Groups: []Group{
+			{Type: veryHard, Tasks: 4, Reps: 3},
+			{Type: easy, Tasks: 4, Reps: 3},
+		},
+		Budget: 200,
+	}
+	res, err := SolveHeterogeneous(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prices[0] < res.Prices[1] {
+		t.Errorf("hard group priced %d below easy group %d", res.Prices[0], res.Prices[1])
+	}
+}
+
+func TestSolveHeterogeneousInfeasible(t *testing.T) {
+	p := scenarioIII(5, 30) // needs 5*3+5*5 = 40
+	if _, err := SolveHeterogeneous(nil, p); err == nil {
+		t.Error("infeasible budget accepted")
+	}
+}
+
+func TestSolveHeterogeneousMonotoneInBudget(t *testing.T) {
+	prevO1 := 1e300
+	for _, budget := range []int{60, 120, 240, 480} {
+		p := scenarioIII(5, budget)
+		res, err := SolveHeterogeneous(nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.O1 > prevO1+1e-9 {
+			t.Errorf("O1 rose with budget %d: %v > %v", budget, res.O1, prevO1)
+		}
+		prevO1 = res.O1
+	}
+}
+
+func TestEnumerateHeterogeneousStateCap(t *testing.T) {
+	p := scenarioIII(2, 100)
+	if _, err := EnumerateHeterogeneous(nil, p, 2); err == nil {
+		t.Error("state cap not enforced")
+	}
+}
+
+func TestUtopiaPointDominatesAllFeasible(t *testing.T) {
+	// Any feasible uniform price vector must be dominated by the utopia
+	// point component-wise.
+	easy := linType("easy", 1, 1, 3.0)
+	hard := linType("hard", 1, 1, 2.0)
+	p := Problem{
+		Groups: []Group{
+			{Type: hard, Tasks: 2, Reps: 2},
+			{Type: easy, Tasks: 2, Reps: 2},
+		},
+		Budget: 30,
+	}
+	est := NewEstimator()
+	res, err := SolveHeterogeneous(est, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p1 := 1; p1 <= 4; p1++ {
+		for p2 := 1; p2 <= 4; p2++ {
+			if 4*p1+4*p2 > p.Budget {
+				continue
+			}
+			o1, o2, err := objectives(est, p, []int{p1, p2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o1 < res.Utopia.O1-1e-6 {
+				t.Errorf("feasible O1 %v beats utopia %v at prices (%d,%d)", o1, res.Utopia.O1, p1, p2)
+			}
+			if o2 < res.Utopia.O2-1e-6 {
+				t.Errorf("feasible O2 %v beats utopia %v at prices (%d,%d)", o2, res.Utopia.O2, p1, p2)
+			}
+		}
+	}
+}
+
+func TestNormDistances(t *testing.T) {
+	cases := []struct {
+		norm   Norm
+		dx, dy float64
+		want   float64
+	}{
+		{NormL1, 3, 4, 7},
+		{NormL1, -3, 4, 7},
+		{NormL2, 3, 4, 5},
+		{NormL2, -3, -4, 5},
+		{NormLInf, 3, 4, 4},
+		{NormLInf, -5, 4, 5},
+	}
+	for _, c := range cases {
+		if got := c.norm.distance(c.dx, c.dy); got != c.want {
+			t.Errorf("%v.distance(%v, %v) = %v, want %v", c.norm, c.dx, c.dy, got, c.want)
+		}
+	}
+	if NormL1.String() != "L1" || NormL2.String() != "L2" || NormLInf.String() != "Linf" {
+		t.Error("norm names wrong")
+	}
+}
+
+func TestSolveHeterogeneousNormVariants(t *testing.T) {
+	// All norms must yield feasible allocations on the same instance;
+	// their objective points may differ but each must dominate neither
+	// utopia coordinate, and L1 must agree with SolveHeterogeneous.
+	p := scenarioIII(20, 600)
+	est := NewEstimator()
+	l1Default, err := SolveHeterogeneous(est, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, norm := range []Norm{NormL1, NormL2, NormLInf} {
+		res, err := SolveHeterogeneousNorm(est, p, norm)
+		if err != nil {
+			t.Fatalf("%v: %v", norm, err)
+		}
+		if res.Spent > p.Budget {
+			t.Errorf("%v overspent: %d > %d", norm, res.Spent, p.Budget)
+		}
+		if res.O1 < res.Utopia.O1-1e-9 || res.O2 < res.Utopia.O2-1e-9 {
+			t.Errorf("%v objective point (%v, %v) beats utopia (%v, %v)",
+				norm, res.O1, res.O2, res.Utopia.O1, res.Utopia.O2)
+		}
+		if res.Closeness < -1e-12 {
+			t.Errorf("%v negative closeness %v", norm, res.Closeness)
+		}
+		if norm == NormL1 {
+			for i := range res.Prices {
+				if res.Prices[i] != l1Default.Prices[i] {
+					t.Errorf("NormL1 prices %v differ from SolveHeterogeneous %v", res.Prices, l1Default.Prices)
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package htuning
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hputune/internal/pricing"
+	"hputune/internal/randx"
+)
+
+// randomProblem draws a small Scenario II/III instance with enough
+// budget to be feasible. Task counts and repetitions stay small so the
+// solvers run in microseconds per check.
+func randomProblem(r *randx.Rand, heterogeneous bool) Problem {
+	nGroups := 1 + r.Intn(3)
+	groups := make([]Group, nGroups)
+	for i := range groups {
+		proc := 2.0
+		k := 1.0
+		b := 1.0
+		if heterogeneous {
+			proc = 0.5 + 3*r.Float64()
+			k = 0.2 + 2*r.Float64()
+			b = 0.2 + 2*r.Float64()
+		}
+		groups[i] = Group{
+			Type: &TaskType{
+				Name:     "t",
+				Accept:   pricing.Linear{K: k, B: b},
+				ProcRate: proc,
+			},
+			Tasks: 1 + r.Intn(8),
+			Reps:  1 + r.Intn(4),
+		}
+	}
+	p := Problem{Groups: groups}
+	p.Budget = p.MinBudget() + r.Intn(200)
+	return p
+}
+
+func TestRASolutionInvariantsProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := randx.New(seed)
+		p := randomProblem(r, false)
+		est := NewEstimator()
+		res, err := SolveRepetition(est, p)
+		if err != nil {
+			return false
+		}
+		// Invariants: spend within budget, prices at least 1, spend
+		// consistent with prices, objective equals the re-evaluated sum.
+		if res.Spent > p.Budget {
+			return false
+		}
+		spend := 0
+		for i, g := range p.Groups {
+			if res.Prices[i] < 1 {
+				return false
+			}
+			spend += g.UnitCost() * res.Prices[i]
+		}
+		if spend != res.Spent {
+			return false
+		}
+		obj, err := est.SumGroupPhase1(p.Groups, res.Prices)
+		if err != nil {
+			return false
+		}
+		return almostEqualHT(obj, res.Objective, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHASolutionInvariantsProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := randx.New(seed)
+		p := randomProblem(r, true)
+		est := NewEstimator()
+		res, err := SolveHeterogeneous(est, p)
+		if err != nil {
+			return false
+		}
+		if res.Spent > p.Budget {
+			return false
+		}
+		// The achieved point can never dominate the Utopia Point (up to
+		// the O2 binary-search tolerance).
+		if res.O1 < res.Utopia.O1-1e-9 || res.O2 < res.Utopia.O2-1e-7*(1+res.O2) {
+			return false
+		}
+		// Closeness is consistent with the achieved point under L1. The
+		// Utopia O2 comes from a binary search, so the achieved point
+		// can sit a search-tolerance below it; compare with magnitudes.
+		want := abs(res.O1-res.Utopia.O1) + abs(res.O2-res.Utopia.O2)
+		return almostEqualHT(res.Closeness, want, 1e-7)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRAMonotoneInBudgetProperty(t *testing.T) {
+	// The exact DP (surrogate optimum) is monotone in budget. The greedy
+	// is not guaranteed monotone (its path can flip at affordability
+	// boundaries) and selects its candidate by the job's true E[max], so
+	// it is certified on that metric: within 5% of the DP allocation's
+	// own job E[max] — it frequently beats the DP there, because the
+	// surrogate does not reward balance across groups.
+	prop := func(seed uint64) bool {
+		r := randx.New(seed)
+		p := randomProblem(r, false)
+		est := NewEstimator()
+		p2 := p
+		p2.Budget = p.Budget + 1 + r.Intn(100)
+		dpLo, err := SolveRepetitionDP(est, p)
+		if err != nil {
+			return false
+		}
+		dpHi, err := SolveRepetitionDP(est, p2)
+		if err != nil {
+			return false
+		}
+		if dpHi.Objective > dpLo.Objective+1e-9 {
+			return false
+		}
+		for _, prob := range []Problem{p, p2} {
+			greedy, err := SolveRepetition(est, prob)
+			if err != nil {
+				return false
+			}
+			dp := dpLo
+			if prob.Budget == p2.Budget {
+				dp = dpHi
+			}
+			gJob, err := est.JobExpectedLatency(prob.Groups, greedy.Prices, PhaseOnHold)
+			if err != nil {
+				return false
+			}
+			dpJob, err := est.JobExpectedLatency(prob.Groups, dp.Prices, PhaseOnHold)
+			if err != nil {
+				return false
+			}
+			if gJob > dpJob*1.05+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupPhase1MeanMonotoneInPriceProperty(t *testing.T) {
+	// More pay never slows a group down under any shipped rate model.
+	models := []pricing.RateModel{
+		pricing.Linear{K: 1, B: 1},
+		pricing.Linear{K: 10, B: 1},
+		pricing.Linear{K: 0.1, B: 10},
+		pricing.Quadratic{},
+		pricing.Logarithmic{},
+	}
+	est := NewEstimator()
+	prop := func(seed uint64) bool {
+		r := randx.New(seed)
+		g := Group{
+			Type: &TaskType{
+				Name:     "t",
+				Accept:   models[r.Intn(len(models))],
+				ProcRate: 2,
+			},
+			Tasks: 1 + r.Intn(10),
+			Reps:  1 + r.Intn(5),
+		}
+		price := 1 + r.Intn(30)
+		lo, err := est.GroupPhase1Mean(g, price)
+		if err != nil {
+			return false
+		}
+		hi, err := est.GroupPhase1Mean(g, price+1+r.Intn(10))
+		if err != nil {
+			return false
+		}
+		return hi <= lo+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupPhase1MeanMonotoneInSizeProperty(t *testing.T) {
+	// More tasks or more repetitions never finish sooner.
+	est := NewEstimator()
+	typ := &TaskType{Name: "t", Accept: pricing.Linear{K: 1, B: 1}, ProcRate: 2}
+	prop := func(seed uint64) bool {
+		r := randx.New(seed)
+		tasks := 1 + r.Intn(10)
+		reps := 1 + r.Intn(5)
+		price := 1 + r.Intn(10)
+		base, err := est.GroupPhase1Mean(Group{Type: typ, Tasks: tasks, Reps: reps}, price)
+		if err != nil {
+			return false
+		}
+		moreTasks, err := est.GroupPhase1Mean(Group{Type: typ, Tasks: tasks + 1, Reps: reps}, price)
+		if err != nil {
+			return false
+		}
+		moreReps, err := est.GroupPhase1Mean(Group{Type: typ, Tasks: tasks, Reps: reps + 1}, price)
+		if err != nil {
+			return false
+		}
+		return moreTasks >= base-1e-9 && moreReps >= base-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJobLatencyBoundsProperty(t *testing.T) {
+	// The exact job E[max] must be at least every group's own E[max]
+	// and at most their sum (union bound on expectations of maxima).
+	est := NewEstimator()
+	prop := func(seed uint64) bool {
+		r := randx.New(seed)
+		p := randomProblem(r, true)
+		prices := make([]int, len(p.Groups))
+		for i := range prices {
+			prices[i] = 1 + r.Intn(10)
+		}
+		job, err := est.JobExpectedLatency(p.Groups, prices, PhaseOnHold)
+		if err != nil {
+			return false
+		}
+		maxGroup, sum := 0.0, 0.0
+		for i, g := range p.Groups {
+			v, err := est.GroupPhase1Mean(g, prices[i])
+			if err != nil {
+				return false
+			}
+			if v > maxGroup {
+				maxGroup = v
+			}
+			sum += v
+		}
+		return job >= maxGroup-1e-6 && job <= sum+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformAllocationCostProperty(t *testing.T) {
+	// Materializing uniform per-group prices always costs exactly
+	// Σ tasks·reps·price.
+	prop := func(seed uint64) bool {
+		r := randx.New(seed)
+		p := randomProblem(r, false)
+		prices := make([]int, len(p.Groups))
+		want := 0
+		for i, g := range p.Groups {
+			prices[i] = 1 + r.Intn(5)
+			want += g.UnitCost() * prices[i]
+		}
+		if want > p.Budget {
+			return true // infeasible draw; nothing to check
+		}
+		a, err := NewUniformAllocation(p, prices)
+		if err != nil {
+			return false
+		}
+		return a.Cost() == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// almostEqualHT is the local tolerance comparison for property tests.
+func almostEqualHT(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*(1+abs(a)+abs(b))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

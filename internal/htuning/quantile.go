@@ -1,0 +1,287 @@
+package htuning
+
+import (
+	"fmt"
+	"math"
+
+	"hputune/internal/dist"
+	"hputune/internal/numeric"
+)
+
+// JobLatencyCDF returns P(job completes by t) under a uniform per-group
+// price vector: Π_i F_i(t)^{n_i}, the product the paper derives for
+// parallel batches (Sec 3.2.1). Useful for SLA statements that the
+// expectation alone cannot make.
+func (e *Estimator) JobLatencyCDF(groups []Group, prices []int, phase Phase, t float64) (float64, error) {
+	if len(groups) != len(prices) {
+		return 0, fmt.Errorf("htuning: %d prices for %d groups", len(prices), len(groups))
+	}
+	if t <= 0 {
+		return 0, nil
+	}
+	prod := 1.0
+	for i, g := range groups {
+		if err := g.Validate(); err != nil {
+			return 0, err
+		}
+		if prices[i] < 1 {
+			return 0, fmt.Errorf("htuning: group %d price %d below 1 unit", i, prices[i])
+		}
+		rate := g.Type.Accept.Rate(float64(prices[i]))
+		if !(rate > 0) {
+			return 0, fmt.Errorf("htuning: group %d: non-positive rate %v", i, rate)
+		}
+		var d dist.Distribution
+		var err error
+		switch phase {
+		case PhaseOnHold:
+			d, err = dist.NewErlang(g.Reps, rate)
+		case PhaseBoth:
+			d, err = dist.NewTwoPhaseErlang(g.Reps, rate, g.Type.ProcRate)
+		default:
+			return 0, fmt.Errorf("htuning: unknown phase %d", phase)
+		}
+		if err != nil {
+			return 0, err
+		}
+		prod *= powInt(d.CDF(t), g.Tasks)
+		if prod == 0 {
+			return 0, nil
+		}
+	}
+	return prod, nil
+}
+
+// JobLatencyQuantile returns the time t such that the job completes by t
+// with probability q (0 < q < 1), found by bracketed bisection on the job
+// CDF.
+func (e *Estimator) JobLatencyQuantile(groups []Group, prices []int, phase Phase, q float64) (float64, error) {
+	if !(q > 0 && q < 1) {
+		return 0, fmt.Errorf("htuning: quantile %v outside (0, 1)", q)
+	}
+	// Bracket: expand hi until the CDF exceeds q.
+	mean, err := e.JobExpectedLatency(groups, prices, phase)
+	if err != nil {
+		return 0, err
+	}
+	hi := math.Max(mean, 1e-6)
+	for i := 0; i < 64; i++ {
+		c, err := e.JobLatencyCDF(groups, prices, phase, hi)
+		if err != nil {
+			return 0, err
+		}
+		if c >= q {
+			break
+		}
+		hi *= 2
+	}
+	root, err := numeric.Bisect(func(t float64) float64 {
+		c, cerr := e.JobLatencyCDF(groups, prices, phase, t)
+		if cerr != nil {
+			return math.NaN()
+		}
+		return c - q
+	}, 0, hi, 1e-9*hi)
+	if err != nil {
+		return 0, fmt.Errorf("htuning: quantile bisection: %w", err)
+	}
+	return root, nil
+}
+
+// DeadlineResult is the outcome of the dual tuning problem: the smallest
+// budget whose optimally tuned allocation meets a latency target.
+type DeadlineResult struct {
+	Budget  int
+	Prices  []int
+	Latency float64 // expected job latency at Budget
+}
+
+// SolveMinBudgetForDeadline solves the inverse of the H-Tuning problem
+// (the paper's related work [29] calls it "minimizing the completion cost
+// given deadlines"): find the smallest budget B such that the tuned
+// allocation's expected job latency is at most deadline. Monotonicity of
+// the tuned latency in budget makes exponential-then-binary search exact.
+// The searched budget is capped at maxBudget to keep the search finite
+// when the deadline is unachievable (e.g. below the processing floor).
+func SolveMinBudgetForDeadline(est *Estimator, groups []Group, deadline float64, phase Phase, maxBudget int) (DeadlineResult, error) {
+	if est == nil {
+		est = NewEstimator()
+	}
+	if !(deadline > 0) {
+		return DeadlineResult{}, fmt.Errorf("htuning: deadline %v must be positive", deadline)
+	}
+	minB := 0
+	for _, g := range groups {
+		if err := g.Validate(); err != nil {
+			return DeadlineResult{}, err
+		}
+		minB += g.UnitCost()
+	}
+	if maxBudget < minB {
+		return DeadlineResult{}, fmt.Errorf("htuning: max budget %d below minimum %d", maxBudget, minB)
+	}
+	tunedLatency := func(budget int) (float64, []int, error) {
+		p := Problem{Groups: groups, Budget: budget}
+		res, err := SolveRepetition(est, p)
+		if err != nil {
+			return 0, nil, err
+		}
+		lat, err := est.JobExpectedLatency(groups, res.Prices, phase)
+		if err != nil {
+			return 0, nil, err
+		}
+		return lat, res.Prices, nil
+	}
+	// Check achievability at the cap first.
+	latAtMax, pricesAtMax, err := tunedLatency(maxBudget)
+	if err != nil {
+		return DeadlineResult{}, err
+	}
+	if latAtMax > deadline {
+		return DeadlineResult{}, fmt.Errorf("htuning: deadline %v unachievable within budget %d (best %v)", deadline, maxBudget, latAtMax)
+	}
+	// Binary search the smallest feasible budget in [minB, maxBudget].
+	lo, hi := minB, maxBudget
+	bestPrices := pricesAtMax
+	bestLat := latAtMax
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		lat, prices, err := tunedLatency(mid)
+		if err != nil {
+			return DeadlineResult{}, err
+		}
+		if lat <= deadline {
+			hi = mid
+			bestPrices = prices
+			bestLat = lat
+		} else {
+			lo = mid + 1
+		}
+	}
+	return DeadlineResult{Budget: hi, Prices: bestPrices, Latency: bestLat}, nil
+}
+
+// ContinuousResult is the solution of the continuous relaxation of
+// Scenario II (payments not restricted to the discrete grid).
+type ContinuousResult struct {
+	Prices    []float64
+	Objective float64
+}
+
+// SolveRepetitionContinuous solves the continuous relaxation of the
+// Scenario II objective by golden-section search on the budget split
+// (two groups) or coordinate descent (more groups). It exists to measure
+// how much latency the paper's $0.01 payment granularity costs — the
+// granularity-vs-optimality ablation of DESIGN.md.
+func SolveRepetitionContinuous(est *Estimator, p Problem) (ContinuousResult, error) {
+	if err := p.Validate(); err != nil {
+		return ContinuousResult{}, err
+	}
+	if est == nil {
+		est = NewEstimator()
+	}
+	n := len(p.Groups)
+	B := float64(p.Budget)
+	u := make([]float64, n)
+	for i, g := range p.Groups {
+		u[i] = float64(g.UnitCost())
+	}
+	groupMean := func(i int, price float64) (float64, error) {
+		if !(price > 0) {
+			return math.Inf(1), nil
+		}
+		rate := p.Groups[i].Type.Accept.Rate(price)
+		if !(rate > 0) {
+			return math.Inf(1), nil
+		}
+		base, err := dist.NewErlang(p.Groups[i].Reps, rate)
+		if err != nil {
+			return 0, err
+		}
+		return dist.MeanOfMax(p.Groups[i].Tasks, base)
+	}
+	prices := make([]float64, n)
+	// Start from the rep-even point.
+	total := 0.0
+	for i := range prices {
+		total += u[i]
+	}
+	for i := range prices {
+		prices[i] = B / total
+		if prices[i] < 1 {
+			prices[i] = 1
+		}
+	}
+	objective := func(prs []float64) (float64, error) {
+		sum := 0.0
+		for i := range prs {
+			v, err := groupMean(i, prs[i])
+			if err != nil {
+				return 0, err
+			}
+			sum += v
+		}
+		return sum, nil
+	}
+	// Coordinate descent: optimize each price against the budget residual.
+	// Convexity of each term makes this converge; a handful of sweeps is
+	// ample at the experiment scales.
+	for sweep := 0; sweep < 60; sweep++ {
+		moved := 0.0
+		for i := 0; i < n; i++ {
+			// Budget available to group i given the others.
+			spent := 0.0
+			for j := 0; j < n; j++ {
+				if j != i {
+					spent += u[j] * prices[j]
+				}
+			}
+			maxPrice := (B - spent) / u[i]
+			if maxPrice < 1 {
+				continue
+			}
+			// The objective decreases in p_i, but raising p_i starves
+			// future sweeps of other groups; optimize the *pair* budget
+			// share with the next group instead for n >= 2.
+			j := (i + 1) % n
+			if j == i {
+				prices[i] = maxPrice
+				continue
+			}
+			pair := u[i]*prices[i] + u[j]*prices[j]
+			f := func(share float64) float64 {
+				pi := share / u[i]
+				pj := (pair - share) / u[j]
+				if pi < 1 || pj < 1 {
+					return math.Inf(1)
+				}
+				vi, err := groupMean(i, pi)
+				if err != nil {
+					return math.Inf(1)
+				}
+				vj, err := groupMean(j, pj)
+				if err != nil {
+					return math.Inf(1)
+				}
+				return vi + vj
+			}
+			loS, hiS := u[i]*1.0, pair-u[j]*1.0
+			if hiS <= loS {
+				continue
+			}
+			bestShare, _ := numeric.MinimizeGolden(f, loS, hiS, 1e-6*pair)
+			newPi := bestShare / u[i]
+			newPj := (pair - bestShare) / u[j]
+			moved += math.Abs(newPi - prices[i])
+			prices[i], prices[j] = newPi, newPj
+		}
+		if moved < 1e-9 {
+			break
+		}
+	}
+	obj, err := objective(prices)
+	if err != nil {
+		return ContinuousResult{}, err
+	}
+	return ContinuousResult{Prices: prices, Objective: obj}, nil
+}

@@ -1,0 +1,196 @@
+package htuning
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJobLatencyCDFBasics(t *testing.T) {
+	est := NewEstimator()
+	typ := linType("t", 1, 1, 2)
+	groups := []Group{{Type: typ, Tasks: 4, Reps: 2}}
+	prices := []int{3}
+	if v, err := est.JobLatencyCDF(groups, prices, PhaseOnHold, 0); err != nil || v != 0 {
+		t.Errorf("CDF(0) = %v, %v", v, err)
+	}
+	prev := 0.0
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 20} {
+		v, err := est.JobLatencyCDF(groups, prices, PhaseOnHold, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-12 || v > 1 {
+			t.Errorf("CDF not monotone in [0,1] at %v: %v after %v", x, v, prev)
+		}
+		prev = v
+	}
+	if prev < 0.99 {
+		t.Errorf("CDF at t=20 only %v", prev)
+	}
+}
+
+func TestJobLatencyCDFSingleTaskMatchesErlang(t *testing.T) {
+	est := NewEstimator()
+	typ := linType("t", 1, 0, 2) // λo = price
+	groups := []Group{{Type: typ, Tasks: 1, Reps: 3}}
+	// Erlang(3, 2) at its mean 1.5.
+	v, err := est.JobLatencyCDF(groups, []int{2}, PhaseOnHold, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Erlang(3,2) CDF at 1.5: 1 - e^-3 (1 + 3 + 4.5) = 1 - 8.5e^-3.
+	want := 1 - 8.5*math.Exp(-3)
+	if !almostEqual(v, want, 1e-9) {
+		t.Errorf("CDF = %v, want %v", v, want)
+	}
+}
+
+func TestJobLatencyQuantile(t *testing.T) {
+	est := NewEstimator()
+	typ := linType("t", 1, 1, 2)
+	groups := []Group{
+		{Type: typ, Tasks: 5, Reps: 2},
+		{Type: typ, Tasks: 3, Reps: 4},
+	}
+	prices := []int{2, 3}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		tq, err := est.JobLatencyQuantile(groups, prices, PhaseOnHold, q)
+		if err != nil {
+			t.Fatalf("q=%v: %v", q, err)
+		}
+		c, err := est.JobLatencyCDF(groups, prices, PhaseOnHold, tq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(c-q) > 1e-6 {
+			t.Errorf("CDF(quantile(%v)) = %v", q, c)
+		}
+	}
+	// Quantiles increase in q.
+	t50, _ := est.JobLatencyQuantile(groups, prices, PhaseOnHold, 0.5)
+	t95, _ := est.JobLatencyQuantile(groups, prices, PhaseOnHold, 0.95)
+	if t95 <= t50 {
+		t.Errorf("q95 %v not above q50 %v", t95, t50)
+	}
+	if _, err := est.JobLatencyQuantile(groups, prices, PhaseOnHold, 1.5); err == nil {
+		t.Error("quantile > 1 accepted")
+	}
+}
+
+func TestSolveMinBudgetForDeadline(t *testing.T) {
+	est := NewEstimator()
+	typ := linType("t", 1, 1, 2)
+	groups := []Group{
+		{Type: typ, Tasks: 5, Reps: 3},
+		{Type: typ, Tasks: 5, Reps: 5},
+	}
+	// Latency at a generous budget.
+	pGen := Problem{Groups: groups, Budget: 2000}
+	resGen, err := SolveRepetition(est, pGen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latGen, err := est.JobExpectedLatency(groups, resGen.Prices, PhaseOnHold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := latGen * 1.5 // achievable below 2000
+	res, err := SolveMinBudgetForDeadline(est, groups, deadline, PhaseOnHold, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency > deadline {
+		t.Errorf("returned latency %v exceeds deadline %v", res.Latency, deadline)
+	}
+	if res.Budget > 2000 || res.Budget < 40 {
+		t.Errorf("budget %d out of range", res.Budget)
+	}
+	// Minimality: one unit less must miss the deadline (when above min).
+	if res.Budget > 40 {
+		pLess := Problem{Groups: groups, Budget: res.Budget - 1}
+		r2, err := SolveRepetition(est, pLess)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat2, err := est.JobExpectedLatency(groups, r2.Prices, PhaseOnHold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat2 <= deadline {
+			t.Errorf("budget %d already meets the deadline (%v <= %v)", res.Budget-1, lat2, deadline)
+		}
+	}
+}
+
+func TestSolveMinBudgetForDeadlineUnachievable(t *testing.T) {
+	est := NewEstimator()
+	typ := linType("t", 1, 1, 2)
+	groups := []Group{{Type: typ, Tasks: 5, Reps: 3}}
+	if _, err := SolveMinBudgetForDeadline(est, groups, 1e-9, PhaseOnHold, 500); err == nil {
+		t.Error("impossible deadline accepted")
+	}
+	if _, err := SolveMinBudgetForDeadline(est, groups, 1, PhaseOnHold, 10); err == nil {
+		t.Error("cap below minimum budget accepted")
+	}
+	if _, err := SolveMinBudgetForDeadline(est, groups, -1, PhaseOnHold, 500); err == nil {
+		t.Error("negative deadline accepted")
+	}
+}
+
+func TestSolveRepetitionContinuousBeatsDiscrete(t *testing.T) {
+	// The relaxation must never be worse than the discrete optimum, and
+	// the gap must shrink as the budget (and thus the grid resolution
+	// relative to prices) grows.
+	typ := linType("t", 1, 1, 2)
+	groups := []Group{
+		{Type: typ, Tasks: 5, Reps: 3},
+		{Type: typ, Tasks: 5, Reps: 5},
+	}
+	est := NewEstimator()
+	var gaps []float64
+	for _, budget := range []int{60, 400} {
+		p := Problem{Groups: groups, Budget: budget}
+		cont, err := SolveRepetitionContinuous(est, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disc, err := SolveRepetitionDP(est, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cont.Objective > disc.Objective+1e-6 {
+			t.Errorf("budget %d: continuous %.6f worse than discrete %.6f",
+				budget, cont.Objective, disc.Objective)
+		}
+		gaps = append(gaps, disc.Objective-cont.Objective)
+	}
+	if gaps[1] > gaps[0]+1e-9 {
+		t.Errorf("granularity gap grew with budget: %v", gaps)
+	}
+}
+
+func TestSolveRepetitionContinuousSpendsBudget(t *testing.T) {
+	typ := linType("t", 1, 1, 2)
+	p := Problem{Groups: []Group{
+		{Type: typ, Tasks: 4, Reps: 2},
+		{Type: typ, Tasks: 4, Reps: 3},
+	}, Budget: 100}
+	res, err := SolveRepetitionContinuous(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spent := 0.0
+	for i, g := range p.Groups {
+		if res.Prices[i] < 1 {
+			t.Errorf("price %d below 1: %v", i, res.Prices[i])
+		}
+		spent += float64(g.UnitCost()) * res.Prices[i]
+	}
+	if spent > float64(p.Budget)+1e-6 {
+		t.Errorf("overspent: %v > %d", spent, p.Budget)
+	}
+	// A decreasing objective means the whole budget should be used.
+	if spent < float64(p.Budget)*0.99 {
+		t.Errorf("left money on the table: spent %v of %d", spent, p.Budget)
+	}
+}

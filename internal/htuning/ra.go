@@ -1,0 +1,290 @@
+package htuning
+
+import (
+	"fmt"
+	"math"
+)
+
+// RepetitionResult is the outcome of a Scenario II/III solver: the uniform
+// per-repetition price of each group, plus the solver's estimate of its own
+// objective for inspection.
+type RepetitionResult struct {
+	Prices    []int   // per-repetition price per group
+	Objective float64 // solver objective at Prices (Σ E_i for RA, closeness for HA)
+	Spent     int     // budget units consumed
+}
+
+// Allocation materializes the uniform per-group prices into a full
+// repetition-level allocation for p.
+func (r RepetitionResult) Allocation(p Problem) (Allocation, error) {
+	return NewUniformAllocation(p, r.Prices)
+}
+
+// SolveRepetition implements Algorithm 2 (RA) for Scenario II: tasks share
+// one difficulty but are grouped by repetition count, and the objective is
+// the sum over groups of the expected Phase-1 group latency
+// Σ_i E[max of n_i Erlang(k_i, λo(p_i))].
+//
+// Every group starts at one unit per repetition; the remaining budget is
+// spent one price increment at a time — the argmin step of the paper's
+// Algorithm 2. Two natural greedy rules exist for picking the increment
+// when unit costs u_i differ, and neither dominates:
+//
+//   - greatest absolute gain E_i(p_i) − E_i(p_i+1): the paper's literal
+//     reading; right when the budget only fits a few chunky steps (a
+//     knapsack effect), and it tends to keep the groups' latencies
+//     balanced, which the job's true E[max] rewards;
+//   - greatest gain per budget unit (… / u_i): matches the continuous
+//     optimum of the surrogate Σ E_i on long runs, but can starve a
+//     group whose steps are expensive — better surrogate, worse job.
+//
+// SolveRepetition therefore runs both rules and keeps the candidate with
+// the smaller exact job latency E[max] (ties go to the paper's absolute
+// rule); Objective still reports the surrogate of the chosen allocation,
+// and the exact surrogate optimum ships as SolveRepetitionDP. E_i(p) is
+// convex decreasing in p for every shipped rate model, which is what
+// makes either greedy sound; both passes and the final scoring share
+// est's memoized integrals.
+func SolveRepetition(est *Estimator, p Problem) (RepetitionResult, error) {
+	if err := p.Validate(); err != nil {
+		return RepetitionResult{}, err
+	}
+	if est == nil {
+		est = NewEstimator()
+	}
+	abs, err := solveRepetitionGreedy(est, p, false)
+	if err != nil {
+		return RepetitionResult{}, err
+	}
+	perCost, err := solveRepetitionGreedy(est, p, true)
+	if err != nil {
+		return RepetitionResult{}, err
+	}
+	samePrices := true
+	for i := range abs.Prices {
+		if abs.Prices[i] != perCost.Prices[i] {
+			samePrices = false
+			break
+		}
+	}
+	if samePrices {
+		return abs, nil
+	}
+	absJob, err := est.JobExpectedLatency(p.Groups, abs.Prices, PhaseOnHold)
+	if err != nil {
+		return RepetitionResult{}, err
+	}
+	perCostJob, err := est.JobExpectedLatency(p.Groups, perCost.Prices, PhaseOnHold)
+	if err != nil {
+		return RepetitionResult{}, err
+	}
+	if perCostJob < absJob {
+		return perCost, nil
+	}
+	return abs, nil
+}
+
+// solveRepetitionGreedy runs one greedy pass; costAware selects the
+// per-budget-unit gain rule.
+func solveRepetitionGreedy(est *Estimator, p Problem, costAware bool) (RepetitionResult, error) {
+	n := len(p.Groups)
+	prices := make([]int, n)
+	costs := make([]int, n)
+	spent := 0
+	for i, g := range p.Groups {
+		prices[i] = 1
+		costs[i] = g.UnitCost()
+		spent += costs[i]
+	}
+	current := make([]float64, n)
+	for i, g := range p.Groups {
+		v, err := est.GroupPhase1Mean(g, prices[i])
+		if err != nil {
+			return RepetitionResult{}, err
+		}
+		current[i] = v
+	}
+	remaining := p.Budget - spent
+	for {
+		bestI := -1
+		bestGain := 0.0
+		bestNext := 0.0
+		for i, g := range p.Groups {
+			if costs[i] > remaining {
+				continue
+			}
+			next, err := est.GroupPhase1Mean(g, prices[i]+1)
+			if err != nil {
+				return RepetitionResult{}, err
+			}
+			gain := current[i] - next
+			if costAware {
+				gain /= float64(costs[i])
+			}
+			if gain > bestGain+1e-15 {
+				bestGain = gain
+				bestI = i
+				bestNext = next
+			}
+		}
+		if bestI < 0 || bestGain <= 0 {
+			break
+		}
+		prices[bestI]++
+		current[bestI] = bestNext
+		remaining -= costs[bestI]
+		spent += costs[bestI]
+	}
+	obj := 0.0
+	for _, v := range current {
+		obj += v
+	}
+	return RepetitionResult{Prices: prices, Objective: obj, Spent: spent}, nil
+}
+
+// SolveRepetitionDP solves the Scenario II objective exactly with a
+// multiple-choice knapsack dynamic program over the budget: it considers
+// every uniform per-group price vector with Σ u_i·p_i ≤ B and returns the
+// one minimizing Σ_i E_i(p_i). Runtime O(Σ_i P_i · B) where P_i is the
+// number of affordable price levels of group i; it exists to certify
+// SolveRepetition and for ablation benchmarks.
+func SolveRepetitionDP(est *Estimator, p Problem) (RepetitionResult, error) {
+	if err := p.Validate(); err != nil {
+		return RepetitionResult{}, err
+	}
+	if est == nil {
+		est = NewEstimator()
+	}
+	n := len(p.Groups)
+	B := p.Budget
+
+	const inf = math.MaxFloat64
+	// best[b] = minimal Σ E over groups processed so far spending exactly b.
+	best := make([]float64, B+1)
+	choice := make([][]int, n) // choice[i][b] = price of group i in the optimum of prefix i at spend b
+	for b := range best {
+		best[b] = inf
+	}
+	best[0] = 0
+
+	for i, g := range p.Groups {
+		u := g.UnitCost()
+		maxPrice := (B - (p.MinBudget() - u)) / u // leave 1 unit/rep for the others
+		if maxPrice < 1 {
+			return RepetitionResult{}, fmt.Errorf("%w: group %d cannot afford price 1", ErrBudgetTooSmall, i)
+		}
+		lat := make([]float64, maxPrice+1)
+		for price := 1; price <= maxPrice; price++ {
+			v, err := est.GroupPhase1Mean(g, price)
+			if err != nil {
+				return RepetitionResult{}, err
+			}
+			lat[price] = v
+		}
+		next := make([]float64, B+1)
+		pick := make([]int, B+1)
+		for b := range next {
+			next[b] = inf
+		}
+		for b := 0; b <= B; b++ {
+			if best[b] == inf {
+				continue
+			}
+			for price := 1; price <= maxPrice; price++ {
+				nb := b + u*price
+				if nb > B {
+					break
+				}
+				cand := best[b] + lat[price]
+				if cand < next[nb] {
+					next[nb] = cand
+					pick[nb] = price
+				}
+			}
+		}
+		best = next
+		choice[i] = pick
+	}
+
+	// Find the cheapest spend achieving the global minimum.
+	bestB, bestV := -1, inf
+	for b := 0; b <= B; b++ {
+		if best[b] < bestV-1e-15 {
+			bestV = best[b]
+			bestB = b
+		}
+	}
+	if bestB < 0 {
+		return RepetitionResult{}, fmt.Errorf("%w: no feasible allocation", ErrBudgetTooSmall)
+	}
+	// Walk choices backwards to recover prices.
+	prices := make([]int, n)
+	b := bestB
+	for i := n - 1; i >= 0; i-- {
+		price := choice[i][b]
+		if price < 1 {
+			return RepetitionResult{}, fmt.Errorf("htuning: internal: broken DP back-pointer at group %d spend %d", i, b)
+		}
+		prices[i] = price
+		b -= p.Groups[i].UnitCost() * price
+	}
+	return RepetitionResult{Prices: prices, Objective: bestV, Spent: bestB}, nil
+}
+
+// EnumerateRepetition brute-forces the Scenario II objective over all
+// feasible uniform price vectors. Exponential; only for tests and tiny
+// instances (it refuses more than maxStates states).
+func EnumerateRepetition(est *Estimator, p Problem, maxStates int) (RepetitionResult, error) {
+	if err := p.Validate(); err != nil {
+		return RepetitionResult{}, err
+	}
+	if est == nil {
+		est = NewEstimator()
+	}
+	n := len(p.Groups)
+	prices := make([]int, n)
+	bestPrices := make([]int, n)
+	bestObj := math.MaxFloat64
+	bestSpent := 0
+	states := 0
+
+	var rec func(i, spent int, acc float64) error
+	rec = func(i, spent int, acc float64) error {
+		if acc >= bestObj {
+			return nil // dominated: E_i > 0 always
+		}
+		if i == n {
+			bestObj = acc
+			copy(bestPrices, prices)
+			bestSpent = spent
+			return nil
+		}
+		g := p.Groups[i]
+		u := g.UnitCost()
+		restMin := 0
+		for j := i + 1; j < n; j++ {
+			restMin += p.Groups[j].UnitCost()
+		}
+		for price := 1; spent+u*price+restMin <= p.Budget; price++ {
+			states++
+			if states > maxStates {
+				return fmt.Errorf("htuning: EnumerateRepetition exceeded %d states", maxStates)
+			}
+			v, err := est.GroupPhase1Mean(g, price)
+			if err != nil {
+				return err
+			}
+			if err := rec(i+1, spent+u*price, acc+v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, 0, 0); err != nil {
+		return RepetitionResult{}, err
+	}
+	if bestObj == math.MaxFloat64 {
+		return RepetitionResult{}, fmt.Errorf("%w: no feasible allocation", ErrBudgetTooSmall)
+	}
+	return RepetitionResult{Prices: bestPrices, Objective: bestObj, Spent: bestSpent}, nil
+}

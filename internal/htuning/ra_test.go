@@ -1,0 +1,276 @@
+package htuning
+
+import (
+	"math"
+	"testing"
+
+	"hputune/internal/pricing"
+	"hputune/internal/randx"
+)
+
+// scenarioII builds the paper's Scenario II shape scaled down: two groups
+// of one difficulty with different repetition counts.
+func scenarioII(tasks1, reps1, tasks2, reps2, budget int) Problem {
+	typ := linType("t", 1, 1, 2)
+	return Problem{
+		Groups: []Group{
+			{Type: typ, Tasks: tasks1, Reps: reps1},
+			{Type: typ, Tasks: tasks2, Reps: reps2},
+		},
+		Budget: budget,
+	}
+}
+
+func TestSolveRepetitionBasics(t *testing.T) {
+	p := scenarioII(5, 3, 5, 5, 200)
+	res, err := SolveRepetition(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Prices) != 2 {
+		t.Fatalf("got %d prices", len(res.Prices))
+	}
+	for i, price := range res.Prices {
+		if price < 1 {
+			t.Errorf("group %d price %d below 1", i, price)
+		}
+	}
+	if res.Spent > p.Budget {
+		t.Errorf("spent %d over budget %d", res.Spent, p.Budget)
+	}
+	a, err := res.Allocation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(p); err != nil {
+		t.Errorf("allocation invalid: %v", err)
+	}
+}
+
+func TestSolveRepetitionMatchesDP(t *testing.T) {
+	// Across budgets and models the greedy must match the exact DP
+	// objective (convex marginal structure); allow a hair of slack for
+	// integer-cost granularity.
+	models := []pricing.RateModel{
+		pricing.Linear{K: 1, B: 1},
+		pricing.Linear{K: 10, B: 1},
+		pricing.Linear{K: 0.1, B: 10},
+		pricing.Quadratic{},
+		pricing.Logarithmic{},
+	}
+	for _, m := range models {
+		typ := &TaskType{Name: m.Name(), Accept: m, ProcRate: 2}
+		for _, budget := range []int{40, 80, 150} {
+			p := Problem{
+				Groups: []Group{
+					{Type: typ, Tasks: 3, Reps: 3},
+					{Type: typ, Tasks: 3, Reps: 5},
+				},
+				Budget: budget,
+			}
+			est := NewEstimator()
+			greedy, err := SolveRepetition(est, p)
+			if err != nil {
+				t.Fatalf("%s B=%d greedy: %v", m.Name(), budget, err)
+			}
+			exact, err := SolveRepetitionDP(est, p)
+			if err != nil {
+				t.Fatalf("%s B=%d dp: %v", m.Name(), budget, err)
+			}
+			if greedy.Objective > exact.Objective*1.05+1e-9 {
+				t.Errorf("%s B=%d: greedy %.6f vs DP %.6f (prices %v vs %v)",
+					m.Name(), budget, greedy.Objective, exact.Objective,
+					greedy.Prices, exact.Prices)
+			}
+		}
+	}
+}
+
+func TestSolveRepetitionDPMatchesBruteForce(t *testing.T) {
+	typ := linType("t", 1, 1, 2)
+	p := Problem{
+		Groups: []Group{
+			{Type: typ, Tasks: 2, Reps: 2},
+			{Type: typ, Tasks: 2, Reps: 3},
+		},
+		Budget: 40,
+	}
+	est := NewEstimator()
+	dp, err := SolveRepetitionDP(est, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := EnumerateRepetition(est, p, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(dp.Objective, bf.Objective, 1e-10) {
+		t.Errorf("DP %.8f (prices %v) vs brute force %.8f (prices %v)",
+			dp.Objective, dp.Prices, bf.Objective, bf.Prices)
+	}
+}
+
+func TestSolveRepetitionGivesMoreToLargerGroups(t *testing.T) {
+	// A group with more repetitions has higher latency at equal price;
+	// the solver should not leave it at the minimum while the small group
+	// is rich. With the paper's 3-vs-5-reps split and equal task counts,
+	// the 5-rep group must receive at least the 3-rep group's price.
+	p := scenarioII(5, 3, 5, 5, 400)
+	res, err := SolveRepetition(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prices[1] < res.Prices[0] {
+		t.Errorf("5-rep group priced %d below 3-rep group %d", res.Prices[1], res.Prices[0])
+	}
+}
+
+func TestSolveRepetitionBeatsBaselines(t *testing.T) {
+	p := scenarioII(10, 3, 10, 5, 600)
+	est := NewEstimator()
+	res, err := SolveRepetition(est, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := res.Allocation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := TaskEvenAllocation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := RepEvenAllocation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := func(a Allocation) float64 {
+		v, err := SimulateJobLatency(p, a, PhaseOnHold, 6000, randx.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	optLat, teLat, reLat := lat(opt), lat(te), lat(re)
+	if optLat > teLat*1.02 {
+		t.Errorf("OPT %.4f worse than task-even %.4f", optLat, teLat)
+	}
+	if optLat > reLat*1.02 {
+		t.Errorf("OPT %.4f worse than rep-even %.4f", optLat, reLat)
+	}
+}
+
+func TestSolveRepetitionMonotoneInBudget(t *testing.T) {
+	// More budget can only help the objective.
+	prev := math.MaxFloat64
+	for _, budget := range []int{50, 100, 200, 400, 800} {
+		p := scenarioII(5, 3, 5, 5, budget)
+		res, err := SolveRepetition(nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Objective > prev+1e-9 {
+			t.Errorf("objective rose with budget %d: %v > %v", budget, res.Objective, prev)
+		}
+		prev = res.Objective
+	}
+}
+
+func TestSolveRepetitionInfeasible(t *testing.T) {
+	p := scenarioII(5, 3, 5, 5, 39) // needs 40
+	if _, err := SolveRepetition(nil, p); err == nil {
+		t.Error("infeasible budget accepted")
+	}
+	if _, err := SolveRepetitionDP(nil, p); err == nil {
+		t.Error("DP: infeasible budget accepted")
+	}
+}
+
+func TestEnumerateRepetitionStateCap(t *testing.T) {
+	p := scenarioII(2, 2, 2, 2, 200)
+	if _, err := EnumerateRepetition(nil, p, 3); err == nil {
+		t.Error("state cap not enforced")
+	}
+}
+
+func TestSolveRepetitionSingleGroupEqualsEvenAllocation(t *testing.T) {
+	// With one group, RA should land on the same uniform price EA implies
+	// (the budget divided by repetitions, up to the indivisible remainder).
+	typ := linType("t", 1, 1, 2)
+	p := Problem{Groups: []Group{{Type: typ, Tasks: 4, Reps: 5}}, Budget: 100}
+	res, err := SolveRepetition(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 100 / 20; res.Prices[0] != want {
+		t.Errorf("single-group RA price %d, want %d", res.Prices[0], want)
+	}
+}
+
+func TestTaskEvenAndRepEvenShapes(t *testing.T) {
+	p := scenarioII(4, 3, 4, 5, 160)
+	te, err := TaskEvenAllocation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task-even: every task's total is equal (within 1 remainder unit).
+	var totals []int
+	for _, g := range te.RepPrices {
+		for _, task := range g {
+			s := 0
+			for _, price := range task {
+				s += price
+			}
+			totals = append(totals, s)
+		}
+	}
+	for _, s := range totals {
+		if s < totals[0]-1 || s > totals[0]+1 {
+			t.Errorf("task totals uneven: %v", totals)
+		}
+	}
+	re, err := RepEvenAllocation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rep-even: every repetition price equal within 1 unit.
+	var prices []int
+	for _, g := range re.RepPrices {
+		for _, task := range g {
+			prices = append(prices, task...)
+		}
+	}
+	for _, price := range prices {
+		if price < prices[0]-1 || price > prices[0]+1 {
+			t.Errorf("rep prices uneven: %v", prices)
+		}
+	}
+	if te.Cost() > p.Budget || re.Cost() > p.Budget {
+		t.Error("baseline overspent")
+	}
+}
+
+func TestUniformTypeAllocationShares(t *testing.T) {
+	typ1 := linType("a", 1, 1, 2)
+	typ2 := linType("b", 1, 1, 3)
+	p := Problem{Groups: []Group{
+		{Type: typ1, Tasks: 2, Reps: 10},
+		{Type: typ2, Tasks: 2, Reps: 20},
+	}, Budget: 120}
+	a, err := UniformTypeAllocation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupTotal := func(gi int) int {
+		s := 0
+		for _, task := range a.RepPrices[gi] {
+			for _, price := range task {
+				s += price
+			}
+		}
+		return s
+	}
+	if g0, g1 := groupTotal(0), groupTotal(1); g0 != g1 {
+		t.Errorf("group totals differ: %d vs %d", g0, g1)
+	}
+}

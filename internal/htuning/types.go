@@ -1,0 +1,129 @@
+// Package htuning implements the H-Tuning problem of "Tuning Crowdsourced
+// Human Computation" (Cao et al., ICDE 2017): given a set of atomic crowd
+// tasks, each requiring a number of sequential answer repetitions, and a
+// discrete total budget, choose per-repetition payments that minimize the
+// expected completion latency of the whole job.
+//
+// The three scenarios of the paper map to three solvers:
+//
+//   - Scenario I (identical tasks, identical repetitions): EvenAllocation,
+//     the provably optimal closed-form split (Algorithm 1);
+//   - Scenario II (identical difficulty, repetitions differ by group):
+//     SolveRepetition, marginal-gain allocation over group latencies
+//     (Algorithm 2), with an exact dynamic program as cross-check;
+//   - Scenario III (difficulty and repetitions differ): SolveHeterogeneous,
+//     compromise programming against the Utopia Point (Algorithm 3).
+//
+// Latency estimation uses the HPU model of package dist: on-hold phase
+// Exp(λo(price)) per repetition, processing phase Exp(λp), task latency
+// Erlang over sequential repetitions, job latency the max over tasks.
+package htuning
+
+import (
+	"fmt"
+
+	"hputune/internal/pricing"
+)
+
+// TaskType describes one class of atomic task: how quickly the crowd picks
+// it up as a function of price, and how long the actual human processing
+// takes once accepted.
+type TaskType struct {
+	// Name identifies the type in output ("sort-vote", "filter-8v", ...).
+	Name string
+	// Accept maps a per-repetition price to the on-hold clock rate λo.
+	Accept pricing.RateModel
+	// ProcRate is the processing clock rate λp (price-independent).
+	ProcRate float64
+}
+
+// Validate reports whether the type is usable.
+func (t *TaskType) Validate() error {
+	if t == nil {
+		return fmt.Errorf("htuning: nil task type")
+	}
+	if t.Accept == nil {
+		return fmt.Errorf("htuning: task type %q has no acceptance rate model", t.Name)
+	}
+	if !(t.ProcRate > 0) {
+		return fmt.Errorf("htuning: task type %q has non-positive processing rate %v", t.Name, t.ProcRate)
+	}
+	return nil
+}
+
+// Group is a set of Tasks identical atomic tasks of one type, each
+// requiring Reps sequential answer repetitions. Grouping follows the
+// paper: tasks of identical type and repetition count are tuned together
+// because they are exchangeable.
+type Group struct {
+	Type  *TaskType
+	Tasks int // n: number of atomic tasks in the group
+	Reps  int // k: repetitions required per task
+}
+
+// UnitCost returns the budget consumed by raising this group's
+// per-repetition price by one unit: Tasks × Reps (the u_i of Algorithms
+// 2 and 3).
+func (g Group) UnitCost() int { return g.Tasks * g.Reps }
+
+// Validate reports whether the group is well formed.
+func (g Group) Validate() error {
+	if err := g.Type.Validate(); err != nil {
+		return err
+	}
+	if g.Tasks < 1 {
+		return fmt.Errorf("htuning: group of type %q has %d tasks, need >= 1", g.Type.Name, g.Tasks)
+	}
+	if g.Reps < 1 {
+		return fmt.Errorf("htuning: group of type %q has %d repetitions, need >= 1", g.Type.Name, g.Reps)
+	}
+	return nil
+}
+
+// Problem is an H-Tuning instance: allocate Budget (in discrete payment
+// units) across the repetitions of all tasks in Groups to minimize the
+// expected completion latency of the job.
+type Problem struct {
+	Groups []Group
+	Budget int
+}
+
+// MinBudget returns the smallest feasible budget: one unit for every
+// repetition of every task.
+func (p Problem) MinBudget() int {
+	total := 0
+	for _, g := range p.Groups {
+		total += g.UnitCost()
+	}
+	return total
+}
+
+// TotalTasks returns the number of atomic tasks across all groups.
+func (p Problem) TotalTasks() int {
+	n := 0
+	for _, g := range p.Groups {
+		n += g.Tasks
+	}
+	return n
+}
+
+// Validate reports whether the instance is well formed and affordable.
+func (p Problem) Validate() error {
+	if len(p.Groups) == 0 {
+		return fmt.Errorf("htuning: problem has no groups")
+	}
+	for i, g := range p.Groups {
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("htuning: group %d: %w", i, err)
+		}
+	}
+	if min := p.MinBudget(); p.Budget < min {
+		return fmt.Errorf("htuning: budget %d below minimum %d (one unit per repetition)", p.Budget, min)
+	}
+	return nil
+}
+
+// ErrBudgetTooSmall is returned (wrapped) by solvers when the budget
+// cannot give every repetition at least one payment unit — the paper's
+// "budget is not enough" case of Algorithm 1.
+var ErrBudgetTooSmall = fmt.Errorf("htuning: budget too small")

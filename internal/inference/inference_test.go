@@ -1,0 +1,189 @@
+package inference
+
+import (
+	"math"
+	"testing"
+
+	"hputune/internal/market"
+	"hputune/internal/pricing"
+	"hputune/internal/randx"
+)
+
+func TestEstimateFixedPeriod(t *testing.T) {
+	est, err := EstimateFixedPeriod(20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rate != 5 {
+		t.Errorf("rate = %v, want 5", est.Rate)
+	}
+	if _, err := EstimateFixedPeriod(-1, 1); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := EstimateFixedPeriod(3, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+	// Zero events over a period is a legitimate (zero-rate) observation.
+	zero, err := EstimateFixedPeriod(0, 5)
+	if err != nil || zero.Rate != 0 {
+		t.Errorf("zero-event estimate: %v, %v", zero, err)
+	}
+}
+
+func TestEstimateRandomPeriod(t *testing.T) {
+	raw, err := EstimateRandomPeriod(10, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Rate != 5 {
+		t.Errorf("raw rate = %v, want 5", raw.Rate)
+	}
+	corrected, err := EstimateRandomPeriod(10, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected.Rate != 4.5 {
+		t.Errorf("corrected rate = %v, want 4.5", corrected.Rate)
+	}
+	if _, err := EstimateRandomPeriod(0, 1, false); err == nil {
+		t.Error("zero events accepted")
+	}
+	if _, err := EstimateRandomPeriod(5, -1, false); err == nil {
+		t.Error("negative period accepted")
+	}
+}
+
+func TestEstimateFromDurationsRecoversRate(t *testing.T) {
+	r := randx.New(7)
+	const lambda = 3.5
+	const n = 50000
+	durations := make([]float64, n)
+	for i := range durations {
+		durations[i] = r.Exp(lambda)
+	}
+	est, err := EstimateFromDurations(durations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Rate-lambda) > 0.08 {
+		t.Errorf("λ̂ = %v, want ≈%v", est.Rate, lambda)
+	}
+	if est.N != n {
+		t.Errorf("N = %d", est.N)
+	}
+}
+
+func TestEstimateFromDurationsErrors(t *testing.T) {
+	if _, err := EstimateFromDurations(nil); err == nil {
+		t.Error("empty slice accepted")
+	}
+	if _, err := EstimateFromDurations([]float64{1, -2}); err == nil {
+		t.Error("negative duration accepted")
+	}
+	if _, err := EstimateFromDurations([]float64{0, 0}); err == nil {
+		t.Error("all-zero durations accepted")
+	}
+}
+
+func TestSplitPhases(t *testing.T) {
+	overall := RateEstimate{Rate: 2.0, N: 100, Period: 50}
+	onhold := RateEstimate{Rate: 1.2}
+	proc, err := SplitPhases(overall, onhold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(proc.Rate-0.8) > 1e-12 {
+		t.Errorf("λp = %v, want 0.8", proc.Rate)
+	}
+	if _, err := SplitPhases(RateEstimate{Rate: 1}, RateEstimate{Rate: 2}); err == nil {
+		t.Error("inverted rates accepted")
+	}
+}
+
+func probeClass() *market.TaskClass {
+	return &market.TaskClass{
+		Name:     "probe",
+		Accept:   pricing.Linear{K: 1, B: 1},
+		ProcRate: 1e6, // submit instantly: probe semantics
+		Accuracy: 1,
+	}
+}
+
+func TestProbeRunOnHoldRecoversRate(t *testing.T) {
+	p := Probe{Class: probeClass(), Tasks: 4000, Seed: 11}
+	price := 3 // λo = 4
+	est, err := p.RunOnHold(price, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Rate-4) > 0.25 {
+		t.Errorf("λ̂o = %v, want ≈4", est.Rate)
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	p := Probe{Class: probeClass(), Tasks: 10, Seed: 1}
+	if _, err := p.RunOnHold(1, 0); err == nil {
+		t.Error("stopAt 0 accepted")
+	}
+	if _, err := p.RunOnHold(1, 11); err == nil {
+		t.Error("stopAt beyond tasks accepted")
+	}
+	bad := Probe{Class: probeClass(), Tasks: 0}
+	if _, err := bad.RunOnHold(1, 1); err == nil {
+		t.Error("zero-task probe accepted")
+	}
+}
+
+func TestSweepLinearityOnLinearMarket(t *testing.T) {
+	p := Probe{Class: probeClass(), Tasks: 3000, Seed: 29}
+	res, err := p.SweepLinearity([]int{1, 2, 3, 4, 5, 6}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True model λo(c) = c + 1: slope 1, intercept 1.
+	if math.Abs(res.Fit.Slope-1) > 0.15 {
+		t.Errorf("slope = %v, want ≈1", res.Fit.Slope)
+	}
+	if math.Abs(res.Fit.Intercept-1) > 0.4 {
+		t.Errorf("intercept = %v, want ≈1", res.Fit.Intercept)
+	}
+	if res.Fit.R2 < 0.98 {
+		t.Errorf("R² = %v, want near 1 (linearity hypothesis)", res.Fit.R2)
+	}
+	if len(res.Prices) != 6 || len(res.Rates) != 6 {
+		t.Errorf("sweep sizes: %d prices, %d rates", len(res.Prices), len(res.Rates))
+	}
+}
+
+func TestSweepLinearityNeedsTwoPrices(t *testing.T) {
+	p := Probe{Class: probeClass(), Tasks: 10, Seed: 1}
+	if _, err := p.SweepLinearity([]int{2}, 5); err == nil {
+		t.Error("single-price sweep accepted")
+	}
+}
+
+func TestSweepLinearityDetectsNonlinearity(t *testing.T) {
+	// Against a quadratic market the linear fit must show a worse R² than
+	// against a linear market over a wide price range.
+	quad := &market.TaskClass{
+		Name:     "probe-quad",
+		Accept:   pricing.Quadratic{},
+		ProcRate: 1e6,
+		Accuracy: 1,
+	}
+	pQuad := Probe{Class: quad, Tasks: 2500, Seed: 31}
+	resQuad, err := pQuad.SweepLinearity([]int{1, 4, 8, 12, 16, 20}, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pLin := Probe{Class: probeClass(), Tasks: 2500, Seed: 31}
+	resLin, err := pLin.SweepLinearity([]int{1, 4, 8, 12, 16, 20}, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resLin.Fit.R2 <= resQuad.Fit.R2 {
+		t.Errorf("linear market R² (%v) should exceed quadratic market R² (%v)",
+			resLin.Fit.R2, resQuad.Fit.R2)
+	}
+}

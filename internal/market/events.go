@@ -1,0 +1,48 @@
+package market
+
+import "container/heap"
+
+// eventKind discriminates scheduled events.
+type eventKind int
+
+const (
+	evAccept   eventKind = iota // an open repetition is taken (ModeIndependent)
+	evComplete                  // an accepted repetition's answer returns
+	evArrival                   // a worker arrives (ModeWorkerChoice)
+	evAbandon                   // an accepting worker returns the repetition unfinished
+)
+
+// event is one scheduled occurrence. seq breaks time ties deterministically
+// in insertion order, keeping runs reproducible.
+type event struct {
+	at   float64
+	seq  uint64
+	kind eventKind
+	task int // index into sim.tasks (evAccept, evComplete)
+}
+
+// eventQueue is a binary min-heap on (at, seq).
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+var _ heap.Interface = (*eventQueue)(nil)

@@ -1,0 +1,664 @@
+package market
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"hputune/internal/dist"
+	"hputune/internal/numeric"
+	"hputune/internal/pricing"
+)
+
+func testClass(name string, k, b, proc, acc float64) *TaskClass {
+	return &TaskClass{Name: name, Accept: pricing.Linear{K: k, B: b}, ProcRate: proc, Accuracy: acc}
+}
+
+func specN(class *TaskClass, id string, reps, price int) TaskSpec {
+	prices := make([]int, reps)
+	for i := range prices {
+		prices[i] = price
+	}
+	return TaskSpec{ID: id, Class: class, RepPrices: prices}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Mode: Mode(9)}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := New(Config{Mode: ModeWorkerChoice}); err == nil {
+		t.Error("worker-choice without arrival rate accepted")
+	}
+	if _, err := New(Config{WalkAwayWeight: -1}); err == nil {
+		t.Error("negative walk-away weight accepted")
+	}
+	if _, err := New(Config{}); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	c := testClass("c", 1, 1, 2, 1)
+	if err := (TaskSpec{ID: "t", Class: c}).Validate(); err == nil {
+		t.Error("no repetitions accepted")
+	}
+	if err := (TaskSpec{ID: "t", Class: c, RepPrices: []int{0}}).Validate(); err == nil {
+		t.Error("zero price accepted")
+	}
+	bad := &TaskClass{Name: "bad", Accept: pricing.Linear{K: 1, B: 1}, ProcRate: 0, Accuracy: 1}
+	if err := (TaskSpec{ID: "t", Class: bad, RepPrices: []int{1}}).Validate(); err == nil {
+		t.Error("invalid class accepted")
+	}
+	if err := (TaskSpec{ID: "t", Class: c, RepPrices: []int{1, 2}}).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestRunWithoutTasks(t *testing.T) {
+	s, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Error("empty run accepted")
+	}
+}
+
+func TestIndependentModeSingleTaskTrace(t *testing.T) {
+	c := testClass("c", 1, 1, 2, 1)
+	s, err := New(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Post(specN(c, "t0", 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results", len(results))
+	}
+	res := results[0]
+	if len(res.Reps) != 3 {
+		t.Fatalf("got %d repetition records", len(res.Reps))
+	}
+	// Repetitions are sequential: each posts when the previous finishes.
+	for i, r := range res.Reps {
+		if r.Rep != i {
+			t.Errorf("record %d has rep index %d", i, r.Rep)
+		}
+		if r.Accepted < r.PostedAt || r.Done < r.Accepted {
+			t.Errorf("rep %d: inconsistent times %+v", i, r)
+		}
+		if i > 0 && r.PostedAt != res.Reps[i-1].Done {
+			t.Errorf("rep %d posted at %v, previous done at %v (must be sequential)",
+				i, r.PostedAt, res.Reps[i-1].Done)
+		}
+	}
+	if res.CompletedAt != res.Reps[2].Done {
+		t.Error("task completion time mismatch")
+	}
+	if res.Latency() <= 0 {
+		t.Error("non-positive task latency")
+	}
+}
+
+func TestIndependentModeLatencyMatchesModel(t *testing.T) {
+	// Mean on-hold latency over many single-rep tasks at price c must be
+	// 1/λo(c); processing must be 1/λp.
+	c := testClass("c", 2, 1, 4, 1) // λo(3) = 7, λp = 4
+	const n = 20000
+	s, err := New(Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Post(specN(c, fmt.Sprintf("t%d", i), 1, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(results)
+	if math.Abs(sum.MeanOnHold-1.0/7) > 0.005 {
+		t.Errorf("mean on-hold %v, want %v", sum.MeanOnHold, 1.0/7)
+	}
+	if math.Abs(sum.MeanProcess-0.25) > 0.01 {
+		t.Errorf("mean processing %v, want 0.25", sum.MeanProcess)
+	}
+	if sum.Tasks != n || sum.Repetitions != n {
+		t.Errorf("summary counts wrong: %+v", sum)
+	}
+	if sum.TotalPaid != 3*n {
+		t.Errorf("total paid %d, want %d", sum.TotalPaid, 3*n)
+	}
+}
+
+func TestHigherPriceAcceptsFaster(t *testing.T) {
+	// The core premise: raising the reward shortens phase 1 and leaves
+	// phase 2 unchanged.
+	c := testClass("c", 1, 0.5, 3, 1)
+	meanFor := func(price int) (onhold, proc float64) {
+		s, err := New(Config{Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8000; i++ {
+			if err := s.Post(specN(c, fmt.Sprintf("t%d", i), 1, price)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		results, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := Summarize(results)
+		return sum.MeanOnHold, sum.MeanProcess
+	}
+	oh1, pr1 := meanFor(1)
+	oh5, pr5 := meanFor(5)
+	if oh5 >= oh1 {
+		t.Errorf("on-hold at price 5 (%v) not faster than price 1 (%v)", oh5, oh1)
+	}
+	if math.Abs(pr5-pr1) > 0.02 {
+		t.Errorf("processing changed with price: %v vs %v", pr1, pr5)
+	}
+}
+
+func TestWorkerChoiceModeCompletesAndCompetes(t *testing.T) {
+	c := testClass("c", 1, 1, 2, 1)
+	s, err := New(Config{Mode: ModeWorkerChoice, ArrivalRate: 50, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := s.Post(specN(c, fmt.Sprintf("t%d", i), 2, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 30 {
+		t.Fatalf("completed %d/30 tasks", len(results))
+	}
+	// Worker ids must be assigned in worker-choice mode.
+	sawWorker := false
+	for _, res := range results {
+		for _, r := range res.Reps {
+			if r.WorkerID >= 0 {
+				sawWorker = true
+			}
+		}
+	}
+	if !sawWorker {
+		t.Error("no worker ids recorded in worker-choice mode")
+	}
+}
+
+func TestWorkerChoicePrefersExpensiveTasks(t *testing.T) {
+	// With a shared worker stream, the higher-priced task class should be
+	// accepted faster on average.
+	c := testClass("c", 3, 0.1, 5, 1)
+	s, err := New(Config{Mode: ModeWorkerChoice, ArrivalRate: 20, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	for i := 0; i < n; i++ {
+		price := 1
+		if i%2 == 0 {
+			price = 8
+		}
+		if err := s.Post(specN(c, fmt.Sprintf("t%d-%d", i, price), 1, price)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap := numeric.NewKahan()
+	rich := numeric.NewKahan()
+	nc, nr := 0, 0
+	for _, res := range results {
+		for _, r := range res.Reps {
+			if r.Price == 8 {
+				rich.Add(r.OnHold())
+				nr++
+			} else {
+				cheap.Add(r.OnHold())
+				nc++
+			}
+		}
+	}
+	if nr == 0 || nc == 0 {
+		t.Fatal("price classes missing from trace")
+	}
+	if rich.Sum()/float64(nr) >= cheap.Sum()/float64(nc) {
+		t.Errorf("expensive tasks waited longer (%v) than cheap (%v)",
+			rich.Sum()/float64(nr), cheap.Sum()/float64(nc))
+	}
+}
+
+func TestMaxTimeHorizon(t *testing.T) {
+	c := testClass("c", 0.0001, 0.0001, 2, 1) // astronomically slow acceptance
+	s, err := New(Config{Seed: 3, MaxTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Post(specN(c, "slow", 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Error("horizon violation not reported")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	c := testClass("c", 1, 1, 2, 0.8)
+	run := func() Summary {
+		s, err := New(Config{Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			if err := s.Post(specN(c, fmt.Sprintf("t%d", i), 3, 2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		results, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Summarize(results)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed produced different summaries:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestAccuracySampling(t *testing.T) {
+	c := testClass("c", 1, 1, 2, 0.7)
+	s, err := New(Config{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if err := s.Post(specN(c, fmt.Sprintf("t%d", i), 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(results)
+	if math.Abs(sum.CorrectRatio-0.7) > 0.03 {
+		t.Errorf("correct ratio %v, want ≈0.7", sum.CorrectRatio)
+	}
+}
+
+func TestCollectPhasesOrdering(t *testing.T) {
+	c := testClass("c", 1, 1, 2, 1)
+	s, err := New(Config{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Post(specN(c, fmt.Sprintf("t%d", i), 2, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := CollectPhases(results)
+	if len(ph.OnHold) != 40 {
+		t.Fatalf("got %d entries, want 40", len(ph.OnHold))
+	}
+	for i := 1; i < len(ph.AcceptEpochs); i++ {
+		if ph.AcceptEpochs[i] < ph.AcceptEpochs[i-1] {
+			t.Fatal("acceptance epochs not sorted")
+		}
+	}
+	for i := range ph.Overall {
+		if math.Abs(ph.Overall[i]-(ph.OnHold[i]+ph.Processing[i])) > 1e-12 {
+			t.Fatal("overall != onhold + processing")
+		}
+	}
+}
+
+func TestAllRecordsSorted(t *testing.T) {
+	c := testClass("c", 1, 1, 2, 1)
+	s, err := New(Config{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		if err := s.Post(specN(c, fmt.Sprintf("t%d", i), 2, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	recs := s.AllRecords()
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Accepted < recs[i-1].Accepted {
+			t.Fatal("AllRecords not sorted by acceptance")
+		}
+	}
+	if s.Makespan() <= 0 {
+		t.Error("non-positive makespan after completed run")
+	}
+}
+
+func TestRepeatedMakespan(t *testing.T) {
+	got, err := RepeatedMakespan(4, func(round int) (float64, error) {
+		return float64(round + 1), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Errorf("mean = %v, want 2.5", got)
+	}
+	if _, err := RepeatedMakespan(0, nil); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, err := RepeatedMakespan(1, func(int) (float64, error) {
+		return 0, fmt.Errorf("boom")
+	}); err == nil {
+		t.Error("round error not propagated")
+	}
+}
+
+func TestPoissonArrivalLinearityWorkerChoice(t *testing.T) {
+	// Fig 3's observation: acceptance epochs grow linearly in order. In
+	// worker-choice mode with no walk-away, acceptance epochs are exactly
+	// the Poisson worker arrivals, so the order-epoch regression must be
+	// strongly linear.
+	c := testClass("c", 1, 1, 1000, 1) // processing ≈ 0 (probe-style)
+	s, err := New(Config{Mode: ModeWorkerChoice, ArrivalRate: 5, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := s.Post(specN(c, fmt.Sprintf("t%d", i), 1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := CollectPhases(results)
+	xs := make([]float64, len(ph.AcceptEpochs))
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	fit, err := numeric.FitLinear(xs, ph.AcceptEpochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.98 {
+		t.Errorf("arrival epochs not linear in order: R² = %v", fit.R2)
+	}
+}
+
+func TestPoissonArrivalLinearityEarlyIndependent(t *testing.T) {
+	// In independent mode the epochs are order statistics of n iid
+	// exponentials — a death process that is only locally homogeneous.
+	// The paper's Fig 3 looks at the first 20 arrivals with many open
+	// tasks, where the effective rate (n−i)·λ ≈ n·λ is near constant, so
+	// the early prefix must still be linear.
+	c := testClass("c", 1, 1, 1000, 1)
+	s, err := New(Config{Seed: 59})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := s.Post(specN(c, fmt.Sprintf("t%d", i), 1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := CollectPhases(results)
+	const prefix = 30
+	xs := make([]float64, prefix)
+	ys := make([]float64, prefix)
+	for i := 0; i < prefix; i++ {
+		xs[i] = float64(i + 1)
+		ys[i] = ph.AcceptEpochs[i]
+	}
+	fit, err := numeric.FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.9 {
+		t.Errorf("early arrival epochs not linear: R² = %v", fit.R2)
+	}
+}
+
+func TestAbandonConfigValidation(t *testing.T) {
+	if _, err := New(Config{AbandonProb: -0.1}); err == nil {
+		t.Error("negative abandon probability accepted")
+	}
+	if _, err := New(Config{AbandonProb: 1}); err == nil {
+		t.Error("abandon probability 1 accepted")
+	}
+	if _, err := New(Config{AbandonProb: 0.2}); err == nil {
+		t.Error("abandonment without an abandon rate accepted")
+	}
+	if _, err := New(Config{AbandonProb: 0.2, AbandonRate: 3}); err != nil {
+		t.Errorf("valid abandonment config rejected: %v", err)
+	}
+}
+
+func TestAbandonmentReposts(t *testing.T) {
+	class := testClass("vote", 1, 1, 2, 1)
+	sim, err := New(Config{Seed: 5, AbandonProb: 0.4, AbandonRate: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tasks = 60
+	for i := 0; i < tasks; i++ {
+		if err := sim.Post(specN(class, fmt.Sprintf("t%d", i), 2, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every task still completes every repetition.
+	if len(results) != tasks {
+		t.Fatalf("completed %d of %d tasks", len(results), tasks)
+	}
+	for _, res := range results {
+		if len(res.Reps) != 2 {
+			t.Errorf("task %s recorded %d repetitions, want 2", res.TaskID, len(res.Reps))
+		}
+	}
+	// With p=0.4, acceptances follow a geometric retry: expected
+	// abandons ≈ reps·p/(1−p) = 120·(2/3) = 80. Allow a wide band.
+	ab := sim.Abandoned()
+	if ab < 40 || ab > 130 {
+		t.Errorf("abandoned %d acceptances, expected roughly 80", ab)
+	}
+}
+
+func TestAbandonmentSlowsCompletion(t *testing.T) {
+	class := testClass("vote", 1, 1, 2, 1)
+	run := func(prob float64) float64 {
+		cfg := Config{Seed: 9}
+		if prob > 0 {
+			cfg.AbandonProb = prob
+			cfg.AbandonRate = 4
+		}
+		const rounds = 30
+		total := 0.0
+		for round := 0; round < rounds; round++ {
+			cfg.Seed = 9 + uint64(round)
+			sim, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 40; i++ {
+				if err := sim.Post(specN(class, fmt.Sprintf("t%d", i), 1, 3)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := sim.Run(); err != nil {
+				t.Fatal(err)
+			}
+			total += sim.Makespan()
+		}
+		return total / rounds
+	}
+	clean := run(0)
+	flaky := run(0.5)
+	if flaky <= clean {
+		t.Errorf("abandonment did not slow completion: %v <= %v", flaky, clean)
+	}
+}
+
+func TestAbandonmentDeterministic(t *testing.T) {
+	class := testClass("vote", 1, 1, 2, 1)
+	run := func() (float64, int) {
+		sim, err := New(Config{Seed: 31, AbandonProb: 0.3, AbandonRate: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			if err := sim.Post(specN(class, fmt.Sprintf("t%d", i), 3, 2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Makespan(), sim.Abandoned()
+	}
+	m1, a1 := run()
+	m2, a2 := run()
+	if m1 != m2 || a1 != a2 {
+		t.Errorf("non-deterministic abandonment: (%v, %d) vs (%v, %d)", m1, a1, m2, a2)
+	}
+}
+
+func TestAbandonmentWorkerChoice(t *testing.T) {
+	// Abandonment must also work in the worker-choice mechanism: the
+	// reopened repetition becomes visible to later arrivals.
+	class := testClass("vote", 1, 1, 2, 1)
+	sim, err := New(Config{
+		Mode:        ModeWorkerChoice,
+		ArrivalRate: 30,
+		Seed:        17,
+		AbandonProb: 0.3,
+		AbandonRate: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		if err := sim.Post(specN(class, fmt.Sprintf("t%d", i), 2, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 15 {
+		t.Fatalf("completed %d of 15 tasks", len(results))
+	}
+}
+
+func TestCustomProcessingDistribution(t *testing.T) {
+	// A degenerate-ish narrow log-normal makes processing nearly
+	// deterministic: observed processing latencies must concentrate
+	// around its mean instead of the exponential's wide spread.
+	ln, err := dist.LogNormalFromMoments(0.5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	class := &TaskClass{
+		Name:     "narrow",
+		Accept:   pricing.Linear{K: 1, B: 1},
+		Proc:     ln,
+		Accuracy: 1,
+	}
+	if err := class.Validate(); err != nil {
+		t.Fatalf("class with Proc but no ProcRate rejected: %v", err)
+	}
+	sim, err := New(Config{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := sim.Post(specN(class, fmt.Sprintf("t%d", i), 1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		p := res.Reps[0].Processing()
+		if p < 0.3 || p > 0.8 {
+			t.Errorf("processing %v outside the narrow band around 0.5", p)
+		}
+	}
+}
+
+func TestProcessingDistributionMean(t *testing.T) {
+	// A two-component hyperexponential's observed mean must match.
+	he, err := dist.NewHyperExponential([]float64{0.8, 0.2}, []float64{4, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	class := &TaskClass{
+		Name:     "mixed",
+		Accept:   pricing.Linear{K: 1, B: 1},
+		Proc:     he,
+		Accuracy: 1,
+	}
+	sim, err := New(Config{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := sim.Post(specN(class, fmt.Sprintf("t%d", i), 1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, res := range results {
+		sum += res.Reps[0].Processing()
+	}
+	got := sum / n
+	want := he.Mean()
+	if math.Abs(got-want) > 0.05*want {
+		t.Errorf("observed processing mean %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,101 @@
+package market
+
+import (
+	"fmt"
+	"sort"
+
+	"hputune/internal/numeric"
+)
+
+// PhaseSeries are per-repetition latencies ordered by acceptance time:
+// the x-axis the paper calls "Order" in Figures 3 and 5.
+type PhaseSeries struct {
+	AcceptEpochs []float64 // absolute acceptance times
+	OnHold       []float64 // phase-1 latency per repetition
+	Processing   []float64 // phase-2 latency per repetition
+	Overall      []float64 // sum per repetition
+}
+
+// CollectPhases extracts ordered phase latencies from a finished run.
+func CollectPhases(results []TaskResult) PhaseSeries {
+	var recs []RepRecord
+	for _, t := range results {
+		recs = append(recs, t.Reps...)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Accepted < recs[j].Accepted })
+	var s PhaseSeries
+	for _, r := range recs {
+		s.AcceptEpochs = append(s.AcceptEpochs, r.Accepted)
+		s.OnHold = append(s.OnHold, r.OnHold())
+		s.Processing = append(s.Processing, r.Processing())
+		s.Overall = append(s.Overall, r.OnHold()+r.Processing())
+	}
+	return s
+}
+
+// Summary aggregates a finished run for reporting.
+type Summary struct {
+	Tasks        int
+	Repetitions  int
+	Makespan     float64
+	MeanOnHold   float64
+	MeanProcess  float64
+	MeanOverall  float64
+	CorrectRatio float64
+	TotalPaid    int
+}
+
+// Summarize computes run aggregates.
+func Summarize(results []TaskResult) Summary {
+	var sum Summary
+	onhold := numeric.NewKahan()
+	proc := numeric.NewKahan()
+	correct := 0
+	for _, t := range results {
+		sum.Tasks++
+		if t.CompletedAt > sum.Makespan {
+			sum.Makespan = t.CompletedAt
+		}
+		for _, r := range t.Reps {
+			sum.Repetitions++
+			onhold.Add(r.OnHold())
+			proc.Add(r.Processing())
+			sum.TotalPaid += r.Price
+			if r.Correct {
+				correct++
+			}
+		}
+	}
+	if sum.Repetitions > 0 {
+		n := float64(sum.Repetitions)
+		sum.MeanOnHold = onhold.Sum() / n
+		sum.MeanProcess = proc.Sum() / n
+		sum.MeanOverall = sum.MeanOnHold + sum.MeanProcess
+		sum.CorrectRatio = float64(correct) / n
+	}
+	return sum
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("tasks=%d reps=%d makespan=%.3f onhold=%.3f proc=%.3f paid=%d correct=%.1f%%",
+		s.Tasks, s.Repetitions, s.Makespan, s.MeanOnHold, s.MeanProcess, s.TotalPaid, 100*s.CorrectRatio)
+}
+
+// RepeatedMakespan runs fn (which must build, run and return a fresh
+// simulation's makespan) rounds times and returns the mean makespan —
+// the standard way experiments average over marketplace randomness.
+func RepeatedMakespan(rounds int, fn func(round int) (float64, error)) (float64, error) {
+	if rounds < 1 {
+		return 0, fmt.Errorf("market: rounds must be >= 1, got %d", rounds)
+	}
+	acc := numeric.NewKahan()
+	for i := 0; i < rounds; i++ {
+		v, err := fn(i)
+		if err != nil {
+			return 0, fmt.Errorf("market: round %d: %w", i, err)
+		}
+		acc.Add(v)
+	}
+	return acc.Sum() / float64(rounds), nil
+}

@@ -1,0 +1,276 @@
+package market
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hputune/internal/randx"
+)
+
+// taskState tracks one posted task through its sequential repetitions.
+type taskState struct {
+	spec    TaskSpec
+	nextRep int     // repetition currently open or being processed
+	posted  float64 // when the current repetition went on hold
+	taken   float64 // when the current repetition was accepted
+	open    bool    // current repetition is on hold
+	done    bool
+	records []RepRecord
+}
+
+// Sim is a single marketplace simulation run. Create with New, post tasks
+// with Post, then drive with Run. A Sim is single-goroutine.
+type Sim struct {
+	cfg        Config
+	rng        *randx.Rand
+	queue      eventQueue
+	seq        uint64
+	clock      float64
+	tasks      []taskState
+	nDone      int
+	nextWorker int
+	abandoned  int
+
+	// Results and trace, populated as tasks finish.
+	results []TaskResult
+}
+
+// New returns an empty simulation with the given configuration.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{cfg: cfg, rng: randx.New(cfg.Seed)}
+	return s, nil
+}
+
+// Clock returns the current simulation time.
+func (s *Sim) Clock() float64 { return s.clock }
+
+// Post places a task on the market at the current clock; its first
+// repetition goes on hold immediately.
+func (s *Sim) Post(spec TaskSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	st := taskState{spec: spec, posted: s.clock, open: true}
+	s.tasks = append(s.tasks, st)
+	idx := len(s.tasks) - 1
+	if s.cfg.Mode == ModeIndependent {
+		s.scheduleAccept(idx)
+	}
+	return nil
+}
+
+// PostAll posts a batch of tasks at the current clock.
+func (s *Sim) PostAll(specs []TaskSpec) error {
+	for _, spec := range specs {
+		if err := s.Post(spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Sim) push(at float64, kind eventKind, task int) {
+	s.seq++
+	heap.Push(&s.queue, event{at: at, seq: s.seq, kind: kind, task: task})
+}
+
+// scheduleAccept draws the acceptance delay of task idx's open repetition
+// from Exp(λo(price)).
+func (s *Sim) scheduleAccept(idx int) {
+	st := &s.tasks[idx]
+	price := st.spec.RepPrices[st.nextRep]
+	rate := st.spec.Class.Accept.Rate(float64(price))
+	s.push(s.clock+s.rng.Exp(rate), evAccept, idx)
+}
+
+// Run drives the simulation until every posted task has completed all its
+// repetitions (or MaxTime passes). It returns the completed task results
+// in completion order.
+func (s *Sim) Run() ([]TaskResult, error) {
+	if len(s.tasks) == 0 {
+		return nil, fmt.Errorf("market: Run with no posted tasks")
+	}
+	if s.cfg.Mode == ModeWorkerChoice {
+		s.push(s.clock+s.rng.Exp(s.cfg.ArrivalRate), evArrival, -1)
+	}
+	for s.nDone < len(s.tasks) {
+		if s.queue.Len() == 0 {
+			return nil, fmt.Errorf("market: event queue drained with %d/%d tasks incomplete", s.nDone, len(s.tasks))
+		}
+		ev := heap.Pop(&s.queue).(event)
+		s.clock = ev.at
+		if s.cfg.MaxTime > 0 && s.clock > s.cfg.MaxTime {
+			return nil, fmt.Errorf("market: horizon %v exceeded with %d/%d tasks incomplete", s.cfg.MaxTime, s.nDone, len(s.tasks))
+		}
+		switch ev.kind {
+		case evAccept:
+			s.handleAccept(ev.task, -1)
+		case evComplete:
+			s.handleComplete(ev.task)
+		case evArrival:
+			s.handleArrival()
+		case evAbandon:
+			s.handleAbandon(ev.task)
+		}
+	}
+	return s.results, nil
+}
+
+// handleAccept marks task idx's open repetition as taken and schedules its
+// completion. worker is the accepting worker id, or -1 in independent mode.
+func (s *Sim) handleAccept(idx, worker int) {
+	st := &s.tasks[idx]
+	if !st.open || st.done {
+		return // stale event (repetition already taken)
+	}
+	st.open = false
+	st.taken = s.clock
+	_ = worker
+	// Failure injection: the worker may hold the repetition for a while
+	// and then return it unfinished instead of answering.
+	if s.cfg.AbandonProb > 0 && s.rng.Bernoulli(s.cfg.AbandonProb) {
+		s.push(s.clock+s.rng.Exp(s.cfg.AbandonRate), evAbandon, idx)
+		return
+	}
+	st.records = append(st.records, RepRecord{
+		TaskID:   st.spec.ID,
+		Rep:      st.nextRep,
+		Price:    st.spec.RepPrices[st.nextRep],
+		PostedAt: st.posted,
+		Accepted: s.clock,
+		WorkerID: worker,
+		Meta:     st.spec.Meta,
+	})
+	s.push(s.clock+s.sampleProcessing(st.spec.Class), evComplete, idx)
+}
+
+// sampleProcessing draws one processing latency for the class: its
+// custom distribution when set, the HPU model's Exp(λp) otherwise.
+func (s *Sim) sampleProcessing(c *TaskClass) float64 {
+	if c.Proc != nil {
+		return c.Proc.Sample(s.rng)
+	}
+	return s.rng.Exp(c.ProcRate)
+}
+
+// handleAbandon reopens task idx's in-flight repetition after its worker
+// returned it: the repetition goes back on hold with a fresh on-hold
+// clock. Abandoned holds are not recorded as repetitions (the paper's
+// trace model only sees completed answers); the count is exposed through
+// Abandoned.
+func (s *Sim) handleAbandon(idx int) {
+	st := &s.tasks[idx]
+	if st.open || st.done {
+		return // stale
+	}
+	s.abandoned++
+	st.posted = s.clock
+	st.open = true
+	if s.cfg.Mode == ModeIndependent {
+		s.scheduleAccept(idx)
+	}
+}
+
+// Abandoned returns how many acceptances were returned unfinished.
+func (s *Sim) Abandoned() int { return s.abandoned }
+
+// handleComplete finishes the in-flight repetition of task idx and opens
+// the next one, or completes the task.
+func (s *Sim) handleComplete(idx int) {
+	st := &s.tasks[idx]
+	rec := &st.records[len(st.records)-1]
+	rec.Done = s.clock
+	rec.Correct = s.rng.Bernoulli(st.spec.Class.Accuracy)
+
+	st.nextRep++
+	if st.nextRep >= len(st.spec.RepPrices) {
+		st.done = true
+		s.nDone++
+		s.results = append(s.results, TaskResult{
+			TaskID:      st.spec.ID,
+			CompletedAt: s.clock,
+			Reps:        st.records,
+		})
+		return
+	}
+	// Sequential repetition: the next one goes on hold now.
+	st.posted = s.clock
+	st.open = true
+	if s.cfg.Mode == ModeIndependent {
+		s.scheduleAccept(idx)
+	}
+}
+
+// handleArrival lets one arriving worker inspect the board and take at
+// most one open repetition, weighted by acceptance attractiveness.
+func (s *Sim) handleArrival() {
+	// Schedule the next arrival first: the stream is unconditional.
+	s.push(s.clock+s.rng.Exp(s.cfg.ArrivalRate), evArrival, -1)
+
+	total := s.cfg.WalkAwayWeight
+	for i := range s.tasks {
+		st := &s.tasks[i]
+		if st.open && !st.done {
+			total += st.spec.Class.Accept.Rate(float64(st.spec.RepPrices[st.nextRep]))
+		}
+	}
+	if total <= 0 {
+		return
+	}
+	pick := s.rng.Float64() * total
+	acc := s.cfg.WalkAwayWeight
+	if pick < acc {
+		return // worker walked away
+	}
+	for i := range s.tasks {
+		st := &s.tasks[i]
+		if !st.open || st.done {
+			continue
+		}
+		acc += st.spec.Class.Accept.Rate(float64(st.spec.RepPrices[st.nextRep]))
+		if pick < acc {
+			worker := s.nextWorker
+			s.nextWorker++
+			s.handleAccept(i, worker)
+			return
+		}
+	}
+}
+
+// Results returns the task results accumulated so far (completion order).
+func (s *Sim) Results() []TaskResult { return s.results }
+
+// AllRecords flattens every completed repetition record, ordered by
+// acceptance time — the paper's "arrival order" axis.
+func (s *Sim) AllRecords() []RepRecord {
+	var recs []RepRecord
+	for _, t := range s.results {
+		recs = append(recs, t.Reps...)
+	}
+	sortRecordsByAccepted(recs)
+	return recs
+}
+
+func sortRecordsByAccepted(recs []RepRecord) {
+	// Insertion sort: traces are short and mostly ordered already.
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].Accepted < recs[j-1].Accepted; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}
+
+// Makespan returns the completion time of the last task, or 0 before any
+// task completes.
+func (s *Sim) Makespan() float64 {
+	best := 0.0
+	for _, t := range s.results {
+		if t.CompletedAt > best {
+			best = t.CompletedAt
+		}
+	}
+	return best
+}

@@ -1,0 +1,189 @@
+// Package market is a discrete-event simulator of a crowdsourcing
+// marketplace, the substrate that stands in for Amazon Mechanical Turk in
+// the reproduction of "Tuning Crowdsourced Human Computation" (Cao et al.,
+// ICDE 2017).
+//
+// The simulated mechanism is the paper's own model of AMT (Sec 3):
+// a task posted at price c waits in an on-hold phase whose duration is
+// exponential with rate λo(c), then a processing phase exponential with
+// rate λp; the k answer repetitions of one task run sequentially, distinct
+// tasks in parallel. Two fidelities are provided:
+//
+//   - ModeIndependent: every open repetition is accepted by its own
+//     exponential clock — exactly the stochastic process the paper
+//     analyzes, and the mode used to regenerate the paper's figures;
+//   - ModeWorkerChoice: worker entities arrive as a Poisson stream and
+//     choose among open repetitions by price attractiveness, introducing
+//     the competition the paper's independence assumption ignores — used
+//     to probe the robustness of the tuning strategies.
+//
+// Default rates are calibrated to the paper's published AMT measurements
+// (λ ≈ 0.0038–0.0131 s⁻¹ for rewards of $0.05–$0.12, Sec 5.2).
+package market
+
+import (
+	"fmt"
+
+	"hputune/internal/dist"
+	"hputune/internal/pricing"
+)
+
+// TaskClass describes one kind of atomic task on the marketplace.
+type TaskClass struct {
+	// Name identifies the class ("image-filter-4v", "sort-vote", ...).
+	Name string
+	// Accept maps the offered price to the on-hold clock rate λo.
+	Accept pricing.RateModel
+	// ProcRate is the processing clock rate λp.
+	ProcRate float64
+	// Proc, when non-nil, overrides the exponential processing model
+	// with an arbitrary latency distribution (e.g. dist.LogNormal or
+	// dist.HyperExponential) — the robustness knob for probing the HPU
+	// model's exponential-processing assumption. ProcRate is ignored
+	// when Proc is set.
+	Proc dist.Distribution
+	// Accuracy is the probability a worker answers a repetition correctly;
+	// 1.0 for latency-only studies. Must lie in (0, 1].
+	Accuracy float64
+}
+
+// Validate reports whether the class is usable.
+func (c *TaskClass) Validate() error {
+	if c == nil {
+		return fmt.Errorf("market: nil task class")
+	}
+	if c.Accept == nil {
+		return fmt.Errorf("market: class %q has no acceptance model", c.Name)
+	}
+	if c.Proc == nil && !(c.ProcRate > 0) {
+		return fmt.Errorf("market: class %q has non-positive processing rate %v", c.Name, c.ProcRate)
+	}
+	if !(c.Accuracy > 0) || c.Accuracy > 1 {
+		return fmt.Errorf("market: class %q has accuracy %v outside (0, 1]", c.Name, c.Accuracy)
+	}
+	return nil
+}
+
+// TaskSpec is one atomic task to post: Reps sequential repetitions, each
+// offered at the corresponding price in RepPrices (length Reps).
+type TaskSpec struct {
+	// ID is the caller's identifier for the task, echoed in records.
+	ID string
+	// Class is the task's class; must be registered with the simulator.
+	Class *TaskClass
+	// RepPrices holds the payment for each repetition, in budget units.
+	RepPrices []int
+	// Meta is an opaque caller payload echoed in records (e.g. the item
+	// pair a comparison task encodes).
+	Meta any
+}
+
+// Validate reports whether the spec is well formed.
+func (s TaskSpec) Validate() error {
+	if err := s.Class.Validate(); err != nil {
+		return err
+	}
+	if len(s.RepPrices) == 0 {
+		return fmt.Errorf("market: task %q has no repetitions", s.ID)
+	}
+	for i, p := range s.RepPrices {
+		if p < 1 {
+			return fmt.Errorf("market: task %q repetition %d priced %d, need >= 1", s.ID, i, p)
+		}
+	}
+	return nil
+}
+
+// RepRecord is the trace of one completed repetition.
+type RepRecord struct {
+	TaskID   string
+	Rep      int     // repetition index within the task, 0-based
+	Price    int     // payment offered
+	PostedAt float64 // when the repetition went on hold
+	Accepted float64 // when a worker took it
+	Done     float64 // when the answer returned
+	WorkerID int     // accepting worker (ModeWorkerChoice) or -1
+	Correct  bool    // whether the simulated answer is correct
+	Meta     any     // copied from the TaskSpec
+}
+
+// OnHold returns the repetition's phase-1 latency.
+func (r RepRecord) OnHold() float64 { return r.Accepted - r.PostedAt }
+
+// Processing returns the repetition's phase-2 latency.
+func (r RepRecord) Processing() float64 { return r.Done - r.Accepted }
+
+// TaskResult aggregates a completed task.
+type TaskResult struct {
+	TaskID      string
+	CompletedAt float64
+	Reps        []RepRecord
+}
+
+// Latency returns the task's total latency from first posting.
+func (t TaskResult) Latency() float64 {
+	if len(t.Reps) == 0 {
+		return 0
+	}
+	return t.CompletedAt - t.Reps[0].PostedAt
+}
+
+// Mode selects the acceptance mechanism.
+type Mode int
+
+const (
+	// ModeIndependent accepts each open repetition on its own
+	// Exp(λo(price)) clock — the paper's analytical model.
+	ModeIndependent Mode = iota
+	// ModeWorkerChoice spawns Poisson worker arrivals that choose among
+	// open repetitions weighted by λo(price).
+	ModeWorkerChoice
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Mode selects the acceptance mechanism (default ModeIndependent).
+	Mode Mode
+	// ArrivalRate is the worker arrival rate for ModeWorkerChoice
+	// (workers per unit time). Ignored by ModeIndependent.
+	ArrivalRate float64
+	// WalkAwayWeight is the pseudo-option weight of a worker inspecting
+	// the board and leaving without taking anything (ModeWorkerChoice).
+	// Larger values thin the effective acceptance rate. Default 0.
+	WalkAwayWeight float64
+	// AbandonProb is the probability an accepting worker returns the
+	// repetition unfinished ("return HIT" on AMT) instead of answering;
+	// the repetition goes back on hold and must be re-accepted. The HPU
+	// model of the paper has no abandonment (default 0) — this is the
+	// failure-injection knob used to probe the tuning strategies'
+	// robustness to a violated model. Must lie in [0, 1).
+	AbandonProb float64
+	// AbandonRate is the rate of the exponential time an abandoning
+	// worker holds the repetition before returning it. Required positive
+	// when AbandonProb > 0.
+	AbandonRate float64
+	// Seed seeds the simulation's deterministic random stream.
+	Seed uint64
+	// MaxTime aborts a run whose clock exceeds this horizon (a safety
+	// net against starved tasks in ModeWorkerChoice). Default 0 = none.
+	MaxTime float64
+}
+
+func (c Config) validate() error {
+	if c.Mode != ModeIndependent && c.Mode != ModeWorkerChoice {
+		return fmt.Errorf("market: unknown mode %d", c.Mode)
+	}
+	if c.Mode == ModeWorkerChoice && !(c.ArrivalRate > 0) {
+		return fmt.Errorf("market: worker-choice mode needs a positive arrival rate, got %v", c.ArrivalRate)
+	}
+	if c.WalkAwayWeight < 0 {
+		return fmt.Errorf("market: negative walk-away weight %v", c.WalkAwayWeight)
+	}
+	if c.AbandonProb < 0 || c.AbandonProb >= 1 {
+		return fmt.Errorf("market: abandon probability %v outside [0, 1)", c.AbandonProb)
+	}
+	if c.AbandonProb > 0 && !(c.AbandonRate > 0) {
+		return fmt.Errorf("market: abandonment needs a positive abandon rate, got %v", c.AbandonRate)
+	}
+	return nil
+}

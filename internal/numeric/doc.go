@@ -1,0 +1,10 @@
+// Package numeric provides the numerical substrate used throughout hputune:
+// quadrature over finite and semi-infinite intervals, stable summation,
+// special functions (harmonic numbers, regularized incomplete gamma),
+// one-dimensional optimization and root finding, and ordinary least squares.
+//
+// The Go standard library has no numerical analysis package, and the paper's
+// latency estimators need well-conditioned integrals of expressions such as
+// 1 - F(t)^n where F is an Erlang CDF. Everything here is implemented from
+// scratch on top of package math and is deterministic.
+package numeric

@@ -1,0 +1,66 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearFit is the result of an ordinary least squares fit y = Slope*x +
+// Intercept, with the coefficient of determination R2 and the residual
+// standard error SE.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+	SE        float64
+	N         int
+}
+
+// FitLinear performs ordinary least squares on the paired samples (xs, ys).
+// At least two distinct x values are required.
+func FitLinear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("numeric: FitLinear: len(xs)=%d != len(ys)=%d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return LinearFit{}, fmt.Errorf("numeric: FitLinear: need at least 2 points, got %d", n)
+	}
+	mx, my := Mean(xs), Mean(ys)
+	sxx, sxy, syy := NewKahan(), NewKahan(), NewKahan()
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx.Add(dx * dx)
+		sxy.Add(dx * dy)
+		syy.Add(dy * dy)
+	}
+	if sxx.Sum() == 0 {
+		return LinearFit{}, fmt.Errorf("numeric: FitLinear: all x values identical (%v)", xs[0])
+	}
+	slope := sxy.Sum() / sxx.Sum()
+	intercept := my - slope*mx
+	// Residual sum of squares and R².
+	rss := NewKahan()
+	for i := range xs {
+		r := ys[i] - (slope*xs[i] + intercept)
+		rss.Add(r * r)
+	}
+	r2 := 1.0
+	if syy.Sum() > 0 {
+		r2 = 1 - rss.Sum()/syy.Sum()
+	}
+	se := 0.0
+	if n > 2 {
+		se = math.Sqrt(rss.Sum() / float64(n-2))
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2, SE: se, N: n}, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// String formats the fit as "y = a*x + b (R²=...)".
+func (f LinearFit) String() string {
+	return fmt.Sprintf("y = %.6g*x + %.6g (R²=%.4f, n=%d)", f.Slope, f.Intercept, f.R2, f.N)
+}

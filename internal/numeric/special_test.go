@@ -1,0 +1,133 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicSmall(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0}, {-3, 0}, {1, 1}, {2, 1.5}, {3, 11.0 / 6}, {4, 25.0 / 12},
+		{10, 2.9289682539682538},
+	}
+	for _, c := range cases {
+		if got := Harmonic(c.n); !almostEqual(got, c.want, 1e-14) {
+			t.Errorf("H_%d = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicAsymptoticMatchesExact(t *testing.T) {
+	// The asymptotic branch (n >= 64) must agree with direct summation.
+	for _, n := range []int{64, 100, 1000, 100000} {
+		k := NewKahan()
+		for i := 1; i <= n; i++ {
+			k.Add(1 / float64(i))
+		}
+		exact := k.Sum()
+		if got := Harmonic(n); !almostEqual(got, exact, 1e-12) {
+			t.Errorf("H_%d = %v, exact %v", n, got, exact)
+		}
+	}
+}
+
+func TestHarmonicMonotone(t *testing.T) {
+	prev := 0.0
+	for n := 1; n <= 200; n++ {
+		h := Harmonic(n)
+		if h <= prev {
+			t.Fatalf("H_%d = %v not greater than H_%d = %v", n, h, n-1, prev)
+		}
+		prev = h
+	}
+}
+
+func TestLogFactorial(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0}, {1, 0}, {2, math.Log(2)}, {5, math.Log(120)},
+		{10, math.Log(3628800)},
+	}
+	for _, c := range cases {
+		if got := LogFactorial(c.n); !almostEqual(got, c.want, 1e-13) {
+			t.Errorf("ln(%d!) = %v, want %v", c.n, got, c.want)
+		}
+	}
+	if !math.IsNaN(LogFactorial(-1)) {
+		t.Error("LogFactorial(-1) should be NaN")
+	}
+	// Large n via Lgamma matches recurrence ln(n!) = ln n + ln((n-1)!).
+	for _, n := range []int{20, 25, 50, 170} {
+		got := LogFactorial(n)
+		want := math.Log(float64(n)) + LogFactorial(n-1)
+		if !almostEqual(got, want, 1e-12) {
+			t.Errorf("ln(%d!) = %v, recurrence gives %v", n, got, want)
+		}
+	}
+}
+
+func TestRegularizedGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^(-x)
+	for _, x := range []float64{0.1, 1, 2, 10} {
+		got, err := RegularizedGammaP(1, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-x)
+		if !almostEqual(got, want, 1e-12) {
+			t.Errorf("P(1, %v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(k, x) = 1 - e^(-x)·Σ_{i<k} x^i/i! for k = 3.
+	for _, x := range []float64{0.5, 2.0, 7.0, 30.0} {
+		got, err := RegularizedGammaP(3, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-x)*(1+x+x*x/2)
+		if !almostEqual(got, want, 1e-10) {
+			t.Errorf("P(3, %v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestRegularizedGammaPBoundsAndErrors(t *testing.T) {
+	if v, err := RegularizedGammaP(2, 0); err != nil || v != 0 {
+		t.Errorf("P(2,0) = %v, %v; want 0, nil", v, err)
+	}
+	if _, err := RegularizedGammaP(0, 1); err == nil {
+		t.Error("expected error for a=0")
+	}
+	if _, err := RegularizedGammaP(2, -1); err == nil {
+		t.Error("expected error for x<0")
+	}
+}
+
+func TestRegularizedGammaPMonotoneInX(t *testing.T) {
+	prop := func(a8, x8 uint8) bool {
+		a := 1 + float64(a8%20)
+		x1 := float64(x8%40) / 2
+		x2 := x1 + 0.7
+		p1, err1 := RegularizedGammaP(a, x1)
+		p2, err2 := RegularizedGammaP(a, x2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p2 >= p1 && p1 >= 0 && p2 <= 1+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}

@@ -1,0 +1,168 @@
+// Package pricing maps task prices to on-hold clock rates λo(c).
+//
+// The paper's Linearity Hypothesis (Sec 3.3.2) posits λo(c) = k·c + b over
+// the operating price range; the synthetic evaluation (Sec 5.1) stresses
+// the tuning strategies under four linear models and two non-linear ones
+// (quadratic and logarithmic). All six, plus an empirical table model
+// matching Table 1 of the paper, are provided here behind one interface.
+package pricing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RateModel maps a per-repetition price (in discrete budget units) to the
+// on-hold clock rate λo of a task offered at that price.
+type RateModel interface {
+	// Rate returns λo(price). Implementations must return a positive,
+	// finite, non-decreasing function of price for price >= 1.
+	Rate(price float64) float64
+	// Name is a short identifier used in experiment output ("1+p", …).
+	Name() string
+}
+
+// Linear is the paper's Hypothesis 1: λo(c) = K·c + B.
+type Linear struct {
+	K float64 // slope (price sensitivity)
+	B float64 // intercept (base attractiveness)
+}
+
+// Rate returns K·price + B.
+func (l Linear) Rate(price float64) float64 { return l.K*price + l.B }
+
+// Name identifies the model, e.g. "10p+1".
+func (l Linear) Name() string {
+	switch {
+	case l.K == 1 && l.B == 0:
+		return "p"
+	case l.K == 1:
+		return fmt.Sprintf("p+%g", l.B)
+	case l.B == 0:
+		return fmt.Sprintf("%gp", l.K)
+	default:
+		return fmt.Sprintf("%gp+%g", l.K, l.B)
+	}
+}
+
+// Quadratic is the synthetic non-linear model λo(c) = 1 + c².
+type Quadratic struct{}
+
+// Rate returns 1 + price².
+func (Quadratic) Rate(price float64) float64 { return 1 + price*price }
+
+// Name returns "1+p^2".
+func (Quadratic) Name() string { return "1+p^2" }
+
+// Logarithmic is the synthetic non-linear model λo(c) = log(1 + c).
+type Logarithmic struct{}
+
+// Rate returns log(1 + price).
+func (Logarithmic) Rate(price float64) float64 { return math.Log1p(price) }
+
+// Name returns "log(1+p)".
+func (Logarithmic) Name() string { return "log(1+p)" }
+
+// Scaled wraps a model and multiplies its rate by Factor; used to model
+// task difficulty damping attractiveness (harder tasks are taken up more
+// slowly at the same price, Fig 5(a) of the paper).
+type Scaled struct {
+	Base   RateModel
+	Factor float64
+}
+
+// Rate returns Factor · Base.Rate(price).
+func (s Scaled) Rate(price float64) float64 { return s.Factor * s.Base.Rate(price) }
+
+// Name returns "<factor>x(<base>)".
+func (s Scaled) Name() string { return fmt.Sprintf("%gx(%s)", s.Factor, s.Base.Name()) }
+
+// Table interpolates an empirical price→rate table, e.g. Table 1 of the
+// paper (sorting votes: $2→2, $3→3, $1.5→1.5; yes/no votes: $2→3, $3→5,
+// $1.5→2). Rates between knots are linearly interpolated; beyond the ends
+// the nearest segment is extrapolated, floored at a tiny positive rate.
+type Table struct {
+	name   string
+	prices []float64 // ascending
+	rates  []float64
+}
+
+// NewTable builds an interpolating model from price→rate pairs. At least
+// two distinct prices are required; rates must be positive.
+func NewTable(name string, points map[float64]float64) (*Table, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("pricing: table %q needs at least 2 points, got %d", name, len(points))
+	}
+	t := &Table{name: name}
+	for p := range points {
+		t.prices = append(t.prices, p)
+	}
+	sort.Float64s(t.prices)
+	for _, p := range t.prices {
+		r := points[p]
+		if !(r > 0) {
+			return nil, fmt.Errorf("pricing: table %q has non-positive rate %v at price %v", name, r, p)
+		}
+		t.rates = append(t.rates, r)
+	}
+	return t, nil
+}
+
+// Rate linearly interpolates (and extrapolates) the table.
+func (t *Table) Rate(price float64) float64 {
+	const floor = 1e-9
+	n := len(t.prices)
+	i := sort.SearchFloat64s(t.prices, price)
+	switch {
+	case i == 0:
+		i = 1 // extrapolate from the first segment
+	case i >= n:
+		i = n - 1 // extrapolate from the last segment
+	}
+	p0, p1 := t.prices[i-1], t.prices[i]
+	r0, r1 := t.rates[i-1], t.rates[i]
+	r := r0 + (r1-r0)*(price-p0)/(p1-p0)
+	if r < floor {
+		return floor
+	}
+	return r
+}
+
+// Name returns the table's identifier.
+func (t *Table) Name() string { return t.name }
+
+// Paper's Table 1 (HPU processing rate for the motivation example):
+// reward $1.5/$2/$3 against the two task types.
+
+// SortVoteTable returns the "sorting vote" column of Table 1.
+func SortVoteTable() *Table {
+	t, err := NewTable("sort-vote", map[float64]float64{1.5: 1.5, 2: 2, 3: 3})
+	if err != nil {
+		panic("pricing: SortVoteTable: " + err.Error()) // static data, cannot fail
+	}
+	return t
+}
+
+// YesNoVoteTable returns the "yes or no vote" column of Table 1.
+func YesNoVoteTable() *Table {
+	t, err := NewTable("yesno-vote", map[float64]float64{1.5: 2, 2: 3, 3: 5})
+	if err != nil {
+		panic("pricing: YesNoVoteTable: " + err.Error())
+	}
+	return t
+}
+
+// SyntheticModels returns the six price→rate models of the synthetic
+// evaluation (Sec 5.1), in the paper's (a)–(f) panel order:
+// λ = p+1, 10p+1, 0.1p+10, 3p+3, 1+p², log(1+p).
+func SyntheticModels() []RateModel {
+	return []RateModel{
+		Linear{K: 1, B: 1},
+		Linear{K: 10, B: 1},
+		Linear{K: 0.1, B: 10},
+		Linear{K: 3, B: 3},
+		Quadratic{},
+		Logarithmic{},
+	}
+}

@@ -1,0 +1,147 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearRateAndName(t *testing.T) {
+	l := Linear{K: 10, B: 1}
+	if got := l.Rate(3); got != 31 {
+		t.Errorf("Rate(3) = %v, want 31", got)
+	}
+	cases := []struct {
+		m    Linear
+		want string
+	}{
+		{Linear{K: 1, B: 0}, "p"},
+		{Linear{K: 1, B: 1}, "p+1"},
+		{Linear{K: 3, B: 0}, "3p"},
+		{Linear{K: 10, B: 1}, "10p+1"},
+		{Linear{K: 0.1, B: 10}, "0.1p+10"},
+	}
+	for _, c := range cases {
+		if got := c.m.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestQuadraticAndLogarithmic(t *testing.T) {
+	if got := (Quadratic{}).Rate(3); got != 10 {
+		t.Errorf("quadratic Rate(3) = %v, want 10", got)
+	}
+	if got := (Logarithmic{}).Rate(math.E - 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("log Rate(e-1) = %v, want 1", got)
+	}
+	if (Quadratic{}).Name() == "" || (Logarithmic{}).Name() == "" {
+		t.Error("empty names")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Scaled{Base: Linear{K: 2, B: 0}, Factor: 0.5}
+	if got := s.Rate(4); got != 4 {
+		t.Errorf("scaled Rate(4) = %v, want 4", got)
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestTableInterpolation(t *testing.T) {
+	tbl, err := NewTable("t", map[float64]float64{1: 1, 3: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Rate(2); got != 3 {
+		t.Errorf("midpoint Rate(2) = %v, want 3", got)
+	}
+	if got := tbl.Rate(1); got != 1 {
+		t.Errorf("knot Rate(1) = %v, want 1", got)
+	}
+	if got := tbl.Rate(3); got != 5 {
+		t.Errorf("knot Rate(3) = %v, want 5", got)
+	}
+	// Extrapolation continues the boundary segments.
+	if got := tbl.Rate(4); got != 7 {
+		t.Errorf("extrapolated Rate(4) = %v, want 7", got)
+	}
+	if got := tbl.Rate(0.5); got <= 0 {
+		t.Errorf("low extrapolation should be floored positive, got %v", got)
+	}
+	if got := tbl.Rate(-100); got <= 0 {
+		t.Errorf("rate must stay positive, got %v", got)
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	if _, err := NewTable("x", map[float64]float64{1: 1}); err == nil {
+		t.Error("single-point table accepted")
+	}
+	if _, err := NewTable("x", map[float64]float64{1: 1, 2: -3}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestPaperTable1Values(t *testing.T) {
+	sortT := SortVoteTable()
+	yesNo := YesNoVoteTable()
+	// Exact knots from Table 1 of the paper.
+	checks := []struct {
+		tbl   *Table
+		price float64
+		want  float64
+	}{
+		{sortT, 2, 2}, {sortT, 3, 3}, {sortT, 1.5, 1.5},
+		{yesNo, 2, 3}, {yesNo, 3, 5}, {yesNo, 1.5, 2},
+	}
+	for _, c := range checks {
+		if got := c.tbl.Rate(c.price); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s.Rate(%v) = %v, want %v", c.tbl.Name(), c.price, got, c.want)
+		}
+	}
+	// Yes/no voting is faster at every price (the motivation's premise).
+	for _, p := range []float64{1.5, 2, 2.5, 3} {
+		if yesNo.Rate(p) <= sortT.Rate(p) {
+			t.Errorf("at price %v, yes/no (%v) should exceed sorting (%v)",
+				p, yesNo.Rate(p), sortT.Rate(p))
+		}
+	}
+}
+
+func TestSyntheticModelsOrderAndCount(t *testing.T) {
+	ms := SyntheticModels()
+	if len(ms) != 6 {
+		t.Fatalf("want 6 synthetic models, got %d", len(ms))
+	}
+	wantNames := []string{"p+1", "10p+1", "0.1p+10", "3p+3", "1+p^2", "log(1+p)"}
+	for i, m := range ms {
+		if m.Name() != wantNames[i] {
+			t.Errorf("model %d = %q, want %q", i, m.Name(), wantNames[i])
+		}
+	}
+}
+
+func TestAllModelsMonotoneNonDecreasing(t *testing.T) {
+	models := SyntheticModels()
+	models = append(models, SortVoteTable(), YesNoVoteTable(),
+		Scaled{Base: Linear{K: 1, B: 1}, Factor: 0.7})
+	prop := func(p8, d8 uint8) bool {
+		p := 1 + float64(p8%100)/4
+		q := p + float64(d8%100)/10
+		for _, m := range models {
+			if m.Rate(q) < m.Rate(p)-1e-12 {
+				return false
+			}
+			if m.Rate(p) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

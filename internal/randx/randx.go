@@ -1,0 +1,207 @@
+// Package randx provides a small, fully deterministic random number
+// generator for the simulators and Monte-Carlo estimators in hputune.
+//
+// The generator is xoshiro256** seeded through splitmix64, which gives
+// high-quality 64-bit streams with a tiny state, cheap forking of
+// statistically independent sub-streams (Split), and bit-for-bit
+// reproducible experiment runs across platforms — properties math/rand
+// does not guarantee across Go releases.
+package randx
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Rand is a deterministic pseudo-random generator. It is not safe for
+// concurrent use; fork independent streams with Split instead of sharing.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via splitmix64, so that nearby
+// seeds yield unrelated streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// A theoretically possible all-zero state would lock the generator.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split forks a statistically independent generator from r, advancing r.
+func (r *Rand) Split() *Rand { return New(r.Uint64()) }
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("randx: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint64(n)
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Exp returns an exponentially distributed sample with rate lambda
+// (mean 1/lambda). It panics if lambda <= 0.
+func (r *Rand) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("randx: Exp with non-positive rate")
+	}
+	// -log(1-U) with U in [0,1) avoids log(0).
+	return -math.Log1p(-r.Float64()) / lambda
+}
+
+// Erlang returns the sum of k independent Exp(lambda) samples.
+// It panics if k <= 0 or lambda <= 0.
+func (r *Rand) Erlang(k int, lambda float64) float64 {
+	if k <= 0 {
+		panic("randx: Erlang with non-positive shape")
+	}
+	// Product-of-uniforms form: one log instead of k.
+	p := 1.0
+	for i := 0; i < k; i++ {
+		p *= 1 - r.Float64()
+	}
+	if p <= 0 {
+		// Underflow for large k: fall back to summing logs.
+		s := 0.0
+		for i := 0; i < k; i++ {
+			s += r.Exp(lambda)
+		}
+		return s
+	}
+	return -math.Log(p) / lambda
+}
+
+// Poisson returns a Poisson(mean) sample. Knuth's method is used for small
+// means and the PTRS transformed-rejection method of Hörmann for large
+// means. It panics if mean < 0.
+func (r *Rand) Poisson(mean float64) int {
+	switch {
+	case mean < 0:
+		panic("randx: Poisson with negative mean")
+	case mean == 0:
+		return 0
+	case mean < 30:
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	return r.poissonPTRS(mean)
+}
+
+// poissonPTRS implements Hörmann's PTRS sampler for mean >= 10.
+func (r *Rand) poissonPTRS(mu float64) int {
+	b := 0.931 + 2.53*math.Sqrt(mu)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logMu := math.Log(mu)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mu + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lf := logFactorialFloat(k)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logMu-mu-lf {
+			return int(k)
+		}
+	}
+}
+
+func logFactorialFloat(k float64) float64 {
+	v, _ := math.Lgamma(k + 1)
+	return v
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes xs in place.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Normal returns a standard normal sample via the Marsaglia polar method.
+func (r *Rand) Normal() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Errorf("%d/100 identical outputs for different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("split children produced identical first outputs")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestIntnBoundsAndUniformity(t *testing.T) {
+	r := New(5)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for d, c := range counts {
+		if math.Abs(float64(c)-n/10) > 5*math.Sqrt(n/10) {
+			t.Errorf("digit %d count %d deviates from expected %d", d, c, n/10)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(13)
+	for _, lambda := range []float64{0.5, 1, 4} {
+		sum, sumsq := 0.0, 0.0
+		const n = 200000
+		for i := 0; i < n; i++ {
+			v := r.Exp(lambda)
+			if v < 0 {
+				t.Fatalf("negative exponential sample %v", v)
+			}
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / n
+		if math.Abs(mean-1/lambda) > 3.5/lambda/math.Sqrt(n)*3 {
+			t.Errorf("λ=%v: mean %v, want %v", lambda, mean, 1/lambda)
+		}
+		variance := sumsq/n - mean*mean
+		if math.Abs(variance-1/(lambda*lambda)) > 0.05/(lambda*lambda) {
+			t.Errorf("λ=%v: var %v, want %v", lambda, variance, 1/(lambda*lambda))
+		}
+	}
+}
+
+func TestErlangMoments(t *testing.T) {
+	r := New(17)
+	for _, k := range []int{1, 3, 10} {
+		lambda := 2.0
+		sum := 0.0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			sum += r.Erlang(k, lambda)
+		}
+		mean := sum / n
+		want := float64(k) / lambda
+		if math.Abs(mean-want) > 0.02*want+0.01 {
+			t.Errorf("Erlang(%d,%v) mean = %v, want %v", k, lambda, mean, want)
+		}
+	}
+}
+
+func TestErlangLargeShapeFallback(t *testing.T) {
+	// Shape large enough that the product-of-uniforms can underflow.
+	r := New(19)
+	const k = 800
+	v := r.Erlang(k, 1)
+	if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("Erlang(%d,1) sample invalid: %v", k, v)
+	}
+	if math.Abs(v-k) > 200 { // mean k, sd √k ≈ 28
+		t.Errorf("Erlang(%d,1) sample %v implausibly far from mean", k, v)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(23)
+	for _, mean := range []float64{0.5, 4, 12, 60} {
+		sum := 0.0
+		const n = 60000
+		for i := 0; i < n; i++ {
+			v := r.Poisson(mean)
+			if v < 0 {
+				t.Fatalf("negative poisson sample %d", v)
+			}
+			sum += float64(v)
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 4*math.Sqrt(mean/n)+0.02 {
+			t.Errorf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+	if New(1).Poisson(0) != 0 {
+		t.Error("Poisson(0) must be 0")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	prop := func(seed uint64, n8 uint8) bool {
+		n := int(n8%50) + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(29)
+	if r.Bernoulli(0) || !r.Bernoulli(1) {
+		t.Error("Bernoulli boundary behaviour wrong")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if math.Abs(float64(hits)/n-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency = %v", float64(hits)/n)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(31)
+	sum, sumsq := 0.0, 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(37)
+	xs := []int{1, 2, 3, 4, 5, 6}
+	sum := 0
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 21 {
+		t.Errorf("shuffle changed multiset, sum = %d", sum)
+	}
+}

@@ -1,0 +1,250 @@
+// Package retainer models the prepaid-worker alternative to posted-price
+// crowdsourcing — the Retainer Model of Bernstein et al. (references
+// [26, 27] of "Tuning Crowdsourced Human Computation") and the
+// combinatorial allocation of CrowdManager [28].
+//
+// A retainer pool keeps c workers on standby for a per-worker,
+// per-unit-time fee; an arriving task is dispatched to an idle retained
+// worker immediately, eliminating the on-hold phase entirely at the cost
+// of paying for idle capacity. The paper's related-work section contrasts
+// this with HPU tuning: retainers suit high-instantaneity interactive
+// tasks, while the H-Tuning problem covers batch jobs where the set-level
+// latency is tuned through pricing. This package makes that comparison
+// quantitative:
+//
+//   - BatchMakespan gives the exact expected completion time of a batch
+//     of n exponential tasks on c retained workers;
+//   - OptimizePoolSize picks the cheapest pool that meets a budget, the
+//     decision [28] frames as combinatorial allocation;
+//   - ErlangC and SteadyStateWait provide the M/M/c analysis of [27] for
+//     the streaming (real-time) regime.
+package retainer
+
+import (
+	"fmt"
+	"math"
+
+	"hputune/internal/numeric"
+	"hputune/internal/randx"
+)
+
+// Pool is a retainer pool configuration.
+type Pool struct {
+	// Workers is the number of retained workers, c.
+	Workers int
+	// ServiceRate is each worker's task completion rate μ (the HPU
+	// processing clock rate; retained workers skip the on-hold phase).
+	ServiceRate float64
+	// Fee is the retainer payment per worker per unit time, charged for
+	// the whole span the pool is held.
+	Fee float64
+	// TaskPayment is the payment per completed task.
+	TaskPayment float64
+}
+
+// Validate reports whether the pool is usable.
+func (p Pool) Validate() error {
+	if p.Workers < 1 {
+		return fmt.Errorf("retainer: pool needs >= 1 worker, got %d", p.Workers)
+	}
+	if !(p.ServiceRate > 0) {
+		return fmt.Errorf("retainer: service rate must be positive, got %v", p.ServiceRate)
+	}
+	if p.Fee < 0 {
+		return fmt.Errorf("retainer: negative fee %v", p.Fee)
+	}
+	if p.TaskPayment < 0 {
+		return fmt.Errorf("retainer: negative task payment %v", p.TaskPayment)
+	}
+	return nil
+}
+
+// BatchMakespan returns the exact expected makespan of n tasks, all
+// available at time zero, on the pool's c workers with work-conserving
+// dispatch and iid Exp(μ) service times:
+//
+//	E[makespan] = (n−c)⁺/(c·μ) + H_min(n,c)/μ
+//
+// While more than c tasks remain the pool departs at rate c·μ (drain
+// phase, exact by memorylessness); once min(n, c) tasks remain each has
+// its own worker and the residual is the max of that many fresh
+// exponentials.
+func BatchMakespan(p Pool, n int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("retainer: negative batch size %d", n)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	c := p.Workers
+	drain := 0.0
+	tail := n
+	if n > c {
+		drain = float64(n-c) / (float64(c) * p.ServiceRate)
+		tail = c
+	}
+	return drain + numeric.Harmonic(tail)/p.ServiceRate, nil
+}
+
+// BatchCost returns the expected total cost of running an n-task batch:
+// per-task payments plus retainer fees accrued over the expected
+// makespan.
+func BatchCost(p Pool, n int) (float64, error) {
+	mk, err := BatchMakespan(p, n)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n)*p.TaskPayment + float64(p.Workers)*p.Fee*mk, nil
+}
+
+// PoolChoice is the outcome of OptimizePoolSize.
+type PoolChoice struct {
+	Pool     Pool
+	Makespan float64
+	Cost     float64
+}
+
+// OptimizePoolSize returns the pool size in [1, maxWorkers] minimizing
+// the expected batch makespan subject to an expected-cost budget, with
+// the given per-worker economics. Makespan is strictly decreasing and
+// cost increasing in c on the interesting range, but both are evaluated
+// exhaustively — maxWorkers is small in practice — so no shape assumption
+// is needed. It returns an error if even a single worker exceeds the
+// budget.
+func OptimizePoolSize(n int, budget float64, serviceRate, fee, taskPayment float64, maxWorkers int) (PoolChoice, error) {
+	if n < 1 {
+		return PoolChoice{}, fmt.Errorf("retainer: batch size %d below 1", n)
+	}
+	if maxWorkers < 1 {
+		return PoolChoice{}, fmt.Errorf("retainer: maxWorkers %d below 1", maxWorkers)
+	}
+	best := PoolChoice{Makespan: math.Inf(1)}
+	feasible := false
+	for c := 1; c <= maxWorkers; c++ {
+		pool := Pool{Workers: c, ServiceRate: serviceRate, Fee: fee, TaskPayment: taskPayment}
+		mk, err := BatchMakespan(pool, n)
+		if err != nil {
+			return PoolChoice{}, err
+		}
+		cost, err := BatchCost(pool, n)
+		if err != nil {
+			return PoolChoice{}, err
+		}
+		if cost > budget {
+			continue
+		}
+		feasible = true
+		if mk < best.Makespan {
+			best = PoolChoice{Pool: pool, Makespan: mk, Cost: cost}
+		}
+	}
+	if !feasible {
+		return PoolChoice{}, fmt.Errorf("retainer: no pool of <= %d workers fits budget %v (single worker costs %v)",
+			maxWorkers, budget, singleWorkerCost(n, serviceRate, fee, taskPayment))
+	}
+	return best, nil
+}
+
+func singleWorkerCost(n int, serviceRate, fee, taskPayment float64) float64 {
+	pool := Pool{Workers: 1, ServiceRate: serviceRate, Fee: fee, TaskPayment: taskPayment}
+	cost, err := BatchCost(pool, n)
+	if err != nil {
+		return math.NaN()
+	}
+	return cost
+}
+
+// ErlangC returns the steady-state probability that an arriving task must
+// wait in an M/M/c queue with offered load a = λ/μ (Erlang-C formula).
+// It requires stability, a < c. Computation runs in log space via the
+// recurrence on Erlang-B to stay stable for large c.
+func ErlangC(c int, a float64) (float64, error) {
+	if c < 1 {
+		return 0, fmt.Errorf("retainer: need >= 1 server, got %d", c)
+	}
+	if !(a > 0) {
+		return 0, fmt.Errorf("retainer: offered load must be positive, got %v", a)
+	}
+	if a >= float64(c) {
+		return 0, fmt.Errorf("retainer: unstable queue: offered load %v >= %d servers", a, c)
+	}
+	// Erlang-B by the standard recurrence B(0) = 1, B(k) = a·B(k−1)/(k + a·B(k−1)).
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(c)
+	return b / (1 - rho + rho*b), nil
+}
+
+// SteadyStateWait returns the expected queueing delay (excluding service)
+// of an M/M/c retainer pool facing Poisson task arrivals at rate lambda:
+// E[W] = C(c, a)/(c·μ − λ).
+func SteadyStateWait(p Pool, lambda float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if !(lambda > 0) {
+		return 0, fmt.Errorf("retainer: arrival rate must be positive, got %v", lambda)
+	}
+	a := lambda / p.ServiceRate
+	pc, err := ErlangC(p.Workers, a)
+	if err != nil {
+		return 0, err
+	}
+	return pc / (float64(p.Workers)*p.ServiceRate - lambda), nil
+}
+
+// SteadyStateLatency returns E[W] + 1/μ, the expected task latency of the
+// streaming pool — the quantity a retainer deployment quotes where the
+// posted-price HPU quotes E[on-hold] + E[processing].
+func SteadyStateLatency(p Pool, lambda float64) (float64, error) {
+	w, err := SteadyStateWait(p, lambda)
+	if err != nil {
+		return 0, err
+	}
+	return w + 1/p.ServiceRate, nil
+}
+
+// SimulateBatch runs one batch of n tasks through the pool with
+// work-conserving dispatch and returns the realized makespan. It exists
+// to validate BatchMakespan and for experiments that want full
+// distributions rather than means.
+func SimulateBatch(p Pool, n int, r *randx.Rand) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("retainer: negative batch size %d", n)
+	}
+	if r == nil {
+		return 0, fmt.Errorf("retainer: nil random source")
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	// Track each worker's free-at time; assign tasks to the earliest
+	// available worker. With iid exponential service this realizes the
+	// same process BatchMakespan analyzes.
+	free := make([]float64, p.Workers)
+	for i := 0; i < n; i++ {
+		// Earliest available worker.
+		w := 0
+		for j := 1; j < len(free); j++ {
+			if free[j] < free[w] {
+				w = j
+			}
+		}
+		free[w] += r.Exp(p.ServiceRate)
+	}
+	mk := 0.0
+	for _, f := range free {
+		if f > mk {
+			mk = f
+		}
+	}
+	return mk, nil
+}

@@ -1,0 +1,343 @@
+package retainer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hputune/internal/numeric"
+	"hputune/internal/randx"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestPoolValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		pool Pool
+		ok   bool
+	}{
+		{"good", Pool{Workers: 2, ServiceRate: 1, Fee: 0.1, TaskPayment: 1}, true},
+		{"free pool", Pool{Workers: 1, ServiceRate: 1}, true},
+		{"zero workers", Pool{Workers: 0, ServiceRate: 1}, false},
+		{"zero rate", Pool{Workers: 1}, false},
+		{"negative fee", Pool{Workers: 1, ServiceRate: 1, Fee: -1}, false},
+		{"negative payment", Pool{Workers: 1, ServiceRate: 1, TaskPayment: -1}, false},
+	}
+	for _, c := range cases {
+		if err := c.pool.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestBatchMakespanMoreWorkersThanTasks(t *testing.T) {
+	// c >= n: makespan is E[max of n Exp(μ)] = H_n/μ.
+	p := Pool{Workers: 10, ServiceRate: 2}
+	got, err := BatchMakespan(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := numeric.Harmonic(4) / 2
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("makespan %v, want %v", got, want)
+	}
+}
+
+func TestBatchMakespanDrainPlusTail(t *testing.T) {
+	// n > c: (n−c)/(cμ) + H_c/μ.
+	p := Pool{Workers: 3, ServiceRate: 2}
+	got, err := BatchMakespan(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 7.0/(3*2) + numeric.Harmonic(3)/2
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("makespan %v, want %v", got, want)
+	}
+}
+
+func TestBatchMakespanZeroTasks(t *testing.T) {
+	p := Pool{Workers: 3, ServiceRate: 2}
+	got, err := BatchMakespan(p, 0)
+	if err != nil || got != 0 {
+		t.Errorf("empty batch: %v, %v", got, err)
+	}
+	if _, err := BatchMakespan(p, -1); err == nil {
+		t.Error("negative batch accepted")
+	}
+}
+
+func TestBatchMakespanAgainstSimulation(t *testing.T) {
+	r := randx.New(12)
+	for _, tc := range []struct {
+		workers, n int
+	}{
+		{1, 5}, {3, 10}, {8, 8}, {20, 7}, {5, 100},
+	} {
+		p := Pool{Workers: tc.workers, ServiceRate: 1.5}
+		analytic, err := BatchMakespan(p, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const trials = 20000
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			mk, err := SimulateBatch(p, tc.n, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += mk
+		}
+		mc := sum / trials
+		if !almostEqual(analytic, mc, 0.02) {
+			t.Errorf("c=%d n=%d: analytic %v vs simulated %v", tc.workers, tc.n, analytic, mc)
+		}
+	}
+}
+
+func TestBatchMakespanMonotoneInWorkersProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := randx.New(seed)
+		n := 1 + r.Intn(200)
+		c := 1 + r.Intn(50)
+		p1 := Pool{Workers: c, ServiceRate: 1}
+		p2 := Pool{Workers: c + 1, ServiceRate: 1}
+		m1, err1 := BatchMakespan(p1, n)
+		m2, err2 := BatchMakespan(p2, n)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return m2 <= m1+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchCostComposition(t *testing.T) {
+	p := Pool{Workers: 2, ServiceRate: 1, Fee: 0.5, TaskPayment: 3}
+	mk, err := BatchMakespan(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := BatchCost(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 6*3.0 + 2*0.5*mk
+	if !almostEqual(cost, want, 1e-12) {
+		t.Errorf("cost %v, want %v", cost, want)
+	}
+}
+
+func TestOptimizePoolSizeRespectsBudget(t *testing.T) {
+	choice, err := OptimizePoolSize(50, 200, 1, 0.5, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Cost > 200 {
+		t.Errorf("chosen pool costs %v over budget 200", choice.Cost)
+	}
+	if choice.Pool.Workers < 1 {
+		t.Errorf("empty pool chosen: %+v", choice)
+	}
+	// A bigger budget must not produce a slower pool.
+	richer, err := OptimizePoolSize(50, 400, 1, 0.5, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if richer.Makespan > choice.Makespan+1e-12 {
+		t.Errorf("richer budget slower: %v > %v", richer.Makespan, choice.Makespan)
+	}
+}
+
+func TestOptimizePoolSizeInfeasible(t *testing.T) {
+	// Task payments alone exceed the budget.
+	if _, err := OptimizePoolSize(100, 50, 1, 0.1, 1, 20); err == nil {
+		t.Error("infeasible budget accepted")
+	}
+	if _, err := OptimizePoolSize(0, 50, 1, 0.1, 1, 20); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if _, err := OptimizePoolSize(10, 50, 1, 0.1, 1, 0); err == nil {
+		t.Error("zero maxWorkers accepted")
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// Single server: C(1, a) = a (the M/M/1 waiting probability is ρ).
+	for _, a := range []float64{0.2, 0.5, 0.9} {
+		got, err := ErlangC(1, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, a, 1e-12) {
+			t.Errorf("C(1, %v) = %v, want %v", a, got, a)
+		}
+	}
+	// Textbook value: C(2, 1) = 1/3.
+	got, err := ErlangC(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 1.0/3, 1e-12) {
+		t.Errorf("C(2, 1) = %v, want 1/3", got)
+	}
+}
+
+func TestErlangCStability(t *testing.T) {
+	if _, err := ErlangC(2, 2); err == nil {
+		t.Error("critical load accepted")
+	}
+	if _, err := ErlangC(2, 3); err == nil {
+		t.Error("overload accepted")
+	}
+	if _, err := ErlangC(0, 0.5); err == nil {
+		t.Error("zero servers accepted")
+	}
+	if _, err := ErlangC(2, 0); err == nil {
+		t.Error("zero load accepted")
+	}
+}
+
+func TestErlangCInUnitInterval(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := randx.New(seed)
+		c := 1 + r.Intn(30)
+		a := r.Float64() * float64(c) * 0.99
+		if a <= 0 {
+			a = 0.01
+		}
+		v, err := ErlangC(c, a)
+		return err == nil && v >= 0 && v <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteadyStateWaitMM1ClosedForm(t *testing.T) {
+	// M/M/1: E[W] = ρ/(μ−λ).
+	p := Pool{Workers: 1, ServiceRate: 2}
+	lambda := 1.0
+	got, err := SteadyStateWait(p, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda / p.ServiceRate
+	want := rho / (p.ServiceRate - lambda)
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("E[W] = %v, want %v", got, want)
+	}
+}
+
+func TestSteadyStateWaitAgainstSimulation(t *testing.T) {
+	// Lindley recursion simulation of M/M/3.
+	p := Pool{Workers: 3, ServiceRate: 1}
+	lambda := 2.0
+	analytic, err := SteadyStateWait(p, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.New(77)
+	free := make([]float64, p.Workers)
+	clock := 0.0
+	var totalWait float64
+	const warmup = 2000
+	const measured = 60000
+	for i := 0; i < warmup+measured; i++ {
+		clock += r.Exp(lambda)
+		w := 0
+		for j := 1; j < len(free); j++ {
+			if free[j] < free[w] {
+				w = j
+			}
+		}
+		start := clock
+		if free[w] > start {
+			start = free[w]
+		}
+		if i >= warmup {
+			totalWait += start - clock
+		}
+		free[w] = start + r.Exp(p.ServiceRate)
+	}
+	mc := totalWait / measured
+	if !almostEqual(analytic, mc, 0.05) {
+		t.Errorf("E[W] analytic %v vs simulated %v", analytic, mc)
+	}
+}
+
+func TestSteadyStateLatencyAddsService(t *testing.T) {
+	p := Pool{Workers: 4, ServiceRate: 2}
+	w, err := SteadyStateWait(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := SteadyStateLatency(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(l, w+0.5, 1e-12) {
+		t.Errorf("latency %v, want wait %v + 0.5", l, w)
+	}
+}
+
+func TestSteadyStateWaitValidation(t *testing.T) {
+	p := Pool{Workers: 2, ServiceRate: 1}
+	if _, err := SteadyStateWait(p, 0); err == nil {
+		t.Error("zero arrival rate accepted")
+	}
+	if _, err := SteadyStateWait(p, 2); err == nil {
+		t.Error("unstable load accepted")
+	}
+	if _, err := SteadyStateWait(Pool{}, 1); err == nil {
+		t.Error("invalid pool accepted")
+	}
+}
+
+func TestSimulateBatchValidation(t *testing.T) {
+	p := Pool{Workers: 2, ServiceRate: 1}
+	if _, err := SimulateBatch(p, 5, nil); err == nil {
+		t.Error("nil rand accepted")
+	}
+	if _, err := SimulateBatch(p, -1, randx.New(1)); err == nil {
+		t.Error("negative batch accepted")
+	}
+	if v, err := SimulateBatch(p, 0, randx.New(1)); err != nil || v != 0 {
+		t.Errorf("empty batch: %v, %v", v, err)
+	}
+}
+
+func TestRetainerBeatsPostedPriceOnLatencyLosesOnCost(t *testing.T) {
+	// The qualitative contrast from the paper's related-work section: a
+	// retainer pool sized for the batch eliminates the on-hold phase, so
+	// for the same per-task payment its makespan is below the
+	// posted-price expectation (which adds acceptance latency), but the
+	// retainer fees make it strictly more expensive.
+	const n = 40
+	const mu = 2.0 // processing rate, both deployments
+	pool := Pool{Workers: n, ServiceRate: mu, Fee: 0.2, TaskPayment: 1}
+	poolMk, err := BatchMakespan(pool, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolCost, err := BatchCost(pool, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Posted-price: same payment per task buys on-hold rate λo ≈ 2
+	// under the synthetic λ = p + 1 model, then the processing phase.
+	// E[makespan] >= E[max of n processing clocks] alone.
+	postedMk := numeric.Harmonic(n)/(1.0+1) + numeric.Harmonic(n)/mu
+	postedCost := float64(n) * 1
+	if poolMk >= postedMk {
+		t.Errorf("retainer makespan %v not below posted-price %v", poolMk, postedMk)
+	}
+	if poolCost <= postedCost {
+		t.Errorf("retainer cost %v not above posted-price %v", poolCost, postedCost)
+	}
+}

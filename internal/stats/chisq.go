@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"hputune/internal/numeric"
+)
+
+// ChiSquareCDF returns P(X ≤ x) for X ~ χ²(k), via the regularized lower
+// incomplete gamma function P(k/2, x/2).
+func ChiSquareCDF(k int, x float64) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("stats: chi-square needs >= 1 degree of freedom, got %d", k)
+	}
+	if x <= 0 {
+		return 0, nil
+	}
+	return numeric.RegularizedGammaP(float64(k)/2, x/2)
+}
+
+// ChiSquareQuantile returns the q-quantile of χ²(k) by bisection on the
+// CDF. q must lie in (0, 1).
+func ChiSquareQuantile(k int, q float64) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("stats: chi-square needs >= 1 degree of freedom, got %d", k)
+	}
+	if !(q > 0 && q < 1) {
+		return 0, fmt.Errorf("stats: quantile %v outside (0, 1)", q)
+	}
+	// Bracket: the mean is k, the variance 2k; go wide enough for any q.
+	hi := float64(k) + 20*math.Sqrt(2*float64(k)) + 50
+	for {
+		c, err := ChiSquareCDF(k, hi)
+		if err != nil {
+			return 0, err
+		}
+		if c > q {
+			break
+		}
+		hi *= 2
+		if hi > 1e12 {
+			return 0, fmt.Errorf("stats: chi-square quantile bracket failed for k=%d q=%v", k, q)
+		}
+	}
+	return numeric.Bisect(func(x float64) float64 {
+		c, err := ChiSquareCDF(k, x)
+		if err != nil {
+			return math.NaN()
+		}
+		return c - q
+	}, 0, hi, 1e-10)
+}
+
+// ChiSquareResult is the outcome of a binned goodness-of-fit test.
+type ChiSquareResult struct {
+	// Stat is Σ (observed − expected)²/expected over the bins.
+	Stat float64
+	// DF is the degrees of freedom (bins − 1 − estimated parameters).
+	DF int
+	// P is P(χ²(DF) > Stat).
+	P float64
+	// Bins is the number of bins used after merging sparse tails.
+	Bins int
+}
+
+// Reject reports whether the null is rejected at significance level alpha.
+func (r ChiSquareResult) Reject(alpha float64) bool { return r.P < alpha }
+
+// ChiSquareExponential runs a binned chi-square goodness-of-fit test of
+// xs against an exponential with rate estimated from the sample (one
+// estimated parameter). Bins are equiprobable under the fitted null,
+// sized so the expected count per bin is at least 5 (merging if the
+// sample is small).
+func ChiSquareExponential(xs []float64) (ChiSquareResult, error) {
+	n := len(xs)
+	if n < 15 {
+		return ChiSquareResult{}, fmt.Errorf("stats: chi-square exponential test needs >= 15 samples, got %d", n)
+	}
+	sum := 0.0
+	for i, x := range xs {
+		if !(x >= 0) {
+			return ChiSquareResult{}, fmt.Errorf("stats: sample %d is %v, exponential data must be >= 0", i, x)
+		}
+		sum += x
+	}
+	if sum == 0 {
+		return ChiSquareResult{}, fmt.Errorf("stats: all samples are zero")
+	}
+	rate := float64(n) / sum
+
+	bins := n / 5
+	if bins > 20 {
+		bins = 20
+	}
+	if bins < 3 {
+		bins = 3
+	}
+	// Equiprobable bin edges under Exp(rate): edge_i = −ln(1 − i/bins)/rate.
+	counts := make([]int, bins)
+	for _, x := range xs {
+		u := 1 - math.Exp(-rate*x)
+		i := int(u * float64(bins))
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	expected := float64(n) / float64(bins)
+	stat := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	df := bins - 1 - 1 // one parameter (the rate) was estimated
+	if df < 1 {
+		df = 1
+	}
+	cdf, err := ChiSquareCDF(df, stat)
+	if err != nil {
+		return ChiSquareResult{}, err
+	}
+	return ChiSquareResult{Stat: stat, DF: df, P: 1 - cdf, Bins: bins}, nil
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"fmt"
+)
+
+// RateCI is an exact confidence interval for an exponential/Poisson clock
+// rate λ, the quantity the paper's probes estimate (Sec 3.3).
+type RateCI struct {
+	// Lo and Hi bound λ at the requested confidence.
+	Lo, Hi float64
+	// Point is the MLE λ̂ = N/T₀.
+	Point float64
+	// Confidence is the coverage level, e.g. 0.95.
+	Confidence float64
+}
+
+// Width returns Hi − Lo.
+func (c RateCI) Width() float64 { return c.Hi - c.Lo }
+
+// Contains reports whether rate lies inside the interval.
+func (c RateCI) Contains(rate float64) bool { return rate >= c.Lo && rate <= c.Hi }
+
+// RateIntervalFromDurations returns the exact CI for λ from n iid Exp(λ)
+// observations with total duration total: 2λ·total ~ χ²(2n), so
+// λ ∈ [χ²(2n, α/2)/(2·total), χ²(2n, 1−α/2)/(2·total)].
+// This covers the paper's "Random Period" probe, where observation stops
+// at the n-th acceptance.
+func RateIntervalFromDurations(n int, total float64, confidence float64) (RateCI, error) {
+	if n < 1 {
+		return RateCI{}, fmt.Errorf("stats: need >= 1 observation, got %d", n)
+	}
+	if !(total > 0) {
+		return RateCI{}, fmt.Errorf("stats: total duration must be positive, got %v", total)
+	}
+	if !(confidence > 0 && confidence < 1) {
+		return RateCI{}, fmt.Errorf("stats: confidence %v outside (0, 1)", confidence)
+	}
+	alpha := 1 - confidence
+	lo, err := ChiSquareQuantile(2*n, alpha/2)
+	if err != nil {
+		return RateCI{}, err
+	}
+	hi, err := ChiSquareQuantile(2*n, 1-alpha/2)
+	if err != nil {
+		return RateCI{}, err
+	}
+	return RateCI{
+		Lo:         lo / (2 * total),
+		Hi:         hi / (2 * total),
+		Point:      float64(n) / total,
+		Confidence: confidence,
+	}, nil
+}
+
+// RateIntervalFromCount returns the exact CI for a Poisson arrival rate λ
+// from observing n events over a fixed horizon T₀ (the paper's "Fixed
+// Period" probe): the Garwood interval
+// λ ∈ [χ²(2n, α/2)/(2T₀), χ²(2n+2, 1−α/2)/(2T₀)], with Lo = 0 when n = 0.
+func RateIntervalFromCount(n int, horizon float64, confidence float64) (RateCI, error) {
+	if n < 0 {
+		return RateCI{}, fmt.Errorf("stats: negative event count %d", n)
+	}
+	if !(horizon > 0) {
+		return RateCI{}, fmt.Errorf("stats: horizon must be positive, got %v", horizon)
+	}
+	if !(confidence > 0 && confidence < 1) {
+		return RateCI{}, fmt.Errorf("stats: confidence %v outside (0, 1)", confidence)
+	}
+	alpha := 1 - confidence
+	lo := 0.0
+	if n > 0 {
+		q, err := ChiSquareQuantile(2*n, alpha/2)
+		if err != nil {
+			return RateCI{}, err
+		}
+		lo = q / (2 * horizon)
+	}
+	hiQ, err := ChiSquareQuantile(2*n+2, 1-alpha/2)
+	if err != nil {
+		return RateCI{}, err
+	}
+	return RateCI{
+		Lo:         lo,
+		Hi:         hiQ / (2 * horizon),
+		Point:      float64(n) / horizon,
+		Confidence: confidence,
+	}, nil
+}

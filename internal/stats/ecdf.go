@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ECDF is the empirical cumulative distribution function of a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds the ECDF of xs (copied, then sorted).
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("stats: ECDF of empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}, nil
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Eval returns F̂(t) = (#samples ≤ t)/n.
+func (e *ECDF) Eval(t float64) float64 {
+	// First index with sorted[i] > t.
+	i := sort.SearchFloat64s(e.sorted, t)
+	for i < len(e.sorted) && e.sorted[i] == t {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-quantile of the underlying sample.
+func (e *ECDF) Quantile(q float64) (float64, error) {
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v outside [0, 1]", q)
+	}
+	return quantileSorted(e.sorted, q), nil
+}
+
+// Sorted returns the sorted sample (shared, do not mutate).
+func (e *ECDF) Sorted() []float64 { return e.sorted }

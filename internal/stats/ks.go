@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hputune/internal/randx"
+)
+
+// KSResult is the outcome of a Kolmogorov–Smirnov test.
+type KSResult struct {
+	// D is the KS statistic sup_t |F̂(t) − F(t)|.
+	D float64
+	// P is the p-value of D under the null hypothesis. For KSTest it is
+	// the asymptotic Kolmogorov p-value (valid for fully specified F);
+	// for KSExponential it is a Monte-Carlo Lilliefors p-value that
+	// accounts for the estimated rate.
+	P float64
+	// N is the sample size.
+	N int
+}
+
+// Reject reports whether the null is rejected at significance level alpha.
+func (r KSResult) Reject(alpha float64) bool { return r.P < alpha }
+
+// KSTest runs the one-sample Kolmogorov–Smirnov test of xs against the
+// fully specified continuous CDF F.
+func KSTest(xs []float64, cdf func(float64) float64) (KSResult, error) {
+	d, n, err := ksStatistic(xs, cdf)
+	if err != nil {
+		return KSResult{}, err
+	}
+	return KSResult{D: d, P: kolmogorovP(d, n), N: n}, nil
+}
+
+// ksStatistic computes D = sup |F̂ − F| over the sample points, using the
+// standard two-sided formula max(i/n − F(x_i), F(x_i) − (i−1)/n).
+func ksStatistic(xs []float64, cdf func(float64) float64) (float64, int, error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("stats: KS test on empty sample")
+	}
+	if cdf == nil {
+		return 0, 0, fmt.Errorf("stats: KS test with nil CDF")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	d := 0.0
+	for i, x := range sorted {
+		f := cdf(x)
+		if math.IsNaN(f) {
+			return 0, 0, fmt.Errorf("stats: CDF returned NaN at %v", x)
+		}
+		if hi := float64(i+1)/float64(n) - f; hi > d {
+			d = hi
+		}
+		if lo := f - float64(i)/float64(n); lo > d {
+			d = lo
+		}
+	}
+	return d, n, nil
+}
+
+// kolmogorovP returns the asymptotic two-sided p-value
+// P(D_n > d) ≈ 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² λ²) with
+// λ = d(√n + 0.12 + 0.11/√n) — the Stephens finite-n adjustment.
+func kolmogorovP(d float64, n int) float64 {
+	sn := math.Sqrt(float64(n))
+	lambda := d * (sn + 0.12 + 0.11/sn)
+	if lambda < 1e-9 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12*math.Abs(sum) {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// KSExponential tests whether xs is exponentially distributed with
+// unknown rate (Lilliefors variant): the rate is estimated by MLE from
+// the sample itself, which makes the plain Kolmogorov p-value badly
+// conservative, so the null distribution of D is simulated with mcTrials
+// Monte-Carlo replications (exponential samples of the same size, rate
+// re-estimated per replication). r drives the simulation and must not be
+// nil; mcTrials of 1000 gives p-value resolution of about 0.03.
+func KSExponential(xs []float64, mcTrials int, r *randx.Rand) (KSResult, error) {
+	if len(xs) < 2 {
+		return KSResult{}, fmt.Errorf("stats: exponentiality test needs >= 2 samples, got %d", len(xs))
+	}
+	if mcTrials < 100 {
+		return KSResult{}, fmt.Errorf("stats: need >= 100 Monte-Carlo trials, got %d", mcTrials)
+	}
+	if r == nil {
+		return KSResult{}, fmt.Errorf("stats: nil random source")
+	}
+	mean := 0.0
+	for i, x := range xs {
+		if !(x >= 0) {
+			return KSResult{}, fmt.Errorf("stats: sample %d is %v, exponential data must be >= 0", i, x)
+		}
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if mean == 0 {
+		return KSResult{}, fmt.Errorf("stats: all samples are zero")
+	}
+	rate := 1 / mean
+	d, n, err := ksStatistic(xs, func(t float64) float64 {
+		if t < 0 {
+			return 0
+		}
+		return 1 - math.Exp(-rate*t)
+	})
+	if err != nil {
+		return KSResult{}, err
+	}
+	// Null distribution of D with estimated rate, by simulation.
+	exceed := 0
+	sample := make([]float64, n)
+	for trial := 0; trial < mcTrials; trial++ {
+		sum := 0.0
+		for i := range sample {
+			sample[i] = r.Exp(1)
+			sum += sample[i]
+		}
+		trialRate := float64(n) / sum
+		td, _, err := ksStatistic(sample, func(t float64) float64 {
+			if t < 0 {
+				return 0
+			}
+			return 1 - math.Exp(-trialRate*t)
+		})
+		if err != nil {
+			return KSResult{}, err
+		}
+		if td >= d {
+			exceed++
+		}
+	}
+	// Add-one smoothing keeps the p-value away from an exact 0 the MC
+	// resolution cannot support.
+	p := (float64(exceed) + 1) / (float64(mcTrials) + 1)
+	return KSResult{D: d, P: p, N: n}, nil
+}

@@ -1,0 +1,150 @@
+// Package textplot renders experiment series as ASCII line charts and
+// aligned tables, so every figure of the paper can be regenerated on a
+// terminal without plotting dependencies.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (X, Y) points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a renderable chart: a title, axis labels and several series.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// seriesMarks are the glyphs assigned to series in order.
+var seriesMarks = []byte{'o', '+', 'x', '*', '#', '@', '%', '&'}
+
+// RenderChart draws the figure as an ASCII chart of the given dimensions
+// (sensible minimums are enforced). Points are plotted with per-series
+// glyphs; later series overwrite earlier ones on collisions.
+func RenderChart(f Figure, width, height int) string {
+	if width < 24 {
+		width = 24
+	}
+	if height < 8 {
+		height = 8
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range f.Series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	if !any {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			grid[height-1-row][col] = mark
+		}
+	}
+	yTop := fmt.Sprintf("%.3g", maxY)
+	yBot := fmt.Sprintf("%.3g", minY)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", pad)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", pad, yTop)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.3g%*.3g\n", strings.Repeat(" ", pad), width/2, minX, width-width/2, maxX)
+	fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", pad), f.XLabel, f.YLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "%s   %c %s\n", strings.Repeat(" ", pad), seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	return b.String()
+}
+
+// RenderTable renders the figure's series as an aligned numeric table with
+// one row per shared x value, matching rows by x position within each
+// series (series must share the same x grid, as all experiment outputs do).
+func RenderTable(f Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	// Header.
+	fmt.Fprintf(&b, "%16s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	rows := 0
+	for _, s := range f.Series {
+		if len(s.X) > rows {
+			rows = len(s.X)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		x := math.NaN()
+		for _, s := range f.Series {
+			if r < len(s.X) {
+				x = s.X[r]
+				break
+			}
+		}
+		fmt.Fprintf(&b, "%16.6g", x)
+		for _, s := range f.Series {
+			if r < len(s.Y) {
+				fmt.Fprintf(&b, " %14.6g", s.Y[r])
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleFigure() Figure {
+	return Figure{
+		ID:     "test-fig",
+		Title:  "A test figure",
+		XLabel: "budget",
+		YLabel: "latency",
+		Series: []Series{
+			{Name: "opt", X: []float64{1, 2, 3}, Y: []float64{3, 2, 1}},
+			{Name: "base", X: []float64{1, 2, 3}, Y: []float64{4, 3.5, 3}},
+		},
+	}
+}
+
+func TestRenderChartContainsStructure(t *testing.T) {
+	out := RenderChart(sampleFigure(), 40, 10)
+	for _, want := range []string{"test-fig", "A test figure", "opt", "base", "budget", "latency", "o", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "|") || !strings.Contains(out, "+-") {
+		t.Error("chart missing frame")
+	}
+}
+
+func TestRenderChartEmptyFigure(t *testing.T) {
+	out := RenderChart(Figure{ID: "empty", Title: "nothing"}, 40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty figure should render placeholder:\n%s", out)
+	}
+}
+
+func TestRenderChartEnforcesMinimumSize(t *testing.T) {
+	out := RenderChart(sampleFigure(), 1, 1)
+	if len(strings.Split(out, "\n")) < 8 {
+		t.Error("minimum height not enforced")
+	}
+}
+
+func TestRenderChartHandlesNaN(t *testing.T) {
+	fig := sampleFigure()
+	fig.Series[0].Y[1] = math.NaN()
+	out := RenderChart(fig, 40, 10)
+	if strings.Contains(out, "NaN") {
+		t.Error("NaN leaked into chart body")
+	}
+}
+
+func TestRenderChartConstantSeries(t *testing.T) {
+	fig := Figure{
+		ID: "const", Title: "flat",
+		Series: []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{5, 5}}},
+	}
+	out := RenderChart(fig, 30, 8)
+	if !strings.Contains(out, "o") {
+		t.Errorf("flat series not plotted:\n%s", out)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := RenderTable(sampleFigure())
+	for _, want := range []string{"opt", "base", "budget", "3.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + 3 rows.
+	if len(lines) != 5 {
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderTableEmpty(t *testing.T) {
+	out := RenderTable(Figure{ID: "x", Title: "y"})
+	if !strings.Contains(out, "(no data)") {
+		t.Error("empty table should render placeholder")
+	}
+}
+
+func TestRenderTableRaggedSeries(t *testing.T) {
+	fig := Figure{
+		ID: "ragged", Title: "different lengths",
+		Series: []Series{
+			{Name: "long", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}},
+			{Name: "short", X: []float64{1}, Y: []float64{9}},
+		},
+	}
+	out := RenderTable(fig)
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing placeholder for absent values:\n%s", out)
+	}
+}

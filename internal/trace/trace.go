@@ -1,0 +1,221 @@
+// Package trace serializes marketplace repetition records to CSV and
+// JSON Lines and reads them back. Real tuning deployments feed observed
+// traces into the inference pipeline (Sec 3.3 of the paper) offline;
+// this package is the interchange layer between a simulator or platform
+// crawl and the estimators.
+//
+// The opaque per-task Meta payload is not serialized: it is an in-process
+// convenience, not part of the observable trace.
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"hputune/internal/market"
+)
+
+// csvHeader is the column layout of the CSV format, in order.
+var csvHeader = []string{
+	"task_id", "rep", "price", "posted_at", "accepted", "done", "worker_id", "correct",
+}
+
+// WriteCSV writes records as CSV with a header row.
+func WriteCSV(w io.Writer, recs []market.RepRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for i, r := range recs {
+		row := []string{
+			r.TaskID,
+			strconv.Itoa(r.Rep),
+			strconv.Itoa(r.Price),
+			formatFloat(r.PostedAt),
+			formatFloat(r.Accepted),
+			formatFloat(r.Done),
+			strconv.Itoa(r.WorkerID),
+			strconv.FormatBool(r.Correct),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// ReadCSV reads records written by WriteCSV. The header row is required
+// and validated so column drift fails loudly instead of silently
+// misparsing.
+func ReadCSV(r io.Reader) ([]market.RepRecord, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var recs []market.RepRecord
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+func parseRow(row []string) (market.RepRecord, error) {
+	rep, err := strconv.Atoi(row[1])
+	if err != nil {
+		return market.RepRecord{}, fmt.Errorf("rep: %w", err)
+	}
+	price, err := strconv.Atoi(row[2])
+	if err != nil {
+		return market.RepRecord{}, fmt.Errorf("price: %w", err)
+	}
+	posted, err := strconv.ParseFloat(row[3], 64)
+	if err != nil {
+		return market.RepRecord{}, fmt.Errorf("posted_at: %w", err)
+	}
+	accepted, err := strconv.ParseFloat(row[4], 64)
+	if err != nil {
+		return market.RepRecord{}, fmt.Errorf("accepted: %w", err)
+	}
+	done, err := strconv.ParseFloat(row[5], 64)
+	if err != nil {
+		return market.RepRecord{}, fmt.Errorf("done: %w", err)
+	}
+	worker, err := strconv.Atoi(row[6])
+	if err != nil {
+		return market.RepRecord{}, fmt.Errorf("worker_id: %w", err)
+	}
+	correct, err := strconv.ParseBool(row[7])
+	if err != nil {
+		return market.RepRecord{}, fmt.Errorf("correct: %w", err)
+	}
+	return market.RepRecord{
+		TaskID:   row[0],
+		Rep:      rep,
+		Price:    price,
+		PostedAt: posted,
+		Accepted: accepted,
+		Done:     done,
+		WorkerID: worker,
+		Correct:  correct,
+	}, nil
+}
+
+// jsonRecord is the JSONL wire shape (Meta excluded).
+type jsonRecord struct {
+	TaskID   string  `json:"task_id"`
+	Rep      int     `json:"rep"`
+	Price    int     `json:"price"`
+	PostedAt float64 `json:"posted_at"`
+	Accepted float64 `json:"accepted"`
+	Done     float64 `json:"done"`
+	WorkerID int     `json:"worker_id"`
+	Correct  bool    `json:"correct"`
+}
+
+// WriteJSONL writes one JSON object per line.
+func WriteJSONL(w io.Writer, recs []market.RepRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, r := range recs {
+		jr := jsonRecord{
+			TaskID:   r.TaskID,
+			Rep:      r.Rep,
+			Price:    r.Price,
+			PostedAt: r.PostedAt,
+			Accepted: r.Accepted,
+			Done:     r.Done,
+			WorkerID: r.WorkerID,
+			Correct:  r.Correct,
+		}
+		if err := enc.Encode(jr); err != nil {
+			return fmt.Errorf("trace: encode record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads records written by WriteJSONL. Blank lines are skipped.
+func ReadJSONL(r io.Reader) ([]market.RepRecord, error) {
+	var recs []market.RepRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var jr jsonRecord
+		if err := json.Unmarshal(raw, &jr); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		recs = append(recs, market.RepRecord{
+			TaskID:   jr.TaskID,
+			Rep:      jr.Rep,
+			Price:    jr.Price,
+			PostedAt: jr.PostedAt,
+			Accepted: jr.Accepted,
+			Done:     jr.Done,
+			WorkerID: jr.WorkerID,
+			Correct:  jr.Correct,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return recs, nil
+}
+
+// OnHoldDurations extracts the per-record on-hold latencies — the sample
+// the rate estimators consume.
+func OnHoldDurations(recs []market.RepRecord) []float64 {
+	out := make([]float64, len(recs))
+	for i, r := range recs {
+		out[i] = r.OnHold()
+	}
+	return out
+}
+
+// ProcessingDurations extracts the per-record processing latencies.
+func ProcessingDurations(recs []market.RepRecord) []float64 {
+	out := make([]float64, len(recs))
+	for i, r := range recs {
+		out[i] = r.Processing()
+	}
+	return out
+}
+
+// GroupByPrice buckets records by offered price, the shape the linearity
+// fit consumes (one rate estimate per price level).
+func GroupByPrice(recs []market.RepRecord) map[int][]market.RepRecord {
+	out := make(map[int][]market.RepRecord)
+	for _, r := range recs {
+		out[r.Price] = append(out[r.Price], r)
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hputune/internal/market"
+	"hputune/internal/pricing"
+	"hputune/internal/randx"
+)
+
+func sampleRecords(t *testing.T, n int, seed uint64) []market.RepRecord {
+	t.Helper()
+	class := &market.TaskClass{
+		Name:     "vote",
+		Accept:   pricing.Linear{K: 1, B: 1},
+		ProcRate: 2,
+		Accuracy: 0.8,
+	}
+	sim, err := market.New(market.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		err := sim.Post(market.TaskSpec{
+			ID:        fmt.Sprintf("t%d", i),
+			Class:     class,
+			RepPrices: []int{1 + i%4, 2},
+			Meta:      i, // must NOT survive serialization
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sim.AllRecords()
+}
+
+func recordsEqual(a, b market.RepRecord) bool {
+	return a.TaskID == b.TaskID && a.Rep == b.Rep && a.Price == b.Price &&
+		a.PostedAt == b.PostedAt && a.Accepted == b.Accepted &&
+		a.Done == b.Done && a.WorkerID == b.WorkerID && a.Correct == b.Correct
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := sampleRecords(t, 12, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip lost records: %d -> %d", len(recs), len(back))
+	}
+	for i := range recs {
+		if !recordsEqual(recs[i], back[i]) {
+			t.Errorf("record %d changed: %+v -> %+v", i, recs[i], back[i])
+		}
+		if back[i].Meta != nil {
+			t.Errorf("record %d Meta survived serialization: %v", i, back[i].Meta)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	recs := sampleRecords(t, 12, 5)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip lost records: %d -> %d", len(recs), len(back))
+	}
+	for i := range recs {
+		if !recordsEqual(recs[i], back[i]) {
+			t.Errorf("record %d changed: %+v -> %+v", i, recs[i], back[i])
+		}
+	}
+}
+
+func TestCSVRejectsWrongHeader(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("wrong header accepted")
+	}
+	bad := "task_id,rep,price,posted_at,accepted,done,worker_id,wrong\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Error("renamed column accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestCSVRejectsMalformedRows(t *testing.T) {
+	header := strings.Join([]string{"task_id", "rep", "price", "posted_at", "accepted", "done", "worker_id", "correct"}, ",")
+	for _, row := range []string{
+		"t0,notanint,1,0,1,2,0,true",
+		"t0,0,notanint,0,1,2,0,true",
+		"t0,0,1,notafloat,1,2,0,true",
+		"t0,0,1,0,notafloat,2,0,true",
+		"t0,0,1,0,1,notafloat,0,true",
+		"t0,0,1,0,1,2,notanint,true",
+		"t0,0,1,0,1,2,0,notabool",
+		"t0,0,1,0,1,2,0", // short row
+	} {
+		_, err := ReadCSV(strings.NewReader(header + "\n" + row + "\n"))
+		if err == nil {
+			t.Errorf("malformed row accepted: %q", row)
+		}
+	}
+}
+
+func TestJSONLRejectsMalformed(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Blank lines are tolerated.
+	recs, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("blank input: %v, %v", recs, err)
+	}
+}
+
+func TestCSVEmptyRecords(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("empty trace read back %d records", len(recs))
+	}
+}
+
+func TestDurationExtraction(t *testing.T) {
+	recs := []market.RepRecord{
+		{PostedAt: 0, Accepted: 2, Done: 5},
+		{PostedAt: 1, Accepted: 4, Done: 4.5},
+	}
+	oh := OnHoldDurations(recs)
+	pr := ProcessingDurations(recs)
+	if oh[0] != 2 || oh[1] != 3 {
+		t.Errorf("on-hold %v, want [2 3]", oh)
+	}
+	if pr[0] != 3 || pr[1] != 0.5 {
+		t.Errorf("processing %v, want [3 0.5]", pr)
+	}
+}
+
+func TestGroupByPrice(t *testing.T) {
+	recs := sampleRecords(t, 16, 9)
+	buckets := GroupByPrice(recs)
+	total := 0
+	for price, group := range buckets {
+		total += len(group)
+		for _, r := range group {
+			if r.Price != price {
+				t.Errorf("record with price %d in bucket %d", r.Price, price)
+			}
+		}
+	}
+	if total != len(recs) {
+		t.Errorf("buckets hold %d of %d records", total, len(recs))
+	}
+}
+
+func TestCSVPreservesFloatPrecisionProperty(t *testing.T) {
+	// Property: arbitrary float64 latencies survive the CSV round trip
+	// bit-for-bit (the 'g/-1' format is shortest-exact).
+	prop := func(posted, hold, proc float64) bool {
+		posted = math.Abs(posted)
+		hold = math.Abs(hold)
+		proc = math.Abs(proc)
+		if math.IsInf(posted, 0) || math.IsInf(hold, 0) || math.IsInf(proc, 0) {
+			return true
+		}
+		rec := market.RepRecord{
+			TaskID:   "t",
+			Price:    1,
+			PostedAt: posted,
+			Accepted: posted + hold,
+			Done:     posted + hold + proc,
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, []market.RepRecord{rec}); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil || len(back) != 1 {
+			return false
+		}
+		return recordsEqual(rec, back[0])
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: nil}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONLLargeTrace(t *testing.T) {
+	// A larger simulated trace exercises the scanner buffer path.
+	r := randx.New(11)
+	recs := make([]market.RepRecord, 5000)
+	for i := range recs {
+		recs[i] = market.RepRecord{
+			TaskID:   fmt.Sprintf("task-%d", i),
+			Rep:      i % 5,
+			Price:    1 + i%9,
+			PostedAt: r.Float64() * 100,
+			WorkerID: i,
+			Correct:  i%3 == 0,
+		}
+		recs[i].Accepted = recs[i].PostedAt + r.Exp(1)
+		recs[i].Done = recs[i].Accepted + r.Exp(2)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("lost records: %d -> %d", len(recs), len(back))
+	}
+	for i := 0; i < len(recs); i += 997 {
+		if !recordsEqual(recs[i], back[i]) {
+			t.Errorf("record %d changed", i)
+		}
+	}
+}

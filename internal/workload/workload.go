@@ -1,0 +1,230 @@
+// Package workload builds the experiment configurations of the paper's
+// evaluation (Sec 5): the synthetic Scenario I/II/III sweeps of Figure 2
+// and the calibrated Mechanical-Turk-style setups of Figures 3–5.
+package workload
+
+import (
+	"fmt"
+
+	"hputune/internal/htuning"
+	"hputune/internal/market"
+	"hputune/internal/pricing"
+)
+
+// Scenario selects one of the paper's three tuning scenarios.
+type Scenario int
+
+const (
+	// Homogeneous: 100 identical tasks × 5 repetitions (Fig 2 "homo").
+	Homogeneous Scenario = iota
+	// Repetition: 50 tasks × 3 reps + 50 tasks × 5 reps, one difficulty
+	// (Fig 2 "repe").
+	Repetition
+	// Heterogeneous: 50 tasks × 3 reps at λp=2.0 + 50 tasks × 5 reps at
+	// λp=3.0 (Fig 2 "heter").
+	Heterogeneous
+)
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	switch s {
+	case Homogeneous:
+		return "homo"
+	case Repetition:
+		return "repe"
+	case Heterogeneous:
+		return "heter"
+	}
+	return fmt.Sprintf("Scenario(%d)", int(s))
+}
+
+// Fig2Budgets returns the paper's budget sweep 1000–5000 in steps of 500.
+func Fig2Budgets() []int {
+	var bs []int
+	for b := 1000; b <= 5000; b += 500 {
+		bs = append(bs, b)
+	}
+	return bs
+}
+
+// Fig2TaskCount is the task population of every Fig 2 panel.
+const Fig2TaskCount = 100
+
+// Fig2Problem builds the H-Tuning instance of one Fig 2 panel: the given
+// scenario under the given price→rate model at the given budget.
+// Parameters follow Sec 5.1: 100 tasks, 5 repetitions (homo) or a 50/50
+// split of 3 and 5 repetitions, λp = 2.0 (and 3.0 for the second
+// heterogeneous group).
+func Fig2Problem(s Scenario, model pricing.RateModel, budget int) (htuning.Problem, error) {
+	if model == nil {
+		return htuning.Problem{}, fmt.Errorf("workload: nil rate model")
+	}
+	if budget < 1 {
+		return htuning.Problem{}, fmt.Errorf("workload: budget %d below 1", budget)
+	}
+	half := Fig2TaskCount / 2
+	switch s {
+	case Homogeneous:
+		typ := &htuning.TaskType{Name: "homo-" + model.Name(), Accept: model, ProcRate: 2.0}
+		return htuning.Problem{
+			Groups: []htuning.Group{{Type: typ, Tasks: Fig2TaskCount, Reps: 5}},
+			Budget: budget,
+		}, nil
+	case Repetition:
+		typ := &htuning.TaskType{Name: "repe-" + model.Name(), Accept: model, ProcRate: 2.0}
+		return htuning.Problem{
+			Groups: []htuning.Group{
+				{Type: typ, Tasks: half, Reps: 3},
+				{Type: typ, Tasks: half, Reps: 5},
+			},
+			Budget: budget,
+		}, nil
+	case Heterogeneous:
+		hard := &htuning.TaskType{Name: "heter3-" + model.Name(), Accept: model, ProcRate: 2.0}
+		easy := &htuning.TaskType{Name: "heter5-" + model.Name(), Accept: model, ProcRate: 3.0}
+		return htuning.Problem{
+			Groups: []htuning.Group{
+				{Type: hard, Tasks: half, Reps: 3},
+				{Type: easy, Tasks: half, Reps: 5},
+			},
+			Budget: budget,
+		}, nil
+	}
+	return htuning.Problem{}, fmt.Errorf("workload: unknown scenario %d", s)
+}
+
+// --- Calibrated Mechanical-Turk substitute (Sec 5.2) -------------------
+
+// AMT price unit: one budget unit is one US cent; the paper's $0.05 reward
+// is 5 units, its $6–$10 budgets are 600–1000 units.
+const (
+	CentsPerDollar = 100
+	// ProbeReward is the 1-unit reward of the Fig 3 experiment, $0.05.
+	ProbeReward = 5
+)
+
+// CalibratedAcceptModel returns the empirical price→rate model measured on
+// AMT by the paper (Sec 5.2): rewards $0.05, $0.08, $0.10, $0.12 mapped to
+// on-hold rates 0.0038, 0.0062, 0.0121, 0.0131 s⁻¹ — the observations the
+// paper reports as supporting the Linearity Hypothesis. Prices are cents.
+func CalibratedAcceptModel() (pricing.RateModel, error) {
+	return pricing.NewTable("amt-2016", map[float64]float64{
+		5:  0.0038,
+		8:  0.0062,
+		10: 0.0121,
+		12: 0.0131,
+	})
+}
+
+// ImageFilterProcRate is the processing clock rate of the image-filter
+// task with the given number of internal binary votes (4, 6 or 8).
+// Values match the scale of the paper's Fig 5(b): roughly 1–4 minutes per
+// answer, slower with more votes.
+func ImageFilterProcRate(votes int) (float64, error) {
+	switch votes {
+	case 4:
+		return 1.0 / 60, nil // ~1 min
+	case 6:
+		return 1.0 / 110, nil
+	case 8:
+		return 1.0 / 180, nil // ~3 min
+	}
+	return 0, fmt.Errorf("workload: image-filter variants have 4, 6 or 8 votes, got %d", votes)
+}
+
+// ImageFilterClass builds the marketplace class of the Sec 5.2 image
+// filtering task with the given number of internal votes. Difficulty damps
+// the acceptance rate (Fig 5(a)): 4 votes full rate, 6 votes ×0.8,
+// 8 votes ×0.6.
+func ImageFilterClass(votes int) (*market.TaskClass, error) {
+	base, err := CalibratedAcceptModel()
+	if err != nil {
+		return nil, err
+	}
+	proc, err := ImageFilterProcRate(votes)
+	if err != nil {
+		return nil, err
+	}
+	damp := 1.0
+	switch votes {
+	case 6:
+		damp = 0.8
+	case 8:
+		damp = 0.6
+	}
+	return &market.TaskClass{
+		Name:     fmt.Sprintf("image-filter-%dv", votes),
+		Accept:   pricing.Scaled{Base: base, Factor: damp},
+		ProcRate: proc,
+		Accuracy: 0.9,
+	}, nil
+}
+
+// Fig5cProblem builds the Sec 5.2 tuning comparison: three task types with
+// 10, 15 and 20 required repetitions (one task each), budget in cents
+// ($6–$10 in the paper). Types reuse the image-filter classes (4, 6 and
+// 8 votes).
+func Fig5cProblem(budgetCents int) (htuning.Problem, error) {
+	if budgetCents < 1 {
+		return htuning.Problem{}, fmt.Errorf("workload: budget %d below 1 cent", budgetCents)
+	}
+	reps := []int{10, 15, 20}
+	votes := []int{4, 6, 8}
+	var groups []htuning.Group
+	for i := range reps {
+		class, err := ImageFilterClass(votes[i])
+		if err != nil {
+			return htuning.Problem{}, err
+		}
+		groups = append(groups, htuning.Group{
+			Type: &htuning.TaskType{
+				Name:     class.Name,
+				Accept:   class.Accept,
+				ProcRate: class.ProcRate,
+			},
+			Tasks: 1,
+			Reps:  reps[i],
+		})
+	}
+	return htuning.Problem{Groups: groups, Budget: budgetCents}, nil
+}
+
+// Fig5cBudgets returns the paper's $6–$10 sweep in cents.
+func Fig5cBudgets() []int { return []int{600, 700, 800, 900, 1000} }
+
+// MarketClass converts an htuning task type into a marketplace class with
+// the given worker accuracy, so tuned allocations can be replayed on the
+// simulated market.
+func MarketClass(t *htuning.TaskType, accuracy float64) (*market.TaskClass, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	c := &market.TaskClass{Name: t.Name, Accept: t.Accept, ProcRate: t.ProcRate, Accuracy: accuracy}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SpecsForAllocation materializes a tuned allocation as marketplace task
+// specs, one per atomic task, ready to post.
+func SpecsForAllocation(p htuning.Problem, a htuning.Allocation, accuracy float64) ([]market.TaskSpec, error) {
+	if err := a.Validate(p); err != nil {
+		return nil, err
+	}
+	var specs []market.TaskSpec
+	for gi, g := range p.Groups {
+		class, err := MarketClass(g.Type, accuracy)
+		if err != nil {
+			return nil, err
+		}
+		for ti := 0; ti < g.Tasks; ti++ {
+			specs = append(specs, market.TaskSpec{
+				ID:        fmt.Sprintf("g%d-t%d", gi, ti),
+				Class:     class,
+				RepPrices: a.RepPrices[gi][ti],
+			})
+		}
+	}
+	return specs, nil
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"testing"
+
+	"hputune/internal/htuning"
+	"hputune/internal/pricing"
+)
+
+func TestScenarioString(t *testing.T) {
+	if Homogeneous.String() != "homo" || Repetition.String() != "repe" || Heterogeneous.String() != "heter" {
+		t.Error("scenario names wrong")
+	}
+	if Scenario(9).String() == "" {
+		t.Error("unknown scenario has empty name")
+	}
+}
+
+func TestFig2Budgets(t *testing.T) {
+	bs := Fig2Budgets()
+	if len(bs) != 9 || bs[0] != 1000 || bs[8] != 5000 {
+		t.Errorf("budget sweep wrong: %v", bs)
+	}
+}
+
+func TestFig2ProblemShapes(t *testing.T) {
+	model := pricing.Linear{K: 1, B: 1}
+	homo, err := Fig2Problem(Homogeneous, model, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(homo.Groups) != 1 || homo.Groups[0].Tasks != 100 || homo.Groups[0].Reps != 5 {
+		t.Errorf("homo shape wrong: %+v", homo.Groups)
+	}
+	if homo.Groups[0].Type.ProcRate != 2.0 {
+		t.Errorf("homo λp = %v, want 2.0", homo.Groups[0].Type.ProcRate)
+	}
+
+	repe, err := Fig2Problem(Repetition, model, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repe.Groups) != 2 || repe.Groups[0].Reps != 3 || repe.Groups[1].Reps != 5 {
+		t.Errorf("repe shape wrong: %+v", repe.Groups)
+	}
+	if repe.Groups[0].Tasks+repe.Groups[1].Tasks != 100 {
+		t.Error("repe task split wrong")
+	}
+	if repe.Groups[0].Type.ProcRate != repe.Groups[1].Type.ProcRate {
+		t.Error("repe groups must share difficulty")
+	}
+
+	heter, err := Fig2Problem(Heterogeneous, model, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heter.Groups[0].Type.ProcRate != 2.0 || heter.Groups[1].Type.ProcRate != 3.0 {
+		t.Errorf("heter proc rates wrong: %v, %v",
+			heter.Groups[0].Type.ProcRate, heter.Groups[1].Type.ProcRate)
+	}
+
+	if _, err := Fig2Problem(Scenario(9), model, 1000); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := Fig2Problem(Homogeneous, nil, 1000); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Fig2Problem(Homogeneous, model, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestCalibratedAcceptModelMatchesPaper(t *testing.T) {
+	m, err := CalibratedAcceptModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's λ₁..λ₄ at $0.05, $0.08, $0.10, $0.12.
+	cases := map[float64]float64{5: 0.0038, 8: 0.0062, 10: 0.0121, 12: 0.0131}
+	for price, want := range cases {
+		if got := m.Rate(price); got != want {
+			t.Errorf("Rate(%v) = %v, want %v", price, got, want)
+		}
+	}
+	// Monotone in between.
+	if m.Rate(6) <= m.Rate(5) || m.Rate(11) <= m.Rate(10) {
+		t.Error("calibrated model not increasing")
+	}
+}
+
+func TestImageFilterClasses(t *testing.T) {
+	for _, votes := range []int{4, 6, 8} {
+		c, err := ImageFilterClass(votes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("class %dv invalid: %v", votes, err)
+		}
+	}
+	c4, _ := ImageFilterClass(4)
+	c8, _ := ImageFilterClass(8)
+	if c8.Accept.Rate(8) >= c4.Accept.Rate(8) {
+		t.Error("8-vote class accepted as fast as 4-vote")
+	}
+	if c8.ProcRate >= c4.ProcRate {
+		t.Error("8-vote class processed as fast as 4-vote")
+	}
+	if _, err := ImageFilterClass(5); err == nil {
+		t.Error("invalid vote count accepted")
+	}
+	if _, err := ImageFilterProcRate(7); err == nil {
+		t.Error("invalid vote count accepted by proc rate")
+	}
+}
+
+func TestFig5cProblem(t *testing.T) {
+	p, err := Fig5cProblem(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Groups) != 3 {
+		t.Fatalf("got %d groups", len(p.Groups))
+	}
+	wantReps := []int{10, 15, 20}
+	for i, g := range p.Groups {
+		if g.Reps != wantReps[i] || g.Tasks != 1 {
+			t.Errorf("group %d: %d tasks × %d reps", i, g.Tasks, g.Reps)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("fig5c problem invalid: %v", err)
+	}
+	if _, err := Fig5cProblem(0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if bs := Fig5cBudgets(); len(bs) != 5 || bs[0] != 600 || bs[4] != 1000 {
+		t.Errorf("fig5c budgets wrong: %v", bs)
+	}
+}
+
+func TestSpecsForAllocation(t *testing.T) {
+	model := pricing.Linear{K: 1, B: 1}
+	p, err := Fig2Problem(Repetition, model, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := htuning.RepEvenAllocation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := SpecsForAllocation(p, a, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 100 {
+		t.Fatalf("got %d specs, want 100", len(specs))
+	}
+	total := 0
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("spec %s invalid: %v", s.ID, err)
+		}
+		for _, price := range s.RepPrices {
+			total += price
+		}
+	}
+	if total != a.Cost() {
+		t.Errorf("specs spend %d, allocation costs %d", total, a.Cost())
+	}
+	// Mismatched allocation must be rejected.
+	other, _ := Fig2Problem(Homogeneous, model, 800)
+	if _, err := SpecsForAllocation(other, a, 0.9); err == nil {
+		t.Error("mismatched allocation accepted")
+	}
+}
+
+func TestMarketClassConversion(t *testing.T) {
+	typ := &htuning.TaskType{Name: "t", Accept: pricing.Linear{K: 1, B: 1}, ProcRate: 2}
+	c, err := MarketClass(typ, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "t" || c.ProcRate != 2 || c.Accuracy != 0.8 {
+		t.Errorf("converted class wrong: %+v", c)
+	}
+	if _, err := MarketClass(typ, 0); err == nil {
+		t.Error("zero accuracy accepted")
+	}
+	bad := &htuning.TaskType{Name: "x"}
+	if _, err := MarketClass(bad, 1); err == nil {
+		t.Error("invalid type accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package hputune
+
+import (
+	"hputune/internal/randx"
+	"hputune/internal/stats"
+)
+
+// Statistical validation of the HPU model (exponential phases, Poisson
+// arrivals) against simulated or probed latency samples.
+type (
+	// SampleSummary holds descriptive statistics of a latency sample.
+	SampleSummary = stats.Summary
+	// KSResult is a Kolmogorov–Smirnov test outcome.
+	KSResult = stats.KSResult
+	// ChiSquareResult is a binned goodness-of-fit test outcome.
+	ChiSquareResult = stats.ChiSquareResult
+	// RateCI is an exact confidence interval for a clock rate.
+	RateCI = stats.RateCI
+)
+
+// SummarizeSample computes descriptive statistics of a sample.
+func SummarizeSample(xs []float64) (SampleSummary, error) { return stats.Summarize(xs) }
+
+// TestExponential runs the Lilliefors-style Kolmogorov–Smirnov test of
+// exponentiality with rate estimated from the sample; the p-value is
+// simulated with mcTrials Monte-Carlo replications (seeded).
+func TestExponential(xs []float64, mcTrials int, seed uint64) (KSResult, error) {
+	return stats.KSExponential(xs, mcTrials, randx.New(seed))
+}
+
+// TestExponentialBinned runs the binned chi-square goodness-of-fit test
+// of exponentiality with estimated rate.
+func TestExponentialBinned(xs []float64) (ChiSquareResult, error) {
+	return stats.ChiSquareExponential(xs)
+}
+
+// RateIntervalFromDurations returns the exact confidence interval for a
+// clock rate λ estimated from n iid exponential observations totalling
+// the given duration (the paper's Random Period probe).
+func RateIntervalFromDurations(n int, total, confidence float64) (RateCI, error) {
+	return stats.RateIntervalFromDurations(n, total, confidence)
+}
+
+// RateIntervalFromCount returns the exact (Garwood) confidence interval
+// for a Poisson rate from n events over a fixed horizon (the paper's
+// Fixed Period probe).
+func RateIntervalFromCount(n int, horizon, confidence float64) (RateCI, error) {
+	return stats.RateIntervalFromCount(n, horizon, confidence)
+}
