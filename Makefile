@@ -1,0 +1,31 @@
+# Targets mirror the CI pipeline (.github/workflows/ci.yml) so local
+# runs and CI agree on what passing means.
+
+GO ?= go
+
+.PHONY: all build test race bench lint fmt
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -timeout 1800s ./...
+
+race:
+	$(GO) test -race -timeout 1800s ./...
+
+# bench smoke: compile and run every benchmark once, no timing claims.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x -timeout 1800s ./...
+
+lint:
+	@diff=$$(gofmt -l .); \
+	if [ -n "$$diff" ]; then \
+		echo "files need gofmt:" >&2; echo "$$diff" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .

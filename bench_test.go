@@ -436,6 +436,96 @@ func BenchmarkAblationClosenessNorm(b *testing.B) {
 	}
 }
 
+// --- Concurrency benches (batch engine & sharded Monte Carlo) -----------
+
+// benchBatchProblems builds n distinct Fig-2-shaped instances; budgets
+// differ so the solves do real work, task types repeat so the shared
+// estimator cache pays off.
+func benchBatchProblems(b *testing.B, n int) []hputune.Problem {
+	b.Helper()
+	problems := make([]hputune.Problem, n)
+	for i := range problems {
+		problems[i] = fig2Instance(b, hputune.ScenarioRepetition, 2000+100*i)
+	}
+	return problems
+}
+
+// BenchmarkSolveBatch compares the batch RA solver serial vs parallel on
+// the same 16 instances. The tuned prices are identical in both modes
+// (asserted in internal/engine's tests); on >= 4 cores the parallel run
+// should finish the batch at least 2x faster. Workers bounds only the
+// batch-level fan-out — each solver keeps its internal two-pass
+// concurrency either way — so the measured speedup is conservative.
+func BenchmarkSolveBatch(b *testing.B) {
+	problems := benchBatchProblems(b, 16)
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hputune.SolveBatch(hputune.NewEstimator(), problems, hputune.BatchOptions{Workers: mode.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulateParallel compares the trial-sharded Monte-Carlo job
+// scorer serial vs parallel on one allocation and 20000 trials. Both
+// modes compute the identical estimate for the fixed seed (asserted in
+// internal/htuning's determinism tests): only wall-clock differs.
+func BenchmarkSimulateParallel(b *testing.B) {
+	p := fig2Instance(b, hputune.ScenarioRepetition, 3000)
+	a, err := hputune.RepEvenAllocation(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hputune.SimulateJobLatencyParallel(p, a, hputune.PhaseOnHold, 20000, 11, mode.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEstimatorShardedConcurrent measures the sharded cache under
+// the contended access pattern of a batch solve: every goroutine reads
+// the same hot key mix.
+func BenchmarkEstimatorShardedConcurrent(b *testing.B) {
+	p := fig2Instance(b, hputune.ScenarioRepetition, 3000)
+	est := htuning.NewEstimator()
+	// Warm the cache once so the parallel loop measures lookups.
+	for price := 1; price <= 10; price++ {
+		for _, g := range p.Groups {
+			if _, err := est.GroupPhase1Mean(g, price); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		price := 0
+		for pb.Next() {
+			price = price%10 + 1
+			for _, g := range p.Groups {
+				if _, err := est.GroupPhase1Mean(g, price); err != nil {
+					// Fatal must not be called off the benchmark goroutine.
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkAbandonment regenerates the failure-injection robustness sweep.
 func BenchmarkAbandonment(b *testing.B) { runExperiment(b, "abandonment") }
 

@@ -6,6 +6,7 @@
 //	htune -spec problem.json [-algorithm auto|ea|ra|ha] [-simulate 2000]
 //	htune -spec problem.json -compare [-simulate 2000]
 //	htune -spec problem.json -saturation 50
+//	htune -spec batch.json [-workers 8] [-simulate 2000]
 //
 // Spec format:
 //
@@ -21,6 +22,14 @@
 //
 // Model kinds: "linear" (k, b), "quadratic", "log", "table" (points:
 // {"price": rate, ...}).
+//
+// A spec with a top-level "problems" array instead of "budget"/"groups"
+// is a batch: every instance is tuned concurrently on a -workers pool
+// over one shared estimator, and -simulate scores each plan with the
+// deterministic trial-sharded Monte Carlo engine.
+//
+//	{"problems": [{"budget": 1000, "groups": [...]},
+//	              {"budget": 2000, "groups": [...]}]}
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"hputune"
 )
@@ -51,6 +61,8 @@ type groupSpec struct {
 type problemSpec struct {
 	Budget int         `json:"budget"`
 	Groups []groupSpec `json:"groups"`
+	// Problems, when non-empty, makes the spec a batch of instances.
+	Problems []problemSpec `json:"problems"`
 }
 
 func (m modelSpec) build(name string) (hputune.RateModel, error) {
@@ -75,17 +87,9 @@ func (m modelSpec) build(name string) (hputune.RateModel, error) {
 	return nil, fmt.Errorf("unknown model kind %q (want linear, quadratic, log or table)", m.Kind)
 }
 
-func load(path string) (hputune.Problem, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return hputune.Problem{}, err
-	}
-	var spec problemSpec
-	if err := json.Unmarshal(raw, &spec); err != nil {
-		return hputune.Problem{}, fmt.Errorf("parse %s: %w", path, err)
-	}
-	p := hputune.Problem{Budget: spec.Budget}
-	for i, g := range spec.Groups {
+func (s problemSpec) build() (hputune.Problem, error) {
+	p := hputune.Problem{Budget: s.Budget}
+	for i, g := range s.Groups {
 		model, err := g.Model.build(g.Name)
 		if err != nil {
 			return hputune.Problem{}, fmt.Errorf("group %d: %w", i, err)
@@ -97,6 +101,48 @@ func load(path string) (hputune.Problem, error) {
 		})
 	}
 	return p, nil
+}
+
+// load parses the spec file. batch reports whether the spec used the
+// top-level "problems" array — a one-element batch still runs (and
+// prints) in batch mode, so generated specs behave uniformly.
+func load(path string) (problems []hputune.Problem, batch bool, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	var spec problemSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, false, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(spec.Problems) > 0 {
+		if len(spec.Groups) > 0 || spec.Budget != 0 {
+			return nil, false, fmt.Errorf("%s: spec mixes a top-level problem with a \"problems\" array; use one or the other", path)
+		}
+		problems = make([]hputune.Problem, len(spec.Problems))
+		for i, ps := range spec.Problems {
+			if len(ps.Problems) > 0 {
+				return nil, false, fmt.Errorf("problem %d: nested \"problems\" arrays are not supported", i)
+			}
+			if len(ps.Groups) == 0 {
+				return nil, false, fmt.Errorf("problem %d: no groups", i)
+			}
+			p, err := ps.build()
+			if err != nil {
+				return nil, false, fmt.Errorf("problem %d: %w", i, err)
+			}
+			problems[i] = p
+		}
+		return problems, true, nil
+	}
+	if len(spec.Groups) == 0 {
+		return nil, false, fmt.Errorf("%s: spec has no groups and no problems", path)
+	}
+	p, err := spec.build()
+	if err != nil {
+		return nil, false, err
+	}
+	return []hputune.Problem{p}, false, nil
 }
 
 // pickAlgorithm chooses the scenario solver the paper prescribes for the
@@ -123,15 +169,24 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	compare := flag.Bool("compare", false, "score every applicable solver, the paper's baselines and the [29] comparator")
 	saturation := flag.Int("saturation", 0, "scan per-group price saturation up to this price (0 = skip)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for batch specs and simulation")
 	flag.Parse()
 	if *specPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	p, err := load(*specPath)
+	problems, batch, err := load(*specPath)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if batch {
+		if *compare || *saturation > 0 {
+			log.Fatal("-compare and -saturation are not supported for batch specs")
+		}
+		runBatch(problems, *algorithm, *simulate, *seed, *workers)
+		return
+	}
+	p := problems[0]
 	if *saturation > 0 {
 		runSaturation(p, *saturation)
 		return
@@ -180,11 +235,102 @@ func main() {
 	fmt.Printf("allocation: %s\n", alloc)
 	fmt.Printf("spend: %d of %d units\n", alloc.Cost(), p.Budget)
 	if *simulate > 0 {
-		lat, err := hputune.SimulateJobLatency(p, alloc, hputune.PhaseBoth, *simulate, *seed)
+		lat, err := hputune.SimulateJobLatencyParallel(p, alloc, hputune.PhaseBoth, *simulate, *seed, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("expected job latency (both phases, %d trials): %.4f\n", *simulate, lat)
+	}
+}
+
+// runBatch tunes a batch spec on the worker pool — every instance solved
+// concurrently over one shared estimator — and optionally scores each
+// plan with the deterministic trial-sharded simulator. algorithm picks
+// the solver: "ra", "ha", or "auto" for the per-instance choice the
+// single-problem path makes (EA has no batch form — its Scenario I
+// instances are a single group, which RA solves identically).
+func runBatch(problems []hputune.Problem, algorithm string, trials int, seed uint64, workers int) {
+	algos := make([]string, len(problems))
+	var raIdx, haIdx []int
+	for i, p := range problems {
+		algo := algorithm
+		if algo == "auto" {
+			algo = pickAlgorithm(p)
+			if algo == "ea" {
+				algo = "ra" // one group: RA's greedy reduces to EA's split
+			}
+		}
+		switch algo {
+		case "ra":
+			raIdx = append(raIdx, i)
+		case "ha":
+			haIdx = append(haIdx, i)
+		default:
+			log.Fatalf("algorithm %q is not supported for batch specs (want auto, ra or ha)", algo)
+		}
+		algos[i] = algo
+	}
+	est := hputune.NewEstimator()
+	opts := hputune.BatchOptions{Workers: workers}
+	type row struct {
+		prices    []int
+		objective float64
+	}
+	rows := make([]row, len(problems))
+	if len(raIdx) > 0 {
+		sub := make([]hputune.Problem, len(raIdx))
+		for k, i := range raIdx {
+			sub[k] = problems[i]
+		}
+		results, err := hputune.SolveBatch(est, sub, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for k, i := range raIdx {
+			rows[i] = row{prices: results[k].Prices, objective: results[k].Objective}
+		}
+	}
+	if len(haIdx) > 0 {
+		sub := make([]hputune.Problem, len(haIdx))
+		for k, i := range haIdx {
+			sub[k] = problems[i]
+		}
+		results, err := hputune.SolveHeterogeneousBatch(est, sub, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for k, i := range haIdx {
+			rows[i] = row{prices: results[k].Prices, objective: results[k].Closeness}
+		}
+	}
+	var lats []float64
+	if trials > 0 {
+		items := make([]hputune.SimulateItem, len(problems))
+		for i := range problems {
+			a, err := hputune.NewUniformAllocation(problems[i], rows[i].prices)
+			if err != nil {
+				log.Fatalf("problem %d: %v", i, err)
+			}
+			items[i] = hputune.SimulateItem{Problem: problems[i], Allocation: a}
+		}
+		var err error
+		lats, err = hputune.SimulateBatch(items, hputune.PhaseBoth, trials, seed, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("batch: %d problems, %d workers\n", len(problems), workers)
+	fmt.Printf("%-8s %-6s %-10s %-22s %12s", "problem", "algo", "budget", "per-group prices", "objective")
+	if trials > 0 {
+		fmt.Printf(" %14s", "simulated")
+	}
+	fmt.Println()
+	for i := range problems {
+		fmt.Printf("%-8d %-6s %-10d %-22s %12.4f", i, algos[i], problems[i].Budget, fmt.Sprint(rows[i].prices), rows[i].objective)
+		if trials > 0 {
+			fmt.Printf(" %14.4f", lats[i])
+		}
+		fmt.Println()
 	}
 }
 

@@ -34,6 +34,29 @@
 //	}
 //	alloc, err := hputune.EvenAllocation(p)
 //
+// # Concurrency
+//
+// The tuning engine is built for multi-core use:
+//
+//   - Estimator is safe for concurrent use. Its memo of E[max] integrals
+//     is sharded by key hash behind per-shard RWMutexes, so one
+//     estimator can back many solver and simulation goroutines; sharing
+//     one estimator across a batch is the intended pattern, because
+//     overlapping problems reuse each other's integrals.
+//   - SolveRepetition and SolveHeterogeneous fan their independent
+//     sub-computations (the two greedy rules, the two Utopia-Point
+//     objectives, per-candidate evaluations) across goroutines
+//     internally while returning exactly the prices the serial solver
+//     picks.
+//   - SolveBatch, SolveHeterogeneousBatch and SimulateBatch spread a
+//     slice of problems over a bounded worker pool (BatchOptions.Workers,
+//     default GOMAXPROCS) with results in input order.
+//   - SimulateJobLatencyParallel splits Monte-Carlo trials over a fixed
+//     number of deterministic randx shards. Every parallel API is a pure
+//     function of its arguments: the worker count never changes a
+//     result, only how fast it arrives. Fixed seed in, identical
+//     float64 out — on one core or sixty-four.
+//
 // Beyond the tuning algorithms the module ships every substrate the paper
 // depends on: a discrete-event marketplace simulator standing in for
 // Amazon Mechanical Turk (NewMarket), parameter inference probes

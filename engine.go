@@ -1,0 +1,50 @@
+package hputune
+
+import (
+	"hputune/internal/engine"
+	"hputune/internal/htuning"
+)
+
+// Concurrent batch layer (package engine): fan independent problems
+// across a bounded worker pool over one shared, concurrency-safe
+// Estimator. All batch calls are deterministic — results in input
+// order, per-item seeds derived from (seed, index) only — so a batch is
+// a pure function of its arguments regardless of worker count.
+
+// BatchOptions configures a batch run; the zero value uses GOMAXPROCS
+// workers.
+type BatchOptions = engine.Options
+
+// SimulateItem pairs one problem with the allocation to score in
+// SimulateBatch.
+type SimulateItem = engine.SimulateItem
+
+// SolveBatch tunes every problem with Algorithm 2 (RA) on a bounded
+// worker pool sharing est's memoized integrals (nil est gets a fresh
+// one). Results are in problem order; the error, if any, is the
+// lowest-index failure.
+func SolveBatch(est *Estimator, problems []Problem, opts BatchOptions) ([]RepetitionResult, error) {
+	return engine.SolveBatch(est, problems, opts)
+}
+
+// SolveHeterogeneousBatch tunes every problem with Algorithm 3 (HA) on
+// a bounded worker pool with a shared estimator.
+func SolveHeterogeneousBatch(est *Estimator, problems []Problem, opts BatchOptions) ([]HeterogeneousResult, error) {
+	return engine.SolveHeterogeneousBatch(est, problems, opts)
+}
+
+// SimulateBatch scores every (problem, allocation) pair by trial-sharded
+// Monte Carlo across a bounded worker pool. Deterministic in
+// (items, phase, trials, seed) for any worker count.
+func SimulateBatch(items []SimulateItem, phase Phase, trials int, seed uint64, opts BatchOptions) ([]float64, error) {
+	return engine.SimulateBatch(items, phase, trials, seed, opts)
+}
+
+// SimulateJobLatencyParallel is SimulateJobLatency with the trials split
+// over fixed deterministic randx shards executed by a bounded worker
+// pool (workers <= 0 means GOMAXPROCS). The estimate depends only on
+// (p, a, phase, trials, seed) — bit-for-bit identical for any workers
+// value — so parallel runs stay reproducible.
+func SimulateJobLatencyParallel(p Problem, a Allocation, phase Phase, trials int, seed uint64, workers int) (float64, error) {
+	return htuning.SimulateJobLatencyParallel(p, a, phase, trials, seed, workers)
+}

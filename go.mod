@@ -1,0 +1,3 @@
+module hputune
+
+go 1.24

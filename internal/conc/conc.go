@@ -1,0 +1,66 @@
+// Package conc is the bounded worker-pool primitive shared by the
+// tuning engine's parallel layers (solver candidate fan-out,
+// Monte-Carlo trial shards, batch solving, market replications). Each
+// Each call spawns and bounds its own pool — there is no global pool,
+// so concurrent callers compose additively. Work is handed out through
+// an atomic counter so finished workers steal remaining items; failure
+// reporting is deterministic — the lowest-index error wins, no matter
+// which goroutine finishes first.
+package conc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a pool-size argument: values <= 0 mean GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Each runs fn(i) for every i in [0, n) across at most workers
+// goroutines (inline when workers <= 1 or n <= 1) and returns the
+// lowest failing index with its error, or (-1, nil). Every item is
+// attempted even after a failure. fn must be safe for concurrent calls
+// and should write only to its own index's slot in any shared output.
+func Each(n, workers int, fn func(i int) error) (int, error) {
+	if n <= 0 {
+		return -1, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}

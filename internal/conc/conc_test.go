@@ -1,0 +1,77 @@
+package conc
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		hit := make([]atomic.Int32, 40)
+		i, err := Each(40, workers, func(i int) error {
+			hit[i].Add(1)
+			return nil
+		})
+		if err != nil || i != -1 {
+			t.Fatalf("workers=%d: (%d, %v)", workers, i, err)
+		}
+		for j := range hit {
+			if hit[j].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, j, hit[j].Load())
+			}
+		}
+	}
+}
+
+func TestEachBoundsPool(t *testing.T) {
+	var running, peak atomic.Int64
+	if _, err := Each(64, 4, func(int) error {
+		cur := running.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		defer running.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 4 {
+		t.Errorf("pool exceeded bound: peak %d workers", peak.Load())
+	}
+}
+
+func TestEachReturnsLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	other := errors.New("other")
+	i, err := Each(30, 8, func(i int) error {
+		switch i {
+		case 5:
+			return sentinel
+		case 21:
+			return other
+		}
+		return nil
+	})
+	if i != 5 || !errors.Is(err, sentinel) {
+		t.Fatalf("got (%d, %v), want (5, boom)", i, err)
+	}
+}
+
+func TestEachEmpty(t *testing.T) {
+	if i, err := Each(0, 4, nil); err != nil || i != -1 {
+		t.Fatalf("empty: (%d, %v)", i, err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("explicit value not respected")
+	}
+	if Workers(0) < 1 || Workers(-2) < 1 {
+		t.Error("defaulted pool size below 1")
+	}
+}

@@ -1,0 +1,306 @@
+// Package dist implements the latency distributions of the HPU model
+// ("Tuning Crowdsourced Human Computation", Cao et al., ICDE 2017) and
+// the heavy-tailed alternatives used by the robustness experiments:
+// exponential on-hold and processing phases, Erlang repetition chains
+// (Lemma 3), hypoexponential two-phase sums, and the log-normal and
+// hyper-exponential processing models of the empirical literature.
+//
+// Every distribution is an immutable value, safe to share between
+// goroutines; sampling draws from an explicit *randx.Rand stream so
+// callers control determinism.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"hputune/internal/numeric"
+	"hputune/internal/randx"
+)
+
+// Distribution is a non-negative continuous latency distribution.
+// Implementations are immutable values: all methods are safe for
+// concurrent use, and Sample's only state lives in the caller's RNG.
+type Distribution interface {
+	// CDF returns P(X <= t); 0 for t <= 0.
+	CDF(t float64) float64
+	// Sample draws one value from the distribution using r's stream.
+	Sample(r *randx.Rand) float64
+	// Mean returns E[X].
+	Mean() float64
+}
+
+// Varer is implemented by distributions with a closed-form variance.
+type Varer interface {
+	Var() float64
+}
+
+// PDFer is implemented by distributions with a closed-form density;
+// MaxOrder.MeanDensityForm requires it of its base.
+type PDFer interface {
+	PDF(t float64) float64
+}
+
+// CoefficientOfVariation returns std/mean for distributions with a
+// closed-form variance; the exponential's is exactly 1.
+func CoefficientOfVariation(d Distribution) (float64, error) {
+	if d == nil {
+		return 0, fmt.Errorf("dist: nil distribution")
+	}
+	v, ok := d.(Varer)
+	if !ok {
+		return 0, fmt.Errorf("dist: %T has no closed-form variance", d)
+	}
+	m := d.Mean()
+	if !(m > 0) {
+		return 0, fmt.Errorf("dist: non-positive mean %v", m)
+	}
+	return math.Sqrt(v.Var()) / m, nil
+}
+
+// erlangCDF returns the Erlang(k, rate) CDF at t: the regularized lower
+// incomplete gamma P(k, rate·t).
+func erlangCDF(k int, rate, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	v, _ := numeric.RegularizedGammaP(float64(k), rate*t)
+	return numeric.Clamp(v, 0, 1)
+}
+
+// erlangSF returns the Erlang(k, rate) survival function Q(k, rate·t),
+// accurate deep in the tail where the CDF rounds to 1.
+func erlangSF(k int, rate, t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	v, _ := numeric.RegularizedGammaQ(float64(k), rate*t)
+	return numeric.Clamp(v, 0, 1)
+}
+
+// erlangPDF returns the Erlang(k, rate) density at t, computed in log
+// space to stay finite for large shapes.
+func erlangPDF(k int, rate, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	lg := float64(k)*math.Log(rate) + float64(k-1)*math.Log(t) - rate*t - numeric.LogFactorial(k-1)
+	return math.Exp(lg)
+}
+
+// Exponential is the single-phase HPU latency Exp(rate).
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponential returns Exp(rate).
+func NewExponential(rate float64) (Exponential, error) {
+	if !(rate > 0) {
+		return Exponential{}, fmt.Errorf("dist: exponential rate %v must be positive", rate)
+	}
+	return Exponential{Rate: rate}, nil
+}
+
+// CDF returns 1 - e^{-rate·t}.
+func (e Exponential) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Rate * t)
+}
+
+// PDF returns rate·e^{-rate·t}.
+func (e Exponential) PDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return e.Rate * math.Exp(-e.Rate*t)
+}
+
+// Sample draws one exponential value.
+func (e Exponential) Sample(r *randx.Rand) float64 { return r.Exp(e.Rate) }
+
+// Mean returns 1/rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Var returns 1/rate².
+func (e Exponential) Var() float64 { return 1 / (e.Rate * e.Rate) }
+
+// Erlang is the latency of k sequential repetitions, each Exp(rate)
+// (Lemma 3 of the paper): the Erlang(k, rate) distribution.
+type Erlang struct {
+	K    int
+	Rate float64
+}
+
+// NewErlang returns Erlang(k, rate).
+func NewErlang(k int, rate float64) (Erlang, error) {
+	if k < 1 {
+		return Erlang{}, fmt.Errorf("dist: Erlang shape %d must be >= 1", k)
+	}
+	if !(rate > 0) {
+		return Erlang{}, fmt.Errorf("dist: Erlang rate %v must be positive", rate)
+	}
+	return Erlang{K: k, Rate: rate}, nil
+}
+
+// CDF returns P(k, rate·t).
+func (e Erlang) CDF(t float64) float64 { return erlangCDF(e.K, e.Rate, t) }
+
+// PDF returns the Erlang density at t.
+func (e Erlang) PDF(t float64) float64 { return erlangPDF(e.K, e.Rate, t) }
+
+// Sample draws the sum of K exponential phases.
+func (e Erlang) Sample(r *randx.Rand) float64 { return r.Erlang(e.K, e.Rate) }
+
+// Mean returns k/rate.
+func (e Erlang) Mean() float64 { return float64(e.K) / e.Rate }
+
+// Var returns k/rate².
+func (e Erlang) Var() float64 { return float64(e.K) / (e.Rate * e.Rate) }
+
+// HyperExponential is a mixture of exponentials: a heterogeneous worker
+// population, over-dispersed (CV > 1) relative to the HPU model.
+type HyperExponential struct {
+	Weights []float64 // normalized, positive
+	Rates   []float64
+}
+
+// NewHyperExponential returns the exponential mixture with the given
+// component weights (normalized to sum 1) and rates.
+func NewHyperExponential(weights, rates []float64) (HyperExponential, error) {
+	if len(weights) == 0 || len(weights) != len(rates) {
+		return HyperExponential{}, fmt.Errorf("dist: %d weights for %d rates", len(weights), len(rates))
+	}
+	total := 0.0
+	for i, w := range weights {
+		if !(w > 0) {
+			return HyperExponential{}, fmt.Errorf("dist: component %d weight %v must be positive", i, w)
+		}
+		if !(rates[i] > 0) {
+			return HyperExponential{}, fmt.Errorf("dist: component %d rate %v must be positive", i, rates[i])
+		}
+		total += w
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / total
+	}
+	return HyperExponential{Weights: norm, Rates: append([]float64(nil), rates...)}, nil
+}
+
+// CDF returns Σ wᵢ (1 - e^{-λᵢ t}).
+func (h HyperExponential) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for i, w := range h.Weights {
+		sum += w * -math.Expm1(-h.Rates[i]*t)
+	}
+	return sum
+}
+
+// PDF returns Σ wᵢ λᵢ e^{-λᵢ t}.
+func (h HyperExponential) PDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for i, w := range h.Weights {
+		sum += w * h.Rates[i] * math.Exp(-h.Rates[i]*t)
+	}
+	return sum
+}
+
+// Sample picks a component by weight, then draws its exponential.
+func (h HyperExponential) Sample(r *randx.Rand) float64 {
+	u := r.Float64()
+	acc := 0.0
+	for i, w := range h.Weights {
+		acc += w
+		if u < acc {
+			return r.Exp(h.Rates[i])
+		}
+	}
+	return r.Exp(h.Rates[len(h.Rates)-1])
+}
+
+// Mean returns Σ wᵢ/λᵢ.
+func (h HyperExponential) Mean() float64 {
+	sum := 0.0
+	for i, w := range h.Weights {
+		sum += w / h.Rates[i]
+	}
+	return sum
+}
+
+// Var returns the mixture variance E[X²] − E[X]².
+func (h HyperExponential) Var() float64 {
+	m := h.Mean()
+	m2 := 0.0
+	for i, w := range h.Weights {
+		m2 += 2 * w / (h.Rates[i] * h.Rates[i])
+	}
+	return m2 - m*m
+}
+
+// LogNormal is the heavy-tailed processing alternative reported by
+// empirical crowdsourcing studies: exp(N(mu, sigma²)).
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewLogNormal returns LogNormal(mu, sigma).
+func NewLogNormal(mu, sigma float64) (LogNormal, error) {
+	if !(sigma > 0) {
+		return LogNormal{}, fmt.Errorf("dist: log-normal sigma %v must be positive", sigma)
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// LogNormalFromMoments returns the log-normal with the given mean and
+// coefficient of variation — handy for matching an exponential's mean
+// while turning up the tail.
+func LogNormalFromMoments(mean, cv float64) (LogNormal, error) {
+	if !(mean > 0) {
+		return LogNormal{}, fmt.Errorf("dist: log-normal mean %v must be positive", mean)
+	}
+	if !(cv > 0) {
+		return LogNormal{}, fmt.Errorf("dist: log-normal CV %v must be positive", cv)
+	}
+	s2 := math.Log1p(cv * cv)
+	return LogNormal{Mu: math.Log(mean) - s2/2, Sigma: math.Sqrt(s2)}, nil
+}
+
+// CDF returns Φ((ln t − mu)/sigma).
+func (l LogNormal) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return 0.5 * math.Erfc(-(math.Log(t)-l.Mu)/(l.Sigma*math.Sqrt2))
+}
+
+// PDF returns the log-normal density at t.
+func (l LogNormal) PDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	z := (math.Log(t) - l.Mu) / l.Sigma
+	return math.Exp(-z*z/2) / (t * l.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// Sample draws exp(mu + sigma·Z).
+func (l LogNormal) Sample(r *randx.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.Normal())
+}
+
+// Mean returns exp(mu + sigma²/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Var returns (e^{sigma²} − 1)·e^{2mu + sigma²}.
+func (l LogNormal) Var() float64 {
+	s2 := l.Sigma * l.Sigma
+	return math.Expm1(s2) * math.Exp(2*l.Mu+s2)
+}

@@ -1,0 +1,389 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"hputune/internal/numeric"
+	"hputune/internal/randx"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestExponentialClosedForms(t *testing.T) {
+	e, err := NewExponential(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(e.CDF(1), 1-math.Exp(-2.5), 1e-14) {
+		t.Errorf("CDF(1) = %v", e.CDF(1))
+	}
+	if !almostEqual(e.Mean(), 0.4, 1e-14) || !almostEqual(e.Var(), 0.16, 1e-14) {
+		t.Errorf("mean %v var %v", e.Mean(), e.Var())
+	}
+	cv, err := CoefficientOfVariation(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(cv, 1, 1e-12) {
+		t.Errorf("exponential CV = %v, want 1", cv)
+	}
+	if e.CDF(0) != 0 || e.CDF(-1) != 0 {
+		t.Error("CDF not 0 at t <= 0")
+	}
+}
+
+func TestErlangCDFMatchesComplementSum(t *testing.T) {
+	// F(t) = 1 - e^{-λt} Σ_{i<k} (λt)^i/i!
+	er, err := NewErlang(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.1, 0.5, 1, 2, 5} {
+		x := 3 * tt
+		sum := 0.0
+		term := 1.0
+		for i := 0; i < 4; i++ {
+			if i > 0 {
+				term *= x / float64(i)
+			}
+			sum += term
+		}
+		want := 1 - math.Exp(-x)*sum
+		if !almostEqual(er.CDF(tt), want, 1e-12) {
+			t.Errorf("CDF(%v) = %v, want %v", tt, er.CDF(tt), want)
+		}
+	}
+	if !almostEqual(er.Mean(), 4.0/3, 1e-14) {
+		t.Errorf("mean %v", er.Mean())
+	}
+}
+
+func TestErlangPDFIntegratesToCDF(t *testing.T) {
+	er, err := NewErlang(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := numeric.Integrate(er.PDF, 0, 3, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, er.CDF(3), 1e-9) {
+		t.Errorf("∫pdf = %v, CDF(3) = %v", got, er.CDF(3))
+	}
+}
+
+func TestHypoexponentialTwoRateClosedForm(t *testing.T) {
+	// F(t) = 1 - (b·e^{-at} - a·e^{-bt})/(b-a) for distinct rates a, b.
+	a, b := 2.0, 5.0
+	h, err := NewHypoexponential(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.1, 0.3, 1, 2} {
+		want := 1 - (b*math.Exp(-a*tt)-a*math.Exp(-b*tt))/(b-a)
+		if !almostEqual(h.CDF(tt), want, 1e-11) {
+			t.Errorf("CDF(%v) = %v, want %v", tt, h.CDF(tt), want)
+		}
+	}
+	if !almostEqual(h.Mean(), 1/a+1/b, 1e-14) {
+		t.Errorf("mean %v", h.Mean())
+	}
+}
+
+func TestHypoexponentialThreeRateClosedForm(t *testing.T) {
+	// Distinct single-count rates keep the partial-fraction path:
+	// F(t) = 1 - Σᵢ wᵢ e^{-λᵢt}, wᵢ = Π_{j≠i} λⱼ/(λⱼ-λᵢ).
+	rates := []float64{1, 3, 7}
+	h, err := NewHypoexponential(rates...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.2, 0.8, 2, 5} {
+		want := 1.0
+		for i, li := range rates {
+			w := 1.0
+			for j, lj := range rates {
+				if j != i {
+					w *= lj / (lj - li)
+				}
+			}
+			want -= w * math.Exp(-li*tt)
+		}
+		if !almostEqual(h.CDF(tt), want, 1e-11) {
+			t.Errorf("CDF(%v) = %v, want %v", tt, h.CDF(tt), want)
+		}
+	}
+	got, err := MeanOfMax(1, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 + 1.0/3 + 1.0/7
+	if !almostEqual(got, want, 1e-10) {
+		t.Errorf("∫SF = %v, want mean %v", got, want)
+	}
+}
+
+func TestHypoexponentialEqualRatesIsErlang(t *testing.T) {
+	h, err := NewHypoexponential(3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := NewErlang(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.2, 1, 2.5} {
+		if !almostEqual(h.CDF(tt), er.CDF(tt), 1e-12) {
+			t.Errorf("CDF(%v): hypo %v vs erlang %v", tt, h.CDF(tt), er.CDF(tt))
+		}
+	}
+}
+
+func TestTwoPhaseErlangEqualRatesIsErlang(t *testing.T) {
+	tp, err := NewTwoPhaseErlang(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := NewErlang(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.5, 1.5, 4} {
+		if !almostEqual(tp.CDF(tt), er.CDF(tt), 1e-12) {
+			t.Errorf("CDF(%v): two-phase %v vs erlang %v", tt, tp.CDF(tt), er.CDF(tt))
+		}
+	}
+}
+
+func TestTwoPhaseErlangAgainstMonteCarlo(t *testing.T) {
+	tp, err := NewTwoPhaseErlang(3, 1.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(tp.Mean(), 3/1.5+3/4.0, 1e-13) {
+		t.Fatalf("mean %v, want %v", tp.Mean(), 3/1.5+3/4.0)
+	}
+	r := randx.New(17)
+	const trials = 60000
+	counts := map[float64]int{1: 0, 2: 0, 3: 0, 4: 0}
+	mean := 0.0
+	for i := 0; i < trials; i++ {
+		v := tp.Sample(r)
+		mean += v / trials
+		for th := range counts {
+			if v <= th {
+				counts[th]++
+			}
+		}
+	}
+	if !almostEqual(mean, tp.Mean(), 0.02) {
+		t.Errorf("sample mean %v vs analytic %v", mean, tp.Mean())
+	}
+	for th, c := range counts {
+		emp := float64(c) / trials
+		if math.Abs(emp-tp.CDF(th)) > 0.01 {
+			t.Errorf("CDF(%v) analytic %v vs empirical %v", th, tp.CDF(th), emp)
+		}
+	}
+}
+
+func TestTwoPhaseErlangLargeShapeConsistency(t *testing.T) {
+	// k = 12 with rates 6 and 4 is exactly where the textbook
+	// partial-fraction expansion loses all 15 digits to cancellation;
+	// the NB-mixture CDF must still integrate to the closed-form mean
+	// (∫ SF = E) and stay within [0, 1] and monotone.
+	tp, err := NewTwoPhaseErlang(12, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MeanOfMax(1, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 12.0/6 + 12.0/4
+	if !almostEqual(got, want, 1e-10) {
+		t.Errorf("∫SF = %v, want mean %v", got, want)
+	}
+	prev := 0.0
+	for tt := 0.0; tt <= 30; tt += 0.05 {
+		f := tp.CDF(tt)
+		if f < prev-1e-13 {
+			t.Fatalf("CDF not monotone at t=%v: %v < %v", tt, f, prev)
+		}
+		if f < 0 || f > 1 {
+			t.Fatalf("CDF out of range at t=%v: %v", tt, f)
+		}
+		prev = f
+	}
+	if sf := 1 - tp.CDF(1000); sf != 0 {
+		t.Errorf("survival floor at t=1000: %g, want exact 0", sf)
+	}
+}
+
+func TestTwoPhaseErlangExtremeRateRatio(t *testing.T) {
+	// A 100:1 rate ratio drives the NB mixture through hundreds of
+	// terms; the mean identity must still hold.
+	tp, err := NewTwoPhaseErlang(8, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MeanOfMax(1, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8.0/200 + 8.0/2
+	if !almostEqual(got, want, 1e-9) {
+		t.Errorf("∫SF = %v, want mean %v", got, want)
+	}
+}
+
+func TestTwoPhaseErlangPDFIntegratesToOne(t *testing.T) {
+	tp, err := NewTwoPhaseErlang(2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := numeric.IntegrateToInf(tp.PDF, 0, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 1, 1e-8) {
+		t.Errorf("∫pdf = %v, want 1", got)
+	}
+}
+
+func TestMeanOfMaxExponentialHarmonic(t *testing.T) {
+	// E[max of n Exp(λ)] = H_n/λ.
+	e, err := NewExponential(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 3, 10, 100} {
+		got, err := MeanOfMax(n, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := numeric.Harmonic(n) / 5
+		if !almostEqual(got, want, 1e-10) {
+			t.Errorf("n=%d: %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestMeanOfMaxOrderOneIsMean(t *testing.T) {
+	er, err := NewErlang(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MeanOfMax(1, er)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, er.Mean(), 1e-10) {
+		t.Errorf("E[max of 1] = %v, want mean %v", got, er.Mean())
+	}
+}
+
+func TestMaxOrderSurvivalAndDensityFormsAgree(t *testing.T) {
+	base, err := NewErlang(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaxOrder(100, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surv := m.Mean()
+	dens := m.MeanDensityForm()
+	if math.IsNaN(surv) || math.IsNaN(dens) {
+		t.Fatalf("NaN mean: survival %v density %v", surv, dens)
+	}
+	if !almostEqual(surv, dens, 1e-7) {
+		t.Errorf("survival form %v vs density form %v", surv, dens)
+	}
+}
+
+func TestLogNormalFromMomentsRoundTrip(t *testing.T) {
+	ln, err := LogNormalFromMoments(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(ln.Mean(), 0.5, 1e-12) {
+		t.Errorf("mean %v, want 0.5", ln.Mean())
+	}
+	cv, err := CoefficientOfVariation(ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(cv, 3, 1e-10) {
+		t.Errorf("CV %v, want 3", cv)
+	}
+}
+
+func TestHyperExponentialMoments(t *testing.T) {
+	he, err := NewHyperExponential([]float64{0.8, 0.2}, []float64{4, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.8/4 + 0.2/0.4
+	if !almostEqual(he.Mean(), want, 1e-13) {
+		t.Errorf("mean %v, want %v", he.Mean(), want)
+	}
+	cv, err := CoefficientOfVariation(he)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv <= 1 {
+		t.Errorf("hyperexponential CV %v should exceed 1", cv)
+	}
+	r := randx.New(3)
+	mean := 0.0
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		mean += he.Sample(r) / trials
+	}
+	if !almostEqual(mean, want, 0.05) {
+		t.Errorf("sample mean %v vs analytic %v", mean, want)
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := NewExponential(0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewErlang(0, 1); err == nil {
+		t.Error("zero shape accepted")
+	}
+	if _, err := NewErlang(2, -1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewTwoPhaseErlang(0, 1, 1); err == nil {
+		t.Error("zero shape accepted")
+	}
+	if _, err := NewHypoexponential(); err == nil {
+		t.Error("empty rates accepted")
+	}
+	if _, err := NewHyperExponential([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := NewLogNormal(0, 0); err == nil {
+		t.Error("zero sigma accepted")
+	}
+	if _, err := LogNormalFromMoments(-1, 1); err == nil {
+		t.Error("negative mean accepted")
+	}
+	if _, err := NewMaxOrder(0, Exponential{Rate: 1}); err == nil {
+		t.Error("zero order accepted")
+	}
+	if _, err := NewMaxOrder(2, nil); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := MeanOfMax(2, nil); err == nil {
+		t.Error("nil distribution accepted")
+	}
+	if _, err := CoefficientOfVariation(nil); err == nil {
+		t.Error("nil distribution accepted")
+	}
+}

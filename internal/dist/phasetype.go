@@ -1,0 +1,434 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"hputune/internal/numeric"
+	"hputune/internal/randx"
+)
+
+// stage is count iid Exp(rate) phases in series.
+type stage struct {
+	rate  float64
+	count int
+}
+
+// phaseSum is the distribution of a sum of independent exponential
+// phases — a hypoexponential (series phase-type) distribution. Three
+// evaluation strategies, picked at construction by what stays
+// numerically stable:
+//
+//   - one distinct rate: plain Erlang;
+//   - two distinct rates (any counts — the TwoPhaseErlang hot path):
+//     the exact negative-binomial Erlang mixture. Exp(b) is a
+//     Geometric(p = b/a)-compound of Exp(a) phases (check the Laplace
+//     transforms), so Erlang(m, b) adds NB(m, p) phases of the faster
+//     rate a, and the sum is Σⱼ wⱼ·Erlang(base+j, a) with positive
+//     weights wⱼ = C(m+j−1, j)·pᵐ·(1−p)ʲ — no cancellation at any
+//     shape or rate ratio, unlike the textbook partial fractions whose
+//     alternating ~C(2k, k)·(a/(a−b))²ᵏ coefficients destroy all
+//     precision already at k ≈ 8;
+//   - three or more distinct rates (single-count stages from
+//     NewHypoexponential): partial fractions, whose simple poles keep
+//     coefficients of order Π λⱼ/(λⱼ−λᵢ).
+//
+// Rates closer than a relative 1e-9 are merged into one stage.
+type phaseSum struct {
+	stages []stage
+	// coef[i][j-1] multiplies the Erlang(j, stages[i].rate) density term
+	// (>= 3 distinct rates only).
+	coef [][]float64
+	// Two-distinct-rate mixture representation.
+	mixRate float64 // the faster rate a
+	mixBase int     // smallest mixture shape: count(a) + count(b)
+	// mixCW[j] = Σ_{l<=j} w_l, the cumulative mixture weight up to shape
+	// mixBase+j; the last entry is exactly 1 (the truncated tail is
+	// lumped into the final shape, bounding its error by mixTailMass).
+	mixCW []float64
+}
+
+// mixTailMass is where the negative-binomial weight tail is truncated;
+// the lumped remainder bounds the absolute CDF/PDF error.
+const mixTailMass = 1e-15
+
+// mixMaxTerms caps the weight table against extreme rate ratios (the
+// NB mean is count·a/b terms).
+const mixMaxTerms = 1 << 20
+
+// newPhaseSum merges equal rates and precomputes the representation.
+func newPhaseSum(raw []stage) (phaseSum, error) {
+	if len(raw) == 0 {
+		return phaseSum{}, fmt.Errorf("dist: phase-type sum needs at least one stage")
+	}
+	var stages []stage
+	for _, s := range raw {
+		if s.count < 1 {
+			return phaseSum{}, fmt.Errorf("dist: stage count %d must be >= 1", s.count)
+		}
+		if !(s.rate > 0) {
+			return phaseSum{}, fmt.Errorf("dist: stage rate %v must be positive", s.rate)
+		}
+		merged := false
+		for i := range stages {
+			if math.Abs(stages[i].rate-s.rate) <= 1e-9*math.Max(stages[i].rate, s.rate) {
+				stages[i].count += s.count
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			stages = append(stages, s)
+		}
+	}
+	p := phaseSum{stages: stages}
+	switch {
+	case len(stages) == 2:
+		p.buildMixture()
+	case len(stages) > 2:
+		p.coef = partialFractions(stages)
+	}
+	return p, nil
+}
+
+// buildMixture precomputes the cumulative negative-binomial mixture
+// weights for the two-distinct-rate case.
+func (p *phaseSum) buildMixture() {
+	fast, slow := p.stages[0], p.stages[1]
+	if fast.rate < slow.rate {
+		fast, slow = slow, fast
+	}
+	a, b := fast.rate, slow.rate
+	prob := b / a
+	m := slow.count
+	p.mixRate = a
+	p.mixBase = fast.count + slow.count
+	// w₀ = pᵐ; w_{j+1} = w_j·(1−p)·(m+j)/(j+1). Accumulate until the
+	// remaining tail mass is negligible, then lump it into the last
+	// entry so the cumulative table ends at exactly 1 — that keeps the
+	// deep survival tail an exact zero instead of a 1e-15 floor.
+	w := math.Pow(prob, float64(m))
+	total := 0.0
+	for j := 0; j < mixMaxTerms; j++ {
+		total += w
+		p.mixCW = append(p.mixCW, total)
+		if 1-total <= mixTailMass {
+			break
+		}
+		w *= (1 - prob) * float64(m+j) / float64(j+1)
+	}
+	p.mixCW[len(p.mixCW)-1] = 1
+}
+
+// cwAt returns the cumulative mixture weight of shapes <= i.
+func (p phaseSum) cwAt(i int) float64 {
+	k := i - p.mixBase
+	switch {
+	case k < 0:
+		return 0
+	case k >= len(p.mixCW):
+		return 1
+	}
+	return p.mixCW[k]
+}
+
+// partialFractions expands C·Π (λᵢ+s)^{-kᵢ} (C = Π λᵢ^{kᵢ}) into
+// Σᵢ Σⱼ Aᵢⱼ (λᵢ+s)^{-j} and returns A with Aᵢⱼ at [i][j-1]. The
+// coefficients of pole i follow from Taylor-expanding the remaining
+// factors hᵢ(s) = Π_{r≠i} (λᵢ+s)^{-kᵣ} at s = -λᵢ: derivatives of hᵢ
+// obey the log-derivative recurrence h⁽ˡ⁾ = Σ C(l-1,m) h⁽ᵐ⁾ g⁽ˡ⁻¹⁻ᵐ⁾
+// with g = h'/h a sum of simple poles, all evaluable in closed form.
+func partialFractions(stages []stage) [][]float64 {
+	logC := 0.0
+	for _, s := range stages {
+		logC += float64(s.count) * math.Log(s.rate)
+	}
+	C := math.Exp(logC)
+	coef := make([][]float64, len(stages))
+	for i, si := range stages {
+		k := si.count
+		// g⁽ᵐ⁾(-λᵢ) = Σ_{r≠i} -kᵣ·(-1)ᵐ·m!·(λᵣ-λᵢ)^{-(m+1)}
+		g := make([]float64, k) // g[m] = g⁽ᵐ⁾(-λᵢ)
+		logH0 := 0.0
+		signH0 := 1.0
+		for r, sr := range stages {
+			if r == i {
+				continue
+			}
+			d := sr.rate - si.rate
+			logH0 -= float64(sr.count) * math.Log(math.Abs(d))
+			if d < 0 && sr.count%2 == 1 {
+				signH0 = -signH0
+			}
+			mfac := 1.0
+			for m := 0; m < k; m++ {
+				if m > 0 {
+					mfac *= float64(m)
+				}
+				sign := 1.0
+				if m%2 == 1 {
+					sign = -1
+				}
+				g[m] += -float64(sr.count) * sign * mfac / math.Pow(d, float64(m+1))
+			}
+		}
+		h := make([]float64, k) // h[l] = hᵢ⁽ˡ⁾(-λᵢ)
+		h[0] = signH0 * math.Exp(logH0)
+		for l := 1; l < k; l++ {
+			binom := 1.0
+			for m := 0; m < l; m++ {
+				if m > 0 {
+					binom *= float64(l-m) / float64(m)
+				}
+				h[l] += binom * h[m] * g[l-1-m]
+			}
+		}
+		coef[i] = make([]float64, k)
+		lfac := 1.0
+		for l := 0; l < k; l++ {
+			if l > 0 {
+				lfac *= float64(l)
+			}
+			// Aᵢ,(k-l) = C·hᵢ⁽ˡ⁾(-λᵢ)/l!
+			coef[i][k-l-1] = C * h[l] / lfac
+		}
+	}
+	return coef
+}
+
+// CDF dispatches on the representation chosen at construction.
+func (p phaseSum) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if len(p.stages) == 1 {
+		return erlangCDF(p.stages[0].count, p.stages[0].rate, t)
+	}
+	if p.mixCW != nil {
+		if v := p.mixturePoissonSum(t, false); v < 0.5 {
+			return numeric.Clamp(v, 0, 1)
+		}
+		// Past the median, compute the survival sum instead: its terms
+		// decay to an exact zero in the deep tail, where the direct sum
+		// would round to 1 and leave a spurious survival floor that
+		// diverges ∫(1−Fⁿ) integrals over geometric panels.
+		return numeric.Clamp(1-p.mixturePoissonSum(t, true), 0, 1)
+	}
+	return p.fractionsCDF(t)
+}
+
+// mixPMFCut truncates the Poisson pmf walk; it bounds the absolute
+// CDF/SF error together with mixTailMass.
+const mixPMFCut = 1e-22
+
+// mixturePoissonSum evaluates the mixture CDF or survival by summing
+// over the Poisson count N ~ Poisson(at) instead of over shapes:
+//
+//	F(t) = Σⱼ wⱼ·P(N ≥ base+j) = Σᵢ pmf(i)·CW(i−base)
+//	SF(t) = Σⱼ wⱼ·P(N ≤ base+j−1) = Σᵢ pmf(i)·(1 − CW(i−base))
+//
+// The pmf is evaluated once at its mode (where it is ≈ (2πat)^{-1/2},
+// never denormal) and walked outward by the exact ratios
+// pmf(i−1) = pmf(i)·i/at and pmf(i+1) = pmf(i)·at/(i+1) until it falls
+// below mixPMFCut, so the sum is all-positive and immune to the
+// underflow that breaks shape-ladder recurrences when at and the shape
+// range are far apart.
+func (p phaseSum) mixturePoissonSum(t float64, survival bool) float64 {
+	at := p.mixRate * t
+	weight := func(i int) float64 {
+		if survival {
+			return 1 - p.cwAt(i)
+		}
+		return p.cwAt(i)
+	}
+	mode := int(at)
+	lg, _ := math.Lgamma(float64(mode) + 1)
+	pmfMode := math.Exp(float64(mode)*math.Log(at) - at - lg)
+	acc := numeric.NewKahan()
+	pmf := pmfMode
+	for i := mode; i >= 0; i-- {
+		acc.Add(pmf * weight(i))
+		pmf *= float64(i) / at
+		if pmf < mixPMFCut {
+			if survival {
+				// Everything further down survives with weight 1;
+				// add the remaining lower-tail Poisson mass, bounded
+				// by the geometric ratio of the pmf.
+				acc.Add(pmf * float64(i) / math.Max(at-float64(i), 1))
+			}
+			break
+		}
+	}
+	pmf = pmfMode
+	for i := mode + 1; ; i++ {
+		pmf *= at / float64(i)
+		if pmf < mixPMFCut {
+			break
+		}
+		acc.Add(pmf * weight(i))
+	}
+	return numeric.Clamp(acc.Sum(), 0, 1)
+}
+
+// fractionsCDF evaluates the partial-fraction expansion term-by-term:
+// each (λᵢ+s)^{-j} pole integrates to an Erlang(j, λᵢ) CDF scaled by
+// Aᵢⱼ/λᵢʲ. Past the median the lower form loses its leading digits to
+// cancellation (the signed terms sum to 1 − tiny), which would leave a
+// spurious ~1e-15 survival floor that diverges ∫(1−Fⁿ) integrals — so
+// the tail is computed from the complementary expansion
+// Σ Aᵢⱼ/λᵢʲ·Q(j, λᵢt), whose terms decay to zero instead of cancelling.
+func (p phaseSum) fractionsCDF(t float64) float64 {
+	lower := numeric.NewKahan()
+	for i, s := range p.stages {
+		scale := 1.0
+		for j, a := range p.coef[i] {
+			scale /= s.rate
+			lower.Add(a * scale * erlangCDF(j+1, s.rate, t))
+		}
+	}
+	if v := lower.Sum(); v < 0.5 {
+		return numeric.Clamp(v, 0, 1)
+	}
+	upper := numeric.NewKahan()
+	for i, s := range p.stages {
+		scale := 1.0
+		for j, a := range p.coef[i] {
+			scale /= s.rate
+			upper.Add(a * scale * erlangSF(j+1, s.rate, t))
+		}
+	}
+	return numeric.Clamp(1-upper.Sum(), 0, 1)
+}
+
+// PDF dispatches on the representation chosen at construction.
+func (p phaseSum) PDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if len(p.stages) == 1 {
+		return erlangPDF(p.stages[0].count, p.stages[0].rate, t)
+	}
+	if p.mixCW != nil {
+		// f_{Erlang(n, a)}(t) = a·poisPMF(n−1; at), so the density is
+		// a·Σᵢ pmf(i)·w_{i−base+1}, summed by the same mode-outward
+		// Poisson walk as the CDF.
+		at := p.mixRate * t
+		wAt := func(i int) float64 {
+			j := i - p.mixBase + 1
+			switch {
+			case j < 0 || j >= len(p.mixCW):
+				return 0
+			case j == 0:
+				return p.mixCW[0]
+			}
+			return p.mixCW[j] - p.mixCW[j-1]
+		}
+		mode := int(at)
+		lg, _ := math.Lgamma(float64(mode) + 1)
+		pmfMode := math.Exp(float64(mode)*math.Log(at) - at - lg)
+		acc := numeric.NewKahan()
+		pmf := pmfMode
+		for i := mode; i >= 0; i-- {
+			acc.Add(pmf * wAt(i))
+			pmf *= float64(i) / at
+			if pmf < mixPMFCut {
+				break
+			}
+		}
+		pmf = pmfMode
+		for i := mode + 1; ; i++ {
+			pmf *= at / float64(i)
+			if pmf < mixPMFCut {
+				break
+			}
+			acc.Add(pmf * wAt(i))
+		}
+		return p.mixRate * acc.Sum()
+	}
+	sum := numeric.NewKahan()
+	for i, s := range p.stages {
+		scale := 1.0
+		for j, a := range p.coef[i] {
+			scale /= s.rate
+			sum.Add(a * scale * erlangPDF(j+1, s.rate, t))
+		}
+	}
+	return math.Max(sum.Sum(), 0)
+}
+
+// Sample draws each stage's Erlang independently and sums.
+func (p phaseSum) Sample(r *randx.Rand) float64 {
+	total := 0.0
+	for _, s := range p.stages {
+		total += r.Erlang(s.count, s.rate)
+	}
+	return total
+}
+
+// Mean returns Σ kᵢ/λᵢ.
+func (p phaseSum) Mean() float64 {
+	sum := 0.0
+	for _, s := range p.stages {
+		sum += float64(s.count) / s.rate
+	}
+	return sum
+}
+
+// Var returns Σ kᵢ/λᵢ².
+func (p phaseSum) Var() float64 {
+	sum := 0.0
+	for _, s := range p.stages {
+		sum += float64(s.count) / (s.rate * s.rate)
+	}
+	return sum
+}
+
+// Hypoexponential is the series sum of independent exponential phases
+// with the given rates — the latency of one repetition's on-hold phase
+// followed by its processing phase is the two-rate case.
+type Hypoexponential struct {
+	phaseSum
+}
+
+// NewHypoexponential returns the sum of one Exp(rate) phase per argument.
+func NewHypoexponential(rates ...float64) (Hypoexponential, error) {
+	if len(rates) == 0 {
+		return Hypoexponential{}, fmt.Errorf("dist: hypoexponential needs at least one rate")
+	}
+	stages := make([]stage, len(rates))
+	for i, r := range rates {
+		stages[i] = stage{rate: r, count: 1}
+	}
+	ps, err := newPhaseSum(stages)
+	if err != nil {
+		return Hypoexponential{}, err
+	}
+	return Hypoexponential{phaseSum: ps}, nil
+}
+
+// TwoPhaseErlang is the full latency of a task's k sequential
+// repetitions under the HPU model: each repetition waits Exp(λo) on
+// hold and then takes Exp(λp) of processing, so the total is
+// Erlang(k, λo) + Erlang(k, λp).
+type TwoPhaseErlang struct {
+	phaseSum
+	K          int
+	AcceptRate float64
+	ProcRate   float64
+}
+
+// NewTwoPhaseErlang returns the distribution of k on-hold/processing
+// repetition pairs.
+func NewTwoPhaseErlang(k int, acceptRate, procRate float64) (TwoPhaseErlang, error) {
+	if k < 1 {
+		return TwoPhaseErlang{}, fmt.Errorf("dist: two-phase Erlang shape %d must be >= 1", k)
+	}
+	if !(acceptRate > 0) || !(procRate > 0) {
+		return TwoPhaseErlang{}, fmt.Errorf("dist: two-phase Erlang rates (%v, %v) must be positive", acceptRate, procRate)
+	}
+	ps, err := newPhaseSum([]stage{{rate: acceptRate, count: k}, {rate: procRate, count: k}})
+	if err != nil {
+		return TwoPhaseErlang{}, err
+	}
+	return TwoPhaseErlang{phaseSum: ps, K: k, AcceptRate: acceptRate, ProcRate: procRate}, nil
+}

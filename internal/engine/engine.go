@@ -1,0 +1,105 @@
+// Package engine is the concurrent batch layer over the tuning solvers
+// and Monte-Carlo simulators: it fans slices of independent H-Tuning
+// problems across a bounded worker pool, sharing one concurrency-safe
+// Estimator so problems with overlapping (rate, shape) queries reuse
+// each other's E[max] integrals.
+//
+// Every batch function is deterministic: results land in input order,
+// per-item seeds are derived only from (seed, index), and the reported
+// error is always the lowest-index failure — so a batch run is a pure
+// function of its arguments no matter how many workers execute it.
+package engine
+
+import (
+	"fmt"
+
+	"hputune/internal/conc"
+	"hputune/internal/htuning"
+	"hputune/internal/randx"
+)
+
+// Options configures a batch run.
+type Options struct {
+	// Workers bounds the batch-level worker pool — how many problems
+	// are in flight at once; <= 0 means GOMAXPROCS. Solver-internal
+	// concurrency is separate (see SolveBatch).
+	Workers int
+}
+
+func (o Options) workers() int { return conc.Workers(o.Workers) }
+
+// Map runs fn(i) for every i in [0, n) on the shared bounded worker
+// pool and returns the results in index order. fn must be safe for
+// concurrent calls. On failure Map still finishes every item and
+// returns the lowest-index error, so the error is deterministic.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("engine: negative batch size %d", n)
+	}
+	out := make([]T, n)
+	if i, err := conc.Each(n, workers, func(i int) error {
+		var err error
+		out[i], err = fn(i)
+		return err
+	}); err != nil {
+		return out, fmt.Errorf("engine: problem %d: %w", i, err)
+	}
+	return out, nil
+}
+
+// SolveBatch tunes every problem with Algorithm 2 (RA, SolveRepetition)
+// on a bounded worker pool. All solves share est (nil gets a fresh one),
+// so batches whose problems overlap in task types and price ranges hit
+// the memoized integrals instead of recomputing them. Results are in
+// problem order.
+//
+// Each solver keeps its own internal parallelism (the two greedy
+// passes, candidate fan-out for problems with many groups), so the
+// total goroutine count can exceed Workers; the inner fan-out is gated
+// to instances with >= 4 concurrent candidates, so for typical 2-3
+// group problems the nesting stays within a small constant factor of
+// the pool.
+func SolveBatch(est *htuning.Estimator, problems []htuning.Problem, opts Options) ([]htuning.RepetitionResult, error) {
+	if est == nil {
+		est = htuning.NewEstimator()
+	}
+	return Map(len(problems), opts.workers(), func(i int) (htuning.RepetitionResult, error) {
+		return htuning.SolveRepetition(est, problems[i])
+	})
+}
+
+// SolveHeterogeneousBatch tunes every problem with Algorithm 3 (HA,
+// SolveHeterogeneous) on a bounded worker pool with a shared estimator.
+func SolveHeterogeneousBatch(est *htuning.Estimator, problems []htuning.Problem, opts Options) ([]htuning.HeterogeneousResult, error) {
+	if est == nil {
+		est = htuning.NewEstimator()
+	}
+	return Map(len(problems), opts.workers(), func(i int) (htuning.HeterogeneousResult, error) {
+		return htuning.SolveHeterogeneous(est, problems[i])
+	})
+}
+
+// SimulateItem pairs one problem with the allocation to score.
+type SimulateItem struct {
+	Problem    htuning.Problem
+	Allocation htuning.Allocation
+}
+
+// SimulateBatch scores every (problem, allocation) pair by Monte Carlo
+// across a bounded worker pool. Item i's RNG seed derives only from
+// (seed, i) — drawn from a single splitmix-seeded stream before the
+// fan-out — and each item runs the trial-sharded deterministic
+// simulator, so the returned latencies are a pure function of the
+// arguments, independent of Workers.
+func SimulateBatch(items []SimulateItem, phase htuning.Phase, trials int, seed uint64, opts Options) ([]float64, error) {
+	seeds := make([]uint64, len(items))
+	base := randx.New(seed)
+	for i := range seeds {
+		seeds[i] = base.Uint64()
+	}
+	return Map(len(items), opts.workers(), func(i int) (float64, error) {
+		// Workers = 1 inside each item: the batch dimension already
+		// saturates the pool, and nested fan-out would oversubscribe.
+		return htuning.SimulateJobLatencyParallel(items[i].Problem, items[i].Allocation, phase, trials, seeds[i], 1)
+	})
+}

@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"hputune/internal/htuning"
+	"hputune/internal/pricing"
+)
+
+func batchType(name string, k, b, proc float64) *htuning.TaskType {
+	return &htuning.TaskType{Name: name, Accept: pricing.Linear{K: k, B: b}, ProcRate: proc}
+}
+
+func batchProblems(n int) []htuning.Problem {
+	typA := batchType("a", 1, 1, 2)
+	typB := batchType("b", 2, 1, 3)
+	problems := make([]htuning.Problem, n)
+	for i := range problems {
+		problems[i] = htuning.Problem{
+			Groups: []htuning.Group{
+				{Type: typA, Tasks: 4 + i%3, Reps: 2},
+				{Type: typB, Tasks: 3, Reps: 1 + i%2},
+			},
+			Budget: 120 + 10*i,
+		}
+	}
+	return problems
+}
+
+func TestMapOrderAndConcurrency(t *testing.T) {
+	var running, peak atomic.Int64
+	got, err := Map(50, 8, func(i int) (int, error) {
+		cur := running.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		defer running.Add(-1)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d: got %d", i, v)
+		}
+	}
+	if peak.Load() > 8 {
+		t.Errorf("pool exceeded bound: peak %d workers", peak.Load())
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Map(20, 4, func(i int) (int, error) {
+		if i == 7 || i == 13 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("lost the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "problem 7") {
+		t.Errorf("error %q does not name the lowest failing index", err)
+	}
+}
+
+func TestSolveBatchMatchesSequential(t *testing.T) {
+	problems := batchProblems(8)
+	want := make([]htuning.RepetitionResult, len(problems))
+	for i, p := range problems {
+		r, err := htuning.SolveRepetition(htuning.NewEstimator(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	for _, workers := range []int{1, 4, 0} {
+		got, err := SolveBatch(nil, problems, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i].Objective != want[i].Objective {
+				t.Errorf("workers=%d problem %d: objective %v vs %v", workers, i, got[i].Objective, want[i].Objective)
+			}
+			for j := range got[i].Prices {
+				if got[i].Prices[j] != want[i].Prices[j] {
+					t.Errorf("workers=%d problem %d: prices %v vs %v", workers, i, got[i].Prices, want[i].Prices)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestSolveHeterogeneousBatchMatchesSequential(t *testing.T) {
+	problems := batchProblems(4)
+	want := make([]htuning.HeterogeneousResult, len(problems))
+	for i, p := range problems {
+		r, err := htuning.SolveHeterogeneous(htuning.NewEstimator(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	got, err := SolveHeterogeneousBatch(nil, problems, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Closeness != want[i].Closeness {
+			t.Errorf("problem %d: closeness %v vs %v", i, got[i].Closeness, want[i].Closeness)
+		}
+		for j := range got[i].Prices {
+			if got[i].Prices[j] != want[i].Prices[j] {
+				t.Errorf("problem %d: prices %v vs %v", i, got[i].Prices, want[i].Prices)
+				break
+			}
+		}
+	}
+}
+
+func TestSolveBatchSurfacesBadProblem(t *testing.T) {
+	problems := batchProblems(3)
+	problems[1].Budget = 0 // below MinBudget
+	_, err := SolveBatch(nil, problems, Options{Workers: 2})
+	if err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+	if !strings.Contains(err.Error(), "problem 1") {
+		t.Errorf("error %q does not name the failing problem", err)
+	}
+}
+
+func TestSimulateBatchDeterministic(t *testing.T) {
+	problems := batchProblems(6)
+	items := make([]SimulateItem, len(problems))
+	for i, p := range problems {
+		res, err := htuning.SolveRepetition(htuning.NewEstimator(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := htuning.NewUniformAllocation(p, res.Prices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = SimulateItem{Problem: p, Allocation: a}
+	}
+	base, err := SimulateBatch(items, htuning.PhaseBoth, 400, 5, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{3, 0} {
+		got, err := SimulateBatch(items, htuning.PhaseBoth, 400, 5, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d item %d: %v differs from %v", workers, i, got[i], base[i])
+			}
+		}
+	}
+	// Items must not share a stream: identical problems still get
+	// distinct per-item seeds.
+	if base[0] == base[3] && base[1] == base[4] {
+		t.Error("per-item seeds look identical across the batch")
+	}
+}
+
+func TestMapZeroAndNegative(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty batch: %v, %v", got, err)
+	}
+	if _, err := Map[int](-1, 4, nil); err == nil {
+		t.Error("negative batch size accepted")
+	}
+}

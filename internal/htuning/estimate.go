@@ -3,6 +3,7 @@ package htuning
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"hputune/internal/dist"
 	"hputune/internal/numeric"
@@ -22,9 +23,25 @@ const (
 
 // Estimator computes expected latencies for groups and jobs under the HPU
 // model, memoizing the expensive E[max of n Erlang] integrals. The zero
-// value is ready to use; an Estimator is not safe for concurrent use.
+// value is ready to use. An Estimator is safe for concurrent use: the
+// memo is sharded by key hash, each shard behind its own RWMutex, so one
+// estimator can back many solver and simulation goroutines without
+// serializing them on a single lock. Since every cached value is a pure
+// function of its key, duplicate concurrent computations of the same key
+// are benign — both goroutines store the identical float64.
 type Estimator struct {
-	cache map[estimateKey]float64
+	shards [estimatorShards]estimatorShard
+}
+
+// estimatorShards is the number of cache shards. 32 keeps lock
+// contention negligible at any realistic GOMAXPROCS while costing only a
+// few hundred bytes per idle estimator.
+const estimatorShards = 32
+
+// estimatorShard is one lock-striped slice of the memo table.
+type estimatorShard struct {
+	mu sync.RWMutex
+	m  map[estimateKey]float64
 }
 
 // estimateKind distinguishes the three cached expectations.
@@ -44,9 +61,7 @@ type estimateKey struct {
 }
 
 // NewEstimator returns an empty estimator.
-func NewEstimator() *Estimator {
-	return &Estimator{cache: make(map[estimateKey]float64)}
-}
+func NewEstimator() *Estimator { return &Estimator{} }
 
 // float64Bits keys the cache on the raw IEEE bits; rates are positive and
 // finite, so bit equality is value equality.
@@ -154,19 +169,33 @@ func (e *Estimator) SumGroupPhase1(groups []Group, prices []int) (float64, error
 	return sum.Sum(), nil
 }
 
+// hash mixes every key field through the splitmix64 finalizer so
+// nearby keys (consecutive prices, shapes) spread across all shards.
+func (k estimateKey) hash() uint64 {
+	h := uint64(k.kind)
+	h = randx.Mix64(h ^ k.rateBits)
+	h = randx.Mix64(h ^ uint64(k.n))
+	h = randx.Mix64(h ^ uint64(k.k))
+	h = randx.Mix64(h ^ k.procBits)
+	return h
+}
+
 func (e *Estimator) cached(k estimateKey) (float64, bool) {
-	if e.cache == nil {
-		return 0, false
-	}
-	v, ok := e.cache[k]
+	s := &e.shards[k.hash()%estimatorShards]
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
 	return v, ok
 }
 
 func (e *Estimator) store(k estimateKey, v float64) {
-	if e.cache == nil {
-		e.cache = make(map[estimateKey]float64)
+	s := &e.shards[k.hash()%estimatorShards]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[estimateKey]float64)
 	}
-	e.cache[k] = v
+	s.m[k] = v
+	s.mu.Unlock()
 }
 
 // JobExpectedLatency computes the exact expected completion latency of the
@@ -262,8 +291,9 @@ func powInt(x float64, n int) float64 {
 // counterpart of JobExpectedLatencyFloat, used where the analytic
 // two-phase integral would be too slow.
 func SimulateJobLatencyFloat(groups []Group, prices []float64, phase Phase, trials int, r *randx.Rand) (float64, error) {
-	if len(groups) != len(prices) {
-		return 0, fmt.Errorf("htuning: %d prices for %d groups", len(prices), len(groups))
+	rates, err := uniformRates(groups, prices)
+	if err != nil {
+		return 0, err
 	}
 	if trials < 1 {
 		return 0, fmt.Errorf("htuning: trials must be >= 1, got %d", trials)
@@ -271,19 +301,37 @@ func SimulateJobLatencyFloat(groups []Group, prices []float64, phase Phase, tria
 	if r == nil {
 		return 0, fmt.Errorf("htuning: nil random source")
 	}
+	return simulateUniformTrials(groups, rates, phase, trials, r) / float64(trials), nil
+}
+
+// uniformRates validates a uniform per-group price vector and derives
+// each group's on-hold rate — the shared front half of the serial and
+// parallel uniform-price simulators.
+func uniformRates(groups []Group, prices []float64) ([]float64, error) {
+	if len(groups) != len(prices) {
+		return nil, fmt.Errorf("htuning: %d prices for %d groups", len(prices), len(groups))
+	}
 	rates := make([]float64, len(groups))
 	for i, g := range groups {
 		if err := g.Validate(); err != nil {
-			return 0, err
+			return nil, err
 		}
 		if !(prices[i] > 0) {
-			return 0, fmt.Errorf("htuning: group %d price %v not positive", i, prices[i])
+			return nil, fmt.Errorf("htuning: group %d price %v not positive", i, prices[i])
 		}
 		rates[i] = g.Type.Accept.Rate(prices[i])
 		if !(rates[i] > 0) {
-			return 0, fmt.Errorf("htuning: group %d: non-positive rate %v", i, rates[i])
+			return nil, fmt.Errorf("htuning: group %d: non-positive rate %v", i, rates[i])
 		}
 	}
+	return rates, nil
+}
+
+// simulateUniformTrials runs the inner Monte-Carlo loop of
+// SimulateJobLatencyFloat for a validated instance and returns the sum
+// of per-trial job maxima — the shardable core shared by the serial and
+// parallel entry points.
+func simulateUniformTrials(groups []Group, rates []float64, phase Phase, trials int, r *randx.Rand) float64 {
 	sum := numeric.NewKahan()
 	for trial := 0; trial < trials; trial++ {
 		jobMax := 0.0
@@ -300,7 +348,7 @@ func SimulateJobLatencyFloat(groups []Group, prices []float64, phase Phase, tria
 		}
 		sum.Add(jobMax)
 	}
-	return sum.Sum() / float64(trials), nil
+	return sum.Sum()
 }
 
 // SimulateJobLatency estimates E[max over all tasks of the full latency]
@@ -320,6 +368,14 @@ func SimulateJobLatency(p Problem, a Allocation, phase Phase, trials int, r *ran
 	if r == nil {
 		return 0, fmt.Errorf("htuning: nil random source")
 	}
+	return simulateAllocTrials(p, a, phase, trials, r) / float64(trials), nil
+}
+
+// simulateAllocTrials runs the inner Monte-Carlo loop of
+// SimulateJobLatency for a validated instance and returns the sum of
+// per-trial job maxima — the shardable core shared by the serial and
+// parallel entry points.
+func simulateAllocTrials(p Problem, a Allocation, phase Phase, trials int, r *randx.Rand) float64 {
 	sum := numeric.NewKahan()
 	for trial := 0; trial < trials; trial++ {
 		jobMax := 0.0
@@ -340,5 +396,5 @@ func SimulateJobLatency(p Problem, a Allocation, phase Phase, trials int, r *ran
 		}
 		sum.Add(jobMax)
 	}
-	return sum.Sum() / float64(trials), nil
+	return sum.Sum()
 }

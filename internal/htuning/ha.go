@@ -3,6 +3,7 @@ package htuning
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // UtopiaPoint is the pair of independently optimized objectives of
@@ -192,13 +193,25 @@ func SolveHeterogeneousNorm(est *Estimator, p Problem, norm Norm) (Heterogeneous
 	if est == nil {
 		est = NewEstimator()
 	}
-	o1DP, err := SolveRepetitionDP(est, p)
-	if err != nil {
-		return HeterogeneousResult{}, err
+	// The two Utopia-Point objectives are independent optimizations over
+	// the same estimator cache; run them on two goroutines (Definition 4
+	// fixes each one in isolation, so there is no ordering between them).
+	var o1DP RepetitionResult
+	var o2Star float64
+	var o1Err, o2Err error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		o2Star, o2Err = minimizeO2(est, p)
+	}()
+	o1DP, o1Err = SolveRepetitionDP(est, p)
+	wg.Wait()
+	if o1Err != nil {
+		return HeterogeneousResult{}, o1Err
 	}
-	o2Star, err := minimizeO2(est, p)
-	if err != nil {
-		return HeterogeneousResult{}, err
+	if o2Err != nil {
+		return HeterogeneousResult{}, o2Err
 	}
 	up := UtopiaPoint{O1: o1DP.Objective, O2: o2Star}
 
@@ -223,22 +236,44 @@ func SolveHeterogeneousNorm(est *Estimator, p Problem, norm Norm) (Heterogeneous
 		return HeterogeneousResult{}, err
 	}
 	remaining := p.Budget - spent
+	type candidate struct{ cl, o1, o2 float64 }
+	cands := make([]candidate, n)
+	indices := make([]int, 0, n)
 	for {
+		// Score every affordable one-unit increment concurrently, each
+		// on its own copy of the price vector (only the raised group's
+		// integral is new; the rest hit the shared cache), then reduce
+		// serially in group order so the tie-breaking matches the
+		// serial solver exactly.
+		indices = indices[:0]
+		for i := range p.Groups {
+			if costs[i] <= remaining {
+				indices = append(indices, i)
+			}
+		}
+		if len(indices) == 0 {
+			break
+		}
+		if err := parallelEach(len(indices), candidateWorkers(len(indices)), func(ci int) error {
+			i := indices[ci]
+			trial := append([]int(nil), prices...)
+			trial[i]++
+			cl, o1, o2, err := closeness(trial)
+			if err != nil {
+				return err
+			}
+			cands[i] = candidate{cl: cl, o1: o1, o2: o2}
+			return nil
+		}); err != nil {
+			return HeterogeneousResult{}, err
+		}
 		bestI := -1
 		bestCL, bestO1, bestO2 := curCL, curO1, curO2
-		for i := range p.Groups {
-			if costs[i] > remaining {
-				continue
-			}
-			prices[i]++
-			cl, o1, o2, err := closeness(prices)
-			prices[i]--
-			if err != nil {
-				return HeterogeneousResult{}, err
-			}
+		for _, i := range indices {
+			c := cands[i]
 			// Prefer strictly smaller closeness; tie-break on cheaper cost.
-			if cl < bestCL-1e-15 || (bestI >= 0 && math.Abs(cl-bestCL) <= 1e-15 && costs[i] < costs[bestI]) {
-				bestCL, bestO1, bestO2 = cl, o1, o2
+			if c.cl < bestCL-1e-15 || (bestI >= 0 && math.Abs(c.cl-bestCL) <= 1e-15 && costs[i] < costs[bestI]) {
+				bestCL, bestO1, bestO2 = c.cl, c.o1, c.o2
 				bestI = i
 			}
 		}

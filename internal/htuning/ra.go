@@ -3,7 +3,22 @@ package htuning
 import (
 	"fmt"
 	"math"
+	"sync"
 )
+
+// raParallelMin is the smallest candidate count worth fanning across
+// goroutines; below it the spawn overhead exceeds the (mostly cached)
+// estimator lookups.
+const raParallelMin = 4
+
+// candidateWorkers picks the pool size for n independent candidate
+// evaluations: inline below raParallelMin, GOMAXPROCS otherwise.
+func candidateWorkers(n int) int {
+	if n < raParallelMin {
+		return 1
+	}
+	return parallelWorkers(0)
+}
 
 // RepetitionResult is the outcome of a Scenario II/III solver: the uniform
 // per-repetition price of each group, plus the solver's estimate of its own
@@ -52,13 +67,25 @@ func SolveRepetition(est *Estimator, p Problem) (RepetitionResult, error) {
 	if est == nil {
 		est = NewEstimator()
 	}
-	abs, err := solveRepetitionGreedy(est, p, false)
-	if err != nil {
-		return RepetitionResult{}, err
+	// The two greedy passes and the two exact scorings are independent
+	// and share est's concurrency-safe memo, so each pair runs on two
+	// goroutines; the second pass mostly hits integrals the first one
+	// cached.
+	var abs, perCost RepetitionResult
+	var absErr, perErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		perCost, perErr = solveRepetitionGreedy(est, p, true)
+	}()
+	abs, absErr = solveRepetitionGreedy(est, p, false)
+	wg.Wait()
+	if absErr != nil {
+		return RepetitionResult{}, absErr
 	}
-	perCost, err := solveRepetitionGreedy(est, p, true)
-	if err != nil {
-		return RepetitionResult{}, err
+	if perErr != nil {
+		return RepetitionResult{}, perErr
 	}
 	samePrices := true
 	for i := range abs.Prices {
@@ -70,13 +97,20 @@ func SolveRepetition(est *Estimator, p Problem) (RepetitionResult, error) {
 	if samePrices {
 		return abs, nil
 	}
-	absJob, err := est.JobExpectedLatency(p.Groups, abs.Prices, PhaseOnHold)
-	if err != nil {
-		return RepetitionResult{}, err
+	var absJob, perCostJob float64
+	var absJobErr, perJobErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		perCostJob, perJobErr = est.JobExpectedLatency(p.Groups, perCost.Prices, PhaseOnHold)
+	}()
+	absJob, absJobErr = est.JobExpectedLatency(p.Groups, abs.Prices, PhaseOnHold)
+	wg.Wait()
+	if absJobErr != nil {
+		return RepetitionResult{}, absJobErr
 	}
-	perCostJob, err := est.JobExpectedLatency(p.Groups, perCost.Prices, PhaseOnHold)
-	if err != nil {
-		return RepetitionResult{}, err
+	if perJobErr != nil {
+		return RepetitionResult{}, perJobErr
 	}
 	if perCostJob < absJob {
 		return perCost, nil
@@ -96,42 +130,65 @@ func solveRepetitionGreedy(est *Estimator, p Problem, costAware bool) (Repetitio
 		costs[i] = g.UnitCost()
 		spent += costs[i]
 	}
+	// Evaluate every group's starting latency concurrently — on a cold
+	// cache these are n independent E[max] integrals.
 	current := make([]float64, n)
-	for i, g := range p.Groups {
-		v, err := est.GroupPhase1Mean(g, prices[i])
+	if err := parallelEach(n, candidateWorkers(n), func(i int) error {
+		v, err := est.GroupPhase1Mean(p.Groups[i], prices[i])
 		if err != nil {
-			return RepetitionResult{}, err
+			return err
 		}
 		current[i] = v
+		return nil
+	}); err != nil {
+		return RepetitionResult{}, err
 	}
 	remaining := p.Budget - spent
+	next := make([]float64, n)
+	candidates := make([]int, 0, n)
 	for {
+		// Fan the affordable candidates' next-price evaluations across
+		// workers (after the first iteration all but the group raised
+		// last round are cache hits), then reduce serially in group
+		// order so the argmin tie-breaking matches the serial solver
+		// exactly.
+		candidates = candidates[:0]
+		for i := range p.Groups {
+			if costs[i] <= remaining {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		if err := parallelEach(len(candidates), candidateWorkers(len(candidates)), func(ci int) error {
+			i := candidates[ci]
+			v, err := est.GroupPhase1Mean(p.Groups[i], prices[i]+1)
+			if err != nil {
+				return err
+			}
+			next[i] = v
+			return nil
+		}); err != nil {
+			return RepetitionResult{}, err
+		}
 		bestI := -1
 		bestGain := 0.0
-		bestNext := 0.0
-		for i, g := range p.Groups {
-			if costs[i] > remaining {
-				continue
-			}
-			next, err := est.GroupPhase1Mean(g, prices[i]+1)
-			if err != nil {
-				return RepetitionResult{}, err
-			}
-			gain := current[i] - next
+		for _, i := range candidates {
+			gain := current[i] - next[i]
 			if costAware {
 				gain /= float64(costs[i])
 			}
 			if gain > bestGain+1e-15 {
 				bestGain = gain
 				bestI = i
-				bestNext = next
 			}
 		}
 		if bestI < 0 || bestGain <= 0 {
 			break
 		}
 		prices[bestI]++
-		current[bestI] = bestNext
+		current[bestI] = next[bestI]
 		remaining -= costs[bestI]
 		spent += costs[bestI]
 	}
@@ -173,13 +230,18 @@ func SolveRepetitionDP(est *Estimator, p Problem) (RepetitionResult, error) {
 		if maxPrice < 1 {
 			return RepetitionResult{}, fmt.Errorf("%w: group %d cannot afford price 1", ErrBudgetTooSmall, i)
 		}
+		// The price-level latencies are independent integrals — the DP's
+		// dominant cost on a cold cache — so they fan across workers.
 		lat := make([]float64, maxPrice+1)
-		for price := 1; price <= maxPrice; price++ {
-			v, err := est.GroupPhase1Mean(g, price)
+		if err := parallelEach(maxPrice, candidateWorkers(maxPrice), func(pi int) error {
+			v, err := est.GroupPhase1Mean(g, pi+1)
 			if err != nil {
-				return RepetitionResult{}, err
+				return err
 			}
-			lat[price] = v
+			lat[pi+1] = v
+			return nil
+		}); err != nil {
+			return RepetitionResult{}, err
 		}
 		next := make([]float64, B+1)
 		pick := make([]int, B+1)

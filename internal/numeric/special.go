@@ -66,6 +66,25 @@ func RegularizedGammaP(a, x float64) (float64, error) {
 	return 1 - q, err
 }
 
+// RegularizedGammaQ returns Q(a, x) = 1 - P(a, x), the regularized upper
+// incomplete gamma function, computed directly from the continued fraction
+// for x ≥ a+1 so it stays accurate deep in the tail where P rounds to 1.
+func RegularizedGammaQ(a, x float64) (float64, error) {
+	switch {
+	case a <= 0:
+		return 0, fmt.Errorf("numeric: RegularizedGammaQ: a = %v must be positive", a)
+	case x < 0:
+		return 0, fmt.Errorf("numeric: RegularizedGammaQ: x = %v must be non-negative", x)
+	case x == 0:
+		return 1, nil
+	}
+	if x < a+1 {
+		v, err := lowerGammaSeries(a, x)
+		return 1 - v, err
+	}
+	return upperGammaCF(a, x)
+}
+
 // lowerGammaSeries evaluates P(a, x) by its power series.
 func lowerGammaSeries(a, x float64) (float64, error) {
 	lg, _ := math.Lgamma(a)

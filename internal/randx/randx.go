@@ -41,6 +41,15 @@ func New(seed uint64) *Rand {
 // Split forks a statistically independent generator from r, advancing r.
 func (r *Rand) Split() *Rand { return New(r.Uint64()) }
 
+// Mix64 is the splitmix64 finalizer: a cheap bijective mixer whose
+// output bits all depend on all input bits. Callers use it to hash
+// cache keys and to derive decorrelated per-round seeds.
+func Mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 pseudo-random bits.
