@@ -8,20 +8,9 @@
 //	htune -spec problem.json -saturation 50
 //	htune -spec batch.json [-workers 8] [-simulate 2000]
 //
-// Spec format:
-//
-//	{
-//	  "budget": 1000,
-//	  "groups": [
-//	    {"name": "sort-vote", "tasks": 50, "reps": 3, "procRate": 2.0,
-//	     "model": {"kind": "linear", "k": 1, "b": 1}},
-//	    {"name": "yesno-vote", "tasks": 50, "reps": 5, "procRate": 3.0,
-//	     "model": {"kind": "log"}}
-//	  ]
-//	}
-//
-// Model kinds: "linear" (k, b), "quadratic", "log", "table" (points:
-// {"price": rate, ...}).
+// The spec format (single instance or top-level "problems" batch) is
+// documented in internal/spec; model kinds: "linear" (k, b),
+// "quadratic", "log", "table" (points: {"price": rate, ...}).
 //
 // A spec with a top-level "problems" array instead of "budget"/"groups"
 // is a batch: every instance is tuned concurrently on a -workers pool
@@ -30,119 +19,128 @@
 //
 //	{"problems": [{"budget": 1000, "groups": [...]},
 //	              {"budget": 2000, "groups": [...]}]}
+//
+// htune is the one-shot CLI; to serve tuning continuously over HTTP
+// (shared estimator cache, trace ingest, re-tuning), run the htuned
+// binary instead — see -serve.
 package main
 
 import (
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"runtime"
 
 	"hputune"
+	"hputune/internal/spec"
 )
 
-type modelSpec struct {
-	Kind   string             `json:"kind"`
-	K      float64            `json:"k"`
-	B      float64            `json:"b"`
-	Points map[string]float64 `json:"points"`
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-type groupSpec struct {
-	Name     string    `json:"name"`
-	Tasks    int       `json:"tasks"`
-	Reps     int       `json:"reps"`
-	ProcRate float64   `json:"procRate"`
-	Model    modelSpec `json:"model"`
-}
-
-type problemSpec struct {
-	Budget int         `json:"budget"`
-	Groups []groupSpec `json:"groups"`
-	// Problems, when non-empty, makes the spec a batch of instances.
-	Problems []problemSpec `json:"problems"`
-}
-
-func (m modelSpec) build(name string) (hputune.RateModel, error) {
-	switch m.Kind {
-	case "linear":
-		return hputune.Linear{K: m.K, B: m.B}, nil
-	case "quadratic":
-		return hputune.Quadratic{}, nil
-	case "log":
-		return hputune.Logarithmic{}, nil
-	case "table":
-		points := make(map[float64]float64, len(m.Points))
-		for k, v := range m.Points {
-			var price float64
-			if _, err := fmt.Sscanf(k, "%g", &price); err != nil {
-				return nil, fmt.Errorf("bad table price %q: %w", k, err)
-			}
-			points[price] = v
+// run is main minus the process exit, so tests can drive the CLI
+// end-to-end in-process against golden specs. It returns the exit
+// status: 0 success, 1 runtime failure, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("htune", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specPath := fs.String("spec", "", "path to the JSON problem spec (required)")
+	algorithm := fs.String("algorithm", "auto", "solver: auto, ea (Scenario I), ra (II) or ha (III)")
+	simulate := fs.Int("simulate", 0, "Monte-Carlo trials to score the plan (0 = skip)")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	compare := fs.Bool("compare", false, "score every applicable solver, the paper's baselines and the [29] comparator")
+	saturation := fs.Int("saturation", 0, "scan per-group price saturation up to this price (0 = skip)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for batch specs and simulation")
+	serve := fs.Bool("serve", false, "print how to run the HTTP service (htune itself is one-shot)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h/-help is a success, as with flag.ExitOnError
 		}
-		return hputune.NewRateTable(name, points)
+		return 2
 	}
-	return nil, fmt.Errorf("unknown model kind %q (want linear, quadratic, log or table)", m.Kind)
-}
-
-func (s problemSpec) build() (hputune.Problem, error) {
-	p := hputune.Problem{Budget: s.Budget}
-	for i, g := range s.Groups {
-		model, err := g.Model.build(g.Name)
+	if *serve {
+		fmt.Fprintln(stderr, "htune: htune is the one-shot CLI; the HTTP service is the separate htuned binary.")
+		fmt.Fprintln(stderr, "htune: run `go run hputune/cmd/htuned -addr :8080` and POST your spec to /v1/solve.")
+		return 2
+	}
+	if *specPath == "" {
+		fs.Usage()
+		return 2
+	}
+	problems, batch, err := spec.Load(*specPath, spec.BuildOpts{})
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	if batch {
+		if *compare || *saturation > 0 {
+			return fail(stderr, "-compare and -saturation are not supported for batch specs")
+		}
+		return runBatch(stdout, stderr, problems, *algorithm, *simulate, *seed, *workers)
+	}
+	p := problems[0]
+	if *saturation > 0 {
+		return runSaturation(stdout, stderr, p, *saturation)
+	}
+	if *compare {
+		return runCompare(stdout, stderr, p, *simulate, *seed)
+	}
+	algo := *algorithm
+	if algo == "auto" {
+		algo = pickAlgorithm(p)
+	}
+	var alloc hputune.Allocation
+	switch algo {
+	case "ea":
+		alloc, err = hputune.EvenAllocation(p)
 		if err != nil {
-			return hputune.Problem{}, fmt.Errorf("group %d: %w", i, err)
+			return fail(stderr, "%v", err)
 		}
-		p.Groups = append(p.Groups, hputune.Group{
-			Type:  &hputune.TaskType{Name: g.Name, Accept: model, ProcRate: g.ProcRate},
-			Tasks: g.Tasks,
-			Reps:  g.Reps,
-		})
+		fmt.Fprintf(stdout, "algorithm: EA (Scenario I)\n")
+	case "ra":
+		res, rerr := hputune.SolveRepetition(hputune.NewEstimator(), p)
+		if rerr != nil {
+			return fail(stderr, "%v", rerr)
+		}
+		fmt.Fprintf(stdout, "algorithm: RA (Scenario II), per-group prices %v, objective %.4f\n",
+			res.Prices, res.Objective)
+		alloc, err = res.Allocation(p)
+		if err != nil {
+			return fail(stderr, "%v", err)
+		}
+	case "ha":
+		res, herr := hputune.SolveHeterogeneous(hputune.NewEstimator(), p)
+		if herr != nil {
+			return fail(stderr, "%v", herr)
+		}
+		fmt.Fprintf(stdout, "algorithm: HA (Scenario III), per-group prices %v, closeness %.4f to utopia (%.4f, %.4f)\n",
+			res.Prices, res.Closeness, res.Utopia.O1, res.Utopia.O2)
+		alloc, err = res.Allocation(p)
+		if err != nil {
+			return fail(stderr, "%v", err)
+		}
+	default:
+		return fail(stderr, "unknown algorithm %q", algo)
 	}
-	return p, nil
+	fmt.Fprintf(stdout, "allocation: %s\n", alloc)
+	fmt.Fprintf(stdout, "spend: %d of %d units\n", alloc.Cost(), p.Budget)
+	if *simulate > 0 {
+		lat, err := hputune.SimulateJobLatencyParallel(p, alloc, hputune.PhaseBoth, *simulate, *seed, *workers)
+		if err != nil {
+			return fail(stderr, "%v", err)
+		}
+		fmt.Fprintf(stdout, "expected job latency (both phases, %d trials): %.4f\n", *simulate, lat)
+	}
+	return 0
 }
 
-// load parses the spec file. batch reports whether the spec used the
-// top-level "problems" array — a one-element batch still runs (and
-// prints) in batch mode, so generated specs behave uniformly.
-func load(path string) (problems []hputune.Problem, batch bool, err error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, false, err
-	}
-	var spec problemSpec
-	if err := json.Unmarshal(raw, &spec); err != nil {
-		return nil, false, fmt.Errorf("parse %s: %w", path, err)
-	}
-	if len(spec.Problems) > 0 {
-		if len(spec.Groups) > 0 || spec.Budget != 0 {
-			return nil, false, fmt.Errorf("%s: spec mixes a top-level problem with a \"problems\" array; use one or the other", path)
-		}
-		problems = make([]hputune.Problem, len(spec.Problems))
-		for i, ps := range spec.Problems {
-			if len(ps.Problems) > 0 {
-				return nil, false, fmt.Errorf("problem %d: nested \"problems\" arrays are not supported", i)
-			}
-			if len(ps.Groups) == 0 {
-				return nil, false, fmt.Errorf("problem %d: no groups", i)
-			}
-			p, err := ps.build()
-			if err != nil {
-				return nil, false, fmt.Errorf("problem %d: %w", i, err)
-			}
-			problems[i] = p
-		}
-		return problems, true, nil
-	}
-	if len(spec.Groups) == 0 {
-		return nil, false, fmt.Errorf("%s: spec has no groups and no problems", path)
-	}
-	p, err := spec.build()
-	if err != nil {
-		return nil, false, err
-	}
-	return []hputune.Problem{p}, false, nil
+// fail prints an htune-prefixed error to stderr and returns exit
+// status 1, the CLI's uniform runtime-failure path.
+func fail(stderr io.Writer, format string, a ...any) int {
+	fmt.Fprintf(stderr, "htune: "+format+"\n", a...)
+	return 1
 }
 
 // pickAlgorithm chooses the scenario solver the paper prescribes for the
@@ -160,96 +158,13 @@ func pickAlgorithm(p hputune.Problem) string {
 	return "ra"
 }
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("htune: ")
-	specPath := flag.String("spec", "", "path to the JSON problem spec (required)")
-	algorithm := flag.String("algorithm", "auto", "solver: auto, ea (Scenario I), ra (II) or ha (III)")
-	simulate := flag.Int("simulate", 0, "Monte-Carlo trials to score the plan (0 = skip)")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	compare := flag.Bool("compare", false, "score every applicable solver, the paper's baselines and the [29] comparator")
-	saturation := flag.Int("saturation", 0, "scan per-group price saturation up to this price (0 = skip)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for batch specs and simulation")
-	flag.Parse()
-	if *specPath == "" {
-		flag.Usage()
-		os.Exit(2)
-	}
-	problems, batch, err := load(*specPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if batch {
-		if *compare || *saturation > 0 {
-			log.Fatal("-compare and -saturation are not supported for batch specs")
-		}
-		runBatch(problems, *algorithm, *simulate, *seed, *workers)
-		return
-	}
-	p := problems[0]
-	if *saturation > 0 {
-		runSaturation(p, *saturation)
-		return
-	}
-	if *compare {
-		runCompare(p, *simulate, *seed)
-		return
-	}
-	algo := *algorithm
-	if algo == "auto" {
-		algo = pickAlgorithm(p)
-	}
-	var alloc hputune.Allocation
-	switch algo {
-	case "ea":
-		alloc, err = hputune.EvenAllocation(p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("algorithm: EA (Scenario I)\n")
-	case "ra":
-		res, rerr := hputune.SolveRepetition(hputune.NewEstimator(), p)
-		if rerr != nil {
-			log.Fatal(rerr)
-		}
-		fmt.Printf("algorithm: RA (Scenario II), per-group prices %v, objective %.4f\n",
-			res.Prices, res.Objective)
-		alloc, err = res.Allocation(p)
-		if err != nil {
-			log.Fatal(err)
-		}
-	case "ha":
-		res, herr := hputune.SolveHeterogeneous(hputune.NewEstimator(), p)
-		if herr != nil {
-			log.Fatal(herr)
-		}
-		fmt.Printf("algorithm: HA (Scenario III), per-group prices %v, closeness %.4f to utopia (%.4f, %.4f)\n",
-			res.Prices, res.Closeness, res.Utopia.O1, res.Utopia.O2)
-		alloc, err = res.Allocation(p)
-		if err != nil {
-			log.Fatal(err)
-		}
-	default:
-		log.Fatalf("unknown algorithm %q", algo)
-	}
-	fmt.Printf("allocation: %s\n", alloc)
-	fmt.Printf("spend: %d of %d units\n", alloc.Cost(), p.Budget)
-	if *simulate > 0 {
-		lat, err := hputune.SimulateJobLatencyParallel(p, alloc, hputune.PhaseBoth, *simulate, *seed, *workers)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("expected job latency (both phases, %d trials): %.4f\n", *simulate, lat)
-	}
-}
-
 // runBatch tunes a batch spec on the worker pool — every instance solved
 // concurrently over one shared estimator — and optionally scores each
 // plan with the deterministic trial-sharded simulator. algorithm picks
 // the solver: "ra", "ha", or "auto" for the per-instance choice the
 // single-problem path makes (EA has no batch form — its Scenario I
 // instances are a single group, which RA solves identically).
-func runBatch(problems []hputune.Problem, algorithm string, trials int, seed uint64, workers int) {
+func runBatch(stdout, stderr io.Writer, problems []hputune.Problem, algorithm string, trials int, seed uint64, workers int) int {
 	algos := make([]string, len(problems))
 	var raIdx, haIdx []int
 	for i, p := range problems {
@@ -266,7 +181,7 @@ func runBatch(problems []hputune.Problem, algorithm string, trials int, seed uin
 		case "ha":
 			haIdx = append(haIdx, i)
 		default:
-			log.Fatalf("algorithm %q is not supported for batch specs (want auto, ra or ha)", algo)
+			return fail(stderr, "algorithm %q is not supported for batch specs (want auto, ra or ha)", algo)
 		}
 		algos[i] = algo
 	}
@@ -284,7 +199,7 @@ func runBatch(problems []hputune.Problem, algorithm string, trials int, seed uin
 		}
 		results, err := hputune.SolveBatch(est, sub, opts)
 		if err != nil {
-			log.Fatal(err)
+			return fail(stderr, "%v", err)
 		}
 		for k, i := range raIdx {
 			rows[i] = row{prices: results[k].Prices, objective: results[k].Objective}
@@ -297,7 +212,7 @@ func runBatch(problems []hputune.Problem, algorithm string, trials int, seed uin
 		}
 		results, err := hputune.SolveHeterogeneousBatch(est, sub, opts)
 		if err != nil {
-			log.Fatal(err)
+			return fail(stderr, "%v", err)
 		}
 		for k, i := range haIdx {
 			rows[i] = row{prices: results[k].Prices, objective: results[k].Closeness}
@@ -309,34 +224,35 @@ func runBatch(problems []hputune.Problem, algorithm string, trials int, seed uin
 		for i := range problems {
 			a, err := hputune.NewUniformAllocation(problems[i], rows[i].prices)
 			if err != nil {
-				log.Fatalf("problem %d: %v", i, err)
+				return fail(stderr, "problem %d: %v", i, err)
 			}
 			items[i] = hputune.SimulateItem{Problem: problems[i], Allocation: a}
 		}
 		var err error
 		lats, err = hputune.SimulateBatch(items, hputune.PhaseBoth, trials, seed, opts)
 		if err != nil {
-			log.Fatal(err)
+			return fail(stderr, "%v", err)
 		}
 	}
-	fmt.Printf("batch: %d problems, %d workers\n", len(problems), workers)
-	fmt.Printf("%-8s %-6s %-10s %-22s %12s", "problem", "algo", "budget", "per-group prices", "objective")
+	fmt.Fprintf(stdout, "batch: %d problems, %d workers\n", len(problems), workers)
+	fmt.Fprintf(stdout, "%-8s %-6s %-10s %-22s %12s", "problem", "algo", "budget", "per-group prices", "objective")
 	if trials > 0 {
-		fmt.Printf(" %14s", "simulated")
+		fmt.Fprintf(stdout, " %14s", "simulated")
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for i := range problems {
-		fmt.Printf("%-8d %-6s %-10d %-22s %12.4f", i, algos[i], problems[i].Budget, fmt.Sprint(rows[i].prices), rows[i].objective)
+		fmt.Fprintf(stdout, "%-8d %-6s %-10d %-22s %12.4f", i, algos[i], problems[i].Budget, fmt.Sprint(rows[i].prices), rows[i].objective)
 		if trials > 0 {
-			fmt.Printf(" %14.4f", lats[i])
+			fmt.Fprintf(stdout, " %14.4f", lats[i])
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return 0
 }
 
 // runCompare scores every applicable strategy on the instance with the
 // exact wall-clock E[max] (and optional Monte Carlo).
-func runCompare(p hputune.Problem, trials int, seed uint64) {
+func runCompare(stdout, stderr io.Writer, p hputune.Problem, trials int, seed uint64) int {
 	est := hputune.NewEstimator()
 	type entry struct {
 		name   string
@@ -369,11 +285,11 @@ func runCompare(p hputune.Problem, trials int, seed uint64) {
 		entries = append(entries, entry{name: "rep-even", alloc: re})
 	}
 
-	fmt.Printf("%-10s %-22s %10s %12s", "strategy", "per-group prices", "spend", "E[max] wall")
+	fmt.Fprintf(stdout, "%-10s %-22s %10s %12s", "strategy", "per-group prices", "spend", "E[max] wall")
 	if trials > 0 {
-		fmt.Printf(" %14s", "simulated")
+		fmt.Fprintf(stdout, " %14s", "simulated")
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for _, e := range entries {
 		var analytic float64
 		var spend int
@@ -381,54 +297,56 @@ func runCompare(p hputune.Problem, trials int, seed uint64) {
 		if e.prices != nil {
 			analytic, err = est.JobExpectedLatency(p.Groups, e.prices, hputune.PhaseBoth)
 			if err != nil {
-				log.Fatalf("%s: %v", e.name, err)
+				return fail(stderr, "%s: %v", e.name, err)
 			}
 			for i, g := range p.Groups {
 				spend += g.UnitCost() * e.prices[i]
 			}
 			if e.alloc, err = hputune.NewUniformAllocation(p, e.prices); err != nil {
-				log.Fatalf("%s: %v", e.name, err)
+				return fail(stderr, "%s: %v", e.name, err)
 			}
 		} else {
 			spend = e.alloc.Cost()
 			analytic, err = hputune.SimulateJobLatency(p, e.alloc, hputune.PhaseBoth, 20000, seed)
 			if err != nil {
-				log.Fatalf("%s: %v", e.name, err)
+				return fail(stderr, "%s: %v", e.name, err)
 			}
 		}
 		priceCol := "-"
 		if e.prices != nil {
 			priceCol = fmt.Sprint(e.prices)
 		}
-		fmt.Printf("%-10s %-22s %10d %12.4f", e.name, priceCol, spend, analytic)
+		fmt.Fprintf(stdout, "%-10s %-22s %10d %12.4f", e.name, priceCol, spend, analytic)
 		if trials > 0 {
 			lat, err := hputune.SimulateJobLatency(p, e.alloc, hputune.PhaseBoth, trials, seed)
 			if err != nil {
-				log.Fatalf("%s: %v", e.name, err)
+				return fail(stderr, "%s: %v", e.name, err)
 			}
-			fmt.Printf(" %14.4f", lat)
+			fmt.Fprintf(stdout, " %14.4f", lat)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return 0
 }
 
 // runSaturation prints each group's marginal-return curve summary.
-func runSaturation(p hputune.Problem, maxPrice int) {
+func runSaturation(stdout, stderr io.Writer, p hputune.Problem, maxPrice int) int {
 	est := hputune.NewEstimator()
 	for i, g := range p.Groups {
 		res, err := hputune.SaturationScan(est, g, maxPrice, 0.01)
 		if err != nil {
-			log.Fatalf("group %d: %v", i, err)
+			return fail(stderr, "group %d: %v", i, err)
 		}
-		fmt.Printf("group %d (%s, %d tasks x %d reps): processing floor %.4f\n",
+		fmt.Fprintf(stdout, "group %d (%s, %d tasks x %d reps): processing floor %.4f\n",
 			i, g.Type.Name, g.Tasks, g.Reps, res.ProcessingFloor)
 		if res.Saturated() {
-			fmt.Printf("  saturates at price %d (marginal gain < 1%% of floor)\n", res.SaturationPrice)
+			fmt.Fprintf(stdout, "  saturates at price %d (marginal gain < 1%% of floor)\n", res.SaturationPrice)
 		} else {
-			fmt.Printf("  no saturation below price %d\n", maxPrice)
+			fmt.Fprintf(stdout, "  no saturation below price %d\n", maxPrice)
 		}
 		last := res.Curve[len(res.Curve)-1]
-		fmt.Printf("  latency at price 1: %.4f, at price %d: %.4f\n",
+		fmt.Fprintf(stdout, "  latency at price 1: %.4f, at price %d: %.4f\n",
 			res.Curve[0].Latency, last.Price, last.Latency)
 	}
+	return 0
 }

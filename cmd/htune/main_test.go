@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI drives run() exactly as main does, capturing both streams.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func td(name string) string { return filepath.Join("testdata", name) }
+
+func TestSingleSpecAutoPicksRA(t *testing.T) {
+	code, out, errb := runCLI(t, "-spec", td("single.json"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{
+		"algorithm: RA (Scenario II)",
+		"per-group prices",
+		"allocation:",
+		"spend:",
+		"of 200 units",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSingleSpecDeterministicOutput(t *testing.T) {
+	_, out1, _ := runCLI(t, "-spec", td("single.json"), "-simulate", "200", "-seed", "7")
+	_, out2, _ := runCLI(t, "-spec", td("single.json"), "-simulate", "200", "-seed", "7")
+	if out1 != out2 {
+		t.Errorf("same spec and seed, different output:\n%s\nvs\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "expected job latency (both phases, 200 trials):") {
+		t.Errorf("missing simulation line:\n%s", out1)
+	}
+}
+
+func TestSingleGroupAutoPicksEA(t *testing.T) {
+	code, out, errb := runCLI(t, "-spec", td("single_ea.json"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "algorithm: EA (Scenario I)") {
+		t.Errorf("single-group spec did not route to EA:\n%s", out)
+	}
+}
+
+func TestHeterogeneousAutoPicksHA(t *testing.T) {
+	code, out, errb := runCLI(t, "-spec", td("hetero.json"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"algorithm: HA (Scenario III)", "closeness", "utopia"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBatchSpec(t *testing.T) {
+	code, out, errb := runCLI(t, "-spec", td("batch.json"), "-workers", "2", "-simulate", "100")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "batch: 2 problems, 2 workers") {
+		t.Errorf("missing batch header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + column row + one row per problem
+	if len(lines) != 4 {
+		t.Fatalf("got %d output lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "simulated") {
+		t.Errorf("-simulate did not add the simulated column:\n%s", out)
+	}
+	// Problem 0 shares a procRate → ra; problem 1 differs → ha.
+	if !strings.Contains(lines[2], " ra ") {
+		t.Errorf("problem 0 not routed to ra: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], " ha ") {
+		t.Errorf("problem 1 not routed to ha: %q", lines[3])
+	}
+}
+
+func TestCompareSingle(t *testing.T) {
+	code, out, errb := runCLI(t, "-spec", td("single.json"), "-compare")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"strategy", "RA", "RA-DP", "HA", "[29]", "task-even", "rep-even"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSaturationSingle(t *testing.T) {
+	code, out, errb := runCLI(t, "-spec", td("single_ea.json"), "-saturation", "30")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"group 0 (filter, 4 tasks x 3 reps)", "processing floor", "latency at price 1:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("saturation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Rejected shapes: every case must fail with the documented status and a
+// message that names the problem.
+func TestRejectedShapes(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{"no spec flag", []string{}, 2, "-spec"},
+		{"missing file", []string{"-spec", td("absent.json")}, 1, "no such file"},
+		{"compare on batch", []string{"-spec", td("batch.json"), "-compare"}, 1, "-compare and -saturation are not supported for batch specs"},
+		{"saturation on batch", []string{"-spec", td("batch.json"), "-saturation", "10"}, 1, "-compare and -saturation are not supported for batch specs"},
+		{"ea on batch", []string{"-spec", td("batch.json"), "-algorithm", "ea"}, 1, `algorithm "ea" is not supported for batch specs`},
+		{"mixed spec", []string{"-spec", td("mixed.json")}, 1, "mixes a top-level problem"},
+		{"nested batch", []string{"-spec", td("nested.json")}, 1, "nested \"problems\" arrays are not supported"},
+		{"unknown algorithm", []string{"-spec", td("single.json"), "-algorithm", "zz"}, 1, `unknown algorithm "zz"`},
+		{"serve passthrough", []string{"-serve"}, 2, "htuned"},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errb := runCLI(t, tc.args...)
+			if code != tc.wantCode {
+				t.Errorf("exit %d, want %d (stdout %q, stderr %q)", code, tc.wantCode, out, errb)
+			}
+			if !strings.Contains(errb, tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, errb)
+			}
+		})
+	}
+}
+
+// TestHelpExitsZero pins -h as a success, matching flag.ExitOnError.
+func TestHelpExitsZero(t *testing.T) {
+	code, _, errb := runCLI(t, "-h")
+	if code != 0 {
+		t.Errorf("htune -h exited %d, want 0", code)
+	}
+	if !strings.Contains(errb, "-spec") {
+		t.Errorf("-h did not print usage:\n%s", errb)
+	}
+}

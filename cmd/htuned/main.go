@@ -1,0 +1,58 @@
+// Command htuned is the long-running H-Tuning service: an HTTP JSON API
+// over the solver engine, with a shared bounded estimator cache, an
+// admission gate that turns overload into fast 503s, and an online
+// ingest→inference→re-tune loop that keeps a trace-fitted rate model
+// current while solves are in flight.
+//
+// Usage:
+//
+//	htuned [-addr :8080] [-max-inflight N] [-workers N] [-cache-entries N]
+//
+// Endpoints: POST /v1/solve, /v1/solve-heterogeneous, /v1/simulate,
+// /v1/ingest; GET /v1/stats, /v1/healthz. See the repository README for
+// request and response shapes. SIGINT/SIGTERM trigger a graceful drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"hputune"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("htuned: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	maxInFlight := flag.Int("max-inflight", runtime.GOMAXPROCS(0), "concurrent solve/simulate requests admitted before 503")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker-pool size per admitted batch")
+	cacheEntries := flag.Int("cache-entries", 0, "estimator cache bound in entries (0 = default 65536)")
+	flag.Parse()
+
+	srv, err := hputune.NewServer(hputune.ServerConfig{
+		MaxInFlight:  *maxInFlight,
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// Restore default signal behavior once the drain starts, so a
+		// second Ctrl-C force-quits instead of being swallowed for the
+		// length of the drain window.
+		<-ctx.Done()
+		stop()
+	}()
+	log.Printf("listening on %s (max-inflight %d, workers %d)", *addr, *maxInFlight, *workers)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained, bye")
+}

@@ -38,11 +38,16 @@
 //
 // The tuning engine is built for multi-core use:
 //
-//   - Estimator is safe for concurrent use. Its memo of E[max] integrals
-//     is sharded by key hash behind per-shard RWMutexes, so one
-//     estimator can back many solver and simulation goroutines; sharing
-//     one estimator across a batch is the intended pattern, because
-//     overlapping problems reuse each other's integrals.
+//   - Estimator is safe for concurrent use and bounded. Its memo of
+//     E[max] integrals is sharded by key hash, each shard a
+//     mutex-guarded LRU (default bound 65536 entries;
+//     NewEstimatorCapacity picks another, CacheStats reports
+//     hit/miss/eviction counters), so one estimator can back many
+//     solver and simulation goroutines for the life of a serving
+//     process; sharing one estimator across a batch is the intended
+//     pattern, because overlapping problems reuse each other's
+//     integrals, and eviction can only cost a recompute, never change
+//     a result.
 //   - SolveRepetition and SolveHeterogeneous fan their independent
 //     sub-computations (the two greedy rules, the two Utopia-Point
 //     objectives, per-candidate evaluations) across goroutines
@@ -56,6 +61,20 @@
 //     function of its arguments: the worker count never changes a
 //     result, only how fast it arrives. Fixed seed in, identical
 //     float64 out — on one core or sixty-four.
+//
+// # Serving
+//
+// NewServer wraps the batch engine in the HTTP JSON API the htuned
+// binary serves: POST /v1/solve and /v1/solve-heterogeneous take the
+// same spec documents the htune CLI reads, /v1/simulate scores uniform
+// price plans with the deterministic trial-sharded Monte Carlo engine,
+// and /v1/ingest folds observed trace records (CSV or JSON Lines)
+// through the Sec 3.3 MLE into a re-fitted Linearity-Hypothesis model
+// that subsequent solves pick up atomically via the "fitted" model
+// kind. One process shares one bounded estimator; solve admission is
+// gated (overload returns 503 immediately), /v1/stats exposes the cache
+// and gate counters, and shutdown drains gracefully. See the README for
+// the wire shapes.
 //
 // Beyond the tuning algorithms the module ships every substrate the paper
 // depends on: a discrete-event marketplace simulator standing in for

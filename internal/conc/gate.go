@@ -1,0 +1,49 @@
+package conc
+
+import "sync/atomic"
+
+// Gate is a non-blocking admission limiter: at most Limit holders at
+// once, excess callers are turned away immediately instead of queueing.
+// Serving layers put a Gate in front of the worker pool so overload
+// becomes a fast, explicit rejection (HTTP 503) rather than an unbounded
+// backlog of goroutines all contending for the same cores.
+type Gate struct {
+	limit    int64
+	inflight atomic.Int64
+	rejected atomic.Uint64
+}
+
+// NewGate returns a gate admitting at most limit concurrent holders;
+// limit <= 0 means GOMAXPROCS-sized (via Workers).
+func NewGate(limit int) *Gate {
+	return &Gate{limit: int64(Workers(limit))}
+}
+
+// TryAcquire takes a permit if one is free. Every successful acquire
+// must be paired with exactly one Release. The CAS loop (rather than an
+// optimistic add-then-rollback) keeps InFlight from ever reading above
+// Limit, so observers see a consistent bound.
+func (g *Gate) TryAcquire() bool {
+	for {
+		cur := g.inflight.Load()
+		if cur >= g.limit {
+			g.rejected.Add(1)
+			return false
+		}
+		if g.inflight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// Release returns a permit taken by a successful TryAcquire.
+func (g *Gate) Release() { g.inflight.Add(-1) }
+
+// InFlight reports the number of currently held permits.
+func (g *Gate) InFlight() int { return int(g.inflight.Load()) }
+
+// Limit reports the permit bound.
+func (g *Gate) Limit() int { return int(g.limit) }
+
+// Rejected reports how many TryAcquire calls were turned away.
+func (g *Gate) Rejected() uint64 { return g.rejected.Load() }

@@ -1,0 +1,62 @@
+package conc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGateLimit(t *testing.T) {
+	g := NewGate(2)
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("first two acquires must succeed")
+	}
+	if g.TryAcquire() {
+		t.Fatal("third acquire beyond limit 2 succeeded")
+	}
+	if g.InFlight() != 2 {
+		t.Errorf("inflight = %d, want 2", g.InFlight())
+	}
+	if g.Rejected() != 1 {
+		t.Errorf("rejected = %d, want 1", g.Rejected())
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Fatal("acquire after release failed")
+	}
+	g.Release()
+	g.Release()
+	if g.InFlight() != 0 {
+		t.Errorf("inflight = %d after full release, want 0", g.InFlight())
+	}
+}
+
+func TestGateDefaultLimit(t *testing.T) {
+	g := NewGate(0)
+	if g.Limit() != Workers(0) {
+		t.Errorf("default limit = %d, want GOMAXPROCS (%d)", g.Limit(), Workers(0))
+	}
+}
+
+func TestGateConcurrentNeverExceedsLimit(t *testing.T) {
+	const limit = 4
+	g := NewGate(limit)
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if g.TryAcquire() {
+					if n := g.InFlight(); n > limit {
+						t.Errorf("inflight %d exceeded limit %d", n, limit)
+					}
+					g.Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if g.InFlight() != 0 {
+		t.Errorf("inflight = %d at rest, want 0", g.InFlight())
+	}
+}

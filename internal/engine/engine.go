@@ -28,6 +28,12 @@ type Options struct {
 
 func (o Options) workers() int { return conc.Workers(o.Workers) }
 
+// ResolvedWorkers reports the pool size a batch will actually use once
+// defaults are applied. Serving layers expose it so operators can see
+// the goroutine budget: admitted requests × resolved workers bounds the
+// engine's total concurrency.
+func (o Options) ResolvedWorkers() int { return o.workers() }
+
 // Map runs fn(i) for every i in [0, n) on the shared bounded worker
 // pool and returns the results in index order. fn must be safe for
 // concurrent calls. On failure Map still finishes every item and

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"testing"
+
+	"hputune/internal/textplot"
+)
+
+// figureCase declares the structural contract of one experiment's
+// figures: how many figures and series it emits, whether the latency
+// curves must fall as the budget grows, and (always) determinism under
+// a fixed seed. Shapes here are pinned for fast mode, the configuration
+// CI runs.
+type figureCase struct {
+	name string
+	// figures is the expected figure count in fast mode (0 = at least one).
+	figures int
+	// seriesPerFigure is the expected series count per figure (0 = skip).
+	seriesPerFigure int
+	// budgetMonotone asserts every series is a latency-vs-budget curve
+	// that must not rise as the budget grows (within tol).
+	budgetMonotone bool
+	// xStrictlyIncreasing asserts each series' X axis is a proper sweep.
+	xStrictlyIncreasing bool
+	// cfg overrides fastCfg for experiments needing different fidelity.
+	cfg *Config
+}
+
+var figureCases = []figureCase{
+	{name: "motivation", figures: 1, seriesPerFigure: 2},
+	{name: "fig2-homo", figures: 2, seriesPerFigure: 3, budgetMonotone: true, xStrictlyIncreasing: true},
+	{name: "fig2-repe", figures: 2, seriesPerFigure: 3, xStrictlyIncreasing: true},
+	{name: "fig2-heter", figures: 2, seriesPerFigure: 3, xStrictlyIncreasing: true},
+	{name: "fig3", figures: 1, seriesPerFigure: 3, xStrictlyIncreasing: true},
+	{name: "fig4", figures: 1, seriesPerFigure: 4, xStrictlyIncreasing: true},
+	{name: "fig5a", figures: 1, seriesPerFigure: 6, xStrictlyIncreasing: true},
+	{name: "fig5b", figures: 1, seriesPerFigure: 6, xStrictlyIncreasing: true},
+	{name: "fig5c", figures: 1, seriesPerFigure: 6,
+		cfg: &Config{Seed: 7, Fast: true, Rounds: 12}},
+	{name: "linearity", figures: 1},
+	{name: "comparator-29", figures: 1, xStrictlyIncreasing: true},
+	{name: "retainer", figures: 1, seriesPerFigure: 2, budgetMonotone: true, xStrictlyIncreasing: true},
+	{name: "abandonment", figures: 1, seriesPerFigure: 2, xStrictlyIncreasing: true},
+	{name: "heavytail", figures: 1, seriesPerFigure: 2, xStrictlyIncreasing: true},
+}
+
+func (tc figureCase) config() Config {
+	if tc.cfg != nil {
+		return tc.cfg.Normalize()
+	}
+	return fastCfg()
+}
+
+// checkShape validates one run's figures against the declared contract.
+func (tc figureCase) checkShape(t *testing.T, figs []textplot.Figure) {
+	t.Helper()
+	if len(figs) == 0 {
+		t.Fatal("experiment produced no figures")
+	}
+	if tc.figures > 0 && len(figs) != tc.figures {
+		t.Fatalf("got %d figures, want %d", len(figs), tc.figures)
+	}
+	for _, fig := range figs {
+		if fig.ID == "" {
+			t.Errorf("figure has empty ID: %+v", fig)
+		}
+		if tc.seriesPerFigure > 0 && len(fig.Series) != tc.seriesPerFigure {
+			t.Errorf("%s: got %d series, want %d", fig.ID, len(fig.Series), tc.seriesPerFigure)
+		}
+		for _, s := range fig.Series {
+			if len(s.X) != len(s.Y) {
+				t.Errorf("%s/%s: len(X)=%d != len(Y)=%d", fig.ID, s.Name, len(s.X), len(s.Y))
+				continue
+			}
+			if len(s.Y) == 0 {
+				t.Errorf("%s/%s: empty series", fig.ID, s.Name)
+				continue
+			}
+			if tc.xStrictlyIncreasing {
+				for i := 1; i < len(s.X); i++ {
+					if s.X[i] <= s.X[i-1] {
+						t.Errorf("%s/%s: X not strictly increasing at %d: %v", fig.ID, s.Name, i, s.X)
+						break
+					}
+				}
+			}
+			if tc.budgetMonotone {
+				for i := 1; i < len(s.Y); i++ {
+					if s.Y[i] > s.Y[i-1]+1e-9 {
+						t.Errorf("%s/%s: latency rose with budget at %d: %v -> %v",
+							fig.ID, s.Name, i, s.Y[i-1], s.Y[i])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFigureShapes runs every registered experiment in fast mode and
+// checks the declared structural contract plus seed determinism (two
+// runs, identical series values).
+func TestFigureShapes(t *testing.T) {
+	covered := map[string]bool{}
+	for _, tc := range figureCases {
+		covered[tc.name] = true
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := tc.config()
+			res, err := Run(tc.name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.checkShape(t, res.Figures)
+
+			again, err := Run(tc.name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(again.Figures) != len(res.Figures) {
+				t.Fatalf("re-run changed figure count: %d vs %d", len(res.Figures), len(again.Figures))
+			}
+			for fi, fig := range res.Figures {
+				for si, s := range fig.Series {
+					b := again.Figures[fi].Series[si]
+					if s.Name != b.Name {
+						t.Fatalf("re-run changed series name: %q vs %q", s.Name, b.Name)
+					}
+					for i := range s.Y {
+						if s.Y[i] != b.Y[i] || s.X[i] != b.X[i] {
+							t.Fatalf("%s/%s: same seed, different point %d: (%v,%v) vs (%v,%v)",
+								fig.ID, s.Name, i, s.X[i], s.Y[i], b.X[i], b.Y[i])
+						}
+					}
+				}
+			}
+		})
+	}
+	// The table must track the registry: a new experiment without a
+	// declared contract fails here, not silently.
+	for _, name := range Names() {
+		if !covered[name] {
+			t.Errorf("experiment %q has no figureCase entry; declare its shape contract", name)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package htuning
+
+import (
+	"fmt"
+	"sync"
+
+	"hputune/internal/randx"
+)
+
+// The estimator memo is a bounded, sharded LRU. Long-running processes
+// (the htuned service, batch pipelines) share one Estimator across every
+// request, so the PR-1 grow-forever map would leak one entry per distinct
+// (kind, rate, shape) query for the life of the process; a re-tuned rate
+// model changes the rate bits of every key, so an online ingest loop
+// mints fresh keys on every fit update. Bounding each shard with an
+// intrusive LRU list keeps the worst case at Capacity entries while the
+// hit path stays O(1): one shard mutex, one map lookup, one list splice.
+// Strict LRU makes hits exclusive where the old unbounded map allowed
+// shared RLocks — the deliberate price of exact recency and counters;
+// 32 shards keep cross-key contention low, and a hit's critical section
+// is tens of nanoseconds against integrals that cost milliseconds.
+
+// estimatorShards is the number of cache shards. 32 keeps lock
+// contention negligible at any realistic GOMAXPROCS while costing only a
+// few hundred bytes per idle estimator.
+const estimatorShards = 32
+
+// defaultShardCapacity bounds each shard of an Estimator built without an
+// explicit capacity: 2048 entries/shard × 32 shards × ~96 B/entry ≈ 6 MB
+// worst case — far above any single solve's working set (a few hundred
+// keys), so bounded-by-default never evicts mid-solve.
+const defaultShardCapacity = 2048
+
+// estEntry is one memoized value on a shard's intrusive LRU list.
+type estEntry struct {
+	key        estimateKey
+	val        float64
+	prev, next *estEntry // more-recent / less-recent neighbours
+}
+
+// estimatorShard is one lock-striped LRU slice of the memo table.
+type estimatorShard struct {
+	mu         sync.Mutex
+	m          map[estimateKey]*estEntry
+	head, tail *estEntry // head = most recently used, tail = eviction victim
+	capacity   int       // fixed at first use; entries never exceed it
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+}
+
+// CacheStats is a point-in-time snapshot of an Estimator's memo cache,
+// summed over all shards. Hits+Misses counts lookups, Evictions counts
+// entries dropped to stay within Capacity, Entries is the current size.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// NewEstimatorCapacity returns an estimator whose memo holds at most
+// capacity entries in total, split evenly over the shards (at least one
+// entry per shard, so the effective minimum is 32; the bound rounds down
+// so the total never exceeds capacity when capacity >= 32). Least
+// recently used entries are evicted first; evicted values are recomputed
+// on demand, so eviction affects speed, never results.
+func NewEstimatorCapacity(capacity int) (*Estimator, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("htuning: estimator capacity %d, need >= 1", capacity)
+	}
+	per := capacity / estimatorShards
+	if per < 1 {
+		per = 1
+	}
+	e := &Estimator{}
+	for i := range e.shards {
+		e.shards[i].capacity = per
+	}
+	return e, nil
+}
+
+// CacheStats sums the per-shard counters. It is safe for concurrent use
+// with lookups; the snapshot is per-shard consistent, not globally
+// atomic.
+func (e *Estimator) CacheStats() CacheStats {
+	var st CacheStats
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Entries += len(s.m)
+		st.Capacity += s.shardCapacity()
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// shardCapacity resolves the shard's bound, defaulting lazily so the
+// zero-value Estimator stays ready to use.
+func (s *estimatorShard) shardCapacity() int {
+	if s.capacity > 0 {
+		return s.capacity
+	}
+	return defaultShardCapacity
+}
+
+// hash mixes every key field through the splitmix64 finalizer so
+// nearby keys (consecutive prices, shapes) spread across all shards.
+func (k estimateKey) hash() uint64 {
+	h := uint64(k.kind)
+	h = randx.Mix64(h ^ k.rateBits)
+	h = randx.Mix64(h ^ uint64(k.n))
+	h = randx.Mix64(h ^ uint64(k.k))
+	h = randx.Mix64(h ^ k.procBits)
+	return h
+}
+
+func (e *Estimator) shard(k estimateKey) *estimatorShard {
+	return &e.shards[k.hash()%estimatorShards]
+}
+
+// cached looks k up, refreshing its recency on a hit.
+func (e *Estimator) cached(k estimateKey) (float64, bool) {
+	s := e.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent, ok := s.m[k]
+	if !ok {
+		s.misses++
+		return 0, false
+	}
+	s.hits++
+	s.moveToFront(ent)
+	return ent.val, true
+}
+
+// store inserts or refreshes k, evicting the least recently used entry
+// when the shard is full. Duplicate concurrent computations of the same
+// key store the identical pure-function value, so last-write-wins is
+// benign.
+func (e *Estimator) store(k estimateKey, v float64) {
+	s := e.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ent, ok := s.m[k]; ok {
+		ent.val = v
+		s.moveToFront(ent)
+		return
+	}
+	if s.m == nil {
+		s.m = make(map[estimateKey]*estEntry)
+	}
+	if len(s.m) >= s.shardCapacity() {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.m, victim.key)
+		s.evictions++
+	}
+	ent := &estEntry{key: k, val: v}
+	s.pushFront(ent)
+	s.m[k] = ent
+}
+
+// pushFront links ent as the most recently used entry.
+func (s *estimatorShard) pushFront(ent *estEntry) {
+	ent.prev = nil
+	ent.next = s.head
+	if s.head != nil {
+		s.head.prev = ent
+	}
+	s.head = ent
+	if s.tail == nil {
+		s.tail = ent
+	}
+}
+
+// unlink removes ent from the recency list.
+func (s *estimatorShard) unlink(ent *estEntry) {
+	if ent.prev != nil {
+		ent.prev.next = ent.next
+	} else {
+		s.head = ent.next
+	}
+	if ent.next != nil {
+		ent.next.prev = ent.prev
+	} else {
+		s.tail = ent.prev
+	}
+	ent.prev, ent.next = nil, nil
+}
+
+func (s *estimatorShard) moveToFront(ent *estEntry) {
+	if s.head == ent {
+		return
+	}
+	s.unlink(ent)
+	s.pushFront(ent)
+}

@@ -1,0 +1,176 @@
+package htuning
+
+import (
+	"sync"
+	"testing"
+)
+
+// fillDistinctKeys drives n distinct cache keys through the estimator by
+// varying the price of a single-group query.
+func fillDistinctKeys(t *testing.T, est *Estimator, n int) {
+	t.Helper()
+	g := Group{Type: linType("t", 1, 1, 2), Tasks: 3, Reps: 2}
+	for price := 1; price <= n; price++ {
+		if _, err := est.GroupPhase1Mean(g, price); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCacheBoundedCapacity(t *testing.T) {
+	const capacity = 64
+	est, err := NewEstimatorCapacity(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillDistinctKeys(t, est, 10*capacity)
+	st := est.CacheStats()
+	if st.Capacity > capacity {
+		t.Errorf("effective capacity %d above configured %d", st.Capacity, capacity)
+	}
+	if st.Entries > st.Capacity {
+		t.Errorf("entries %d exceed capacity %d", st.Entries, st.Capacity)
+	}
+	if st.Evictions == 0 {
+		t.Errorf("no evictions after %d distinct keys into capacity %d", 10*capacity, capacity)
+	}
+	if st.Misses < uint64(10*capacity) {
+		t.Errorf("misses %d below the %d distinct computations", st.Misses, 10*capacity)
+	}
+}
+
+func TestCacheCapacityErrors(t *testing.T) {
+	if _, err := NewEstimatorCapacity(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewEstimatorCapacity(-5); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	// Tiny capacities clamp to one entry per shard and still work.
+	est, err := NewEstimatorCapacity(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillDistinctKeys(t, est, 100)
+	if st := est.CacheStats(); st.Capacity != estimatorShards {
+		t.Errorf("capacity 1 should clamp to %d (one per shard), got %d", estimatorShards, st.Capacity)
+	}
+}
+
+func TestCacheHitCounters(t *testing.T) {
+	est := NewEstimator()
+	g := Group{Type: linType("t", 2, 1, 3), Tasks: 4, Reps: 2}
+	for i := 0; i < 5; i++ {
+		if _, err := est.GroupPhase1Mean(g, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := est.CacheStats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits != 4 {
+		t.Errorf("hits = %d, want 4", st.Hits)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+	if st.Evictions != 0 {
+		t.Errorf("evictions = %d, want 0", st.Evictions)
+	}
+}
+
+// TestCacheLRUOrder pins the recency policy at the shard level: with a
+// single-entry-per-shard estimator, re-touching a key keeps it resident
+// only until another key lands on its shard, and a re-query after
+// eviction recomputes the identical value.
+func TestCacheLRUOrder(t *testing.T) {
+	est, err := NewEstimatorCapacity(estimatorShards) // one entry per shard
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Group{Type: linType("t", 1, 1, 2), Tasks: 3, Reps: 2}
+	first, err := est.GroupPhase1Mean(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillDistinctKeys(t, est, 200) // stampede over every shard
+	again, err := est.GroupPhase1Mean(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Errorf("recomputed value %v differs from original %v", again, first)
+	}
+	if st := est.CacheStats(); st.Evictions == 0 {
+		t.Error("stampede over a one-entry-per-shard cache evicted nothing")
+	}
+}
+
+// TestCacheEvictionDoesNotChangeResults re-runs a solve against an
+// estimator so small every lookup evicts, and checks the solution is
+// identical to the unbounded run — eviction must cost time only.
+func TestCacheEvictionDoesNotChangeResults(t *testing.T) {
+	p := Problem{
+		Groups: []Group{
+			{Type: linType("a", 1, 1, 2), Tasks: 5, Reps: 2},
+			{Type: linType("b", 2, 1, 3), Tasks: 4, Reps: 3},
+		},
+		Budget: 300,
+	}
+	big := NewEstimator()
+	want, err := SolveRepetition(big, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := NewEstimatorCapacity(estimatorShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveRepetition(tiny, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Prices) != len(want.Prices) {
+		t.Fatalf("price vectors differ in length: %v vs %v", got.Prices, want.Prices)
+	}
+	for i := range got.Prices {
+		if got.Prices[i] != want.Prices[i] {
+			t.Errorf("prices differ under eviction: %v vs %v", got.Prices, want.Prices)
+			break
+		}
+	}
+	if got.Objective != want.Objective {
+		t.Errorf("objective differs under eviction: %v vs %v", got.Objective, want.Objective)
+	}
+}
+
+// TestCacheConcurrentBound hammers a tiny cache from many goroutines and
+// checks the entry bound holds throughout (the -race build also verifies
+// the locking).
+func TestCacheConcurrentBound(t *testing.T) {
+	const capacity = 2 * estimatorShards
+	est, err := NewEstimatorCapacity(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := Group{Type: linType("t", 1, 1, 2), Tasks: 2 + w%3, Reps: 1 + w%2}
+			for price := 1; price <= 64; price++ {
+				if _, err := est.GroupPhase1Mean(g, price); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := est.CacheStats()
+	if st.Entries > st.Capacity {
+		t.Errorf("entries %d exceed capacity %d under concurrency", st.Entries, st.Capacity)
+	}
+}

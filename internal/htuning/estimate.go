@@ -3,7 +3,6 @@ package htuning
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"hputune/internal/dist"
 	"hputune/internal/numeric"
@@ -24,24 +23,17 @@ const (
 // Estimator computes expected latencies for groups and jobs under the HPU
 // model, memoizing the expensive E[max of n Erlang] integrals. The zero
 // value is ready to use. An Estimator is safe for concurrent use: the
-// memo is sharded by key hash, each shard behind its own RWMutex, so one
-// estimator can back many solver and simulation goroutines without
-// serializing them on a single lock. Since every cached value is a pure
-// function of its key, duplicate concurrent computations of the same key
-// are benign — both goroutines store the identical float64.
+// memo is a bounded LRU sharded by key hash, each shard behind its own
+// mutex, so one estimator can back many solver and simulation goroutines
+// without serializing them on a single lock. Since every cached value is
+// a pure function of its key, duplicate concurrent computations of the
+// same key are benign — both goroutines store the identical float64 —
+// and eviction only ever costs a recompute, never a different result.
+// The zero value (and NewEstimator) caps the cache at 32 shards ×
+// defaultShardCapacity entries; NewEstimatorCapacity picks the bound,
+// and CacheStats reports hit/miss/eviction counters.
 type Estimator struct {
 	shards [estimatorShards]estimatorShard
-}
-
-// estimatorShards is the number of cache shards. 32 keeps lock
-// contention negligible at any realistic GOMAXPROCS while costing only a
-// few hundred bytes per idle estimator.
-const estimatorShards = 32
-
-// estimatorShard is one lock-striped slice of the memo table.
-type estimatorShard struct {
-	mu sync.RWMutex
-	m  map[estimateKey]float64
 }
 
 // estimateKind distinguishes the three cached expectations.
@@ -167,35 +159,6 @@ func (e *Estimator) SumGroupPhase1(groups []Group, prices []int) (float64, error
 		sum.Add(v)
 	}
 	return sum.Sum(), nil
-}
-
-// hash mixes every key field through the splitmix64 finalizer so
-// nearby keys (consecutive prices, shapes) spread across all shards.
-func (k estimateKey) hash() uint64 {
-	h := uint64(k.kind)
-	h = randx.Mix64(h ^ k.rateBits)
-	h = randx.Mix64(h ^ uint64(k.n))
-	h = randx.Mix64(h ^ uint64(k.k))
-	h = randx.Mix64(h ^ k.procBits)
-	return h
-}
-
-func (e *Estimator) cached(k estimateKey) (float64, bool) {
-	s := &e.shards[k.hash()%estimatorShards]
-	s.mu.RLock()
-	v, ok := s.m[k]
-	s.mu.RUnlock()
-	return v, ok
-}
-
-func (e *Estimator) store(k estimateKey, v float64) {
-	s := &e.shards[k.hash()%estimatorShards]
-	s.mu.Lock()
-	if s.m == nil {
-		s.m = make(map[estimateKey]float64)
-	}
-	s.m[k] = v
-	s.mu.Unlock()
 }
 
 // JobExpectedLatency computes the exact expected completion latency of the

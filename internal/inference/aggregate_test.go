@@ -1,0 +1,80 @@
+package inference
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPriceAggregateRate(t *testing.T) {
+	var a PriceAggregate
+	if _, err := a.Rate(); err == nil {
+		t.Error("empty aggregate produced a rate")
+	}
+	a.Add(4, 2.0)
+	rate, err := a.Rate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 2.0 {
+		t.Errorf("rate = %v, want 4/2 = 2", rate)
+	}
+	zero := PriceAggregate{N: 3, Total: 0}
+	if _, err := zero.Rate(); err == nil {
+		t.Error("all-zero durations produced a rate")
+	}
+}
+
+func TestFitAggregatesRecoversLinearModel(t *testing.T) {
+	// Durations generated to make the MLE exact: at price c the true rate
+	// is 2c+1, so N observations summing to N/(2c+1) give λ̂ = 2c+1.
+	byPrice := map[int]PriceAggregate{}
+	for _, c := range []int{1, 2, 4, 8} {
+		rate := 2*float64(c) + 1
+		byPrice[c] = PriceAggregate{N: 100, Total: 100 / rate}
+	}
+	res, err := FitAggregates(byPrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Fit.Slope-2) > 1e-9 || math.Abs(res.Fit.Intercept-1) > 1e-9 {
+		t.Errorf("fit = %v, want slope 2 intercept 1", res.Fit)
+	}
+	if res.Fit.R2 < 0.999 {
+		t.Errorf("R² = %v for exact data", res.Fit.R2)
+	}
+	// Deterministic ordering: prices sorted ascending.
+	for i := 1; i < len(res.Prices); i++ {
+		if res.Prices[i] <= res.Prices[i-1] {
+			t.Fatalf("prices not sorted: %v", res.Prices)
+		}
+	}
+}
+
+func TestFitAggregatesNeedsTwoPrices(t *testing.T) {
+	_, err := FitAggregates(map[int]PriceAggregate{3: {N: 10, Total: 5}})
+	if err == nil {
+		t.Error("single-price fit accepted")
+	}
+	_, err = FitAggregates(map[int]PriceAggregate{3: {N: 10, Total: 5}, 4: {}})
+	if err == nil {
+		t.Error("fit with one observed price accepted")
+	}
+	// Zero-total buckets carry no rate information and must not poison
+	// the fit — with only one usable price left, the fit still errors...
+	_, err = FitAggregates(map[int]PriceAggregate{3: {N: 10, Total: 5}, 4: {N: 2, Total: 0}})
+	if err == nil {
+		t.Error("fit with a zero-total bucket and one usable price accepted")
+	}
+	// ...and with two usable prices it succeeds despite the bad bucket.
+	res, err := FitAggregates(map[int]PriceAggregate{
+		1: {N: 100, Total: 100.0 / 3},
+		4: {N: 100, Total: 100.0 / 9},
+		7: {N: 2, Total: 0},
+	})
+	if err != nil {
+		t.Fatalf("zero-total bucket poisoned the fit: %v", err)
+	}
+	if len(res.Prices) != 2 {
+		t.Errorf("fit used %d prices, want the 2 usable ones", len(res.Prices))
+	}
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// drainTimeout bounds how long Shutdown waits for in-flight requests.
+const drainTimeout = 15 * time.Second
+
+// ListenAndServe serves the API on addr until ctx is cancelled, then
+// shuts down gracefully: the listener closes immediately, in-flight
+// requests get up to drainTimeout to finish, and the remainder are cut
+// off. A clean drain returns nil.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.serve(ctx, ln)
+}
+
+func (s *Server) serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// ReadTimeout bounds how long a connection may dribble its body:
+		// solve/simulate admit a permit before reading, so it caps each
+		// connection's permit hold during the read. It narrows, not
+		// eliminates, deliberate slow-body permit pinning (a reconnecting
+		// attacker re-pins after each cutoff); front any public exposure
+		// with a proxy enforcing client rate limits. 15s is generous for
+		// a 32 MB body on any sane link. No WriteTimeout — a legitimately
+		// admitted large solve may take longer to compute than any fixed
+		// write deadline.
+		ReadTimeout: 15 * time.Second,
+		IdleTimeout: 2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// Serve is ListenAndServe over an existing listener (tests listen on
+// ":0" and read ln.Addr() themselves).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	return s.serve(ctx, ln)
+}

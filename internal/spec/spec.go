@@ -1,0 +1,184 @@
+// Package spec parses the JSON problem-spec format shared by the htune
+// CLI and the htuned service, so a spec file tuned locally can be POSTed
+// to the service unchanged. A spec is either a single H-Tuning instance
+// (top-level "budget" and "groups") or a batch (top-level "problems"
+// array of single instances); the two shapes are mutually exclusive and
+// batches do not nest.
+//
+//	{
+//	  "budget": 1000,
+//	  "groups": [
+//	    {"name": "sort-vote", "tasks": 50, "reps": 3, "procRate": 2.0,
+//	     "model": {"kind": "linear", "k": 1, "b": 1}}
+//	  ]
+//	}
+//
+// Model kinds: "linear" (k, b), "quadratic", "log", "table" (points:
+// {"price": rate, ...}) and "fitted" — the rate model the htuned service
+// has inferred from ingested traces (rejected outside the service, or
+// before any fit exists).
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+
+	"hputune/internal/htuning"
+	"hputune/internal/pricing"
+)
+
+// ErrMixedShapes rejects a document that is both a single instance and
+// a batch — the one shape rule shared with request formats (like the
+// service's simulate body) that embed the single-vs-batch convention.
+var ErrMixedShapes = errors.New("spec mixes a top-level problem with a \"problems\" array; use one or the other")
+
+// Model is the JSON shape of a price→rate model.
+type Model struct {
+	Kind   string             `json:"kind"`
+	K      float64            `json:"k"`
+	B      float64            `json:"b"`
+	Points map[string]float64 `json:"points"`
+}
+
+// Group is the JSON shape of one task group.
+type Group struct {
+	Name     string  `json:"name"`
+	Tasks    int     `json:"tasks"`
+	Reps     int     `json:"reps"`
+	ProcRate float64 `json:"procRate"`
+	Model    Model   `json:"model"`
+}
+
+// Problem is the JSON shape of a spec file: either a single instance
+// (Budget, Groups) or a batch (Problems).
+type Problem struct {
+	Budget int     `json:"budget"`
+	Groups []Group `json:"groups"`
+	// Problems, when non-empty, makes the spec a batch of instances.
+	Problems []Problem `json:"problems"`
+}
+
+// BuildOpts resolves spec constructs that need out-of-band context.
+type BuildOpts struct {
+	// Fitted backs the "fitted" model kind — the htuned service passes
+	// its current trace-inferred rate model here. When nil, "fitted"
+	// specs are rejected with an explanatory error.
+	Fitted pricing.RateModel
+}
+
+// Build materializes the model. name labels table models in output.
+func (m Model) Build(name string, opts BuildOpts) (pricing.RateModel, error) {
+	switch m.Kind {
+	case "linear":
+		return pricing.Linear{K: m.K, B: m.B}, nil
+	case "quadratic":
+		return pricing.Quadratic{}, nil
+	case "log":
+		return pricing.Logarithmic{}, nil
+	case "table":
+		points := make(map[float64]float64, len(m.Points))
+		for k, v := range m.Points {
+			// ParseFloat, not Sscanf: the whole key must be the number,
+			// so a typo like "1,5" fails loudly instead of misparsing
+			// as price 1.
+			price, err := strconv.ParseFloat(k, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad table price %q: %w", k, err)
+			}
+			points[price] = v
+		}
+		return pricing.NewTable(name, points)
+	case "fitted":
+		if opts.Fitted == nil {
+			return nil, fmt.Errorf("model kind \"fitted\" needs a trace-inferred fit: ingest traces into htuned first (the htune CLI has no fit)")
+		}
+		return opts.Fitted, nil
+	}
+	return nil, fmt.Errorf("unknown model kind %q (want linear, quadratic, log, table or fitted)", m.Kind)
+}
+
+// Build materializes a single-instance spec into a solver problem.
+func (s Problem) Build(opts BuildOpts) (htuning.Problem, error) {
+	p := htuning.Problem{Budget: s.Budget}
+	for i, g := range s.Groups {
+		model, err := g.Model.Build(g.Name, opts)
+		if err != nil {
+			return htuning.Problem{}, fmt.Errorf("group %d: %w", i, err)
+		}
+		p.Groups = append(p.Groups, htuning.Group{
+			Type:  &htuning.TaskType{Name: g.Name, Accept: model, ProcRate: g.ProcRate},
+			Tasks: g.Tasks,
+			Reps:  g.Reps,
+		})
+	}
+	return p, nil
+}
+
+// Parse decodes a spec document and materializes its problems. Unknown
+// fields are rejected — a typoed key ("procrate") must fail loudly, and
+// the CLI and the htuned service must agree on what a valid spec is.
+// batch reports whether the document used the top-level "problems"
+// array — a one-element batch still runs (and prints) in batch mode, so
+// generated specs behave uniformly.
+func Parse(raw []byte, opts BuildOpts) (problems []htuning.Problem, batch bool, err error) {
+	var s Problem
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, false, fmt.Errorf("parse spec: %w", err)
+	}
+	if dec.More() {
+		return nil, false, fmt.Errorf("parse spec: trailing data after the spec document")
+	}
+	return s.Materialize(opts)
+}
+
+// Materialize turns an already-decoded spec document into solver
+// problems, enforcing the single-vs-batch shape rules.
+func (s Problem) Materialize(opts BuildOpts) (problems []htuning.Problem, batch bool, err error) {
+	if len(s.Problems) > 0 {
+		if len(s.Groups) > 0 || s.Budget != 0 {
+			return nil, false, ErrMixedShapes
+		}
+		problems = make([]htuning.Problem, len(s.Problems))
+		for i, ps := range s.Problems {
+			if len(ps.Problems) > 0 {
+				return nil, false, fmt.Errorf("problem %d: nested \"problems\" arrays are not supported", i)
+			}
+			if len(ps.Groups) == 0 {
+				return nil, false, fmt.Errorf("problem %d: no groups", i)
+			}
+			p, err := ps.Build(opts)
+			if err != nil {
+				return nil, false, fmt.Errorf("problem %d: %w", i, err)
+			}
+			problems[i] = p
+		}
+		return problems, true, nil
+	}
+	if len(s.Groups) == 0 {
+		return nil, false, fmt.Errorf("spec has no groups and no problems")
+	}
+	p, err := s.Build(opts)
+	if err != nil {
+		return nil, false, err
+	}
+	return []htuning.Problem{p}, false, nil
+}
+
+// Load reads and parses a spec file.
+func Load(path string, opts BuildOpts) (problems []htuning.Problem, batch bool, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	problems, batch, err = Parse(raw, opts)
+	if err != nil {
+		return nil, false, fmt.Errorf("%s: %w", path, err)
+	}
+	return problems, batch, nil
+}

@@ -1,0 +1,104 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"hputune/internal/pricing"
+)
+
+const singleDoc = `{
+  "budget": 100,
+  "groups": [
+    {"name": "a", "tasks": 2, "reps": 2, "procRate": 2.0,
+     "model": {"kind": "linear", "k": 1, "b": 1}},
+    {"name": "b", "tasks": 3, "reps": 1, "procRate": 3.0,
+     "model": {"kind": "table", "points": {"1": 2, "5": 10}}}
+  ]
+}`
+
+func TestParseSingle(t *testing.T) {
+	problems, batch, err := Parse([]byte(singleDoc), BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch {
+		t.Error("single spec reported as batch")
+	}
+	if len(problems) != 1 {
+		t.Fatalf("got %d problems", len(problems))
+	}
+	p := problems[0]
+	if p.Budget != 100 || len(p.Groups) != 2 {
+		t.Fatalf("bad problem: %+v", p)
+	}
+	if got := p.Groups[0].Type.Accept.Rate(3); got != 4 {
+		t.Errorf("linear model rate(3) = %v, want 4", got)
+	}
+	if got := p.Groups[1].Type.Accept.Rate(5); got != 10 {
+		t.Errorf("table model rate(5) = %v, want 10", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("built problem invalid: %v", err)
+	}
+}
+
+func TestParseBatch(t *testing.T) {
+	doc := `{"problems": [
+	  {"budget": 20, "groups": [{"name":"a","tasks":2,"reps":2,"procRate":1,"model":{"kind":"log"}}]},
+	  {"budget": 30, "groups": [{"name":"b","tasks":3,"reps":2,"procRate":1,"model":{"kind":"quadratic"}}]}
+	]}`
+	problems, batch, err := Parse([]byte(doc), BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !batch || len(problems) != 2 {
+		t.Fatalf("batch=%v problems=%d", batch, len(problems))
+	}
+	if problems[0].Budget != 20 || problems[1].Budget != 30 {
+		t.Errorf("budgets out of order: %d, %d", problems[0].Budget, problems[1].Budget)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, doc, want string }{
+		{"garbage", `{`, "parse spec"},
+		{"empty", `{}`, "no groups and no problems"},
+		{"mixed", `{"budget": 1, "groups": [{"name":"a"}], "problems": [{}]}`, "mixes a top-level problem"},
+		{"nested", `{"problems": [{"problems": [{}]}]}`, "nested"},
+		{"batch empty problem", `{"problems": [{"budget": 5}]}`, "problem 0: no groups"},
+		{"bad model", `{"budget": 5, "groups": [{"name":"a","tasks":1,"reps":1,"procRate":1,"model":{"kind":"zzz"}}]}`, "unknown model kind"},
+		{"unknown field", `{"budget": 5, "procrate": 1, "groups": [{"name":"a","tasks":1,"reps":1,"procRate":1,"model":{"kind":"log"}}]}`, "unknown field"},
+		{"trailing data", `{"budget": 5, "groups": [{"name":"a","tasks":1,"reps":1,"procRate":1,"model":{"kind":"log"}}]} {"budget": 9}`, "trailing data"},
+		{"bad table price", `{"budget": 5, "groups": [{"name":"a","tasks":1,"reps":1,"procRate":1,"model":{"kind":"table","points":{"abc":1}}}]}`, "bad table price"},
+		{"table price trailing junk", `{"budget": 5, "groups": [{"name":"a","tasks":1,"reps":1,"procRate":1,"model":{"kind":"table","points":{"1,5":3}}}]}`, "bad table price"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Parse([]byte(tc.doc), BuildOpts{})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFittedModelKind(t *testing.T) {
+	doc := `{"budget": 10, "groups": [{"name":"a","tasks":2,"reps":1,"procRate":1,"model":{"kind":"fitted"}}]}`
+	if _, _, err := Parse([]byte(doc), BuildOpts{}); err == nil {
+		t.Error("fitted kind accepted without a fit")
+	}
+	problems, _, err := Parse([]byte(doc), BuildOpts{Fitted: pricing.Linear{K: 2, B: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := problems[0].Groups[0].Type.Accept.Rate(3); got != 7 {
+		t.Errorf("fitted rate(3) = %v, want 7", got)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, _, err := Load("definitely-absent.json", BuildOpts{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

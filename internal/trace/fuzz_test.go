@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hputune/internal/market"
+)
+
+// fuzzSeedRecords is a corpus of valid records covering the field edge
+// cases (negative times, huge values, quoting-hostile IDs).
+func fuzzSeedRecords() []market.RepRecord {
+	return []market.RepRecord{
+		{TaskID: "t-0", Rep: 1, Price: 3, PostedAt: 0, Accepted: 0.5, Done: 1.25, WorkerID: 7, Correct: true},
+		{TaskID: "id,with,commas", Rep: 2, Price: 1, PostedAt: 1e-9, Accepted: 2e-9, Done: 3e-9, WorkerID: 0, Correct: false},
+		{TaskID: `id"quoted"`, Rep: 0, Price: 0, PostedAt: -1, Accepted: -0.5, Done: 0, WorkerID: -3, Correct: true},
+		{TaskID: "big", Rep: 1 << 30, Price: 1 << 20, PostedAt: 1e300, Accepted: 1e300, Done: 1e300, WorkerID: 1 << 30, Correct: false},
+		{TaskID: "", Rep: 0, Price: 0, PostedAt: 0, Accepted: 0, Done: 0, WorkerID: 0, Correct: false},
+	}
+}
+
+// csvRecordsEqual compares records with NaN-aware float equality: CSV
+// can carry "NaN" (strconv parses it), and NaN != NaN would fail a
+// faithful round trip.
+func csvRecordsEqual(a, b []market.RepRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	feq := func(x, y float64) bool { return x == y || (math.IsNaN(x) && math.IsNaN(y)) }
+	for i := range a {
+		if a[i].TaskID != b[i].TaskID || a[i].Rep != b[i].Rep || a[i].Price != b[i].Price ||
+			a[i].WorkerID != b[i].WorkerID || a[i].Correct != b[i].Correct ||
+			!feq(a[i].PostedAt, b[i].PostedAt) || !feq(a[i].Accepted, b[i].Accepted) || !feq(a[i].Done, b[i].Done) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzReadCSV checks that ReadCSV never panics on arbitrary input, and
+// that anything it accepts reaches a write→read fixed point after one
+// cycle. The first parse may normalize its input (Go's csv.Reader folds
+// quoted \r\n to \n), so the invariant is checked between the second
+// and third images, where the representation is canonical.
+func FuzzReadCSV(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, fuzzSeedRecords()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("task_id,rep,price,posted_at,accepted,done,worker_id,correct\n")
+	f.Add("task_id,rep,price,posted_at,accepted,done,worker_id,correct\na,1,2,x,4,5,6,true\n")
+	f.Add("task_id,rep,price,posted_at,accepted,done,worker_id,correct\na,1,2,NaN,4,5,6,true\n")
+	f.Add("task_id,rep,price,posted_at,accepted,done,worker_id,correct\n\"a\r\r\n\",1,2,3,4,5,6,true\n")
+	f.Add("not,a,header\n")
+	f.Add("")
+	f.Add("\x00\xff\xfe")
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := ReadCSV(strings.NewReader(input)) // must not panic
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteCSV(&out, recs); err != nil {
+			t.Fatalf("accepted records failed to serialize: %v", err)
+		}
+		again, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v\ninput: %q", err, out.String())
+		}
+		if len(recs) != len(again) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+		var out2 bytes.Buffer
+		if err := WriteCSV(&out2, again); err != nil {
+			t.Fatalf("second serialization failed: %v", err)
+		}
+		third, err := ReadCSV(&out2)
+		if err != nil {
+			t.Fatalf("second round trip failed to parse: %v", err)
+		}
+		if !csvRecordsEqual(again, third) {
+			t.Fatalf("round trip has no fixed point:\n%v\nvs\n%v", again, third)
+		}
+	})
+}
+
+// FuzzReadJSONL checks the JSON Lines reader the same way.
+func FuzzReadJSONL(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, fuzzSeedRecords()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("{}\n")
+	f.Add("{\"task_id\": \"a\"}\n\n{\"rep\": 3}\n")
+	f.Add("{\"rep\": \"not a number\"}\n")
+	f.Add("")
+	f.Add("\x00\xff\xfe")
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := ReadJSONL(strings.NewReader(input)) // must not panic
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteJSONL(&out, recs); err != nil {
+			t.Fatalf("accepted records failed to serialize: %v", err)
+		}
+		again, err := ReadJSONL(&out)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v\ninput: %q", err, out.String())
+		}
+		if len(recs) != len(again) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+		if len(recs) > 0 && !reflect.DeepEqual(recs, again) {
+			t.Fatalf("round trip changed records:\n%v\nvs\n%v", recs, again)
+		}
+	})
+}

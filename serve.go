@@ -1,0 +1,32 @@
+package hputune
+
+import (
+	"hputune/internal/htuning"
+	"hputune/internal/server"
+)
+
+// Serving layer (package server): the htuned binary's HTTP JSON API over
+// the batch engine — one shared bounded estimator, admission-gated
+// solves (503 on overload), and the online trace ingest → MLE →
+// linearity re-fit loop. Embed it in another process via NewServer +
+// Server.Handler, or run it standalone with cmd/htuned.
+
+// ServerConfig sizes one serving process: admission bound, engine pool
+// width, and estimator cache capacity. The zero value is usable.
+type ServerConfig = server.Config
+
+// Server is the HTTP serving layer. Safe for concurrent use.
+type Server = server.Server
+
+// CacheStats is a snapshot of an Estimator's memo-cache counters.
+type CacheStats = htuning.CacheStats
+
+// NewServer builds a serving layer over a fresh bounded estimator.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// NewEstimatorCapacity returns an estimator whose memo cache holds at
+// most capacity entries (LRU eviction; evictions recompute, never change
+// results). NewEstimator's default bound is 65536 entries.
+func NewEstimatorCapacity(capacity int) (*Estimator, error) {
+	return htuning.NewEstimatorCapacity(capacity)
+}
