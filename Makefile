@@ -8,7 +8,7 @@ GO ?= go
 # platform variance; raise it as coverage grows, never lower it.
 COVER_MIN ?= 81.0
 
-.PHONY: all build test race bench lint fmt cover cover-check fuzz-smoke
+.PHONY: all build test race bench lint fmt cover cover-check fuzz-smoke linkcheck doccheck docs bench-campaign
 
 all: lint build test
 
@@ -56,3 +56,22 @@ lint:
 
 fmt:
 	gofmt -w .
+
+# linkcheck verifies every relative markdown link in the top-level and
+# docs/ markdown points at an existing file.
+linkcheck:
+	sh scripts/mdlinkcheck.sh README.md ROADMAP.md CHANGES.md PAPER.md docs/*.md
+
+# doccheck guards that every internal/* package has a package comment
+# (pkg.go.dev renders nothing for packages without one).
+doccheck:
+	sh scripts/doccheck.sh
+
+# docs mirrors the CI docs job.
+docs: linkcheck doccheck
+	$(GO) vet ./...
+
+# bench-campaign re-runs the committed BENCH_campaign.json workload;
+# update the JSON from its output when the engine changes materially.
+bench-campaign:
+	$(GO) test -run=NONE -bench 'BenchmarkCampaignFleet$$' -benchtime=10x ./internal/campaign/

@@ -1,0 +1,112 @@
+package hputune
+
+import (
+	"context"
+	"fmt"
+
+	"hputune/internal/campaign"
+	"hputune/internal/htuning"
+	"hputune/internal/workload"
+)
+
+// Closed-loop campaign engine (package campaign): tune → post → observe
+// → re-tune, per job, until budget exhaustion, convergence of the
+// re-fitted price→rate model, or a round deadline. Campaigns run
+// concurrently as fleets (RunCampaignFleet) or under a CampaignManager
+// (the htuned service's /v1/campaigns endpoints drive one); every
+// campaign's per-round allocations are a pure function of its Campaign
+// config, no matter how it is driven.
+type (
+	// Campaign configures one closed loop: workload groups with their
+	// true market classes, the tuner's prior, budgets, convergence
+	// epsilon, drift and the optional custom executor.
+	Campaign = campaign.Config
+	// CampaignGroup is one set of identical tasks in a campaign.
+	CampaignGroup = campaign.Group
+	// CampaignMarketOptions configures the default market executor.
+	CampaignMarketOptions = campaign.MarketOptions
+	// CampaignDrift perturbs the true market between rounds (kinds:
+	// "rate", "shock", "shrink").
+	CampaignDrift = campaign.Drift
+	// CampaignExecutor runs one round's allocation on a backend; the
+	// market simulator is the default, real backends plug in here.
+	CampaignExecutor = campaign.Executor
+	// CampaignObservation is an executed round's traces and makespan.
+	CampaignObservation = campaign.Observation
+	// CampaignStatus is a campaign lifecycle state.
+	CampaignStatus = campaign.Status
+	// CampaignRound is one completed round's snapshot.
+	CampaignRound = campaign.RoundSnapshot
+	// CampaignResult is a campaign's inspectable (live or final) state.
+	CampaignResult = campaign.Result
+	// CampaignManager runs campaigns in the background with bounded
+	// concurrency, inspection snapshots and cancellation.
+	CampaignManager = campaign.Manager
+)
+
+// RunCampaign drives one closed-loop campaign to a terminal status.
+// est may be shared (nil gets a fresh one); sharing never changes
+// results.
+func RunCampaign(ctx context.Context, est *Estimator, cfg Campaign) (CampaignResult, error) {
+	return campaign.Run(ctx, est, cfg)
+}
+
+// RunCampaignFleet drives many campaigns concurrently on a bounded
+// worker pool (workers <= 0 means GOMAXPROCS), sharing one estimator.
+// Results are in campaign order and independent of the pool width.
+func RunCampaignFleet(ctx context.Context, est *Estimator, cfgs []Campaign, workers int) ([]CampaignResult, error) {
+	return campaign.RunFleet(ctx, est, cfgs, workers)
+}
+
+// NewCampaignManager builds a background campaign runner over a shared
+// estimator (nil gets a fresh one); maxActive bounds concurrently
+// running campaigns (<= 0 means 64).
+func NewCampaignManager(est *Estimator, maxActive int) *CampaignManager {
+	return campaign.NewManager(est, maxActive)
+}
+
+// PaperCampaignFleet builds the paper's scenario fleet as campaigns:
+// Fig 2 homogeneous/repetition/heterogeneous, the Fig 5(c) calibrated
+// job, and drifted variants (rate drift, price shock, shrinking worker
+// pool, quadratic model misfit). Deterministic in seed.
+func PaperCampaignFleet(seed uint64) ([]Campaign, error) {
+	return workload.PaperCampaignFleet(seed)
+}
+
+// Solve tunes an instance with the solver the paper prescribes for its
+// shape — EA for one group (Scenario I), RA for equal processing rates
+// (Scenario II), HA otherwise (Scenario III) — and returns the
+// materialized allocation. It is the high-level entry point; use
+// EvenAllocation, SolveRepetition or SolveHeterogeneous directly for
+// solver-specific diagnostics.
+func Solve(est *Estimator, p Problem) (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	if est == nil {
+		est = NewEstimator()
+	}
+	if len(p.Groups) == 1 {
+		return EvenAllocation(p)
+	}
+	heter := false
+	proc := p.Groups[0].Type.ProcRate
+	for _, g := range p.Groups[1:] {
+		if g.Type.ProcRate != proc {
+			heter = true
+			break
+		}
+	}
+	if heter {
+		res, err := htuning.SolveHeterogeneous(est, p)
+		if err != nil {
+			return Allocation{}, fmt.Errorf("hputune: %w", err)
+		}
+		return res.Allocation(p)
+	}
+	res, err := htuning.SolveRepetition(est, p)
+	if err != nil {
+		return Allocation{}, fmt.Errorf("hputune: %w", err)
+	}
+	return res.Allocation(p)
+}

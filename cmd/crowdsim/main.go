@@ -7,6 +7,23 @@
 //	crowdsim [-tasks 50] [-reps 3] [-price 2] [-k 1] [-b 1] [-proc 2]
 //	         [-mode independent|workers] [-arrival 10] [-seed 1] [-trace]
 //	         [-abandon 0.2 -abandonrate 4] [-out trace.csv|trace.jsonl]
+//	         [-replicate 100 [-workers 8]]
+//
+// A plain run drives one event-ordered simulation from -seed and prints
+// its trace-level summary. With -replicate N the batch is instead
+// simulated N independent times on the deterministic replication engine
+// — round i's RNG stream derives only from (seed, i), so the printed
+// makespan statistics are identical for any -workers value — matching
+// how the rest of the repository estimates latencies (htune -simulate
+// and the /v1/simulate endpoint run the same trial-sharded simulator
+// with 32 fixed shards).
+//
+// Seed compatibility: sharded/replicated estimates at seed s do not
+// reproduce a single-stream run at seed s — each shard draws from a
+// stream derived from the seed, not from the seed itself. Estimates are
+// reproducible run-to-run and across worker counts, but comparable only
+// within the same mode (one -trace run vs. a -replicate batch at the
+// same seed legitimately differ).
 package main
 
 import (
@@ -36,6 +53,8 @@ func main() {
 	abandon := flag.Float64("abandon", 0, "probability an accepting worker returns the repetition unfinished")
 	abandonRate := flag.Float64("abandonrate", 4, "rate of the give-up time when -abandon > 0")
 	out := flag.String("out", "", "write the trace to this file (.csv or .jsonl)")
+	replicate := flag.Int("replicate", 0, "simulate the batch this many independent times on the deterministic replication engine (0 = one traced run)")
+	workers := flag.Int("workers", 0, "worker pool for -replicate (0 = GOMAXPROCS; never changes the estimates)")
 	flag.Parse()
 
 	cfg := hputune.MarketConfig{Seed: *seed}
@@ -57,6 +76,38 @@ func main() {
 		Accept:   hputune.Linear{K: *k, B: *b},
 		ProcRate: *proc,
 		Accuracy: *accuracy,
+	}
+	if *replicate > 0 {
+		if *trace || *out != "" {
+			log.Fatal("-trace and -out describe one event-ordered run; drop them with -replicate (replications are summarized, not traced)")
+		}
+		specs := make([]hputune.TaskSpec, *tasks)
+		for i := range specs {
+			prices := make([]int, *reps)
+			for r := range prices {
+				prices[r] = *price
+			}
+			specs[i] = hputune.TaskSpec{ID: fmt.Sprintf("task-%03d", i), Class: class, RepPrices: prices}
+		}
+		spans, err := hputune.ReplicatedMakespans(cfg, specs, *replicate, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean, min, max := 0.0, spans[0], spans[0]
+		for _, s := range spans {
+			mean += s
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		mean /= float64(len(spans))
+		fmt.Printf("replications: %d (deterministic in -seed for any -workers)\n", *replicate)
+		fmt.Printf("makespan: mean %.4f, min %.4f, max %.4f\n", mean, min, max)
+		fmt.Println("note: replicated estimates do not reproduce a single -trace run at the same seed (round seeds are derived, not reused)")
+		return
 	}
 	sim, err := hputune.NewMarket(cfg)
 	if err != nil {

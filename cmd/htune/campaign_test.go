@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"hputune/internal/campaign"
+	"hputune/internal/server"
+)
+
+func TestCampaignModeRunsFleet(t *testing.T) {
+	code, out, errb := runCLI(t, "-campaign", "-spec", td("campaigns.json"), "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{
+		"fleet: 2 campaigns, 2 workers",
+		"[0] repe: converged after",
+		"[1] repe-drift: budget-exhausted after",
+		"round 0: ra prices",
+		"fit k=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCampaignModeDeterministic(t *testing.T) {
+	_, out1, _ := runCLI(t, "-campaign", "-spec", td("campaigns.json"), "-workers", "1")
+	_, out2, _ := runCLI(t, "-campaign", "-spec", td("campaigns.json"), "-workers", "4")
+	// Everything below the header (which prints the worker count) must
+	// be byte-identical: campaigns are pure functions of their specs.
+	_, body1, _ := strings.Cut(out1, "\n")
+	_, body2, _ := strings.Cut(out2, "\n")
+	if body1 != body2 {
+		t.Errorf("same campaign spec, different results across worker counts:\n%s\nvs\n%s", body1, body2)
+	}
+}
+
+func TestCampaignRejectedShapes(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{"compare with campaign", []string{"-campaign", "-spec", td("campaigns.json"), "-compare"}, 1, "not supported with -campaign"},
+		{"saturation with campaign", []string{"-campaign", "-spec", td("campaigns.json"), "-saturation", "5"}, 1, "not supported with -campaign"},
+		{"seed with campaign", []string{"-campaign", "-spec", td("campaigns.json"), "-seed", "42"}, 1, "-seed not supported with -campaign"},
+		{"simulate with campaign", []string{"-campaign", "-spec", td("campaigns.json"), "-simulate", "100"}, 1, "-simulate not supported with -campaign"},
+		{"solve spec in campaign mode", []string{"-campaign", "-spec", td("single.json")}, 1, "drop -campaign"},
+		{"campaign spec in solve mode", []string{"-spec", td("campaigns.json")}, 1, "run htune -campaign"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errb := runCLI(t, tc.args...)
+			if code != tc.wantCode {
+				t.Errorf("exit %d, want %d (stderr %q)", code, tc.wantCode, errb)
+			}
+			if !strings.Contains(errb, tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, errb)
+			}
+		})
+	}
+}
+
+// priceLines extracts the per-round price vectors, in print order.
+var priceLine = regexp.MustCompile(`prices (\[[0-9 ]+\])`)
+
+// TestCampaignCLIServerParity pins the acceptance contract of the
+// closed-loop engine: the paper scenario fleet (>= 8 campaigns, >= 2
+// drifted) produces identical per-round allocations through
+// `htune -campaign` and through POST /v1/campaigns on the service, for
+// the same spec and seed.
+func TestCampaignCLIServerParity(t *testing.T) {
+	raw, err := os.ReadFile(td("fleet.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Service side: start the fleet, poll every campaign to terminal.
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("start: status %d", resp.StatusCode)
+	}
+	var started struct {
+		IDs []string `json:"ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&started); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(started.IDs) < 8 {
+		t.Fatalf("fleet started %d campaigns, want >= 8", len(started.IDs))
+	}
+	var serverPrices []string
+	drifted := 0
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range started.IDs {
+		var res campaign.Result
+		for {
+			resp, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = json.NewDecoder(resp.Body).Decode(&res)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status.Terminal() {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("campaign %s stuck in %s", id, res.Status)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if res.Status == campaign.StatusFailed {
+			t.Fatalf("campaign %s failed: %s", res.Name, res.Reason)
+		}
+		if strings.Contains(res.Name, "drift") || strings.Contains(res.Name, "shock") || strings.Contains(res.Name, "shrink") {
+			drifted++
+		}
+		for _, r := range res.Rounds {
+			serverPrices = append(serverPrices, fmt.Sprint(r.Prices))
+		}
+	}
+	if drifted < 2 {
+		t.Fatalf("fleet ran %d drifted campaigns, want >= 2", drifted)
+	}
+
+	// CLI side: same spec file, then compare every round's allocation in
+	// order.
+	code, out, errb := runCLI(t, "-campaign", "-spec", td("fleet.json"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	var cliPrices []string
+	for _, m := range priceLine.FindAllStringSubmatch(out, -1) {
+		cliPrices = append(cliPrices, m[1])
+	}
+	if len(cliPrices) == 0 || len(cliPrices) != len(serverPrices) {
+		t.Fatalf("CLI printed %d rounds, service ran %d", len(cliPrices), len(serverPrices))
+	}
+	for i := range cliPrices {
+		if cliPrices[i] != serverPrices[i] {
+			t.Fatalf("round %d allocations diverge: CLI %s, service %s", i, cliPrices[i], serverPrices[i])
+		}
+	}
+}

@@ -7,10 +7,21 @@
 //	htune -spec problem.json -compare [-simulate 2000]
 //	htune -spec problem.json -saturation 50
 //	htune -spec batch.json [-workers 8] [-simulate 2000]
+//	htune -campaign -spec campaigns.json [-workers 8]
 //
 // The spec format (single instance or top-level "problems" batch) is
 // documented in internal/spec; model kinds: "linear" (k, b),
 // "quadratic", "log", "table" (points: {"price": rate, ...}).
+//
+// -campaign runs closed-loop campaigns instead of one-shot solves: the
+// spec's top level is "campaign" (one), "campaigns" (a fleet) or
+// "fleet" (a named preset, e.g. {"fleet": {"preset": "paper"}}). Each
+// campaign repeatedly tunes under its current belief, executes the
+// round on the simulated market, re-fits the price→rate model from the
+// observed traces and re-tunes, until its budget runs out, the fit
+// converges, or the round deadline passes. Campaigns are tuned
+// concurrently on the -workers pool; results are deterministic in the
+// spec alone (identical to POST /v1/campaigns on htuned).
 //
 // A spec with a top-level "problems" array instead of "budget"/"groups"
 // is a batch: every instance is tuned concurrently on a -workers pool
@@ -26,14 +37,17 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"hputune"
+	"hputune/internal/campaign"
 	"hputune/internal/spec"
 )
 
@@ -53,7 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	compare := fs.Bool("compare", false, "score every applicable solver, the paper's baselines and the [29] comparator")
 	saturation := fs.Int("saturation", 0, "scan per-group price saturation up to this price (0 = skip)")
-	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for batch specs and simulation")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for batch specs, campaign fleets and simulation")
+	campaignMode := fs.Bool("campaign", false, "run closed-loop campaigns (tune → post → observe → re-tune) from a campaign spec")
 	serve := fs.Bool("serve", false, "print how to run the HTTP service (htune itself is one-shot)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -69,6 +84,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *specPath == "" {
 		fs.Usage()
 		return 2
+	}
+	if *campaignMode {
+		// Campaign seeds, trial counts and solver choices come from the
+		// spec; an explicitly set flag that cannot take effect must fail
+		// loudly, not be silently dropped.
+		var inapplicable []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "compare", "saturation", "simulate", "seed", "algorithm":
+				inapplicable = append(inapplicable, "-"+f.Name)
+			}
+		})
+		if len(inapplicable) > 0 {
+			return fail(stderr, "%s not supported with -campaign (campaign seeds, trials and solvers come from the spec)",
+				strings.Join(inapplicable, ", "))
+		}
+		return runCampaigns(stdout, stderr, *specPath, *workers)
 	}
 	problems, batch, err := spec.Load(*specPath, spec.BuildOpts{})
 	if err != nil {
@@ -132,6 +164,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, "%v", err)
 		}
 		fmt.Fprintf(stdout, "expected job latency (both phases, %d trials): %.4f\n", *simulate, lat)
+	}
+	return 0
+}
+
+// runCampaigns drives a campaign spec's closed loops to their terminal
+// statuses on the worker pool and prints each campaign's rounds. The
+// printed per-round prices are identical to what POST /v1/campaigns
+// reports for the same spec: both paths run campaign.Run on the same
+// configs, and a campaign is a pure function of its config.
+func runCampaigns(stdout, stderr io.Writer, specPath string, workers int) int {
+	cfgs, err := spec.LoadCampaigns(specPath, spec.BuildOpts{})
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	results, err := campaign.RunFleet(context.Background(), nil, cfgs, workers)
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	fmt.Fprintf(stdout, "fleet: %d campaigns, %d workers\n", len(cfgs), workers)
+	for i, res := range results {
+		fmt.Fprintf(stdout, "[%d] %s: %s after %d rounds, spent %d (%d left), %s\n",
+			i, res.Name, res.Status, res.RoundsRun, res.Spent, res.Remaining, res.Reason)
+		if res.DroppedRounds > 0 {
+			fmt.Fprintf(stdout, "    (%d earlier rounds dropped from history)\n", res.DroppedRounds)
+		}
+		for _, r := range res.Rounds {
+			fmt.Fprintf(stdout, "    round %d: %s prices %v spent %d makespan %.4f",
+				r.Round, r.Algorithm, r.Prices, r.Spent, r.Makespan)
+			switch {
+			case r.Fit != nil:
+				fmt.Fprintf(stdout, " fit k=%.4f b=%.4f (Δ %.4f)", r.Fit.Slope, r.Fit.Intercept, r.FitDelta)
+			case r.FitPending != "":
+				fmt.Fprintf(stdout, " fit pending")
+			}
+			fmt.Fprintln(stdout)
+		}
 	}
 	return 0
 }

@@ -7,10 +7,14 @@
 // Usage:
 //
 //	htuned [-addr :8080] [-max-inflight N] [-workers N] [-cache-entries N]
+//	       [-max-campaigns N]
 //
 // Endpoints: POST /v1/solve, /v1/solve-heterogeneous, /v1/simulate,
-// /v1/ingest; GET /v1/stats, /v1/healthz. See the repository README for
-// request and response shapes. SIGINT/SIGTERM trigger a graceful drain.
+// /v1/ingest, /v1/campaigns; GET /v1/campaigns[/{id}], /v1/stats,
+// /v1/healthz; DELETE /v1/campaigns/{id}. See the repository README for
+// request and response shapes. SIGINT/SIGTERM trigger a graceful drain;
+// running campaigns are canceled first (a campaign canceled mid-round
+// keeps the belief its completed rounds published).
 package main
 
 import (
@@ -31,12 +35,14 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", runtime.GOMAXPROCS(0), "concurrent solve/simulate requests admitted before 503")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker-pool size per admitted batch")
 	cacheEntries := flag.Int("cache-entries", 0, "estimator cache bound in entries (0 = default 65536)")
+	maxCampaigns := flag.Int("max-campaigns", 0, "concurrently running closed-loop campaigns admitted before 503 (0 = default 64)")
 	flag.Parse()
 
 	srv, err := hputune.NewServer(hputune.ServerConfig{
 		MaxInFlight:  *maxInFlight,
 		Workers:      *workers,
 		CacheEntries: *cacheEntries,
+		MaxCampaigns: *maxCampaigns,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -32,7 +32,11 @@
 //		Groups: []hputune.Group{{Type: typ, Tasks: 100, Reps: 5}},
 //		Budget: 2000,
 //	}
-//	alloc, err := hputune.EvenAllocation(p)
+//	alloc, err := hputune.Solve(hputune.NewEstimator(), p)
+//
+// Solve picks the scenario solver for the instance's shape; runnable
+// entry points live in the package examples (ExampleSolve,
+// ExampleNewServer, ExampleCampaign).
 //
 // # Concurrency
 //
@@ -75,6 +79,23 @@
 // gated (overload returns 503 immediately), /v1/stats exposes the cache
 // and gate counters, and shutdown drains gracefully. See the README for
 // the wire shapes.
+//
+// # Closed-loop campaigns
+//
+// RunCampaign and RunCampaignFleet drive the paper's loop end to end:
+// each round tunes the workload under the current belief about λo(c),
+// executes the allocation on the marketplace (a CampaignExecutor — the
+// simulator by default, real backends plug in), folds the observed
+// acceptance timings through the per-price MLE and linearity fit, and
+// atomically publishes the re-fitted belief for the next round — until
+// budget exhaustion, convergence (fit delta ≤ ε with a repeated
+// allocation), a round deadline, or cancellation (a mid-round cancel
+// never publishes the interrupted round). The htuned service runs
+// campaigns in the background under POST /v1/campaigns; the htune CLI
+// runs them one-shot with -campaign; PaperCampaignFleet builds the
+// paper's scenario fleet with drifted variants. Campaign results are
+// pure functions of their configs — identical through every entry
+// point, for any worker count. docs/ARCHITECTURE.md traces the loop.
 //
 // Beyond the tuning algorithms the module ships every substrate the paper
 // depends on: a discrete-event marketplace simulator standing in for

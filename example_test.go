@@ -1,0 +1,114 @@
+package hputune_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"hputune"
+)
+
+// ExampleSolve tunes a two-group Scenario II instance: 50 tasks needing
+// 3 answer repetitions and 50 needing 5, under the paper's linear
+// price→rate model and a budget of 1000 payment units.
+func ExampleSolve() {
+	typ := &hputune.TaskType{
+		Name:     "pairwise-vote",
+		Accept:   hputune.Linear{K: 1, B: 1}, // λo(c) = c + 1
+		ProcRate: 2.0,                        // λp
+	}
+	p := hputune.Problem{
+		Groups: []hputune.Group{
+			{Type: typ, Tasks: 50, Reps: 3},
+			{Type: typ, Tasks: 50, Reps: 5},
+		},
+		Budget: 1000,
+	}
+	alloc, err := hputune.Solve(hputune.NewEstimator(), p)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(alloc)
+	fmt.Printf("spend: %d of %d units\n", alloc.Cost(), p.Budget)
+	// Output:
+	// g0[50 tasks, 150 reps]: all @3; g1[50 tasks, 250 reps]: all @2
+	// spend: 950 of 1000 units
+}
+
+// ExampleNewServer embeds the htuned serving layer in-process and
+// solves a JSON spec over HTTP — the same bytes `htune -spec` accepts.
+func ExampleNewServer() {
+	srv, err := hputune.NewServer(hputune.ServerConfig{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := `{
+	  "budget": 1000,
+	  "groups": [
+	    {"name": "g3", "tasks": 50, "reps": 3, "procRate": 2.0,
+	     "model": {"kind": "linear", "k": 1, "b": 1}},
+	    {"name": "g5", "tasks": 50, "reps": 5, "procRate": 2.0,
+	     "model": {"kind": "linear", "k": 1, "b": 1}}
+	  ]
+	}`
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(spec))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(strings.TrimSpace(string(body)))
+	// Output:
+	// {"batch":false,"results":[{"prices":[3,2],"objective":5.857431838421854,"spent":950}]}
+}
+
+// ExampleCampaign runs one closed-loop campaign: each round is tuned
+// under the current belief about the market (starting from a mistuned
+// prior), executed on the simulated marketplace, and the observed
+// acceptance timings re-fit the belief before the next round — until
+// the fit stops moving.
+func ExampleCampaign() {
+	truth := hputune.Linear{K: 2, B: 0.5} // the market's real curve
+	cfg := hputune.Campaign{
+		Name: "demo",
+		Groups: []hputune.CampaignGroup{
+			{Name: "g3", Tasks: 50, Reps: 3, Class: &hputune.TaskClass{
+				Name: "g3", Accept: truth, ProcRate: 2.0, Accuracy: 1}},
+			{Name: "g5", Tasks: 50, Reps: 5, Class: &hputune.TaskClass{
+				Name: "g5", Accept: truth, ProcRate: 2.0, Accuracy: 1}},
+		},
+		Prior:       hputune.Linear{K: 1, B: 1}, // what the tuner believes
+		RoundBudget: 1000,
+		Budget:      12000,
+		MaxRounds:   12,
+		Epsilon:     0.05,
+		Seed:        7,
+	}
+	res, err := hputune.RunCampaign(context.Background(), nil, cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s after %d rounds, spent %d\n", res.Status, res.RoundsRun, res.Spent)
+	for _, r := range res.Rounds[:2] {
+		fmt.Printf("round %d: prices %v\n", r.Round, r.Prices)
+	}
+	// Output:
+	// converged after 8 rounds, spent 7600
+	// round 0: prices [3 2]
+	// round 1: prices [3 2]
+}

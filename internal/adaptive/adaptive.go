@@ -161,24 +161,8 @@ func (b *belief) model() (pricing.RateModel, numeric.LinearFit) {
 	// A negative intercept (common when the fit extrapolates below the
 	// observed price range) would give non-positive rates at low prices;
 	// floor the model there.
-	return flooredModel{base: pricing.Linear{K: fit.Slope, B: fit.Intercept}}, fit
+	return pricing.Floored{Base: pricing.Linear{K: fit.Slope, B: fit.Intercept}}, fit
 }
-
-// flooredModel clamps a rate model to a small positive floor so tuners
-// can evaluate any price >= 1 on it.
-type flooredModel struct {
-	base pricing.RateModel
-}
-
-func (f flooredModel) Rate(price float64) float64 {
-	const floor = 1e-6
-	if r := f.base.Rate(price); r > floor {
-		return r
-	}
-	return floor
-}
-
-func (f flooredModel) Name() string { return "floor(" + f.base.Name() + ")" }
 
 // Run executes the job wave by wave and returns the report.
 func (c *Controller) Run() (Report, error) {

@@ -1,0 +1,71 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"hputune/internal/htuning"
+	"hputune/internal/pricing"
+)
+
+// benchFleet builds the BENCH_campaign.json workload: 16 campaigns that
+// each run exactly 8 full closed-loop rounds (epsilon 0 on a stationary
+// two-price market never converges, the budget outlasts the deadline),
+// so one iteration is 128 solve→simulate→re-fit rounds.
+func benchFleet() []Config {
+	cfgs := make([]Config, 16)
+	for i := range cfgs {
+		cfgs[i] = Config{
+			Name: fmt.Sprintf("bench-%02d", i),
+			Groups: []Group{
+				{Name: "g3", Tasks: 50, Reps: 3, Class: linClass("t", 2, 0.5, 2)},
+				{Name: "g5", Tasks: 50, Reps: 5, Class: linClass("t", 2, 0.5, 2)},
+			},
+			Prior:       pricing.Linear{K: 1, B: 1},
+			RoundBudget: 1000,
+			Budget:      16000,
+			MaxRounds:   8,
+			Epsilon:     0,
+			Seed:        uint64(i + 1),
+		}
+	}
+	return cfgs
+}
+
+// BenchmarkCampaignFleet is the repository's campaign-engine baseline
+// (recorded in BENCH_campaign.json): 16 concurrent campaigns × 8 rounds
+// per iteration on a GOMAXPROCS pool with a shared estimator.
+func BenchmarkCampaignFleet(b *testing.B) {
+	cfgs := benchFleet()
+	est := htuning.NewEstimator()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := RunFleet(ctx, est, cfgs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.RoundsRun != 8 {
+				b.Fatalf("campaign %s ran %d rounds, want 8 (%s: %s)", r.Name, r.RoundsRun, r.Status, r.Reason)
+			}
+		}
+	}
+}
+
+// BenchmarkCampaignFleetSerial is the same fleet on one worker — the
+// parallel speedup denominator.
+func BenchmarkCampaignFleetSerial(b *testing.B) {
+	cfgs := benchFleet()
+	est := htuning.NewEstimator()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFleet(ctx, est, cfgs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

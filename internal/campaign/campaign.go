@@ -1,0 +1,635 @@
+// Package campaign closes the paper's loop at system scale: tune → post →
+// observe → re-tune, per job, until the job's budget runs out, the fitted
+// model stops moving, or a round deadline passes. It is the orchestrator
+// the rest of the repository plugs into — the solvers of package htuning
+// pick each round's prices, an Executor (the market simulator by default,
+// any real backend behind the same interface) runs the round, and the
+// observed completion traces are folded through inference.FitAggregates
+// into a re-fitted price→rate model that the next round solves against.
+//
+// One Campaign is one closed loop. Fleets of campaigns run concurrently
+// over the engine worker pool (RunFleet) or under a Manager (the htuned
+// service's /v1/campaigns endpoints). Every campaign is deterministic:
+// its per-round allocations are a pure function of (Config, Seed) —
+// independent of fleet concurrency, of the shared estimator's cache
+// state, and of whether the CLI or the HTTP service drives it — because
+// round seeds derive only from the campaign seed and the solvers and
+// simulator are themselves deterministic.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"hputune/internal/htuning"
+	"hputune/internal/inference"
+	"hputune/internal/market"
+	"hputune/internal/pricing"
+	"hputune/internal/randx"
+)
+
+// Group is one set of identical tasks in a campaign: the workload shape
+// the tuner sees, plus the marketplace's actual behaviour (unknown to
+// the tuner, which only ever reads completed-trace timings).
+type Group struct {
+	// Name labels the group in task IDs and output.
+	Name string
+	// Tasks and Reps define the group's workload per round.
+	Tasks int
+	Reps  int
+	// Class is the true marketplace behaviour of the group's tasks. The
+	// tuner never reads Class.Accept — it prices rounds with the prior
+	// until observed traces produce a fit. Class.ProcRate is visible to
+	// the tuner (processing rates are measured offline in the paper).
+	Class *market.TaskClass
+}
+
+// Config describes one campaign. RoundBudget, Groups and Prior are
+// required; zero values elsewhere take the documented defaults.
+type Config struct {
+	// Name labels the campaign in results and listings.
+	Name string
+	// Groups is the per-round workload.
+	Groups []Group
+	// Prior is the initial belief about the price→rate curve, shared by
+	// all groups until ingested traces replace it with a fit.
+	Prior pricing.RateModel
+	// RoundBudget is the payment budget each round may spend. It must
+	// afford at least one unit per repetition of the round's workload.
+	RoundBudget int
+	// Budget bounds the whole campaign's spend; <= 0 means
+	// MaxRounds × RoundBudget. The campaign stops with
+	// StatusBudgetExhausted once the remainder cannot fund a round.
+	Budget int
+	// MaxRounds is the round deadline; <= 0 means 16.
+	MaxRounds int
+	// Epsilon is the convergence threshold on the relative change of the
+	// published fit between consecutive rounds (see Converged in Result).
+	// 0 demands an exactly unchanged belief.
+	Epsilon float64
+	// Seed drives every round's market randomness. Campaign results are
+	// a pure function of (Config, Seed).
+	Seed uint64
+	// Market configures the executor's marketplace (mode, arrival rate,
+	// abandonment). The zero value is the paper's independent-acceptance
+	// model.
+	Market MarketOptions
+	// Drift perturbs the true market round over round — the zero value
+	// is a stationary market.
+	Drift Drift
+	// HistoryCap bounds retained per-round snapshots (oldest dropped
+	// first, drops counted); <= 0 means 64.
+	HistoryCap int
+	// Executor overrides the backend the allocations are executed
+	// against; nil uses the market simulator over Groups, Market and
+	// Drift. Real (non-simulated) backends implement this interface.
+	Executor Executor
+}
+
+// Defaults for Config zero values.
+const (
+	// DefaultMaxRounds is the round deadline when Config.MaxRounds <= 0.
+	DefaultMaxRounds = 16
+	// DefaultHistoryCap is the snapshot bound when Config.HistoryCap <= 0.
+	DefaultHistoryCap = 64
+)
+
+// MarketOptions configures the default market executor.
+type MarketOptions struct {
+	// WorkerChoice switches the simulator to Poisson worker arrivals
+	// choosing among open repetitions (competition between tasks).
+	WorkerChoice bool
+	// ArrivalRate is the worker arrival rate (required > 0 when
+	// WorkerChoice is set).
+	ArrivalRate float64
+	// AbandonProb and AbandonRate inject workers who return accepted
+	// repetitions unfinished (see market.Config).
+	AbandonProb float64
+	AbandonRate float64
+	// MaxTime aborts a round whose simulated clock exceeds this horizon;
+	// 0 means none.
+	MaxTime float64
+}
+
+// config builds the market.Config of one round (before drift).
+func (o MarketOptions) config() market.Config {
+	cfg := market.Config{
+		AbandonProb: o.AbandonProb,
+		AbandonRate: o.AbandonRate,
+		MaxTime:     o.MaxTime,
+	}
+	if o.WorkerChoice {
+		cfg.Mode = market.ModeWorkerChoice
+		cfg.ArrivalRate = o.ArrivalRate
+	}
+	return cfg
+}
+
+// withDefaults returns cfg with documented defaults applied.
+func (cfg Config) withDefaults() Config {
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	if cfg.HistoryCap <= 0 {
+		cfg.HistoryCap = DefaultHistoryCap
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = cfg.MaxRounds * cfg.RoundBudget
+	}
+	return cfg
+}
+
+// minRoundCost is one unit per repetition of the round workload.
+func (cfg Config) minRoundCost() int {
+	total := 0
+	for _, g := range cfg.Groups {
+		total += g.Tasks * g.Reps
+	}
+	return total
+}
+
+// Validate reports whether the campaign (after defaults) is runnable.
+func (cfg Config) Validate() error {
+	if len(cfg.Groups) == 0 {
+		return fmt.Errorf("campaign: no groups")
+	}
+	for i, g := range cfg.Groups {
+		if g.Tasks < 1 || g.Reps < 1 {
+			return fmt.Errorf("campaign: group %d (%s) has %d tasks × %d reps, need >= 1 each", i, g.Name, g.Tasks, g.Reps)
+		}
+		if err := g.Class.Validate(); err != nil {
+			return fmt.Errorf("campaign: group %d (%s): %w", i, g.Name, err)
+		}
+	}
+	if cfg.Prior == nil {
+		return fmt.Errorf("campaign: nil prior rate model")
+	}
+	if min := cfg.minRoundCost(); cfg.RoundBudget < min {
+		return fmt.Errorf("%w: round budget %d below the %d repetitions of one round", htuning.ErrBudgetTooSmall, cfg.RoundBudget, min)
+	}
+	if cfg.Budget < cfg.RoundBudget {
+		return fmt.Errorf("campaign: total budget %d below the %d-unit round budget", cfg.Budget, cfg.RoundBudget)
+	}
+	if cfg.Epsilon < 0 || math.IsNaN(cfg.Epsilon) {
+		return fmt.Errorf("campaign: epsilon %v must be >= 0", cfg.Epsilon)
+	}
+	if cfg.Market.WorkerChoice && !(cfg.Market.ArrivalRate > 0) {
+		return fmt.Errorf("campaign: worker-choice market needs a positive arrival rate, got %v", cfg.Market.ArrivalRate)
+	}
+	if err := cfg.Drift.validate(cfg.Market); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Status is a campaign's lifecycle state. Terminal statuses explain why
+// the loop stopped.
+type Status string
+
+// Campaign statuses.
+const (
+	// StatusPending is registered but not yet running a round.
+	StatusPending Status = "pending"
+	// StatusRunning is mid-loop.
+	StatusRunning Status = "running"
+	// StatusConverged stopped because the loop reached a fixed point:
+	// the round's allocation matched the previous round's and the
+	// published belief moved by at most Epsilon.
+	StatusConverged Status = "converged"
+	// StatusBudgetExhausted stopped because the remaining budget cannot
+	// fund another round.
+	StatusBudgetExhausted Status = "budget-exhausted"
+	// StatusMaxRounds stopped at the round deadline.
+	StatusMaxRounds Status = "max-rounds"
+	// StatusCanceled was canceled; the round in flight at cancel time
+	// published nothing.
+	StatusCanceled Status = "canceled"
+	// StatusFailed hit a solver or executor error (see Result.Reason).
+	StatusFailed Status = "failed"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	switch s {
+	case StatusPending, StatusRunning:
+		return false
+	}
+	return true
+}
+
+// FitInfo describes one published price→rate fit.
+type FitInfo struct {
+	Slope     float64 `json:"slope"`
+	Intercept float64 `json:"intercept"`
+	R2        float64 `json:"r2"`
+	// Prices is how many distinct price levels back the fit.
+	Prices int `json:"prices"`
+}
+
+// RoundSnapshot records one completed round of the loop.
+type RoundSnapshot struct {
+	Round int `json:"round"`
+	// Algorithm is the solver that priced the round ("ra" or "ha").
+	Algorithm string `json:"algorithm"`
+	// Model names the believed rate model the round was priced with.
+	Model string `json:"model"`
+	// Budget is the round's allotted budget; Spent what the allocation
+	// actually cost.
+	Budget int `json:"budget"`
+	Spent  int `json:"spent"`
+	// Prices are the tuned per-group repetition prices.
+	Prices []int `json:"prices"`
+	// Records is how many completed repetitions the round observed;
+	// Makespan the round's realized completion time.
+	Records  int     `json:"records"`
+	Makespan float64 `json:"makespan"`
+	// Fit is the model published after folding the round's observations,
+	// if one was; FitPending explains why none was (the previous belief
+	// stays live). FitDelta is the relative parameter change against the
+	// previously published fit (0 for the first fit).
+	Fit        *FitInfo `json:"fit,omitempty"`
+	FitPending string   `json:"fitPending,omitempty"`
+	FitDelta   float64  `json:"fitDelta"`
+}
+
+// Result is a campaign's inspectable state: live while running, final
+// once Status is terminal.
+type Result struct {
+	Name   string `json:"name"`
+	Status Status `json:"status"`
+	// Reason explains a terminal status in one line.
+	Reason string `json:"reason,omitempty"`
+	// RoundsRun counts completed rounds; Rounds holds the retained
+	// snapshots (the most recent HistoryCap; DroppedRounds were evicted).
+	RoundsRun     int             `json:"roundsRun"`
+	DroppedRounds int             `json:"droppedRounds"`
+	Rounds        []RoundSnapshot `json:"rounds"`
+	// Spent and Remaining account the campaign budget.
+	Spent     int `json:"spent"`
+	Remaining int `json:"remaining"`
+	// Converged reports whether the loop reached its fixed point.
+	Converged bool `json:"converged"`
+	// Fit is the currently published belief, if any.
+	Fit *FitInfo `json:"fit,omitempty"`
+	// TotalMakespan sums the realized round makespans.
+	TotalMakespan float64 `json:"totalMakespan"`
+}
+
+// fitRecord is one published fit with the model solvers price against.
+type fitRecord struct {
+	info  FitInfo
+	model pricing.RateModel
+}
+
+// Campaign is one closed loop in flight. Create with New, drive with
+// Run; Snapshot is safe to call concurrently with Run (the Manager's
+// inspection path).
+type Campaign struct {
+	cfg  Config
+	est  *htuning.Estimator
+	exec Executor
+
+	mu            sync.Mutex
+	status        Status
+	reason        string
+	rounds        []RoundSnapshot // ring of the last HistoryCap rounds
+	dropped       int
+	roundsRun     int
+	spent         int
+	remaining     int
+	converged     bool
+	fit           *fitRecord
+	totalMakespan float64
+
+	// aggs is the O(#price levels) sufficient statistic of every
+	// observation ever folded — the campaign's cumulative belief state.
+	aggs map[int]inference.PriceAggregate
+}
+
+// New validates cfg (after applying defaults) and prepares a campaign.
+// est may be shared with other campaigns and solves; nil gets a fresh
+// one. Sharing never changes results — the estimator memoizes pure
+// integrals — it only saves recomputation.
+func New(est *htuning.Estimator, cfg Config) (*Campaign, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if est == nil {
+		est = htuning.NewEstimator()
+	}
+	exec := cfg.Executor
+	if exec == nil {
+		exec = newMarketExecutor(cfg)
+	}
+	return &Campaign{
+		cfg:       cfg,
+		est:       est,
+		exec:      exec,
+		status:    StatusPending,
+		remaining: cfg.Budget,
+		aggs:      make(map[int]inference.PriceAggregate),
+	}, nil
+}
+
+// Snapshot returns a consistent copy of the campaign's current state.
+func (c *Campaign) Snapshot() Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res := Result{
+		Name:          c.cfg.Name,
+		Status:        c.status,
+		Reason:        c.reason,
+		RoundsRun:     c.roundsRun,
+		DroppedRounds: c.dropped,
+		Rounds:        append([]RoundSnapshot(nil), c.rounds...),
+		Spent:         c.spent,
+		Remaining:     c.remaining,
+		Converged:     c.converged,
+		TotalMakespan: c.totalMakespan,
+	}
+	if c.fit != nil {
+		info := c.fit.info
+		res.Fit = &info
+	}
+	return res
+}
+
+// RoundsRun returns the completed-round count (for fleet statistics).
+func (c *Campaign) RoundsRun() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roundsRun
+}
+
+// Brief returns the campaign's scalar state without copying the round
+// history — the cheap path for listings and counters.
+func (c *Campaign) Brief() (name string, status Status, roundsRun, spent int, converged bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.Name, c.status, c.roundsRun, c.spent, c.converged
+}
+
+// belief returns the model the next round prices with: the published
+// fit when one exists, the prior otherwise.
+func (c *Campaign) belief() pricing.RateModel {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fit != nil {
+		return c.fit.model
+	}
+	return c.cfg.Prior
+}
+
+// finish records a terminal status and returns the final result.
+func (c *Campaign) finish(status Status, reason string) Result {
+	c.mu.Lock()
+	c.status = status
+	c.reason = reason
+	c.converged = status == StatusConverged
+	c.mu.Unlock()
+	return c.Snapshot()
+}
+
+// solverFor picks the paper's solver for the round shape: HA when
+// processing rates differ across groups (Scenario III), RA otherwise
+// (Scenario I collapses to RA's greedy on a single group).
+func solverFor(groups []Group) string {
+	proc := groups[0].Class.ProcRate
+	for _, g := range groups[1:] {
+		if g.Class.ProcRate != proc {
+			return "ha"
+		}
+	}
+	return "ra"
+}
+
+// roundProblem builds the H-Tuning instance the round solves: the
+// campaign workload priced under the current belief. Only ProcRate is
+// taken from the true classes — acceptance behaviour enters solely
+// through belief.
+func (c *Campaign) roundProblem(belief pricing.RateModel, budget int) htuning.Problem {
+	p := htuning.Problem{Budget: budget}
+	for _, g := range c.cfg.Groups {
+		p.Groups = append(p.Groups, htuning.Group{
+			Type: &htuning.TaskType{
+				Name:     g.Name,
+				Accept:   belief,
+				ProcRate: g.Class.ProcRate,
+			},
+			Tasks: g.Tasks,
+			Reps:  g.Reps,
+		})
+	}
+	return p
+}
+
+// fitDelta returns the relative parameter change between fits:
+// (|Δslope| + |Δintercept|) scaled by the old parameter magnitude.
+func fitDelta(old, new FitInfo) float64 {
+	num := math.Abs(new.Slope-old.Slope) + math.Abs(new.Intercept-old.Intercept)
+	den := math.Abs(old.Slope) + math.Abs(old.Intercept)
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// fold merges the round's observed on-hold durations into the cumulative
+// aggregates and attempts to publish a re-fitted model. It returns the
+// publish outcome for the round snapshot; first reports that the publish
+// had no predecessor (its delta is undefined). Caller holds no locks.
+func (c *Campaign) fold(records []market.RepRecord) (published *FitInfo, pending string, delta float64, first bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, rec := range records {
+		d := rec.OnHold()
+		// The simulator only emits finite non-negative durations; a
+		// custom Executor might not, and one +Inf would zero the price's
+		// MLE rate forever in the add-only aggregate.
+		if rec.Price < 1 || !(d >= 0) || math.IsInf(d, 1) {
+			continue
+		}
+		agg := c.aggs[rec.Price]
+		agg.Add(1, d)
+		c.aggs[rec.Price] = agg
+	}
+	res, err := inference.FitAggregates(c.aggs)
+	if err != nil {
+		// No usable fit yet (e.g. observations at one price level): the
+		// previous belief stays live.
+		return nil, err.Error(), 0, false
+	}
+	model := pricing.Linear{K: res.Fit.Slope, B: res.Fit.Intercept}
+	if res.Fit.Slope < 0 || !(model.Rate(1) > 0) {
+		// A drifted or noisy trace can least-squares into a decreasing or
+		// non-positive rate line, violating the contract every solver
+		// assumes. Keep the previous belief live rather than publish it.
+		return nil, fmt.Sprintf("fit %s violates the rate-model contract (need slope >= 0 and a positive rate at price 1); keeping the previous belief", res.Fit), 0, false
+	}
+	info := FitInfo{Slope: res.Fit.Slope, Intercept: res.Fit.Intercept, R2: res.Fit.R2, Prices: len(res.Prices)}
+	first = c.fit == nil
+	if !first {
+		delta = fitDelta(c.fit.info, info)
+	}
+	c.fit = &fitRecord{info: info, model: pricing.Floored{Base: model}}
+	out := info
+	return &out, "", delta, first
+}
+
+// record appends a round snapshot to the bounded history and updates
+// the budget accounting.
+func (c *Campaign) record(snap RoundSnapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.roundsRun++
+	c.spent += snap.Spent
+	c.remaining -= snap.Spent
+	c.totalMakespan += snap.Makespan
+	c.rounds = append(c.rounds, snap)
+	if over := len(c.rounds) - c.cfg.HistoryCap; over > 0 {
+		c.rounds = append(c.rounds[:0], c.rounds[over:]...)
+		c.dropped += over
+	}
+}
+
+// Run drives the loop to a terminal status. It is a pure function of
+// (Config, Seed): per-round market seeds are drawn from one stream
+// derived from the campaign seed, so results are identical no matter
+// how many campaigns run beside this one. The returned error is non-nil
+// only for StatusFailed.
+//
+// Cancellation (ctx) is honoured between steps: a cancel observed after
+// a round executed but before its observations were folded leaves the
+// published belief exactly as it was — a canceled round never publishes.
+func (c *Campaign) Run(ctx context.Context) (Result, error) {
+	c.mu.Lock()
+	if c.status != StatusPending {
+		status := c.status
+		c.mu.Unlock()
+		return c.Snapshot(), fmt.Errorf("campaign: Run on a %s campaign", status)
+	}
+	c.status = StatusRunning
+	c.mu.Unlock()
+
+	seeds := randx.New(c.cfg.Seed)
+	var prevPrices []int
+	for round := 0; round < c.cfg.MaxRounds; round++ {
+		// Every round consumes its seed before any early exit, so
+		// retained rounds use the same seeds regardless of when a
+		// previous run stopped.
+		roundSeed := seeds.Uint64()
+		if err := ctx.Err(); err != nil {
+			return c.finish(StatusCanceled, "canceled before round "+fmt.Sprint(round)), nil
+		}
+		c.mu.Lock()
+		remaining := c.remaining
+		c.mu.Unlock()
+		budget := c.cfg.RoundBudget
+		if remaining < budget {
+			budget = remaining
+		}
+		if budget < c.cfg.minRoundCost() {
+			return c.finish(StatusBudgetExhausted,
+				fmt.Sprintf("remaining budget %d cannot fund a round (minimum %d)", remaining, c.cfg.minRoundCost())), nil
+		}
+
+		// (1) Tune: solve the round under the current belief.
+		belief := c.belief()
+		p := c.roundProblem(belief, budget)
+		algo := solverFor(c.cfg.Groups)
+		var prices []int
+		var spent int
+		var err error
+		if algo == "ha" {
+			var res htuning.HeterogeneousResult
+			res, err = htuning.SolveHeterogeneous(c.est, p)
+			prices, spent = res.Prices, res.Spent
+		} else {
+			var res htuning.RepetitionResult
+			res, err = htuning.SolveRepetition(c.est, p)
+			prices, spent = res.Prices, res.Spent
+		}
+		if err != nil {
+			final := c.finish(StatusFailed, fmt.Sprintf("round %d: solve: %v", round, err))
+			return final, fmt.Errorf("campaign %s: round %d: solve: %w", c.cfg.Name, round, err)
+		}
+		alloc, err := htuning.NewUniformAllocation(p, prices)
+		if err != nil {
+			final := c.finish(StatusFailed, fmt.Sprintf("round %d: allocation: %v", round, err))
+			return final, fmt.Errorf("campaign %s: round %d: allocation: %w", c.cfg.Name, round, err)
+		}
+
+		// (2) Post & observe: execute the allocation on the backend.
+		obs, err := c.exec.Execute(ctx, round, p, alloc, roundSeed)
+		if err != nil {
+			if ctx.Err() != nil {
+				return c.finish(StatusCanceled, fmt.Sprintf("canceled during round %d", round)), nil
+			}
+			final := c.finish(StatusFailed, fmt.Sprintf("round %d: execute: %v", round, err))
+			return final, fmt.Errorf("campaign %s: round %d: execute: %w", c.cfg.Name, round, err)
+		}
+		// A cancel that lands mid-execution must not publish the round:
+		// the belief stays exactly as the last completed round left it.
+		if err := ctx.Err(); err != nil {
+			return c.finish(StatusCanceled, fmt.Sprintf("canceled during round %d", round)), nil
+		}
+
+		// (3) Re-fit: fold the observed traces and publish atomically.
+		fit, pending, delta, first := c.fold(obs.Records)
+		snap := RoundSnapshot{
+			Round:      round,
+			Algorithm:  algo,
+			Model:      belief.Name(),
+			Budget:     budget,
+			Spent:      spent,
+			Prices:     prices,
+			Records:    len(obs.Records),
+			Makespan:   obs.Makespan,
+			Fit:        fit,
+			FitPending: pending,
+			FitDelta:   delta,
+		}
+		c.record(snap)
+
+		// (4) Converged? The loop is at a fixed point when the allocation
+		// repeated and the belief moved by at most Epsilon (an unchanged
+		// belief — nothing new publishable — counts as a zero move; a
+		// first-ever fit never does, its delta is undefined).
+		stable := fit == nil || (!first && delta <= c.cfg.Epsilon)
+		if round > 0 && stable && samePrices(prevPrices, prices) {
+			return c.finish(StatusConverged,
+				fmt.Sprintf("fixed point after round %d: allocation repeated, belief moved %.4g <= epsilon %.4g", round, delta, c.cfg.Epsilon)), nil
+		}
+		prevPrices = prices
+	}
+	return c.finish(StatusMaxRounds, fmt.Sprintf("round deadline %d reached", c.cfg.MaxRounds)), nil
+}
+
+// samePrices reports whether two per-group price vectors are identical.
+func samePrices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run builds and drives one campaign to completion — the convenience
+// wrapper the CLI and examples use.
+func Run(ctx context.Context, est *htuning.Estimator, cfg Config) (Result, error) {
+	c, err := New(est, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.Run(ctx)
+}

@@ -1,0 +1,95 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+
+	"hputune/internal/market"
+	"hputune/internal/pricing"
+)
+
+// Drift kinds.
+const (
+	// DriftNone is a stationary market.
+	DriftNone = ""
+	// DriftRate multiplies every group's acceptance rate by
+	// Factor^round — gradual worker-interest decay (Factor < 1) or
+	// growth (Factor > 1).
+	DriftRate = "rate"
+	// DriftShock multiplies every group's acceptance rate by Factor
+	// from round Round onward — a one-off market regime change (a
+	// price-shock: the same payment suddenly buys less attention).
+	DriftShock = "shock"
+	// DriftShrink multiplies the worker arrival rate by Factor^round —
+	// the worker pool thinning round over round. Requires the
+	// worker-choice market.
+	DriftShrink = "shrink"
+)
+
+// Drift perturbs the true market between rounds, while the tuner's
+// belief only ever updates from observed traces — the model-vs-market
+// divergence the closed loop exists to chase. The zero value is a
+// stationary market.
+type Drift struct {
+	// Kind is one of DriftNone, DriftRate, DriftShock, DriftShrink.
+	Kind string `json:"kind"`
+	// Factor is the multiplicative perturbation (> 0; ignored for
+	// DriftNone).
+	Factor float64 `json:"factor,omitempty"`
+	// Round is the onset round for DriftShock.
+	Round int `json:"round,omitempty"`
+}
+
+// validate checks the drift against the market options it will perturb.
+func (d Drift) validate(opts MarketOptions) error {
+	switch d.Kind {
+	case DriftNone:
+		return nil
+	case DriftRate, DriftShock, DriftShrink:
+		if !(d.Factor > 0) || math.IsInf(d.Factor, 1) {
+			return fmt.Errorf("campaign: %s drift needs a positive finite factor, got %v", d.Kind, d.Factor)
+		}
+		if d.Kind == DriftShock && d.Round < 0 {
+			return fmt.Errorf("campaign: shock drift onset round %d must be >= 0", d.Round)
+		}
+		if d.Kind == DriftShrink && !opts.WorkerChoice {
+			return fmt.Errorf("campaign: shrink drift thins the worker pool and needs the worker-choice market (set MarketOptions.WorkerChoice)")
+		}
+		return nil
+	}
+	return fmt.Errorf("campaign: unknown drift kind %q (want %q, %q or %q)", d.Kind, DriftRate, DriftShock, DriftShrink)
+}
+
+// apply returns round r's true classes and market configuration. The
+// input groups and config are never mutated; scaling wraps the class
+// acceptance models.
+func (d Drift) apply(round int, groups []Group, base market.Config) ([]*market.TaskClass, market.Config) {
+	classes := make([]*market.TaskClass, len(groups))
+	for i, g := range groups {
+		classes[i] = g.Class
+	}
+	switch d.Kind {
+	case DriftRate:
+		if f := math.Pow(d.Factor, float64(round)); f != 1 {
+			classes = scaleClasses(classes, f)
+		}
+	case DriftShock:
+		if round >= d.Round && d.Factor != 1 {
+			classes = scaleClasses(classes, d.Factor)
+		}
+	case DriftShrink:
+		base.ArrivalRate *= math.Pow(d.Factor, float64(round))
+	}
+	return classes, base
+}
+
+// scaleClasses wraps every class with a rate-scaled acceptance model.
+func scaleClasses(classes []*market.TaskClass, factor float64) []*market.TaskClass {
+	out := make([]*market.TaskClass, len(classes))
+	for i, c := range classes {
+		scaled := *c
+		scaled.Accept = pricing.Scaled{Base: c.Accept, Factor: factor}
+		out[i] = &scaled
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+
+	"hputune/internal/htuning"
+	"hputune/internal/market"
+)
+
+// Observation is what one executed round reports back to the loop: the
+// completed repetition traces the re-fit consumes, and the realized
+// completion time of the round's whole task batch.
+type Observation struct {
+	Records  []market.RepRecord
+	Makespan float64
+}
+
+// Executor runs one round's allocation against a marketplace backend.
+// The default implementation is the discrete-event market simulator; a
+// real crowdsourcing backend (AMT and kin) plugs in behind the same
+// interface — post the allocation, collect completion records, return.
+//
+// Implementations must honour ctx (return promptly once it is
+// cancelled; the returned observation is then discarded) and must be
+// deterministic in (round, p, a, seed) if campaign-level determinism is
+// to hold end to end.
+type Executor interface {
+	Execute(ctx context.Context, round int, p htuning.Problem, a htuning.Allocation, seed uint64) (Observation, error)
+}
+
+// marketExecutor executes rounds on the simulator, with the campaign's
+// drift applied to the true classes and market configuration per round.
+type marketExecutor struct {
+	name    string
+	groups  []Group
+	base    market.Config
+	drift   Drift
+	maxTime float64
+}
+
+func newMarketExecutor(cfg Config) *marketExecutor {
+	return &marketExecutor{
+		name:   cfg.Name,
+		groups: cfg.Groups,
+		base:   cfg.Market.config(),
+		drift:  cfg.Drift,
+	}
+}
+
+// Execute posts one task per (group, task) with the allocation's
+// repetition prices and drives the simulation to completion. Records
+// come back in acceptance order (the trace model's arrival axis).
+func (e *marketExecutor) Execute(ctx context.Context, round int, p htuning.Problem, a htuning.Allocation, seed uint64) (Observation, error) {
+	if len(a.RepPrices) != len(e.groups) {
+		return Observation{}, fmt.Errorf("campaign: allocation covers %d groups, campaign has %d", len(a.RepPrices), len(e.groups))
+	}
+	classes, mcfg := e.drift.apply(round, e.groups, e.base)
+	mcfg.Seed = seed
+	sim, err := market.New(mcfg)
+	if err != nil {
+		return Observation{}, err
+	}
+	for gi, g := range e.groups {
+		for ti := 0; ti < g.Tasks; ti++ {
+			err := sim.Post(market.TaskSpec{
+				ID:        fmt.Sprintf("%s-r%d-%s-t%d", e.name, round, g.Name, ti),
+				Class:     classes[gi],
+				RepPrices: a.RepPrices[gi][ti],
+			})
+			if err != nil {
+				return Observation{}, err
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Observation{}, err
+	}
+	if _, err := sim.Run(); err != nil {
+		return Observation{}, err
+	}
+	return Observation{Records: sim.AllRecords(), Makespan: sim.Makespan()}, nil
+}

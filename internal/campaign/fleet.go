@@ -1,0 +1,26 @@
+package campaign
+
+import (
+	"context"
+
+	"hputune/internal/conc"
+	"hputune/internal/engine"
+	"hputune/internal/htuning"
+)
+
+// RunFleet drives every campaign to a terminal status on the engine's
+// bounded worker pool (workers <= 0 means GOMAXPROCS), sharing one
+// estimator so campaigns with overlapping (rate, shape) queries reuse
+// each other's E[max] integrals. Results land in campaign order and the
+// reported error is the lowest-index failure — and because each
+// campaign's rounds are seeded only from its own Config.Seed, every
+// result is identical no matter the pool width or what else shares the
+// estimator.
+func RunFleet(ctx context.Context, est *htuning.Estimator, cfgs []Config, workers int) ([]Result, error) {
+	if est == nil {
+		est = htuning.NewEstimator()
+	}
+	return engine.Map(len(cfgs), conc.Workers(workers), func(i int) (Result, error) {
+		return Run(ctx, est, cfgs[i])
+	})
+}

@@ -1,0 +1,278 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"hputune/internal/htuning"
+)
+
+// ErrCapacity rejects a Start that would exceed the manager's active
+// bound — the serving layer maps it to 503.
+var ErrCapacity = errors.New("campaign: manager at active-campaign capacity")
+
+// defaultMaxActive bounds concurrently running campaigns per manager.
+const defaultMaxActive = 64
+
+// maxRetained bounds finished campaigns kept for inspection; the oldest
+// finished are evicted first (their round counts stay in the stats).
+const maxRetained = 1024
+
+// Manager owns the campaigns of one serving process: it starts them on
+// background goroutines, bounds how many run at once, serves concurrent
+// inspection snapshots, cancels on demand, and retains a bounded set of
+// finished campaigns for later inspection. Safe for concurrent use.
+type Manager struct {
+	est       *htuning.Estimator
+	maxActive int
+
+	mu            sync.Mutex
+	byID          map[string]*tracked
+	order         []string // insertion order, for bounded retention
+	nextID        uint64
+	active        int
+	started       uint64
+	finished      uint64
+	canceled      uint64
+	evictedRounds uint64
+	closed        bool
+}
+
+// tracked is one campaign under management.
+type tracked struct {
+	id     string
+	c      *Campaign
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewManager builds a manager over a shared estimator (nil gets a fresh
+// one). maxActive bounds concurrently running campaigns; <= 0 means 64.
+func NewManager(est *htuning.Estimator, maxActive int) *Manager {
+	if est == nil {
+		est = htuning.NewEstimator()
+	}
+	if maxActive <= 0 {
+		maxActive = defaultMaxActive
+	}
+	return &Manager{est: est, maxActive: maxActive, byID: make(map[string]*tracked)}
+}
+
+// Start launches one campaign and returns its id.
+func (m *Manager) Start(cfg Config) (string, error) {
+	ids, err := m.StartAll([]Config{cfg})
+	if err != nil {
+		return "", err
+	}
+	return ids[0], nil
+}
+
+// StartAll launches a fleet atomically: every config is validated and
+// admitted before any campaign starts, so a rejected fleet launches
+// nothing. IDs come back in config order.
+func (m *Manager) StartAll(cfgs []Config) ([]string, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("campaign: empty fleet")
+	}
+	campaigns := make([]*Campaign, len(cfgs))
+	for i, cfg := range cfgs {
+		c, err := New(m.est, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("campaign %d: %w", i, err)
+		}
+		campaigns[i] = c
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("campaign: manager is closed")
+	}
+	if m.active+len(cfgs) > m.maxActive {
+		active := m.active
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d active + %d requested > %d)", ErrCapacity, active, len(cfgs), m.maxActive)
+	}
+	ids := make([]string, len(cfgs))
+	for i, c := range campaigns {
+		m.nextID++
+		id := fmt.Sprintf("c%d", m.nextID)
+		ctx, cancel := context.WithCancel(context.Background())
+		t := &tracked{id: id, c: c, cancel: cancel, done: make(chan struct{})}
+		m.byID[id] = t
+		m.order = append(m.order, id)
+		m.active++
+		m.started++
+		ids[i] = id
+		go m.drive(t, ctx)
+	}
+	m.evictLocked()
+	m.mu.Unlock()
+	return ids, nil
+}
+
+// drive runs one campaign to its terminal status and releases its
+// active slot. Run errors are already recorded in the campaign's
+// terminal snapshot (StatusFailed), so they are not re-reported here.
+func (m *Manager) drive(t *tracked, ctx context.Context) {
+	_, _ = t.c.Run(ctx)
+	t.cancel() // release the context's resources
+	_, status, _, _, _ := t.c.Brief()
+	m.mu.Lock()
+	m.active--
+	m.finished++
+	if status == StatusCanceled {
+		m.canceled++
+	}
+	m.mu.Unlock()
+	close(t.done)
+}
+
+// evictLocked drops the oldest finished campaigns past the retention
+// bound. Active campaigns are never evicted (active <= maxActive <
+// maxRetained keeps this safe). Caller holds m.mu.
+func (m *Manager) evictLocked() {
+	for len(m.order) > maxRetained {
+		evicted := false
+		for i, id := range m.order {
+			t := m.byID[id]
+			select {
+			case <-t.done:
+			default:
+				continue // still running
+			}
+			m.evictedRounds += uint64(t.c.RoundsRun())
+			delete(m.byID, id)
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// Get returns the campaign's current snapshot.
+func (m *Manager) Get(id string) (Result, bool) {
+	m.mu.Lock()
+	t, ok := m.byID[id]
+	m.mu.Unlock()
+	if !ok {
+		return Result{}, false
+	}
+	return t.c.Snapshot(), true
+}
+
+// Cancel requests cancellation and returns the (possibly still
+// StatusRunning) snapshot; the campaign settles to StatusCanceled — or
+// the terminal status it had already reached — shortly after. Wait on
+// Done to observe the terminal state.
+func (m *Manager) Cancel(id string) (Result, bool) {
+	m.mu.Lock()
+	t, ok := m.byID[id]
+	m.mu.Unlock()
+	if !ok {
+		return Result{}, false
+	}
+	t.cancel()
+	return t.c.Snapshot(), true
+}
+
+// Done returns a channel closed when the campaign reaches a terminal
+// status.
+func (m *Manager) Done(id string) (<-chan struct{}, bool) {
+	m.mu.Lock()
+	t, ok := m.byID[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return t.done, true
+}
+
+// Summary is one row of List.
+type Summary struct {
+	ID        string `json:"id"`
+	Name      string `json:"name"`
+	Status    Status `json:"status"`
+	RoundsRun int    `json:"roundsRun"`
+	Spent     int    `json:"spent"`
+	Converged bool   `json:"converged"`
+}
+
+// List returns a summary per retained campaign, in start order.
+func (m *Manager) List() []Summary {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	byID := make(map[string]*tracked, len(ids))
+	for _, id := range ids {
+		byID[id] = m.byID[id]
+	}
+	m.mu.Unlock()
+	out := make([]Summary, 0, len(ids))
+	for _, id := range ids {
+		// Brief, not Snapshot: a listing must not deep-copy every
+		// retained campaign's round history.
+		name, status, rounds, spent, converged := byID[id].c.Brief()
+		out = append(out, Summary{
+			ID: id, Name: name, Status: status,
+			RoundsRun: rounds, Spent: spent, Converged: converged,
+		})
+	}
+	return out
+}
+
+// Stats is the manager's counter snapshot for /v1/stats.
+type Stats struct {
+	// Started / Finished / Canceled count campaigns over the manager's
+	// lifetime; Active is currently-running campaigns.
+	Started  uint64 `json:"started"`
+	Finished uint64 `json:"finished"`
+	Canceled uint64 `json:"canceled"`
+	Active   int    `json:"active"`
+	// MaxActive is the admission bound (excess fleet starts are
+	// rejected, mapped to 503 by the serving layer).
+	MaxActive int `json:"maxActive"`
+	// Rounds counts closed-loop rounds executed across every campaign
+	// ever managed, including evicted ones.
+	Rounds uint64 `json:"rounds"`
+}
+
+// Stats returns the current counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	st := Stats{
+		Started: m.started, Finished: m.finished, Canceled: m.canceled,
+		Active: m.active, MaxActive: m.maxActive, Rounds: m.evictedRounds,
+	}
+	trackedNow := make([]*tracked, 0, len(m.order))
+	for _, id := range m.order {
+		trackedNow = append(trackedNow, m.byID[id])
+	}
+	m.mu.Unlock()
+	for _, t := range trackedNow {
+		st.Rounds += uint64(t.c.RoundsRun())
+	}
+	return st
+}
+
+// Close cancels every campaign and waits for all of them to settle —
+// the serving layer's shutdown hook. The manager accepts no new starts
+// afterwards.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	waits := make([]*tracked, 0, len(m.order))
+	for _, id := range m.order {
+		waits = append(waits, m.byID[id])
+	}
+	m.mu.Unlock()
+	for _, t := range waits {
+		t.cancel()
+	}
+	for _, t := range waits {
+		<-t.done
+	}
+}

@@ -1,0 +1,136 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitDone blocks until the campaign settles, with a test deadline.
+func waitDone(t *testing.T, m *Manager, id string) Result {
+	t.Helper()
+	done, ok := m.Done(id)
+	if !ok {
+		t.Fatalf("unknown campaign %q", id)
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("campaign %q did not settle", id)
+	}
+	res, ok := m.Get(id)
+	if !ok {
+		t.Fatalf("campaign %q vanished", id)
+	}
+	return res
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	m := NewManager(nil, 8)
+	ids, err := m.StartAll([]Config{twoGroup(7), twoGroup(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] == ids[1] {
+		t.Fatalf("ids %v", ids)
+	}
+	for _, id := range ids {
+		res := waitDone(t, m, id)
+		if res.Status != StatusConverged {
+			t.Fatalf("%s: status %s (%q)", id, res.Status, res.Reason)
+		}
+	}
+	rows := m.List()
+	if len(rows) != 2 || rows[0].ID != ids[0] || rows[1].ID != ids[1] {
+		t.Fatalf("list %+v, want both campaigns in start order", rows)
+	}
+	st := m.Stats()
+	if st.Started != 2 || st.Finished != 2 || st.Active != 0 || st.Canceled != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if want := uint64(rows[0].RoundsRun + rows[1].RoundsRun); st.Rounds != want || want == 0 {
+		t.Fatalf("stats rounds %d, want %d", st.Rounds, want)
+	}
+	// The manager result must equal a direct run of the same config —
+	// the CLI-vs-service parity contract at the library level.
+	direct, err := RunFleet(t.Context(), nil, []Config{twoGroup(7)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Get(ids[0])
+	if got.Spent != direct[0].Spent || got.RoundsRun != direct[0].RoundsRun {
+		t.Fatalf("managed run diverged from direct run:\n%+v\n%+v", got, direct[0])
+	}
+	for i, r := range direct[0].Rounds {
+		if !samePrices(r.Prices, got.Rounds[i].Prices) {
+			t.Fatalf("round %d prices %v != direct %v", i, got.Rounds[i].Prices, r.Prices)
+		}
+	}
+}
+
+func TestManagerCancel(t *testing.T) {
+	m := NewManager(nil, 2)
+	exec := &blockingExecutor{entered: make(chan int, 1)}
+	cfg := twoGroup(3)
+	cfg.Executor = exec
+	id, err := m.Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-exec.entered // round 0 in flight
+	if _, ok := m.Cancel(id); !ok {
+		t.Fatal("cancel of a live campaign failed")
+	}
+	res := waitDone(t, m, id)
+	if res.Status != StatusCanceled || res.RoundsRun != 0 {
+		t.Fatalf("status %s after %d rounds, want canceled/0", res.Status, res.RoundsRun)
+	}
+	if st := m.Stats(); st.Canceled != 1 {
+		t.Fatalf("stats %+v, want 1 canceled", st)
+	}
+	if _, ok := m.Cancel("nope"); ok {
+		t.Fatal("cancel of an unknown id succeeded")
+	}
+	if _, ok := m.Get("nope"); ok {
+		t.Fatal("get of an unknown id succeeded")
+	}
+}
+
+func TestManagerCapacityAndAtomicStart(t *testing.T) {
+	m := NewManager(nil, 1)
+	exec := &blockingExecutor{entered: make(chan int, 1)}
+	cfg := twoGroup(3)
+	cfg.Executor = exec
+	id, err := m.Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-exec.entered
+	// At capacity: the whole fleet is rejected, nothing starts.
+	if _, err := m.StartAll([]Config{twoGroup(4)}); err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("start at capacity: %v, want ErrCapacity", err)
+	}
+	if st := m.Stats(); st.Started != 1 {
+		t.Fatalf("rejected start leaked into stats: %+v", st)
+	}
+	// An invalid config anywhere rejects the fleet before admission.
+	bad := twoGroup(5)
+	bad.Prior = nil
+	if _, err := m.StartAll([]Config{twoGroup(4), bad}); err == nil || !strings.Contains(err.Error(), "campaign 1") {
+		t.Fatalf("invalid fleet: %v, want a campaign-1 validation error", err)
+	}
+	m.Cancel(id)
+	waitDone(t, m, id)
+	// Slot freed: starts work again, until Close.
+	id2, err := m.Start(twoGroup(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if res, _ := m.Get(id2); !res.Status.Terminal() {
+		t.Fatalf("Close returned with %s campaign", res.Status)
+	}
+	if _, err := m.Start(twoGroup(7)); err == nil {
+		t.Fatal("start after Close succeeded")
+	}
+}

@@ -78,6 +78,32 @@ func (s Scaled) Rate(price float64) float64 { return s.Factor * s.Base.Rate(pric
 // Name returns "<factor>x(<base>)".
 func (s Scaled) Name() string { return fmt.Sprintf("%gx(%s)", s.Factor, s.Base.Name()) }
 
+// Floored clamps a model's rate to a small positive floor so tuners can
+// evaluate any price >= 1 on it. Inferred models need it: a least-squares
+// linearity fit can extrapolate to non-positive rates below the observed
+// price range, which would violate the RateModel contract every solver
+// assumes.
+type Floored struct {
+	Base RateModel
+	// Floor is the minimum rate; <= 0 means the 1e-6 default.
+	Floor float64
+}
+
+// Rate returns max(Base.Rate(price), floor).
+func (f Floored) Rate(price float64) float64 {
+	floor := f.Floor
+	if floor <= 0 {
+		floor = 1e-6
+	}
+	if r := f.Base.Rate(price); r > floor {
+		return r
+	}
+	return floor
+}
+
+// Name returns "floor(<base>)".
+func (f Floored) Name() string { return "floor(" + f.Base.Name() + ")" }
+
 // Table interpolates an empirical price→rate table, e.g. Table 1 of the
 // paper (sorting votes: $2→2, $3→3, $1.5→1.5; yes/no votes: $2→3, $3→5,
 // $1.5→2). Rates between knots are linearly interpolated; beyond the ends

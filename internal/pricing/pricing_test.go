@@ -145,3 +145,20 @@ func TestAllModelsMonotoneNonDecreasing(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFloored(t *testing.T) {
+	f := Floored{Base: Linear{K: 1, B: -5}}
+	if got := f.Rate(1); got != 1e-6 {
+		t.Errorf("below-floor rate %v, want the 1e-6 default floor", got)
+	}
+	if got := f.Rate(10); got != 5 {
+		t.Errorf("above-floor rate %v, want the base's 5", got)
+	}
+	custom := Floored{Base: Linear{K: 1, B: -5}, Floor: 0.5}
+	if got := custom.Rate(1); got != 0.5 {
+		t.Errorf("custom floor rate %v, want 0.5", got)
+	}
+	if name := f.Name(); name != "floor(p+-5)" {
+		t.Errorf("name %q", name)
+	}
+}

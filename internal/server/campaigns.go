@@ -1,0 +1,134 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"hputune/internal/campaign"
+	"hputune/internal/spec"
+)
+
+// Campaign service ceilings, enforced before any campaign starts so one
+// hostile fleet cannot pin the process for hours (each round is a solve
+// plus a market run, so rounds × round-budget bounds the work).
+const (
+	// maxFleetCampaigns bounds campaigns per POST /v1/campaigns.
+	maxFleetCampaigns = 64
+	// maxCampaignRounds bounds one campaign's round deadline.
+	maxCampaignRounds = 4096
+)
+
+// checkCampaignLimits enforces the service ceilings on one campaign,
+// reusing the per-problem bounds on its round shape (a campaign round
+// is exactly one solve of that problem).
+func checkCampaignLimits(i int, cfg campaign.Config) error {
+	if cfg.MaxRounds > maxCampaignRounds {
+		return fmt.Errorf("campaign %d: %d rounds above the %d-round service limit", i, cfg.MaxRounds, maxCampaignRounds)
+	}
+	if cfg.RoundBudget > maxProblemBudget {
+		return fmt.Errorf("campaign %d: round budget %d above the %d-unit service limit", i, cfg.RoundBudget, maxProblemBudget)
+	}
+	if cfg.RoundBudget > 0 && cfg.RoundBudget*len(cfg.Groups) > maxProblemWork {
+		return fmt.Errorf("campaign %d: round budget %d × %d groups above the %d-step service limit", i, cfg.RoundBudget, len(cfg.Groups), maxProblemWork)
+	}
+	reps := 0
+	for _, g := range cfg.Groups {
+		if g.Tasks > maxProblemReps || g.Reps > maxProblemReps {
+			return fmt.Errorf("campaign %d: %d tasks × %d reps above the %d-repetition service limit", i, g.Tasks, g.Reps, maxProblemReps)
+		}
+		if g.Tasks > 0 && g.Reps > 0 {
+			reps += g.Tasks * g.Reps
+		}
+		if reps > maxProblemReps {
+			return fmt.Errorf("campaign %d: more than %d total repetitions per round (service limit)", i, maxProblemReps)
+		}
+	}
+	return nil
+}
+
+// CampaignStartResponse is the POST /v1/campaigns reply: the ids of the
+// accepted campaigns, in spec order. Campaigns run in the background —
+// poll GET /v1/campaigns/{id} for rounds and terminal status.
+type CampaignStartResponse struct {
+	IDs []string `json:"ids"`
+}
+
+// handleCampaignStart parses a campaign spec document ("campaign",
+// "campaigns" or "fleet" top level) and starts every campaign in it,
+// atomically: a rejected fleet starts nothing. Campaigns are background
+// work bounded by the manager's active cap, not the solve gate — a
+// running fleet must not starve interactive solves of permits, and vice
+// versa.
+func (s *Server) handleCampaignStart(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, badRequestStatus(err), "%v", err)
+		return
+	}
+	cfgs, err := spec.ParseCampaigns(raw, s.buildOpts())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(cfgs) > maxFleetCampaigns {
+		writeError(w, http.StatusBadRequest, "fleet of %d campaigns above the %d service limit; split it", len(cfgs), maxFleetCampaigns)
+		return
+	}
+	for i, cfg := range cfgs {
+		if err := checkCampaignLimits(i, cfg); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	ids, err := s.campaigns.StartAll(cfgs)
+	if err != nil {
+		if errors.Is(err, campaign.ErrCapacity) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, CampaignStartResponse{IDs: ids})
+}
+
+// CampaignGetResponse is the GET /v1/campaigns/{id} reply.
+type CampaignGetResponse struct {
+	ID string `json:"id"`
+	campaign.Result
+}
+
+func (s *Server) handleCampaignGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, ok := s.campaigns.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, CampaignGetResponse{ID: id, Result: res})
+}
+
+// CampaignListResponse is the GET /v1/campaigns reply.
+type CampaignListResponse struct {
+	Campaigns []campaign.Summary `json:"campaigns"`
+}
+
+func (s *Server) handleCampaignList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, CampaignListResponse{Campaigns: s.campaigns.List()})
+}
+
+// handleCampaignCancel requests cancellation; the reply carries the
+// snapshot at cancel time (possibly still "running" — a mid-round
+// cancel settles, without publishing that round, moments later).
+func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, ok := s.campaigns.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, CampaignGetResponse{ID: id, Result: res})
+}

@@ -1,0 +1,277 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hputune/internal/campaign"
+	"hputune/internal/spec"
+)
+
+// repeCampaignSpec is a two-group stationary campaign document (the
+// Fig 2 "repe" shape) that converges in a handful of rounds.
+const repeCampaignSpec = `{
+  "campaign": {
+    "name": "repe", "roundBudget": 1000, "rounds": 12, "budget": 12000,
+    "epsilon": 0.05, "seed": 7,
+    "prior": {"kind": "linear", "k": 1, "b": 1},
+    "groups": [
+      {"name": "g3", "tasks": 50, "reps": 3, "procRate": 2.0,
+       "true": {"kind": "linear", "k": 2, "b": 0.5}},
+      {"name": "g5", "tasks": 50, "reps": 5, "procRate": 2.0,
+       "true": {"kind": "linear", "k": 2, "b": 0.5}}
+    ]
+  }
+}`
+
+// startCampaigns POSTs a campaign document and returns the accepted ids.
+func startCampaigns(t *testing.T, ts *httptest.Server, body string) []string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e errorBody
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("start: status %d: %s", resp.StatusCode, e.Error)
+	}
+	var out CampaignStartResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.IDs
+}
+
+// getCampaign fetches one campaign snapshot.
+func getCampaign(t *testing.T, ts *httptest.Server, id string) CampaignGetResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get %s: status %d", id, resp.StatusCode)
+	}
+	var out CampaignGetResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// awaitTerminal polls until the campaign settles.
+func awaitTerminal(t *testing.T, ts *httptest.Server, id string) CampaignGetResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		out := getCampaign(t, ts, id)
+		if out.Status.Terminal() {
+			return out
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck in %s", id, out.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func newCampaignTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func TestCampaignEndToEnd(t *testing.T) {
+	s, ts := newCampaignTestServer(t, Config{})
+	ids := startCampaigns(t, ts, repeCampaignSpec)
+	if len(ids) != 1 {
+		t.Fatalf("ids %v", ids)
+	}
+	out := awaitTerminal(t, ts, ids[0])
+	if out.Status != campaign.StatusConverged || !out.Converged {
+		t.Fatalf("status %s (%q), want converged", out.Status, out.Reason)
+	}
+	if out.RoundsRun < 2 || len(out.Rounds) != out.RoundsRun {
+		t.Fatalf("rounds %d retained %d", out.RoundsRun, len(out.Rounds))
+	}
+	for i, r := range out.Rounds {
+		if r.Round != i || len(r.Prices) != 2 || r.Records == 0 {
+			t.Fatalf("round %d malformed: %+v", i, r)
+		}
+	}
+	// The HTTP loop must equal the in-process loop exactly — the
+	// same-seed determinism contract across entry points.
+	direct, err := campaign.RunFleet(t.Context(), nil, mustParseCampaigns(t, s, repeCampaignSpec), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct[0].RoundsRun != out.RoundsRun || direct[0].Spent != out.Spent {
+		t.Fatalf("HTTP %d rounds/%d spent, direct %d/%d", out.RoundsRun, out.Spent, direct[0].RoundsRun, direct[0].Spent)
+	}
+	for i, r := range direct[0].Rounds {
+		if fmt.Sprint(r.Prices) != fmt.Sprint(out.Rounds[i].Prices) {
+			t.Fatalf("round %d prices diverge: HTTP %v direct %v", i, out.Rounds[i].Prices, r.Prices)
+		}
+	}
+	// List and stats surface the campaign.
+	resp, err := http.Get(ts.URL + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list CampaignListResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Campaigns) != 1 || list.Campaigns[0].ID != ids[0] || list.Campaigns[0].Name != "repe" {
+		t.Fatalf("list %+v", list)
+	}
+	var stats StatsResponse
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Campaigns.Started != 1 || stats.Campaigns.Finished != 1 || stats.Campaigns.Rounds != uint64(out.RoundsRun) {
+		t.Fatalf("campaign stats %+v, want 1 started/finished and %d rounds", stats.Campaigns, out.RoundsRun)
+	}
+}
+
+// mustParseCampaigns parses a campaign document the way the handler
+// does (shared parser, server build opts).
+func mustParseCampaigns(t *testing.T, s *Server, body string) []campaign.Config {
+	t.Helper()
+	cfgs, err := spec.ParseCampaigns([]byte(body), s.buildOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfgs
+}
+
+func TestCampaignFleetAndCancel(t *testing.T) {
+	_, ts := newCampaignTestServer(t, Config{})
+	// A slow campaign: drifting, epsilon 0, many rounds of real work.
+	slow := `{
+  "campaigns": [{
+    "name": "slow", "roundBudget": 10000, "rounds": 4096, "budget": 16000000,
+    "epsilon": 0, "seed": 5,
+    "prior": {"kind": "linear", "k": 1, "b": 1},
+    "groups": [
+      {"name": "g3", "tasks": 500, "reps": 3, "procRate": 2.0,
+       "true": {"kind": "linear", "k": 2, "b": 0.5}},
+      {"name": "g5", "tasks": 500, "reps": 5, "procRate": 2.0,
+       "true": {"kind": "linear", "k": 2, "b": 0.5}}
+    ],
+    "drift": {"kind": "rate", "factor": 0.95}
+  }]
+}`
+	ids := startCampaigns(t, ts, slow)
+	// Wait until the loop has demonstrably run at least one round, then
+	// cancel mid-flight.
+	deadline := time.Now().Add(30 * time.Second)
+	for getCampaign(t, ts, ids[0]).RoundsRun < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("campaign never completed a round")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+ids[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+	out := awaitTerminal(t, ts, ids[0])
+	if out.Status != campaign.StatusCanceled {
+		t.Fatalf("status %s (%q), want canceled", out.Status, out.Reason)
+	}
+	// The belief published by completed rounds survives the cancel; the
+	// interrupted round must not have published.
+	if last := out.Rounds[len(out.Rounds)-1]; last.Fit != nil && out.Fit == nil {
+		t.Fatal("published fit lost on cancel")
+	}
+}
+
+func TestCampaignRejections(t *testing.T) {
+	_, ts := newCampaignTestServer(t, Config{MaxCampaigns: 1})
+	for name, tc := range map[string]struct {
+		body string
+		want int
+		msg  string
+	}{
+		"not json":     {body: "{", want: http.StatusBadRequest, msg: "parse campaign spec"},
+		"empty doc":    {body: "{}", want: http.StatusBadRequest, msg: "exactly one of"},
+		"mixed kinds":  {body: `{"fleet": {"preset": "paper"}, "campaigns": [{"name": "x"}]}`, want: http.StatusBadRequest, msg: "exactly one of"},
+		"bad preset":   {body: `{"fleet": {"preset": "nope"}}`, want: http.StatusBadRequest, msg: "unknown fleet preset"},
+		"bad model":    {body: `{"campaign": {"name": "x", "roundBudget": 10, "groups": [{"name": "g", "tasks": 1, "reps": 1, "procRate": 1, "true": {"kind": "cubic"}}], "prior": {"kind": "linear", "k": 1, "b": 1}}}`, want: http.StatusBadRequest, msg: "unknown model kind"},
+		"over rounds":  {body: `{"campaign": {"name": "x", "roundBudget": 10, "rounds": 5000, "groups": [{"name": "g", "tasks": 1, "reps": 1, "procRate": 1, "true": {"kind": "linear", "k": 1, "b": 1}}], "prior": {"kind": "linear", "k": 1, "b": 1}}}`, want: http.StatusBadRequest, msg: "round service limit"},
+		"fitted prior": {body: `{"campaign": {"name": "x", "roundBudget": 10, "groups": [{"name": "g", "tasks": 1, "reps": 1, "procRate": 1, "true": {"kind": "linear", "k": 1, "b": 1}}], "prior": {"kind": "fitted"}}}`, want: http.StatusBadRequest, msg: "ingest traces"},
+		"unaffordable": {body: `{"campaign": {"name": "x", "roundBudget": 3, "groups": [{"name": "g", "tasks": 2, "reps": 2, "procRate": 1, "true": {"kind": "linear", "k": 1, "b": 1}}], "prior": {"kind": "linear", "k": 1, "b": 1}}}`, want: http.StatusBadRequest, msg: "budget"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var e errorBody
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			if resp.StatusCode != tc.want || !strings.Contains(e.Error, tc.msg) {
+				t.Fatalf("status %d %q, want %d mentioning %q", resp.StatusCode, e.Error, tc.want, tc.msg)
+			}
+		})
+	}
+	// Unknown id paths.
+	resp, err := http.Get(ts.URL + "/v1/campaigns/zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get unknown: %d", resp.StatusCode)
+	}
+	// Capacity: one long campaign occupies the single slot; the next
+	// fleet is 503 with Retry-After, atomically rejected.
+	ids := startCampaigns(t, ts, `{"campaign": {"name": "long", "roundBudget": 10000, "rounds": 4096,
+	  "budget": 16000000, "epsilon": 0, "seed": 3,
+	  "prior": {"kind": "linear", "k": 1, "b": 1},
+	  "groups": [
+	    {"name": "g3", "tasks": 500, "reps": 3, "procRate": 2.0, "true": {"kind": "linear", "k": 2, "b": 0.5}},
+	    {"name": "g5", "tasks": 500, "reps": 5, "procRate": 2.0, "true": {"kind": "linear", "k": 2, "b": 0.5}}],
+	  "drift": {"kind": "rate", "factor": 0.95}}}`)
+	resp, err = http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(repeCampaignSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("start over capacity: status %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+ids[0], nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+	awaitTerminal(t, ts, ids[0])
+}

@@ -8,12 +8,16 @@
 //
 // Endpoints (all JSON unless noted):
 //
-//	POST /v1/solve               RA (Algorithm 2) over a spec document
-//	POST /v1/solve-heterogeneous HA (Algorithm 3) over a spec document
-//	POST /v1/simulate            deterministic Monte-Carlo scoring
-//	POST /v1/ingest              trace records (CSV or JSONL body) → MLE → fit
-//	GET  /v1/stats               cache/gate/fit counters
-//	GET  /v1/healthz             liveness probe
+//	POST   /v1/solve               RA (Algorithm 2) over a spec document
+//	POST   /v1/solve-heterogeneous HA (Algorithm 3) over a spec document
+//	POST   /v1/simulate            deterministic Monte-Carlo scoring
+//	POST   /v1/ingest              trace records (CSV or JSONL body) → MLE → fit
+//	POST   /v1/campaigns           start closed-loop campaigns (campaign spec)
+//	GET    /v1/campaigns           list campaigns
+//	GET    /v1/campaigns/{id}      inspect one campaign's rounds and status
+//	DELETE /v1/campaigns/{id}      cancel a campaign
+//	GET    /v1/stats               cache/gate/fit/campaign counters
+//	GET    /v1/healthz             liveness probe
 //
 // Solve responses are byte-identical to the in-process engine batch API:
 // the handlers call the same engine.SolveBatch / SolveHeterogeneousBatch
@@ -31,6 +35,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hputune/internal/campaign"
 	"hputune/internal/conc"
 	"hputune/internal/engine"
 	"hputune/internal/htuning"
@@ -126,6 +131,10 @@ type Config struct {
 	// entries across shards). <= 0 uses the estimator default
 	// (32 shards × 2048 entries).
 	CacheEntries int
+	// MaxCampaigns bounds concurrently running closed-loop campaigns
+	// (background work off the solve gate); excess starts get 503.
+	// <= 0 means 64.
+	MaxCampaigns int
 }
 
 // fitState is one immutable trace-inferred rate model; the current one
@@ -144,6 +153,7 @@ type Server struct {
 	est        *htuning.Estimator
 	gate       *conc.Gate // solve/simulate admission
 	ingestGate *conc.Gate // ingest admission (separate: re-tuning must not starve)
+	campaigns  *campaign.Manager
 	mux        *http.ServeMux
 
 	// ingestMu serializes fit recomputation; aggs is the O(#prices)
@@ -174,6 +184,7 @@ func New(cfg Config) (*Server, error) {
 		est:        est,
 		gate:       conc.NewGate(cfg.MaxInFlight),
 		ingestGate: conc.NewGate(maxIngestInFlight),
+		campaigns:  campaign.NewManager(est, cfg.MaxCampaigns),
 		aggs:       make(map[int]inference.PriceAggregate),
 	}
 	s.mux = http.NewServeMux()
@@ -181,6 +192,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/solve-heterogeneous", s.handleSolveHeterogeneous)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignStart)
+	s.mux.HandleFunc("GET /v1/campaigns", s.handleCampaignList)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
+	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -195,6 +210,15 @@ func (s *Server) Handler() http.Handler {
 
 // Estimator exposes the shared estimator, e.g. to pre-warm it.
 func (s *Server) Estimator() *htuning.Estimator { return s.est }
+
+// Campaigns exposes the campaign manager, e.g. to start fleets from
+// embedding code without going through HTTP.
+func (s *Server) Campaigns() *campaign.Manager { return s.campaigns }
+
+// Close cancels every running campaign and waits for them to settle.
+// The HTTP serving loop calls it after the request drain; embedders
+// using Handler directly should call it on shutdown.
+func (s *Server) Close() { s.campaigns.Close() }
 
 // buildOpts resolves "fitted" models against the current ingest fit.
 // The pointer is loaded once per request, so a concurrent re-tune never
@@ -642,9 +666,10 @@ func readTraceBody(r *http.Request) ([]market.RepRecord, error) {
 
 // StatsResponse is the /v1/stats reply.
 type StatsResponse struct {
-	Cache htuning.CacheStats `json:"cache"`
-	Serve ServeStats         `json:"serve"`
-	Fit   *FitInfo           `json:"fit"`
+	Cache     htuning.CacheStats `json:"cache"`
+	Serve     ServeStats         `json:"serve"`
+	Campaigns campaign.Stats     `json:"campaigns"`
+	Fit       *FitInfo           `json:"fit"`
 }
 
 // ServeStats are the request-level counters.
@@ -664,7 +689,8 @@ type ServeStats struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
-		Cache: s.est.CacheStats(),
+		Cache:     s.est.CacheStats(),
+		Campaigns: s.campaigns.Stats(),
 		Serve: ServeStats{
 			Solves:          s.solves.Load(),
 			Simulates:       s.simulates.Load(),

@@ -1,0 +1,225 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"hputune/internal/campaign"
+	"hputune/internal/market"
+	"hputune/internal/workload"
+)
+
+// The campaign spec kind describes closed-loop jobs instead of one-shot
+// solves: a document whose top level is "campaign" (one), "campaigns" (a
+// fleet) or "fleet" (a named preset). It is parsed by ParseCampaigns —
+// Parse rejects it, pointing at htune -campaign / POST /v1/campaigns.
+//
+//	{
+//	  "campaign": {
+//	    "name": "repe", "roundBudget": 1000, "rounds": 12,
+//	    "budget": 8000, "epsilon": 0.05, "seed": 7,
+//	    "prior": {"kind": "linear", "k": 1, "b": 1},
+//	    "groups": [
+//	      {"name": "g3", "tasks": 50, "reps": 3, "procRate": 2.0,
+//	       "true": {"kind": "linear", "k": 2, "b": 0.5}}
+//	    ],
+//	    "drift": {"kind": "rate", "factor": 0.9}
+//	  }
+//	}
+//
+// The per-group "true" model is the simulated market's actual behaviour;
+// the tuner prices rounds with "prior" until observed traces re-fit it.
+// Presets: {"fleet": {"preset": "paper", "seed": 1}} expands to the
+// paper's scenario fleet (workload.PaperCampaignFleet).
+
+// CampaignGroup is the JSON shape of one campaign task group.
+type CampaignGroup struct {
+	Name     string  `json:"name"`
+	Tasks    int     `json:"tasks"`
+	Reps     int     `json:"reps"`
+	ProcRate float64 `json:"procRate"`
+	// True is the marketplace's actual price→rate behaviour (hidden from
+	// the tuner, which observes only completion traces).
+	True Model `json:"true"`
+	// Accuracy is the simulated worker answer accuracy; default 1.
+	Accuracy float64 `json:"accuracy"`
+}
+
+// CampaignDrift is the JSON shape of a drift: kind "rate", "shock" or
+// "shrink" (see campaign.Drift).
+type CampaignDrift struct {
+	Kind   string  `json:"kind"`
+	Factor float64 `json:"factor"`
+	Round  int     `json:"round"`
+}
+
+// CampaignSpec is the JSON shape of one closed-loop campaign.
+type CampaignSpec struct {
+	Name        string          `json:"name"`
+	Groups      []CampaignGroup `json:"groups"`
+	Prior       Model           `json:"prior"`
+	RoundBudget int             `json:"roundBudget"`
+	Budget      int             `json:"budget"`
+	Rounds      int             `json:"rounds"`
+	Epsilon     float64         `json:"epsilon"`
+	Seed        uint64          `json:"seed"`
+	// Mode is "independent" (default) or "workers" (worker-choice
+	// market, requires arrival).
+	Mode        string         `json:"mode"`
+	Arrival     float64        `json:"arrival"`
+	AbandonProb float64        `json:"abandonProb"`
+	AbandonRate float64        `json:"abandonRate"`
+	Drift       *CampaignDrift `json:"drift"`
+	HistoryCap  int            `json:"historyCap"`
+}
+
+// FleetSpec names a predefined campaign fleet.
+type FleetSpec struct {
+	// Preset is the fleet name; "paper" is the Fig-2/Fig-5c scenario
+	// fleet with drifted variants.
+	Preset string `json:"preset"`
+	// Seed derives every campaign's seed in the preset.
+	Seed uint64 `json:"seed"`
+}
+
+// campaignDoc is the top level of a campaign spec document.
+type campaignDoc struct {
+	Campaign  *CampaignSpec  `json:"campaign"`
+	Campaigns []CampaignSpec `json:"campaigns"`
+	Fleet     *FleetSpec     `json:"fleet"`
+}
+
+// Build materializes the campaign config (defaults are applied by
+// campaign.New; this only translates shapes and models).
+func (s CampaignSpec) Build(opts BuildOpts) (campaign.Config, error) {
+	cfg := campaign.Config{
+		Name:        s.Name,
+		RoundBudget: s.RoundBudget,
+		Budget:      s.Budget,
+		MaxRounds:   s.Rounds,
+		Epsilon:     s.Epsilon,
+		Seed:        s.Seed,
+		HistoryCap:  s.HistoryCap,
+		Market: campaign.MarketOptions{
+			AbandonProb: s.AbandonProb,
+			AbandonRate: s.AbandonRate,
+		},
+	}
+	switch s.Mode {
+	case "", "independent":
+	case "workers":
+		cfg.Market.WorkerChoice = true
+		cfg.Market.ArrivalRate = s.Arrival
+	default:
+		return campaign.Config{}, fmt.Errorf("unknown mode %q (want \"independent\" or \"workers\")", s.Mode)
+	}
+	prior, err := s.Prior.Build(s.Name+"-prior", opts)
+	if err != nil {
+		return campaign.Config{}, fmt.Errorf("prior: %w", err)
+	}
+	cfg.Prior = prior
+	for i, g := range s.Groups {
+		truth, err := g.True.Build(g.Name, opts)
+		if err != nil {
+			return campaign.Config{}, fmt.Errorf("group %d: true model: %w", i, err)
+		}
+		accuracy := g.Accuracy
+		if accuracy == 0 {
+			accuracy = 1
+		}
+		cfg.Groups = append(cfg.Groups, campaign.Group{
+			Name:  g.Name,
+			Tasks: g.Tasks,
+			Reps:  g.Reps,
+			Class: &market.TaskClass{
+				Name:     g.Name,
+				Accept:   truth,
+				ProcRate: g.ProcRate,
+				Accuracy: accuracy,
+			},
+		})
+	}
+	if s.Drift != nil {
+		cfg.Drift = campaign.Drift{Kind: s.Drift.Kind, Factor: s.Drift.Factor, Round: s.Drift.Round}
+	}
+	return cfg, nil
+}
+
+// buildFleet expands a named preset.
+func buildFleet(f FleetSpec) ([]campaign.Config, error) {
+	switch f.Preset {
+	case "paper":
+		return workload.PaperCampaignFleet(f.Seed)
+	}
+	return nil, fmt.Errorf("unknown fleet preset %q (want \"paper\")", f.Preset)
+}
+
+// ParseCampaigns decodes a campaign spec document — exactly one of
+// "campaign", "campaigns" or "fleet" at the top level — and materializes
+// its campaign configurations in document order. Unknown fields are
+// rejected, like Parse. Validation beyond shape (budgets, drift kinds)
+// happens in campaign.New so the CLI and the service agree on it.
+func ParseCampaigns(raw []byte, opts BuildOpts) ([]campaign.Config, error) {
+	var doc campaignDoc
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		for _, key := range []string{"\"budget\"", "\"groups\"", "\"problems\""} {
+			if strings.Contains(err.Error(), "unknown field "+key) {
+				return nil, fmt.Errorf("parse campaign spec: %w (this is a one-shot solve spec: drop -campaign, or POST it to /v1/solve)", err)
+			}
+		}
+		return nil, fmt.Errorf("parse campaign spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("parse campaign spec: trailing data after the document")
+	}
+	kinds := 0
+	if doc.Campaign != nil {
+		kinds++
+	}
+	if len(doc.Campaigns) > 0 {
+		kinds++
+	}
+	if doc.Fleet != nil {
+		kinds++
+	}
+	if kinds != 1 {
+		return nil, fmt.Errorf("campaign spec needs exactly one of \"campaign\", \"campaigns\" or \"fleet\" at the top level")
+	}
+	switch {
+	case doc.Campaign != nil:
+		cfg, err := doc.Campaign.Build(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []campaign.Config{cfg}, nil
+	case doc.Fleet != nil:
+		return buildFleet(*doc.Fleet)
+	}
+	cfgs := make([]campaign.Config, len(doc.Campaigns))
+	for i, s := range doc.Campaigns {
+		cfg, err := s.Build(opts)
+		if err != nil {
+			return nil, fmt.Errorf("campaign %d: %w", i, err)
+		}
+		cfgs[i] = cfg
+	}
+	return cfgs, nil
+}
+
+// LoadCampaigns reads and parses a campaign spec file.
+func LoadCampaigns(path string, opts BuildOpts) ([]campaign.Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfgs, err := ParseCampaigns(raw, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfgs, nil
+}

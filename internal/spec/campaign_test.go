@@ -1,0 +1,115 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"hputune/internal/campaign"
+)
+
+const oneCampaign = `{
+  "campaign": {
+    "name": "c", "roundBudget": 100, "rounds": 4, "budget": 400,
+    "epsilon": 0.1, "seed": 9, "historyCap": 2,
+    "prior": {"kind": "linear", "k": 1, "b": 1},
+    "groups": [
+      {"name": "g", "tasks": 5, "reps": 2, "procRate": 2.0, "accuracy": 0.8,
+       "true": {"kind": "quadratic"}}
+    ],
+    "drift": {"kind": "shock", "factor": 0.5, "round": 2}
+  }
+}`
+
+func TestParseCampaignSingle(t *testing.T) {
+	cfgs, err := ParseCampaigns([]byte(oneCampaign), BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 1 {
+		t.Fatalf("%d configs", len(cfgs))
+	}
+	cfg := cfgs[0]
+	if cfg.Name != "c" || cfg.RoundBudget != 100 || cfg.MaxRounds != 4 || cfg.Budget != 400 ||
+		cfg.Epsilon != 0.1 || cfg.Seed != 9 || cfg.HistoryCap != 2 {
+		t.Fatalf("config %+v", cfg)
+	}
+	if len(cfg.Groups) != 1 || cfg.Groups[0].Tasks != 5 || cfg.Groups[0].Reps != 2 {
+		t.Fatalf("groups %+v", cfg.Groups)
+	}
+	cls := cfg.Groups[0].Class
+	if cls.Accuracy != 0.8 || cls.ProcRate != 2.0 || cls.Accept.Name() != "1+p^2" {
+		t.Fatalf("class %+v", cls)
+	}
+	if cfg.Prior.Name() != "p+1" {
+		t.Fatalf("prior %q", cfg.Prior.Name())
+	}
+	if cfg.Drift != (campaign.Drift{Kind: "shock", Factor: 0.5, Round: 2}) {
+		t.Fatalf("drift %+v", cfg.Drift)
+	}
+	// The parsed config must be accepted verbatim by the engine.
+	if _, err := campaign.New(nil, cfg); err != nil {
+		t.Fatalf("campaign.New: %v", err)
+	}
+}
+
+func TestParseCampaignModes(t *testing.T) {
+	doc := `{"campaign": {"name": "w", "roundBudget": 10, "mode": "workers", "arrival": 4,
+	  "prior": {"kind": "linear", "k": 1, "b": 1},
+	  "groups": [{"name": "g", "tasks": 2, "reps": 2, "procRate": 1, "true": {"kind": "linear", "k": 1, "b": 1}}]}}`
+	cfgs, err := ParseCampaigns([]byte(doc), BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfgs[0].Market.WorkerChoice || cfgs[0].Market.ArrivalRate != 4 {
+		t.Fatalf("market %+v", cfgs[0].Market)
+	}
+	if _, err := ParseCampaigns([]byte(strings.Replace(doc, "workers", "psychic", 1)), BuildOpts{}); err == nil || !strings.Contains(err.Error(), "unknown mode") {
+		t.Fatalf("bad mode: %v", err)
+	}
+}
+
+func TestParseCampaignFleetPreset(t *testing.T) {
+	cfgs, err := ParseCampaigns([]byte(`{"fleet": {"preset": "paper", "seed": 3}}`), BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) < 8 {
+		t.Fatalf("paper preset has %d campaigns", len(cfgs))
+	}
+	if _, err := ParseCampaigns([]byte(`{"fleet": {"preset": "imaginary"}}`), BuildOpts{}); err == nil || !strings.Contains(err.Error(), "unknown fleet preset") {
+		t.Fatalf("unknown preset: %v", err)
+	}
+}
+
+func TestParseCampaignRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"empty", `{}`, "exactly one of"},
+		{"two kinds", `{"campaign": {"name": "a"}, "fleet": {"preset": "paper"}}`, "exactly one of"},
+		{"unknown field", `{"campaign": {"name": "a", "rate": 2}}`, "unknown field"},
+		{"solve spec", `{"budget": 10, "groups": []}`, "drop -campaign"},
+		{"trailing", `{"fleet": {"preset": "paper"}} {}`, "trailing data"},
+		{"bad prior", `{"campaign": {"name": "a", "roundBudget": 1, "prior": {"kind": "x"}, "groups": [{"name": "g", "tasks": 1, "reps": 1, "procRate": 1, "true": {"kind": "linear"}}]}}`, "prior"},
+		{"bad true model", `{"campaign": {"name": "a", "roundBudget": 1, "prior": {"kind": "linear", "k": 1, "b": 1}, "groups": [{"name": "g", "tasks": 1, "reps": 1, "procRate": 1, "true": {"kind": "x"}}]}}`, "true model"},
+		{"fleet campaign error is indexed", `{"campaigns": [
+		   {"name": "ok", "roundBudget": 4, "prior": {"kind": "linear", "k": 1, "b": 1}, "groups": [{"name": "g", "tasks": 2, "reps": 2, "procRate": 1, "true": {"kind": "linear", "k": 1, "b": 1}}]},
+		   {"name": "bad", "roundBudget": 4, "prior": {"kind": "nope"}, "groups": [{"name": "g", "tasks": 2, "reps": 2, "procRate": 1, "true": {"kind": "linear", "k": 1, "b": 1}}]}]}`, "campaign 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseCampaigns([]byte(tc.doc), BuildOpts{}); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSolveParseHintsAtCampaigns pins the cross-kind redirect in Parse.
+func TestSolveParseHintsAtCampaigns(t *testing.T) {
+	if _, _, err := Parse([]byte(oneCampaign), BuildOpts{}); err == nil || !strings.Contains(err.Error(), "htune -campaign") {
+		t.Fatalf("Parse on a campaign spec: %v", err)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"hputune/internal/htuning"
 	"hputune/internal/pricing"
@@ -129,6 +130,11 @@ func Parse(raw []byte, opts BuildOpts) (problems []htuning.Problem, batch bool, 
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&s); err != nil {
+		for _, key := range []string{"\"campaign\"", "\"campaigns\"", "\"fleet\""} {
+			if strings.Contains(err.Error(), "unknown field "+key) {
+				return nil, false, fmt.Errorf("parse spec: %w (this is a campaign spec: run htune -campaign or POST it to /v1/campaigns)", err)
+			}
+		}
 		return nil, false, fmt.Errorf("parse spec: %w", err)
 	}
 	if dec.More() {

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"context"
+	"testing"
+
+	"hputune/internal/campaign"
+)
+
+func TestPaperCampaignFleetShape(t *testing.T) {
+	cfgs, err := PaperCampaignFleet(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) < 8 {
+		t.Fatalf("fleet has %d campaigns, want >= 8", len(cfgs))
+	}
+	drifted := 0
+	names := map[string]bool{}
+	seeds := map[uint64]bool{}
+	for i, cfg := range cfgs {
+		if names[cfg.Name] {
+			t.Fatalf("duplicate campaign name %q", cfg.Name)
+		}
+		names[cfg.Name] = true
+		if seeds[cfg.Seed] {
+			t.Fatalf("campaign %d reuses a seed", i)
+		}
+		seeds[cfg.Seed] = true
+		if cfg.Drift.Kind != campaign.DriftNone {
+			drifted++
+		}
+		// Every preset must be runnable as-is.
+		if _, err := campaign.New(nil, cfg); err != nil {
+			t.Fatalf("campaign %q invalid: %v", cfg.Name, err)
+		}
+	}
+	if drifted < 2 {
+		t.Fatalf("fleet has %d drifted campaigns, want >= 2", drifted)
+	}
+}
+
+func TestPaperCampaignFleetDeterministic(t *testing.T) {
+	a, err := PaperCampaignFleet(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PaperCampaignFleet(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Seed != b[i].Seed || a[i].Name != b[i].Name {
+			t.Fatalf("fleet build not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	other, err := PaperCampaignFleet(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other[0].Seed == a[0].Seed {
+		t.Fatal("different fleet seeds produced the same campaign seed")
+	}
+}
+
+// TestPaperCampaignFleetRuns drives the whole fleet to terminal states —
+// the roadmap's scenario-diversity smoke: every campaign must stop for
+// the reason its design dictates.
+func TestPaperCampaignFleetRuns(t *testing.T) {
+	cfgs, err := PaperCampaignFleet(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := campaign.RunFleet(context.Background(), nil, cfgs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	converged := 0
+	for i, r := range results {
+		if !r.Status.Terminal() {
+			t.Fatalf("campaign %q ended non-terminal: %s", r.Name, r.Status)
+		}
+		if r.Status == campaign.StatusFailed {
+			t.Fatalf("campaign %q failed: %s", r.Name, r.Reason)
+		}
+		if r.RoundsRun < 2 {
+			t.Fatalf("campaign %q ran only %d rounds", r.Name, r.RoundsRun)
+		}
+		if cfgs[i].Drift.Kind == campaign.DriftRate && r.Status != campaign.StatusBudgetExhausted {
+			// The rate-drift variant runs epsilon 0 on a tight budget: a
+			// perpetually moving fit must stop only on budget exhaustion.
+			t.Fatalf("rate-drift campaign stopped with %s (%s), want %s", r.Status, r.Reason, campaign.StatusBudgetExhausted)
+		}
+		if r.Converged {
+			converged++
+		}
+	}
+	if converged < 3 {
+		t.Fatalf("only %d campaigns converged; the stationary scenarios should", converged)
+	}
+}

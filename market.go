@@ -47,6 +47,19 @@ const (
 // NewMarket creates a marketplace simulation.
 func NewMarket(cfg MarketConfig) (*Market, error) { return market.New(cfg) }
 
+// ReplicatedMakespans runs rounds independent simulations of the same
+// task batch across a bounded worker pool (workers <= 0 means
+// GOMAXPROCS) and returns each round's makespan in round order. Round
+// i's seed derives only from (cfg.Seed, i), so the slice is a pure
+// function of the arguments no matter the worker count — the
+// deterministic batch primitive behind SimulateBatch and the
+// experiments. Note the seed-compatibility consequence: replicated
+// estimates at seed s do not reproduce a single-stream run at seed s
+// (round 0 draws from a derived stream, not cfg.Seed itself).
+func ReplicatedMakespans(cfg MarketConfig, specs []TaskSpec, rounds, workers int) ([]float64, error) {
+	return market.ReplicatedMakespans(cfg, specs, rounds, workers)
+}
+
 // SummarizeMarket aggregates a finished run's results.
 func SummarizeMarket(results []TaskResult) MarketSummary { return market.Summarize(results) }
 

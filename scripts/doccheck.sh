@@ -1,0 +1,27 @@
+#!/bin/sh
+# doccheck.sh — guard that every internal/* package carries a gofmt-style
+# package comment: a "// Package <name>" (or "/* Package <name>") doc
+# comment in at least one of its non-test Go files. pkg.go.dev and godoc
+# render nothing for a package without one.
+set -u
+
+fail=0
+go list -f '{{.Dir}} {{.Name}}' ./internal/... | while read -r dir name; do
+    found=0
+    for g in "$dir"/*.go; do
+        case "$g" in *_test.go) continue ;; esac
+        if grep -qE "^(// Package $name |/\* Package $name )" "$g"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" -eq 0 ]; then
+        echo "doccheck: package $name ($dir) has no package comment" >&2
+        echo broken > "${TMPDIR:-/tmp}/doccheck.$$"
+    fi
+done
+if [ -e "${TMPDIR:-/tmp}/doccheck.$$" ]; then
+    rm -f "${TMPDIR:-/tmp}/doccheck.$$"
+    exit 1
+fi
+exit "$fail"

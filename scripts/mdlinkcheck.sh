@@ -1,0 +1,32 @@
+#!/bin/sh
+# mdlinkcheck.sh FILE.md... — verify every relative markdown link target
+# exists. External links (http/https/mailto) are skipped; fragment-only
+# links (#section) are skipped; a trailing #anchor on a file link is
+# stripped before the existence check. Exits non-zero listing every
+# broken link.
+set -u
+
+fail=0
+for f in "$@"; do
+    [ -f "$f" ] || { echo "mdlinkcheck: no such file: $f" >&2; fail=1; continue; }
+    dir=$(dirname "$f")
+    # Inline links: capture the (...) target of ](...), tolerating
+    # multiple links per line.
+    grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//' |
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "mdlinkcheck: $f: broken link: $target" >&2
+            echo broken > "${TMPDIR:-/tmp}/mdlinkcheck.$$"
+        fi
+    done
+done
+if [ -e "${TMPDIR:-/tmp}/mdlinkcheck.$$" ]; then
+    rm -f "${TMPDIR:-/tmp}/mdlinkcheck.$$"
+    exit 1
+fi
+exit "$fail"
