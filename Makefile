@@ -8,7 +8,7 @@ GO ?= go
 # platform variance; raise it as coverage grows, never lower it.
 COVER_MIN ?= 81.0
 
-.PHONY: all build test race bench lint fmt cover cover-check fuzz-smoke linkcheck doccheck docs bench-campaign
+.PHONY: all build test race bench lint fmt cover cover-check fuzz-smoke linkcheck doccheck docs bench-campaign bench-suite bench-smoke bench-compare
 
 all: lint build test
 
@@ -71,7 +71,43 @@ doccheck:
 docs: linkcheck doccheck
 	$(GO) vet ./...
 
-# bench-campaign re-runs the committed BENCH_campaign.json workload;
-# update the JSON from its output when the engine changes materially.
+# The standing benchmark subsystem (cmd/htbench + internal/benchio).
+# BENCH_SUITES lists the committed BENCH_<suite>.json baselines;
+# methodology and how to read them: docs/PERFORMANCE.md.
+BENCH_SUITES ?= campaign solvers market inference
+BENCH_COMMIT ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+BENCH_FRESH_DIR ?= bench-fresh
+
+# bench-suite regenerates every committed baseline in place (run on a
+# quiet machine; commit the JSON alongside the change that moved the
+# numbers).
+bench-suite:
+	$(GO) run ./cmd/htbench -suite all -benchtime 10x -out . -commit $(BENCH_COMMIT)
+
+# bench-campaign regenerates only BENCH_campaign.json (machine-written;
+# never hand-edit the JSON).
 bench-campaign:
-	$(GO) test -run=NONE -bench 'BenchmarkCampaignFleet$$' -benchtime=10x ./internal/campaign/
+	$(GO) run ./cmd/htbench -suite campaign -benchtime 10x -out . -commit $(BENCH_COMMIT)
+
+# bench-smoke measures the whole suite surface at a few iterations into
+# $(BENCH_FRESH_DIR) — cheap enough for CI (benchmarks warm up before
+# their timers start, so small iteration counts still read steady
+# state), and the input bench-compare diffs against the committed
+# baselines.
+bench-smoke:
+	mkdir -p $(BENCH_FRESH_DIR)
+	$(GO) run ./cmd/htbench -suite all -benchtime 10x -out $(BENCH_FRESH_DIR) -commit $(BENCH_COMMIT)
+
+# bench-compare fails on >2x ns/op or >1.5x allocs/op drift of any
+# baseline benchmark (generous on wall time — CI machines differ from
+# the baseline machine; allocs/op is the stable cross-machine signal;
+# sub-10µs baselines skip the wall-time check entirely, it is timer
+# noise at smoke iteration counts; allocation drift has a 16-alloc
+# absolute slack so zero-alloc baselines stay guarded without flagging
+# single-alloc jitter).
+bench-compare:
+	@status=0; for s in $(BENCH_SUITES); do \
+		$(GO) run ./cmd/htbench -compare -max-ns-ratio 2.0 -max-alloc-ratio 1.5 \
+			-min-ns-floor 10000 -alloc-floor 16 \
+			BENCH_$$s.json $(BENCH_FRESH_DIR)/BENCH_$$s.json || status=1; \
+	done; exit $$status

@@ -7,7 +7,12 @@
 //	crowdsim [-tasks 50] [-reps 3] [-price 2] [-k 1] [-b 1] [-proc 2]
 //	         [-mode independent|workers] [-arrival 10] [-seed 1] [-trace]
 //	         [-abandon 0.2 -abandonrate 4] [-out trace.csv|trace.jsonl]
-//	         [-replicate 100 [-workers 8]]
+//	         [-replicate 100 [-workers 8]] [-env]
+//
+// -env prints the environment block (goos/goarch/CPU/GOMAXPROCS) that
+// the htbench harness embeds in BENCH_*.json files — the same capture
+// helper (internal/benchio), so a crowdsim timing quoted next to a
+// benchmark baseline carries an identical machine description.
 //
 // A plain run drives one event-ordered simulation from -seed and prints
 // its trace-level summary. With -replicate N the batch is instead
@@ -27,6 +32,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +40,7 @@ import (
 	"strings"
 
 	"hputune"
+	"hputune/internal/benchio"
 )
 
 func main() {
@@ -55,7 +62,17 @@ func main() {
 	out := flag.String("out", "", "write the trace to this file (.csv or .jsonl)")
 	replicate := flag.Int("replicate", 0, "simulate the batch this many independent times on the deterministic replication engine (0 = one traced run)")
 	workers := flag.Int("workers", 0, "worker pool for -replicate (0 = GOMAXPROCS; never changes the estimates)")
+	env := flag.Bool("env", false, "print the benchmark environment block (shared with htbench) and exit")
 	flag.Parse()
+
+	if *env {
+		out, err := json.MarshalIndent(benchio.CaptureEnvironment(), "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
 
 	cfg := hputune.MarketConfig{Seed: *seed}
 	if *abandon > 0 {

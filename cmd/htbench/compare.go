@@ -1,0 +1,42 @@
+package main
+
+import (
+	"fmt"
+
+	"hputune/internal/benchio"
+)
+
+// runCompare diffs a fresh suite measurement against a committed
+// baseline and fails (non-nil error) on any tolerance violation. Both
+// schemas benchio understands are accepted, so the committed legacy
+// BENCH_campaign.json remains comparable.
+func runCompare(baselinePath, freshPath string, maxNs, maxAlloc, nsFloor float64, allocFloor int64) error {
+	baseline, err := benchio.Read(baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := benchio.Read(freshPath)
+	if err != nil {
+		return err
+	}
+	if baseline.Environment.CPU != "" && fresh.Environment.CPU != "" &&
+		baseline.Environment.CPU != fresh.Environment.CPU {
+		fmt.Printf("note: comparing across machine classes (%q vs %q); ns/op drift is expected, allocs/op is the reliable signal\n",
+			baseline.Environment.CPU, fresh.Environment.CPU)
+	}
+	regs := benchio.Compare(baseline, fresh, benchio.Tolerance{
+		MaxNsRatio:    maxNs,
+		MaxAllocRatio: maxAlloc,
+		NsFloor:       nsFloor,
+		AllocFloor:    allocFloor,
+	})
+	if len(regs) == 0 {
+		fmt.Printf("%s: %d benchmarks within tolerance (ns/op <= %.2gx, allocs/op <= %.2gx)\n",
+			freshPath, len(baseline.Benchmarks), maxNs, maxAlloc)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Printf("REGRESSION %s\n", r)
+	}
+	return fmt.Errorf("%d regression(s) against %s", len(regs), baselinePath)
+}

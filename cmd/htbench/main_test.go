@@ -1,0 +1,107 @@
+package main
+
+import (
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hputune/internal/benchio"
+)
+
+func TestSelectSuites(t *testing.T) {
+	all, err := selectSuites("all")
+	if err != nil || len(all) != len(suites) {
+		t.Fatalf("selectSuites(all) = %d suites, err %v", len(all), err)
+	}
+	one, err := selectSuites("market")
+	if err != nil || len(one) != 1 || one[0].name != "market" {
+		t.Fatalf("selectSuites(market) = %+v, err %v", one, err)
+	}
+	if _, err := selectSuites("nope"); err == nil {
+		t.Error("selectSuites accepted an unknown suite")
+	}
+}
+
+// TestSuiteRegistry pins the declared surface: the four committed
+// baselines exist, every benchmark is named, and names are unique
+// within a suite (Compare matches by name).
+func TestSuiteRegistry(t *testing.T) {
+	want := map[string]bool{"campaign": true, "solvers": true, "market": true, "inference": true}
+	for _, s := range suites {
+		if !want[s.name] {
+			t.Errorf("unregistered suite name %q", s.name)
+		}
+		delete(want, s.name)
+		if s.pkg == "" || s.description == "" {
+			t.Errorf("suite %s missing pkg or description", s.name)
+		}
+		seen := map[string]bool{}
+		for _, b := range s.benchmarks {
+			if b.name == "" || b.fn == nil {
+				t.Errorf("suite %s has an unnamed or bodyless benchmark", s.name)
+			}
+			if seen[b.name] {
+				t.Errorf("suite %s: duplicate benchmark %s", s.name, b.name)
+			}
+			seen[b.name] = true
+		}
+	}
+	for name := range want {
+		t.Errorf("suite %s not registered", name)
+	}
+}
+
+// TestRunSuitesAndCompare drives the real harness end to end on the
+// cheap suites at one iteration: measure, write, self-compare (always
+// within tolerance), then a doctored regression must fail. The campaign
+// suite is exercised by BenchmarkCampaignFleet and the fleet tests; its
+// two fleet runs per benchmark are too heavy for the unit suite.
+func TestRunSuitesAndCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	if err := flag.Set("test.benchtime", "1x"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"solvers", "market", "inference"} {
+		sel, err := selectSuites(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := runSuite(sel[0], "1x", "testcommit")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(doc.Benchmarks) != len(sel[0].benchmarks) {
+			t.Fatalf("%s: measured %d of %d benchmarks", name, len(doc.Benchmarks), len(sel[0].benchmarks))
+		}
+		path := filepath.Join(dir, "BENCH_"+name+".json")
+		if err := writeSuite(path, doc); err != nil {
+			t.Fatal(err)
+		}
+		if err := runCompare(path, path, 2.0, 1.5, 10000, 16); err != nil {
+			t.Errorf("%s: self-compare failed: %v", name, err)
+		}
+	}
+	// Doctor a gross allocation regression into a copy and require the
+	// comparison to fail on it.
+	base, err := benchio.Read(filepath.Join(dir, "BENCH_market.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	worse := base
+	worse.Benchmarks = append([]benchio.Result(nil), base.Benchmarks...)
+	for i := range worse.Benchmarks {
+		worse.Benchmarks[i].AllocsPerOp = worse.Benchmarks[i].AllocsPerOp*2 + 100
+	}
+	worsePath := filepath.Join(dir, "BENCH_market_worse.json")
+	if err := benchio.Write(worsePath, worse); err != nil {
+		t.Fatal(err)
+	}
+	err = runCompare(filepath.Join(dir, "BENCH_market.json"), worsePath, 2.0, 1.5, 10000, 16)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Errorf("doctored regression not caught: %v", err)
+	}
+}

@@ -1,0 +1,368 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"hputune/internal/benchio"
+	"hputune/internal/campaign"
+	"hputune/internal/engine"
+	"hputune/internal/htuning"
+	"hputune/internal/inference"
+	"hputune/internal/market"
+	"hputune/internal/pricing"
+	"hputune/internal/workload"
+)
+
+// benchDef is one declared benchmark: a name, the inner rounds one
+// iteration performs (0 when the benchmark has no such unit — it feeds
+// ms_per_round), a note for readers of the JSON, and the body.
+type benchDef struct {
+	name   string
+	rounds int
+	note   string
+	fn     func(b *testing.B)
+}
+
+// suiteDef is one BENCH_<suite>.json worth of benchmarks.
+type suiteDef struct {
+	name        string
+	pkg         string
+	description string
+	benchmarks  []benchDef
+}
+
+// suiteDoc accumulates measurements into the benchio schema.
+type suiteDoc struct{ benchio.Suite }
+
+func newSuiteDoc(s suiteDef, benchtime, commit, date string) suiteDoc {
+	return suiteDoc{benchio.Suite{
+		Suite:       s.name,
+		Package:     s.pkg,
+		Description: s.description,
+		Recorded:    date,
+		Commit:      commit,
+		Environment: benchio.CaptureEnvironment(),
+		Command:     fmt.Sprintf("go run ./cmd/htbench -suite %s -benchtime %s -out .", s.name, benchtime),
+	}}
+}
+
+func (d *suiteDoc) add(b benchDef, r testing.BenchmarkResult) {
+	res := benchio.FromBenchmarkResult(b.name, r, b.rounds)
+	res.Note = b.note
+	d.Benchmarks = append(d.Benchmarks, res)
+}
+
+func writeSuite(path string, d suiteDoc) error { return benchio.Write(path, d.Suite) }
+
+// Fixed workloads. Sizes and seeds are pinned so every run of a suite
+// measures the same work — see docs/PERFORMANCE.md for the methodology.
+
+// prior is the mistuned belief the campaign fleet starts from; the
+// solver suites price under it so their integrals match the campaign
+// hot path's.
+var prior = pricing.Linear{K: 1, B: 1}
+
+// solverProblem is the fleet round shape: 50 tasks × 3 reps and
+// 50 × 5 under one task type, budget 1000.
+func solverProblem(procRates ...float64) htuning.Problem {
+	reps := []int{3, 5}
+	p := htuning.Problem{Budget: 1000}
+	for i, proc := range procRates {
+		p.Groups = append(p.Groups, htuning.Group{
+			Type:  &htuning.TaskType{Name: fmt.Sprintf("g%d", reps[i]), Accept: prior, ProcRate: proc},
+			Tasks: 50,
+			Reps:  reps[i],
+		})
+	}
+	return p
+}
+
+// warmed returns an estimator pre-warmed by one run of fn, so the
+// recorded iterations measure the steady serving state (cache hits plus
+// solver mechanics) rather than a mix of cold and warm passes.
+func warmed(b *testing.B, fn func(est *htuning.Estimator) error) *htuning.Estimator {
+	b.Helper()
+	est := htuning.NewEstimator()
+	if err := fn(est); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	return est
+}
+
+var solverSuite = suiteDef{
+	name:        "solvers",
+	pkg:         "hputune/internal/htuning",
+	description: "solver hot paths on the fleet round shape (2 groups, 100 tasks, budget 1000) with a warmed shared estimator; Reference benchmarks are the unoptimized certification paths (the optimization ablation)",
+	benchmarks: []benchDef{
+		{name: "RASolve", note: "Algorithm 2 greedy, incremental-delta path", fn: func(b *testing.B) {
+			p := solverProblem(2, 2)
+			est := warmed(b, func(est *htuning.Estimator) error { _, err := htuning.SolveRepetition(est, p); return err })
+			for i := 0; i < b.N; i++ {
+				if _, err := htuning.SolveRepetition(est, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "RASolveReference", note: "Algorithm 2 greedy, unoptimized reference path", fn: func(b *testing.B) {
+			p := solverProblem(2, 2)
+			est := warmed(b, func(est *htuning.Estimator) error { _, err := htuning.SolveRepetitionReference(est, p); return err })
+			for i := 0; i < b.N; i++ {
+				if _, err := htuning.SolveRepetitionReference(est, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "RASolveDP", note: "exact multiple-choice knapsack certification solver", fn: func(b *testing.B) {
+			p := solverProblem(2, 2)
+			est := warmed(b, func(est *htuning.Estimator) error { _, err := htuning.SolveRepetitionDP(est, p); return err })
+			for i := 0; i < b.N; i++ {
+				if _, err := htuning.SolveRepetitionDP(est, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "HASolve", note: "Algorithm 3, incremental candidate scoring + binary-search O2", fn: func(b *testing.B) {
+			p := solverProblem(2, 3)
+			est := warmed(b, func(est *htuning.Estimator) error { _, err := htuning.SolveHeterogeneous(est, p); return err })
+			for i := 0; i < b.N; i++ {
+				if _, err := htuning.SolveHeterogeneous(est, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "HASolveReference", note: "Algorithm 3, unoptimized reference path", fn: func(b *testing.B) {
+			p := solverProblem(2, 3)
+			est := warmed(b, func(est *htuning.Estimator) error {
+				_, err := htuning.SolveHeterogeneousNormReference(est, p, htuning.NormL1)
+				return err
+			})
+			for i := 0; i < b.N; i++ {
+				if _, err := htuning.SolveHeterogeneousNormReference(est, p, htuning.NormL1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "EASolve", note: "Algorithm 1 closed-form split, one group of 100 tasks x 5 reps", fn: func(b *testing.B) {
+			p := htuning.Problem{
+				Budget: 1000,
+				Groups: []htuning.Group{{
+					Type:  &htuning.TaskType{Name: "g", Accept: prior, ProcRate: 2},
+					Tasks: 100,
+					Reps:  5,
+				}},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := htuning.EvenAllocation(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "SolveBatch64", rounds: 64, note: "64 distinct RA instances on the batch engine, GOMAXPROCS pool; ms_per_round is per instance", fn: func(b *testing.B) {
+			problems := make([]htuning.Problem, 64)
+			for i := range problems {
+				problems[i] = solverProblem(2, 2)
+				problems[i].Budget = 900 + i*4
+			}
+			est := warmed(b, func(est *htuning.Estimator) error {
+				_, err := engine.SolveBatch(est, problems, engine.Options{})
+				return err
+			})
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.SolveBatch(est, problems, engine.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	},
+}
+
+// marketClass is the true market behaviour the simulator benchmarks
+// drive: the fleet's 2p+0.5 acceptance curve.
+var marketClass = &market.TaskClass{Name: "t", Accept: pricing.Linear{K: 2, B: 0.5}, ProcRate: 2, Accuracy: 1}
+
+// marketSpecs builds the simulator batch: tasks identical three-rep
+// tasks at price 2.
+func marketSpecs(tasks, reps int) []market.TaskSpec {
+	specs := make([]market.TaskSpec, tasks)
+	for i := range specs {
+		prices := make([]int, reps)
+		for r := range prices {
+			prices[r] = 2
+		}
+		specs[i] = market.TaskSpec{ID: fmt.Sprintf("t-%03d", i), Class: marketClass, RepPrices: prices}
+	}
+	return specs
+}
+
+var marketSuite = suiteDef{
+	name:        "market",
+	pkg:         "hputune/internal/market",
+	description: "discrete-event marketplace simulator: single runs (steady-state buffer reuse) and the deterministic replication engine",
+	benchmarks: []benchDef{
+		{name: "SimRun", note: "one event-ordered run of 100 tasks x 3 reps, independent acceptance, recycled Buffers (steady state: first run's allocations excluded)", fn: func(b *testing.B) {
+			specs := marketSpecs(100, 3)
+			var buf market.Buffers
+			runOnce := func() {
+				sim, err := market.NewWithBuffers(market.Config{Seed: 1}, &buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sim.PostAll(specs); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			runOnce()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runOnce()
+			}
+		}},
+		{name: "SimRunWorkerChoice", note: "one run of 100 tasks x 3 reps under Poisson worker arrivals (rate 25); steady state", fn: func(b *testing.B) {
+			specs := marketSpecs(100, 3)
+			var buf market.Buffers
+			runOnce := func() {
+				sim, err := market.NewWithBuffers(market.Config{Mode: market.ModeWorkerChoice, ArrivalRate: 25, Seed: 1}, &buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sim.PostAll(specs); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			runOnce()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runOnce()
+			}
+		}},
+		{name: "ReplicatedMakespans64", rounds: 64, note: "64 deterministic replications of 100 tasks x 3 reps on the GOMAXPROCS pool; ms_per_round is per replication; steady state", fn: func(b *testing.B) {
+			specs := marketSpecs(100, 3)
+			cfg := market.Config{Seed: 1}
+			if _, err := market.ReplicatedMakespans(cfg, specs, 64, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := market.ReplicatedMakespans(cfg, specs, 64, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	},
+}
+
+var inferenceSuite = suiteDef{
+	name:        "inference",
+	pkg:         "hputune/internal/inference",
+	description: "the re-fit half of the closed loop (aggregate folding + linearity fit) and the estimator cache hit/miss costs it competes with",
+	benchmarks: []benchDef{
+		{name: "FitAggregates64", note: "per-price MLE + least-squares line over 64 price levels", fn: func(b *testing.B) {
+			aggs := make(map[int]inference.PriceAggregate, 64)
+			for price := 1; price <= 64; price++ {
+				agg := aggs[price]
+				agg.Add(200, 200/(2*float64(price)+0.5))
+				aggs[price] = agg
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := inference.FitAggregates(aggs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "FoldRecords", rounds: 400, note: "folding one round's 400 repetition records into cumulative price aggregates; ms_per_round is per record", fn: func(b *testing.B) {
+			aggs := make(map[int]inference.PriceAggregate)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < 400; r++ {
+					price := 1 + r%4
+					agg := aggs[price]
+					agg.Add(1, 0.4+float64(r%7)*0.05)
+					aggs[price] = agg
+				}
+			}
+		}},
+		{name: "EstimatorCacheHit", note: "one memoized E[max] lookup (sharded LRU hit: lock, map probe, list splice)", fn: func(b *testing.B) {
+			est := htuning.NewEstimator()
+			g := htuning.Group{Type: &htuning.TaskType{Name: "g", Accept: prior, ProcRate: 2}, Tasks: 50, Reps: 3}
+			if _, err := est.GroupPhase1Mean(g, 2); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.GroupPhase1Mean(g, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{name: "EstimatorCacheMiss", note: "one full E[max of 10 Erlang] integral per op: every lookup uses a never-seen price, so every op is a true miss regardless of cache layout", fn: func(b *testing.B) {
+			est := htuning.NewEstimator()
+			g := htuning.Group{Type: &htuning.TaskType{Name: "g", Accept: prior, ProcRate: 2}, Tasks: 10, Reps: 3}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.GroupPhase1Mean(g, 1+i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	},
+}
+
+var campaignSuite = suiteDef{
+	name:        "campaign",
+	pkg:         "hputune/internal/campaign",
+	description: "16 concurrent closed-loop campaigns x 8 rounds each (solve -> market-execute -> re-fit per round), shared estimator; one iteration = 128 rounds (workload.BenchCampaignFleet, same fleet as BenchmarkCampaignFleet)",
+	benchmarks: []benchDef{
+		{name: "CampaignFleet", rounds: 128, note: "GOMAXPROCS worker pool; steady state (one warmup fleet run before the timer)", fn: func(b *testing.B) {
+			cfgs := workload.BenchCampaignFleet()
+			est := htuning.NewEstimator()
+			ctx := context.Background()
+			// One warmup run so the recorded iterations measure the
+			// steady serving state (integrals cached, pools populated)
+			// at any -benchtime, keeping smoke runs comparable to
+			// baselines.
+			if _, err := campaign.RunFleet(ctx, est, cfgs, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := campaign.RunFleet(ctx, est, cfgs, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.RoundsRun != 8 {
+						b.Fatalf("campaign %s ran %d rounds, want 8", r.Name, r.RoundsRun)
+					}
+				}
+			}
+		}},
+		{name: "CampaignFleetSerial", rounds: 128, note: "one worker - the parallel speedup denominator; steady state", fn: func(b *testing.B) {
+			cfgs := workload.BenchCampaignFleet()
+			est := htuning.NewEstimator()
+			ctx := context.Background()
+			if _, err := campaign.RunFleet(ctx, est, cfgs, 1); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := campaign.RunFleet(ctx, est, cfgs, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	},
+}
+
+// suites is the registry, in the order files are written.
+var suites = []suiteDef{campaignSuite, solverSuite, marketSuite, inferenceSuite}

@@ -66,6 +66,48 @@
 //     result, only how fast it arrives. Fixed seed in, identical
 //     float64 out — on one core or sixty-four.
 //
+// # Performance and the benchmark harness
+//
+// The hot path (solve → simulate → re-fit, hundreds of rounds per
+// second in a campaign fleet) is profile-tuned: the solvers score
+// candidates incrementally against cached latency arrays instead of
+// re-walking allocations through the estimator, the market simulator
+// runs a boxing-free event heap and recycles its buffers across rounds,
+// and the expensive phase-type mixture tables are interned process-wide.
+// Every optimized path is pinned bit-identical to a retained reference
+// implementation (SolveRepetitionReference, SolveHeterogeneousNormReference)
+// by parity tests — optimization never changes a result.
+//
+// The standing benchmark harness, cmd/htbench, measures the declared
+// suites (campaign fleet, solvers, market, inference) and writes the
+// committed BENCH_<suite>.json trajectory files; `make bench-suite`
+// regenerates them, `make bench-compare` diffs a fresh run against the
+// baselines with a tolerance, and CI runs that guard on every push.
+// docs/PERFORMANCE.md documents the methodology, current numbers and
+// the optimization log.
+//
+// # Scratch-buffer ownership
+//
+// The hot paths recycle scratch memory, under one rule: a pooled buffer
+// belongs to exactly one call, from acquisition to release, and nothing
+// backed by it may outlive that window — results that escape are copied
+// out first. Concretely:
+//
+//   - solver scratch (internal): solvers copy their price vectors into
+//     fresh slices before returning; callers never see pooled memory.
+//   - market.Buffers (via the root MarketBuffers/NewMarketWithBuffers):
+//     one Buffers belongs to one Sim at a time. Reusing it invalidates
+//     everything the previous run returned by reference — Results and
+//     flattened record slices — so copy anything that must survive.
+//   - campaign executors recycle their market buffers between rounds;
+//     an Observation's Records are therefore valid only until the next
+//     Execute call on the same executor (the loop folds them into
+//     aggregates before re-executing, and custom Executor
+//     implementations get the same latitude).
+//   - uniform allocations share one price row per group (tasks of a
+//     group are identically priced by construction); treat
+//     Allocation.RepPrices as read-only.
+//
 // # Serving
 //
 // NewServer wraps the batch engine in the HTTP JSON API the htuned

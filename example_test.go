@@ -112,3 +112,61 @@ func ExampleCampaign() {
 	// round 0: prices [3 2]
 	// round 1: prices [3 2]
 }
+
+// ExampleSolveBatch tunes a batch of related instances on the
+// concurrent engine: one shared estimator memoizes the E[max]
+// integrals, so overlapping instances reuse each other's work, and the
+// results come back in input order no matter how many workers ran them.
+func ExampleSolveBatch() {
+	typ := &hputune.TaskType{
+		Name:     "pairwise-vote",
+		Accept:   hputune.Linear{K: 1, B: 1},
+		ProcRate: 2.0,
+	}
+	budgets := []int{900, 1000, 1100}
+	problems := make([]hputune.Problem, len(budgets))
+	for i, budget := range budgets {
+		problems[i] = hputune.Problem{
+			Groups: []hputune.Group{
+				{Type: typ, Tasks: 50, Reps: 3},
+				{Type: typ, Tasks: 50, Reps: 5},
+			},
+			Budget: budget,
+		}
+	}
+	results, err := hputune.SolveBatch(hputune.NewEstimator(), problems, hputune.BatchOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i, r := range results {
+		fmt.Printf("budget %d: prices %v, spent %d\n", problems[i].Budget, r.Prices, r.Spent)
+	}
+	// Output:
+	// budget 900: prices [2 2], spent 800
+	// budget 1000: prices [3 2], spent 950
+	// budget 1100: prices [2 3], spent 1050
+}
+
+// ExampleEstimator_CacheStats shows the estimator's bounded memo cache
+// at work: the first lookup of a (shape, rate) key computes the E[max]
+// integral and stores it, repeats are O(1) hits, and the counters make
+// the hit rate observable (htuned serves them via /v1/stats).
+func ExampleEstimator_CacheStats() {
+	est := hputune.NewEstimator()
+	g := hputune.Group{
+		Type:  &hputune.TaskType{Name: "vote", Accept: hputune.Linear{K: 1, B: 1}, ProcRate: 2},
+		Tasks: 50,
+		Reps:  3,
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := est.GroupPhase1Mean(g, 2); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	stats := est.CacheStats()
+	fmt.Printf("hits %d, misses %d, entries %d\n", stats.Hits, stats.Misses, stats.Entries)
+	// Output:
+	// hits 2, misses 1, entries 1
+}

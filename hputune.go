@@ -133,7 +133,13 @@ func RepEvenAllocation(p Problem) (Allocation, error) { return htuning.RepEvenAl
 func UniformTypeAllocation(p Problem) (Allocation, error) { return htuning.UniformTypeAllocation(p) }
 
 // NewUniformAllocation materializes uniform per-group prices into a full
-// repetition-level allocation for p.
+// repetition-level allocation for p. Treat the result's RepPrices as
+// read-only: tasks within a group are identically priced by
+// construction, so they share one backing price row, and writing
+// through one task's row would silently reprice every task of its
+// group. Build rows by hand for allocations that need per-task
+// mutation (see the "Scratch-buffer ownership" section of the package
+// documentation).
 func NewUniformAllocation(p Problem, prices []int) (Allocation, error) {
 	return htuning.NewUniformAllocation(p, prices)
 }

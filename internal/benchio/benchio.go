@@ -1,0 +1,290 @@
+// Package benchio is the I/O layer of the standing benchmark subsystem:
+// the versioned BENCH_<suite>.json trajectory files that record the
+// repository's measured performance over time, the environment capture
+// they embed, and the tolerance comparison CI uses to smoke-guard
+// regressions. cmd/htbench produces the files; make bench-compare (and
+// the CI bench job) diffs a freshly measured suite against the
+// committed baseline through Compare.
+//
+// The schema extends the original hand-written BENCH_campaign.json: the
+// same environment block and per-benchmark counters (ns_per_op,
+// bytes_per_op, allocs_per_op, ms_per_round), with the single "results"
+// object generalized to a "benchmarks" list so one suite file records
+// several benchmarks. Read still accepts the legacy single-result form
+// and normalizes it, so trajectories can span the schema change.
+package benchio
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// Environment describes the machine a suite was measured on — the block
+// every BENCH_*.json embeds so a trajectory diff knows when it is
+// comparing across machine classes.
+type Environment struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPU        string `json:"cpu,omitempty"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Note       string `json:"note,omitempty"`
+}
+
+// CaptureEnvironment records the current process's environment. The CPU
+// model is read best-effort from /proc/cpuinfo (empty where the
+// platform does not expose it).
+func CaptureEnvironment() Environment {
+	return Environment{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPU:        cpuModel(),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// cpuModel parses the first "model name" line of /proc/cpuinfo.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
+// Result is one benchmark's measurement inside a suite.
+type Result struct {
+	// Name is the benchmark's name within the suite ("RASolve",
+	// "CampaignFleet", ...).
+	Name string `json:"name"`
+	// Iterations is b.N of the recorded run.
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// MsPerRound breaks NsPerOp down by the benchmark's inner unit of
+	// work (campaign rounds, replication rounds); 0 when the benchmark
+	// has no such unit.
+	MsPerRound float64 `json:"ms_per_round,omitempty"`
+	// Note carries benchmark-specific context for human readers.
+	Note string `json:"note,omitempty"`
+}
+
+// FromBenchmarkResult converts a testing.Benchmark measurement. rounds
+// is the benchmark's inner rounds per iteration for MsPerRound (0 for
+// none).
+func FromBenchmarkResult(name string, r testing.BenchmarkResult, rounds int) Result {
+	res := Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if rounds > 0 {
+		res.MsPerRound = res.NsPerOp / float64(rounds) / 1e6
+	}
+	return res
+}
+
+// Suite is one BENCH_<suite>.json document.
+type Suite struct {
+	// Suite names the benchmark group ("campaign", "solvers", ...); the
+	// file it lives in is BENCH_<suite>.json.
+	Suite string `json:"suite"`
+	// Package is the Go package the measured code lives in.
+	Package string `json:"package"`
+	// Description says what one iteration of the suite's benchmarks
+	// measures.
+	Description string `json:"description"`
+	// Recorded is the ISO date the measurement was taken.
+	Recorded string `json:"recorded"`
+	// Commit is the short hash of the commit the measurement was taken
+	// at ("unknown" when not supplied).
+	Commit      string      `json:"commit"`
+	Environment Environment `json:"environment"`
+	Benchmarks  []Result    `json:"benchmarks"`
+	// Command reproduces the measurement.
+	Command string `json:"command"`
+}
+
+// legacySuite is the original hand-written BENCH_campaign.json shape:
+// one benchmark, its counters in a nested "results" object, the commit
+// recorded as free-form "commit_note".
+type legacySuite struct {
+	Benchmark   string      `json:"benchmark"`
+	Package     string      `json:"package"`
+	Description string      `json:"description"`
+	Recorded    string      `json:"recorded"`
+	CommitNote  string      `json:"commit_note"`
+	Environment Environment `json:"environment"`
+	Results     *struct {
+		Iterations  int     `json:"iterations"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		MsPerRound  float64 `json:"ms_per_round"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	} `json:"results"`
+	Command string `json:"command"`
+}
+
+// Read loads a suite file, accepting both the current multi-benchmark
+// schema and the legacy single-result BENCH_campaign.json form (which
+// it normalizes into a one-benchmark Suite).
+func Read(path string) (Suite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Suite{}, err
+	}
+	var s Suite
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Suite{}, fmt.Errorf("benchio: %s: %w", path, err)
+	}
+	if len(s.Benchmarks) > 0 {
+		return s, nil
+	}
+	var l legacySuite
+	if err := json.Unmarshal(data, &l); err != nil || l.Results == nil {
+		return Suite{}, fmt.Errorf("benchio: %s: no benchmarks and no legacy results block", path)
+	}
+	return Suite{
+		Suite:       strings.TrimPrefix(l.Benchmark, "Benchmark"),
+		Package:     l.Package,
+		Description: l.Description,
+		Recorded:    l.Recorded,
+		Commit:      "unknown",
+		Environment: l.Environment,
+		Benchmarks: []Result{{
+			Name:        strings.TrimPrefix(l.Benchmark, "Benchmark"),
+			Iterations:  l.Results.Iterations,
+			NsPerOp:     l.Results.NsPerOp,
+			BytesPerOp:  l.Results.BytesPerOp,
+			AllocsPerOp: l.Results.AllocsPerOp,
+			MsPerRound:  l.Results.MsPerRound,
+		}},
+		Command: l.Command,
+	}, nil
+}
+
+// Write stores the suite as pretty-printed JSON with a trailing newline
+// and no HTML escaping (the files are committed; diffs should be
+// line-stable and arrows readable).
+func Write(path string, s Suite) error {
+	if s.Suite == "" {
+		return fmt.Errorf("benchio: suite name required")
+	}
+	if len(s.Benchmarks) == 0 {
+		return fmt.Errorf("benchio: suite %q has no benchmarks", s.Suite)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// Tolerance bounds how much a fresh measurement may drift above the
+// baseline before Compare reports a regression. Ratios are new/old;
+// values <= 1 disable that dimension's check. Only regressions fail —
+// improvements are never an error.
+type Tolerance struct {
+	// MaxNsRatio flags ns/op drift (wall time is machine-sensitive;
+	// keep this generous — CI compares a 1-iteration smoke run on a
+	// shared runner against a committed baseline).
+	MaxNsRatio float64
+	// MaxAllocRatio flags allocs/op drift (allocation counts are nearly
+	// machine-independent; a tighter bound holds).
+	MaxAllocRatio float64
+	// NsFloor exempts benchmarks whose baseline ns/op is below it from
+	// the wall-time check: at smoke iteration counts, sub-microsecond
+	// benchmarks measure timer overhead, not the code. allocs/op is
+	// still guarded for them.
+	NsFloor float64
+	// AllocFloor is the absolute allocs/op a fresh run may always reach
+	// before the allocation check fires: the drift limit is
+	// max(old·MaxAllocRatio, AllocFloor). It keeps zero- and
+	// near-zero-alloc baselines guarded (a ratio over 0 is undefined,
+	// and 2→3 allocs is jitter, not a regression) without letting a
+	// zero-alloc hot path silently regain real allocation. Zero means
+	// no slack.
+	AllocFloor int64
+}
+
+// Regression is one tolerance violation (or structural mismatch) found
+// by Compare.
+type Regression struct {
+	Benchmark string
+	Metric    string // "ns/op", "allocs/op" or "missing"
+	Old, New  float64
+	Ratio     float64
+}
+
+// String renders the regression for logs.
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: present in baseline but not in fresh run", r.Benchmark)
+	}
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx)", r.Benchmark, r.Metric, r.Old, r.New, r.Ratio)
+}
+
+// Compare checks every baseline benchmark against the fresh suite and
+// returns the regressions: metric drift beyond the tolerance, and
+// baseline benchmarks the fresh run no longer measures (silently
+// dropped coverage reads as a pass otherwise). Fresh benchmarks absent
+// from the baseline are ignored — adding coverage is not a regression.
+func Compare(baseline, fresh Suite, tol Tolerance) []Regression {
+	byName := make(map[string]Result, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		byName[b.Name] = b
+	}
+	var regs []Regression
+	for _, old := range baseline.Benchmarks {
+		now, ok := byName[old.Name]
+		if !ok {
+			regs = append(regs, Regression{Benchmark: old.Name, Metric: "missing"})
+			continue
+		}
+		if tol.MaxNsRatio > 1 && old.NsPerOp > tol.NsFloor && old.NsPerOp > 0 {
+			if ratio := now.NsPerOp / old.NsPerOp; ratio > tol.MaxNsRatio {
+				regs = append(regs, Regression{
+					Benchmark: old.Name, Metric: "ns/op",
+					Old: old.NsPerOp, New: now.NsPerOp, Ratio: ratio,
+				})
+			}
+		}
+		if tol.MaxAllocRatio > 1 {
+			limit := float64(old.AllocsPerOp) * tol.MaxAllocRatio
+			if floor := float64(tol.AllocFloor); limit < floor {
+				limit = floor
+			}
+			if float64(now.AllocsPerOp) > limit {
+				ratio := math.Inf(1)
+				if old.AllocsPerOp > 0 {
+					ratio = float64(now.AllocsPerOp) / float64(old.AllocsPerOp)
+				}
+				regs = append(regs, Regression{
+					Benchmark: old.Name, Metric: "allocs/op",
+					Old: float64(old.AllocsPerOp), New: float64(now.AllocsPerOp), Ratio: ratio,
+				})
+			}
+		}
+	}
+	return regs
+}

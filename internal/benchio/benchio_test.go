@@ -1,0 +1,196 @@
+package benchio
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sample() Suite {
+	return Suite{
+		Suite:       "solvers",
+		Package:     "hputune/internal/htuning",
+		Description: "solver hot paths",
+		Recorded:    "2026-07-27",
+		Commit:      "abc1234",
+		Environment: CaptureEnvironment(),
+		Benchmarks: []Result{
+			{Name: "RASolve", Iterations: 100, NsPerOp: 1e6, BytesPerOp: 2048, AllocsPerOp: 12},
+			{Name: "HASolve", Iterations: 10, NsPerOp: 9e6, BytesPerOp: 4096, AllocsPerOp: 40, MsPerRound: 0.5},
+		},
+		Command: "htbench -suite solvers",
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_solvers.json")
+	want := sample()
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWriteRejectsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.json")
+	if err := Write(path, Suite{Suite: "x"}); err == nil {
+		t.Error("Write accepted a suite with no benchmarks")
+	}
+	if err := Write(path, Suite{Benchmarks: []Result{{Name: "a"}}}); err == nil {
+		t.Error("Write accepted a suite with no name")
+	}
+}
+
+// TestReadLegacy pins compatibility with the original hand-written
+// BENCH_campaign.json schema: a single nested results object becomes a
+// one-benchmark suite.
+func TestReadLegacy(t *testing.T) {
+	legacy := `{
+  "benchmark": "BenchmarkCampaignFleet",
+  "package": "hputune/internal/campaign",
+  "description": "16 campaigns x 8 rounds",
+  "recorded": "2026-07-27",
+  "commit_note": "first baseline",
+  "environment": {"goos": "linux", "goarch": "amd64", "cpus": 1, "gomaxprocs": 0},
+  "results": {
+    "iterations": 10,
+    "ns_per_op": 102087758,
+    "ms_per_round": 0.797,
+    "bytes_per_op": 38851516,
+    "allocs_per_op": 312027
+  },
+  "command": "go test -bench CampaignFleet"
+}`
+	path := filepath.Join(t.TempDir(), "BENCH_campaign.json")
+	if err := writeFile(path, legacy); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Suite != "CampaignFleet" || len(s.Benchmarks) != 1 {
+		t.Fatalf("legacy normalization wrong: %+v", s)
+	}
+	b := s.Benchmarks[0]
+	if b.Name != "CampaignFleet" || b.AllocsPerOp != 312027 || b.MsPerRound != 0.797 {
+		t.Errorf("legacy counters lost: %+v", b)
+	}
+	if s.Commit != "unknown" {
+		t.Errorf("legacy commit_note should normalize to %q, got %q", "unknown", s.Commit)
+	}
+}
+
+func writeFile(path, content string) error {
+	return osWriteFile(path, []byte(content))
+}
+
+func TestCompare(t *testing.T) {
+	base := sample()
+	tol := Tolerance{MaxNsRatio: 2.0, MaxAllocRatio: 1.5}
+
+	fresh := sample()
+	fresh.Benchmarks[0].NsPerOp *= 1.9   // inside tolerance
+	fresh.Benchmarks[1].AllocsPerOp = 59 // 1.475x, inside
+	if regs := Compare(base, fresh, tol); len(regs) != 0 {
+		t.Errorf("drift inside tolerance flagged: %v", regs)
+	}
+
+	fresh = sample()
+	fresh.Benchmarks[0].NsPerOp *= 2.5
+	fresh.Benchmarks[1].AllocsPerOp = 61 // 1.525x
+	regs := Compare(base, fresh, tol)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %v", regs)
+	}
+	if regs[0].Metric != "ns/op" || regs[1].Metric != "allocs/op" {
+		t.Errorf("wrong metrics flagged: %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "ns/op") {
+		t.Errorf("regression string missing metric: %s", regs[0])
+	}
+
+	// An improvement is never a regression.
+	fresh = sample()
+	fresh.Benchmarks[0].NsPerOp /= 10
+	fresh.Benchmarks[0].AllocsPerOp = 1
+	if regs := Compare(base, fresh, tol); len(regs) != 0 {
+		t.Errorf("improvement flagged: %v", regs)
+	}
+
+	// Dropping a baseline benchmark is a regression (lost coverage);
+	// adding a fresh one is not.
+	fresh = sample()
+	fresh.Benchmarks = fresh.Benchmarks[:1]
+	fresh.Benchmarks = append(fresh.Benchmarks, Result{Name: "Extra", NsPerOp: 1})
+	regs = Compare(base, fresh, tol)
+	if len(regs) != 1 || regs[0].Metric != "missing" || regs[0].Benchmark != "HASolve" {
+		t.Errorf("missing benchmark not flagged correctly: %v", regs)
+	}
+}
+
+// TestCompareZeroAllocBaseline pins that a zero-alloc baseline stays
+// guarded: drift beyond the absolute AllocFloor fails even though a
+// ratio over zero is undefined, while jitter within the floor passes.
+func TestCompareZeroAllocBaseline(t *testing.T) {
+	base := sample()
+	base.Benchmarks[0].AllocsPerOp = 0
+	tol := Tolerance{MaxNsRatio: 2.0, MaxAllocRatio: 1.5, AllocFloor: 16}
+
+	fresh := sample()
+	fresh.Benchmarks[0].AllocsPerOp = 16 // at the floor: jitter, not a regression
+	if regs := Compare(base, fresh, tol); len(regs) != 0 {
+		t.Errorf("within-floor drift over a zero baseline flagged: %v", regs)
+	}
+
+	fresh = sample()
+	fresh.Benchmarks[0].AllocsPerOp = 50 // a real allocation came back
+	regs := Compare(base, fresh, tol)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("zero-alloc baseline regression not flagged: %v", regs)
+	}
+	if !math.IsInf(regs[0].Ratio, 1) {
+		t.Errorf("ratio over zero baseline should report +Inf, got %v", regs[0].Ratio)
+	}
+
+	// The floor also absorbs near-zero jitter on tiny baselines.
+	base = sample()
+	base.Benchmarks[0].AllocsPerOp = 2
+	fresh = sample()
+	fresh.Benchmarks[0].AllocsPerOp = 4 // 2x, but under the absolute floor
+	if regs := Compare(base, fresh, tol); len(regs) != 0 {
+		t.Errorf("sub-floor jitter on a tiny baseline flagged: %v", regs)
+	}
+}
+
+func TestCaptureEnvironment(t *testing.T) {
+	env := CaptureEnvironment()
+	if env.GOOS == "" || env.GOARCH == "" || env.CPUs < 1 || env.GOMAXPROCS < 1 {
+		t.Errorf("incomplete environment: %+v", env)
+	}
+}
+
+// TestFromBenchmarkResult pins the counter conversion and the
+// per-round breakdown.
+func TestFromBenchmarkResult(t *testing.T) {
+	r := benchResult(50, 5*time.Second, 1000, 2_000_000)
+	res := FromBenchmarkResult("X", r, 128)
+	if res.Iterations != 50 || res.NsPerOp != 1e8 || res.AllocsPerOp != 20 {
+		t.Errorf("conversion wrong: %+v", res)
+	}
+	if want := 1e8 / 128 / 1e6; res.MsPerRound != want {
+		t.Errorf("MsPerRound = %v, want %v", res.MsPerRound, want)
+	}
+	if res := FromBenchmarkResult("X", r, 0); res.MsPerRound != 0 {
+		t.Errorf("roundless benchmark got MsPerRound %v", res.MsPerRound)
+	}
+}

@@ -1,49 +1,31 @@
-package campaign
+package campaign_test
+
+// The benchmark fleet definition lives in workload.BenchCampaignFleet
+// so that this benchmark and the htbench campaign suite measure the
+// exact same workload (this file is an external test package because
+// workload depends on campaign). BENCH_campaign.json records the
+// trajectory; `make bench-campaign` regenerates it through htbench.
 
 import (
 	"context"
-	"fmt"
 	"testing"
 
+	"hputune/internal/campaign"
 	"hputune/internal/htuning"
-	"hputune/internal/pricing"
+	"hputune/internal/workload"
 )
-
-// benchFleet builds the BENCH_campaign.json workload: 16 campaigns that
-// each run exactly 8 full closed-loop rounds (epsilon 0 on a stationary
-// two-price market never converges, the budget outlasts the deadline),
-// so one iteration is 128 solve→simulate→re-fit rounds.
-func benchFleet() []Config {
-	cfgs := make([]Config, 16)
-	for i := range cfgs {
-		cfgs[i] = Config{
-			Name: fmt.Sprintf("bench-%02d", i),
-			Groups: []Group{
-				{Name: "g3", Tasks: 50, Reps: 3, Class: linClass("t", 2, 0.5, 2)},
-				{Name: "g5", Tasks: 50, Reps: 5, Class: linClass("t", 2, 0.5, 2)},
-			},
-			Prior:       pricing.Linear{K: 1, B: 1},
-			RoundBudget: 1000,
-			Budget:      16000,
-			MaxRounds:   8,
-			Epsilon:     0,
-			Seed:        uint64(i + 1),
-		}
-	}
-	return cfgs
-}
 
 // BenchmarkCampaignFleet is the repository's campaign-engine baseline
 // (recorded in BENCH_campaign.json): 16 concurrent campaigns × 8 rounds
 // per iteration on a GOMAXPROCS pool with a shared estimator.
 func BenchmarkCampaignFleet(b *testing.B) {
-	cfgs := benchFleet()
+	cfgs := workload.BenchCampaignFleet()
 	est := htuning.NewEstimator()
 	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results, err := RunFleet(ctx, est, cfgs, 0)
+		results, err := campaign.RunFleet(ctx, est, cfgs, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,13 +40,13 @@ func BenchmarkCampaignFleet(b *testing.B) {
 // BenchmarkCampaignFleetSerial is the same fleet on one worker — the
 // parallel speedup denominator.
 func BenchmarkCampaignFleetSerial(b *testing.B) {
-	cfgs := benchFleet()
+	cfgs := workload.BenchCampaignFleet()
 	est := htuning.NewEstimator()
 	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunFleet(ctx, est, cfgs, 1); err != nil {
+		if _, err := campaign.RunFleet(ctx, est, cfgs, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

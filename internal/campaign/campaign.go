@@ -306,6 +306,13 @@ type Campaign struct {
 	// aggs is the O(#price levels) sufficient statistic of every
 	// observation ever folded — the campaign's cumulative belief state.
 	aggs map[int]inference.PriceAggregate
+
+	// probGroups and probTypes back roundProblem's per-round H-Tuning
+	// instance. Rounds run sequentially on the Run goroutine and the
+	// solvers retain nothing from the Problem after returning, so one
+	// scratch per campaign serves every round.
+	probGroups []htuning.Group
+	probTypes  []htuning.TaskType
 }
 
 // New validates cfg (after applying defaults) and prepares a campaign.
@@ -409,21 +416,27 @@ func solverFor(groups []Group) string {
 // roundProblem builds the H-Tuning instance the round solves: the
 // campaign workload priced under the current belief. Only ProcRate is
 // taken from the true classes — acceptance behaviour enters solely
-// through belief.
+// through belief. The instance lives in the campaign's scratch buffers,
+// valid until the next round builds its own (solvers retain nothing).
 func (c *Campaign) roundProblem(belief pricing.RateModel, budget int) htuning.Problem {
-	p := htuning.Problem{Budget: budget}
-	for _, g := range c.cfg.Groups {
-		p.Groups = append(p.Groups, htuning.Group{
-			Type: &htuning.TaskType{
-				Name:     g.Name,
-				Accept:   belief,
-				ProcRate: g.Class.ProcRate,
-			},
+	if cap(c.probGroups) < len(c.cfg.Groups) {
+		c.probGroups = make([]htuning.Group, 0, len(c.cfg.Groups))
+		c.probTypes = make([]htuning.TaskType, len(c.cfg.Groups))
+	}
+	c.probGroups = c.probGroups[:0]
+	for i, g := range c.cfg.Groups {
+		c.probTypes[i] = htuning.TaskType{
+			Name:     g.Name,
+			Accept:   belief,
+			ProcRate: g.Class.ProcRate,
+		}
+		c.probGroups = append(c.probGroups, htuning.Group{
+			Type:  &c.probTypes[i],
 			Tasks: g.Tasks,
 			Reps:  g.Reps,
 		})
 	}
-	return p
+	return htuning.Problem{Budget: budget, Groups: c.probGroups}
 }
 
 // fitDelta returns the relative parameter change between fits:

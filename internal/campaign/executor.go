@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"hputune/internal/htuning"
 	"hputune/internal/market"
@@ -24,47 +25,72 @@ type Observation struct {
 // Implementations must honour ctx (return promptly once it is
 // cancelled; the returned observation is then discarded) and must be
 // deterministic in (round, p, a, seed) if campaign-level determinism is
-// to hold end to end.
+// to hold end to end. Execute is called sequentially, one round at a
+// time, by a single campaign; an implementation may therefore recycle
+// its own buffers between calls, and the returned Observation is only
+// guaranteed valid until the next Execute call on the same Executor —
+// the loop folds it into aggregates before starting the next round.
 type Executor interface {
 	Execute(ctx context.Context, round int, p htuning.Problem, a htuning.Allocation, seed uint64) (Observation, error)
 }
 
 // marketExecutor executes rounds on the simulator, with the campaign's
 // drift applied to the true classes and market configuration per round.
+// It owns a market.Buffers and a record scratch recycled across rounds
+// (rounds run sequentially per campaign), so a steady-state round
+// allocates almost nothing beyond the task ID strings.
 type marketExecutor struct {
-	name    string
-	groups  []Group
-	base    market.Config
-	drift   Drift
-	maxTime float64
+	name   string
+	groups []Group
+	base   market.Config
+	drift  Drift
+
+	buf  market.Buffers
+	recs []market.RepRecord
+	// idSuffix[gi][ti] is the precomputed "-<group>-t<ti>" tail of each
+	// task ID; the per-round "<name>-r<round>" head is prepended per
+	// Execute, leaving one string concatenation per task as the round's
+	// only ID cost.
+	idSuffix [][]string
 }
 
 func newMarketExecutor(cfg Config) *marketExecutor {
-	return &marketExecutor{
+	e := &marketExecutor{
 		name:   cfg.Name,
 		groups: cfg.Groups,
 		base:   cfg.Market.config(),
 		drift:  cfg.Drift,
 	}
+	e.idSuffix = make([][]string, len(cfg.Groups))
+	for gi, g := range cfg.Groups {
+		e.idSuffix[gi] = make([]string, g.Tasks)
+		for ti := 0; ti < g.Tasks; ti++ {
+			e.idSuffix[gi][ti] = "-" + g.Name + "-t" + strconv.Itoa(ti)
+		}
+	}
+	return e
 }
 
 // Execute posts one task per (group, task) with the allocation's
 // repetition prices and drives the simulation to completion. Records
-// come back in acceptance order (the trace model's arrival axis).
+// come back in acceptance order (the trace model's arrival axis). The
+// returned Observation reuses the executor's scratch and is valid until
+// the next Execute call (see the Executor contract).
 func (e *marketExecutor) Execute(ctx context.Context, round int, p htuning.Problem, a htuning.Allocation, seed uint64) (Observation, error) {
 	if len(a.RepPrices) != len(e.groups) {
 		return Observation{}, fmt.Errorf("campaign: allocation covers %d groups, campaign has %d", len(a.RepPrices), len(e.groups))
 	}
 	classes, mcfg := e.drift.apply(round, e.groups, e.base)
 	mcfg.Seed = seed
-	sim, err := market.New(mcfg)
+	sim, err := market.NewWithBuffers(mcfg, &e.buf)
 	if err != nil {
 		return Observation{}, err
 	}
+	prefix := e.name + "-r" + strconv.Itoa(round)
 	for gi, g := range e.groups {
 		for ti := 0; ti < g.Tasks; ti++ {
 			err := sim.Post(market.TaskSpec{
-				ID:        fmt.Sprintf("%s-r%d-%s-t%d", e.name, round, g.Name, ti),
+				ID:        prefix + e.idSuffix[gi][ti],
 				Class:     classes[gi],
 				RepPrices: a.RepPrices[gi][ti],
 			})
@@ -79,5 +105,6 @@ func (e *marketExecutor) Execute(ctx context.Context, round int, p htuning.Probl
 	if _, err := sim.Run(); err != nil {
 		return Observation{}, err
 	}
-	return Observation{Records: sim.AllRecords(), Makespan: sim.Makespan()}, nil
+	e.recs = sim.AppendRecords(e.recs[:0])
+	return Observation{Records: e.recs, Makespan: sim.Makespan()}, nil
 }

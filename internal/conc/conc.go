@@ -1,11 +1,12 @@
-// Package conc is the bounded worker-pool primitive shared by the
-// tuning engine's parallel layers (solver candidate fan-out,
-// Monte-Carlo trial shards, batch solving, market replications). Each
-// Each call spawns and bounds its own pool — there is no global pool,
-// so concurrent callers compose additively. Work is handed out through
-// an atomic counter so finished workers steal remaining items; failure
-// reporting is deterministic — the lowest-index error wins, no matter
-// which goroutine finishes first.
+// Package conc holds the small concurrency primitives shared by the
+// tuning engine's parallel layers (solver candidate fan-out, Monte-Carlo
+// trial shards, batch solving, market replications): a bounded
+// worker-pool Each, an admission Gate, and a typed free list (Pool) for
+// hot-path scratch buffers. Each call spawns and bounds its own pool —
+// there is no global pool, so concurrent callers compose additively.
+// Work is handed out through an atomic counter so finished workers steal
+// remaining items; failure reporting is deterministic — the lowest-index
+// error wins, no matter which goroutine finishes first.
 package conc
 
 import (
@@ -27,6 +28,8 @@ func Workers(n int) int {
 // lowest failing index with its error, or (-1, nil). Every item is
 // attempted even after a failure. fn must be safe for concurrent calls
 // and should write only to its own index's slot in any shared output.
+// The inline path allocates nothing, so per-iteration fan-outs inside
+// solver loops cost only the calls themselves when the pool is size 1.
 func Each(n, workers int, fn func(i int) error) (int, error) {
 	if n <= 0 {
 		return -1, nil
@@ -34,29 +37,34 @@ func Each(n, workers int, fn func(i int) error) (int, error) {
 	if workers > n {
 		workers = n
 	}
-	errs := make([]error, n)
 	if workers <= 1 || n == 1 {
+		// Serial: items run in index order, so the first error seen is
+		// the lowest-index error; every item still runs.
+		firstI, firstErr := -1, error(nil)
 		for i := 0; i < n; i++ {
-			errs[i] = fn(i)
+			if err := fn(i); err != nil && firstErr == nil {
+				firstI, firstErr = i, err
+			}
 		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
-						return
-					}
-					errs[i] = fn(i)
-				}
-			}()
-		}
-		wg.Wait()
+		return firstI, firstErr
 	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
 			return i, err
@@ -64,3 +72,31 @@ func Each(n, workers int, fn func(i int) error) (int, error) {
 	}
 	return -1, nil
 }
+
+// Pool is a typed free list over sync.Pool for scratch values that hot
+// loops would otherwise allocate per call (solver price/latency arrays,
+// simulator buffers). Get returns a recycled *T or a fresh one from the
+// constructor; Put recycles.
+//
+// Ownership contract for every scratch buffer pooled through this type:
+// the *T belongs to the caller from Get until the matching Put, and to
+// nobody afterwards — a caller must never retain the pointer, or any
+// slice backed by it, past its own Put. Results that outlive the call
+// are copied out of the scratch before it is returned. Values carry no
+// cleanup: the constructor must tolerate arbitrary previous contents
+// being reset by the user (Pool never zeroes).
+type Pool[T any] struct {
+	p sync.Pool
+}
+
+// NewPool returns a pool whose Get falls back to newT when empty.
+func NewPool[T any](newT func() *T) *Pool[T] {
+	return &Pool[T]{p: sync.Pool{New: func() any { return newT() }}}
+}
+
+// Get hands out a scratch value owned by the caller until Put.
+func (p *Pool[T]) Get() *T { return p.p.Get().(*T) }
+
+// Put returns a scratch value to the free list. The caller must not use
+// v, or anything backed by it, afterwards.
+func (p *Pool[T]) Put(v *T) { p.p.Put(v) }

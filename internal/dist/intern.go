@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"math"
+	"sync"
+
+	"hputune/internal/randx"
+)
+
+// The negative-binomial mixture table of a two-distinct-rate phase sum
+// (the TwoPhaseErlang hot path) is a pure function of the stage counts
+// and the two rates, and it is not cheap: hundreds to thousands of
+// cumulative weights per (shape, rate-pair). The estimator rebuilds the
+// distribution on every cache miss — and an online ingest loop mints a
+// fresh rate pair per re-fitted model, so misses recur for the life of
+// a serving process. Interning the finished tables makes every rebuild
+// after the first a map hit.
+//
+// The intern table is sharded like the estimator cache, and bounded the
+// blunt way: a shard that reaches its capacity is cleared and refilled
+// by subsequent construction (an epoch reset). Clearing never changes
+// results — the table is recomputed from the key — it only costs the
+// rebuild, and capacity is far above any realistic working set (the
+// htuned service's distinct (k, λo, λp) triples per fit generation).
+// Interned slices are shared between phaseSum values and are immutable
+// after construction; nothing may write to a mixCW slice post-build.
+
+// mixKey identifies one mixture table: the merged stage counts and the
+// raw bits of both rates (rates are positive and finite, so bit
+// equality is value equality).
+type mixKey struct {
+	fastCount, slowCount int
+	aBits, bBits         uint64
+}
+
+const (
+	mixInternShards   = 16
+	mixInternPerShard = 1024
+)
+
+type mixInternShard struct {
+	mu sync.RWMutex
+	m  map[mixKey][]float64
+}
+
+var mixIntern [mixInternShards]mixInternShard
+
+// shard hashes the key through the splitmix64 finalizer.
+func (k mixKey) shard() *mixInternShard {
+	h := randx.Mix64(uint64(k.fastCount)<<32 ^ uint64(k.slowCount) ^ k.aBits)
+	h = randx.Mix64(h ^ k.bBits)
+	return &mixIntern[h%mixInternShards]
+}
+
+// internedMixture returns the cumulative mixture weight table for the
+// key, computing and interning it on first use.
+func internedMixture(k mixKey) []float64 {
+	s := k.shard()
+	s.mu.RLock()
+	cw, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok {
+		return cw
+	}
+	cw = buildMixtureWeights(k)
+	s.mu.Lock()
+	if prev, ok := s.m[k]; ok {
+		// A concurrent builder won the race; share its table (both are
+		// identical pure-function values, sharing just saves memory).
+		cw = prev
+	} else {
+		if s.m == nil || len(s.m) >= mixInternPerShard {
+			s.m = make(map[mixKey][]float64)
+		}
+		s.m[k] = cw
+	}
+	s.mu.Unlock()
+	return cw
+}
+
+// buildMixtureWeights computes the cumulative negative-binomial mixture
+// weights: w₀ = pᵐ; w_{j+1} = w_j·(1−p)·(m+j)/(j+1) with p = b/a,
+// accumulated until the remaining tail mass is negligible, the tail
+// lumped into the last entry so the table ends at exactly 1 (keeping
+// the deep survival tail an exact zero instead of a 1e-15 floor).
+func buildMixtureWeights(k mixKey) []float64 {
+	a, b := math.Float64frombits(k.aBits), math.Float64frombits(k.bBits)
+	prob := b / a
+	m := k.slowCount
+	w := math.Pow(prob, float64(m))
+	total := 0.0
+	var cw []float64
+	for j := 0; j < mixMaxTerms; j++ {
+		total += w
+		cw = append(cw, total)
+		if 1-total <= mixTailMass {
+			break
+		}
+		w *= (1 - prob) * float64(m+j) / float64(j+1)
+		if total+w == total {
+			// Roundoff stranded the accumulated mass just above the
+			// mixTailMass cutoff while the remaining weights are too
+			// small to move it: no later term can terminate the walk,
+			// which would otherwise grind out mixMaxTerms ~1e6 dead
+			// entries. Stop here; the forced final 1 below lumps the
+			// stranded remainder (< a few ULP beyond mixTailMass) the
+			// same way the normal cutoff does.
+			break
+		}
+	}
+	cw[len(cw)-1] = 1
+	return cw
+}

@@ -1,0 +1,115 @@
+package dist
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestMixtureInternSharing pins that two distributions over the same
+// (shape, rates) share one interned weight table, and that interning is
+// invisible in the values: CDF/PDF equal a table built directly.
+func TestMixtureInternSharing(t *testing.T) {
+	d1, err := NewTwoPhaseErlang(5, 3.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewTwoPhaseErlang(5, 3.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.mixCW) == 0 {
+		t.Fatal("two-rate phase sum did not build a mixture")
+	}
+	if &d1.mixCW[0] != &d2.mixCW[0] {
+		t.Error("identical parameters did not intern to one shared table")
+	}
+	direct := buildMixtureWeights(mixKey{
+		fastCount: 5, slowCount: 5,
+		aBits: math.Float64bits(3.5), bBits: math.Float64bits(2.0),
+	})
+	if len(direct) != len(d1.mixCW) {
+		t.Fatalf("interned table has %d entries, direct build %d", len(d1.mixCW), len(direct))
+	}
+	for i := range direct {
+		if direct[i] != d1.mixCW[i] {
+			t.Fatalf("interned weight %d = %v, direct build %v", i, d1.mixCW[i], direct[i])
+		}
+	}
+	for _, x := range []float64{0.1, 0.5, 1, 2.5, 5, 10, 40} {
+		if d1.CDF(x) != d2.CDF(x) {
+			t.Errorf("CDF(%v) differs between interned twins", x)
+		}
+		if d1.PDF(x) != d2.PDF(x) {
+			t.Errorf("PDF(%v) differs between interned twins", x)
+		}
+	}
+}
+
+// TestMixtureInternConcurrent races many builders of overlapping
+// parameter sets; every resulting distribution must agree with a
+// serially built twin bit for bit.
+func TestMixtureInternConcurrent(t *testing.T) {
+	type params struct {
+		k      int
+		ao, pr float64
+	}
+	var cases []params
+	for k := 1; k <= 8; k++ {
+		cases = append(cases, params{k, 1.5 + float64(k)*0.25, 2.0})
+	}
+	want := make([]float64, len(cases))
+	for i, c := range cases {
+		d, err := NewTwoPhaseErlang(c.k, c.ao, c.pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = d.CDF(3.0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, c := range cases {
+				d, err := NewTwoPhaseErlang(c.k, c.ao, c.pr)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := d.CDF(3.0); got != want[i] {
+					t.Errorf("concurrent build k=%d: CDF = %v, want %v", c.k, got, want[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestMixtureInternEpochReset fills one shard past capacity and checks
+// construction still yields correct tables after the reset.
+func TestMixtureInternEpochReset(t *testing.T) {
+	// Mint more distinct keys than the whole intern holds.
+	total := mixInternShards*mixInternPerShard + 64
+	for i := 0; i < total; i++ {
+		rate := 1.0 + float64(i)*1e-6
+		if _, err := NewTwoPhaseErlang(2, 3.0, rate); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fresh build after mass eviction still interns and still matches
+	// a direct computation.
+	d, err := NewTwoPhaseErlang(2, 3.0, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := buildMixtureWeights(mixKey{
+		fastCount: 2, slowCount: 2,
+		aBits: math.Float64bits(3.0), bBits: math.Float64bits(1.5),
+	})
+	for i := range direct {
+		if d.mixCW[i] != direct[i] {
+			t.Fatalf("post-reset weight %d = %v, direct %v", i, d.mixCW[i], direct[i])
+		}
+	}
+}

@@ -91,33 +91,24 @@ func newPhaseSum(raw []stage) (phaseSum, error) {
 	return p, nil
 }
 
-// buildMixture precomputes the cumulative negative-binomial mixture
-// weights for the two-distinct-rate case.
+// buildMixture resolves the cumulative negative-binomial mixture
+// weights for the two-distinct-rate case through the package intern
+// table (see intern.go) — the weights are a pure function of the merged
+// stage counts and rates, so distributions over the same parameters
+// share one immutable table.
 func (p *phaseSum) buildMixture() {
 	fast, slow := p.stages[0], p.stages[1]
 	if fast.rate < slow.rate {
 		fast, slow = slow, fast
 	}
-	a, b := fast.rate, slow.rate
-	prob := b / a
-	m := slow.count
-	p.mixRate = a
+	p.mixRate = fast.rate
 	p.mixBase = fast.count + slow.count
-	// w₀ = pᵐ; w_{j+1} = w_j·(1−p)·(m+j)/(j+1). Accumulate until the
-	// remaining tail mass is negligible, then lump it into the last
-	// entry so the cumulative table ends at exactly 1 — that keeps the
-	// deep survival tail an exact zero instead of a 1e-15 floor.
-	w := math.Pow(prob, float64(m))
-	total := 0.0
-	for j := 0; j < mixMaxTerms; j++ {
-		total += w
-		p.mixCW = append(p.mixCW, total)
-		if 1-total <= mixTailMass {
-			break
-		}
-		w *= (1 - prob) * float64(m+j) / float64(j+1)
-	}
-	p.mixCW[len(p.mixCW)-1] = 1
+	p.mixCW = internedMixture(mixKey{
+		fastCount: fast.count,
+		slowCount: slow.count,
+		aBits:     math.Float64bits(fast.rate),
+		bBits:     math.Float64bits(slow.rate),
+	})
 }
 
 // cwAt returns the cumulative mixture weight of shapes <= i.

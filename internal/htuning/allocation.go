@@ -15,6 +15,13 @@ type Allocation struct {
 
 // NewUniformAllocation gives every repetition of every task in every group
 // the group's price from prices (one entry per group).
+//
+// Tasks within a group are uniformly priced by construction, so all task
+// rows of one group share a single backing slice — one row allocation
+// per group instead of one per task. Treat the returned RepPrices as
+// read-only: writing through one task's row would silently reprice every
+// task of its group. Allocations that need independently mutable rows
+// (the baselines, EvenAllocation's remainder spreading) build their own.
 func NewUniformAllocation(p Problem, prices []int) (Allocation, error) {
 	if len(prices) != len(p.Groups) {
 		return Allocation{}, fmt.Errorf("htuning: %d group prices for %d groups", len(prices), len(p.Groups))
@@ -24,12 +31,12 @@ func NewUniformAllocation(p Problem, prices []int) (Allocation, error) {
 		if prices[gi] < 1 {
 			return Allocation{}, fmt.Errorf("htuning: group %d price %d below 1 unit", gi, prices[gi])
 		}
+		row := make([]int, g.Reps)
+		for ri := range row {
+			row[ri] = prices[gi]
+		}
 		a.RepPrices[gi] = make([][]int, g.Tasks)
 		for ti := 0; ti < g.Tasks; ti++ {
-			row := make([]int, g.Reps)
-			for ri := range row {
-				row[ri] = prices[gi]
-			}
 			a.RepPrices[gi][ti] = row
 		}
 	}

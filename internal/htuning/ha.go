@@ -73,24 +73,40 @@ func minimizeO2(est *Estimator, p Problem) (float64, error) {
 	}
 	// cheapestFor returns the cheapest total spend such that every group's
 	// E1_i + C_i <= target, or -1 when no affordable price reaches it.
+	// E1 is decreasing in price for every shipped rate model, so the
+	// cheapest target-reaching price is found by binary search — O(log P)
+	// estimator lookups per group against the reference's upward scan's
+	// Θ(P) — with the exact comparison the scan used, so both locate the
+	// same price (the monotonicity parity tests pin this).
 	cheapestFor := func(target float64) (int, error) {
 		total := 0
 		for i, g := range p.Groups {
-			found := -1
-			for price := 1; price <= maxPrice[i]; price++ {
+			reaches := func(price int) (bool, error) {
 				e1, err := est.GroupPhase1Mean(g, price)
+				if err != nil {
+					return false, err
+				}
+				return e1+c2[i] <= target+1e-12, nil
+			}
+			if ok, err := reaches(maxPrice[i]); err != nil {
+				return 0, err
+			} else if !ok {
+				return -1, nil
+			}
+			lo, hi := 1, maxPrice[i]
+			for lo < hi {
+				mid := lo + (hi-lo)/2
+				ok, err := reaches(mid)
 				if err != nil {
 					return 0, err
 				}
-				if e1+c2[i] <= target+1e-12 {
-					found = price
-					break
+				if ok {
+					hi = mid
+				} else {
+					lo = mid + 1
 				}
 			}
-			if found < 0 {
-				return -1, nil
-			}
-			total += u[i] * found
+			total += u[i] * lo
 		}
 		return total, nil
 	}
@@ -186,6 +202,15 @@ func SolveHeterogeneous(est *Estimator, p Problem) (HeterogeneousResult, error) 
 // increment that most decreases the Closeness ‖(O1,O2) − UP‖ under the
 // chosen norm (Definitions 4–6 of the paper; the paper uses NormL1),
 // stopping when no affordable increment improves it.
+//
+// Candidate scoring is incremental: e1[i] and nextE1[i] hold group i's
+// Phase-1 latency at its current price and one unit higher, and only the
+// group raised last step has its pair refreshed. A candidate's (O1, O2)
+// is then a pure float walk over the arrays — in group order, with the
+// reference's exact accumulation — instead of a re-walk of the whole
+// price vector through the estimator per candidate per step, which cost
+// O(n²) shard-locked cache hits per increment. Bit-identical to
+// SolveHeterogeneousNormReference: the parity tests pin it.
 func SolveHeterogeneousNorm(est *Estimator, p Problem, norm Norm) (HeterogeneousResult, error) {
 	if err := p.Validate(); err != nil {
 		return HeterogeneousResult{}, err
@@ -216,77 +241,112 @@ func SolveHeterogeneousNorm(est *Estimator, p Problem, norm Norm) (Heterogeneous
 	up := UtopiaPoint{O1: o1DP.Objective, O2: o2Star}
 
 	n := len(p.Groups)
-	prices := make([]int, n)
-	costs := make([]int, n)
+	sc := haScratchPool.Get()
+	defer haScratchPool.Put(sc)
+	prices := intScratch(&sc.prices, n)
+	costs := intScratch(&sc.costs, n)
+	e1 := floatScratch(&sc.e1, n)
+	nextE1 := floatScratch(&sc.nextE1, n)
+	c2 := floatScratch(&sc.c2, n)
 	spent := 0
 	for i, g := range p.Groups {
 		prices[i] = 1
 		costs[i] = g.UnitCost()
 		spent += costs[i]
 	}
-	closeness := func(prs []int) (float64, float64, float64, error) {
-		o1, o2, err := objectives(est, p, prs)
+	// Fill the per-group latency arrays, fanned across workers (on a
+	// cold cache each is an independent integral).
+	if err := parallelEach(n, candidateWorkers(n), func(i int) error {
+		v1, err := est.GroupPhase1Mean(p.Groups[i], prices[i])
 		if err != nil {
-			return 0, 0, 0, err
+			return err
 		}
-		return norm.distance(o1-up.O1, o2-up.O2), o1, o2, nil
-	}
-	curCL, curO1, curO2, err := closeness(prices)
-	if err != nil {
+		v2, err := est.GroupPhase2Mean(p.Groups[i])
+		if err != nil {
+			return err
+		}
+		e1[i], c2[i] = v1, v2
+		return nil
+	}); err != nil {
 		return HeterogeneousResult{}, err
 	}
+	// score evaluates (closeness, O1, O2) for the current prices with
+	// group raised's e1 taken from nextE1 (raised < 0 scores the current
+	// vector). The accumulation replicates objectives exactly — O1 via
+	// += in group order, O2 via max in group order — so the floats match
+	// the reference's bit for bit.
+	score := func(raised int) (cl, o1, o2 float64) {
+		o2 = -math.MaxFloat64
+		for k := 0; k < n; k++ {
+			v := e1[k]
+			if k == raised {
+				v = nextE1[k]
+			}
+			o1 += v
+			if tot := v + c2[k]; tot > o2 {
+				o2 = tot
+			}
+		}
+		return norm.distance(o1-up.O1, o2-up.O2), o1, o2
+	}
+	curCL, curO1, curO2 := score(-1)
 	remaining := p.Budget - spent
-	type candidate struct{ cl, o1, o2 float64 }
-	cands := make([]candidate, n)
-	indices := make([]int, 0, n)
-	for {
-		// Score every affordable one-unit increment concurrently, each
-		// on its own copy of the price vector (only the raised group's
-		// integral is new; the rest hit the shared cache), then reduce
-		// serially in group order so the tie-breaking matches the
-		// serial solver exactly.
-		indices = indices[:0]
-		for i := range p.Groups {
-			if costs[i] <= remaining {
-				indices = append(indices, i)
-			}
-		}
-		if len(indices) == 0 {
-			break
-		}
-		if err := parallelEach(len(indices), candidateWorkers(len(indices)), func(ci int) error {
-			i := indices[ci]
-			trial := append([]int(nil), prices...)
-			trial[i]++
-			cl, o1, o2, err := closeness(trial)
-			if err != nil {
-				return err
-			}
-			cands[i] = candidate{cl: cl, o1: o1, o2: o2}
+	// Evaluate the affordable groups' next-price latencies once, also
+	// fanned; remaining only decreases, so an unaffordable group's slot
+	// is never read.
+	if err := parallelEach(n, candidateWorkers(n), func(i int) error {
+		if costs[i] > remaining {
 			return nil
-		}); err != nil {
-			return HeterogeneousResult{}, err
 		}
+		v, err := est.GroupPhase1Mean(p.Groups[i], prices[i]+1)
+		if err != nil {
+			return err
+		}
+		nextE1[i] = v
+		return nil
+	}); err != nil {
+		return HeterogeneousResult{}, err
+	}
+	for {
+		// Score every affordable one-unit increment and reduce in group
+		// order so the tie-breaking matches the reference exactly.
 		bestI := -1
 		bestCL, bestO1, bestO2 := curCL, curO1, curO2
-		for _, i := range indices {
-			c := cands[i]
+		any := false
+		for i := 0; i < n; i++ {
+			if costs[i] > remaining {
+				continue
+			}
+			any = true
+			cl, o1, o2 := score(i)
 			// Prefer strictly smaller closeness; tie-break on cheaper cost.
-			if c.cl < bestCL-1e-15 || (bestI >= 0 && math.Abs(c.cl-bestCL) <= 1e-15 && costs[i] < costs[bestI]) {
-				bestCL, bestO1, bestO2 = c.cl, c.o1, c.o2
+			if cl < bestCL-1e-15 || (bestI >= 0 && math.Abs(cl-bestCL) <= 1e-15 && costs[i] < costs[bestI]) {
+				bestCL, bestO1, bestO2 = cl, o1, o2
 				bestI = i
 			}
 		}
-		if bestI < 0 {
+		if !any || bestI < 0 {
 			break
 		}
 		prices[bestI]++
 		remaining -= costs[bestI]
 		spent += costs[bestI]
 		curCL, curO1, curO2 = bestCL, bestO1, bestO2
+		e1[bestI] = nextE1[bestI]
+		// Only the raised group's next-price latency changed; refresh it
+		// if it can still afford another step.
+		if costs[bestI] <= remaining {
+			v, err := est.GroupPhase1Mean(p.Groups[bestI], prices[bestI]+1)
+			if err != nil {
+				return HeterogeneousResult{}, err
+			}
+			nextE1[bestI] = v
+		}
 	}
+	out := make([]int, n)
+	copy(out, prices)
 	return HeterogeneousResult{
-		Prices:    prices,
+		Prices:    out,
 		O1:        curO1,
 		O2:        curO2,
 		Utopia:    up,

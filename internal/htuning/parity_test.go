@@ -1,0 +1,295 @@
+package htuning_test
+
+// Parity contracts for the hot-path rewrite: the pooled/incremental
+// solver and estimator paths must return bit-identical results to the
+// reference implementations on every real workload shape. The table is
+// the workload.PaperCampaignFleet scenario set (this file lives in the
+// external test package because workload depends on htuning through
+// campaign), each campaign recast as the H-Tuning instance its first
+// round solves, plus re-fitted-belief variants to cover the keys an
+// online loop mints. Run under -race in CI, the same runs also prove the
+// scratch pools race-free.
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"hputune/internal/campaign"
+	"hputune/internal/dist"
+	"hputune/internal/htuning"
+	"hputune/internal/pricing"
+	"hputune/internal/workload"
+)
+
+// parityCase is one H-Tuning instance derived from a fleet campaign.
+type parityCase struct {
+	name string
+	p    htuning.Problem
+}
+
+// fleetParityCases recasts every PaperCampaignFleet campaign as the
+// instance its round solver sees: the campaign workload priced under a
+// belief, with the true classes contributing only their processing
+// rates. Two beliefs per campaign — the mistuned prior and a plausible
+// re-fitted model — cover both the cold and the re-tuned key space.
+func fleetParityCases(t *testing.T) []parityCase {
+	t.Helper()
+	cfgs, err := workload.PaperCampaignFleet(7)
+	if err != nil {
+		t.Fatalf("PaperCampaignFleet: %v", err)
+	}
+	refit := pricing.Floored{Base: pricing.Linear{K: 1.93, B: 0.61}}
+	var cases []parityCase
+	for _, cfg := range cfgs {
+		for _, belief := range []struct {
+			tag   string
+			model pricing.RateModel
+		}{{"prior", cfg.Prior}, {"refit", refit}} {
+			p := htuning.Problem{Budget: cfg.RoundBudget}
+			for _, g := range cfg.Groups {
+				p.Groups = append(p.Groups, htuning.Group{
+					Type: &htuning.TaskType{
+						Name:     g.Name,
+						Accept:   belief.model,
+						ProcRate: g.Class.ProcRate,
+					},
+					Tasks: g.Tasks,
+					Reps:  g.Reps,
+				})
+			}
+			cases = append(cases, parityCase{name: cfg.Name + "/" + belief.tag, p: p})
+		}
+	}
+	return cases
+}
+
+// TestSolveRepetitionParity pins the optimized RA path to the reference:
+// identical prices, objective, spend — bit for bit — on every fleet
+// scenario, whether the estimator cache is shared or cold.
+func TestSolveRepetitionParity(t *testing.T) {
+	shared := htuning.NewEstimator()
+	for _, tc := range fleetParityCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := htuning.SolveRepetitionReference(shared, tc.p)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			got, err := htuning.SolveRepetition(shared, tc.p)
+			if err != nil {
+				t.Fatalf("optimized: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("optimized RA diverges from reference:\n got %+v\nwant %+v", got, want)
+			}
+			cold, err := htuning.SolveRepetition(htuning.NewEstimator(), tc.p)
+			if err != nil {
+				t.Fatalf("cold optimized: %v", err)
+			}
+			if !reflect.DeepEqual(cold, want) {
+				t.Errorf("cold-cache RA diverges from reference:\n got %+v\nwant %+v", cold, want)
+			}
+		})
+	}
+}
+
+// TestSolveHeterogeneousParity pins the optimized HA path (incremental
+// candidate scoring, binary-search O2 minimization) to the reference
+// under every norm, on every fleet scenario.
+func TestSolveHeterogeneousParity(t *testing.T) {
+	shared := htuning.NewEstimator()
+	for _, tc := range fleetParityCases(t) {
+		for _, norm := range []htuning.Norm{htuning.NormL1, htuning.NormL2, htuning.NormLInf} {
+			t.Run(tc.name+"/"+norm.String(), func(t *testing.T) {
+				want, err := htuning.SolveHeterogeneousNormReference(shared, tc.p, norm)
+				if err != nil {
+					t.Fatalf("reference: %v", err)
+				}
+				got, err := htuning.SolveHeterogeneousNorm(shared, tc.p, norm)
+				if err != nil {
+					t.Fatalf("optimized: %v", err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("optimized HA diverges from reference:\n got %+v\nwant %+v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestSolveParityConcurrent reruns both solvers concurrently against one
+// shared estimator, so -race exercises the scratch pools and the
+// incremental paths under real contention while asserting the results
+// still match the references computed serially.
+func TestSolveParityConcurrent(t *testing.T) {
+	cases := fleetParityCases(t)
+	shared := htuning.NewEstimator()
+	wantRA := make([]htuning.RepetitionResult, len(cases))
+	wantHA := make([]htuning.HeterogeneousResult, len(cases))
+	for i, tc := range cases {
+		var err error
+		if wantRA[i], err = htuning.SolveRepetitionReference(shared, tc.p); err != nil {
+			t.Fatalf("%s: reference RA: %v", tc.name, err)
+		}
+		if wantHA[i], err = htuning.SolveHeterogeneousNormReference(shared, tc.p, htuning.NormL1); err != nil {
+			t.Fatalf("%s: reference HA: %v", tc.name, err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(cases))
+	for i, tc := range cases {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gotRA, err := htuning.SolveRepetition(shared, tc.p)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			gotHA, err := htuning.SolveHeterogeneousNorm(shared, tc.p, htuning.NormL1)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !reflect.DeepEqual(gotRA, wantRA[i]) {
+				t.Errorf("%s: concurrent RA diverges from reference", tc.name)
+			}
+			if !reflect.DeepEqual(gotHA, wantHA[i]) {
+				t.Errorf("%s: concurrent HA diverges from reference", tc.name)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("%s: %v", cases[i].name, err)
+		}
+	}
+}
+
+// TestEstimatorParity pins the estimator against direct dist
+// computations: a cached (and intern-backed) lookup must equal the
+// uncached integral bit for bit, for every group and a spread of prices
+// drawn from the fleet scenarios.
+func TestEstimatorParity(t *testing.T) {
+	est := htuning.NewEstimator()
+	type directKey struct {
+		rateBits uint64
+		n, k     int
+		procBits uint64
+	}
+	seen := map[directKey]bool{}
+	for _, tc := range fleetParityCases(t) {
+		for _, g := range tc.p.Groups {
+			for _, price := range []int{1, 3} {
+				rate := g.Type.Accept.Rate(float64(price))
+				if !(rate > 0) {
+					t.Fatalf("%s: non-positive rate at price %d", tc.name, price)
+				}
+				// Fleet scenarios repeat group shapes; the direct
+				// integrals (the slow side of the comparison) only need
+				// computing once per distinct key.
+				k := directKey{math.Float64bits(rate), g.Tasks, g.Reps, math.Float64bits(g.Type.ProcRate)}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				erl, err := dist.NewErlang(g.Reps, rate)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := dist.MeanOfMax(g.Tasks, erl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Twice: a cache miss then a hit, both must equal the
+				// direct integral.
+				for pass := 0; pass < 2; pass++ {
+					got, err := est.GroupPhase1Mean(g, price)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Errorf("%s: GroupPhase1Mean(%s, %d) pass %d = %v, direct integral %v",
+							tc.name, g.Type.Name, price, pass, got, want)
+					}
+				}
+				two, err := dist.NewTwoPhaseErlang(g.Reps, rate, g.Type.ProcRate)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantTot, err := dist.MeanOfMax(g.Tasks, two)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotTot, err := est.GroupTotalMean(g, price)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotTot != wantTot {
+					t.Errorf("%s: GroupTotalMean(%s, %d) = %v, direct integral %v",
+						tc.name, g.Type.Name, price, gotTot, wantTot)
+				}
+			}
+		}
+	}
+}
+
+// TestGroupPhase1Monotone pins the monotonicity minimizeO2's binary
+// search relies on: E1 strictly decreases as price rises, across every
+// fleet group and belief.
+func TestGroupPhase1Monotone(t *testing.T) {
+	est := htuning.NewEstimator()
+	for _, tc := range fleetParityCases(t) {
+		for _, g := range tc.p.Groups {
+			prev := math.Inf(1)
+			for price := 1; price <= 24; price++ {
+				v, err := est.GroupPhase1Mean(g, price)
+				if err != nil {
+					t.Fatalf("%s: %v", tc.name, err)
+				}
+				if !(v < prev) {
+					t.Fatalf("%s: E1(%s) not decreasing at price %d: %v -> %v",
+						tc.name, g.Type.Name, price, prev, v)
+				}
+				prev = v
+			}
+		}
+	}
+}
+
+// TestCampaignFleetDeterminism pins that buffer and scratch reuse never
+// leaks state across rounds or campaigns: running the paper fleet twice
+// (fresh executors, shared estimator) yields identical results.
+func TestCampaignFleetDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet run in -short mode")
+	}
+	cfgs, err := workload.PaperCampaignFleet(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trim to the three structurally distinct market modes to keep the
+	// double run fast: stationary, drifted, worker-choice.
+	trimmed := []campaign.Config{cfgs[0], cfgs[4], cfgs[6]}
+	est := htuning.NewEstimator()
+	run := func() []campaign.Result {
+		t.Helper()
+		ctx := t.Context()
+		results := make([]campaign.Result, len(trimmed))
+		for i, cfg := range trimmed {
+			res, err := campaign.Run(ctx, est, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", cfg.Name, err)
+			}
+			results[i] = res
+		}
+		return results
+	}
+	first := run()
+	second := run()
+	if !reflect.DeepEqual(first, second) {
+		t.Error("fleet results differ between identical runs: scratch reuse leaked state")
+	}
+}

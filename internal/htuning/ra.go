@@ -120,10 +120,24 @@ func SolveRepetition(est *Estimator, p Problem) (RepetitionResult, error) {
 
 // solveRepetitionGreedy runs one greedy pass; costAware selects the
 // per-budget-unit gain rule.
+//
+// The pass computes incremental deltas: current[i] and next[i] hold
+// E_i at the group's price and price+1, and only the group raised last
+// step has its pair refreshed — every other group's gain is unchanged,
+// so the argmin re-reads two cached floats instead of re-walking the
+// allocation through the estimator (a shard-locked LRU hit per group
+// per step in the reference path). Working slices come from a pooled
+// scratch; the winning price vector is copied out before the scratch is
+// recycled. Bit-identical to solveRepetitionGreedyReference: the same
+// estimator values feed the same comparisons in the same group order.
 func solveRepetitionGreedy(est *Estimator, p Problem, costAware bool) (RepetitionResult, error) {
 	n := len(p.Groups)
-	prices := make([]int, n)
-	costs := make([]int, n)
+	sc := raScratchPool.Get()
+	defer raScratchPool.Put(sc)
+	prices := intScratch(&sc.prices, n)
+	costs := intScratch(&sc.costs, n)
+	current := floatScratch(&sc.current, n)
+	next := floatScratch(&sc.next, n)
 	spent := 0
 	for i, g := range p.Groups {
 		prices[i] = 1
@@ -132,7 +146,6 @@ func solveRepetitionGreedy(est *Estimator, p Problem, costAware bool) (Repetitio
 	}
 	// Evaluate every group's starting latency concurrently — on a cold
 	// cache these are n independent E[max] integrals.
-	current := make([]float64, n)
 	if err := parallelEach(n, candidateWorkers(n), func(i int) error {
 		v, err := est.GroupPhase1Mean(p.Groups[i], prices[i])
 		if err != nil {
@@ -144,37 +157,35 @@ func solveRepetitionGreedy(est *Estimator, p Problem, costAware bool) (Repetitio
 		return RepetitionResult{}, err
 	}
 	remaining := p.Budget - spent
-	next := make([]float64, n)
-	candidates := make([]int, 0, n)
-	for {
-		// Fan the affordable candidates' next-price evaluations across
-		// workers (after the first iteration all but the group raised
-		// last round are cache hits), then reduce serially in group
-		// order so the argmin tie-breaking matches the serial solver
-		// exactly.
-		candidates = candidates[:0]
-		for i := range p.Groups {
-			if costs[i] <= remaining {
-				candidates = append(candidates, i)
-			}
-		}
-		if len(candidates) == 0 {
-			break
-		}
-		if err := parallelEach(len(candidates), candidateWorkers(len(candidates)), func(ci int) error {
-			i := candidates[ci]
-			v, err := est.GroupPhase1Mean(p.Groups[i], prices[i]+1)
-			if err != nil {
-				return err
-			}
-			next[i] = v
+	// Evaluate the affordable groups' next-price latencies once, also
+	// fanned (cold-cache integrals). remaining only ever decreases, so a
+	// group unaffordable now is unaffordable forever and its next slot
+	// is never read.
+	if err := parallelEach(n, candidateWorkers(n), func(i int) error {
+		if costs[i] > remaining {
 			return nil
-		}); err != nil {
-			return RepetitionResult{}, err
 		}
+		v, err := est.GroupPhase1Mean(p.Groups[i], prices[i]+1)
+		if err != nil {
+			return err
+		}
+		next[i] = v
+		return nil
+	}); err != nil {
+		return RepetitionResult{}, err
+	}
+	for {
+		// Argmin over the affordable candidates in group order — the
+		// same comparison sequence as the reference pass, fed by the
+		// same (cached, pure) estimator values.
 		bestI := -1
 		bestGain := 0.0
-		for _, i := range candidates {
+		any := false
+		for i := range p.Groups {
+			if costs[i] > remaining {
+				continue
+			}
+			any = true
 			gain := current[i] - next[i]
 			if costAware {
 				gain /= float64(costs[i])
@@ -184,19 +195,30 @@ func solveRepetitionGreedy(est *Estimator, p Problem, costAware bool) (Repetitio
 				bestI = i
 			}
 		}
-		if bestI < 0 || bestGain <= 0 {
+		if !any || bestI < 0 || bestGain <= 0 {
 			break
 		}
 		prices[bestI]++
 		current[bestI] = next[bestI]
 		remaining -= costs[bestI]
 		spent += costs[bestI]
+		// Only the raised group's delta changed; refresh it if it can
+		// still afford another step.
+		if costs[bestI] <= remaining {
+			v, err := est.GroupPhase1Mean(p.Groups[bestI], prices[bestI]+1)
+			if err != nil {
+				return RepetitionResult{}, err
+			}
+			next[bestI] = v
+		}
 	}
 	obj := 0.0
 	for _, v := range current {
 		obj += v
 	}
-	return RepetitionResult{Prices: prices, Objective: obj, Spent: spent}, nil
+	out := make([]int, n)
+	copy(out, prices)
+	return RepetitionResult{Prices: out, Objective: obj, Spent: spent}, nil
 }
 
 // SolveRepetitionDP solves the Scenario II objective exactly with a
@@ -216,9 +238,19 @@ func SolveRepetitionDP(est *Estimator, p Problem) (RepetitionResult, error) {
 	B := p.Budget
 
 	const inf = math.MaxFloat64
+	// All DP state lives in a pooled scratch: the two rolling value rows
+	// (swapped instead of reallocated per group), the per-group latency
+	// table, and one flat n×(B+1) back-pointer matrix in place of a
+	// fresh pick slice per group. Recycled cells are rewritten before
+	// every read: value rows are re-filled with inf per group, and the
+	// back-walk only visits spends whose value is finite — which implies
+	// their back-pointer was stored this call.
+	sc := dpScratchPool.Get()
+	defer dpScratchPool.Put(sc)
 	// best[b] = minimal Σ E over groups processed so far spending exactly b.
-	best := make([]float64, B+1)
-	choice := make([][]int, n) // choice[i][b] = price of group i in the optimum of prefix i at spend b
+	best := floatScratch(&sc.best, B+1)
+	next := floatScratch(&sc.next, B+1)
+	choice := intScratch(&sc.choice, n*(B+1)) // choice[i*(B+1)+b] = price of group i in the optimum of prefix i at spend b
 	for b := range best {
 		best[b] = inf
 	}
@@ -232,7 +264,7 @@ func SolveRepetitionDP(est *Estimator, p Problem) (RepetitionResult, error) {
 		}
 		// The price-level latencies are independent integrals — the DP's
 		// dominant cost on a cold cache — so they fan across workers.
-		lat := make([]float64, maxPrice+1)
+		lat := floatScratch(&sc.lat, maxPrice+1)
 		if err := parallelEach(maxPrice, candidateWorkers(maxPrice), func(pi int) error {
 			v, err := est.GroupPhase1Mean(g, pi+1)
 			if err != nil {
@@ -243,8 +275,7 @@ func SolveRepetitionDP(est *Estimator, p Problem) (RepetitionResult, error) {
 		}); err != nil {
 			return RepetitionResult{}, err
 		}
-		next := make([]float64, B+1)
-		pick := make([]int, B+1)
+		pick := choice[i*(B+1) : (i+1)*(B+1)]
 		for b := range next {
 			next[b] = inf
 		}
@@ -264,8 +295,7 @@ func SolveRepetitionDP(est *Estimator, p Problem) (RepetitionResult, error) {
 				}
 			}
 		}
-		best = next
-		choice[i] = pick
+		best, next = next, best
 	}
 
 	// Find the cheapest spend achieving the global minimum.
@@ -283,7 +313,7 @@ func SolveRepetitionDP(est *Estimator, p Problem) (RepetitionResult, error) {
 	prices := make([]int, n)
 	b := bestB
 	for i := n - 1; i >= 0; i-- {
-		price := choice[i][b]
+		price := choice[i*(B+1)+b]
 		if price < 1 {
 			return RepetitionResult{}, fmt.Errorf("htuning: internal: broken DP back-pointer at group %d spend %d", i, b)
 		}

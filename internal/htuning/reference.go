@@ -1,0 +1,328 @@
+package htuning
+
+import (
+	"math"
+	"sync"
+)
+
+// This file keeps the straightforward, allocation-heavy solver
+// implementations that predate the scratch-buffer/incremental hot-path
+// rewrite (see docs/PERFORMANCE.md). They are the certification oracles:
+// the optimized SolveRepetition and SolveHeterogeneousNorm must return
+// bit-identical results to these on every instance — the parity tests
+// pin that contract — and htbench benchmarks them for the ablation
+// numbers. They re-evaluate every candidate through the estimator on
+// every greedy iteration and allocate fresh slices throughout, which is
+// exactly what the optimized paths avoid.
+
+// SolveRepetitionReference is the unoptimized Algorithm 2 (RA)
+// implementation: same two greedy rules and exact-latency tie-break as
+// SolveRepetition, evaluated the expensive way. Results are bit-identical
+// to SolveRepetition by contract.
+func SolveRepetitionReference(est *Estimator, p Problem) (RepetitionResult, error) {
+	if err := p.Validate(); err != nil {
+		return RepetitionResult{}, err
+	}
+	if est == nil {
+		est = NewEstimator()
+	}
+	var abs, perCost RepetitionResult
+	var absErr, perErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		perCost, perErr = solveRepetitionGreedyReference(est, p, true)
+	}()
+	abs, absErr = solveRepetitionGreedyReference(est, p, false)
+	wg.Wait()
+	if absErr != nil {
+		return RepetitionResult{}, absErr
+	}
+	if perErr != nil {
+		return RepetitionResult{}, perErr
+	}
+	samePrices := true
+	for i := range abs.Prices {
+		if abs.Prices[i] != perCost.Prices[i] {
+			samePrices = false
+			break
+		}
+	}
+	if samePrices {
+		return abs, nil
+	}
+	var absJob, perCostJob float64
+	var absJobErr, perJobErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		perCostJob, perJobErr = est.JobExpectedLatency(p.Groups, perCost.Prices, PhaseOnHold)
+	}()
+	absJob, absJobErr = est.JobExpectedLatency(p.Groups, abs.Prices, PhaseOnHold)
+	wg.Wait()
+	if absJobErr != nil {
+		return RepetitionResult{}, absJobErr
+	}
+	if perJobErr != nil {
+		return RepetitionResult{}, perJobErr
+	}
+	if perCostJob < absJob {
+		return perCost, nil
+	}
+	return abs, nil
+}
+
+// solveRepetitionGreedyReference is one greedy pass, re-evaluating every
+// affordable candidate's next-price latency through the estimator on
+// every iteration and allocating its working slices per call.
+func solveRepetitionGreedyReference(est *Estimator, p Problem, costAware bool) (RepetitionResult, error) {
+	n := len(p.Groups)
+	prices := make([]int, n)
+	costs := make([]int, n)
+	spent := 0
+	for i, g := range p.Groups {
+		prices[i] = 1
+		costs[i] = g.UnitCost()
+		spent += costs[i]
+	}
+	current := make([]float64, n)
+	if err := parallelEach(n, candidateWorkers(n), func(i int) error {
+		v, err := est.GroupPhase1Mean(p.Groups[i], prices[i])
+		if err != nil {
+			return err
+		}
+		current[i] = v
+		return nil
+	}); err != nil {
+		return RepetitionResult{}, err
+	}
+	remaining := p.Budget - spent
+	next := make([]float64, n)
+	candidates := make([]int, 0, n)
+	for {
+		candidates = candidates[:0]
+		for i := range p.Groups {
+			if costs[i] <= remaining {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		if err := parallelEach(len(candidates), candidateWorkers(len(candidates)), func(ci int) error {
+			i := candidates[ci]
+			v, err := est.GroupPhase1Mean(p.Groups[i], prices[i]+1)
+			if err != nil {
+				return err
+			}
+			next[i] = v
+			return nil
+		}); err != nil {
+			return RepetitionResult{}, err
+		}
+		bestI := -1
+		bestGain := 0.0
+		for _, i := range candidates {
+			gain := current[i] - next[i]
+			if costAware {
+				gain /= float64(costs[i])
+			}
+			if gain > bestGain+1e-15 {
+				bestGain = gain
+				bestI = i
+			}
+		}
+		if bestI < 0 || bestGain <= 0 {
+			break
+		}
+		prices[bestI]++
+		current[bestI] = next[bestI]
+		remaining -= costs[bestI]
+		spent += costs[bestI]
+	}
+	obj := 0.0
+	for _, v := range current {
+		obj += v
+	}
+	return RepetitionResult{Prices: prices, Objective: obj, Spent: spent}, nil
+}
+
+// minimizeO2Reference finds the minimal achievable O2 like minimizeO2,
+// but locates each group's cheapest target-reaching price by scanning
+// upward from price 1 instead of binary searching — Θ(P) estimator
+// lookups per group per feasibility probe against O(log P).
+func minimizeO2Reference(est *Estimator, p Problem) (float64, error) {
+	n := len(p.Groups)
+	u := make([]int, n)
+	c2 := make([]float64, n)
+	maxPrice := make([]int, n)
+	minB := p.MinBudget()
+	for i, g := range p.Groups {
+		u[i] = g.UnitCost()
+		v, err := est.GroupPhase2Mean(g)
+		if err != nil {
+			return 0, err
+		}
+		c2[i] = v
+		maxPrice[i] = (p.Budget - (minB - u[i])) / u[i]
+	}
+	cheapestFor := func(target float64) (int, error) {
+		total := 0
+		for i, g := range p.Groups {
+			found := -1
+			for price := 1; price <= maxPrice[i]; price++ {
+				e1, err := est.GroupPhase1Mean(g, price)
+				if err != nil {
+					return 0, err
+				}
+				if e1+c2[i] <= target+1e-12 {
+					found = price
+					break
+				}
+			}
+			if found < 0 {
+				return -1, nil
+			}
+			total += u[i] * found
+		}
+		return total, nil
+	}
+	lo, hi := 0.0, 0.0
+	for i, g := range p.Groups {
+		e1max, err := est.GroupPhase1Mean(g, maxPrice[i])
+		if err != nil {
+			return 0, err
+		}
+		e1min, err := est.GroupPhase1Mean(g, 1)
+		if err != nil {
+			return 0, err
+		}
+		if v := e1max + c2[i]; v > lo {
+			lo = v
+		}
+		if v := e1min + c2[i]; v > hi {
+			hi = v
+		}
+	}
+	if hi < lo {
+		hi = lo
+	}
+	for iter := 0; iter < 60 && hi-lo > 1e-10*(1+hi); iter++ {
+		mid := lo + (hi-lo)/2
+		spend, err := cheapestFor(mid)
+		if err != nil {
+			return 0, err
+		}
+		if spend >= 0 && spend <= p.Budget {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// SolveHeterogeneousNormReference is the unoptimized Algorithm 3 (HA)
+// implementation: every candidate increment is scored by re-walking the
+// whole price vector through the estimator (objectives) on a fresh copy.
+// Results are bit-identical to SolveHeterogeneousNorm by contract.
+func SolveHeterogeneousNormReference(est *Estimator, p Problem, norm Norm) (HeterogeneousResult, error) {
+	if err := p.Validate(); err != nil {
+		return HeterogeneousResult{}, err
+	}
+	if est == nil {
+		est = NewEstimator()
+	}
+	var o1DP RepetitionResult
+	var o2Star float64
+	var o1Err, o2Err error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		o2Star, o2Err = minimizeO2Reference(est, p)
+	}()
+	o1DP, o1Err = SolveRepetitionDP(est, p)
+	wg.Wait()
+	if o1Err != nil {
+		return HeterogeneousResult{}, o1Err
+	}
+	if o2Err != nil {
+		return HeterogeneousResult{}, o2Err
+	}
+	up := UtopiaPoint{O1: o1DP.Objective, O2: o2Star}
+
+	n := len(p.Groups)
+	prices := make([]int, n)
+	costs := make([]int, n)
+	spent := 0
+	for i, g := range p.Groups {
+		prices[i] = 1
+		costs[i] = g.UnitCost()
+		spent += costs[i]
+	}
+	closeness := func(prs []int) (float64, float64, float64, error) {
+		o1, o2, err := objectives(est, p, prs)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return norm.distance(o1-up.O1, o2-up.O2), o1, o2, nil
+	}
+	curCL, curO1, curO2, err := closeness(prices)
+	if err != nil {
+		return HeterogeneousResult{}, err
+	}
+	remaining := p.Budget - spent
+	type candidate struct{ cl, o1, o2 float64 }
+	cands := make([]candidate, n)
+	indices := make([]int, 0, n)
+	for {
+		indices = indices[:0]
+		for i := range p.Groups {
+			if costs[i] <= remaining {
+				indices = append(indices, i)
+			}
+		}
+		if len(indices) == 0 {
+			break
+		}
+		if err := parallelEach(len(indices), candidateWorkers(len(indices)), func(ci int) error {
+			i := indices[ci]
+			trial := append([]int(nil), prices...)
+			trial[i]++
+			cl, o1, o2, err := closeness(trial)
+			if err != nil {
+				return err
+			}
+			cands[i] = candidate{cl: cl, o1: o1, o2: o2}
+			return nil
+		}); err != nil {
+			return HeterogeneousResult{}, err
+		}
+		bestI := -1
+		bestCL, bestO1, bestO2 := curCL, curO1, curO2
+		for _, i := range indices {
+			c := cands[i]
+			if c.cl < bestCL-1e-15 || (bestI >= 0 && math.Abs(c.cl-bestCL) <= 1e-15 && costs[i] < costs[bestI]) {
+				bestCL, bestO1, bestO2 = c.cl, c.o1, c.o2
+				bestI = i
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		prices[bestI]++
+		remaining -= costs[bestI]
+		spent += costs[bestI]
+		curCL, curO1, curO2 = bestCL, bestO1, bestO2
+	}
+	return HeterogeneousResult{
+		Prices:    prices,
+		O1:        curO1,
+		O2:        curO2,
+		Utopia:    up,
+		Closeness: curCL,
+		Spent:     spent,
+	}, nil
+}

@@ -1,0 +1,64 @@
+package htuning
+
+import "hputune/internal/conc"
+
+// Scratch buffers for the solver hot paths. One solve used to allocate
+// a handful of short-lived slices per greedy pass and per DP table; in a
+// campaign loop (hundreds of solves per second) or the htuned service
+// that garbage adds up, so each solver borrows a scratch struct from a
+// typed free list instead.
+//
+// Ownership rules (the conc.Pool contract, applied here):
+//
+//   - a scratch belongs to exactly one solver call, from Get to the
+//     deferred Put;
+//   - nothing backed by a scratch may outlive the call — every result
+//     slice (Prices) is copied into a fresh exact-size allocation before
+//     returning;
+//   - resize helpers never zero recycled memory, so every element is
+//     written before it is read.
+
+// raScratch backs one greedy pass of SolveRepetition.
+type raScratch struct {
+	prices, costs []int
+	current, next []float64
+}
+
+var raScratchPool = conc.NewPool(func() *raScratch { return &raScratch{} })
+
+// dpScratch backs one SolveRepetitionDP call: the rolling best/next
+// value rows, the per-group price-latency table, and the flat
+// back-pointer matrix (n groups × (budget+1) spends).
+type dpScratch struct {
+	best, next, lat []float64
+	choice          []int
+}
+
+var dpScratchPool = conc.NewPool(func() *dpScratch { return &dpScratch{} })
+
+// haScratch backs one SolveHeterogeneousNorm call.
+type haScratch struct {
+	prices, costs  []int
+	e1, nextE1, c2 []float64
+}
+
+var haScratchPool = conc.NewPool(func() *haScratch { return &haScratch{} })
+
+// intScratch resizes *buf to n elements, reallocating only when the
+// recycled capacity is too small. Contents are unspecified.
+func intScratch(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// floatScratch is intScratch for float64 slices.
+func floatScratch(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}

@@ -1,0 +1,119 @@
+package market
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hputune/internal/pricing"
+)
+
+// bufferScenario is one simulation shape the reuse parity sweep drives.
+type bufferScenario struct {
+	name  string
+	cfg   Config
+	specs func() []TaskSpec
+}
+
+func bufferScenarios() []bufferScenario {
+	class := &TaskClass{Name: "t", Accept: pricing.Linear{K: 2, B: 0.5}, ProcRate: 2, Accuracy: 0.9}
+	batch := func(tasks, reps, price int) func() []TaskSpec {
+		return func() []TaskSpec {
+			specs := make([]TaskSpec, tasks)
+			for i := range specs {
+				prices := make([]int, reps)
+				for r := range prices {
+					prices[r] = price
+				}
+				specs[i] = TaskSpec{ID: fmt.Sprintf("t-%03d", i), Class: class, RepPrices: prices}
+			}
+			return specs
+		}
+	}
+	return []bufferScenario{
+		{name: "independent", cfg: Config{Seed: 11}, specs: batch(40, 3, 2)},
+		{name: "independent-deep-reps", cfg: Config{Seed: 12}, specs: batch(10, 8, 3)},
+		{name: "worker-choice", cfg: Config{Mode: ModeWorkerChoice, ArrivalRate: 25, Seed: 13}, specs: batch(30, 3, 2)},
+		{name: "abandonment", cfg: Config{AbandonProb: 0.3, AbandonRate: 4, Seed: 14}, specs: batch(25, 4, 2)},
+		// A shape change mid-reuse: the slabs harvested from a larger run
+		// must serve a smaller one (and vice versa) without mixing state.
+		{name: "small-after-large", cfg: Config{Seed: 15}, specs: batch(5, 2, 2)},
+	}
+}
+
+// runScenario drives one scenario on the given buffers (nil = fresh
+// allocation) and deep-copies everything the Sim returned by reference,
+// so later buffer reuse cannot retroactively change what we compare.
+func runScenario(t *testing.T, sc bufferScenario, buf *Buffers) ([]TaskResult, []RepRecord, float64) {
+	t.Helper()
+	sim, err := NewWithBuffers(sc.cfg, buf)
+	if err != nil {
+		t.Fatalf("%s: New: %v", sc.name, err)
+	}
+	if err := sim.PostAll(sc.specs()); err != nil {
+		t.Fatalf("%s: PostAll: %v", sc.name, err)
+	}
+	results, err := sim.Run()
+	if err != nil {
+		t.Fatalf("%s: Run: %v", sc.name, err)
+	}
+	copied := make([]TaskResult, len(results))
+	for i, r := range results {
+		r.Reps = append([]RepRecord(nil), r.Reps...)
+		copied[i] = r
+	}
+	records := append([]RepRecord(nil), sim.AllRecords()...)
+	return copied, records, sim.Makespan()
+}
+
+// TestBuffersReuseParity pins the reuse contract: a Sim recycling one
+// Buffers across heterogeneous runs produces bit-identical results,
+// records and makespans to fresh Sims — buffer reuse is a pure
+// allocation optimization, never a behavioural one.
+func TestBuffersReuseParity(t *testing.T) {
+	scenarios := bufferScenarios()
+	var buf Buffers
+	// Two passes over every scenario: the second pass reuses slabs
+	// populated by different shapes, the harder case.
+	for pass := 0; pass < 2; pass++ {
+		for _, sc := range scenarios {
+			wantResults, wantRecords, wantSpan := runScenario(t, sc, nil)
+			gotResults, gotRecords, gotSpan := runScenario(t, sc, &buf)
+			if gotSpan != wantSpan {
+				t.Errorf("pass %d %s: makespan %v with buffers, %v fresh", pass, sc.name, gotSpan, wantSpan)
+			}
+			if !reflect.DeepEqual(gotResults, wantResults) {
+				t.Errorf("pass %d %s: results diverge under buffer reuse", pass, sc.name)
+			}
+			if !reflect.DeepEqual(gotRecords, wantRecords) {
+				t.Errorf("pass %d %s: flattened records diverge under buffer reuse", pass, sc.name)
+			}
+		}
+	}
+}
+
+// TestAppendRecordsRecycles pins AppendRecords growth semantics: the
+// returned slice extends dst in place when capacity allows and matches
+// AllRecords contents exactly.
+func TestAppendRecordsRecycles(t *testing.T) {
+	sc := bufferScenarios()[0]
+	sim, err := New(sc.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.PostAll(sc.specs()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.AllRecords()
+	scratch := make([]RepRecord, 0, len(want)+16)
+	got := sim.AppendRecords(scratch)
+	if &got[0] != &scratch[:1][0] {
+		t.Error("AppendRecords reallocated despite sufficient capacity")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("AppendRecords contents differ from AllRecords")
+	}
+}

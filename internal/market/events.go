@@ -1,7 +1,5 @@
 package market
 
-import "container/heap"
-
 // eventKind discriminates scheduled events.
 type eventKind int
 
@@ -21,28 +19,67 @@ type event struct {
 	task int // index into sim.tasks (evAccept, evComplete)
 }
 
-// eventQueue is a binary min-heap on (at, seq).
+// less is the heap order: earliest time first, insertion order on ties.
+// With seq unique per event this is a strict total order, so the pop
+// sequence is a pure function of the pushed events — independent of the
+// heap's internal layout.
+func (e event) less(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventQueue is a binary min-heap on (at, seq), laid out directly in a
+// slice. It replaces container/heap, whose any-typed Push/Pop box every
+// event on the garbage-collected heap — at one box per scheduled and one
+// per popped event, the former top allocation site of the whole
+// solve→simulate→re-fit loop (see docs/PERFORMANCE.md). Pushing into
+// spare capacity and popping in place allocate nothing.
 type eventQueue []event
 
 func (q eventQueue) Len() int { return len(q) }
 
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// push inserts e, sifting it up to its heap position.
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].less(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
 	}
-	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(event)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+// pop removes and returns the minimum event. The caller guarantees the
+// queue is non-empty.
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	*q = h[:last]
+	h = h[:last]
+	// Sift the relocated root down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= last {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < last && h[right].less(h[left]) {
+			smallest = right
+		}
+		if !h[smallest].less(h[i]) {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
 }
-
-var _ heap.Interface = (*eventQueue)(nil)

@@ -59,6 +59,12 @@ func RepeatedMakespanParallel(rounds, workers int, fn func(round int) (float64, 
 	return acc.Sum() / float64(rounds), nil
 }
 
+// simBuffers recycles Sim backing storage across replication rounds.
+// Each round owns one *Buffers from Get to Put, and nothing a round
+// computes escapes its Sim (only the makespan scalar does), so the
+// Buffers ownership contract holds trivially.
+var simBuffers = conc.NewPool(func() *Buffers { return &Buffers{} })
+
 // ReplicatedMakespans runs rounds independent simulations of the same
 // task batch — round i uses cfg with its seed replaced by
 // roundSeed(cfg.Seed, i) — across a bounded worker pool, and returns
@@ -76,7 +82,9 @@ func ReplicatedMakespans(cfg Config, specs []TaskSpec, rounds, workers int) ([]f
 	err := eachRound(rounds, workers, func(i int) error {
 		rcfg := cfg
 		rcfg.Seed = roundSeed(cfg.Seed, i)
-		sim, err := New(rcfg)
+		buf := simBuffers.Get()
+		defer simBuffers.Put(buf)
+		sim, err := NewWithBuffers(rcfg, buf)
 		if err != nil {
 			return err
 		}

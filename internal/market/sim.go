@@ -1,7 +1,6 @@
 package market
 
 import (
-	"container/heap"
 	"fmt"
 
 	"hputune/internal/randx"
@@ -30,6 +29,7 @@ type Sim struct {
 	nDone      int
 	nextWorker int
 	abandoned  int
+	buf        *Buffers
 
 	// Results and trace, populated as tasks finish.
 	results []TaskResult
@@ -37,11 +37,71 @@ type Sim struct {
 
 // New returns an empty simulation with the given configuration.
 func New(cfg Config) (*Sim, error) {
+	return NewWithBuffers(cfg, nil)
+}
+
+// Buffers is reusable backing storage for a Sim: the event queue, the
+// task table, per-task record slices and the result list. A caller that
+// drives many simulations of similar shape in sequence (the campaign
+// executor's round loop, replication sweeps) hands the same *Buffers to
+// each NewWithBuffers call and the steady state allocates nothing — the
+// first run's arrays are recycled by every later one.
+//
+// Ownership: a Buffers belongs to exactly one Sim at a time. Passing it
+// to NewWithBuffers invalidates everything the previous run returned by
+// reference — Results, AllRecords slices obtained via AppendRecords, and
+// the records inside them share the recycled arrays. Copy anything that
+// must outlive the next run. The zero value is ready to use. A Buffers
+// is not safe for concurrent use.
+type Buffers struct {
+	events  eventQueue
+	tasks   []taskState
+	results []TaskResult
+	records [][]RepRecord // per-task record slabs, in post order
+}
+
+// reclaim harvests the record slabs of the previous run's task table so
+// the next run's Post calls can reuse them by index. Idempotent: the
+// slab list and the task table converge to the same slices.
+func (b *Buffers) reclaim() {
+	for i := range b.tasks {
+		if b.tasks[i].records == nil {
+			continue
+		}
+		if i < len(b.records) {
+			b.records[i] = b.tasks[i].records
+		} else {
+			b.records = append(b.records, b.tasks[i].records)
+		}
+	}
+}
+
+// NewWithBuffers is New recycling buf's backing storage; buf == nil is
+// exactly New. See Buffers for the ownership contract.
+func NewWithBuffers(cfg Config, buf *Buffers) (*Sim, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	s := &Sim{cfg: cfg, rng: randx.New(cfg.Seed)}
+	if buf != nil {
+		buf.reclaim()
+		s.queue = buf.events[:0]
+		s.tasks = buf.tasks[:0]
+		s.results = buf.results[:0]
+		s.buf = buf
+	}
 	return s, nil
+}
+
+// syncBuffers stores the possibly regrown slices back into the Buffers
+// so the next run starts from the largest arrays seen so far.
+func (s *Sim) syncBuffers() {
+	if s.buf == nil {
+		return
+	}
+	s.buf.events = s.queue
+	s.buf.tasks = s.tasks
+	s.buf.results = s.results
 }
 
 // Clock returns the current simulation time.
@@ -54,6 +114,15 @@ func (s *Sim) Post(spec TaskSpec) error {
 		return err
 	}
 	st := taskState{spec: spec, posted: s.clock, open: true}
+	// A task records exactly one entry per completed repetition
+	// (abandoned holds are not recorded), so the exact capacity is known
+	// up front; with a Buffers the previous run's slab is recycled.
+	if s.buf != nil && len(s.tasks) < len(s.buf.records) {
+		st.records = s.buf.records[len(s.tasks)][:0]
+	}
+	if cap(st.records) < len(spec.RepPrices) {
+		st.records = make([]RepRecord, 0, len(spec.RepPrices))
+	}
 	s.tasks = append(s.tasks, st)
 	idx := len(s.tasks) - 1
 	if s.cfg.Mode == ModeIndependent {
@@ -64,6 +133,11 @@ func (s *Sim) Post(spec TaskSpec) error {
 
 // PostAll posts a batch of tasks at the current clock.
 func (s *Sim) PostAll(specs []TaskSpec) error {
+	if free := cap(s.tasks) - len(s.tasks); free < len(specs) {
+		grown := make([]taskState, len(s.tasks), len(s.tasks)+len(specs))
+		copy(grown, s.tasks)
+		s.tasks = grown
+	}
 	for _, spec := range specs {
 		if err := s.Post(spec); err != nil {
 			return err
@@ -74,7 +148,7 @@ func (s *Sim) PostAll(specs []TaskSpec) error {
 
 func (s *Sim) push(at float64, kind eventKind, task int) {
 	s.seq++
-	heap.Push(&s.queue, event{at: at, seq: s.seq, kind: kind, task: task})
+	s.queue.push(event{at: at, seq: s.seq, kind: kind, task: task})
 }
 
 // scheduleAccept draws the acceptance delay of task idx's open repetition
@@ -90,8 +164,12 @@ func (s *Sim) scheduleAccept(idx int) {
 // repetitions (or MaxTime passes). It returns the completed task results
 // in completion order.
 func (s *Sim) Run() ([]TaskResult, error) {
+	defer s.syncBuffers()
 	if len(s.tasks) == 0 {
 		return nil, fmt.Errorf("market: Run with no posted tasks")
+	}
+	if s.results == nil {
+		s.results = make([]TaskResult, 0, len(s.tasks))
 	}
 	if s.cfg.Mode == ModeWorkerChoice {
 		s.push(s.clock+s.rng.Exp(s.cfg.ArrivalRate), evArrival, -1)
@@ -100,7 +178,7 @@ func (s *Sim) Run() ([]TaskResult, error) {
 		if s.queue.Len() == 0 {
 			return nil, fmt.Errorf("market: event queue drained with %d/%d tasks incomplete", s.nDone, len(s.tasks))
 		}
-		ev := heap.Pop(&s.queue).(event)
+		ev := s.queue.pop()
 		s.clock = ev.at
 		if s.cfg.MaxTime > 0 && s.clock > s.cfg.MaxTime {
 			return nil, fmt.Errorf("market: horizon %v exceeded with %d/%d tasks incomplete", s.cfg.MaxTime, s.nDone, len(s.tasks))
@@ -246,12 +324,28 @@ func (s *Sim) Results() []TaskResult { return s.results }
 // AllRecords flattens every completed repetition record, ordered by
 // acceptance time — the paper's "arrival order" axis.
 func (s *Sim) AllRecords() []RepRecord {
-	var recs []RepRecord
+	return s.AppendRecords(nil)
+}
+
+// AppendRecords appends every completed repetition record to dst (in
+// acceptance order) and returns the extended slice — AllRecords for
+// callers that recycle the flattened slice across runs.
+func (s *Sim) AppendRecords(dst []RepRecord) []RepRecord {
+	total := 0
 	for _, t := range s.results {
-		recs = append(recs, t.Reps...)
+		total += len(t.Reps)
 	}
-	sortRecordsByAccepted(recs)
-	return recs
+	if free := cap(dst) - len(dst); free < total {
+		grown := make([]RepRecord, len(dst), len(dst)+total)
+		copy(grown, dst)
+		dst = grown
+	}
+	start := len(dst)
+	for _, t := range s.results {
+		dst = append(dst, t.Reps...)
+	}
+	sortRecordsByAccepted(dst[start:])
+	return dst
 }
 
 func sortRecordsByAccepted(recs []RepRecord) {

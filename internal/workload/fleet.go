@@ -114,3 +114,32 @@ func PaperCampaignFleet(seed uint64) ([]campaign.Config, error) {
 	}
 	return fleet, nil
 }
+
+// BenchCampaignFleet builds the BENCH_campaign.json workload: 16
+// campaigns that each run exactly 8 full closed-loop rounds (epsilon 0
+// on a stationary two-price market never converges, the budget outlasts
+// the deadline), so one fleet run is 128 solve→simulate→re-fit rounds.
+// It is the single source of truth for the campaign perf baseline —
+// BenchmarkCampaignFleet and the htbench campaign suite both drive it,
+// so their numbers stay comparable across the trajectory.
+func BenchCampaignFleet() []campaign.Config {
+	truth := pricing.Linear{K: 2, B: 0.5}
+	class := &market.TaskClass{Name: "t", Accept: truth, ProcRate: 2, Accuracy: 1}
+	cfgs := make([]campaign.Config, 16)
+	for i := range cfgs {
+		cfgs[i] = campaign.Config{
+			Name: fmt.Sprintf("bench-%02d", i),
+			Groups: []campaign.Group{
+				{Name: "g3", Tasks: 50, Reps: 3, Class: class},
+				{Name: "g5", Tasks: 50, Reps: 5, Class: class},
+			},
+			Prior:       pricing.Linear{K: 1, B: 1},
+			RoundBudget: 1000,
+			Budget:      16000,
+			MaxRounds:   8,
+			Epsilon:     0,
+			Seed:        uint64(i + 1),
+		}
+	}
+	return cfgs
+}

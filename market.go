@@ -47,6 +47,22 @@ const (
 // NewMarket creates a marketplace simulation.
 func NewMarket(cfg MarketConfig) (*Market, error) { return market.New(cfg) }
 
+// MarketBuffers is reusable backing storage for market simulations: a
+// caller driving many runs in sequence hands the same *MarketBuffers to
+// each NewMarketWithBuffers call, and steady-state runs allocate almost
+// nothing. One MarketBuffers belongs to one Market at a time, and
+// reusing it invalidates everything the previous run returned by
+// reference (results, flattened records) — copy what must survive. See
+// the "Scratch-buffer ownership" section of the package documentation.
+type MarketBuffers = market.Buffers
+
+// NewMarketWithBuffers is NewMarket recycling buf's backing storage
+// (nil buf is exactly NewMarket). Buffer reuse is a pure allocation
+// optimization: results are bit-identical to a fresh Market's.
+func NewMarketWithBuffers(cfg MarketConfig, buf *MarketBuffers) (*Market, error) {
+	return market.NewWithBuffers(cfg, buf)
+}
+
 // ReplicatedMakespans runs rounds independent simulations of the same
 // task batch across a bounded worker pool (workers <= 0 means
 // GOMAXPROCS) and returns each round's makespan in round order. Round
