@@ -4,9 +4,9 @@
 GO ?= go
 
 # COVER_MIN is the total-coverage floor `make cover` enforces — pinned
-# just under the level at PR merge (81.5%) to absorb sub-point
+# just under the level at PR merge (81.8%) to absorb sub-point
 # platform variance; raise it as coverage grows, never lower it.
-COVER_MIN ?= 81.0
+COVER_MIN ?= 81.2
 
 .PHONY: all build test race bench lint fmt cover cover-check fuzz-smoke linkcheck doccheck docs bench-campaign bench-suite bench-smoke bench-compare
 
@@ -42,10 +42,14 @@ cover-check:
 		printf "total coverage %.1f%% meets the %.1f%% floor\n", t, min }'
 
 # fuzz smoke: run each fuzz target briefly so regressions in the trace
-# readers surface in CI without a long fuzzing budget.
+# readers and the WAL decoder surface in CI without a long fuzzing
+# budget. Runs under -race: the WAL decoder feeds a concurrent store
+# and the cheap smoke budget is the one place fuzzing and the race
+# detector meet.
 fuzz-smoke:
-	$(GO) test -run=NONE -fuzz=FuzzReadCSV -fuzztime=10s ./internal/trace
-	$(GO) test -run=NONE -fuzz=FuzzReadJSONL -fuzztime=10s ./internal/trace
+	$(GO) test -race -run=NONE -fuzz=FuzzReadCSV -fuzztime=10s ./internal/trace
+	$(GO) test -race -run=NONE -fuzz=FuzzReadJSONL -fuzztime=10s ./internal/trace
+	$(GO) test -race -run=NONE -fuzz=FuzzWALDecode -fuzztime=10s ./internal/store
 
 lint:
 	@diff=$$(gofmt -l .); \

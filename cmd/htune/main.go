@@ -8,6 +8,7 @@
 //	htune -spec problem.json -saturation 50
 //	htune -spec batch.json [-workers 8] [-simulate 2000]
 //	htune -campaign -spec campaigns.json [-workers 8]
+//	htune -state /var/lib/htuned [-verify]
 //
 // The spec format (single instance or top-level "problems" batch) is
 // documented in internal/spec; model kinds: "linear" (k, b),
@@ -30,6 +31,13 @@
 //
 //	{"problems": [{"budget": 1000, "groups": [...]},
 //	              {"budget": 2000, "groups": [...]}]}
+//
+// -state inspects a durable state directory written by htuned
+// -state-dir: it prints the snapshot/WAL summary, the recovered ingest
+// and fit state, and every campaign's resumable position; with -verify
+// the exit status reports structural integrity (a torn final WAL
+// record — the expected crash artifact, repaired by truncation on the
+// next open — is a warning, everything else is corruption).
 //
 // htune is the one-shot CLI; to serve tuning continuously over HTTP
 // (shared estimator cache, trace ingest, re-tuning), run the htuned
@@ -70,6 +78,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for batch specs, campaign fleets and simulation")
 	campaignMode := fs.Bool("campaign", false, "run closed-loop campaigns (tune → post → observe → re-tune) from a campaign spec")
 	serve := fs.Bool("serve", false, "print how to run the HTTP service (htune itself is one-shot)")
+	statePath := fs.String("state", "", "inspect a durable state directory (htuned -state-dir): print its summary and exit")
+	verifyState := fs.Bool("verify", false, "with -state: verify structural integrity; corruption makes the exit status 1")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h/-help is a success, as with flag.ExitOnError
@@ -80,6 +90,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "htune: htune is the one-shot CLI; the HTTP service is the separate htuned binary.")
 		fmt.Fprintln(stderr, "htune: run `go run hputune/cmd/htuned -addr :8080` and POST your spec to /v1/solve.")
 		return 2
+	}
+	if *statePath != "" {
+		// State inspection is offline and self-contained; any solver
+		// flag alongside it would be silently dead, so fail loudly.
+		var inapplicable []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "state", "verify":
+			default:
+				inapplicable = append(inapplicable, "-"+f.Name)
+			}
+		})
+		if len(inapplicable) > 0 {
+			return fail(stderr, "%s not supported with -state (state inspection is offline)", strings.Join(inapplicable, ", "))
+		}
+		return runState(stdout, stderr, *statePath, *verifyState)
+	}
+	if *verifyState {
+		return fail(stderr, "-verify needs -state <dir>")
 	}
 	if *specPath == "" {
 		fs.Usage()

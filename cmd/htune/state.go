@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hputune/internal/store"
+)
+
+// runState implements -state: dump a durable state directory's summary
+// (what htuned -state-dir wrote), and with -verify make integrity the
+// exit status. A torn final WAL record is reported but is not a
+// failure — it is the expected artifact of a crash mid-append and the
+// next open repairs it by truncation; anything else structurally wrong
+// (snapshot rot, mid-file CRC damage, sequence gaps, records that
+// contradict the state) fails -verify.
+func runState(stdout, stderr io.Writer, dir string, verify bool) int {
+	rep, err := store.Inspect(dir)
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	fmt.Fprintf(stdout, "state dir: %s\n", dir)
+	if rep.SnapshotErr != nil {
+		fmt.Fprintf(stdout, "snapshot: UNREADABLE: %v\n", rep.SnapshotErr)
+	} else if rep.HasSnapshot {
+		fmt.Fprintf(stdout, "snapshot: through seq %d\n", rep.SnapshotSeq)
+	} else {
+		fmt.Fprintln(stdout, "snapshot: none")
+	}
+	fmt.Fprintf(stdout, "wal: %d records, %d bytes", rep.WALRecords, rep.WALBytes)
+	if len(rep.ByType) > 0 {
+		types := make([]string, 0, len(rep.ByType))
+		for t := range rep.ByType {
+			types = append(types, t)
+		}
+		sort.Strings(types)
+		fmt.Fprint(stdout, " (")
+		for i, t := range types {
+			if i > 0 {
+				fmt.Fprint(stdout, ", ")
+			}
+			fmt.Fprintf(stdout, "%s %d", t, rep.ByType[t])
+		}
+		fmt.Fprint(stdout, ")")
+	}
+	fmt.Fprintln(stdout)
+	if rep.TornTail != nil {
+		fmt.Fprintf(stdout, "wal tail: torn at byte %d (%s) — crash artifact, truncated on next open\n",
+			rep.TornTail.Offset, rep.TornTail.Cause)
+	}
+	if rep.Corrupt != nil {
+		fmt.Fprintf(stdout, "wal: CORRUPT at byte %d: %s\n", rep.Corrupt.Offset, rep.Corrupt.Cause)
+	}
+	if rep.ApplyErr != nil {
+		fmt.Fprintf(stdout, "replay: FAILED: %v\n", rep.ApplyErr)
+	}
+	if st := rep.State; st != nil {
+		fmt.Fprintf(stdout, "ingest: %d records at %d price levels", st.Records, len(st.Aggs))
+		if f := st.Fit; f != nil {
+			fmt.Fprintf(stdout, "; fit k=%.6g b=%.6g (R²=%.4f, %d prices)", f.Slope, f.Intercept, f.R2, f.Prices)
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stdout, "campaigns: %d live (%d started, %d finished, %d canceled lifetime)\n",
+			len(st.Campaigns), st.Started, st.Finished, st.Canceled)
+		ids := make([]string, 0, len(st.Campaigns))
+		for id := range st.Campaigns {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			cs := st.Campaigns[id]
+			chk := cs.Checkpoint
+			status := chk.Status
+			if status == "" {
+				status = "pending"
+			}
+			fmt.Fprintf(stdout, "  %s %s: %s, %d rounds (%d retained), spent %d of %d",
+				id, chk.Name, status, chk.RoundsRun, len(cs.Rounds), chk.Spent, chk.Spent+chk.Remaining)
+			if !status.Terminal() {
+				fmt.Fprintf(stdout, " — resumes at round %d", chk.RoundsRun)
+			}
+			fmt.Fprintln(stdout)
+		}
+		if n := len(st.Archived); n > 0 {
+			rounds := 0
+			for _, a := range st.Archived {
+				rounds += a.Checkpoint.RoundsRun
+			}
+			fmt.Fprintf(stdout, "archived: %d evicted campaigns (%d rounds)\n", n, rounds)
+		}
+	}
+	if verify {
+		if !rep.Clean() {
+			fmt.Fprintln(stdout, "verify: FAILED")
+			return 1
+		}
+		fmt.Fprintln(stdout, "verify: ok")
+	}
+	return 0
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hputune/internal/campaign"
+	"hputune/internal/inference"
+	"hputune/internal/store"
+)
+
+// buildStateDir writes a small but representative state directory.
+func buildStateDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer st.Close()
+	if err := st.AppendIngest(map[int]inference.PriceAggregate{2: {N: 4, Total: 1}, 5: {N: 2, Total: 0.5}}, 6); err != nil {
+		t.Fatalf("AppendIngest: %v", err)
+	}
+	if err := st.AppendFit(store.FitRecord{Slope: 2, Intercept: 0.5, R2: 0.99, N: 2, Prices: 2}); err != nil {
+		t.Fatalf("AppendFit: %v", err)
+	}
+	if err := st.AppendFleet([]byte(`{"campaign":{"name":"x"}}`), []string{"c1"}, nil); err != nil {
+		t.Fatalf("AppendFleet: %v", err)
+	}
+	chk := campaign.Checkpoint{Name: "x", Status: campaign.StatusRunning, RoundsRun: 2, HistoryCap: 8, Spent: 20, Remaining: 80}
+	if err := st.AppendRound("c1", campaign.RoundSnapshot{Round: 1, Prices: []int{3}}, chk); err != nil {
+		t.Fatalf("AppendRound: %v", err)
+	}
+	return dir
+}
+
+func TestStateDumpAndVerify(t *testing.T) {
+	dir := buildStateDir(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-state", dir, "-verify"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"wal: 4 records",
+		"ingest: 6 records at 2 price levels",
+		"fit k=2 b=0.5",
+		"c1 x: running, 2 rounds (1 retained), spent 20 of 100",
+		"resumes at round 2",
+		"verify: ok",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("dump missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestStateVerifyFailsOnCorruption(t *testing.T) {
+	dir := buildStateDir(t)
+	walPath := filepath.Join(dir, "wal.log")
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[10] ^= 0xff // first record's payload: mid-file corruption
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-state", dir, "-verify"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; out: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "CORRUPT") || !strings.Contains(out.String(), "verify: FAILED") {
+		t.Fatalf("verify output does not call out the corruption:\n%s", out.String())
+	}
+	// Without -verify the dump still prints what it can and exits 0.
+	out.Reset()
+	if code := run([]string{"-state", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("dump of corrupt dir: exit %d", code)
+	}
+}
+
+func TestStateTornTailIsAWarningNotAFailure(t *testing.T) {
+	dir := buildStateDir(t)
+	walPath := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x20, 0, 0, 0, 0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-state", dir, "-verify"}, &out, &errOut); code != 0 {
+		t.Fatalf("torn tail failed verify (exit %d):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "torn at byte") {
+		t.Fatalf("torn tail not reported:\n%s", out.String())
+	}
+}
+
+func TestStateFlagValidation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-state", t.TempDir(), "-spec", "x.json"}, &out, &errOut); code != 1 {
+		t.Fatalf("-state with -spec: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "-spec not supported with -state") {
+		t.Fatalf("unexpected error: %s", errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-verify"}, &out, &errOut); code != 1 {
+		t.Fatalf("-verify alone: exit %d, want 1", code)
+	}
+	errOut.Reset()
+	if code := run([]string{"-state", filepath.Join(t.TempDir(), "missing")}, &out, &errOut); code != 1 {
+		t.Fatalf("missing dir: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,263 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hputune/internal/campaign"
+	"hputune/internal/spec"
+	"hputune/internal/store"
+)
+
+// e2eFleetDoc runs long enough (epsilon 0 + drift: every campaign goes
+// the full 48 rounds) that a SIGKILL reliably lands mid-fleet.
+const e2eFleetDoc = `{"campaigns":[
+  {"name":"alpha","roundBudget":1000,"budget":48000,"rounds":48,"epsilon":0,"seed":7,
+   "prior":{"kind":"linear","k":1,"b":1},
+   "drift":{"kind":"rate","factor":0.97},
+   "groups":[{"name":"g3","tasks":50,"reps":3,"procRate":2,"true":{"kind":"linear","k":2,"b":0.5}},
+             {"name":"g5","tasks":50,"reps":5,"procRate":2,"true":{"kind":"linear","k":2,"b":0.5}}]},
+  {"name":"beta","roundBudget":900,"budget":43200,"rounds":48,"epsilon":0,"seed":21,
+   "prior":{"kind":"linear","k":1,"b":1},
+   "drift":{"kind":"shock","factor":0.7,"round":9},
+   "groups":[{"name":"g2","tasks":60,"reps":2,"procRate":2,"true":{"kind":"linear","k":1.8,"b":0.6}},
+             {"name":"g4","tasks":45,"reps":4,"procRate":3,"true":{"kind":"linear","k":1.8,"b":0.6}}]}
+]}`
+
+// buildHtuned compiles the binary under test once per test run.
+func buildHtuned(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "htuned")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// htunedProc is one running htuned under test.
+type htunedProc struct {
+	cmd  *exec.Cmd
+	base string // http://addr
+	logs *bytes.Buffer
+}
+
+// startHtuned launches htuned on a free port over stateDir and waits
+// for its listen line.
+func startHtuned(t *testing.T, bin, stateDir string) *htunedProc {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-state-dir", stateDir)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start htuned: %v", err)
+	}
+	p := &htunedProc{cmd: cmd, logs: &bytes.Buffer{}}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	addrC := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			p.logs.WriteString(line + "\n")
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				fields := strings.Fields(line[i+len("listening on "):])
+				if len(fields) > 0 {
+					select {
+					case addrC <- fields[0]:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrC:
+		p.base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("htuned never listened; logs:\n%s", p.logs.String())
+	}
+	return p
+}
+
+// kill SIGKILLs the process — no drain, no snapshot, no goodbye.
+func (p *htunedProc) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	_, _ = p.cmd.Process.Wait()
+}
+
+// fleetList is the GET /v1/campaigns reply shape the test reads.
+type fleetList struct {
+	Campaigns []campaign.Summary `json:"campaigns"`
+}
+
+func (p *htunedProc) list(t *testing.T) fleetList {
+	t.Helper()
+	resp, err := http.Get(p.base + "/v1/campaigns")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	defer resp.Body.Close()
+	var out fleetList
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	return out
+}
+
+func (p *htunedProc) result(t *testing.T, id string) campaign.Result {
+	t.Helper()
+	resp, err := http.Get(p.base + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("get %s: %d: %s", id, resp.StatusCode, raw)
+	}
+	var got struct {
+		ID string `json:"id"`
+		campaign.Result
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	return got.Result
+}
+
+// TestSIGKILLMidFleetResumesByteIdentical is the PR's acceptance pin:
+// htuned, killed with SIGKILL mid-fleet and restarted with the same
+// -state-dir, resumes every unfinished campaign and produces round
+// snapshots identical to an uninterrupted run at the same seed.
+func TestSIGKILLMidFleetResumesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives real processes")
+	}
+	// Reference: the same fleet, uninterrupted, in-process (campaigns
+	// are a pure function of their spec).
+	cfgs, err := spec.ParseCampaigns([]byte(e2eFleetDoc), spec.BuildOpts{})
+	if err != nil {
+		t.Fatalf("parse fleet: %v", err)
+	}
+	ref, err := campaign.RunFleet(context.Background(), nil, cfgs, 0)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+
+	bin := buildHtuned(t)
+	stateDir := filepath.Join(t.TempDir(), "state")
+
+	// First life: start the fleet, wait for real progress, SIGKILL.
+	p1 := startHtuned(t, bin, stateDir)
+	resp, err := http.Post(p1.base+"/v1/campaigns", "application/json", strings.NewReader(e2eFleetDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("start fleet: %d: %s", resp.StatusCode, raw)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never progressed; logs:\n%s", p1.logs.String())
+		}
+		list := p1.list(t)
+		rounds, running := 0, 0
+		for _, c := range list.Campaigns {
+			rounds += c.RoundsRun
+			if !c.Status.Terminal() {
+				running++
+			}
+		}
+		if rounds >= 4 && running > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	p1.kill(t)
+
+	// The torn directory must report unfinished campaigns (otherwise
+	// the kill proved nothing).
+	rep, err := store.Inspect(stateDir)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("SIGKILL left more than a torn tail: %+v %v", rep.Corrupt, rep.ApplyErr)
+	}
+	unfinished := 0
+	for _, cs := range rep.State.Campaigns {
+		if !cs.Checkpoint.Status.Terminal() {
+			unfinished++
+		}
+	}
+	if unfinished == 0 {
+		t.Fatal("every campaign already finished before the kill; nothing was resumed")
+	}
+
+	// Second life: same -state-dir. Unfinished campaigns resume on boot
+	// and run to completion without any new client request.
+	p2 := startHtuned(t, bin, stateDir)
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed fleet never settled; logs:\n%s", p2.logs.String())
+		}
+		list := p2.list(t)
+		allDone := len(list.Campaigns) == len(ref)
+		for _, c := range list.Campaigns {
+			if !c.Status.Terminal() {
+				allDone = false
+			}
+		}
+		if allDone {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := range ref {
+		id := fmt.Sprintf("c%d", i+1)
+		got := p2.result(t, id)
+		gotJSON, _ := json.Marshal(got)
+		wantJSON, _ := json.Marshal(ref[i])
+		if string(gotJSON) != string(wantJSON) {
+			t.Fatalf("campaign %s after SIGKILL+restart diverged from the uninterrupted run\n got  %s\n want %s", id, gotJSON, wantJSON)
+		}
+	}
+
+	// Bonus: the offline inspector agrees the directory is healthy and
+	// fully settled.
+	p2.kill(t)
+	rep, err = store.Inspect(stateDir)
+	if err != nil {
+		t.Fatalf("Inspect after settle: %v", err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("settled dir not clean: %+v", rep)
+	}
+}

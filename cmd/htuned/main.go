@@ -1,26 +1,39 @@
 // Command htuned is the long-running H-Tuning service: an HTTP JSON API
 // over the solver engine, with a shared bounded estimator cache, an
-// admission gate that turns overload into fast 503s, and an online
+// admission gate that turns overload into fast 503s, an online
 // ingest→inference→re-tune loop that keeps a trace-fitted rate model
-// current while solves are in flight.
+// current while solves are in flight, and an optional durable state
+// directory that lets the process crash or upgrade without losing any
+// of that.
 //
 // Usage:
 //
 //	htuned [-addr :8080] [-max-inflight N] [-workers N] [-cache-entries N]
-//	       [-max-campaigns N]
+//	       [-max-campaigns N] [-state-dir DIR] [-snapshot-every N]
 //
 // Endpoints: POST /v1/solve, /v1/solve-heterogeneous, /v1/simulate,
 // /v1/ingest, /v1/campaigns; GET /v1/campaigns[/{id}], /v1/stats,
 // /v1/healthz; DELETE /v1/campaigns/{id}. See the repository README for
-// request and response shapes. SIGINT/SIGTERM trigger a graceful drain;
-// running campaigns are canceled first (a campaign canceled mid-round
-// keeps the belief its completed rounds published).
+// request and response shapes.
+//
+// With -state-dir, ingest aggregates, published fits and campaign state
+// are journaled to an fsync'd write-ahead log (compacted into a
+// snapshot every -snapshot-every records) and recovered on boot:
+// campaigns that were running when the previous process died resume
+// from their last completed round and produce exactly the rounds an
+// uninterrupted run would have. SIGINT/SIGTERM trigger a graceful
+// drain; with a state directory the running campaigns are suspended
+// (resumable on next boot) and the WAL is compacted into a final
+// snapshot before exit — without one they are canceled, keeping the
+// belief their completed rounds published. Inspect or verify a state
+// directory offline with htune -state DIR [-verify].
 package main
 
 import (
 	"context"
 	"flag"
 	"log"
+	"net"
 	"os/signal"
 	"runtime"
 	"syscall"
@@ -36,16 +49,43 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker-pool size per admitted batch")
 	cacheEntries := flag.Int("cache-entries", 0, "estimator cache bound in entries (0 = default 65536)")
 	maxCampaigns := flag.Int("max-campaigns", 0, "concurrently running closed-loop campaigns admitted before 503 (0 = default 64)")
+	stateDir := flag.String("state-dir", "", "durable state directory (WAL + snapshots); empty serves in-memory only")
+	snapshotEvery := flag.Int("snapshot-every", 0, "compact the WAL into a snapshot every N records (0 = default 1024)")
 	flag.Parse()
 
-	srv, err := hputune.NewServer(hputune.ServerConfig{
+	cfg := hputune.ServerConfig{
 		MaxInFlight:  *maxInFlight,
 		Workers:      *workers,
 		CacheEntries: *cacheEntries,
 		MaxCampaigns: *maxCampaigns,
-	})
-	if err != nil {
-		log.Fatal(err)
+	}
+	var srv *hputune.Server
+	var st *hputune.Store
+	if *stateDir != "" {
+		var err error
+		st, err = hputune.OpenStore(*stateDir, hputune.StoreOptions{
+			SnapshotEvery: *snapshotEvery,
+			OnError: func(err error) {
+				// Sticky: the store is read-only from here on; the process
+				// keeps serving from memory so live traffic survives a bad
+				// disk, but a restart loses everything since this point.
+				log.Printf("state: durability lost: %v", err)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err = hputune.RecoverServer(cfg, st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("recovered state from %s", *stateDir)
+	} else {
+		var err error
+		srv, err = hputune.NewServer(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -56,9 +96,25 @@ func main() {
 		<-ctx.Done()
 		stop()
 	}()
-	log.Printf("listening on %s (max-inflight %d, workers %d)", *addr, *maxInFlight, *workers)
-	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		log.Fatal(err)
+	}
+	// The resolved address, not the flag: ":0" callers need the port.
+	log.Printf("listening on %s (max-inflight %d, workers %d)", ln.Addr(), *maxInFlight, *workers)
+	if err := srv.Serve(ctx, ln); err != nil {
+		log.Fatal(err)
+	}
+	if st != nil {
+		// Drain-then-snapshot: campaigns were suspended during shutdown;
+		// folding the WAL tail into a snapshot makes the next boot replay
+		// nothing.
+		if err := st.Compact(); err != nil {
+			log.Printf("state: final snapshot: %v", err)
+		}
+		if err := st.Close(); err != nil {
+			log.Printf("state: close: %v", err)
+		}
 	}
 	log.Print("drained, bye")
 }

@@ -122,6 +122,28 @@
 // and gate counters, and shutdown drains gracefully. See the README for
 // the wire shapes.
 //
+// # Durability
+//
+// A serving process forgets nothing it learned if it is given a state
+// directory: OpenStore opens (or creates) an append-only, CRC-checked,
+// fsync'd write-ahead log with periodic compacting snapshots, and
+// RecoverServer builds a server whose ingest aggregates, published
+// fit, campaigns and lifetime counters are restored from it — with
+// every unfinished campaign resumed from its last completed round.
+// Resumption is bit-identical to the run that was interrupted: round
+// seeds derive only from each campaign's config seed, the solvers and
+// simulator are deterministic, and every persisted float round-trips
+// JSON exactly, so the resumed rounds equal the rounds an
+// uninterrupted process would have produced. A torn final WAL record
+// (the footprint of a crash mid-append) is repaired by truncation on
+// open; any other corruption fails recovery loudly rather than guess.
+// What is deliberately not persisted: the estimator cache (pure
+// memoization — recomputed on demand) and per-request serve counters.
+// The htuned binary wires this up with -state-dir/-snapshot-every and
+// suspends (rather than cancels) campaigns on SIGTERM so the next boot
+// picks them up; htune -state inspects a directory offline. The WAL
+// format and the fsync/rotation contract live in docs/ARCHITECTURE.md.
+//
 // # Closed-loop campaigns
 //
 // RunCampaign and RunCampaignFleet drive the paper's loop end to end:

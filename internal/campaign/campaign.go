@@ -19,6 +19,7 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -208,16 +209,27 @@ const (
 	StatusCanceled Status = "canceled"
 	// StatusFailed hit a solver or executor error (see Result.Reason).
 	StatusFailed Status = "failed"
+	// StatusSuspended was stopped by a shutdown that intends to resume
+	// it (see ErrSuspended): not terminal — a recovery restores the
+	// campaign from its last completed round and continues.
+	StatusSuspended Status = "suspended"
 )
 
 // Terminal reports whether the status is final.
 func (s Status) Terminal() bool {
 	switch s {
-	case StatusPending, StatusRunning:
+	case StatusPending, StatusRunning, StatusSuspended:
 		return false
 	}
 	return true
 }
+
+// ErrSuspended, passed as the cancel cause of the context driving Run,
+// parks the campaign as StatusSuspended instead of settling it as
+// canceled: nothing is journaled, the durable state keeps saying
+// "running", and the next recovery resumes the loop from its last
+// completed round. Any other cancellation cause is a real cancel.
+var ErrSuspended = errors.New("campaign: suspended for shutdown")
 
 // FitInfo describes one published price→rate fit.
 type FitInfo struct {
@@ -277,6 +289,66 @@ type Result struct {
 	TotalMakespan float64 `json:"totalMakespan"`
 }
 
+// Checkpoint is a campaign's full resumable state as of a completed
+// round (or its terminal settlement): everything Run needs beyond the
+// immutable Config to continue the loop bit-identically — the published
+// belief, the cumulative per-price aggregates behind it, the budget
+// accounting and the round counters. The retained round-snapshot ring
+// rides separately (the durable store keeps it per campaign), so one
+// checkpoint stays O(#price levels) no matter how long the campaign has
+// run. All float fields are finite, so the checkpoint round-trips
+// through JSON without losing a bit.
+type Checkpoint struct {
+	Name   string `json:"name"`
+	Status Status `json:"status"`
+	Reason string `json:"reason,omitempty"`
+	// RoundsRun counts completed rounds; a resumed Run continues at
+	// exactly this round index.
+	RoundsRun int `json:"roundsRun"`
+	Dropped   int `json:"dropped,omitempty"`
+	// HistoryCap is the round-snapshot retention bound (after defaults),
+	// recorded so replay can maintain the ring without the Config.
+	HistoryCap    int     `json:"historyCap"`
+	Spent         int     `json:"spent"`
+	Remaining     int     `json:"remaining"`
+	TotalMakespan float64 `json:"totalMakespan"`
+	// Aggs is the cumulative per-price sufficient statistic every future
+	// re-fit folds into; restoring it bit-exactly is what makes a resumed
+	// campaign's fits identical to an uninterrupted run's.
+	Aggs map[int]inference.PriceAggregate `json:"aggs,omitempty"`
+	// Fit is the currently published belief, if any (the model is
+	// rebuilt from it as Floored{Linear{Slope, Intercept}}, exactly how
+	// fold constructed it).
+	Fit *FitInfo `json:"fit,omitempty"`
+}
+
+// Journal receives a campaign's durable-state events — the hook the
+// serving layer's WAL-backed store plugs in; campaigns run without one
+// by default. Round fires after every completed round with the
+// campaign's full resumable state; its checkpoint status is terminal
+// when the round itself decided the loop (convergence), so a single
+// journal record always carries the whole decision and a crash can
+// never separate a round from its verdict. Finished fires on terminal
+// statuses reached between rounds (budget exhaustion, the round
+// deadline, cancellation, failure). Implementations must be safe for
+// concurrent use by many campaigns and must not call back into the
+// campaign; they cannot veto progress — a journal that fails durably
+// degrades persistence, never the live loop.
+type Journal interface {
+	Round(id string, snap RoundSnapshot, chk Checkpoint)
+	Finished(id string, chk Checkpoint)
+}
+
+// ManagerJournal extends Journal with the manager-level event.
+type ManagerJournal interface {
+	Journal
+	// Evicted fires just before a finished campaign leaves the
+	// manager's bounded retention, with its final state and retained
+	// round history — the export hook that keeps eviction from being
+	// the destruction of history's only copy.
+	Evicted(id string, chk Checkpoint, rounds []RoundSnapshot)
+}
+
 // fitRecord is one published fit with the model solvers price against.
 type fitRecord struct {
 	info  FitInfo
@@ -290,6 +362,11 @@ type Campaign struct {
 	cfg  Config
 	est  *htuning.Estimator
 	exec Executor
+
+	// journal, when set (SetJournal, before Run), receives round and
+	// terminal events under the manager-assigned id jid.
+	journal Journal
+	jid     string
 
 	mu            sync.Mutex
 	status        Status
@@ -379,6 +456,111 @@ func (c *Campaign) Brief() (name string, status Status, roundsRun, spent int, co
 	return c.cfg.Name, c.status, c.roundsRun, c.spent, c.converged
 }
 
+// SetJournal binds the campaign's lifecycle events to j under id. The
+// manager sets it for campaigns it starts or resumes; embedders driving
+// Run directly set it themselves. Must be set before Run and never
+// while Run is in flight.
+func (c *Campaign) SetJournal(j Journal, id string) {
+	c.journal = j
+	c.jid = id
+}
+
+// Checkpoint returns the campaign's current resumable state.
+func (c *Campaign) Checkpoint() Checkpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	chk := Checkpoint{
+		Name:          c.cfg.Name,
+		Status:        c.status,
+		Reason:        c.reason,
+		RoundsRun:     c.roundsRun,
+		Dropped:       c.dropped,
+		HistoryCap:    c.cfg.HistoryCap,
+		Spent:         c.spent,
+		Remaining:     c.remaining,
+		TotalMakespan: c.totalMakespan,
+	}
+	if len(c.aggs) > 0 {
+		chk.Aggs = make(map[int]inference.PriceAggregate, len(c.aggs))
+		for price, agg := range c.aggs {
+			chk.Aggs[price] = agg
+		}
+	}
+	if c.fit != nil {
+		info := c.fit.info
+		chk.Fit = &info
+	}
+	return chk
+}
+
+// Restore loads a recovered checkpoint and retained round history into
+// a freshly built campaign — the recovery path. The campaign must be
+// pending and unrun. A non-terminal checkpoint (pending, running or
+// suspended at crash or shutdown time) leaves the campaign pending; Run
+// then continues from the first round the checkpoint had not completed
+// and — because round seeds derive only from Config.Seed, and the
+// solvers, the simulator and the fit are deterministic — produces
+// exactly the rounds an uninterrupted run would have. A terminal
+// checkpoint makes the campaign inspectable without running it again.
+func (c *Campaign) Restore(chk Checkpoint, rounds []RoundSnapshot) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.status != StatusPending || c.roundsRun != 0 {
+		return fmt.Errorf("campaign: Restore on a %s campaign with %d rounds run (restore needs a fresh campaign)", c.status, c.roundsRun)
+	}
+	status := chk.Status
+	switch status {
+	case "", StatusPending, StatusRunning, StatusSuspended:
+		// Non-terminal at the time the checkpoint was cut: resumable.
+		status = StatusPending
+	case StatusConverged, StatusBudgetExhausted, StatusMaxRounds, StatusCanceled, StatusFailed:
+	default:
+		return fmt.Errorf("campaign: checkpoint has unknown status %q", chk.Status)
+	}
+	if status == StatusPending && chk.RoundsRun == 0 && chk.Spent == 0 && chk.Remaining == 0 &&
+		len(rounds) == 0 && len(chk.Aggs) == 0 && chk.Fit == nil {
+		// The zero checkpoint: the campaign was registered but never
+		// completed a round (a crash between fleet start and the first
+		// round record). Nothing to restore — Run starts from scratch.
+		return nil
+	}
+	if chk.Name != "" && chk.Name != c.cfg.Name {
+		return fmt.Errorf("campaign: checkpoint is for %q, config is %q (mismatched recovery pairing)", chk.Name, c.cfg.Name)
+	}
+	if chk.RoundsRun < len(rounds) {
+		return fmt.Errorf("campaign: checkpoint has %d rounds run but %d retained snapshots", chk.RoundsRun, len(rounds))
+	}
+	if chk.RoundsRun > c.cfg.MaxRounds {
+		return fmt.Errorf("campaign: checkpoint has %d rounds run past the %d-round deadline", chk.RoundsRun, c.cfg.MaxRounds)
+	}
+	if chk.Spent < 0 || chk.Spent+chk.Remaining != c.cfg.Budget {
+		return fmt.Errorf("campaign: checkpoint accounting (spent %d + remaining %d) does not match the configured budget %d",
+			chk.Spent, chk.Remaining, c.cfg.Budget)
+	}
+	c.status = status
+	c.reason = chk.Reason
+	c.converged = status == StatusConverged
+	c.roundsRun = chk.RoundsRun
+	c.dropped = chk.Dropped
+	c.spent = chk.Spent
+	c.remaining = chk.Remaining
+	c.totalMakespan = chk.TotalMakespan
+	c.rounds = append(c.rounds[:0], rounds...)
+	for price, agg := range chk.Aggs {
+		c.aggs[price] = agg
+	}
+	if chk.Fit != nil {
+		info := *chk.Fit
+		// Exactly how fold publishes: the contract-checked linear fit
+		// behind the positive floor.
+		c.fit = &fitRecord{
+			info:  info,
+			model: pricing.Floored{Base: pricing.Linear{K: info.Slope, B: info.Intercept}},
+		}
+	}
+	return nil
+}
+
 // belief returns the model the next round prices with: the published
 // fit when one exists, the prior otherwise.
 func (c *Campaign) belief() pricing.RateModel {
@@ -398,6 +580,43 @@ func (c *Campaign) finish(status Status, reason string) Result {
 	c.converged = status == StatusConverged
 	c.mu.Unlock()
 	return c.Snapshot()
+}
+
+// finishJournal is finish plus the terminal journal record — the path
+// for terminal statuses reached between rounds (budget exhaustion, the
+// round deadline, cancellation, failure). Convergence instead rides the
+// deciding round's own journal record, so a crash can never land
+// between a round and its verdict.
+func (c *Campaign) finishJournal(status Status, reason string) Result {
+	res := c.finish(status, reason)
+	if c.journal != nil {
+		c.journal.Finished(c.jid, c.Checkpoint())
+	}
+	return res
+}
+
+// journalRound emits one completed round and the campaign's resulting
+// resumable state (terminal when the round decided convergence).
+func (c *Campaign) journalRound(snap RoundSnapshot) {
+	if c.journal != nil {
+		c.journal.Round(c.jid, snap, c.Checkpoint())
+	}
+}
+
+// stop settles a cancellation observed at round: a suspend cause parks
+// the campaign non-terminally without journaling anything — the durable
+// state keeps saying "running as of the last completed round", which is
+// exactly what a later recovery resumes — while any other cause is a
+// real, journaled, terminal cancel.
+func (c *Campaign) stop(ctx context.Context, reason string) (Result, error) {
+	if errors.Is(context.Cause(ctx), ErrSuspended) {
+		c.mu.Lock()
+		c.status = StatusSuspended
+		c.reason = fmt.Sprintf("suspended for shutdown; resumable from round %d", c.roundsRun)
+		c.mu.Unlock()
+		return c.Snapshot(), nil
+	}
+	return c.finishJournal(StatusCanceled, reason), nil
 }
 
 // solverFor picks the paper's solver for the round shape: HA when
@@ -520,6 +739,15 @@ func (c *Campaign) record(snap RoundSnapshot) {
 // Cancellation (ctx) is honoured between steps: a cancel observed after
 // a round executed but before its observations were folded leaves the
 // published belief exactly as it was — a canceled round never publishes.
+// A cancel whose cause is ErrSuspended parks the campaign as suspended
+// (resumable) instead of canceling it.
+//
+// On a campaign restored from a non-terminal Checkpoint, Run continues
+// at the first round the checkpoint had not completed: it re-derives
+// the seed-stream position an uninterrupted run would be at (every
+// completed round consumed exactly one draw), resumes the convergence
+// comparison against the last retained round's prices, and produces
+// rounds bit-identical to the run the crash or shutdown interrupted.
 func (c *Campaign) Run(ctx context.Context) (Result, error) {
 	c.mu.Lock()
 	if c.status != StatusPending {
@@ -528,17 +756,24 @@ func (c *Campaign) Run(ctx context.Context) (Result, error) {
 		return c.Snapshot(), fmt.Errorf("campaign: Run on a %s campaign", status)
 	}
 	c.status = StatusRunning
+	start := c.roundsRun
+	var prevPrices []int
+	if n := len(c.rounds); n > 0 {
+		prevPrices = append([]int(nil), c.rounds[n-1].Prices...)
+	}
 	c.mu.Unlock()
 
 	seeds := randx.New(c.cfg.Seed)
-	var prevPrices []int
-	for round := 0; round < c.cfg.MaxRounds; round++ {
+	for i := 0; i < start; i++ {
+		seeds.Uint64()
+	}
+	for round := start; round < c.cfg.MaxRounds; round++ {
 		// Every round consumes its seed before any early exit, so
 		// retained rounds use the same seeds regardless of when a
 		// previous run stopped.
 		roundSeed := seeds.Uint64()
 		if err := ctx.Err(); err != nil {
-			return c.finish(StatusCanceled, "canceled before round "+fmt.Sprint(round)), nil
+			return c.stop(ctx, "canceled before round "+fmt.Sprint(round))
 		}
 		c.mu.Lock()
 		remaining := c.remaining
@@ -548,7 +783,7 @@ func (c *Campaign) Run(ctx context.Context) (Result, error) {
 			budget = remaining
 		}
 		if budget < c.cfg.minRoundCost() {
-			return c.finish(StatusBudgetExhausted,
+			return c.finishJournal(StatusBudgetExhausted,
 				fmt.Sprintf("remaining budget %d cannot fund a round (minimum %d)", remaining, c.cfg.minRoundCost())), nil
 		}
 
@@ -569,12 +804,12 @@ func (c *Campaign) Run(ctx context.Context) (Result, error) {
 			prices, spent = res.Prices, res.Spent
 		}
 		if err != nil {
-			final := c.finish(StatusFailed, fmt.Sprintf("round %d: solve: %v", round, err))
+			final := c.finishJournal(StatusFailed, fmt.Sprintf("round %d: solve: %v", round, err))
 			return final, fmt.Errorf("campaign %s: round %d: solve: %w", c.cfg.Name, round, err)
 		}
 		alloc, err := htuning.NewUniformAllocation(p, prices)
 		if err != nil {
-			final := c.finish(StatusFailed, fmt.Sprintf("round %d: allocation: %v", round, err))
+			final := c.finishJournal(StatusFailed, fmt.Sprintf("round %d: allocation: %v", round, err))
 			return final, fmt.Errorf("campaign %s: round %d: allocation: %w", c.cfg.Name, round, err)
 		}
 
@@ -582,15 +817,15 @@ func (c *Campaign) Run(ctx context.Context) (Result, error) {
 		obs, err := c.exec.Execute(ctx, round, p, alloc, roundSeed)
 		if err != nil {
 			if ctx.Err() != nil {
-				return c.finish(StatusCanceled, fmt.Sprintf("canceled during round %d", round)), nil
+				return c.stop(ctx, fmt.Sprintf("canceled during round %d", round))
 			}
-			final := c.finish(StatusFailed, fmt.Sprintf("round %d: execute: %v", round, err))
+			final := c.finishJournal(StatusFailed, fmt.Sprintf("round %d: execute: %v", round, err))
 			return final, fmt.Errorf("campaign %s: round %d: execute: %w", c.cfg.Name, round, err)
 		}
 		// A cancel that lands mid-execution must not publish the round:
 		// the belief stays exactly as the last completed round left it.
 		if err := ctx.Err(); err != nil {
-			return c.finish(StatusCanceled, fmt.Sprintf("canceled during round %d", round)), nil
+			return c.stop(ctx, fmt.Sprintf("canceled during round %d", round))
 		}
 
 		// (3) Re-fit: fold the observed traces and publish atomically.
@@ -616,12 +851,18 @@ func (c *Campaign) Run(ctx context.Context) (Result, error) {
 		// first-ever fit never does, its delta is undefined).
 		stable := fit == nil || (!first && delta <= c.cfg.Epsilon)
 		if round > 0 && stable && samePrices(prevPrices, prices) {
-			return c.finish(StatusConverged,
-				fmt.Sprintf("fixed point after round %d: allocation repeated, belief moved %.4g <= epsilon %.4g", round, delta, c.cfg.Epsilon)), nil
+			res := c.finish(StatusConverged,
+				fmt.Sprintf("fixed point after round %d: allocation repeated, belief moved %.4g <= epsilon %.4g", round, delta, c.cfg.Epsilon))
+			// The convergence verdict rides the deciding round's own
+			// journal record: the checkpoint below already carries the
+			// terminal status.
+			c.journalRound(snap)
+			return res, nil
 		}
+		c.journalRound(snap)
 		prevPrices = prices
 	}
-	return c.finish(StatusMaxRounds, fmt.Sprintf("round deadline %d reached", c.cfg.MaxRounds)), nil
+	return c.finishJournal(StatusMaxRounds, fmt.Sprintf("round deadline %d reached", c.cfg.MaxRounds)), nil
 }
 
 // samePrices reports whether two per-group price vectors are identical.

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
 	"hputune/internal/htuning"
@@ -16,9 +18,11 @@ var ErrCapacity = errors.New("campaign: manager at active-campaign capacity")
 // defaultMaxActive bounds concurrently running campaigns per manager.
 const defaultMaxActive = 64
 
-// maxRetained bounds finished campaigns kept for inspection; the oldest
-// finished are evicted first (their round counts stay in the stats).
-const maxRetained = 1024
+// defaultRetained bounds finished campaigns kept for inspection; the
+// oldest finished are evicted first. Their round counts stay in the
+// stats, and when a journal is set their final state and history are
+// exported to it before the drop (see ManagerJournal.Evicted).
+const defaultRetained = 1024
 
 // Manager owns the campaigns of one serving process: it starts them on
 // background goroutines, bounds how many run at once, serves concurrent
@@ -27,6 +31,8 @@ const maxRetained = 1024
 type Manager struct {
 	est       *htuning.Estimator
 	maxActive int
+	retain    int
+	journal   ManagerJournal
 
 	mu            sync.Mutex
 	byID          map[string]*tracked
@@ -44,7 +50,7 @@ type Manager struct {
 type tracked struct {
 	id     string
 	c      *Campaign
-	cancel context.CancelFunc
+	cancel context.CancelCauseFunc
 	done   chan struct{}
 }
 
@@ -57,8 +63,14 @@ func NewManager(est *htuning.Estimator, maxActive int) *Manager {
 	if maxActive <= 0 {
 		maxActive = defaultMaxActive
 	}
-	return &Manager{est: est, maxActive: maxActive, byID: make(map[string]*tracked)}
+	return &Manager{est: est, maxActive: maxActive, retain: defaultRetained, byID: make(map[string]*tracked)}
 }
+
+// SetJournal wires every subsequently started or resumed campaign — and
+// the retention-eviction export hook — to j. The serving layer's
+// durable store sets it once, before any campaign starts; it is not
+// synchronized with concurrent starts.
+func (m *Manager) SetJournal(j ManagerJournal) { m.journal = j }
 
 // Start launches one campaign and returns its id.
 func (m *Manager) Start(cfg Config) (string, error) {
@@ -73,67 +85,178 @@ func (m *Manager) Start(cfg Config) (string, error) {
 // admitted before any campaign starts, so a rejected fleet launches
 // nothing. IDs come back in config order.
 func (m *Manager) StartAll(cfgs []Config) ([]string, error) {
+	ids, launch, err := m.StartAllHeld(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	launch()
+	return ids, nil
+}
+
+// StartAllHeld validates and registers a fleet atomically like StartAll
+// but defers the launch: the campaigns only begin running when the
+// returned launch func is called (exactly once). The serving layer uses
+// the window to write the fleet's durable start record before any
+// campaign can journal a round, so replay always sees a fleet before
+// its rounds. Held campaigns are already visible to Get/List/Cancel —
+// a cancel before launch takes effect on the campaign's first step.
+func (m *Manager) StartAllHeld(cfgs []Config) (ids []string, launch func(), err error) {
 	if len(cfgs) == 0 {
-		return nil, fmt.Errorf("campaign: empty fleet")
+		return nil, nil, fmt.Errorf("campaign: empty fleet")
 	}
 	campaigns := make([]*Campaign, len(cfgs))
 	for i, cfg := range cfgs {
 		c, err := New(m.est, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("campaign %d: %w", i, err)
+			return nil, nil, fmt.Errorf("campaign %d: %w", i, err)
 		}
 		campaigns[i] = c
 	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return nil, fmt.Errorf("campaign: manager is closed")
+		return nil, nil, fmt.Errorf("campaign: manager is closed")
 	}
 	if m.active+len(cfgs) > m.maxActive {
 		active := m.active
 		m.mu.Unlock()
-		return nil, fmt.Errorf("%w (%d active + %d requested > %d)", ErrCapacity, active, len(cfgs), m.maxActive)
+		return nil, nil, fmt.Errorf("%w (%d active + %d requested > %d)", ErrCapacity, active, len(cfgs), m.maxActive)
 	}
-	ids := make([]string, len(cfgs))
+	ids = make([]string, len(cfgs))
+	held := make([]*tracked, len(cfgs))
+	ctxs := make([]context.Context, len(cfgs))
 	for i, c := range campaigns {
 		m.nextID++
 		id := fmt.Sprintf("c%d", m.nextID)
-		ctx, cancel := context.WithCancel(context.Background())
+		ctx, cancel := context.WithCancelCause(context.Background())
 		t := &tracked{id: id, c: c, cancel: cancel, done: make(chan struct{})}
+		if m.journal != nil {
+			c.SetJournal(m.journal, id)
+		}
 		m.byID[id] = t
 		m.order = append(m.order, id)
 		m.active++
 		m.started++
 		ids[i] = id
-		go m.drive(t, ctx)
+		held[i] = t
+		ctxs[i] = ctx
 	}
 	m.evictLocked()
 	m.mu.Unlock()
-	return ids, nil
+	return ids, func() {
+		for i, t := range held {
+			go m.drive(t, ctxs[i])
+		}
+	}, nil
 }
 
-// drive runs one campaign to its terminal status and releases its
-// active slot. Run errors are already recorded in the campaign's
-// terminal snapshot (StatusFailed), so they are not re-reported here.
+// Resume re-registers a recovered campaign under its previously
+// assigned id — the recovery path. A campaign restored to a terminal
+// status becomes inspectable (Get/List) without running again; a
+// resumable one is driven from its restored round immediately. Resume
+// deliberately bypasses the active-campaign admission bound: the
+// recovered state predates this process's configuration, and refusing
+// to resume it would silently discard paid-for rounds.
+func (m *Manager) Resume(id string, c *Campaign) error {
+	if id == "" {
+		return fmt.Errorf("campaign: Resume with an empty id")
+	}
+	_, status, _, _, _ := c.Brief()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("campaign: manager is closed")
+	}
+	if _, dup := m.byID[id]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("campaign: id %q already registered", id)
+	}
+	// Keep freshly generated ids disjoint from recovered ones.
+	if n, ok := ParseCampaignID(id); ok && n > m.nextID {
+		m.nextID = n
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	t := &tracked{id: id, c: c, cancel: cancel, done: make(chan struct{})}
+	m.byID[id] = t
+	m.order = append(m.order, id)
+	if status.Terminal() {
+		cancel(nil)
+		close(t.done)
+		m.mu.Unlock()
+		return nil
+	}
+	if m.journal != nil {
+		c.SetJournal(m.journal, id)
+	}
+	m.active++
+	m.mu.Unlock()
+	go m.drive(t, ctx)
+	return nil
+}
+
+// RestoreCounters seeds the lifetime counters and the id generator
+// from recovered state; the recovery path calls it once, before
+// resuming any campaign (a resumed campaign that finishes increments
+// on top of these). nextID must cover every id ever assigned —
+// including archived campaigns no longer resumable — so a recovered
+// manager never reuses one.
+func (m *Manager) RestoreCounters(started, finished, canceled, evictedRounds, nextID uint64) {
+	m.mu.Lock()
+	m.started = started
+	m.finished = finished
+	m.canceled = canceled
+	m.evictedRounds = evictedRounds
+	if nextID > m.nextID {
+		m.nextID = nextID
+	}
+	m.mu.Unlock()
+}
+
+// ParseCampaignID extracts the numeric suffix of a manager-generated
+// "c<n>" id — the one parser shared by the manager, the durable store
+// and recovery (overflow and malformed suffixes report !ok).
+func ParseCampaignID(id string) (uint64, bool) {
+	num, ok := strings.CutPrefix(id, "c")
+	if !ok || num == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// drive runs one campaign to its settled status and releases its active
+// slot. Run errors are already recorded in the campaign's terminal
+// snapshot (StatusFailed), so they are not re-reported here. A
+// suspended campaign (shutdown with intent to resume) settles without
+// counting as finished — its durable state still says "running", and
+// the restored counters of the next process pick it up from there.
 func (m *Manager) drive(t *tracked, ctx context.Context) {
 	_, _ = t.c.Run(ctx)
-	t.cancel() // release the context's resources
+	t.cancel(nil) // release the context's resources
 	_, status, _, _, _ := t.c.Brief()
 	m.mu.Lock()
 	m.active--
-	m.finished++
-	if status == StatusCanceled {
-		m.canceled++
+	if status.Terminal() {
+		m.finished++
+		if status == StatusCanceled {
+			m.canceled++
+		}
 	}
 	m.mu.Unlock()
 	close(t.done)
 }
 
 // evictLocked drops the oldest finished campaigns past the retention
-// bound. Active campaigns are never evicted (active <= maxActive <
-// maxRetained keeps this safe). Caller holds m.mu.
+// bound, exporting each one's final state and retained round history to
+// the journal first — eviction must never destroy the only copy of a
+// campaign's history. Active (and suspended) campaigns are never
+// evicted (active <= maxActive < retain keeps this safe). Caller holds
+// m.mu.
 func (m *Manager) evictLocked() {
-	for len(m.order) > maxRetained {
+	for len(m.order) > m.retain {
 		evicted := false
 		for i, id := range m.order {
 			t := m.byID[id]
@@ -141,6 +264,12 @@ func (m *Manager) evictLocked() {
 			case <-t.done:
 			default:
 				continue // still running
+			}
+			if _, status, _, _, _ := t.c.Brief(); !status.Terminal() {
+				continue // suspended: resumable state, never evicted
+			}
+			if m.journal != nil {
+				m.journal.Evicted(id, t.c.Checkpoint(), t.c.Snapshot().Rounds)
 			}
 			m.evictedRounds += uint64(t.c.RoundsRun())
 			delete(m.byID, id)
@@ -176,12 +305,12 @@ func (m *Manager) Cancel(id string) (Result, bool) {
 	if !ok {
 		return Result{}, false
 	}
-	t.cancel()
+	t.cancel(nil)
 	return t.c.Snapshot(), true
 }
 
-// Done returns a channel closed when the campaign reaches a terminal
-// status.
+// Done returns a channel closed when the campaign reaches a settled
+// (terminal or suspended) status.
 func (m *Manager) Done(id string) (<-chan struct{}, bool) {
 	m.mu.Lock()
 	t, ok := m.byID[id]
@@ -227,7 +356,9 @@ func (m *Manager) List() []Summary {
 // Stats is the manager's counter snapshot for /v1/stats.
 type Stats struct {
 	// Started / Finished / Canceled count campaigns over the manager's
-	// lifetime; Active is currently-running campaigns.
+	// lifetime; Active is currently-running campaigns. Under a durable
+	// store these counters survive restarts (recovery restores them from
+	// the replayed state).
 	Started  uint64 `json:"started"`
 	Finished uint64 `json:"finished"`
 	Canceled uint64 `json:"canceled"`
@@ -259,9 +390,20 @@ func (m *Manager) Stats() Stats {
 }
 
 // Close cancels every campaign and waits for all of them to settle —
-// the serving layer's shutdown hook. The manager accepts no new starts
-// afterwards.
-func (m *Manager) Close() {
+// the shutdown hook of a serving process without durable state. The
+// manager accepts no new starts afterwards.
+func (m *Manager) Close() { m.shutdown(nil) }
+
+// Suspend stops every running campaign without a terminal status —
+// campaigns settle as suspended, nothing terminal is journaled, and a
+// recovery from the durable store resumes each one from its last
+// completed round. The shutdown hook of a persistent serving process;
+// Close is its discarding counterpart. The manager accepts no new
+// starts afterwards.
+func (m *Manager) Suspend() { m.shutdown(ErrSuspended) }
+
+// shutdown closes the manager and cancels every campaign with cause.
+func (m *Manager) shutdown(cause error) {
 	m.mu.Lock()
 	m.closed = true
 	waits := make([]*tracked, 0, len(m.order))
@@ -270,7 +412,7 @@ func (m *Manager) Close() {
 	}
 	m.mu.Unlock()
 	for _, t := range waits {
-		t.cancel()
+		t.cancel(cause)
 	}
 	for _, t := range waits {
 		<-t.done

@@ -1,0 +1,470 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// recJournal records every journal event, accumulating per-id history
+// rings the way the durable store does.
+type recJournal struct {
+	mu       sync.Mutex
+	rounds   []recRound
+	finished []recFinished
+	evicted  []recEvicted
+}
+
+type recRound struct {
+	id   string
+	snap RoundSnapshot
+	chk  Checkpoint
+	ring []RoundSnapshot // ring state as of this round, capped at HistoryCap
+}
+
+type recFinished struct {
+	id  string
+	chk Checkpoint
+}
+
+type recEvicted struct {
+	id     string
+	chk    Checkpoint
+	rounds []RoundSnapshot
+}
+
+func (j *recJournal) Round(id string, snap RoundSnapshot, chk Checkpoint) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var ring []RoundSnapshot
+	for i := len(j.rounds) - 1; i >= 0; i-- {
+		if j.rounds[i].id == id {
+			ring = append(ring, j.rounds[i].ring...)
+			break
+		}
+	}
+	ring = append(ring, snap)
+	if len(ring) > chk.HistoryCap {
+		ring = ring[len(ring)-chk.HistoryCap:]
+	}
+	j.rounds = append(j.rounds, recRound{id: id, snap: snap, chk: chk, ring: ring})
+}
+
+func (j *recJournal) Finished(id string, chk Checkpoint) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = append(j.finished, recFinished{id: id, chk: chk})
+}
+
+func (j *recJournal) Evicted(id string, chk Checkpoint, rounds []RoundSnapshot) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.evicted = append(j.evicted, recEvicted{id: id, chk: chk, rounds: rounds})
+}
+
+// asJSON is the byte-identity yardstick: two values are "the same run"
+// iff their JSON forms match exactly (floats marshal at round-trip
+// precision, so this is bit-level for every numeric field).
+func asJSON(t *testing.T, v any) string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(raw)
+}
+
+// TestRestoreContinuationBitIdentical is the determinism contract the
+// whole recovery design leans on: a campaign restored from the
+// checkpoint of ANY completed round and re-run produces a final result
+// byte-identical to the uninterrupted run — remaining rounds, fits,
+// deltas, status, reason and accounting included.
+func TestRestoreContinuationBitIdentical(t *testing.T) {
+	drifted := twoGroup(23)
+	drifted.Name = "drifted"
+	drifted.Drift = Drift{Kind: DriftRate, Factor: 0.9}
+	drifted.Epsilon = 0 // drift keeps the fit moving: runs to the deadline
+
+	tight := twoGroup(5)
+	tight.Name = "tight"
+	tight.Budget = 2500 // exhausts after two rounds
+
+	for _, cfg := range []Config{twoGroup(7), drifted, tight} {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			j := &recJournal{}
+			ref, err := New(nil, cfg)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			ref.SetJournal(j, "ref")
+			refRes, err := ref.Run(context.Background())
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			if refRes.RoundsRun < 2 {
+				t.Fatalf("reference ran %d rounds; the test needs restorable middles", refRes.RoundsRun)
+			}
+			want := asJSON(t, refRes)
+			for k, ev := range j.rounds {
+				if ev.chk.Status.Terminal() {
+					// The deciding round: restoring it yields the final
+					// state without running anything.
+					c, err := New(nil, cfg)
+					if err != nil {
+						t.Fatalf("New: %v", err)
+					}
+					if err := c.Restore(ev.chk, ev.ring); err != nil {
+						t.Fatalf("restore terminal round %d: %v", k, err)
+					}
+					if got := asJSON(t, c.Snapshot()); got != want {
+						t.Fatalf("terminal restore diverged\n got  %s\n want %s", got, want)
+					}
+					continue
+				}
+				c, err := New(nil, cfg)
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				if err := c.Restore(ev.chk, ev.ring); err != nil {
+					t.Fatalf("restore at round %d: %v", k, err)
+				}
+				res, err := c.Run(context.Background())
+				if err != nil {
+					t.Fatalf("resumed run from round %d: %v", k, err)
+				}
+				if got := asJSON(t, res); got != want {
+					t.Fatalf("resume from round %d diverged from the uninterrupted run\n got  %s\n want %s", k, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointSurvivesJSONBitExactly pins the serialization leg of
+// the determinism contract: a checkpoint round-tripped through JSON (as
+// the WAL stores it) restores a continuation identical to one restored
+// from the live checkpoint.
+func TestCheckpointSurvivesJSONBitExactly(t *testing.T) {
+	cfg := twoGroup(31)
+	j := &recJournal{}
+	ref, err := New(nil, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ref.SetJournal(j, "ref")
+	refRes, err := ref.Run(context.Background())
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	ev := j.rounds[1] // a mid-run checkpoint with a published fit
+	if ev.chk.Fit == nil {
+		t.Fatalf("round 1 checkpoint has no fit; pick a richer config")
+	}
+	raw, err := json.Marshal(ev.chk)
+	if err != nil {
+		t.Fatalf("marshal checkpoint: %v", err)
+	}
+	var chk Checkpoint
+	if err := json.Unmarshal(raw, &chk); err != nil {
+		t.Fatalf("unmarshal checkpoint: %v", err)
+	}
+	rawRing, err := json.Marshal(ev.ring)
+	if err != nil {
+		t.Fatalf("marshal ring: %v", err)
+	}
+	var ring []RoundSnapshot
+	if err := json.Unmarshal(rawRing, &ring); err != nil {
+		t.Fatalf("unmarshal ring: %v", err)
+	}
+	c, err := New(nil, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.Restore(chk, ring); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if got, want := asJSON(t, res), asJSON(t, refRes); got != want {
+		t.Fatalf("JSON-round-tripped restore diverged\n got  %s\n want %s", got, want)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	cfg := twoGroup(3)
+	mk := func() *Campaign {
+		c, err := New(nil, cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return c
+	}
+	base := Checkpoint{Name: "two-group", Status: StatusRunning, RoundsRun: 1, HistoryCap: 64, Spent: 10, Remaining: cfg.Budget - 10}
+	cases := []struct {
+		name   string
+		mutate func(*Checkpoint)
+		rounds []RoundSnapshot
+	}{
+		{"wrong name", func(c *Checkpoint) { c.Name = "other" }, nil},
+		{"unknown status", func(c *Checkpoint) { c.Status = "meh" }, nil},
+		{"more snapshots than rounds", func(c *Checkpoint) { c.RoundsRun = 0 }, []RoundSnapshot{{}}},
+		{"past deadline", func(c *Checkpoint) { c.RoundsRun = cfg.MaxRounds + 1 }, nil},
+		{"broken accounting", func(c *Checkpoint) { c.Remaining = 0 }, nil},
+	}
+	for _, tc := range cases {
+		chk := base
+		tc.mutate(&chk)
+		if err := mk().Restore(chk, tc.rounds); err == nil {
+			t.Fatalf("%s: Restore accepted a bad checkpoint", tc.name)
+		}
+	}
+	// A valid restore works exactly once per campaign.
+	c := mk()
+	if err := c.Restore(base, []RoundSnapshot{{Round: 0, Prices: []int{2, 2}, Spent: 10}}); err != nil {
+		t.Fatalf("valid restore: %v", err)
+	}
+	if err := c.Restore(base, nil); err == nil {
+		t.Fatal("second Restore must fail")
+	}
+}
+
+// TestSuspendParksResumably pins the graceful-restart path: a campaign
+// canceled with the ErrSuspended cause settles non-terminally, journals
+// no terminal record, and a campaign restored from its checkpoint
+// finishes exactly like the uninterrupted run.
+func TestSuspendParksResumably(t *testing.T) {
+	cfg := twoGroup(41)
+	cfg.Drift = Drift{Kind: DriftRate, Factor: 0.9}
+	cfg.Epsilon = 0
+
+	refRes, err := Run(context.Background(), nil, cfg)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+
+	j := &recJournal{}
+	c, err := New(nil, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.SetJournal(j, "s")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	// A per-round gate would over-fit the loop's internals; canceling
+	// after the second journaled round is enough to land mid-run.
+	roundSeen := make(chan struct{}, 16)
+	go func() {
+		<-roundSeen
+		<-roundSeen
+		cancel(ErrSuspended)
+	}()
+	gate := &gateJournal{inner: j, seen: roundSeen}
+	c.SetJournal(gate, "s")
+	res, err := c.Run(ctx)
+	if err != nil {
+		t.Fatalf("suspended run: %v", err)
+	}
+	if res.Status != StatusSuspended || res.Status.Terminal() {
+		t.Fatalf("status %s, want non-terminal suspended; reason %q", res.Status, res.Reason)
+	}
+	if len(j.finished) != 0 {
+		t.Fatalf("suspend journaled a terminal record: %+v", j.finished)
+	}
+	if res.RoundsRun >= refRes.RoundsRun {
+		t.Fatalf("suspend landed after the run finished (%d rounds); nothing left to resume", res.RoundsRun)
+	}
+	// Resume from the suspended campaign's own checkpoint.
+	last := j.rounds[len(j.rounds)-1]
+	chk := c.Checkpoint()
+	c2, err := New(nil, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c2.Restore(chk, last.ring); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	res2, err := c2.Run(context.Background())
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if got, want := asJSON(t, res2), asJSON(t, refRes); got != want {
+		t.Fatalf("suspend+resume diverged from the uninterrupted run\n got  %s\n want %s", got, want)
+	}
+}
+
+// gateJournal forwards to inner and signals each round.
+type gateJournal struct {
+	inner Journal
+	seen  chan struct{}
+}
+
+func (g *gateJournal) Round(id string, snap RoundSnapshot, chk Checkpoint) {
+	g.inner.Round(id, snap, chk)
+	select {
+	case g.seen <- struct{}{}:
+	default:
+	}
+}
+
+func (g *gateJournal) Finished(id string, chk Checkpoint) { g.inner.Finished(id, chk) }
+
+// TestManagerSuspendAndResume drives the manager-level halves: Suspend
+// parks running campaigns without counting them finished, and Resume
+// re-registers both terminal and resumable campaigns under their old
+// ids.
+func TestManagerSuspendAndResume(t *testing.T) {
+	cfg := twoGroup(13)
+	cfg.Drift = Drift{Kind: DriftRate, Factor: 0.9}
+	cfg.Epsilon = 0
+	cfg.MaxRounds = 64
+	cfg.Budget = 64 * cfg.RoundBudget
+
+	m := NewManager(nil, 4)
+	id, err := m.Start(cfg)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	m.Suspend()
+	res, ok := m.Get(id)
+	if !ok {
+		t.Fatalf("campaign %s vanished", id)
+	}
+	// The suspend raced the run: either it parked mid-way (suspended) or
+	// the campaign legitimately finished first. Only the parked case is
+	// interesting, and with 64 slow rounds it is the overwhelming one.
+	if res.Status == StatusSuspended {
+		if st := m.Stats(); st.Finished != 0 {
+			t.Fatalf("suspended campaign counted as finished: %+v", st)
+		}
+	}
+	if _, err := m.Start(cfg); err == nil {
+		t.Fatal("suspended manager accepted a new start")
+	}
+
+	// A second manager resumes the parked campaign under its old id.
+	m2 := NewManager(nil, 4)
+	c2, err := New(nil, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	chk := Checkpoint{Name: cfg.Name, Status: StatusRunning, RoundsRun: res.RoundsRun, HistoryCap: DefaultHistoryCap,
+		Spent: res.Spent, Remaining: cfg.Budget - res.Spent, TotalMakespan: res.TotalMakespan}
+	if res.Status.Terminal() {
+		chk.Status = res.Status
+	}
+	if err := c2.Restore(chk, res.Rounds); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if err := m2.Resume(id, c2); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if err := m2.Resume(id, c2); err == nil {
+		t.Fatal("duplicate Resume must fail")
+	}
+	done, ok := m2.Done(id)
+	if !ok {
+		t.Fatalf("resumed campaign %s not tracked", id)
+	}
+	<-done
+	got, _ := m2.Get(id)
+	if !got.Status.Terminal() {
+		t.Fatalf("resumed campaign settled as %s", got.Status)
+	}
+	// Fresh ids must not collide with the resumed one.
+	nid, err := m2.Start(twoGroup(99))
+	if err != nil {
+		t.Fatalf("Start after resume: %v", err)
+	}
+	if nid == id {
+		t.Fatalf("id %s reused", nid)
+	}
+}
+
+// TestEvictionExportsFinalSnapshot is the regression test for the
+// retention-eviction fix: before this PR, evicting a finished campaign
+// silently destroyed the only copy of its round history; now the
+// journal's Evicted hook receives the final checkpoint and the retained
+// rounds first.
+func TestEvictionExportsFinalSnapshot(t *testing.T) {
+	m := NewManager(nil, 8)
+	m.retain = 2
+	j := &recJournal{}
+	m.SetJournal(j)
+
+	cfg := twoGroup(17)
+	cfg.MaxRounds = 2
+	cfg.Budget = 2 * cfg.RoundBudget
+	var ids []string
+	for i := 0; i < 3; i++ {
+		cfg.Seed = uint64(50 + i)
+		id, err := m.Start(cfg)
+		if err != nil {
+			t.Fatalf("Start %d: %v", i, err)
+		}
+		ids = append(ids, id)
+		done, _ := m.Done(id)
+		<-done
+	}
+	// All three finished; retention is 2 — the next start evicts the
+	// oldest and must export it first.
+	cfg.Seed = 99
+	if _, err := m.Start(cfg); err != nil {
+		t.Fatalf("triggering start: %v", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.evicted) == 0 {
+		t.Fatal("eviction exported nothing")
+	}
+	first := j.evicted[0]
+	if first.id != ids[0] {
+		t.Fatalf("evicted %s first, want the oldest %s", first.id, ids[0])
+	}
+	if !first.chk.Status.Terminal() {
+		t.Fatalf("evicted checkpoint not terminal: %+v", first.chk)
+	}
+	if len(first.rounds) != first.chk.RoundsRun || len(first.rounds) == 0 {
+		t.Fatalf("evicted export lost history: %d rounds exported, %d run", len(first.rounds), first.chk.RoundsRun)
+	}
+	want := ""
+	for _, ev := range j.rounds {
+		if ev.id == ids[0] {
+			want = asJSON(t, ev.ring)
+		}
+	}
+	if got := asJSON(t, first.rounds); got != want {
+		t.Fatalf("evicted history differs from the journaled rounds\n got  %s\n want %s", got, want)
+	}
+	if m.Stats().Rounds == 0 {
+		t.Fatal("evicted rounds fell out of the stats")
+	}
+	if _, still := m.Get(ids[0]); still {
+		t.Fatal("evicted campaign still retained")
+	}
+}
+
+// TestRunFleetUnchangedByJournal guards the passive-observer property:
+// wiring a journal changes nothing about campaign results.
+func TestRunFleetUnchangedByJournal(t *testing.T) {
+	cfg := twoGroup(77)
+	plain, err := Run(context.Background(), nil, cfg)
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	c, err := New(nil, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.SetJournal(&recJournal{}, "x")
+	journaled, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("journaled run: %v", err)
+	}
+	if got, want := asJSON(t, journaled), asJSON(t, plain); got != want {
+		t.Fatalf("journal changed the run\n got  %s\n want %s", got, want)
+	}
+}

@@ -7,7 +7,9 @@ import (
 	"net/http"
 
 	"hputune/internal/campaign"
+	"hputune/internal/pricing"
 	"hputune/internal/spec"
+	"hputune/internal/store"
 )
 
 // Campaign service ceilings, enforced before any campaign starts so one
@@ -67,7 +69,8 @@ func (s *Server) handleCampaignStart(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequestStatus(err), "%v", err)
 		return
 	}
-	cfgs, err := spec.ParseCampaigns(raw, s.buildOpts())
+	opts := s.buildOpts()
+	cfgs, err := spec.ParseCampaigns(raw, opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -82,7 +85,7 @@ func (s *Server) handleCampaignStart(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ids, err := s.campaigns.StartAll(cfgs)
+	ids, err := s.startFleet(raw, opts, cfgs)
 	if err != nil {
 		if errors.Is(err, campaign.ErrCapacity) {
 			w.Header().Set("Retry-After", "1")
@@ -93,6 +96,31 @@ func (s *Server) handleCampaignStart(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, CampaignStartResponse{IDs: ids})
+}
+
+// startFleet launches an admitted fleet. With a durable store the
+// launch is held until the fleet's start record — the verbatim spec,
+// the assigned ids, and the "fitted" model the parse resolved against —
+// is journaled, so WAL replay always sees a fleet before any of its
+// rounds; recovery re-parses the spec to rebuild the configs.
+func (s *Server) startFleet(raw []byte, opts spec.BuildOpts, cfgs []campaign.Config) ([]string, error) {
+	if s.st == nil {
+		return s.campaigns.StartAll(cfgs)
+	}
+	ids, launch, err := s.campaigns.StartAllHeld(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var fitted *store.FittedModel
+	if lin, ok := opts.Fitted.(pricing.Linear); ok {
+		fitted = &store.FittedModel{K: lin.K, B: lin.B}
+	}
+	// A store failure is sticky and surfaced via its OnError hook; the
+	// fleet still launches — the serving process degrades to in-memory
+	// durability rather than refusing work.
+	_ = s.st.AppendFleet(raw, ids, fitted)
+	launch()
+	return ids, nil
 }
 
 // CampaignGetResponse is the GET /v1/campaigns/{id} reply.

@@ -1,0 +1,431 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hputune/internal/campaign"
+	"hputune/internal/spec"
+	"hputune/internal/store"
+)
+
+// crashFleetDoc is the suite's fleet: three campaigns whose drift keeps
+// the fit moving (epsilon 0 + drift means no early convergence), so
+// every run has plenty of rounds to crash between, plus one that
+// exhausts its budget mid-way.
+const crashFleetDoc = `{"campaigns":[
+  {"name":"alpha","roundBudget":1000,"budget":8000,"rounds":8,"epsilon":0,"seed":7,
+   "prior":{"kind":"linear","k":1,"b":1},
+   "drift":{"kind":"rate","factor":0.92},
+   "groups":[{"name":"g3","tasks":50,"reps":3,"procRate":2,"true":{"kind":"linear","k":2,"b":0.5}},
+             {"name":"g5","tasks":50,"reps":5,"procRate":2,"true":{"kind":"linear","k":2,"b":0.5}}]},
+  {"name":"beta","roundBudget":900,"budget":7200,"rounds":8,"epsilon":0,"seed":21,
+   "prior":{"kind":"linear","k":1,"b":1},
+   "drift":{"kind":"shock","factor":0.7,"round":3},
+   "groups":[{"name":"g2","tasks":60,"reps":2,"procRate":2,"true":{"kind":"linear","k":1.8,"b":0.6}},
+             {"name":"g4","tasks":45,"reps":4,"procRate":3,"true":{"kind":"linear","k":1.8,"b":0.6}}]},
+  {"name":"gamma","roundBudget":800,"budget":2000,"rounds":8,"epsilon":0,"seed":33,
+   "prior":{"kind":"linear","k":1,"b":1},
+   "groups":[{"name":"g3","tasks":40,"reps":3,"procRate":2,"true":{"kind":"linear","k":2.2,"b":0.4}}]}
+]}`
+
+// referenceFleet runs the crash fleet uninterrupted, in-process.
+func referenceFleet(t *testing.T) []campaign.Result {
+	t.Helper()
+	cfgs, err := spec.ParseCampaigns([]byte(crashFleetDoc), spec.BuildOpts{})
+	if err != nil {
+		t.Fatalf("parse fleet: %v", err)
+	}
+	ref, err := campaign.RunFleet(context.Background(), nil, cfgs, 0)
+	if err != nil {
+		t.Fatalf("reference fleet: %v", err)
+	}
+	return ref
+}
+
+// recoverTestServer builds a store-backed server over dir.
+func recoverTestServer(t *testing.T, dir string, opts store.Options) (*store.Store, *Server, *httptest.Server) {
+	t.Helper()
+	opts.NoSync = true
+	st, err := store.Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { st.Close() })
+	s, err := Recover(Config{}, st)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return st, s, ts
+}
+
+// startFleetAndWait posts the fleet and blocks until every campaign in
+// the manager settles.
+func startFleetAndWait(t *testing.T, s *Server, ts *httptest.Server, doc string) []string {
+	t.Helper()
+	resp, raw := postJSON(t, ts.URL+"/v1/campaigns", doc)
+	if resp.StatusCode != 202 {
+		t.Fatalf("start fleet: status %d: %s", resp.StatusCode, raw)
+	}
+	var started CampaignStartResponse
+	if err := json.Unmarshal(raw, &started); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	waitAllSettled(t, s)
+	return started.IDs
+}
+
+// waitAllSettled blocks until every tracked campaign's Done channel
+// closes.
+func waitAllSettled(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.After(60 * time.Second)
+	for _, sum := range s.Campaigns().List() {
+		done, ok := s.Campaigns().Done(sum.ID)
+		if !ok {
+			continue
+		}
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatalf("campaign %s never settled", sum.ID)
+		}
+	}
+}
+
+// getResult fetches one campaign's full result over HTTP.
+func getResult(t *testing.T, ts *httptest.Server, id string) campaign.Result {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("get %s: status %d: %s", id, resp.StatusCode, raw)
+	}
+	var got struct {
+		ID string `json:"id"`
+		campaign.Result
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return got.Result
+}
+
+func resultJSON(t *testing.T, res campaign.Result) string {
+	t.Helper()
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(raw)
+}
+
+// truncatingWriter tears the WAL after a byte budget — the crash.
+type truncatingWriter struct {
+	w      io.Writer
+	budget int
+}
+
+var errCrashed = errors.New("injected crash: WAL torn mid-append")
+
+func (tw *truncatingWriter) Write(p []byte) (int, error) {
+	if tw.budget <= 0 {
+		return 0, errCrashed
+	}
+	if len(p) > tw.budget {
+		n, _ := tw.w.Write(p[:tw.budget])
+		tw.budget = 0
+		return n, errCrashed
+	}
+	tw.budget -= len(p)
+	return tw.w.Write(p)
+}
+
+// TestCrashRecoveryResumesByteIdentical is the crash-recovery suite:
+// the fleet runs against a store whose WAL is torn at a randomized byte
+// boundary (often mid-append — the torn final record every crash can
+// leave), the "process" is discarded, and a fresh server recovers the
+// directory. Every campaign the WAL knew about must finish with a
+// result byte-identical to the uninterrupted reference run: the
+// recovered rounds replayed from the WAL and the rounds the resumed
+// process re-executes must line up exactly.
+func TestCrashRecoveryResumesByteIdentical(t *testing.T) {
+	ref := referenceFleet(t)
+
+	// Probe pass: full run with no fault, to size the WAL and to pin
+	// that a store-backed server matches the reference exactly.
+	probeDir := t.TempDir()
+	_, probeSrv, probeTS := recoverTestServer(t, probeDir, store.Options{})
+	probeIDs := startFleetAndWait(t, probeSrv, probeTS, crashFleetDoc)
+	for i, id := range probeIDs {
+		if got, want := resultJSON(t, getResult(t, probeTS, id)), resultJSON(t, ref[i]); got != want {
+			t.Fatalf("store-backed run diverged from reference at %s\n got  %s\n want %s", id, got, want)
+		}
+	}
+	walRaw, err := os.ReadFile(filepath.Join(probeDir, "wal.log"))
+	if err != nil {
+		t.Fatalf("read probe WAL: %v", err)
+	}
+	walSize := len(walRaw)
+	if walSize < 1000 {
+		t.Fatalf("probe WAL only %d bytes; fleet too small for meaningful crash points", walSize)
+	}
+
+	rng := rand.New(rand.NewSource(1337))
+	trials := 5
+	if testing.Short() {
+		trials = 2
+	}
+	resumed := 0
+	for trial := 0; trial < trials; trial++ {
+		// Random crash boundary across the whole WAL, skewed away from
+		// the trivial endpoints; byte granularity lands many of these
+		// mid-frame.
+		budget := 64 + rng.Intn(walSize-64)
+		t.Run(fmt.Sprintf("crash-at-%d", budget), func(t *testing.T) {
+			dir := t.TempDir()
+			st1, srv1, ts1 := recoverTestServer(t, dir, store.Options{
+				WrapWAL: func(w io.Writer) io.Writer { return &truncatingWriter{w: w, budget: budget} },
+			})
+			startFleetAndWait(t, srv1, ts1, crashFleetDoc)
+			if st1.Err() == nil {
+				t.Fatalf("WAL budget %d never tripped (full WAL is %d)", budget, walSize)
+			}
+			ts1.Close() // the crashed process is gone
+
+			// Recover the torn directory into a fresh server; resumed
+			// campaigns run to completion on their own.
+			st2, err := store.Open(dir, store.Options{NoSync: true})
+			if err != nil {
+				t.Fatalf("reopen torn dir: %v", err)
+			}
+			defer st2.Close()
+			state, err := st2.State()
+			if err != nil {
+				t.Fatalf("State: %v", err)
+			}
+			for _, cs := range state.Campaigns {
+				if !cs.Checkpoint.Status.Terminal() {
+					resumed++
+				}
+			}
+			srv2, err := Recover(Config{}, st2)
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			ts2 := httptest.NewServer(srv2.Handler())
+			defer ts2.Close()
+			waitAllSettled(t, srv2)
+			for i := range ref {
+				id := fmt.Sprintf("c%d", i+1)
+				if _, known := state.Campaigns[id]; !known {
+					// The crash predated this campaign's fleet record; it
+					// never durably existed. The fleet record is a single
+					// atomic append, so either all ids survive or none.
+					if len(state.Campaigns) != 0 {
+						t.Fatalf("fleet record half-survived: %d of %d campaigns", len(state.Campaigns), len(ref))
+					}
+					continue
+				}
+				if got, want := resultJSON(t, getResult(t, ts2, id)), resultJSON(t, ref[i]); got != want {
+					t.Fatalf("campaign %s after crash+recovery diverged from the uninterrupted run\n got  %s\n want %s", id, got, want)
+				}
+			}
+		})
+	}
+	if resumed == 0 {
+		t.Fatalf("no trial crashed mid-campaign (%d trials over a %d-byte WAL); the suite proved nothing", trials, walSize)
+	}
+}
+
+// TestGracefulRestartResumes pins the SIGTERM path: shutting a
+// store-backed server down mid-fleet suspends (not cancels) running
+// campaigns, drain-then-snapshot compacts the WAL, and the next process
+// resumes them to results byte-identical to the uninterrupted run.
+func TestGracefulRestartResumes(t *testing.T) {
+	ref := referenceFleet(t)
+	dir := t.TempDir()
+	st1, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	srv1, err := Recover(Config{}, st1)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	resp, raw := postJSON(t, ts1.URL+"/v1/campaigns", crashFleetDoc)
+	if resp.StatusCode != 202 {
+		t.Fatalf("start fleet: status %d: %s", resp.StatusCode, raw)
+	}
+	// Let some rounds land, then shut down mid-flight the way serve()
+	// does: Close (suspend), then drain-then-snapshot.
+	waitForRounds(t, st1, 2)
+	srv1.Close()
+	suspendedAny := false
+	for _, sum := range srv1.Campaigns().List() {
+		if sum.Status == campaign.StatusSuspended {
+			suspendedAny = true
+		}
+	}
+	if err := st1.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ts1.Close()
+	if !suspendedAny {
+		t.Skip("fleet finished before the shutdown landed; nothing was suspended (timing)")
+	}
+
+	// The compacted directory must recover purely from the snapshot.
+	if fi, err := os.Stat(filepath.Join(dir, "wal.log")); err != nil || fi.Size() != 0 {
+		t.Fatalf("WAL not empty after drain-then-snapshot: %v %d", err, fi.Size())
+	}
+	st2, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	srv2, err := Recover(Config{}, st2)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	waitAllSettled(t, srv2)
+	for i := range ref {
+		id := fmt.Sprintf("c%d", i+1)
+		if got, want := resultJSON(t, getResult(t, ts2, id)), resultJSON(t, ref[i]); got != want {
+			t.Fatalf("campaign %s after graceful restart diverged\n got  %s\n want %s", id, got, want)
+		}
+	}
+	// Lifetime counters survived the restart and the resumed campaigns
+	// finished exactly once each.
+	stats := srv2.Campaigns().Stats()
+	if stats.Started != uint64(len(ref)) || stats.Finished != uint64(len(ref)) {
+		t.Fatalf("counters after restart: %+v, want started=finished=%d", stats, len(ref))
+	}
+}
+
+// waitForRounds blocks until the store has journaled at least n round
+// records.
+func waitForRounds(t *testing.T, st *store.Store, n int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		state, err := st.State()
+		if err != nil {
+			t.Fatalf("State: %v", err)
+		}
+		rounds := 0
+		for _, cs := range state.Campaigns {
+			rounds += len(cs.Rounds)
+		}
+		if rounds >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("store never saw %d rounds", n)
+}
+
+// TestRecoverIngestAndFit pins the ingest leg of recovery: aggregates,
+// the lifetime record counter and the published fit survive a crash,
+// and a "fitted"-model solve on the recovered server answers exactly
+// like the original.
+func TestRecoverIngestAndFit(t *testing.T) {
+	dir := t.TempDir()
+	_, _, ts1 := recoverTestServer(t, dir, store.Options{})
+	resp, raw := postJSON(t, ts1.URL+"/v1/ingest", ingestBody(t, []int{1, 2, 4, 8}, 50))
+	if resp.StatusCode != 200 {
+		t.Fatalf("ingest: status %d: %s", resp.StatusCode, raw)
+	}
+	// A second batch moves the fit — recovery must keep the latest.
+	resp, raw = postJSON(t, ts1.URL+"/v1/ingest", ingestBody(t, []int{3, 6}, 30))
+	if resp.StatusCode != 200 {
+		t.Fatalf("ingest 2: status %d: %s", resp.StatusCode, raw)
+	}
+	fittedSpec := `{"budget":300,"groups":[{"name":"a","tasks":5,"reps":2,"procRate":2.0,"model":{"kind":"fitted"}}]}`
+	resp, wantSolve := postJSON(t, ts1.URL+"/v1/solve", fittedSpec)
+	if resp.StatusCode != 200 {
+		t.Fatalf("fitted solve: status %d: %s", resp.StatusCode, wantSolve)
+	}
+	wantStats := getStats(t, ts1.URL)
+	ts1.Close()
+
+	// Crash-reopen: no compact, no graceful anything.
+	st2, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	srv2, err := Recover(Config{}, st2)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	gotStats := getStats(t, ts2.URL)
+	if gotStats.Serve.IngestedRecords != wantStats.Serve.IngestedRecords {
+		t.Fatalf("ingested records %d after recovery, want %d", gotStats.Serve.IngestedRecords, wantStats.Serve.IngestedRecords)
+	}
+	gf, wf := gotStats.Fit, wantStats.Fit
+	if gf == nil || wf == nil || *gf != *wf {
+		t.Fatalf("fit after recovery %+v, want %+v", gf, wf)
+	}
+	resp, gotSolve := postJSON(t, ts2.URL+"/v1/solve", fittedSpec)
+	if resp.StatusCode != 200 {
+		t.Fatalf("fitted solve after recovery: status %d: %s", resp.StatusCode, gotSolve)
+	}
+	if string(gotSolve) != string(wantSolve) {
+		t.Fatalf("fitted solve after recovery diverged\n got  %s\n want %s", gotSolve, wantSolve)
+	}
+}
+
+// TestRecoverRefusesMismatchedState guards the failure mode where a
+// state directory and the parsed fleet disagree (say, a hand-edited
+// snapshot): recovery must fail loudly, not resume garbage.
+func TestRecoverRefusesMismatchedState(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// A fleet record whose spec has one campaign but claims two ids.
+	doc := `{"campaign":{"name":"x","roundBudget":100,"rounds":2,"seed":1,
+	  "prior":{"kind":"linear","k":1,"b":1},
+	  "groups":[{"name":"g","tasks":10,"reps":2,"procRate":2,"true":{"kind":"linear","k":2,"b":0.5}}]}}`
+	if err := st.AppendFleet([]byte(doc), []string{"c1", "c2"}, nil); err != nil {
+		t.Fatalf("AppendFleet: %v", err)
+	}
+	st.Close()
+	st2, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	if _, err := Recover(Config{}, st2); err == nil {
+		t.Fatal("Recover accepted a fleet whose ids outnumber its configs")
+	}
+}

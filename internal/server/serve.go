@@ -45,12 +45,13 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		// Background campaigns stop first: a campaign observes the
-		// cancel between loop steps and settles, and in-flight requests
-		// inspecting it still get a consistent snapshot during the
-		// drain. The request-drain timer starts only after campaigns
-		// settle, so a slow final round cannot eat the documented 15 s
-		// budget for in-flight requests.
+		// Background campaigns stop first (canceled without a store,
+		// suspended — resumable on the next boot — with one): a campaign
+		// observes the stop between loop steps and settles, and
+		// in-flight requests inspecting it still get a consistent
+		// snapshot during the drain. The request-drain timer starts only
+		// after campaigns settle, so a slow final round cannot eat the
+		// documented 15 s budget for in-flight requests.
 		s.Close()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()

@@ -44,6 +44,7 @@ import (
 	"hputune/internal/numeric"
 	"hputune/internal/pricing"
 	"hputune/internal/spec"
+	"hputune/internal/store"
 	"hputune/internal/trace"
 )
 
@@ -156,6 +157,11 @@ type Server struct {
 	campaigns  *campaign.Manager
 	mux        *http.ServeMux
 
+	// st, when non-nil (Recover), journals ingest batches, published
+	// fits and campaign lifecycle events to the durable store, and
+	// switches shutdown from canceling campaigns to suspending them.
+	st *store.Store
+
 	// ingestMu serializes fit recomputation; aggs is the O(#prices)
 	// sufficient statistic of everything ever ingested.
 	ingestMu sync.Mutex
@@ -215,10 +221,25 @@ func (s *Server) Estimator() *htuning.Estimator { return s.est }
 // embedding code without going through HTTP.
 func (s *Server) Campaigns() *campaign.Manager { return s.campaigns }
 
-// Close cancels every running campaign and waits for them to settle.
-// The HTTP serving loop calls it after the request drain; embedders
-// using Handler directly should call it on shutdown.
-func (s *Server) Close() { s.campaigns.Close() }
+// Close stops every running campaign and waits for it to settle. The
+// HTTP serving loop calls it on shutdown; embedders using Handler
+// directly should call it themselves. Without a durable store the
+// campaigns are canceled (their in-flight rounds publish nothing); with
+// one (Recover) they are suspended instead — nothing terminal is
+// journaled, so the next Recover resumes each from its last completed
+// round. Closing the store itself stays the owner's job (the htuned
+// binary compacts and closes it after the request drain).
+func (s *Server) Close() {
+	if s.st != nil {
+		s.campaigns.Suspend()
+		return
+	}
+	s.campaigns.Close()
+}
+
+// Store returns the durable store backing this server, or nil when it
+// runs in-memory only.
+func (s *Server) Store() *store.Store { return s.st }
 
 // buildOpts resolves "fitted" models against the current ingest fit.
 // The pointer is loaded once per request, so a concurrent re-tune never
@@ -633,6 +654,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.TotalRecords = s.records.Add(uint64(len(recs)))
 	s.ingests.Add(1)
+	var published *fitState
 	if res, err := inference.FitAggregates(s.aggs); err != nil {
 		// No usable fit yet (e.g. observations at fewer than two price
 		// levels): keep serving the previous fit, tell the client why.
@@ -646,9 +668,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			"fit %s violates the rate-model contract (need slope >= 0 and a positive rate at price 1); keeping the previous fit",
 			res.Fit)
 	} else {
-		state := &fitState{model: model, fit: res.Fit, prices: len(res.Prices)}
-		s.fit.Store(state)
-		resp.Fit = &FitInfo{Slope: res.Fit.Slope, Intercept: res.Fit.Intercept, R2: res.Fit.R2, Prices: state.prices}
+		published = &fitState{model: model, fit: res.Fit, prices: len(res.Prices)}
+		s.fit.Store(published)
+		resp.Fit = &FitInfo{Slope: res.Fit.Slope, Intercept: res.Fit.Intercept, R2: res.Fit.R2, Prices: published.prices}
+	}
+	if s.st != nil {
+		// Journal while still holding ingestMu, so WAL order matches
+		// commit order. The aggregates were committed above either way —
+		// a store failure (sticky, logged via its OnError hook) degrades
+		// durability, not the live fit.
+		_ = s.st.AppendIngest(deltas, len(recs))
+		if published != nil {
+			_ = s.st.AppendFit(store.FitRecord{
+				Slope: published.fit.Slope, Intercept: published.fit.Intercept,
+				R2: published.fit.R2, SE: published.fit.SE, N: published.fit.N,
+				Prices: published.prices,
+			})
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

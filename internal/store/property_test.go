@@ -1,0 +1,353 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hputune/internal/campaign"
+	"hputune/internal/inference"
+	"hputune/internal/spec"
+)
+
+// walJournal journals a directly-driven campaign into a store while
+// recording every live event, so the test can compare replayed state
+// against what the in-memory run actually was at each point.
+type walJournal struct {
+	st *Store
+	// events mirrors the round/finished records in append order, carrying
+	// the live checkpoint each one was cut from.
+	events []journalEvent
+}
+
+type journalEvent struct {
+	id    string
+	round *campaign.RoundSnapshot // nil for a finished event
+	chk   campaign.Checkpoint
+}
+
+func (j *walJournal) Round(id string, snap campaign.RoundSnapshot, chk campaign.Checkpoint) {
+	j.events = append(j.events, journalEvent{id: id, round: &snap, chk: chk})
+	_ = j.st.AppendRound(id, snap, chk)
+}
+
+func (j *walJournal) Finished(id string, chk campaign.Checkpoint) {
+	j.events = append(j.events, journalEvent{id: id, chk: chk})
+	_ = j.st.AppendFinished(id, chk)
+}
+
+// genFleetDoc builds a random small campaign fleet spec. Budgets are
+// derived from the workload so every config validates; some fleets get
+// drift (fits keep moving) and some get budgets that exhaust mid-way.
+func genFleetDoc(r *rand.Rand) []byte {
+	n := 1 + r.Intn(3)
+	doc := `{"campaigns":[`
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			doc += ","
+		}
+		groups := 1 + r.Intn(2)
+		minCost := 0
+		gdoc := ""
+		for g := 0; g < groups; g++ {
+			if g > 0 {
+				gdoc += ","
+			}
+			tasks := 4 + r.Intn(12)
+			reps := 1 + r.Intn(3)
+			minCost += tasks * reps
+			gdoc += fmt.Sprintf(`{"name":"g%d","tasks":%d,"reps":%d,"procRate":2,"true":{"kind":"linear","k":%.1f,"b":0.5}}`,
+				g, tasks, reps, 1.5+r.Float64())
+		}
+		roundBudget := minCost * (2 + r.Intn(3))
+		rounds := 2 + r.Intn(3)
+		budget := roundBudget * rounds
+		if r.Intn(3) == 0 {
+			budget = roundBudget + roundBudget/2 // exhausts after round 1
+		}
+		drift := ""
+		if r.Intn(2) == 0 {
+			drift = `,"drift":{"kind":"rate","factor":0.93}`
+		}
+		doc += fmt.Sprintf(`{"name":"f%d","roundBudget":%d,"budget":%d,"rounds":%d,"epsilon":0.05,"seed":%d,"prior":{"kind":"linear","k":1,"b":1},"groups":[%s]%s}`,
+			i, roundBudget, budget, rounds, r.Uint64()%1000, gdoc, drift)
+	}
+	return []byte(doc + "]}")
+}
+
+// TestPrefixReplayEqualsLiveRun is the replay-determinism property: for
+// random fleets (with interleaved ingests and fits), recovering from
+// the WAL truncated at EVERY record boundary — and additionally
+// snapshotting (Compact) at that boundary and recovering from the
+// snapshot — yields exactly the state the live in-memory run had at
+// that point: campaign checkpoints, retained round history, ingest
+// aggregates, fit, and lifetime counters.
+func TestPrefixReplayEqualsLiveRun(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial-%d", trial), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(int64(1000 + 17*trial)))
+			dir := t.TempDir()
+			st, err := Open(dir, Options{NoSync: true, SnapshotEvery: 1 << 30})
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			j := &walJournal{st: st}
+
+			doc := genFleetDoc(r)
+			cfgs, err := spec.ParseCampaigns(doc, spec.BuildOpts{})
+			if err != nil {
+				t.Fatalf("generated spec does not parse: %v\n%s", err, doc)
+			}
+			ids := make([]string, len(cfgs))
+			for i := range cfgs {
+				ids[i] = fmt.Sprintf("c%d", i+1)
+			}
+			if err := st.AppendFleet(doc, ids, nil); err != nil {
+				t.Fatalf("AppendFleet: %v", err)
+			}
+			// Drive the campaigns sequentially (the WAL interleaving of a
+			// concurrent fleet is exercised by the server crash suite; here
+			// a deterministic order lets every prefix be predicted), with
+			// random ingests and fits interleaved between campaigns.
+			var ingests []ingestData
+			var fits []FitRecord
+			interleave := func() {
+				for r.Intn(2) == 0 {
+					d := ingestData{Deltas: map[int]inference.PriceAggregate{
+						1 + r.Intn(5): {N: 1 + r.Intn(4), Total: float64(1+r.Intn(8)) / 2},
+					}, Count: 1 + r.Intn(4)}
+					ingests = append(ingests, d)
+					if err := st.AppendIngest(d.Deltas, d.Count); err != nil {
+						t.Fatalf("AppendIngest: %v", err)
+					}
+					if r.Intn(2) == 0 {
+						f := FitRecord{Slope: 1 + r.Float64(), Intercept: r.Float64(), R2: 0.9, N: 2, Prices: 2}
+						fits = append(fits, f)
+						if err := st.AppendFit(f); err != nil {
+							t.Fatalf("AppendFit: %v", err)
+						}
+					}
+				}
+			}
+			for i, cfg := range cfgs {
+				interleave()
+				c, err := campaign.New(nil, cfg)
+				if err != nil {
+					t.Fatalf("campaign %d: %v", i, err)
+				}
+				c.SetJournal(j, ids[i])
+				if _, err := c.Run(context.Background()); err != nil {
+					t.Fatalf("campaign %d run: %v", i, err)
+				}
+			}
+			interleave()
+
+			// Decode the finished WAL, tracking each record's end offset.
+			walPath := filepath.Join(dir, walName)
+			raw, err := os.ReadFile(walPath)
+			if err != nil {
+				t.Fatalf("read wal: %v", err)
+			}
+			recs, err := DecodeAll(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("decode wal: %v", err)
+			}
+			offsets := recordOffsets(t, raw, len(recs))
+
+			// Walk the records, maintaining an INDEPENDENT expectation
+			// (live journal events and test-made ingests/fits — not the
+			// store's own Apply) and check recovery at every prefix.
+			exp := newExpectation()
+			eventIdx, ingestIdx, fitIdx := 0, 0, 0
+			checkEvery := 1
+			if len(recs) > 24 {
+				checkEvery = 2 // bound test time on long trials
+			}
+			for i, rec := range recs {
+				switch rec.Type {
+				case TypeFleet:
+					exp.fleet(ids)
+				case TypeRound, TypeFinished:
+					ev := j.events[eventIdx]
+					eventIdx++
+					exp.event(ev)
+				case TypeIngest:
+					exp.ingest(ingests[ingestIdx])
+					ingestIdx++
+				case TypeFit:
+					exp.setFit(fits[fitIdx])
+					fitIdx++
+				default:
+					t.Fatalf("unexpected record type %s", rec.Type)
+				}
+				if i%checkEvery != 0 && i != len(recs)-1 {
+					continue
+				}
+				pdir := t.TempDir()
+				if err := os.WriteFile(filepath.Join(pdir, walName), raw[:offsets[i]], 0o644); err != nil {
+					t.Fatalf("write prefix: %v", err)
+				}
+				pst, err := Open(pdir, Options{NoSync: true})
+				if err != nil {
+					t.Fatalf("prefix %d: Open: %v", i, err)
+				}
+				got, err := pst.State()
+				if err != nil {
+					t.Fatalf("prefix %d: State: %v", i, err)
+				}
+				exp.check(t, fmt.Sprintf("prefix %d (replay)", i), got)
+				// Snapshot at this prefix, reopen: state must not move.
+				if err := pst.Compact(); err != nil {
+					t.Fatalf("prefix %d: Compact: %v", i, err)
+				}
+				pst.Close()
+				pst2, err := Open(pdir, Options{NoSync: true})
+				if err != nil {
+					t.Fatalf("prefix %d: reopen after snapshot: %v", i, err)
+				}
+				got2, err := pst2.State()
+				if err != nil {
+					t.Fatalf("prefix %d: State: %v", i, err)
+				}
+				exp.check(t, fmt.Sprintf("prefix %d (snapshot+replay)", i), got2)
+				pst2.Close()
+			}
+			if eventIdx != len(j.events) || ingestIdx != len(ingests) || fitIdx != len(fits) {
+				t.Fatalf("record/event bookkeeping drifted: %d/%d events, %d/%d ingests, %d/%d fits",
+					eventIdx, len(j.events), ingestIdx, len(ingests), fitIdx, len(fits))
+			}
+		})
+	}
+}
+
+// expectation is the test's independent model of what the durable state
+// must be — built from live events, with its own (deliberately naive)
+// re-implementation of the history ring and counters.
+type expectation struct {
+	campaigns map[string]*expCampaign
+	aggs      map[int]inference.PriceAggregate
+	records   uint64
+	fit       *FitRecord
+	started   uint64
+	finished  uint64
+	canceled  uint64
+}
+
+type expCampaign struct {
+	chk    campaign.Checkpoint
+	rounds []campaign.RoundSnapshot
+}
+
+func newExpectation() *expectation {
+	return &expectation{campaigns: make(map[string]*expCampaign), aggs: make(map[int]inference.PriceAggregate)}
+}
+
+func (e *expectation) fleet(ids []string) {
+	for _, id := range ids {
+		e.campaigns[id] = &expCampaign{chk: campaign.Checkpoint{Status: campaign.StatusPending}}
+		e.started++
+	}
+}
+
+func (e *expectation) event(ev journalEvent) {
+	c := e.campaigns[ev.id]
+	if !c.chk.Status.Terminal() && ev.chk.Status.Terminal() {
+		e.finished++
+		if ev.chk.Status == campaign.StatusCanceled {
+			e.canceled++
+		}
+	}
+	c.chk = ev.chk
+	if ev.round != nil {
+		c.rounds = append(c.rounds, *ev.round)
+		if len(c.rounds) > ev.chk.HistoryCap {
+			c.rounds = c.rounds[len(c.rounds)-ev.chk.HistoryCap:]
+		}
+	}
+}
+
+func (e *expectation) ingest(d ingestData) {
+	for price, delta := range d.Deltas {
+		agg := e.aggs[price]
+		agg.Add(delta.N, delta.Total)
+		e.aggs[price] = agg
+	}
+	e.records += uint64(d.Count)
+}
+
+func (e *expectation) setFit(f FitRecord) { e.fit = &f }
+
+func (e *expectation) check(t *testing.T, what string, got *State) {
+	t.Helper()
+	if got.Records != e.records || got.Started != e.started || got.Finished != e.finished || got.Canceled != e.canceled {
+		t.Fatalf("%s: counters (records %d started %d finished %d canceled %d), want (%d %d %d %d)",
+			what, got.Records, got.Started, got.Finished, got.Canceled, e.records, e.started, e.finished, e.canceled)
+	}
+	if len(got.Aggs) != len(e.aggs) {
+		t.Fatalf("%s: %d aggregate levels, want %d", what, len(got.Aggs), len(e.aggs))
+	}
+	for price, want := range e.aggs {
+		if got.Aggs[price] != want {
+			t.Fatalf("%s: aggregate at %d is %+v, want %+v", what, price, got.Aggs[price], want)
+		}
+	}
+	if (got.Fit == nil) != (e.fit == nil) || (got.Fit != nil && *got.Fit != *e.fit) {
+		t.Fatalf("%s: fit %+v, want %+v", what, got.Fit, e.fit)
+	}
+	if len(got.Campaigns) != len(e.campaigns) {
+		t.Fatalf("%s: %d campaigns, want %d", what, len(got.Campaigns), len(e.campaigns))
+	}
+	for id, want := range e.campaigns {
+		cs, ok := got.Campaigns[id]
+		if !ok {
+			t.Fatalf("%s: campaign %s missing", what, id)
+		}
+		gotChk := mustJSON(t, cs.Checkpoint)
+		wantChk := mustJSON(t, want.chk)
+		if gotChk != wantChk {
+			t.Fatalf("%s: campaign %s checkpoint\n got  %s\n want %s", what, id, gotChk, wantChk)
+		}
+		gotRounds := mustJSON(t, cs.Rounds)
+		wantRounds := mustJSON(t, want.rounds)
+		if len(cs.Rounds) == 0 && len(want.rounds) == 0 {
+			continue
+		}
+		if gotRounds != wantRounds {
+			t.Fatalf("%s: campaign %s rounds\n got  %s\n want %s", what, id, gotRounds, wantRounds)
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(raw)
+}
+
+// recordOffsets returns the byte offset just past each record.
+func recordOffsets(t *testing.T, raw []byte, n int) []int64 {
+	t.Helper()
+	d := NewReader(bytes.NewReader(raw))
+	offsets := make([]int64, 0, n)
+	for {
+		_, err := d.Next()
+		if err != nil {
+			break
+		}
+		offsets = append(offsets, d.Offset())
+	}
+	if len(offsets) != n {
+		t.Fatalf("offsets: %d records, want %d", len(offsets), n)
+	}
+	return offsets
+}

@@ -1,0 +1,479 @@
+// Package store is the durable state subsystem under the htuned serving
+// layer: an append-only, CRC-checked, length-prefixed JSON write-ahead
+// log plus periodic compacting snapshots, fsync'd and atomically
+// rotated. It persists exactly the state whose loss would force
+// re-learning — ingest aggregates, published fits, campaign fleet
+// starts, per-round campaign checkpoints and lifecycle events — so a
+// serving process can crash (SIGKILL), restart, recover, and resume
+// every unfinished campaign bit-identically to an uninterrupted run.
+//
+// Durability contract: an append returns only after the framed record
+// has been written and fsync'd (Options.NoSync relaxes this for tests).
+// Every SnapshotEvery appends — and on the serving layer's
+// drain-then-snapshot shutdown — Compact writes the full materialized
+// State to snapshot.json.tmp, fsyncs it, atomically renames it over
+// snapshot.json, fsyncs the directory, and truncates the WAL; records
+// carry monotonic sequence numbers and the snapshot pins the last one
+// it absorbed, so a crash anywhere in that dance replays to the same
+// state. On open, a torn final WAL record (the expected artifact of a
+// crash mid-append) is truncated away; any other corruption fails the
+// open loudly — partial state never masquerades as recovered state.
+// Inspect (htune -state) reads a directory without modifying it.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"hputune/internal/campaign"
+	"hputune/internal/inference"
+)
+
+// State directory layout.
+const (
+	walName     = "wal.log"
+	snapName    = "snapshot.json"
+	snapTmpName = "snapshot.json.tmp"
+)
+
+// DefaultSnapshotEvery is the auto-compaction cadence in appended
+// records when Options.SnapshotEvery is unset.
+const DefaultSnapshotEvery = 1024
+
+// ErrClosed rejects operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Options configures a store. The zero value is production-safe.
+type Options struct {
+	// SnapshotEvery compacts (snapshot + WAL truncation) after this many
+	// appended records; <= 0 means DefaultSnapshotEvery.
+	SnapshotEvery int
+	// NoSync skips every fsync — test-only speed; a crash may then lose
+	// acknowledged records.
+	NoSync bool
+	// OnError, when set, observes the store's first write failure. After
+	// it the store is read-only (appends and compactions return the
+	// sticky error; see Err) while the serving process keeps running in
+	// memory — durability degrades, the live loop does not.
+	OnError func(error)
+	// WrapWAL, when set, wraps the WAL's writer — the fault-injection
+	// seam the crash-recovery tests use to tear appends mid-frame.
+	WrapWAL func(io.Writer) io.Writer
+}
+
+// Store is an open state directory: one WAL being appended plus the
+// materialized State it and the last snapshot encode. Safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File
+	w       io.Writer
+	state   *State
+	appends int
+	failed  error
+	closed  bool
+	buf     []byte
+}
+
+// Open opens or creates a state directory and recovers its state: the
+// snapshot (if any) is loaded, the WAL tail replayed, and a torn final
+// record truncated away. Structural corruption anywhere else fails the
+// open (inspect the directory with htune -state <dir>).
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.SnapshotEvery <= 0 {
+		opts.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// A leftover tmp snapshot is a crash mid-Compact before the atomic
+	// rename: never valid state, always safe to discard.
+	_ = os.Remove(filepath.Join(dir, snapTmpName))
+
+	state, err := loadSnapshot(filepath.Join(dir, snapName))
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	good, replayErr := replayWAL(f, state)
+	if replayErr != nil {
+		var tail *TailError
+		if !errors.As(replayErr, &tail) {
+			f.Close()
+			return nil, replayErr
+		}
+		// Torn tail: repair by truncating to the last intact record.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncate torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, f: f, state: state}
+	s.w = io.Writer(f)
+	if opts.WrapWAL != nil {
+		s.w = opts.WrapWAL(f)
+	}
+	return s, nil
+}
+
+// loadSnapshot reads the snapshot file; a missing file is an empty
+// state.
+func loadSnapshot(path string) (*State, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return NewState(), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	state := NewState()
+	if err := json.Unmarshal(raw, state); err != nil {
+		return nil, fmt.Errorf("store: snapshot %s: %w (corrupt snapshot; recovery refuses to guess)", path, err)
+	}
+	return state, nil
+}
+
+// replayWAL folds the WAL into state, skipping records the snapshot
+// already absorbed (a crash between snapshot rename and WAL truncation
+// legitimately leaves them behind). It returns the byte offset just
+// past the last intact record.
+func replayWAL(r io.Reader, state *State) (int64, error) {
+	d := NewReader(r)
+	snapSeq := state.LastSeq
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			return d.Offset(), nil
+		}
+		if err != nil {
+			return d.Offset(), err
+		}
+		if rec.Seq <= snapSeq {
+			continue // absorbed by the snapshot before the crash
+		}
+		if err := state.Apply(rec); err != nil {
+			return d.Offset(), err
+		}
+	}
+}
+
+// Dir returns the state directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Err returns the sticky first write failure, or nil while the store is
+// healthy.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// State returns a deep copy of the materialized state (recovered plus
+// everything appended since).
+func (s *Store) State() (*State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.clone()
+}
+
+// fail records the first write failure; the store is read-only after.
+func (s *Store) fail(err error) error {
+	if s.failed == nil {
+		s.failed = err
+		if s.opts.OnError != nil {
+			s.opts.OnError(err)
+		}
+	}
+	return s.failed
+}
+
+// append frames, writes, fsyncs and applies one record.
+func (s *Store) append(typ string, data any) error {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("store: encode %s record: %w", typ, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.failed != nil {
+		return s.failed
+	}
+	rec := Record{Seq: s.state.LastSeq + 1, Type: typ, Data: raw}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode %s envelope: %w", typ, err)
+	}
+	// Apply before writing: a record the mirror rejects (a caller bug —
+	// say an archive of an unknown id) must never reach the disk, where
+	// it would poison every future replay. The inverse divergence — a
+	// write failure after a successful apply — leaves the mirror one
+	// record ahead of the disk, which is harmless: the store is sticky
+	// read-only from that point, so the mirror is never snapshotted, and
+	// the caller was told the record is not durable.
+	if err := s.state.Apply(rec); err != nil {
+		return err
+	}
+	s.buf = appendFrame(s.buf[:0], payload)
+	if _, err := s.w.Write(s.buf); err != nil {
+		return s.fail(fmt.Errorf("store: append %s record: %w", typ, err))
+	}
+	if !s.opts.NoSync {
+		if err := s.f.Sync(); err != nil {
+			return s.fail(fmt.Errorf("store: fsync WAL: %w", err))
+		}
+	}
+	s.appends++
+	if s.appends >= s.opts.SnapshotEvery {
+		if err := s.compactLocked(); err != nil {
+			return s.fail(err)
+		}
+	}
+	return nil
+}
+
+// AppendIngest logs one accepted trace batch: per-price aggregate
+// deltas plus the accepted record count.
+func (s *Store) AppendIngest(deltas map[int]inference.PriceAggregate, count int) error {
+	return s.append(TypeIngest, ingestData{Deltas: deltas, Count: count})
+}
+
+// AppendFit logs one published trace-inferred fit.
+func (s *Store) AppendFit(fit FitRecord) error {
+	return s.append(TypeFit, fit)
+}
+
+// AppendFleet logs a started campaign fleet: the verbatim spec document
+// it was parsed from, the manager-assigned ids in spec order, and the
+// pinned "fitted" model (nil when no fit backed the parse).
+func (s *Store) AppendFleet(specDoc []byte, ids []string, fitted *FittedModel) error {
+	return s.append(TypeFleet, FleetRecord{Spec: json.RawMessage(specDoc), IDs: ids, Fitted: fitted})
+}
+
+// AppendRound logs one completed campaign round and the campaign's
+// resulting resumable checkpoint.
+func (s *Store) AppendRound(id string, snap campaign.RoundSnapshot, chk campaign.Checkpoint) error {
+	return s.append(TypeRound, roundData{ID: id, Snap: snap, Checkpoint: chk})
+}
+
+// AppendFinished logs a campaign terminal status reached between
+// rounds.
+func (s *Store) AppendFinished(id string, chk campaign.Checkpoint) error {
+	return s.append(TypeFinished, finishedData{ID: id, Checkpoint: chk})
+}
+
+// AppendArchive moves a finished campaign into the bounded archive —
+// the manager's retention-eviction export (its final checkpoint and
+// history are already durable from earlier records).
+func (s *Store) AppendArchive(id string) error {
+	return s.append(TypeArchive, archiveData{ID: id})
+}
+
+// Compact writes a full-state snapshot and truncates the WAL under it,
+// so recovery cost stays proportional to activity since the last
+// snapshot, not to process lifetime. It runs automatically every
+// SnapshotEvery appends; the serving layer also calls it on its
+// drain-then-snapshot shutdown.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.failed != nil {
+		return s.failed
+	}
+	if err := s.compactLocked(); err != nil {
+		return s.fail(err)
+	}
+	return nil
+}
+
+func (s *Store) compactLocked() error {
+	s.state.pruneFleets()
+	raw, err := json.Marshal(s.state)
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapTmpName)
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if _, err := tf.Write(raw); err != nil {
+		tf.Close()
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := tf.Sync(); err != nil {
+			tf.Close()
+			return fmt.Errorf("store: snapshot fsync: %w", err)
+		}
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+		return fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+	}
+	// The snapshot now pins LastSeq; the WAL under it is dead weight. A
+	// crash before this truncation is benign — replay skips records at
+	// or below the snapshot sequence.
+	if err := s.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncate WAL after snapshot: %w", err)
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.appends = 0
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry
+// is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Close closes the WAL file. It does not compact — the serving layer's
+// shutdown calls Compact first; skipping that (as the crash tests do)
+// just means the next open replays the WAL tail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Report is Inspect's summary of a state directory.
+type Report struct {
+	// HasSnapshot and SnapshotSeq describe the snapshot file;
+	// SnapshotErr is a decode failure (corruption-class).
+	HasSnapshot bool
+	SnapshotSeq uint64
+	SnapshotErr error
+	// WALRecords counts intact WAL records (including any a snapshot
+	// already absorbed); WALBytes is the file size; ByType counts the
+	// intact records per type.
+	WALRecords int
+	WALBytes   int64
+	ByType     map[string]int
+	// TornTail is the torn final record, if any — the expected artifact
+	// of a crash mid-append; the next Open truncates it away.
+	TornTail *TailError
+	// Corrupt is structural damage short of the tail; ApplyErr is a
+	// record that decoded but contradicts the state. Either makes the
+	// directory unrecoverable as-is.
+	Corrupt  *CorruptError
+	ApplyErr error
+	// State is the state recovery would produce (nil when the snapshot
+	// is unreadable).
+	State *State
+}
+
+// Clean reports whether recovery would accept the directory (a torn
+// tail is clean — Open repairs it by truncation).
+func (r Report) Clean() bool {
+	return r.SnapshotErr == nil && r.Corrupt == nil && r.ApplyErr == nil
+}
+
+// Inspect reads a state directory without modifying it and reports its
+// integrity and the state recovery would produce — the htune -state
+// subcommand's engine.
+func Inspect(dir string) (Report, error) {
+	rep := Report{ByType: make(map[string]int)}
+	if fi, err := os.Stat(dir); err != nil {
+		return rep, fmt.Errorf("store: %w", err)
+	} else if !fi.IsDir() {
+		return rep, fmt.Errorf("store: %s is not a directory", dir)
+	}
+	snapPath := filepath.Join(dir, snapName)
+	state, err := loadSnapshot(snapPath)
+	if err != nil {
+		rep.SnapshotErr = err
+		state = nil
+	} else if _, serr := os.Stat(snapPath); serr == nil {
+		rep.HasSnapshot = true
+		rep.SnapshotSeq = state.LastSeq
+	}
+
+	f, err := os.Open(filepath.Join(dir, walName))
+	if errors.Is(err, os.ErrNotExist) {
+		rep.State = state
+		return rep, nil
+	}
+	if err != nil {
+		return rep, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	if fi, err := f.Stat(); err == nil {
+		rep.WALBytes = fi.Size()
+	}
+	d := NewReader(f)
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var tail *TailError
+			var corrupt *CorruptError
+			switch {
+			case errors.As(err, &tail):
+				rep.TornTail = tail
+			case errors.As(err, &corrupt):
+				rep.Corrupt = corrupt
+			default:
+				// A real read failure: the directory may be fine; the
+				// report must not claim anything about it either way.
+				return rep, err
+			}
+			break
+		}
+		rep.WALRecords++
+		rep.ByType[rec.Type]++
+		if state != nil && rep.ApplyErr == nil && rec.Seq > state.LastSeq {
+			if aerr := state.Apply(rec); aerr != nil {
+				rep.ApplyErr = aerr
+			}
+		}
+	}
+	rep.State = state
+	return rep, nil
+}

@@ -1,0 +1,360 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hputune/internal/campaign"
+	"hputune/internal/inference"
+)
+
+// reopen closes nothing (a crash closes nothing either) and opens the
+// directory fresh.
+func reopen(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// stateOf returns a deep copy of the store's state.
+func stateOf(t *testing.T, st *Store) *State {
+	t.Helper()
+	s, err := st.State()
+	if err != nil {
+		t.Fatalf("State: %v", err)
+	}
+	return s
+}
+
+// sameState compares two states via their canonical JSON form.
+func sameState(t *testing.T, got, want *State, what string) {
+	t.Helper()
+	g, err := json.Marshal(got)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	w, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if string(g) != string(w) {
+		t.Fatalf("%s: state mismatch\n got: %s\nwant: %s", what, g, w)
+	}
+}
+
+// seedActivity appends a representative record mix and returns the
+// expected state.
+func seedActivity(t *testing.T, st *Store) {
+	t.Helper()
+	if err := st.AppendIngest(map[int]inference.PriceAggregate{2: {N: 3, Total: 1.25}, 5: {N: 2, Total: 0.5}}, 5); err != nil {
+		t.Fatalf("AppendIngest: %v", err)
+	}
+	if err := st.AppendFit(FitRecord{Slope: 2, Intercept: 0.5, R2: 0.98, SE: 0.01, N: 2, Prices: 2}); err != nil {
+		t.Fatalf("AppendFit: %v", err)
+	}
+	if err := st.AppendFleet([]byte(`{"campaign":{"name":"x"}}`), []string{"c1"}, &FittedModel{K: 2, B: 0.5}); err != nil {
+		t.Fatalf("AppendFleet: %v", err)
+	}
+	chk := campaign.Checkpoint{Name: "x", Status: campaign.StatusRunning, RoundsRun: 1, HistoryCap: 4, Spent: 10, Remaining: 90, TotalMakespan: 1.5,
+		Aggs: map[int]inference.PriceAggregate{3: {N: 7, Total: 2.5}}}
+	if err := st.AppendRound("c1", campaign.RoundSnapshot{Round: 0, Prices: []int{3}, Spent: 10}, chk); err != nil {
+		t.Fatalf("AppendRound: %v", err)
+	}
+}
+
+func TestStoreReopenRecoversState(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	seedActivity(t, st1)
+	want := stateOf(t, st1)
+	// Crash: no compact, no close.
+	st2 := reopen(t, dir)
+	sameState(t, stateOf(t, st2), want, "after crash-reopen")
+	if want.LastSeq != 4 || want.Records != 5 || want.Fit == nil || len(want.Campaigns) != 1 {
+		t.Fatalf("unexpected recovered shape: %+v", want)
+	}
+}
+
+func TestStoreCompactRotatesAndRecoversIdentically(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	seedActivity(t, st1)
+	want := stateOf(t, st1)
+	if err := st1.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	// The WAL is truncated under the snapshot.
+	if fi, err := os.Stat(filepath.Join(dir, walName)); err != nil || fi.Size() != 0 {
+		t.Fatalf("WAL after compact: %v size %d, want 0", err, fi.Size())
+	}
+	st2 := reopen(t, dir)
+	sameState(t, stateOf(t, st2), want, "after compact+reopen")
+	// Appends continue past the snapshot with the sequence intact.
+	if err := st2.AppendFinished("c1", campaign.Checkpoint{Name: "x", Status: campaign.StatusMaxRounds, RoundsRun: 1, HistoryCap: 4, Spent: 10, Remaining: 90}); err != nil {
+		t.Fatalf("AppendFinished after compact: %v", err)
+	}
+	st3 := reopen(t, dir)
+	got := stateOf(t, st3)
+	if got.LastSeq != want.LastSeq+1 || got.Finished != 1 {
+		t.Fatalf("post-snapshot append lost: %+v", got)
+	}
+}
+
+func TestStoreCrashBetweenSnapshotAndTruncationReplaysOnce(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	seedActivity(t, st1)
+	want := stateOf(t, st1)
+	// Simulate the crash window: the snapshot rename landed but the WAL
+	// truncation never did — the WAL still holds every absorbed record.
+	raw, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapName), raw, 0o644); err != nil {
+		t.Fatalf("write snapshot: %v", err)
+	}
+	st2 := reopen(t, dir)
+	sameState(t, stateOf(t, st2), want, "snapshot + stale WAL")
+	// Aggregates must not be double-applied by the stale records.
+	if got := stateOf(t, st2).Aggs[2]; got != (inference.PriceAggregate{N: 3, Total: 1.25}) {
+		t.Fatalf("aggregate replayed twice: %+v", got)
+	}
+}
+
+func TestStoreTornTailIsTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	seedActivity(t, st1)
+	want := stateOf(t, st1)
+	walPath := filepath.Join(dir, walName)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	// Tear the file mid-way through a half-appended next record.
+	torn := append(append([]byte{}, raw...), 0x2a, 0x00, 0x00, 0x00, 0xde, 0xad)
+	if err := os.WriteFile(walPath, torn, 0o644); err != nil {
+		t.Fatalf("write torn wal: %v", err)
+	}
+	st2 := reopen(t, dir)
+	sameState(t, stateOf(t, st2), want, "after torn-tail repair")
+	// The repair truncated the file, and appending still works.
+	if err := st2.AppendArchive("zzz"); err == nil {
+		t.Fatal("archive of unknown campaign must fail")
+	} else if fi, _ := os.Stat(walPath); fi.Size() != int64(len(raw)) {
+		t.Fatalf("torn tail not truncated: %d bytes, want %d", fi.Size(), len(raw))
+	}
+}
+
+func TestStoreRefusesCorruptWAL(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	seedActivity(t, st1)
+	st1.Close()
+	walPath := filepath.Join(dir, walName)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	raw[frameHeaderSize+3] ^= 0xff // first record's payload: mid-file damage
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
+		t.Fatalf("write corrupt wal: %v", err)
+	}
+	if _, err := Open(dir, Options{NoSync: true}); err == nil {
+		t.Fatal("Open accepted a corrupt WAL")
+	} else {
+		var corrupt *CorruptError
+		if !errors.As(err, &corrupt) {
+			t.Fatalf("err %v, want CorruptError", err)
+		}
+	}
+	rep, err := Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if rep.Clean() || rep.Corrupt == nil {
+		t.Fatalf("Inspect of corrupt dir reports clean: %+v", rep)
+	}
+}
+
+func TestStoreRefusesCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	seedActivity(t, st1)
+	if err := st1.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st1.Close()
+	if err := os.WriteFile(filepath.Join(dir, snapName), []byte(`{"lastSeq":`), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := Open(dir, Options{NoSync: true}); err == nil {
+		t.Fatal("Open accepted a corrupt snapshot")
+	}
+	rep, err := Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if rep.Clean() || rep.SnapshotErr == nil {
+		t.Fatalf("Inspect of corrupt snapshot reports clean: %+v", rep)
+	}
+}
+
+// truncatingWriter writes through until its byte budget runs out, then
+// tears the write mid-buffer and fails — the crash-simulation seam.
+type truncatingWriter struct {
+	w      io.Writer
+	budget int
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (tw *truncatingWriter) Write(p []byte) (int, error) {
+	if tw.budget <= 0 {
+		return 0, errInjected
+	}
+	if len(p) > tw.budget {
+		n, _ := tw.w.Write(p[:tw.budget])
+		tw.budget = 0
+		return n, errInjected
+	}
+	tw.budget -= len(p)
+	return tw.w.Write(p)
+}
+
+func TestStoreFaultInjectionGoesStickyAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := Open(dir, Options{
+		NoSync:  true,
+		WrapWAL: func(w io.Writer) io.Writer { return &truncatingWriter{w: w, budget: 150} },
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var appendErr error
+	appended := 0
+	for i := 0; i < 50; i++ {
+		err := st1.AppendIngest(map[int]inference.PriceAggregate{2 + i: {N: 1, Total: 1}}, 1)
+		if err != nil {
+			appendErr = err
+			break
+		}
+		appended++
+	}
+	if appendErr == nil {
+		t.Fatal("the byte budget never tripped")
+	}
+	if st1.Err() == nil {
+		t.Fatal("failure must stick")
+	}
+	// Everything after the failure is refused, including compaction —
+	// the on-disk image must stay frozen at the crash point.
+	if err := st1.AppendFit(FitRecord{Slope: 1}); !errors.Is(err, errInjected) {
+		t.Fatalf("append after failure: %v, want the sticky injected error", err)
+	}
+	if err := st1.Compact(); !errors.Is(err, errInjected) {
+		t.Fatalf("compact after failure: %v, want the sticky injected error", err)
+	}
+	// Recovery sees the appended records and repairs the torn one.
+	st2 := reopen(t, dir)
+	got := stateOf(t, st2)
+	if int(got.LastSeq) != appended {
+		t.Fatalf("recovered %d records, %d were acknowledged", got.LastSeq, appended)
+	}
+	if int(got.Records) != appended {
+		t.Fatalf("recovered %d ingest records, want %d", got.Records, appended)
+	}
+}
+
+func TestStoreAutoCompacts(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := Open(dir, Options{NoSync: true, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := st1.AppendIngest(map[int]inference.PriceAggregate{2: {N: 1, Total: 1}}, 1); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	rep, err := Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if !rep.HasSnapshot || rep.SnapshotSeq < 4 {
+		t.Fatalf("no auto snapshot: %+v", rep)
+	}
+	if rep.WALRecords >= 10 {
+		t.Fatalf("WAL never truncated: %d records", rep.WALRecords)
+	}
+	st2 := reopen(t, dir)
+	got := stateOf(t, st2)
+	if got.LastSeq != 10 || got.Records != 10 || got.Aggs[2].N != 10 {
+		t.Fatalf("recovered %+v, want 10 applied records", got)
+	}
+}
+
+func TestStoreClosedRejectsAppends(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := st.AppendFit(FitRecord{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+	if err := st.Compact(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("compact after close: %v, want ErrClosed", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestInspectOnMissingAndEmptyDirs(t *testing.T) {
+	if _, err := Inspect(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("Inspect of a missing dir must error")
+	}
+	dir := t.TempDir()
+	rep, err := Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect(empty): %v", err)
+	}
+	if !rep.Clean() || rep.HasSnapshot || rep.WALRecords != 0 {
+		t.Fatalf("empty dir report: %+v", rep)
+	}
+	if rep.State == nil || !reflect.DeepEqual(rep.State, NewState()) {
+		t.Fatalf("empty dir state: %+v", rep.State)
+	}
+}

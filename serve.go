@@ -3,6 +3,7 @@ package hputune
 import (
 	"hputune/internal/htuning"
 	"hputune/internal/server"
+	"hputune/internal/store"
 )
 
 // Serving layer (package server): the htuned binary's HTTP JSON API over
@@ -29,4 +30,37 @@ func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 // results). NewEstimator's default bound is 65536 entries.
 func NewEstimatorCapacity(capacity int) (*Estimator, error) {
 	return htuning.NewEstimatorCapacity(capacity)
+}
+
+// Durable state subsystem (package store): an append-only CRC-checked
+// WAL plus compacting snapshots under a state directory, persisting
+// ingest aggregates, published fits and campaign state so a serving
+// process can crash, restart and resume every unfinished campaign
+// bit-identically to an uninterrupted run. htuned wires it up with
+// -state-dir; embedders OpenStore a directory and RecoverServer over it.
+
+// Store is an open durable state directory (WAL + snapshots).
+type Store = store.Store
+
+// StoreOptions configures OpenStore; the zero value is production-safe
+// (fsync on every append, snapshot every 1024 records).
+type StoreOptions = store.Options
+
+// OpenStore opens or creates a durable state directory and recovers its
+// state, truncating a torn final WAL record (the expected artifact of a
+// crash mid-append) and refusing louder corruption. Inspect a directory
+// without modifying it via htune -state <dir>.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	return store.Open(dir, opts)
+}
+
+// RecoverServer builds a serving layer whose durable state lives in st:
+// recorded ingest aggregates, the published fit and all campaigns are
+// restored, unfinished campaigns resume from their last completed round
+// (bit-identically to an uninterrupted run), and subsequent state
+// changes are journaled back to st. Shutting the server down suspends
+// campaigns instead of canceling them; the store's Compact + Close
+// remain the caller's job after the drain (see cmd/htuned).
+func RecoverServer(cfg ServerConfig, st *Store) (*Server, error) {
+	return server.Recover(cfg, st)
 }
