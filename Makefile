@@ -97,10 +97,13 @@ bench-campaign:
 # $(BENCH_FRESH_DIR) — cheap enough for CI (benchmarks warm up before
 # their timers start, so small iteration counts still read steady
 # state), and the input bench-compare diffs against the committed
-# baselines.
+# baselines. It then runs the load-test harness at 10× the admission
+# limit: the target fails if any rejection lacks the error envelope, a
+# campaign round starves, or admitted-solve p99 breaks its bound.
 bench-smoke:
 	mkdir -p $(BENCH_FRESH_DIR)
 	$(GO) run ./cmd/htbench -suite all -benchtime 10x -out $(BENCH_FRESH_DIR) -commit $(BENCH_COMMIT)
+	$(GO) run ./cmd/htbench -loadtest 10
 
 # bench-compare fails on >2x ns/op or >1.5x allocs/op drift of any
 # baseline benchmark (generous on wall time — CI machines differ from

@@ -12,10 +12,10 @@ import (
 // Closed-loop campaign engine (package campaign): tune → post → observe
 // → re-tune, per job, until budget exhaustion, convergence of the
 // re-fitted price→rate model, or a round deadline. Campaigns run
-// concurrently as fleets (RunCampaignFleet) or under a CampaignManager
-// (the htuned service's /v1/campaigns endpoints drive one); every
-// campaign's per-round allocations are a pure function of its Campaign
-// config, no matter how it is driven.
+// concurrently as fleets (RunCampaignFleet) or in the background under
+// the htuned service's /v1/campaigns endpoints; every campaign's
+// per-round allocations are a pure function of its Campaign config, no
+// matter how it is driven.
 type (
 	// Campaign configures one closed loop: workload groups with their
 	// true market classes, the tuner's prior, budgets, convergence
@@ -39,9 +39,6 @@ type (
 	CampaignRound = campaign.RoundSnapshot
 	// CampaignResult is a campaign's inspectable (live or final) state.
 	CampaignResult = campaign.Result
-	// CampaignManager runs campaigns in the background with bounded
-	// concurrency, inspection snapshots and cancellation.
-	CampaignManager = campaign.Manager
 )
 
 // RunCampaign drives one closed-loop campaign to a terminal status.
@@ -56,13 +53,6 @@ func RunCampaign(ctx context.Context, est *Estimator, cfg Campaign) (CampaignRes
 // Results are in campaign order and independent of the pool width.
 func RunCampaignFleet(ctx context.Context, est *Estimator, cfgs []Campaign, workers int) ([]CampaignResult, error) {
 	return campaign.RunFleet(ctx, est, cfgs, workers)
-}
-
-// NewCampaignManager builds a background campaign runner over a shared
-// estimator (nil gets a fresh one); maxActive bounds concurrently
-// running campaigns (<= 0 means 64).
-func NewCampaignManager(est *Estimator, maxActive int) *CampaignManager {
-	return campaign.NewManager(est, maxActive)
 }
 
 // PaperCampaignFleet builds the paper's scenario fleet as campaigns:

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hputune/internal/campaign"
+	"hputune/internal/server"
+	"hputune/internal/traffic"
+)
+
+// Load-test harness: the graceful-degradation acceptance check behind
+// `htbench -loadtest MULT`. It stands up an in-process serving layer
+// with a deliberately tiny admission pool, floods it with MULT× more
+// concurrent bulk clients than the pool has permits, and — while the
+// flood runs — starts a campaign fleet and requires it to finish. The
+// run fails (non-zero exit) when any of the committed degradation
+// bounds break:
+//
+//   - every non-2xx reply must carry the uniform error envelope with a
+//     stable code (no blank 503s under pressure);
+//   - zero starved campaign rounds: every campaign in the fleet reaches
+//     a terminal status within loadSettleDeadline even though bulk
+//     traffic holds MULT× the pool;
+//   - the p99 latency of *admitted* solves stays under loadP99Bound —
+//     admission control must keep served work fast instead of queueing
+//     it into molasses.
+const (
+	// loadMaxInFlight is the admission pool of the server under test —
+	// small, so MULT× floods are cheap to generate.
+	loadMaxInFlight = 4
+	// loadP99Bound is the committed degradation bound on admitted-solve
+	// p99 (generous: an admitted solve at these spec sizes is sub-ms on
+	// any machine; a bound this loose only trips when admitted work is
+	// queueing behind the flood, which is exactly the regression the
+	// harness guards).
+	loadP99Bound = 2 * time.Second
+	// loadSettleDeadline bounds the campaign fleet's settle time under
+	// flood. The fleet is 4 campaigns × 6 rounds of small solves.
+	loadSettleDeadline = 60 * time.Second
+	// loadFleetCampaigns and loadFleetRounds shape the priority-class
+	// work the flood must not starve.
+	loadFleetCampaigns = 4
+	loadFleetRounds    = 6
+)
+
+// loadFleetDoc builds the campaign fleet document: epsilon 0 keeps
+// every campaign running its full round count, so "all terminal" means
+// "every round ran".
+func loadFleetDoc() string {
+	var b strings.Builder
+	b.WriteString(`{"campaigns":[`)
+	for i := 0; i < loadFleetCampaigns; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"name":"load%d","roundBudget":400,"rounds":%d,"budget":%d,"epsilon":0,"seed":%d,
+		  "prior":{"kind":"linear","k":1,"b":1},
+		  "groups":[{"name":"g3","tasks":20,"reps":3,"procRate":2,"true":{"kind":"linear","k":2,"b":0.5}},
+		            {"name":"g5","tasks":20,"reps":5,"procRate":2,"true":{"kind":"linear","k":2,"b":0.5}}]}`,
+			i, loadFleetRounds, 400*loadFleetRounds, 7+i)
+	}
+	b.WriteString(`]}`)
+	return b.String()
+}
+
+// loadSolveDoc is the bulk request the flood hammers.
+const loadSolveDoc = `{"budget":300,"groups":[
+  {"name":"a","tasks":4,"reps":2,"procRate":2,"model":{"kind":"linear","k":2,"b":1}},
+  {"name":"b","tasks":5,"reps":3,"procRate":2,"model":{"kind":"linear","k":1,"b":1}}]}`
+
+// loadEnvelope mirrors the server's error envelope for parity checks.
+type loadEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// loadResult aggregates one load-test run for reporting.
+type loadResult struct {
+	admitted, rejected, badEnvelope atomic.Uint64
+	firstBad                        atomic.Pointer[string]
+}
+
+func (r *loadResult) reportBad(detail string) {
+	r.badEnvelope.Add(1)
+	r.firstBad.CompareAndSwap(nil, &detail)
+}
+
+// runLoadTest floods an in-process server at mult× its admission limit
+// and enforces the degradation bounds. It returns an error describing
+// the first violated bound.
+func runLoadTest(mult int, logf func(format string, args ...any)) error {
+	if mult < 1 {
+		return fmt.Errorf("loadtest: multiplier %d < 1", mult)
+	}
+	s, err := server.New(server.Config{
+		MaxInFlight: loadMaxInFlight,
+		Workers:     2,
+		Traffic:     server.TrafficConfig{BulkShare: 0.5},
+	})
+	if err != nil {
+		return fmt.Errorf("loadtest: %v", err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	flooders := mult * loadMaxInFlight
+	logf("loadtest: %d flood clients against a %d-permit pool (%d× the limit)",
+		flooders, loadMaxInFlight, mult)
+
+	var res loadResult
+	hist := &traffic.Histogram{} // admitted-solve latency, client-side
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < flooders; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				start := time.Now()
+				resp, err := client.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(loadSolveDoc))
+				if err != nil {
+					res.reportBad(fmt.Sprintf("transport error: %v", err))
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					hist.Observe(time.Since(start))
+					res.admitted.Add(1)
+				case resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests:
+					res.rejected.Add(1)
+					var env loadEnvelope
+					if err := json.Unmarshal(raw, &env); err != nil || env.Error.Code == "" || env.Error.Message == "" {
+						res.reportBad(fmt.Sprintf("status %d without envelope: %.128s", resp.StatusCode, raw))
+					} else if resp.Header.Get("Retry-After") == "" {
+						res.reportBad(fmt.Sprintf("status %d without Retry-After", resp.StatusCode))
+					}
+				default:
+					res.reportBad(fmt.Sprintf("unexpected status %d: %.128s", resp.StatusCode, raw))
+				}
+			}
+		}()
+	}
+
+	// Start the fleet mid-flood and wait for every campaign to settle.
+	fleetErr := func() error {
+		resp, err := client.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(loadFleetDoc()))
+		if err != nil {
+			return fmt.Errorf("start fleet: %v", err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("start fleet under flood: status %d: %.256s", resp.StatusCode, raw)
+		}
+		var started struct {
+			IDs []string `json:"ids"`
+		}
+		if err := json.Unmarshal(raw, &started); err != nil || len(started.IDs) != loadFleetCampaigns {
+			return fmt.Errorf("fleet start reply: %v (%.256s)", err, raw)
+		}
+		deadline := time.Now().Add(loadSettleDeadline)
+		for {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("starved campaign rounds: fleet not terminal after %v under %d× flood", loadSettleDeadline, mult)
+			}
+			var list struct {
+				Campaigns []campaign.Summary `json:"campaigns"`
+			}
+			resp, err := client.Get(ts.URL + "/v1/campaigns")
+			if err != nil {
+				return fmt.Errorf("list campaigns: %v", err)
+			}
+			err = json.NewDecoder(resp.Body).Decode(&list)
+			resp.Body.Close()
+			if err != nil {
+				return fmt.Errorf("decode campaign list: %v", err)
+			}
+			done, rounds := 0, 0
+			for _, c := range list.Campaigns {
+				rounds += c.RoundsRun
+				if c.Status.Terminal() {
+					if c.Status != campaign.StatusMaxRounds && c.Status != campaign.StatusConverged &&
+						c.Status != campaign.StatusBudgetExhausted {
+						return fmt.Errorf("campaign %s under flood: terminal status %s", c.ID, c.Status)
+					}
+					done++
+				}
+			}
+			if done == loadFleetCampaigns {
+				if rounds < loadFleetCampaigns*loadFleetRounds {
+					return fmt.Errorf("starved campaign rounds: %d of %d ran", rounds, loadFleetCampaigns*loadFleetRounds)
+				}
+				logf("loadtest: fleet settled, %d/%d rounds ran", rounds, loadFleetCampaigns*loadFleetRounds)
+				return nil
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	close(stop)
+	wg.Wait()
+
+	snap := hist.Snapshot()
+	logf("loadtest: %d admitted (p50 %.3fms p99 %.3fms), %d rejected with envelope",
+		res.admitted.Load(), snap.P50MS, snap.P99MS, res.rejected.Load())
+	if fleetErr != nil {
+		return fleetErr
+	}
+	if n := res.badEnvelope.Load(); n > 0 {
+		return fmt.Errorf("envelope parity: %d bad replies; first: %s", n, *res.firstBad.Load())
+	}
+	if res.admitted.Load() == 0 {
+		return fmt.Errorf("flood saw zero admitted solves; the gate is wedged shut")
+	}
+	if p99 := time.Duration(snap.P99MS * float64(time.Millisecond)); p99 > loadP99Bound {
+		return fmt.Errorf("admitted-solve p99 %v above the committed %v bound", p99, loadP99Bound)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@
 //	htbench [-suite all|campaign|solvers|market|inference] [-benchtime 10x]
 //	        [-out .] [-commit abc1234] [-list]
 //	htbench -compare [-max-ns-ratio 2.0] [-max-alloc-ratio 1.5] BASELINE FRESH
+//	htbench -loadtest MULT
 //
 // Each suite is a declared list of benchmarks over fixed seeds and
 // sizes, executed through testing.Benchmark with the given -benchtime,
@@ -22,6 +23,13 @@
 // one entirely; improvements never fail. ns/op drift needs a generous
 // bound when the two files come from different machine classes —
 // allocs/op is the stable cross-machine signal.
+//
+// -loadtest MULT is the graceful-degradation check: it floods an
+// in-process serving layer with MULT× more bulk clients than its
+// admission pool holds while a campaign fleet runs, and exits non-zero
+// unless every rejection carries the uniform error envelope, every
+// campaign round runs (nothing starves), and admitted-solve p99 stays
+// under the committed bound. `make bench-smoke` runs it at 10×.
 package main
 
 import (
@@ -47,8 +55,17 @@ func main() {
 	maxAlloc := flag.Float64("max-alloc-ratio", 1.5, "with -compare: fail when fresh allocs/op exceeds baseline by this factor")
 	nsFloor := flag.Float64("min-ns-floor", 10000, "with -compare: skip the ns/op check for benchmarks whose baseline is below this many ns (timer noise at smoke iteration counts); allocs/op is still checked")
 	allocFloor := flag.Int64("alloc-floor", 16, "with -compare: absolute allocs/op slack — drift fails only above max(baseline*ratio, this); keeps zero-alloc baselines guarded without flagging single-alloc jitter")
+	loadtest := flag.Int("loadtest", 0, "flood an in-process server at N× its admission limit and enforce the degradation bounds (0 = off)")
 	testing.Init()
 	flag.Parse()
+
+	if *loadtest > 0 {
+		if err := runLoadTest(*loadtest, log.Printf); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("loadtest: all degradation bounds held")
+		return
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {

@@ -105,3 +105,15 @@ func TestRunSuitesAndCompare(t *testing.T) {
 		t.Errorf("doctored regression not caught: %v", err)
 	}
 }
+
+// TestLoadTestSmall runs the degradation harness at a small multiplier
+// so every bound (envelope parity, zero starved rounds, p99) is
+// exercised in the ordinary test suite; CI's bench-smoke runs 10×.
+func TestLoadTestSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("floods an in-process server")
+	}
+	if err := runLoadTest(2, t.Logf); err != nil {
+		t.Fatal(err)
+	}
+}

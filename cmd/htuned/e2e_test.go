@@ -148,6 +148,84 @@ func (p *htunedProc) result(t *testing.T, id string) campaign.Result {
 	return got.Result
 }
 
+// TestMetricsEndpointSmoke drives a real htuned process the way a
+// monitoring agent would: one solve, then a plain GET /v1/metrics,
+// asserting the document carries the solve's latency histogram and the
+// admission gauges, and that an unknown route answers with the uniform
+// error envelope plus a request id.
+func TestMetricsEndpointSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives real processes")
+	}
+	bin := buildHtuned(t)
+	p := startHtuned(t, bin, filepath.Join(t.TempDir(), "state"))
+
+	solve := `{"budget":300,"groups":[{"name":"a","tasks":4,"reps":2,"procRate":2,"model":{"kind":"linear","k":2,"b":1}}]}`
+	resp, err := http.Post(p.base+"/v1/solve", "application/json", strings.NewReader(solve))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("solve: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(p.base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	var m struct {
+		Endpoints map[string]struct {
+			Count uint64  `json:"count"`
+			SumMS float64 `json:"sumMs"`
+		} `json:"endpoints"`
+		Admission struct {
+			Limit     int `json:"limit"`
+			BulkLimit int `json:"bulkLimit"`
+		} `json:"admission"`
+		Store *struct {
+			Appends uint64 `json:"appends"`
+		} `json:"store"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	if h := m.Endpoints["POST /v1/solve"]; h.Count < 1 {
+		t.Errorf("solve histogram missing from metrics: %+v", m.Endpoints)
+	}
+	if m.Admission.Limit < 1 || m.Admission.BulkLimit < 1 {
+		t.Errorf("admission gauges = %+v", m.Admission)
+	}
+	if m.Store == nil {
+		t.Error("durable htuned reports no store block")
+	}
+
+	resp, err = http.Get(p.base + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("404 body is not the envelope: %v", err)
+	}
+	if resp.StatusCode != 404 || env.Error.Code != "not_found" {
+		t.Errorf("unknown route: status %d code %q, want 404 not_found", resp.StatusCode, env.Error.Code)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("no X-Request-ID on error reply")
+	}
+}
+
 // TestSIGKILLMidFleetResumesByteIdentical is the PR's acceptance pin:
 // htuned, killed with SIGKILL mid-fleet and restarted with the same
 // -state-dir, resumes every unfinished campaign and produces round

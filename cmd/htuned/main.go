@@ -10,11 +10,24 @@
 //
 //	htuned [-addr :8080] [-max-inflight N] [-workers N] [-cache-entries N]
 //	       [-max-campaigns N] [-state-dir DIR] [-snapshot-every N]
+//	       [-rate-limit R] [-rate-burst N] [-bulk-share F] [-shed-cpu F]
+//	       [-access-log]
 //
 // Endpoints: POST /v1/solve, /v1/solve-heterogeneous, /v1/simulate,
 // /v1/ingest, /v1/campaigns; GET /v1/campaigns[/{id}], /v1/stats,
-// /v1/healthz; DELETE /v1/campaigns/{id}. See the repository README for
-// request and response shapes.
+// /v1/metrics, /v1/healthz; DELETE /v1/campaigns/{id}. See the
+// repository README for request and response shapes.
+//
+// Traffic hardening: -rate-limit R throttles each client (keyed by the
+// X-Client-ID header, else remote address) to R requests per second
+// with a burst of -rate-burst, answering 429 with a Retry-After
+// computed from that client's bucket. -bulk-share caps the fraction of
+// -max-inflight that bulk work (solve, solve-heterogeneous, simulate)
+// may hold, so ingest and campaign control are never starved by a bulk
+// flood. -shed-cpu sheds bulk work with a fast 503 once process CPU
+// load crosses the threshold. GET /v1/metrics reports per-endpoint
+// latency histograms plus admission, rate-limit, cache, campaign and
+// WAL gauges; -access-log writes one line per request to stderr.
 //
 // With -state-dir, ingest aggregates, published fits and campaign state
 // are journaled to an fsync'd write-ahead log (compacted into a
@@ -51,6 +64,11 @@ func main() {
 	maxCampaigns := flag.Int("max-campaigns", 0, "concurrently running closed-loop campaigns admitted before 503 (0 = default 64)")
 	stateDir := flag.String("state-dir", "", "durable state directory (WAL + snapshots); empty serves in-memory only")
 	snapshotEvery := flag.Int("snapshot-every", 0, "compact the WAL into a snapshot every N records (0 = default 1024)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s (0 = unlimited)")
+	rateBurst := flag.Float64("rate-burst", 0, "per-client burst above -rate-limit (0 = default 2×rate)")
+	bulkShare := flag.Float64("bulk-share", 0, "fraction of -max-inflight open to bulk solve/simulate work (0 = default 0.75)")
+	shedCPU := flag.Float64("shed-cpu", 0, "process CPU load in [0,1] at which bulk work is shed (0 = disabled)")
+	accessLog := flag.Bool("access-log", false, "log one line per request (method, path, status, latency, request id, client)")
 	flag.Parse()
 
 	cfg := hputune.ServerConfig{
@@ -58,6 +76,15 @@ func main() {
 		Workers:      *workers,
 		CacheEntries: *cacheEntries,
 		MaxCampaigns: *maxCampaigns,
+		Traffic: hputune.TrafficConfig{
+			BulkShare:     *bulkShare,
+			RatePerClient: *rateLimit,
+			RateBurst:     *rateBurst,
+			ShedCPU:       *shedCPU,
+		},
+	}
+	if *accessLog {
+		cfg.Traffic.AccessLog = log.New(log.Writer(), "access: ", 0)
 	}
 	var srv *hputune.Server
 	var st *hputune.Store

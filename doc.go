@@ -117,10 +117,46 @@
 // and /v1/ingest folds observed trace records (CSV or JSON Lines)
 // through the Sec 3.3 MLE into a re-fitted Linearity-Hypothesis model
 // that subsequent solves pick up atomically via the "fitted" model
-// kind. One process shares one bounded estimator; solve admission is
-// gated (overload returns 503 immediately), /v1/stats exposes the cache
-// and gate counters, and shutdown drains gracefully. See the README for
-// the wire shapes.
+// kind. One process shares one bounded estimator; /v1/stats exposes the
+// cache and gate counters, and shutdown drains gracefully. See the
+// README for the wire shapes.
+//
+// # Traffic hardening and observability
+//
+// The serving layer is built to degrade gracefully rather than fall
+// over. Admission is two-class: bulk work (solve, solve-heterogeneous,
+// simulate) holds at most a configured share of the in-flight permit
+// pool, while priority work (ingest, campaign control) may use the
+// whole pool — a flood of bulk traffic therefore cannot starve the
+// closed-loop re-tune path. Overload answers a fast 503, optional
+// per-client token buckets answer 429 with a Retry-After computed from
+// the client's own bucket, and an optional CPU threshold sheds bulk
+// work first under pressure. All of it is configured by TrafficConfig
+// (ServerConfig.Traffic; htuned's -rate-limit, -rate-burst,
+// -bulk-share, -shed-cpu, -access-log flags).
+//
+// Every non-2xx reply, from any /v1 endpoint, carries one uniform JSON
+// envelope:
+//
+//	{"error": {"code": "...", "message": "...", "retry_after_ms": 1000}}
+//
+// with a stable machine-readable code: bad_spec (malformed or
+// over-limit request), not_found, method_not_allowed, too_large (body
+// over the byte cap), overloaded (admission refused; retry_after_ms
+// set), rate_limited (token bucket empty; retry_after_ms set),
+// suspended (server draining), internal. Every response also echoes an
+// X-Request-ID header (the client's, if it sent a reasonable one).
+//
+// GET /v1/metrics returns a MetricsSnapshot: per-endpoint latency
+// histograms (fixed log-spaced buckets with p50/p90/p99), admission
+// gate and rate-limiter gauges, the sampled process CPU load, estimator
+// cache counters, campaign occupancy, lifetime serve counters and — on
+// durable servers — WAL append/fsync/compaction counters. The
+// `htbench -loadtest N` harness floods a server at N× its admission
+// limit and fails unless the envelope, starvation and p99 bounds all
+// hold; `make bench-smoke` runs it in CI. docs/ARCHITECTURE.md
+// ("Traffic and observability") specifies the classes, the shed policy
+// and every metric name.
 //
 // # Durability
 //
@@ -173,4 +209,36 @@
 // trace interchange (CSV/JSONL), an adaptive inference-and-retuning
 // controller, and the harness regenerating every figure and table of the
 // paper's evaluation (RunExperiment).
+//
+// # API index
+//
+// The root package is a deliberate, audited facade over the internal
+// packages — every re-export below has a consumer (an example, a test,
+// a cmd, or a documented embedder pattern); anything without one is
+// removed rather than left to rot. By area:
+//
+//   - Tuning (hputune.go): TaskType, Group, Problem, Allocation,
+//     RateModel, Linear, Estimator, NewEstimator,
+//     NewEstimatorCapacity, Solve, EvenAllocation, SolveRepetition,
+//     SolveRepetitionDP, SolveHeterogeneous, SolveHeterogeneousNorm,
+//     the baseline allocations (Bias/TaskEven/RepEven/UniformType),
+//     SimulateJobLatency and the saturation diagnostics.
+//   - Batch engine (engine.go): SolveBatch, SolveHeterogeneousBatch,
+//     SimulateBatch, BatchOptions.
+//   - Marketplace and paper harness (market.go): NewMarket,
+//     MarketBuffers, the simulator option/result types, the inference
+//     probes (Probe, EstimateFixedPeriod, ...) and RunExperiment.
+//   - Latency distributions (distributions.go): Distribution with the
+//     Exponential, Erlang, HyperExponential and LogNormal families.
+//   - Adaptive control (adaptive.go): AdaptiveController and its
+//     spec/report types — interleaved inference and re-tuning.
+//   - Validation (stats.go): TestExponential, TestExponentialBinned,
+//     RateIntervalFromDurations with KSResult, ChiSquareResult, RateCI.
+//   - Campaigns (campaign.go): Campaign and its part types, RunCampaign,
+//     RunCampaignFleet, PaperCampaignFleet.
+//   - Serving (serve.go): ServerConfig, TrafficConfig, Server,
+//     NewServer, MetricsSnapshot, CacheStats; durable variants Store,
+//     StoreOptions, OpenStore, RecoverServer.
+//   - Comparators and crowd DB (comparators.go, crowddb.go): the
+//     related-work baselines and the pairwise-vote operators.
 package hputune

@@ -43,29 +43,16 @@ const (
 // repetition at least one payment unit.
 var ErrBudgetTooSmall = htuning.ErrBudgetTooSmall
 
-// Price→rate models (Sec 3.3 of the paper).
+// Price→rate models (Sec 3.3 of the paper). The synthetic non-linear
+// models and the empirical interpolating table live in
+// internal/pricing; spec documents reach them through the "model" kind
+// field, so they need no root aliases.
 type (
 	// RateModel maps a per-repetition price to the on-hold rate λo.
 	RateModel = pricing.RateModel
 	// Linear is the paper's Hypothesis 1: λo(c) = K·c + B.
 	Linear = pricing.Linear
-	// Quadratic is the synthetic non-linear model λo(c) = 1 + c².
-	Quadratic = pricing.Quadratic
-	// Logarithmic is the synthetic non-linear model λo(c) = log(1 + c).
-	Logarithmic = pricing.Logarithmic
-	// RateTable interpolates an empirical price→rate table.
-	RateTable = pricing.Table
 )
-
-// NewRateTable builds an interpolating price→rate model from observed
-// (price, rate) points, e.g. probe measurements.
-func NewRateTable(name string, points map[float64]float64) (*RateTable, error) {
-	return pricing.NewTable(name, points)
-}
-
-// SyntheticModels returns the six price→rate models of the paper's
-// synthetic evaluation in panel order (a)–(f).
-func SyntheticModels() []RateModel { return pricing.SyntheticModels() }
 
 // NewEstimator returns an empty latency estimator (memoizing cache).
 func NewEstimator() *Estimator { return htuning.NewEstimator() }
@@ -165,10 +152,4 @@ type (
 // irreducible processing latency.
 func SaturationScan(est *Estimator, g Group, maxPrice int, frac float64) (SaturationResult, error) {
 	return htuning.SaturationScan(est, g, maxPrice, frac)
-}
-
-// EffectiveBudget returns the smallest budget whose tuned job latency is
-// within (1+slack) of the latency at maxBudget.
-func EffectiveBudget(est *Estimator, p Problem, maxBudget, step int, slack float64) (int, error) {
-	return htuning.EffectiveBudget(est, p, maxBudget, step, slack)
 }

@@ -15,6 +15,11 @@ import (
 // bound — the serving layer maps it to 503.
 var ErrCapacity = errors.New("campaign: manager at active-campaign capacity")
 
+// ErrClosed rejects starts and resumes on a closed (or suspended)
+// manager — the draining-server state; the HTTP layer maps it to 503
+// "suspended".
+var ErrClosed = errors.New("campaign: manager is closed")
+
 // defaultMaxActive bounds concurrently running campaigns per manager.
 const defaultMaxActive = 64
 
@@ -115,7 +120,7 @@ func (m *Manager) StartAllHeld(cfgs []Config) (ids []string, launch func(), err 
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return nil, nil, fmt.Errorf("campaign: manager is closed")
+		return nil, nil, ErrClosed
 	}
 	if m.active+len(cfgs) > m.maxActive {
 		active := m.active
@@ -165,7 +170,7 @@ func (m *Manager) Resume(id string, c *Campaign) error {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return fmt.Errorf("campaign: manager is closed")
+		return ErrClosed
 	}
 	if _, dup := m.byID[id]; dup {
 		m.mu.Unlock()

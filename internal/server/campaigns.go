@@ -10,6 +10,7 @@ import (
 	"hputune/internal/pricing"
 	"hputune/internal/spec"
 	"hputune/internal/store"
+	"hputune/internal/traffic"
 )
 
 // Campaign service ceilings, enforced before any campaign starts so one
@@ -64,6 +65,14 @@ type CampaignStartResponse struct {
 // running fleet must not starve interactive solves of permits, and vice
 // versa.
 func (s *Server) handleCampaignStart(w http.ResponseWriter, r *http.Request) {
+	// Campaign control is priority-class work on the main gate: the body
+	// parse is bounded but not free, and a bulk flood must not be able
+	// to delay a re-tune loop's start. The launched campaigns themselves
+	// run in the background under the manager's own cap.
+	if !s.admitPriority(w, "campaign-start") {
+		return
+	}
+	defer s.gate.Release(traffic.Priority)
 	raw, err := io.ReadAll(r.Body)
 	if err != nil {
 		writeError(w, badRequestStatus(err), "%v", err)
@@ -87,12 +96,14 @@ func (s *Server) handleCampaignStart(w http.ResponseWriter, r *http.Request) {
 	}
 	ids, err := s.startFleet(raw, opts, cfgs)
 	if err != nil {
-		if errors.Is(err, campaign.ErrCapacity) {
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
-			return
+		switch {
+		case errors.Is(err, campaign.ErrCapacity):
+			writeOverloaded(w, overloadRetry, "%v", err)
+		case errors.Is(err, campaign.ErrClosed):
+			writeSuspended(w, "server is draining: %v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
 		}
-		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, CampaignStartResponse{IDs: ids})

@@ -38,9 +38,9 @@ func startCampaigns(t *testing.T, ts *httptest.Server, body string) []string {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		var e errorBody
+		var e ErrorEnvelope
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		t.Fatalf("start: status %d: %s", resp.StatusCode, e.Error)
+		t.Fatalf("start: status %d: %s", resp.StatusCode, e.Error.Message)
 	}
 	var out CampaignStartResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
@@ -236,10 +236,10 @@ func TestCampaignRejections(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer resp.Body.Close()
-			var e errorBody
+			var e ErrorEnvelope
 			_ = json.NewDecoder(resp.Body).Decode(&e)
-			if resp.StatusCode != tc.want || !strings.Contains(e.Error, tc.msg) {
-				t.Fatalf("status %d %q, want %d mentioning %q", resp.StatusCode, e.Error, tc.want, tc.msg)
+			if resp.StatusCode != tc.want || !strings.Contains(e.Error.Message, tc.msg) {
+				t.Fatalf("status %d %q, want %d mentioning %q", resp.StatusCode, e.Error.Message, tc.want, tc.msg)
 			}
 		})
 	}

@@ -29,13 +29,16 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 		ReadHeaderTimeout: 10 * time.Second,
 		// ReadTimeout bounds how long a connection may dribble its body:
 		// solve/simulate admit a permit before reading, so it caps each
-		// connection's permit hold during the read. It narrows, not
-		// eliminates, deliberate slow-body permit pinning (a reconnecting
-		// attacker re-pins after each cutoff); front any public exposure
-		// with a proxy enforcing client rate limits. 15s is generous for
-		// a 32 MB body on any sane link. No WriteTimeout — a legitimately
-		// admitted large solve may take longer to compute than any fixed
-		// write deadline.
+		// connection's permit hold during the read. Against deliberate
+		// slow-body permit pinning it composes with two traffic-layer
+		// defenses: the per-client rate limiter (Traffic.RatePerClient)
+		// makes each reconnect spend a token, so a re-pinning attacker
+		// exhausts their bucket within a burst, and the two-class gate
+		// caps bulk permits below the pool, so even a fully pinned bulk
+		// share never blocks ingest or campaign control. 15s is generous
+		// for a 32 MB body on any sane link. No WriteTimeout — a
+		// legitimately admitted large solve may take longer to compute
+		// than any fixed write deadline.
 		ReadTimeout: 15 * time.Second,
 		IdleTimeout: 2 * time.Minute,
 	}

@@ -17,6 +17,7 @@
 //	GET    /v1/campaigns/{id}      inspect one campaign's rounds and status
 //	DELETE /v1/campaigns/{id}      cancel a campaign
 //	GET    /v1/stats               cache/gate/fit/campaign counters
+//	GET    /v1/metrics             latency histograms + cache/WAL/campaign gauges
 //	GET    /v1/healthz             liveness probe
 //
 // Solve responses are byte-identical to the in-process engine batch API:
@@ -29,11 +30,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"mime"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hputune/internal/campaign"
 	"hputune/internal/conc"
@@ -46,6 +49,7 @@ import (
 	"hputune/internal/spec"
 	"hputune/internal/store"
 	"hputune/internal/trace"
+	"hputune/internal/traffic"
 )
 
 // maxBodyBytes bounds request bodies (specs and trace uploads).
@@ -136,6 +140,10 @@ type Config struct {
 	// (background work off the solve gate); excess starts get 503.
 	// <= 0 means 64.
 	MaxCampaigns int
+	// Traffic tunes the hardening layer: admission weighting, rate
+	// limiting, CPU shedding, access logging. The zero value keeps the
+	// plain admission behavior.
+	Traffic TrafficConfig
 }
 
 // fitState is one immutable trace-inferred rate model; the current one
@@ -152,10 +160,20 @@ type fitState struct {
 type Server struct {
 	cfg        Config
 	est        *htuning.Estimator
-	gate       *conc.Gate // solve/simulate admission
-	ingestGate *conc.Gate // ingest admission (separate: re-tuning must not starve)
+	gate       *traffic.Gate // two-class admission: bulk solves vs priority ingest/campaigns
+	ingestGate *conc.Gate    // ingest memory cap (each upload holds ~3× its body while parsing)
 	campaigns  *campaign.Manager
 	mux        *http.ServeMux
+
+	// Traffic layer: per-client rate limiting, process load sampling,
+	// per-endpoint latency histograms (hist is read-only after New;
+	// histOther absorbs unmatched routes), and the access log.
+	limiter      *traffic.Limiter
+	loadSampler  *traffic.LoadSampler
+	hist         map[string]*traffic.Histogram
+	histOther    *traffic.Histogram
+	clientHeader string
+	accessLog    *log.Logger
 
 	// st, when non-nil (Recover), journals ingest batches, published
 	// fits and campaign lifecycle events to the durable store, and
@@ -185,33 +203,61 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
+	tc := cfg.Traffic
+	loadSampler := traffic.NewLoadSampler()
 	s := &Server{
-		cfg:        cfg,
-		est:        est,
-		gate:       conc.NewGate(cfg.MaxInFlight),
+		cfg: cfg,
+		est: est,
+		gate: traffic.NewGate(traffic.GateConfig{
+			Limit:     cfg.MaxInFlight,
+			BulkShare: tc.BulkShare,
+			ShedLoad:  tc.ShedCPU,
+			Load:      loadSampler.Load,
+		}),
 		ingestGate: conc.NewGate(maxIngestInFlight),
 		campaigns:  campaign.NewManager(est, cfg.MaxCampaigns),
 		aggs:       make(map[int]inference.PriceAggregate),
+		limiter: traffic.NewLimiter(traffic.LimiterConfig{
+			Rate:       tc.RatePerClient,
+			Burst:      tc.RateBurst,
+			MaxClients: tc.MaxClients,
+		}),
+		loadSampler:  loadSampler,
+		clientHeader: tc.ClientHeader,
+		accessLog:    tc.AccessLog,
+	}
+	if s.clientHeader == "" {
+		s.clientHeader = defaultClientHeader
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
-	s.mux.HandleFunc("POST /v1/solve-heterogeneous", s.handleSolveHeterogeneous)
-	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
-	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignStart)
-	s.mux.HandleFunc("GET /v1/campaigns", s.handleCampaignList)
-	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
-	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.hist = make(map[string]*traffic.Histogram)
+	s.histOther = &traffic.Histogram{}
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, h)
+		s.hist[pattern] = &traffic.Histogram{}
+	}
+	handle("POST /v1/solve", s.handleSolve)
+	handle("POST /v1/solve-heterogeneous", s.handleSolveHeterogeneous)
+	handle("POST /v1/simulate", s.handleSimulate)
+	handle("POST /v1/ingest", s.handleIngest)
+	handle("POST /v1/campaigns", s.handleCampaignStart)
+	handle("GET /v1/campaigns", s.handleCampaignList)
+	handle("GET /v1/campaigns/{id}", s.handleCampaignGet)
+	handle("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
+	handle("GET /v1/stats", s.handleStats)
+	handle("GET /v1/metrics", s.handleMetrics)
+	handle("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return s, nil
 }
 
-// Handler returns the root handler (also usable under httptest).
+// Handler returns the root handler (also usable under httptest): the
+// traffic middleware (request ids, rate limiting, envelope
+// interception, histograms, access log) around the route mux, under the
+// request-body byte cap.
 func (s *Server) Handler() http.Handler {
-	return http.MaxBytesHandler(s.mux, maxBodyBytes)
+	return http.MaxBytesHandler(s.middleware(), maxBodyBytes)
 }
 
 // Estimator exposes the shared estimator, e.g. to pre-warm it.
@@ -259,11 +305,6 @@ func (s *Server) Fit() (pricing.Linear, bool) {
 	return pricing.Linear{}, false
 }
 
-// errorBody is the uniform error envelope.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -272,25 +313,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // headers are out; nothing useful to do on failure
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
-}
+// overloadRetry is the Retry-After hint on gate-capacity 503s. The gate
+// has no queue, so there is no backlog to derive a wait from; one
+// second is the poll interval that drains a typical burst.
+const overloadRetry = time.Second
 
-// admitGate takes a permit from g or writes the uniform overload reply.
-// It reports whether the caller may proceed (and must later Release g);
-// on false the 503 has been written.
-func admitGate(w http.ResponseWriter, g *conc.Gate, what string) bool {
-	if g.TryAcquire() {
+// admitBulk gates the solve/simulate endpoints on the bulk class: at
+// most BulkShare of the permit pool, shed first under CPU pressure. On
+// false the 503 envelope has been written.
+func (s *Server) admitBulk(w http.ResponseWriter) bool {
+	if s.gate.TryAcquire(traffic.Bulk) {
 		return true
 	}
-	w.Header().Set("Retry-After", "1")
-	writeError(w, http.StatusServiceUnavailable, "server at %s capacity (%d in flight); retry shortly", what, g.Limit())
+	writeOverloaded(w, overloadRetry,
+		"server at solve capacity (%d of %d permits open to bulk work); retry shortly",
+		s.gate.BulkLimit(), s.gate.Limit())
 	return false
 }
 
-// admit gates the solve/simulate endpoints on the main pool.
-func (s *Server) admit(w http.ResponseWriter) bool {
-	return admitGate(w, s.gate, "solve")
+// admitPriority gates ingest and campaign starts on the priority class,
+// which may use the whole permit pool — bulk traffic cannot starve it.
+func (s *Server) admitPriority(w http.ResponseWriter, what string) bool {
+	if s.gate.TryAcquire(traffic.Priority) {
+		return true
+	}
+	writeOverloaded(w, overloadRetry,
+		"server at %s capacity (%d permits in flight); retry shortly", what, s.gate.Limit())
+	return false
 }
 
 // badRequestStatus maps a client-input error to its HTTP status: an
@@ -350,10 +399,10 @@ type SolveResponse struct {
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// Admission precedes the body read: a rejected request must cost a
 	// permit check, not a 32 MB buffer and a spec materialization.
-	if !s.admit(w) {
+	if !s.admitBulk(w) {
 		return
 	}
-	defer s.gate.Release()
+	defer s.gate.Release(traffic.Bulk)
 	problems, batch, err := s.decodeSpec(r)
 	if err != nil {
 		writeError(w, badRequestStatus(err), "%v", err)
@@ -394,10 +443,10 @@ type HeterogeneousResponse struct {
 }
 
 func (s *Server) handleSolveHeterogeneous(w http.ResponseWriter, r *http.Request) {
-	if !s.admit(w) {
+	if !s.admitBulk(w) {
 		return
 	}
-	defer s.gate.Release()
+	defer s.gate.Release(traffic.Bulk)
 	problems, batch, err := s.decodeSpec(r)
 	if err != nil {
 		writeError(w, badRequestStatus(err), "%v", err)
@@ -463,10 +512,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// Admission precedes the body read and the per-repetition allocation
 	// materialization, matching the solve handlers: a rejected request
 	// costs a permit check, not a 32 MB parse.
-	if !s.admit(w) {
+	if !s.admitBulk(w) {
 		return
 	}
-	defer s.gate.Release()
+	defer s.gate.Release(traffic.Bulk)
 	var req SimulateRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -587,7 +636,16 @@ type IngestResponse struct {
 // its body size while parsing, so unbounded concurrency would be an
 // OOM vector.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if !admitGate(w, s.ingestGate, "ingest") {
+	// Two permits: a priority-class slot on the main gate (never starved
+	// by bulk traffic — the bulk cap keeps reserve permits free) and the
+	// ingest-specific memory cap.
+	if !s.admitPriority(w, "ingest") {
+		return
+	}
+	defer s.gate.Release(traffic.Priority)
+	if !s.ingestGate.TryAcquire() {
+		writeOverloaded(w, overloadRetry,
+			"server at ingest capacity (%d uploads parsing); retry shortly", s.ingestGate.Limit())
 		return
 	}
 	defer s.ingestGate.Release()
@@ -723,21 +781,27 @@ type ServeStats struct {
 	Workers int `json:"workers"`
 }
 
+// serveStats builds the request-level counter block shared by /v1/stats
+// and /v1/metrics.
+func (s *Server) serveStats() ServeStats {
+	return ServeStats{
+		Solves:          s.solves.Load(),
+		Simulates:       s.simulates.Load(),
+		Ingests:         s.ingests.Load(),
+		IngestedRecords: s.records.Load(),
+		Rejected:        s.gate.Rejected(),
+		IngestRejected:  s.ingestGate.Rejected(),
+		InFlight:        s.gate.InFlight(),
+		MaxInFlight:     s.gate.Limit(),
+		Workers:         engine.Options{Workers: s.cfg.Workers}.ResolvedWorkers(),
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		Cache:     s.est.CacheStats(),
 		Campaigns: s.campaigns.Stats(),
-		Serve: ServeStats{
-			Solves:          s.solves.Load(),
-			Simulates:       s.simulates.Load(),
-			Ingests:         s.ingests.Load(),
-			IngestedRecords: s.records.Load(),
-			Rejected:        s.gate.Rejected(),
-			IngestRejected:  s.ingestGate.Rejected(),
-			InFlight:        s.gate.InFlight(),
-			MaxInFlight:     s.gate.Limit(),
-			Workers:         engine.Options{Workers: s.cfg.Workers}.ResolvedWorkers(),
-		},
+		Serve:     s.serveStats(),
 	}
 	if f := s.fit.Load(); f != nil {
 		resp.Fit = &FitInfo{Slope: f.fit.Slope, Intercept: f.fit.Intercept, R2: f.fit.R2, Prices: f.prices}

@@ -18,6 +18,7 @@ import (
 	"hputune/internal/market"
 	"hputune/internal/spec"
 	"hputune/internal/trace"
+	"hputune/internal/traffic"
 )
 
 // specJSON builds a single-instance spec document whose shape varies
@@ -438,10 +439,10 @@ func TestIngestCSV(t *testing.T) {
 func TestOverloadReturns503(t *testing.T) {
 	s, ts := newTestServer(t, Config{MaxInFlight: 1})
 	// Hold the only permit so the next request is turned away.
-	if !s.gate.TryAcquire() {
+	if !s.gate.TryAcquire(traffic.Bulk) {
 		t.Fatal("could not take the only permit")
 	}
-	defer s.gate.Release()
+	defer s.gate.Release(traffic.Bulk)
 	resp, raw := postJSON(t, ts.URL+"/v1/solve", specJSON(0))
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503: %s", resp.StatusCode, raw)
@@ -535,8 +536,8 @@ func TestBadRequests(t *testing.T) {
 			if resp.StatusCode != http.StatusBadRequest {
 				t.Errorf("status %d, want 400: %s", resp.StatusCode, raw)
 			}
-			var eb errorBody
-			if err := json.Unmarshal(raw, &eb); err != nil || eb.Error == "" {
+			var eb ErrorEnvelope
+			if err := json.Unmarshal(raw, &eb); err != nil || eb.Error.Code == "" || eb.Error.Message == "" {
 				t.Errorf("error body not a JSON error envelope: %s", raw)
 			}
 		})
@@ -583,7 +584,11 @@ func TestConcurrentClientsRaceFree(t *testing.T) {
 		want[i] = directSolve(t, variants[i])
 	}
 
-	_, ts := newTestServer(t, Config{MaxInFlight: clients + 4, CacheEntries: cacheEntries})
+	// BulkShare 1 keeps every solve admitted at this concurrency (the
+	// gate still reserves one priority permit); starvation behaviour is
+	// covered by TestBulkFloodDoesNotStarveCampaigns.
+	_, ts := newTestServer(t, Config{MaxInFlight: clients + 4, CacheEntries: cacheEntries,
+		Traffic: TrafficConfig{BulkShare: 1}})
 	client := ts.Client()
 
 	var wg sync.WaitGroup

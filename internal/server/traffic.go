@@ -1,0 +1,221 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"hputune/internal/campaign"
+	"hputune/internal/htuning"
+	"hputune/internal/store"
+	"hputune/internal/traffic"
+)
+
+// TrafficConfig tunes the hardening layer in front of the handlers:
+// admission weighting, per-client rate limiting, CPU shedding and the
+// access log. The zero value serves like a plain admission gate — no
+// rate limiting, no shedding, 3/4 of the permits open to bulk work.
+type TrafficConfig struct {
+	// BulkShare is the fraction of MaxInFlight permits that bulk work
+	// (solve, solve-heterogeneous, simulate) may occupy; the rest stays
+	// reserved for priority work (ingest, campaign starts) so re-tuning
+	// never starves behind a solve flood. <= 0 means 0.75; whenever
+	// MaxInFlight >= 2 at least one permit is reserved.
+	BulkShare float64
+	// RatePerClient is the sustained request rate (requests/second)
+	// each client identity may hold across the API (health and metrics
+	// probes exempt). <= 0 disables rate limiting.
+	RatePerClient float64
+	// RateBurst is the token-bucket capacity per client.
+	// <= 0 means max(1, 2×RatePerClient).
+	RateBurst float64
+	// MaxClients bounds the tracked rate-limit buckets (LRU eviction).
+	// <= 0 means 4096.
+	MaxClients int
+	// ClientHeader names the request header carrying the client
+	// identity for rate limiting and the access log; empty means
+	// "X-Client-ID". Requests without the header fall back to the
+	// remote address's host part.
+	ClientHeader string
+	// ShedCPU sheds bulk admissions while the process's sampled CPU
+	// utilization (fraction of GOMAXPROCS capacity) is at or above this
+	// threshold. <= 0 disables shedding.
+	ShedCPU float64
+	// AccessLog, when non-nil, receives one line per request:
+	// method, path, status, bytes, duration, request id, client.
+	AccessLog *log.Logger
+}
+
+// defaultClientHeader identifies clients when TrafficConfig.ClientHeader
+// is unset.
+const defaultClientHeader = "X-Client-ID"
+
+// requestIDHeader carries the request identity; accepted from the
+// client or generated, echoed on every response, logged.
+const requestIDHeader = "X-Request-ID"
+
+// ridPrefix/ridSeq build generated request ids: one random process
+// prefix plus a counter, so ids are unique across restarts without
+// per-request entropy.
+var (
+	ridPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return fmt.Sprintf("%08x", os.Getpid())
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	ridSeq atomic.Uint64
+)
+
+// requestID returns the validated client-supplied X-Request-ID or
+// generates one. Client values are accepted only when short and
+// printable-ASCII (they are echoed into headers and logs).
+func requestID(r *http.Request) string {
+	id := r.Header.Get(requestIDHeader)
+	if id != "" && len(id) <= 128 && printableASCII(id) {
+		return id
+	}
+	return fmt.Sprintf("%s-%d", ridPrefix, ridSeq.Add(1))
+}
+
+func printableASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x21 || s[i] > 0x7e {
+			return false
+		}
+	}
+	return true
+}
+
+// clientKey is the rate-limit and log identity of a request: the
+// configured client header when present, else the remote host.
+func (s *Server) clientKey(r *http.Request) string {
+	if id := r.Header.Get(s.clientHeader); id != "" && len(id) <= 256 {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil || host == "" {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// rateLimitExempt excludes liveness and monitoring probes from rate
+// limiting: throttling the probes that diagnose an overload would be
+// self-defeating.
+func rateLimitExempt(path string) bool {
+	return path == "/v1/healthz" || path == "/v1/metrics"
+}
+
+// middleware wraps the mux with the traffic layer, outermost first:
+// request identity (echoed even on replies written before admission),
+// envelope interception for non-JSON errors, per-client rate limiting,
+// then — after the handler — the per-endpoint latency histogram and the
+// access log line.
+func (s *Server) middleware() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := requestID(r)
+		w.Header().Set(requestIDHeader, rid)
+		ew := &envelopeWriter{rw: w}
+		// The matched route pattern labels the histogram; unmatched
+		// requests (404s, 405s) pool under "other".
+		_, pattern := s.mux.Handler(r)
+		client := s.clientKey(r)
+		ok, retry := true, time.Duration(0)
+		if !rateLimitExempt(r.URL.Path) {
+			ok, retry = s.limiter.Allow(client)
+		}
+		if !ok {
+			writeEnvelope(ew, http.StatusTooManyRequests, CodeRateLimited, retry,
+				"client %q over the %g request/s limit; wait %dms", client, s.limiter.Rate(), int64((retry+time.Millisecond-1)/time.Millisecond))
+		} else {
+			s.mux.ServeHTTP(ew, r)
+		}
+		ew.finish()
+		s.observe(pattern, time.Since(start))
+		if s.accessLog != nil {
+			s.accessLog.Printf("%s %s %d %dB %.3fms rid=%s client=%s",
+				r.Method, r.URL.Path, ew.Status(), ew.bytes,
+				float64(time.Since(start))/float64(time.Millisecond), rid, client)
+		}
+	})
+}
+
+// observe records one request duration under its route pattern.
+func (s *Server) observe(pattern string, d time.Duration) {
+	h := s.hist[pattern]
+	if h == nil {
+		h = s.histOther
+	}
+	h.Observe(d)
+}
+
+// MetricsSnapshot is the GET /v1/metrics document: per-endpoint latency
+// histograms plus gauges and counters from every layer of the serving
+// process — admission gate, rate limiter, CPU load, estimator cache,
+// campaign manager, request counters and (when durable) the WAL.
+// It extends the CacheStats pattern: one point-in-time copy, plain
+// JSON, safe to scrape at any frequency.
+type MetricsSnapshot struct {
+	// Endpoints maps route patterns (plus "other" for unmatched
+	// requests) to their latency histograms; times in milliseconds.
+	Endpoints map[string]traffic.HistogramSnapshot `json:"endpoints"`
+	// Admission is the two-class gate state (permits, occupancy,
+	// rejections, sheds).
+	Admission traffic.GateSnapshot `json:"admission"`
+	// RateLimit is the per-client limiter state (zero when disabled).
+	RateLimit traffic.LimiterStats `json:"rateLimit"`
+	// Load is the sampled process CPU utilization in [0, 1] (fraction
+	// of GOMAXPROCS capacity).
+	Load float64 `json:"load"`
+	// Cache is the shared estimator's memo-cache counters.
+	Cache htuning.CacheStats `json:"cache"`
+	// Campaigns is the campaign manager's occupancy and lifetime
+	// counters.
+	Campaigns campaign.Stats `json:"campaigns"`
+	// Serve is the request-level counter block also served by /v1/stats.
+	Serve ServeStats `json:"serve"`
+	// Store is the WAL append/fsync/compaction state; nil for an
+	// in-memory server.
+	Store *store.Metrics `json:"store,omitempty"`
+}
+
+// Metrics snapshots the full observability surface (the /v1/metrics
+// document) for embedders.
+func (s *Server) Metrics() MetricsSnapshot {
+	endpoints := make(map[string]traffic.HistogramSnapshot, len(s.hist)+1)
+	for pattern, h := range s.hist {
+		endpoints[pattern] = h.Snapshot()
+	}
+	endpoints["other"] = s.histOther.Snapshot()
+	return MetricsSnapshot{
+		Endpoints: endpoints,
+		Admission: s.gate.Snapshot(),
+		RateLimit: s.limiter.Stats(),
+		Load:      s.loadSampler.Load(),
+		Cache:     s.est.CacheStats(),
+		Campaigns: s.campaigns.Stats(),
+		Serve:     s.serveStats(),
+		Store:     s.storeMetrics(),
+	}
+}
+
+func (s *Server) storeMetrics() *store.Metrics {
+	if s.st == nil {
+		return nil
+	}
+	m := s.st.Metrics()
+	return &m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

@@ -81,6 +81,14 @@ type Store struct {
 	failed  error
 	closed  bool
 	buf     []byte
+
+	// Write-path counters for Metrics (under mu). walBytes tracks bytes
+	// written to the WAL since its last truncation, i.e. roughly the
+	// current file size.
+	metAppends     uint64
+	metFsyncs      uint64
+	metCompactions uint64
+	walBytes       int64
 }
 
 // Open opens or creates a state directory and recovers its state: the
@@ -235,11 +243,14 @@ func (s *Store) append(typ string, data any) error {
 	if _, err := s.w.Write(s.buf); err != nil {
 		return s.fail(fmt.Errorf("store: append %s record: %w", typ, err))
 	}
+	s.walBytes += int64(len(s.buf))
 	if !s.opts.NoSync {
 		if err := s.f.Sync(); err != nil {
 			return s.fail(fmt.Errorf("store: fsync WAL: %w", err))
 		}
+		s.metFsyncs++
 	}
+	s.metAppends++
 	s.appends++
 	if s.appends >= s.opts.SnapshotEvery {
 		if err := s.compactLocked(); err != nil {
@@ -326,6 +337,7 @@ func (s *Store) compactLocked() error {
 			tf.Close()
 			return fmt.Errorf("store: snapshot fsync: %w", err)
 		}
+		s.metFsyncs++
 	}
 	if err := tf.Close(); err != nil {
 		return fmt.Errorf("store: snapshot: %w", err)
@@ -348,7 +360,39 @@ func (s *Store) compactLocked() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.appends = 0
+	s.walBytes = 0
+	s.metCompactions++
 	return nil
+}
+
+// Metrics is a point-in-time copy of the store's write-path counters,
+// shaped for the serving layer's /v1/metrics document. Appends, Fsyncs
+// and Compactions are lifetime counters for this open store; WALBytes
+// is the bytes written to the WAL since its last truncation (roughly
+// the live file size).
+type Metrics struct {
+	Appends     uint64 `json:"appends"`
+	Fsyncs      uint64 `json:"fsyncs"`
+	Compactions uint64 `json:"compactions"`
+	WALBytes    int64  `json:"walBytes"`
+	// LastSeq is the newest applied record sequence (gauge).
+	LastSeq uint64 `json:"lastSeq"`
+	// Failed reports the sticky read-only state after a write failure.
+	Failed bool `json:"failed"`
+}
+
+// Metrics snapshots the write-path counters.
+func (s *Store) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Metrics{
+		Appends:     s.metAppends,
+		Fsyncs:      s.metFsyncs,
+		Compactions: s.metCompactions,
+		WALBytes:    s.walBytes,
+		LastSeq:     s.state.LastSeq,
+		Failed:      s.failed != nil,
+	}
 }
 
 // syncDir fsyncs a directory so a just-renamed file's directory entry

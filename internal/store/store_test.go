@@ -358,3 +358,55 @@ func TestInspectOnMissingAndEmptyDirs(t *testing.T) {
 		t.Fatalf("empty dir state: %+v", rep.State)
 	}
 }
+
+// TestStoreMetrics pins the write-path counters: appends and WAL bytes
+// accrue per record, fsyncs only when syncing is on, and a compaction
+// resets the WAL byte gauge while counting itself.
+func TestStoreMetrics(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SnapshotEvery: 3})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer st.Close()
+	if m := st.Metrics(); m != (Metrics{}) {
+		t.Fatalf("fresh metrics = %+v, want zero", m)
+	}
+	for i := 0; i < 2; i++ {
+		if err := st.AppendFit(FitRecord{Slope: float64(i)}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	m := st.Metrics()
+	if m.Appends != 2 || m.Fsyncs != 2 || m.Compactions != 0 {
+		t.Fatalf("after 2 appends: %+v", m)
+	}
+	if m.WALBytes <= 0 || m.LastSeq != 2 || m.Failed {
+		t.Fatalf("after 2 appends: %+v", m)
+	}
+	// The third append crosses SnapshotEvery and compacts: WAL bytes
+	// reset, the snapshot fsync and the append fsync both count.
+	if err := st.AppendFit(FitRecord{Slope: 3}); err != nil {
+		t.Fatalf("append 3: %v", err)
+	}
+	m = st.Metrics()
+	if m.Appends != 3 || m.Compactions != 1 || m.WALBytes != 0 {
+		t.Fatalf("after compaction: %+v", m)
+	}
+	if m.Fsyncs < 4 { // 3 WAL appends + at least the snapshot file
+		t.Fatalf("after compaction: %+v", m)
+	}
+
+	// NoSync stores append without fsyncing.
+	st2, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer st2.Close()
+	if err := st2.AppendFit(FitRecord{}); err != nil {
+		t.Fatal(err)
+	}
+	if m := st2.Metrics(); m.Appends != 1 || m.Fsyncs != 0 {
+		t.Fatalf("NoSync metrics = %+v", m)
+	}
+}

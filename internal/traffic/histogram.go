@@ -1,0 +1,124 @@
+package traffic
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket i (i >= 1) covers
+// durations in [2^(i-1), 2^i) microseconds, bucket 0 covers [0, 1) µs,
+// and the last bucket absorbs everything from ~2^38 µs (~3.2 days) up.
+const histBuckets = 40
+
+// Histogram is a fixed log-spaced latency histogram. Observe is
+// allocation-free and lock-free (three atomic adds), so it can sit on
+// every request path. The zero value is ready to use.
+type Histogram struct {
+	counts   [histBuckets]atomic.Uint64
+	count    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+// bucketIndex maps a duration to its bucket: the position of the
+// highest set bit of the duration in microseconds.
+func bucketIndex(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(d / time.Microsecond))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one request duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// bucketUpperMS is bucket i's exclusive upper bound in milliseconds.
+func bucketUpperMS(i int) float64 {
+	return math.Ldexp(1, i) / 1000 // 2^i µs → ms
+}
+
+// HistogramBucket is one non-empty bucket in a snapshot: Count
+// observations at most LeMS milliseconds (exclusive upper bound of a
+// log-spaced bucket; the bucket below it, if any, bounds it from
+// below).
+type HistogramBucket struct {
+	LeMS  float64 `json:"leMs"`
+	Count uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram: totals,
+// estimated quantiles in milliseconds, and the non-empty buckets.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	SumMS float64 `json:"sumMs"`
+	P50MS float64 `json:"p50Ms"`
+	P90MS float64 `json:"p90Ms"`
+	P99MS float64 `json:"p99Ms"`
+	// Buckets lists only non-empty buckets, smallest bound first.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's counters and estimates p50/p90/p99 by
+// log-linear interpolation inside the covering bucket. Counters are
+// read individually, so a snapshot under load is approximate — fine for
+// monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	snap := HistogramSnapshot{
+		Count: total,
+		SumMS: float64(h.sumNanos.Load()) / 1e6,
+	}
+	if total == 0 {
+		return snap
+	}
+	snap.P50MS = quantile(&counts, total, 0.50)
+	snap.P90MS = quantile(&counts, total, 0.90)
+	snap.P99MS = quantile(&counts, total, 0.99)
+	for i, c := range counts {
+		if c > 0 {
+			snap.Buckets = append(snap.Buckets, HistogramBucket{LeMS: bucketUpperMS(i), Count: c})
+		}
+	}
+	return snap
+}
+
+// quantile estimates the q-quantile in milliseconds from bucket counts:
+// find the bucket holding the q·total-th observation and interpolate
+// linearly between its bounds by the observation's rank within it.
+func quantile(counts *[histBuckets]uint64, total uint64, q float64) float64 {
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = bucketUpperMS(i - 1)
+			}
+			upper := bucketUpperMS(i)
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += float64(c)
+	}
+	return bucketUpperMS(histBuckets - 1)
+}

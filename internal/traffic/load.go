@@ -1,0 +1,119 @@
+package traffic
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// clockTicksPerSecond is the kernel USER_HZ exported through
+// /proc/self/stat's utime/stime fields; fixed at 100 on every supported
+// Linux architecture.
+const clockTicksPerSecond = 100
+
+// defaultSampleInterval is how long a load reading is served from cache
+// before the sampler re-reads procfs.
+const defaultSampleInterval = 500 * time.Millisecond
+
+// LoadSampler reports this process's CPU utilization as a fraction of
+// GOMAXPROCS capacity, from /proc/self/stat deltas. Readings are cached
+// for a minimum interval so Load can sit on the admission path without
+// hitting procfs per request. On platforms or sandboxes without a
+// readable /proc it permanently reports 0 (never shed, never block).
+type LoadSampler struct {
+	minInterval time.Duration
+	readCPU     func() (seconds float64, ok bool)
+	now         func() time.Time
+	capacity    float64
+
+	mu      sync.Mutex
+	lastAt  time.Time
+	lastCPU float64
+	value   float64
+}
+
+// NewLoadSampler builds the production sampler: /proc/self/stat, real
+// clock, half-second cache.
+func NewLoadSampler() *LoadSampler {
+	return NewLoadSamplerWith(readProcSelfCPU, time.Now, defaultSampleInterval)
+}
+
+// NewLoadSamplerWith builds a sampler over an injectable CPU reader and
+// clock (for tests). readCPU returns cumulative process CPU seconds;
+// ok=false marks the source unreadable, pinning Load at 0.
+func NewLoadSamplerWith(readCPU func() (float64, bool), now func() time.Time, minInterval time.Duration) *LoadSampler {
+	if minInterval <= 0 {
+		minInterval = defaultSampleInterval
+	}
+	return &LoadSampler{
+		minInterval: minInterval,
+		readCPU:     readCPU,
+		now:         now,
+		capacity:    float64(runtime.GOMAXPROCS(0)),
+	}
+}
+
+// Load returns the most recent utilization reading in [0, 1]: CPU
+// seconds burned per wall second, divided by GOMAXPROCS. The first call
+// establishes the baseline and returns 0.
+func (s *LoadSampler) Load() float64 {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.lastAt.IsZero() && now.Sub(s.lastAt) < s.minInterval {
+		return s.value
+	}
+	cpu, ok := s.readCPU()
+	if !ok {
+		s.value = 0
+		s.lastAt = now
+		return 0
+	}
+	if s.lastAt.IsZero() {
+		s.lastAt, s.lastCPU = now, cpu
+		return 0
+	}
+	wall := now.Sub(s.lastAt).Seconds()
+	if wall > 0 {
+		v := (cpu - s.lastCPU) / (wall * s.capacity)
+		switch {
+		case v < 0:
+			v = 0
+		case v > 1:
+			v = 1
+		}
+		s.value = v
+	}
+	s.lastAt, s.lastCPU = now, cpu
+	return s.value
+}
+
+// readProcSelfCPU returns this process's cumulative user+system CPU
+// time in seconds from /proc/self/stat, or ok=false when the file is
+// unreadable or malformed.
+func readProcSelfCPU() (float64, bool) {
+	raw, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return 0, false
+	}
+	// Field 2 (comm) may contain spaces and parentheses; everything
+	// after the last ')' is whitespace-separated, with utime and stime
+	// at positions 14 and 15 of the overall line (12 and 13 after comm).
+	i := strings.LastIndexByte(string(raw), ')')
+	if i < 0 {
+		return 0, false
+	}
+	fields := strings.Fields(string(raw[i+1:]))
+	if len(fields) < 13 {
+		return 0, false
+	}
+	utime, err1 := strconv.ParseUint(fields[11], 10, 64)
+	stime, err2 := strconv.ParseUint(fields[12], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, false
+	}
+	return float64(utime+stime) / clockTicksPerSecond, true
+}

@@ -1,0 +1,206 @@
+package traffic
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LimiterConfig sizes a Limiter.
+type LimiterConfig struct {
+	// Rate is the sustained request rate each client may hold, in
+	// requests per second. <= 0 disables the limiter: NewLimiter
+	// returns nil, and a nil *Limiter admits everything.
+	Rate float64
+	// Burst is the bucket capacity — how many requests a quiet client
+	// may issue back to back before the sustained rate applies.
+	// <= 0 means max(1, 2×Rate).
+	Burst float64
+	// MaxClients bounds the tracked client set; the least recently seen
+	// bucket is evicted when a new client would exceed it (an evicted
+	// client restarts with a full bucket). <= 0 means 4096.
+	MaxClients int
+	// Now is the clock; nil means time.Now. Injectable for tests — the
+	// limiter itself never seeds anything from wall time.
+	Now func() time.Time
+}
+
+// bucket is one client's token bucket, threaded on an intrusive LRU
+// list (most recently seen at the front).
+type bucket struct {
+	key        string
+	tokens     float64
+	last       time.Time
+	prev, next *bucket
+}
+
+// Limiter applies per-client token-bucket rate limiting. A nil *Limiter
+// admits everything (the disabled state), so callers never branch.
+type Limiter struct {
+	rate       float64
+	burst      float64
+	maxClients int
+	now        func() time.Time
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+	// head/tail of the intrusive LRU list; head is most recent.
+	head, tail *bucket
+
+	allowed atomic.Uint64
+	limited atomic.Uint64
+	evicted atomic.Uint64
+}
+
+// NewLimiter builds a limiter from cfg, or returns nil (the disabled
+// limiter) when cfg.Rate <= 0.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	if cfg.Rate <= 0 {
+		return nil
+	}
+	burst := cfg.Burst
+	if burst <= 0 {
+		burst = 2 * cfg.Rate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	maxClients := cfg.MaxClients
+	if maxClients <= 0 {
+		maxClients = 4096
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Limiter{
+		rate:       cfg.Rate,
+		burst:      burst,
+		maxClients: maxClients,
+		now:        now,
+		clients:    make(map[string]*bucket, maxClients),
+	}
+}
+
+// Allow spends one token from key's bucket. It returns ok=true when the
+// request is admitted; otherwise retry is how long the client must wait
+// for the bucket to refill one token — the Retry-After value, computed
+// from bucket state rather than a constant.
+func (l *Limiter) Allow(key string) (ok bool, retry time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.clients[key]
+	if b == nil {
+		if len(l.clients) >= l.maxClients {
+			l.evictTailLocked()
+		}
+		b = &bucket{key: key, tokens: l.burst, last: now}
+		l.clients[key] = b
+		l.pushFrontLocked(b)
+	} else {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * l.rate
+			if b.tokens > l.burst {
+				b.tokens = l.burst
+			}
+		}
+		b.last = now
+		l.moveFrontLocked(b)
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		l.allowed.Add(1)
+		return true, 0
+	}
+	l.limited.Add(1)
+	need := (1 - b.tokens) / l.rate // seconds until one whole token
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// Rate is the configured per-client rate (0 when disabled).
+func (l *Limiter) Rate() float64 {
+	if l == nil {
+		return 0
+	}
+	return l.rate
+}
+
+// LimiterStats is a point-in-time copy of a Limiter's counters for the
+// /v1/metrics document. The zero value reports a disabled limiter.
+type LimiterStats struct {
+	// Rate and Burst echo the configuration (requests/second, tokens).
+	Rate  float64 `json:"rate"`
+	Burst float64 `json:"burst"`
+	// Clients is the tracked bucket count (gauge); Allowed / Limited /
+	// Evicted are lifetime counters.
+	Clients int    `json:"clients"`
+	Allowed uint64 `json:"allowed"`
+	Limited uint64 `json:"limited"`
+	Evicted uint64 `json:"evicted"`
+}
+
+// Stats snapshots the limiter's counters; a nil limiter reports zeros.
+func (l *Limiter) Stats() LimiterStats {
+	if l == nil {
+		return LimiterStats{}
+	}
+	l.mu.Lock()
+	clients := len(l.clients)
+	l.mu.Unlock()
+	return LimiterStats{
+		Rate:    l.rate,
+		Burst:   l.burst,
+		Clients: clients,
+		Allowed: l.allowed.Load(),
+		Limited: l.limited.Load(),
+		Evicted: l.evicted.Load(),
+	}
+}
+
+func (l *Limiter) pushFrontLocked(b *bucket) {
+	b.prev = nil
+	b.next = l.head
+	if l.head != nil {
+		l.head.prev = b
+	}
+	l.head = b
+	if l.tail == nil {
+		l.tail = b
+	}
+}
+
+func (l *Limiter) unlinkLocked(b *bucket) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		l.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		l.tail = b.prev
+	}
+	b.prev, b.next = nil, nil
+}
+
+func (l *Limiter) moveFrontLocked(b *bucket) {
+	if l.head == b {
+		return
+	}
+	l.unlinkLocked(b)
+	l.pushFrontLocked(b)
+}
+
+func (l *Limiter) evictTailLocked() {
+	t := l.tail
+	if t == nil {
+		return
+	}
+	l.unlinkLocked(t)
+	delete(l.clients, t.key)
+	l.evicted.Add(1)
+}

@@ -1,0 +1,210 @@
+// Package traffic is the heavy-traffic hardening layer under the
+// serving API: admission, rate limiting and observability primitives
+// that keep htuned degrading gracefully instead of falling over when
+// request volume exceeds capacity.
+//
+// It provides four building blocks, each independent and individually
+// testable:
+//
+//   - Gate: a weighted two-class admission gate. Bulk work (solve,
+//     simulate) is capped at a configurable share of the total permit
+//     pool, while priority work (ingest, campaign control) may use the
+//     whole pool — so re-tuning and campaign rounds never starve behind
+//     a flood of bulk traffic. An optional load hook sheds bulk work
+//     when process CPU utilization crosses a threshold.
+//   - Limiter: per-client token buckets keyed by an opaque client id,
+//     bounded in memory by LRU eviction, reporting how long a rejected
+//     client should wait (the Retry-After value) from bucket state.
+//   - Histogram: a fixed-bucket log-spaced latency histogram whose
+//     record path is allocation-free (a single atomic add per
+//     observation), snapshotted into counts and estimated quantiles.
+//   - LoadSampler: process self-CPU utilization from /proc/self/stat,
+//     cached between samples so the admission path never stats procfs
+//     more than a few times a second.
+//
+// Everything here is deterministic given its inputs: clocks and CPU
+// readers are injectable, and nothing seeds from wall time, matching
+// the repo-wide replay-determinism contract.
+package traffic
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Class labels one admission class at the Gate.
+type Class int
+
+const (
+	// Bulk is solve/simulate traffic: capped at GateConfig.BulkShare of
+	// the permit pool and shed first under CPU pressure.
+	Bulk Class = iota
+	// Priority is ingest and campaign-control traffic: may use the whole
+	// permit pool and is never CPU-shed.
+	Priority
+)
+
+// GateConfig sizes a Gate. The zero value is usable: GOMAXPROCS total
+// permits, 3/4 of them available to bulk work, no CPU shedding.
+type GateConfig struct {
+	// Limit is the total concurrent admissions across both classes.
+	// <= 0 means GOMAXPROCS.
+	Limit int
+	// BulkShare is the fraction of Limit the bulk class may occupy
+	// (0 < share <= 1). <= 0 means 0.75. Whenever Limit >= 2 at least
+	// one permit stays reserved for the priority class regardless of
+	// the share.
+	BulkShare float64
+	// ShedLoad sheds bulk admissions while Load() reports utilization
+	// at or above this fraction of capacity. <= 0 disables shedding.
+	ShedLoad float64
+	// Load reports current process CPU utilization in [0, 1] (see
+	// LoadSampler). nil disables shedding.
+	Load func() float64
+}
+
+// Gate is a weighted two-class admission gate. All methods are safe for
+// concurrent use; Try/Release are lock-free (CAS loops on two counters).
+type Gate struct {
+	limit     int64
+	bulkLimit int64
+	shedLoad  float64
+	load      func() float64
+
+	inflight     atomic.Int64
+	bulkInflight atomic.Int64
+
+	bulkRejected     atomic.Uint64
+	priorityRejected atomic.Uint64
+	shed             atomic.Uint64
+}
+
+// NewGate builds a gate from cfg (see GateConfig for zero-value
+// semantics).
+func NewGate(cfg GateConfig) *Gate {
+	limit := int64(cfg.Limit)
+	if limit <= 0 {
+		limit = int64(runtime.GOMAXPROCS(0))
+	}
+	share := cfg.BulkShare
+	if share <= 0 {
+		share = 0.75
+	}
+	if share > 1 {
+		share = 1
+	}
+	bulk := int64(share * float64(limit))
+	if bulk < 1 {
+		bulk = 1
+	}
+	// Reserve at least one permit for the priority class whenever the
+	// pool is big enough to afford it; with a single permit the classes
+	// necessarily share it.
+	if bulk >= limit && limit > 1 {
+		bulk = limit - 1
+	}
+	if bulk > limit {
+		bulk = limit
+	}
+	g := &Gate{limit: limit, bulkLimit: bulk, shedLoad: cfg.ShedLoad}
+	if cfg.ShedLoad > 0 {
+		g.load = cfg.Load
+	}
+	return g
+}
+
+// TryAcquire attempts to take one permit for class c without blocking.
+// On true the caller must Release(c) when done; on false the request
+// was rejected (counted per class) and nothing is held.
+func (g *Gate) TryAcquire(c Class) bool {
+	if c == Bulk {
+		if g.load != nil && g.load() >= g.shedLoad {
+			g.shed.Add(1)
+			g.bulkRejected.Add(1)
+			return false
+		}
+		for {
+			b := g.bulkInflight.Load()
+			if b >= g.bulkLimit {
+				g.bulkRejected.Add(1)
+				return false
+			}
+			if g.bulkInflight.CompareAndSwap(b, b+1) {
+				break
+			}
+		}
+	}
+	for {
+		n := g.inflight.Load()
+		if n >= g.limit {
+			if c == Bulk {
+				g.bulkInflight.Add(-1)
+				g.bulkRejected.Add(1)
+			} else {
+				g.priorityRejected.Add(1)
+			}
+			return false
+		}
+		if g.inflight.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release returns a permit taken by a successful TryAcquire(c).
+func (g *Gate) Release(c Class) {
+	if c == Bulk {
+		g.bulkInflight.Add(-1)
+	}
+	g.inflight.Add(-1)
+}
+
+// Limit is the total permit pool size.
+func (g *Gate) Limit() int { return int(g.limit) }
+
+// BulkLimit is the bulk class's permit cap (<= Limit).
+func (g *Gate) BulkLimit() int { return int(g.bulkLimit) }
+
+// InFlight is the currently admitted request count across both classes.
+func (g *Gate) InFlight() int { return int(g.inflight.Load()) }
+
+// Rejected is the total rejected admission count across both classes,
+// including CPU sheds.
+func (g *Gate) Rejected() uint64 {
+	return g.bulkRejected.Load() + g.priorityRejected.Load()
+}
+
+// GateSnapshot is a point-in-time copy of a Gate's configuration and
+// counters, shaped for the /v1/metrics document.
+type GateSnapshot struct {
+	// Limit and BulkLimit are the permit pool sizes (gauge, permits).
+	Limit     int `json:"limit"`
+	BulkLimit int `json:"bulkLimit"`
+	// InFlight and BulkInFlight are current occupancy (gauge, permits).
+	InFlight     int `json:"inFlight"`
+	BulkInFlight int `json:"bulkInFlight"`
+	// BulkRejected / PriorityRejected count rejections per class since
+	// start (counter). Shed counts the subset of bulk rejections caused
+	// by CPU load shedding rather than permit exhaustion.
+	BulkRejected     uint64 `json:"bulkRejected"`
+	PriorityRejected uint64 `json:"priorityRejected"`
+	Shed             uint64 `json:"shed"`
+	// ShedLoad is the configured shed threshold (0 = disabled).
+	ShedLoad float64 `json:"shedLoad,omitempty"`
+}
+
+// Snapshot returns the gate's current counters. Counters are read
+// individually (not under one lock), so a snapshot taken under load is
+// consistent only per field — fine for monitoring.
+func (g *Gate) Snapshot() GateSnapshot {
+	return GateSnapshot{
+		Limit:            int(g.limit),
+		BulkLimit:        int(g.bulkLimit),
+		InFlight:         int(g.inflight.Load()),
+		BulkInFlight:     int(g.bulkInflight.Load()),
+		BulkRejected:     g.bulkRejected.Load(),
+		PriorityRejected: g.priorityRejected.Load(),
+		Shed:             g.shed.Load(),
+		ShedLoad:         g.shedLoad,
+	}
+}

@@ -13,8 +13,22 @@ import (
 // Server.Handler, or run it standalone with cmd/htuned.
 
 // ServerConfig sizes one serving process: admission bound, engine pool
-// width, and estimator cache capacity. The zero value is usable.
+// width, estimator cache capacity and traffic hardening. The zero value
+// is usable.
 type ServerConfig = server.Config
+
+// TrafficConfig tunes the serving layer's traffic hardening: the bulk
+// share of the admission pool, per-client rate limiting, CPU shedding
+// and access logging. The zero value keeps the pre-hardening defaults
+// (no rate limiting, no shedding, 3/4 of permits open to bulk work).
+// It is ServerConfig's Traffic field and htuned's -rate-limit,
+// -rate-burst, -bulk-share, -shed-cpu and -access-log flags.
+type TrafficConfig = server.TrafficConfig
+
+// MetricsSnapshot is the GET /v1/metrics document: per-endpoint latency
+// histograms plus admission, rate-limit, load, cache, campaign, serve
+// and (durable servers only) WAL gauges.
+type MetricsSnapshot = server.MetricsSnapshot
 
 // Server is the HTTP serving layer. Safe for concurrent use.
 type Server = server.Server

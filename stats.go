@@ -8,8 +8,6 @@ import (
 // Statistical validation of the HPU model (exponential phases, Poisson
 // arrivals) against simulated or probed latency samples.
 type (
-	// SampleSummary holds descriptive statistics of a latency sample.
-	SampleSummary = stats.Summary
 	// KSResult is a Kolmogorov–Smirnov test outcome.
 	KSResult = stats.KSResult
 	// ChiSquareResult is a binned goodness-of-fit test outcome.
@@ -17,9 +15,6 @@ type (
 	// RateCI is an exact confidence interval for a clock rate.
 	RateCI = stats.RateCI
 )
-
-// SummarizeSample computes descriptive statistics of a sample.
-func SummarizeSample(xs []float64) (SampleSummary, error) { return stats.Summarize(xs) }
 
 // TestExponential runs the Lilliefors-style Kolmogorov–Smirnov test of
 // exponentiality with rate estimated from the sample; the p-value is
@@ -39,11 +34,4 @@ func TestExponentialBinned(xs []float64) (ChiSquareResult, error) {
 // the given duration (the paper's Random Period probe).
 func RateIntervalFromDurations(n int, total, confidence float64) (RateCI, error) {
 	return stats.RateIntervalFromDurations(n, total, confidence)
-}
-
-// RateIntervalFromCount returns the exact (Garwood) confidence interval
-// for a Poisson rate from n events over a fixed horizon (the paper's
-// Fixed Period probe).
-func RateIntervalFromCount(n int, horizon, confidence float64) (RateCI, error) {
-	return stats.RateIntervalFromCount(n, horizon, confidence)
 }

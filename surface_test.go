@@ -1,0 +1,94 @@
+package hputune_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hputune"
+)
+
+// TestRootSurfaceFlagships exercises the root re-exports that exist for
+// embedders rather than for the repo's own binaries, so the API audit
+// keeps them honest: the campaign fleet entry points, the bounded
+// estimator constructor, and the traffic configuration + metrics types
+// surfaced by this PR. Anything here that stops compiling is a breaking
+// API change, not dead weight to delete.
+func TestRootSurfaceFlagships(t *testing.T) {
+	est, err := hputune.NewEstimatorCapacity(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := est.CacheStats(); cs.Capacity != 512 {
+		t.Fatalf("CacheStats().Capacity = %d, want 512", cs.Capacity)
+	}
+
+	fleet, err := hputune.PaperCampaignFleet(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) == 0 {
+		t.Fatal("PaperCampaignFleet returned no campaigns")
+	}
+	// One small fleet end to end through the root entry point. Trim the
+	// paper fleet to a single short campaign: the full fleet is the
+	// integration suite's job.
+	cfg := fleet[0]
+	cfg.MaxRounds = 2
+	results, err := hputune.RunCampaignFleet(context.Background(), est, []hputune.Campaign{cfg}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].RoundsRun == 0 {
+		t.Fatalf("fleet results = %+v, want one campaign with rounds", results)
+	}
+}
+
+// TestRootTrafficSurface drives the TrafficConfig and MetricsSnapshot
+// re-exports the way an embedder would: configure hardening through
+// ServerConfig, mount Handler, read /v1/metrics back into the exported
+// snapshot type.
+func TestRootTrafficSurface(t *testing.T) {
+	srv, err := hputune.NewServer(hputune.ServerConfig{
+		MaxInFlight: 4,
+		Traffic:     hputune.TrafficConfig{RatePerClient: 100, BulkShare: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	solve := `{"budget":300,"groups":[{"name":"a","tasks":4,"reps":2,"procRate":2,"model":{"kind":"linear","k":2,"b":1}}]}`
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(solve))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m hputune.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Endpoints["POST /v1/solve"].Count < 1 {
+		t.Errorf("solve histogram missing: %+v", m.Endpoints)
+	}
+	if m.Admission.Limit != 4 || m.Admission.BulkLimit != 2 {
+		t.Errorf("admission = %+v, want limit 4 bulk 2", m.Admission)
+	}
+	if m.RateLimit.Rate != 100 {
+		t.Errorf("rate limit gauge = %+v, want rate 100", m.RateLimit)
+	}
+}
