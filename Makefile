@@ -8,7 +8,7 @@ GO ?= go
 # platform variance; raise it as coverage grows, never lower it.
 COVER_MIN ?= 81.2
 
-.PHONY: all build test race bench lint fmt cover cover-check fuzz-smoke linkcheck doccheck docs bench-campaign bench-suite bench-smoke bench-compare
+.PHONY: all build test race bench lint fmt cover cover-check fuzz-smoke linkcheck doccheck docs bench-campaign bench-suite bench-smoke bench-compare bench-scaling
 
 all: lint build test
 
@@ -92,6 +92,14 @@ bench-suite:
 # never hand-edit the JSON).
 bench-campaign:
 	$(GO) run ./cmd/htbench -suite campaign -benchtime 10x -out . -commit $(BENCH_COMMIT)
+
+# bench-scaling regenerates BENCH_scaling.json: three campaign-fleet
+# shapes at 1/4/16/64 workers, emitting speedup_vs_serial per cell — the
+# multi-core scaling measurement (docs/PERFORMANCE.md "Multi-core
+# scaling"). Heavier than the smoke suites (~a minute); run it on a
+# quiet machine and commit the JSON when the curves move.
+bench-scaling:
+	$(GO) run ./cmd/htbench -suite scaling -benchtime 3x -out . -commit $(BENCH_COMMIT)
 
 # bench-smoke measures the whole suite surface at a few iterations into
 # $(BENCH_FRESH_DIR) — cheap enough for CI (benchmarks warm up before

@@ -24,12 +24,19 @@ func runCompare(baselinePath, freshPath string, maxNs, maxAlloc, nsFloor float64
 		fmt.Printf("note: comparing across machine classes (%q vs %q); ns/op drift is expected, allocs/op is the reliable signal\n",
 			baseline.Environment.CPU, fresh.Environment.CPU)
 	}
-	regs := benchio.Compare(baseline, fresh, benchio.Tolerance{
+	// A core-count mismatch is a hard error, not a drift verdict:
+	// comparing a single-core baseline against a multi-core run (or vice
+	// versa) was exactly how the original cpus:1 baselines went stale
+	// without CI noticing.
+	regs, err := benchio.Compare(baseline, fresh, benchio.Tolerance{
 		MaxNsRatio:    maxNs,
 		MaxAllocRatio: maxAlloc,
 		NsFloor:       nsFloor,
 		AllocFloor:    allocFloor,
 	})
+	if err != nil {
+		return fmt.Errorf("%s vs %s: %w", baselinePath, freshPath, err)
+	}
 	if len(regs) == 0 {
 		fmt.Printf("%s: %d benchmarks within tolerance (ns/op <= %.2gx, allocs/op <= %.2gx)\n",
 			freshPath, len(baseline.Benchmarks), maxNs, maxAlloc)

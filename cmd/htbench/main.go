@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	htbench [-suite all|campaign|solvers|market|inference] [-benchtime 10x]
+//	htbench [-suite all|campaign|solvers|market|inference|scaling] [-benchtime 10x]
 //	        [-out .] [-commit abc1234] [-list]
 //	htbench -compare [-max-ns-ratio 2.0] [-max-alloc-ratio 1.5] BASELINE FRESH
 //	htbench -loadtest MULT
@@ -14,9 +14,12 @@
 // Each suite is a declared list of benchmarks over fixed seeds and
 // sizes, executed through testing.Benchmark with the given -benchtime,
 // so `make bench-suite` regenerates every committed baseline and
-// `make bench-smoke` runs the whole surface once. The measurement
-// methodology, the suite table and how to read the JSON live in
-// docs/PERFORMANCE.md.
+// `make bench-smoke` runs the whole surface once. `-suite scaling` is
+// the multi-core measurement — three campaign-fleet shapes at 1/4/16/64
+// workers, emitting speedup_vs_serial per cell (`make bench-scaling`);
+// it is not part of "all" because its largest cells are too heavy for
+// the smoke gate. The measurement methodology, the suite table and how
+// to read the JSON live in docs/PERFORMANCE.md.
 //
 // Comparison exits non-zero when the fresh run drifted beyond tolerance
 // on any baseline benchmark (ns/op ratio, allocs/op ratio) or dropped
@@ -77,7 +80,7 @@ func main() {
 		return
 	}
 	if *list {
-		for _, s := range suites {
+		for _, s := range append(append([]suiteDef(nil), suites...), scalingSuite) {
 			fmt.Printf("%s — %s\n", s.name, s.description)
 			for _, b := range s.benchmarks {
 				fmt.Printf("  %s\n", b.name)
@@ -108,12 +111,15 @@ func main() {
 	}
 }
 
-// selectSuites resolves the -suite argument.
+// selectSuites resolves the -suite argument. "all" is the committed
+// drift-baseline registry; the scaling suite is addressed by name only
+// (it is the speedup-curve measurement, not a smoke gate — see `make
+// bench-scaling`).
 func selectSuites(name string) ([]suiteDef, error) {
 	if name == "all" {
 		return suites, nil
 	}
-	for _, s := range suites {
+	for _, s := range append(append([]suiteDef(nil), suites...), scalingSuite) {
 		if s.name == name {
 			return []suiteDef{s}, nil
 		}
@@ -134,6 +140,9 @@ func runSuite(s suiteDef, benchtime, commit string) (suiteDoc, error) {
 			return doc, fmt.Errorf("suite %s: benchmark %s did not run (it likely failed; see output above)", s.name, b.name)
 		}
 		doc.add(b, r)
+	}
+	if s.finish != nil {
+		s.finish(&doc)
 	}
 	return doc, nil
 }

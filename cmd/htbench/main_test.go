@@ -18,8 +18,72 @@ func TestSelectSuites(t *testing.T) {
 	if err != nil || len(one) != 1 || one[0].name != "market" {
 		t.Fatalf("selectSuites(market) = %+v, err %v", one, err)
 	}
+	// The scaling suite resolves by name but never rides "all": its 10k
+	// cells would turn every smoke run into a minutes-long measurement.
+	sc, err := selectSuites("scaling")
+	if err != nil || len(sc) != 1 || sc[0].name != "scaling" {
+		t.Fatalf("selectSuites(scaling) = %+v, err %v", sc, err)
+	}
+	for _, s := range all {
+		if s.name == "scaling" {
+			t.Error("scaling suite must not be part of -suite all")
+		}
+	}
 	if _, err := selectSuites("nope"); err == nil {
 		t.Error("selectSuites accepted an unknown suite")
+	}
+}
+
+// TestScalingSuiteShape pins the scaling grid: every fleet shape is
+// measured at every worker count, each cell carries its workers
+// dimension, and names are unique.
+func TestScalingSuiteShape(t *testing.T) {
+	want := len(scalingFleets) * len(scalingWorkerGrid)
+	if len(scalingSuite.benchmarks) != want {
+		t.Fatalf("scaling suite has %d cells, want %d", len(scalingSuite.benchmarks), want)
+	}
+	seen := map[string]bool{}
+	byWorkers := map[int]int{}
+	for _, b := range scalingSuite.benchmarks {
+		if seen[b.name] {
+			t.Errorf("duplicate scaling cell %s", b.name)
+		}
+		seen[b.name] = true
+		if b.workers < 1 {
+			t.Errorf("cell %s has no workers dimension", b.name)
+		}
+		byWorkers[b.workers]++
+	}
+	for _, w := range scalingWorkerGrid {
+		if byWorkers[w] != len(scalingFleets) {
+			t.Errorf("worker count %d measured %d times, want %d", w, byWorkers[w], len(scalingFleets))
+		}
+	}
+	if scalingSuite.finish == nil {
+		t.Error("scaling suite has no finish hook; speedup_vs_serial would never be filled")
+	}
+}
+
+// TestScalingSpeedupDerivation drives the finish hook on a fabricated
+// measurement: each cell's speedup must be its fleet's W1 ns/op over its
+// own, and the serial cells must read exactly 1.
+func TestScalingSpeedupDerivation(t *testing.T) {
+	doc := suiteDoc{benchio.Suite{Suite: "scaling"}}
+	doc.Benchmarks = []benchio.Result{
+		{Name: "Fleet16W1", Workers: 1, NsPerOp: 8e6},
+		{Name: "Fleet16W4", Workers: 4, NsPerOp: 2e6},
+		{Name: "Fleet256W1", Workers: 1, NsPerOp: 1e7},
+		{Name: "Fleet256W4", Workers: 4, NsPerOp: 2e7}, // a slowdown: speedup < 1, still recorded
+	}
+	scalingSuite.finish(&doc)
+	wantSpeedup := map[string]float64{
+		"Fleet16W1": 1, "Fleet16W4": 4,
+		"Fleet256W1": 1, "Fleet256W4": 0.5,
+	}
+	for _, b := range doc.Benchmarks {
+		if got := b.SpeedupVsSerial; got != wantSpeedup[b.Name] {
+			t.Errorf("%s: speedup %.3g, want %.3g", b.Name, got, wantSpeedup[b.Name])
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 
 	"hputune/internal/benchio"
@@ -17,20 +18,25 @@ import (
 
 // benchDef is one declared benchmark: a name, the inner rounds one
 // iteration performs (0 when the benchmark has no such unit — it feeds
-// ms_per_round), a note for readers of the JSON, and the body.
+// ms_per_round), the worker-pool width it runs with (0 when it has no
+// worker dimension), a note for readers of the JSON, and the body.
 type benchDef struct {
-	name   string
-	rounds int
-	note   string
-	fn     func(b *testing.B)
+	name    string
+	rounds  int
+	workers int
+	note    string
+	fn      func(b *testing.B)
 }
 
-// suiteDef is one BENCH_<suite>.json worth of benchmarks.
+// suiteDef is one BENCH_<suite>.json worth of benchmarks. finish, when
+// set, post-processes the measured document once every benchmark has
+// run (the scaling suite derives speedup-vs-serial there).
 type suiteDef struct {
 	name        string
 	pkg         string
 	description string
 	benchmarks  []benchDef
+	finish      func(d *suiteDoc)
 }
 
 // suiteDoc accumulates measurements into the benchio schema.
@@ -50,6 +56,7 @@ func newSuiteDoc(s suiteDef, benchtime, commit, date string) suiteDoc {
 
 func (d *suiteDoc) add(b benchDef, r testing.BenchmarkResult) {
 	res := benchio.FromBenchmarkResult(b.name, r, b.rounds)
+	res.Workers = b.workers
 	res.Note = b.note
 	d.Benchmarks = append(d.Benchmarks, res)
 }
@@ -292,7 +299,7 @@ var inferenceSuite = suiteDef{
 				}
 			}
 		}},
-		{name: "EstimatorCacheHit", note: "one memoized E[max] lookup (sharded LRU hit: lock, map probe, list splice)", fn: func(b *testing.B) {
+		{name: "EstimatorCacheHit", note: "one memoized E[max] lookup (sharded second-chance hit: lock, map probe, touched-bit store — no list splice)", fn: func(b *testing.B) {
 			est := htuning.NewEstimator()
 			g := htuning.Group{Type: &htuning.TaskType{Name: "g", Accept: prior, ProcRate: 2}, Tasks: 50, Reps: 3}
 			if _, err := est.GroupPhase1Mean(g, 2); err != nil {
@@ -304,6 +311,22 @@ var inferenceSuite = suiteDef{
 					b.Fatal(err)
 				}
 			}
+		}},
+		{name: "EstimatorCacheHitParallel", workers: 4, note: "the EstimatorCacheHit critical section under 4 contending goroutines hammering one shard — the case the touched-bit hit path exists for (the old splice-on-hit serialized here)", fn: func(b *testing.B) {
+			est := htuning.NewEstimator()
+			g := htuning.Group{Type: &htuning.TaskType{Name: "g", Accept: prior, ProcRate: 2}, Tasks: 50, Reps: 3}
+			if _, err := est.GroupPhase1Mean(g, 2); err != nil {
+				b.Fatal(err)
+			}
+			b.SetParallelism(4)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := est.GroupPhase1Mean(g, 2); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}},
 		{name: "EstimatorCacheMiss", note: "one full E[max of 10 Erlang] integral per op: every lookup uses a never-seen price, so every op is a true miss regardless of cache layout", fn: func(b *testing.B) {
 			est := htuning.NewEstimator()
@@ -323,7 +346,7 @@ var campaignSuite = suiteDef{
 	pkg:         "hputune/internal/campaign",
 	description: "16 concurrent closed-loop campaigns x 8 rounds each (solve -> market-execute -> re-fit per round), shared estimator; one iteration = 128 rounds (workload.BenchCampaignFleet, same fleet as BenchmarkCampaignFleet)",
 	benchmarks: []benchDef{
-		{name: "CampaignFleet", rounds: 128, note: "GOMAXPROCS worker pool; steady state (one warmup fleet run before the timer)", fn: func(b *testing.B) {
+		{name: "CampaignFleet", rounds: 128, workers: 4, note: "4-worker pool (explicit - workers=0 means GOMAXPROCS, which on a 1-CPU recorder silently ran the serial path); steady state (one warmup fleet run before the timer)", fn: func(b *testing.B) {
 			cfgs := workload.BenchCampaignFleet()
 			est := htuning.NewEstimator()
 			ctx := context.Background()
@@ -331,12 +354,12 @@ var campaignSuite = suiteDef{
 			// steady serving state (integrals cached, pools populated)
 			// at any -benchtime, keeping smoke runs comparable to
 			// baselines.
-			if _, err := campaign.RunFleet(ctx, est, cfgs, 0); err != nil {
+			if _, err := campaign.RunFleet(ctx, est, cfgs, 4); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				results, err := campaign.RunFleet(ctx, est, cfgs, 0)
+				results, err := campaign.RunFleet(ctx, est, cfgs, 4)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -347,7 +370,7 @@ var campaignSuite = suiteDef{
 				}
 			}
 		}},
-		{name: "CampaignFleetSerial", rounds: 128, note: "one worker - the parallel speedup denominator; steady state", fn: func(b *testing.B) {
+		{name: "CampaignFleetSerial", rounds: 128, workers: 1, note: "one worker - the parallel speedup denominator; steady state", fn: func(b *testing.B) {
 			cfgs := workload.BenchCampaignFleet()
 			est := htuning.NewEstimator()
 			ctx := context.Background()
@@ -364,5 +387,101 @@ var campaignSuite = suiteDef{
 	},
 }
 
-// suites is the registry, in the order files are written.
+// The scaling suite: speedup-vs-workers curves over three fleet shapes.
+// Each benchmark runs one fixed fleet on an explicit worker count; the
+// finish hook divides each fleet's serial (W1) ns/op by the wider runs'
+// to fill speedup_vs_serial. Round counts shrink as fleets grow so the
+// whole grid stays runnable in about a minute (`make bench-scaling`);
+// total rounds per iteration stay comparable across shapes (128 / 512 /
+// 10k), what varies is whether parallelism amortizes across few long
+// campaigns or many short ones.
+var scalingFleets = []struct {
+	campaigns, rounds int
+}{
+	{16, 8},
+	{256, 2},
+	{10000, 1},
+}
+
+// scalingWorkerGrid is the independent variable of the speedup curves.
+var scalingWorkerGrid = []int{1, 4, 16, 64}
+
+// scalingBenchName is the grid cell's benchmark name ("Fleet256W16");
+// the part before 'W' keys the serial denominator lookup.
+func scalingBenchName(campaigns, workers int) string {
+	return fmt.Sprintf("Fleet%dW%d", campaigns, workers)
+}
+
+func buildScalingSuite() suiteDef {
+	s := suiteDef{
+		name:        "scaling",
+		pkg:         "hputune/internal/campaign",
+		description: "speedup-vs-workers curves: three fleet shapes (16 campaigns x 8 rounds, 256 x 2, 10000 x 1) each run at 1/4/16/64 workers on a shared estimator; speedup_vs_serial is each fleet's W1 ns_per_op over the measured ns_per_op",
+		finish: func(d *suiteDoc) {
+			serial := make(map[string]float64)
+			for _, r := range d.Benchmarks {
+				if r.Workers == 1 {
+					name, _, _ := strings.Cut(r.Name, "W")
+					serial[name] = r.NsPerOp
+				}
+			}
+			for i := range d.Benchmarks {
+				r := &d.Benchmarks[i]
+				name, _, _ := strings.Cut(r.Name, "W")
+				if s := serial[name]; s > 0 && r.NsPerOp > 0 {
+					r.SpeedupVsSerial = s / r.NsPerOp
+				}
+			}
+		},
+	}
+	for _, f := range scalingFleets {
+		campaigns, rounds := f.campaigns, f.rounds
+		for _, workers := range scalingWorkerGrid {
+			w := workers
+			s.benchmarks = append(s.benchmarks, benchDef{
+				name:    scalingBenchName(campaigns, w),
+				rounds:  campaigns * rounds,
+				workers: w,
+				note:    fmt.Sprintf("%d campaigns x %d rounds on %d workers; steady state", campaigns, rounds, w),
+				fn: func(b *testing.B) {
+					cfgs := workload.BenchCampaignFleetSize(campaigns, rounds)
+					est := htuning.NewEstimator()
+					ctx := context.Background()
+					// Warm the shared estimator with a small fleet of the
+					// same campaign shape: every campaign is a copy, so a
+					// 16-campaign run populates the same integral cache
+					// keys without paying a full-size warmup fleet.
+					warm := cfgs
+					if len(warm) > 16 {
+						warm = workload.BenchCampaignFleetSize(16, rounds)
+					}
+					if _, err := campaign.RunFleet(ctx, est, warm, w); err != nil {
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						results, err := campaign.RunFleet(ctx, est, cfgs, w)
+						if err != nil {
+							b.Fatal(err)
+						}
+						for _, r := range results {
+							if r.RoundsRun != rounds {
+								b.Fatalf("campaign %s ran %d rounds, want %d", r.Name, r.RoundsRun, rounds)
+							}
+						}
+					}
+				},
+			})
+		}
+	}
+	return s
+}
+
+var scalingSuite = buildScalingSuite()
+
+// suites is the registry of the committed per-PR drift baselines, in the
+// order files are written; `-suite all` and bench-smoke run exactly
+// these. The scaling suite is registered separately (selectSuites finds
+// it by name) because its 10k-campaign cells are too heavy for the CI
+// smoke gate — `make bench-scaling` runs it on demand.
 var suites = []suiteDef{campaignSuite, solverSuite, marketSuite, inferenceSuite}

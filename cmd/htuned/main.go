@@ -10,8 +10,8 @@
 //
 //	htuned [-addr :8080] [-max-inflight N] [-workers N] [-cache-entries N]
 //	       [-max-campaigns N] [-state-dir DIR] [-snapshot-every N]
-//	       [-rate-limit R] [-rate-burst N] [-bulk-share F] [-shed-cpu F]
-//	       [-access-log]
+//	       [-group-commit D] [-rate-limit R] [-rate-burst N]
+//	       [-bulk-share F] [-shed-cpu F] [-access-log]
 //
 // Endpoints: POST /v1/solve, /v1/solve-heterogeneous, /v1/simulate,
 // /v1/ingest, /v1/campaigns; GET /v1/campaigns[/{id}], /v1/stats,
@@ -40,6 +40,13 @@
 // snapshot before exit — without one they are canceled, keeping the
 // belief their completed rounds published. Inspect or verify a state
 // directory offline with htune -state DIR [-verify].
+//
+// Concurrent appends group-commit: records that arrive while a flush is
+// in flight coalesce into one frame write and one fsync, and
+// -group-commit D additionally holds each flush open for D (e.g. 2ms)
+// so staggered appends share it too — trading bounded ack latency for
+// fewer fsyncs under load. Every append still returns only after its
+// record is durable.
 package main
 
 import (
@@ -64,6 +71,7 @@ func main() {
 	maxCampaigns := flag.Int("max-campaigns", 0, "concurrently running closed-loop campaigns admitted before 503 (0 = default 64)")
 	stateDir := flag.String("state-dir", "", "durable state directory (WAL + snapshots); empty serves in-memory only")
 	snapshotEvery := flag.Int("snapshot-every", 0, "compact the WAL into a snapshot every N records (0 = default 1024)")
+	groupCommit := flag.Duration("group-commit", 0, "hold each WAL flush open this long so concurrent appends share its fsync (0 = opportunistic batching only)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s (0 = unlimited)")
 	rateBurst := flag.Float64("rate-burst", 0, "per-client burst above -rate-limit (0 = default 2×rate)")
 	bulkShare := flag.Float64("bulk-share", 0, "fraction of -max-inflight open to bulk solve/simulate work (0 = default 0.75)")
@@ -91,7 +99,8 @@ func main() {
 	if *stateDir != "" {
 		var err error
 		st, err = hputune.OpenStore(*stateDir, hputune.StoreOptions{
-			SnapshotEvery: *snapshotEvery,
+			SnapshotEvery:     *snapshotEvery,
+			GroupCommitWindow: *groupCommit,
 			OnError: func(err error) {
 				// Sticky: the store is read-only from here on; the process
 				// keeps serving from memory so live traffic survives a bad

@@ -79,12 +79,21 @@
 // by parity tests — optimization never changes a result.
 //
 // The standing benchmark harness, cmd/htbench, measures the declared
-// suites (campaign fleet, solvers, market, inference) and writes the
-// committed BENCH_<suite>.json trajectory files; `make bench-suite`
-// regenerates them, `make bench-compare` diffs a fresh run against the
-// baselines with a tolerance, and CI runs that guard on every push.
-// docs/PERFORMANCE.md documents the methodology, current numbers and
-// the optimization log.
+// suites (campaign fleet, solvers, market, inference, plus the
+// by-name scaling suite: three fleet shapes at 1/4/16/64 workers,
+// emitting speedup_vs_serial per cell) and writes the committed
+// BENCH_<suite>.json trajectory files; `make bench-suite` regenerates
+// the core four, `make bench-scaling` the speedup grid, and
+// `make bench-compare` diffs a fresh run against the baselines with a
+// tolerance — refusing outright when the measuring machine's core
+// count differs from the baseline's, because wall-time ratios across
+// core counts are meaningless. Benchmarks that dispatch concurrently
+// record their worker width in the JSON, and a dispatch-assertion
+// test pins that the parallel fleet really fans out (the pre-PR-7
+// benchmark silently ran serial on a 1-CPU recorder and was labeled
+// parallel). docs/PERFORMANCE.md documents the methodology, current
+// numbers, the multi-core scaling measurements and the optimization
+// log.
 //
 // # Scratch-buffer ownership
 //
@@ -173,6 +182,13 @@
 // uninterrupted process would have produced. A torn final WAL record
 // (the footprint of a crash mid-append) is repaired by truncation on
 // open; any other corruption fails recovery loudly rather than guess.
+// Concurrent appends group-commit: records arriving while a flush is
+// in flight coalesce into one frame write and one fsync
+// (StoreOptions.GroupCommitWindow widens the batches; htuned's
+// -group-commit flag exposes it), every append still returns only
+// after its record is durable, and batches land in sequence order so
+// crash recovery is always a gapless prefix containing every
+// acknowledged append.
 // What is deliberately not persisted: the estimator cache (pure
 // memoization — recomputed on demand) and per-request serve counters.
 // The htuned binary wires this up with -state-dir/-snapshot-every and

@@ -80,6 +80,15 @@ type Result struct {
 	// work (campaign rounds, replication rounds); 0 when the benchmark
 	// has no such unit.
 	MsPerRound float64 `json:"ms_per_round,omitempty"`
+	// Workers is the worker-pool width the benchmark ran with — the
+	// scaling suites' independent variable. 0 means the benchmark has no
+	// worker dimension (single-threaded or GOMAXPROCS-implicit).
+	Workers int `json:"workers,omitempty"`
+	// SpeedupVsSerial is this measurement's throughput relative to the
+	// same workload at Workers=1 within the same suite run (old ns_per_op
+	// / new ns_per_op); 0 when not computed. It is what the speedup-vs-
+	// workers curves plot.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
 	// Note carries benchmark-specific context for human readers.
 	Note string `json:"note,omitempty"`
 }
@@ -249,7 +258,19 @@ func (r Regression) String() string {
 // baseline benchmarks the fresh run no longer measures (silently
 // dropped coverage reads as a pass otherwise). Fresh benchmarks absent
 // from the baseline are ignored — adding coverage is not a regression.
-func Compare(baseline, fresh Suite, tol Tolerance) []Regression {
+//
+// Compare refuses (with an error, before looking at any numbers) to
+// diff suites whose environments disagree on cpus or GOMAXPROCS: a
+// multi-core run against a single-core baseline measures the machine
+// delta, not the code delta, and a drift verdict either way is garbage.
+// Re-record the baseline on the comparison machine class instead.
+func Compare(baseline, fresh Suite, tol Tolerance) ([]Regression, error) {
+	if be, fe := baseline.Environment, fresh.Environment; be.CPUs != fe.CPUs || be.GOMAXPROCS != fe.GOMAXPROCS {
+		return nil, fmt.Errorf(
+			"benchio: environment mismatch: baseline cpus=%d gomaxprocs=%d vs fresh cpus=%d gomaxprocs=%d; "+
+				"cross-core-count comparisons are meaningless — re-record the baseline on this machine class",
+			be.CPUs, be.GOMAXPROCS, fe.CPUs, fe.GOMAXPROCS)
+	}
 	byName := make(map[string]Result, len(fresh.Benchmarks))
 	for _, b := range fresh.Benchmarks {
 		byName[b.Name] = b
@@ -286,5 +307,5 @@ func Compare(baseline, fresh Suite, tol Tolerance) []Regression {
 			}
 		}
 	}
-	return regs
+	return regs, nil
 }

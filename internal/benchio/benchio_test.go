@@ -94,6 +94,18 @@ func writeFile(path, content string) error {
 	return osWriteFile(path, []byte(content))
 }
 
+// mustCompare fails the test on Compare's environment-mismatch error;
+// these tests build baseline and fresh from the same CaptureEnvironment,
+// so a non-nil error is itself a bug.
+func mustCompare(t *testing.T, baseline, fresh Suite, tol Tolerance) []Regression {
+	t.Helper()
+	regs, err := Compare(baseline, fresh, tol)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	return regs
+}
+
 func TestCompare(t *testing.T) {
 	base := sample()
 	tol := Tolerance{MaxNsRatio: 2.0, MaxAllocRatio: 1.5}
@@ -101,14 +113,14 @@ func TestCompare(t *testing.T) {
 	fresh := sample()
 	fresh.Benchmarks[0].NsPerOp *= 1.9   // inside tolerance
 	fresh.Benchmarks[1].AllocsPerOp = 59 // 1.475x, inside
-	if regs := Compare(base, fresh, tol); len(regs) != 0 {
+	if regs := mustCompare(t, base, fresh, tol); len(regs) != 0 {
 		t.Errorf("drift inside tolerance flagged: %v", regs)
 	}
 
 	fresh = sample()
 	fresh.Benchmarks[0].NsPerOp *= 2.5
 	fresh.Benchmarks[1].AllocsPerOp = 61 // 1.525x
-	regs := Compare(base, fresh, tol)
+	regs := mustCompare(t, base, fresh, tol)
 	if len(regs) != 2 {
 		t.Fatalf("want 2 regressions, got %v", regs)
 	}
@@ -123,7 +135,7 @@ func TestCompare(t *testing.T) {
 	fresh = sample()
 	fresh.Benchmarks[0].NsPerOp /= 10
 	fresh.Benchmarks[0].AllocsPerOp = 1
-	if regs := Compare(base, fresh, tol); len(regs) != 0 {
+	if regs := mustCompare(t, base, fresh, tol); len(regs) != 0 {
 		t.Errorf("improvement flagged: %v", regs)
 	}
 
@@ -132,9 +144,71 @@ func TestCompare(t *testing.T) {
 	fresh = sample()
 	fresh.Benchmarks = fresh.Benchmarks[:1]
 	fresh.Benchmarks = append(fresh.Benchmarks, Result{Name: "Extra", NsPerOp: 1})
-	regs = Compare(base, fresh, tol)
+	regs = mustCompare(t, base, fresh, tol)
 	if len(regs) != 1 || regs[0].Metric != "missing" || regs[0].Benchmark != "HASolve" {
 		t.Errorf("missing benchmark not flagged correctly: %v", regs)
+	}
+}
+
+// TestCompareRejectsEnvironmentMismatch pins the root-bug guard: a
+// baseline recorded at one core count must never be drift-compared
+// against a run at another — Compare errors out before reading any
+// number, for both a cpus and a GOMAXPROCS disagreement.
+func TestCompareRejectsEnvironmentMismatch(t *testing.T) {
+	tol := Tolerance{MaxNsRatio: 2.0, MaxAllocRatio: 1.5}
+
+	base := sample()
+	fresh := sample()
+	fresh.Environment.CPUs = base.Environment.CPUs + 3
+	regs, err := Compare(base, fresh, tol)
+	if err == nil || !strings.Contains(err.Error(), "environment mismatch") {
+		t.Fatalf("cpus mismatch not rejected: regs=%v err=%v", regs, err)
+	}
+	if regs != nil {
+		t.Errorf("rejected comparison still produced regressions: %v", regs)
+	}
+
+	fresh = sample()
+	fresh.Environment.GOMAXPROCS = base.Environment.GOMAXPROCS + 1
+	if _, err := Compare(base, fresh, tol); err == nil {
+		t.Error("GOMAXPROCS mismatch not rejected")
+	}
+
+	// Even a run with gross regressions must fail on the environment,
+	// not the numbers: the numbers are meaningless across machines.
+	fresh = sample()
+	fresh.Environment.CPUs = base.Environment.CPUs + 1
+	fresh.Benchmarks[0].NsPerOp *= 100
+	if _, err := Compare(base, fresh, tol); err == nil || !strings.Contains(err.Error(), "cpus=") {
+		t.Errorf("env mismatch error should name the core counts, got: %v", err)
+	}
+}
+
+// TestResultWorkersRoundTrip pins the scaling dimension's schema: the
+// workers count and speedup survive a write/read cycle, and both are
+// omitted from the JSON when zero (pre-scaling baselines stay
+// byte-stable).
+func TestResultWorkersRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_scaling.json")
+	want := sample()
+	want.Benchmarks[0].Workers = 4
+	want.Benchmarks[0].SpeedupVsSerial = 1.7
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("workers round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	raw, err := osReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(string(raw), `"workers"`) != 1 {
+		t.Errorf("workers should be omitted when zero; file:\n%s", raw)
 	}
 }
 
@@ -148,13 +222,13 @@ func TestCompareZeroAllocBaseline(t *testing.T) {
 
 	fresh := sample()
 	fresh.Benchmarks[0].AllocsPerOp = 16 // at the floor: jitter, not a regression
-	if regs := Compare(base, fresh, tol); len(regs) != 0 {
+	if regs := mustCompare(t, base, fresh, tol); len(regs) != 0 {
 		t.Errorf("within-floor drift over a zero baseline flagged: %v", regs)
 	}
 
 	fresh = sample()
 	fresh.Benchmarks[0].AllocsPerOp = 50 // a real allocation came back
-	regs := Compare(base, fresh, tol)
+	regs := mustCompare(t, base, fresh, tol)
 	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
 		t.Fatalf("zero-alloc baseline regression not flagged: %v", regs)
 	}
@@ -167,7 +241,7 @@ func TestCompareZeroAllocBaseline(t *testing.T) {
 	base.Benchmarks[0].AllocsPerOp = 2
 	fresh = sample()
 	fresh.Benchmarks[0].AllocsPerOp = 4 // 2x, but under the absolute floor
-	if regs := Compare(base, fresh, tol); len(regs) != 0 {
+	if regs := mustCompare(t, base, fresh, tol); len(regs) != 0 {
 		t.Errorf("sub-floor jitter on a tiny baseline flagged: %v", regs)
 	}
 }

@@ -11,6 +11,11 @@ func osWriteFile(path string, data []byte) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
+// osReadFile mirrors osWriteFile for raw-JSON assertions.
+func osReadFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
 // benchResult fabricates a testing.BenchmarkResult with exact counters.
 func benchResult(n int, total time.Duration, allocs, bytes uint64) testing.BenchmarkResult {
 	return testing.BenchmarkResult{

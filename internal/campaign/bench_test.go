@@ -17,7 +17,11 @@ import (
 
 // BenchmarkCampaignFleet is the repository's campaign-engine baseline
 // (recorded in BENCH_campaign.json): 16 concurrent campaigns × 8 rounds
-// per iteration on a GOMAXPROCS pool with a shared estimator.
+// per iteration on a 4-worker pool with a shared estimator. The width
+// is explicit — workers=0 means GOMAXPROCS, which on a 1-CPU recorder
+// silently took the serial inline path and made "parallel" and serial
+// numbers identical. TestFleetDispatchesAcrossGoroutines guards the
+// fan-out this benchmark now relies on.
 func BenchmarkCampaignFleet(b *testing.B) {
 	cfgs := workload.BenchCampaignFleet()
 	est := htuning.NewEstimator()
@@ -25,7 +29,7 @@ func BenchmarkCampaignFleet(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results, err := campaign.RunFleet(ctx, est, cfgs, 0)
+		results, err := campaign.RunFleet(ctx, est, cfgs, 4)
 		if err != nil {
 			b.Fatal(err)
 		}

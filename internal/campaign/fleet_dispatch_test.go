@@ -1,0 +1,123 @@
+package campaign_test
+
+// Regression guard for the single-CPU benchmark lie: RunFleet used to be
+// "parallel" only if GOMAXPROCS said so (workers=0), which on a 1-CPU
+// machine silently took conc.Each's inline serial path — the parallel
+// and serial fleet benchmarks then measured the same code. These tests
+// pin that an explicit worker count really fans campaigns out across
+// goroutines, independent of the machine's core count.
+
+import (
+	"context"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hputune/internal/campaign"
+	"hputune/internal/htuning"
+	"hputune/internal/workload"
+)
+
+// goroutineID parses the current goroutine's id from its stack header
+// ("goroutine N [running]:") — test-only; there is no API for it.
+func goroutineID() uint64 {
+	buf := make([]byte, 64)
+	n := runtime.Stack(buf, false)
+	fields := strings.Fields(string(buf[:n]))
+	if len(fields) < 2 {
+		return 0
+	}
+	id, _ := strconv.ParseUint(fields[1], 10, 64)
+	return id
+}
+
+// dispatchRecorder is an Executor that records which goroutines execute
+// rounds. Until release is closed, every Execute blocks, so a multi-
+// worker fleet cannot be drained by one fast goroutine before the
+// others get a chance to claim work — the test controls release.
+type dispatchRecorder struct {
+	mu       sync.Mutex
+	ids      map[uint64]bool
+	release  chan struct{}
+	released bool
+	want     int // distinct goroutines that close release
+}
+
+func newDispatchRecorder(want int) *dispatchRecorder {
+	r := &dispatchRecorder{ids: make(map[uint64]bool), release: make(chan struct{}), want: want}
+	if want <= 1 {
+		close(r.release)
+		r.released = true
+	}
+	return r
+}
+
+func (r *dispatchRecorder) Execute(ctx context.Context, round int, p htuning.Problem, a htuning.Allocation, seed uint64) (campaign.Observation, error) {
+	r.mu.Lock()
+	if !r.ids[goroutineID()] {
+		r.ids[goroutineID()] = true
+		if len(r.ids) >= r.want && !r.released {
+			r.released = true
+			close(r.release)
+		}
+	}
+	r.mu.Unlock()
+	select {
+	case <-r.release:
+	case <-time.After(10 * time.Second):
+		// Give up rather than deadlock; the goroutine-count assertion
+		// below then fails with the real story.
+	}
+	return campaign.Observation{}, nil
+}
+
+func (r *dispatchRecorder) goroutines() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ids)
+}
+
+// dispatchFleet builds a small fleet whose rounds run on the recorder
+// instead of the market simulator (zero-record observations keep every
+// round cheap; the fleet still exercises the real solver and pool).
+func dispatchFleet(campaigns int, rec *dispatchRecorder) []campaign.Config {
+	cfgs := workload.BenchCampaignFleetSize(campaigns, 2)
+	for i := range cfgs {
+		cfgs[i].Executor = rec
+	}
+	return cfgs
+}
+
+// TestFleetDispatchesAcrossGoroutines is the assertion-style guard the
+// fixed benchmark relies on: a 4-worker fleet must dispatch rounds on
+// more than one goroutine even when GOMAXPROCS is 1.
+func TestFleetDispatchesAcrossGoroutines(t *testing.T) {
+	rec := newDispatchRecorder(2)
+	cfgs := dispatchFleet(8, rec)
+	results, err := campaign.RunFleet(context.Background(), htuning.NewEstimator(), cfgs, 4)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if len(results) != len(cfgs) {
+		t.Fatalf("fleet returned %d results, want %d", len(results), len(cfgs))
+	}
+	if n := rec.goroutines(); n < 2 {
+		t.Fatalf("4-worker fleet dispatched rounds on %d goroutine(s); the pool is not fanning out", n)
+	}
+}
+
+// TestFleetSerialDispatchesOnOneGoroutine pins the denominator: one
+// worker means the inline serial path, exactly one executing goroutine.
+func TestFleetSerialDispatchesOnOneGoroutine(t *testing.T) {
+	rec := newDispatchRecorder(1)
+	cfgs := dispatchFleet(4, rec)
+	if _, err := campaign.RunFleet(context.Background(), htuning.NewEstimator(), cfgs, 1); err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if n := rec.goroutines(); n != 1 {
+		t.Fatalf("1-worker fleet dispatched rounds on %d goroutines, want 1", n)
+	}
+}

@@ -7,18 +7,23 @@ import (
 	"hputune/internal/randx"
 )
 
-// The estimator memo is a bounded, sharded LRU. Long-running processes
-// (the htuned service, batch pipelines) share one Estimator across every
-// request, so the PR-1 grow-forever map would leak one entry per distinct
-// (kind, rate, shape) query for the life of the process; a re-tuned rate
-// model changes the rate bits of every key, so an online ingest loop
-// mints fresh keys on every fit update. Bounding each shard with an
-// intrusive LRU list keeps the worst case at Capacity entries while the
-// hit path stays O(1): one shard mutex, one map lookup, one list splice.
-// Strict LRU makes hits exclusive where the old unbounded map allowed
-// shared RLocks — the deliberate price of exact recency and counters;
-// 32 shards keep cross-key contention low, and a hit's critical section
-// is tens of nanoseconds against integrals that cost milliseconds.
+// The estimator memo is a bounded, sharded cache with second-chance
+// (CLOCK-style) eviction. Long-running processes (the htuned service,
+// batch pipelines) share one Estimator across every request, so the
+// PR-1 grow-forever map would leak one entry per distinct (kind, rate,
+// shape) query for the life of the process; a re-tuned rate model
+// changes the rate bits of every key, so an online ingest loop mints
+// fresh keys on every fit update. Bounding each shard with an intrusive
+// list keeps the worst case at Capacity entries while the hit path
+// stays O(1): one shard mutex, one map lookup, one boolean store. The
+// original design spliced every hit to the list head for exact LRU;
+// under a parallel fleet that made the hot path a pointer-shuffle on
+// shared cache lines inside the lock. Hits now only set the entry's
+// touched bit — eviction gives touched tails a second chance (rotate to
+// front, clear the bit) before dropping a cold one, approximating LRU
+// with a read-mostly hit path. 32 shards keep cross-key contention low,
+// and a hit's critical section is tens of nanoseconds against integrals
+// that cost milliseconds.
 
 // estimatorShards is the number of cache shards. 32 keeps lock
 // contention negligible at any realistic GOMAXPROCS while costing only a
@@ -31,18 +36,19 @@ const estimatorShards = 32
 // keys), so bounded-by-default never evicts mid-solve.
 const defaultShardCapacity = 2048
 
-// estEntry is one memoized value on a shard's intrusive LRU list.
+// estEntry is one memoized value on a shard's intrusive recency list.
 type estEntry struct {
 	key        estimateKey
 	val        float64
+	touched    bool      // hit since last eviction scan passed it
 	prev, next *estEntry // more-recent / less-recent neighbours
 }
 
-// estimatorShard is one lock-striped LRU slice of the memo table.
+// estimatorShard is one lock-striped slice of the memo table.
 type estimatorShard struct {
 	mu         sync.Mutex
 	m          map[estimateKey]*estEntry
-	head, tail *estEntry // head = most recently used, tail = eviction victim
+	head, tail *estEntry // head = most recently inserted, tail = next eviction candidate
 	capacity   int       // fixed at first use; entries never exceed it
 	hits       uint64
 	misses     uint64
@@ -63,9 +69,10 @@ type CacheStats struct {
 // NewEstimatorCapacity returns an estimator whose memo holds at most
 // capacity entries in total, split evenly over the shards (at least one
 // entry per shard, so the effective minimum is 32; the bound rounds down
-// so the total never exceeds capacity when capacity >= 32). Least
-// recently used entries are evicted first; evicted values are recomputed
-// on demand, so eviction affects speed, never results.
+// so the total never exceeds capacity when capacity >= 32). Eviction is
+// second-chance: entries hit since the last eviction scan are spared
+// once, so cold entries go first; evicted values are recomputed on
+// demand, so eviction affects speed, never results.
 func NewEstimatorCapacity(capacity int) (*Estimator, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("htuning: estimator capacity %d, need >= 1", capacity)
@@ -123,7 +130,10 @@ func (e *Estimator) shard(k estimateKey) *estimatorShard {
 	return &e.shards[k.hash()%estimatorShards]
 }
 
-// cached looks k up, refreshing its recency on a hit.
+// cached looks k up. A hit only marks the entry touched — no list
+// splice — so the critical section under a parallel fleet is a map read
+// and two stores, not a five-pointer shuffle of shared cache lines.
+// Eviction honors the bit in evictLocked.
 func (e *Estimator) cached(k estimateKey) (float64, bool) {
 	s := e.shard(k)
 	s.mu.Lock()
@@ -134,35 +144,52 @@ func (e *Estimator) cached(k estimateKey) (float64, bool) {
 		return 0, false
 	}
 	s.hits++
-	s.moveToFront(ent)
+	ent.touched = true
 	return ent.val, true
 }
 
-// store inserts or refreshes k, evicting the least recently used entry
-// when the shard is full. Duplicate concurrent computations of the same
-// key store the identical pure-function value, so last-write-wins is
-// benign.
+// store inserts or refreshes k, evicting a cold entry when the shard is
+// full. Duplicate concurrent computations of the same key store the
+// identical pure-function value, so last-write-wins is benign. Store is
+// the miss path — it already paid for an integral — so the list work
+// lives here, keeping cached() read-mostly.
 func (e *Estimator) store(k estimateKey, v float64) {
 	s := e.shard(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if ent, ok := s.m[k]; ok {
 		ent.val = v
-		s.moveToFront(ent)
+		ent.touched = true
 		return
 	}
 	if s.m == nil {
 		s.m = make(map[estimateKey]*estEntry)
 	}
 	if len(s.m) >= s.shardCapacity() {
-		victim := s.tail
-		s.unlink(victim)
-		delete(s.m, victim.key)
-		s.evictions++
+		s.evictLocked()
 	}
 	ent := &estEntry{key: k, val: v}
 	s.pushFront(ent)
 	s.m[k] = ent
+}
+
+// evictLocked drops one entry using the second-chance sweep: a touched
+// tail is rotated to the front with its bit cleared rather than
+// evicted, so entries hit since the last sweep survive one pass.
+// Each rotation clears a bit, so the loop terminates after at most
+// len(m) rotations even when every entry is touched (the first rotated
+// entry comes back around with its bit clear).
+func (s *estimatorShard) evictLocked() {
+	victim := s.tail
+	for victim.touched {
+		victim.touched = false
+		s.unlink(victim)
+		s.pushFront(victim)
+		victim = s.tail
+	}
+	s.unlink(victim)
+	delete(s.m, victim.key)
+	s.evictions++
 }
 
 // pushFront links ent as the most recently used entry.
@@ -191,12 +218,4 @@ func (s *estimatorShard) unlink(ent *estEntry) {
 		s.tail = ent.prev
 	}
 	ent.prev, ent.next = nil, nil
-}
-
-func (s *estimatorShard) moveToFront(ent *estEntry) {
-	if s.head == ent {
-		return
-	}
-	s.unlink(ent)
-	s.pushFront(ent)
 }

@@ -174,3 +174,61 @@ func TestCacheConcurrentBound(t *testing.T) {
 		t.Errorf("entries %d exceed capacity %d under concurrency", st.Entries, st.Capacity)
 	}
 }
+
+// TestCacheSecondChanceSparesTouched pins the eviction policy at the
+// shard level: when the shard is full, an entry hit since the last
+// sweep is rotated (bit cleared) and a cold entry is evicted instead;
+// a follow-up eviction with no intervening hits then takes the
+// previously-spared entry.
+func TestCacheSecondChanceSparesTouched(t *testing.T) {
+	s := &estimatorShard{capacity: 2, m: map[estimateKey]*estEntry{}}
+	put := func(n int) *estEntry {
+		ent := &estEntry{key: estimateKey{n: n}, val: float64(n)}
+		s.pushFront(ent)
+		s.m[ent.key] = ent
+		return ent
+	}
+	old := put(1) // tail after the next insert
+	hot := put(2)
+	old.touched = true // a hit landed on the tail
+	s.evictLocked()
+	if _, ok := s.m[old.key]; !ok {
+		t.Fatal("touched tail was evicted instead of spared")
+	}
+	if _, ok := s.m[hot.key]; ok {
+		t.Fatal("cold entry survived while the touched tail was spared")
+	}
+	if old.touched {
+		t.Fatal("second chance did not clear the touched bit")
+	}
+	// Next sweep, no new hits: the spared entry is now the cold one.
+	put(3)
+	s.evictLocked()
+	if _, ok := s.m[old.key]; ok {
+		t.Fatal("spared entry survived a second sweep without a hit")
+	}
+	if s.evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", s.evictions)
+	}
+}
+
+// TestCacheSecondChanceAllTouchedTerminates: when every entry is
+// touched the sweep must clear bits around the whole ring and still
+// evict exactly one entry rather than spin.
+func TestCacheSecondChanceAllTouchedTerminates(t *testing.T) {
+	s := &estimatorShard{capacity: 4, m: map[estimateKey]*estEntry{}}
+	for n := 1; n <= 4; n++ {
+		ent := &estEntry{key: estimateKey{n: n}, val: float64(n), touched: true}
+		s.pushFront(ent)
+		s.m[ent.key] = ent
+	}
+	s.evictLocked()
+	if len(s.m) != 3 {
+		t.Fatalf("%d entries after eviction, want 3", len(s.m))
+	}
+	for _, ent := range s.m {
+		if ent.touched {
+			t.Fatalf("entry %v kept its touched bit through a full sweep", ent.key)
+		}
+	}
+}

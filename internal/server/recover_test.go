@@ -257,6 +257,79 @@ func TestCrashRecoveryResumesByteIdentical(t *testing.T) {
 	}
 }
 
+// delayingWriter dawdles before delegating each write, so the three
+// campaigns' concurrent journal appends pile into shared group-commit
+// batches instead of each flushing alone.
+type delayingWriter struct {
+	w     io.Writer
+	delay time.Duration
+}
+
+func (dw *delayingWriter) Write(p []byte) (int, error) {
+	time.Sleep(dw.delay)
+	return dw.w.Write(p)
+}
+
+// TestCrashRecoveryGroupCommitBatched reruns the crash-recovery
+// property with group commit doing real batching: a slow WAL forces the
+// fleet's concurrent round appends into multi-record batches, and the
+// byte budget then tears one of those batches mid-frame — the crash
+// between a batched write and its commit. Recovery must still resume
+// every surviving campaign byte-identical to the uninterrupted run; a
+// batch recovering with a gap would fail the reopen itself.
+func TestCrashRecoveryGroupCommitBatched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs crash trials over full fleets")
+	}
+	ref := referenceFleet(t)
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 2; trial++ {
+		budget := 800 + rng.Intn(6000)
+		t.Run(fmt.Sprintf("crash-at-%d", budget), func(t *testing.T) {
+			dir := t.TempDir()
+			st1, srv1, ts1 := recoverTestServer(t, dir, store.Options{
+				WrapWAL: func(w io.Writer) io.Writer {
+					return &truncatingWriter{w: &delayingWriter{w: w, delay: 2 * time.Millisecond}, budget: budget}
+				},
+			})
+			startFleetAndWait(t, srv1, ts1, crashFleetDoc)
+			if st1.Err() == nil {
+				t.Skipf("WAL budget %d never tripped", budget)
+			}
+			ts1.Close()
+
+			st2, err := store.Open(dir, store.Options{NoSync: true})
+			if err != nil {
+				t.Fatalf("reopen after batched crash: %v", err)
+			}
+			defer st2.Close()
+			state, err := st2.State()
+			if err != nil {
+				t.Fatalf("State: %v", err)
+			}
+			srv2, err := Recover(Config{}, st2)
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			ts2 := httptest.NewServer(srv2.Handler())
+			defer ts2.Close()
+			waitAllSettled(t, srv2)
+			for i := range ref {
+				id := fmt.Sprintf("c%d", i+1)
+				if _, known := state.Campaigns[id]; !known {
+					if len(state.Campaigns) != 0 {
+						t.Fatalf("fleet record half-survived: %d of %d campaigns", len(state.Campaigns), len(ref))
+					}
+					continue
+				}
+				if got, want := resultJSON(t, getResult(t, ts2, id)), resultJSON(t, ref[i]); got != want {
+					t.Fatalf("campaign %s after batched crash+recovery diverged\n got  %s\n want %s", id, got, want)
+				}
+			}
+		})
+	}
+}
+
 // TestGracefulRestartResumes pins the SIGTERM path: shutting a
 // store-backed server down mid-fleet suspends (not cancels) running
 // campaigns, drain-then-snapshot compacts the WAL, and the next process

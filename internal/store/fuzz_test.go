@@ -25,6 +25,10 @@ func FuzzWALDecode(f *testing.F) {
 	f.Add(healthy)
 	// ...its torn, duplicated and damaged variants...
 	f.Add(healthy[:len(healthy)-3])
+	// A tear mid-way through the stream — the shape a crash leaves when
+	// it lands inside a group-commit batch: intact leading frames, one
+	// torn frame, nothing after.
+	f.Add(healthy[:len(healthy)/2])
 	f.Add(append(append([]byte{}, healthy...), healthy...))
 	flipped := append([]byte{}, healthy...)
 	flipped[frameHeaderSize+4] ^= 0xff
@@ -44,6 +48,29 @@ func FuzzWALDecode(f *testing.F) {
 			var corrupt *CorruptError
 			if !errors.As(err, &tail) && !errors.As(err, &corrupt) {
 				t.Fatalf("unclassified decode error %T: %v", err, err)
+			}
+			// Truncation-repair idempotence: a torn tail is repaired by
+			// truncating to the reported offset (what Open does after a
+			// crash mid-append or mid-batch). Decoding that repaired
+			// prefix must yield exactly the already-decoded records and
+			// no error — otherwise repair would change history or need a
+			// second repair.
+			if errors.As(err, &tail) {
+				if tail.Offset < 0 || tail.Offset > int64(len(data)) {
+					t.Fatalf("tail offset %d outside data of %d bytes", tail.Offset, len(data))
+				}
+				repaired, rerr := DecodeAll(bytes.NewReader(data[:tail.Offset]))
+				if rerr != nil {
+					t.Fatalf("repaired prefix failed to decode: %v", rerr)
+				}
+				if len(repaired) != len(recs) {
+					t.Fatalf("repair changed history: %d records, then %d", len(recs), len(repaired))
+				}
+				for i := range recs {
+					if repaired[i].Seq != recs[i].Seq || repaired[i].Type != recs[i].Type {
+						t.Fatalf("repair drifted at %d: %+v vs %+v", i, repaired[i], recs[i])
+					}
+				}
 			}
 		}
 		// Whatever decoded intact must re-encode and re-decode

@@ -1,0 +1,313 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"hputune/internal/inference"
+)
+
+// blockingWriter parks every Write on gate until release is closed —
+// the deterministic way to hold a group-commit flush open while the
+// test piles follower appends into the next batch.
+type blockingWriter struct {
+	w       io.Writer
+	release chan struct{}
+}
+
+func (bw *blockingWriter) Write(p []byte) (int, error) {
+	<-bw.release
+	return bw.w.Write(p)
+}
+
+// TestGroupCommitBatchesFsyncs is the tentpole's core property: appends
+// that arrive while a flush is in flight coalesce into one batch and
+// share a single write+fsync, so Metrics.Fsyncs grows far slower than
+// Metrics.Appends under concurrency — while every record still lands
+// durably.
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	st, err := Open(dir, Options{
+		WrapWAL: func(w io.Writer) io.Writer { return &blockingWriter{w: w, release: release} },
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	const followers = 15
+	var wg sync.WaitGroup
+	errs := make([]error, followers+1)
+	wg.Add(1)
+	go func() { // the leader: its flush parks on the gate
+		defer wg.Done()
+		errs[0] = st.AppendIngest(map[int]inference.PriceAggregate{1: {N: 1, Total: 1}}, 1)
+	}()
+	// Give the leader time to reach the parked Write, then pile on
+	// followers; they must queue into the next batch, not fsync alone.
+	time.Sleep(50 * time.Millisecond)
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = st.AppendIngest(map[int]inference.PriceAggregate{1 + i: {N: 1, Total: 1}}, 1)
+		}(i)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+
+	m := st.Metrics()
+	if m.Appends != followers+1 {
+		t.Fatalf("Appends = %d, want %d", m.Appends, followers+1)
+	}
+	if m.Fsyncs >= m.Appends/2 {
+		t.Fatalf("group commit did not batch: %d fsyncs for %d appends", m.Fsyncs, m.Appends)
+	}
+	if m.Fsyncs < 1 {
+		t.Fatalf("durable appends with zero fsyncs: %+v", m)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every acknowledged append must be recovered.
+	st2 := reopen(t, dir)
+	state := stateOf(t, st2)
+	if state.Records != followers+1 {
+		t.Fatalf("recovered %d records, want %d", state.Records, followers+1)
+	}
+	for p := 1; p <= followers+1; p++ {
+		if state.Aggs[p].N != 1 {
+			t.Errorf("price %d lost in recovery: %+v", p, state.Aggs[p])
+		}
+	}
+}
+
+// TestGroupCommitDisabledMatchesReference pins the parity discipline:
+// with GroupCommitWindow < 0 every append pays its own fsync, and a
+// sequential append history produces a byte-identical WAL on both
+// write paths (group commit only changes when fsyncs happen, never
+// what bytes reach the log).
+func TestGroupCommitDisabledMatchesReference(t *testing.T) {
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	opts := [2]Options{
+		{GroupCommitWindow: -1}, // reference: one fsync per append
+		{},                      // group commit (sequential appends = batches of one)
+	}
+	var mets [2]Metrics
+	for i := range dirs {
+		st, err := Open(dirs[i], opts[i])
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		seedActivity(t, st)
+		mets[i] = st.Metrics()
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mets[0].Fsyncs != mets[0].Appends {
+		t.Errorf("reference path must fsync per append: %+v", mets[0])
+	}
+	if mets[1].Fsyncs != mets[1].Appends {
+		t.Errorf("sequential group commit degenerates to one fsync per append: %+v", mets[1])
+	}
+	walA, err := os.ReadFile(filepath.Join(dirs[0], walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	walB, err := os.ReadFile(filepath.Join(dirs[1], walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walA) == 0 || !bytes.Equal(walA, walB) {
+		t.Errorf("write paths diverged: reference WAL %d bytes, group-commit WAL %d bytes", len(walA), len(walB))
+	}
+	sA, sB := stateOf(t, reopen(t, dirs[0])), stateOf(t, reopen(t, dirs[1]))
+	sameState(t, sB, sA, "group-commit recovery vs reference recovery")
+}
+
+// TestGroupCommitWindowLingers: with a positive window the leader holds
+// its flush open, so appends staggered within the window share its
+// fsync instead of each paying their own.
+func TestGroupCommitWindowLingers(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{GroupCommitWindow: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer st.Close()
+	const n = 4
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * 10 * time.Millisecond)
+			errs[i] = st.AppendIngest(map[int]inference.PriceAggregate{1 + i: {N: 1, Total: 1}}, 1)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	m := st.Metrics()
+	if m.Appends != n || m.Fsyncs >= n {
+		t.Fatalf("linger did not batch the staggered appends: %+v", m)
+	}
+}
+
+// slowTearingWriter tears the write stream after a byte budget like
+// truncatingWriter, but also dawdles per write so concurrent appends
+// really do pile into shared batches before the crash lands.
+type slowTearingWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	budget int
+	delay  time.Duration
+}
+
+func (sw *slowTearingWriter) Write(p []byte) (int, error) {
+	time.Sleep(sw.delay)
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.budget <= 0 {
+		return 0, errInjected
+	}
+	if len(p) > sw.budget {
+		n, _ := sw.w.Write(p[:sw.budget])
+		sw.budget = 0
+		return n, errInjected
+	}
+	sw.budget -= len(p)
+	return sw.w.Write(p)
+}
+
+// TestGroupCommitCrashMidBatchRecoversPrefix is the randomized
+// crash-point property for batched appends: tear the WAL at random byte
+// budgets while concurrent appenders group-commit, then prove on
+// recovery that (a) the directory reopens cleanly (the torn frame is
+// the repairable tail), (b) every acknowledged append survived, and
+// (c) nothing beyond the attempted history appeared. Batch frames are
+// written in sequence order, so recovery is a gapless prefix — a replay
+// gap would fail the reopen loudly.
+func TestGroupCommitCrashMidBatchRecoversPrefix(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 12; trial++ {
+		trial := trial
+		budget := 40 + r.Intn(1200)
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := Open(dir, Options{
+				NoSync: true,
+				WrapWAL: func(w io.Writer) io.Writer {
+					return &slowTearingWriter{w: w, budget: budget, delay: time.Millisecond}
+				},
+			})
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			const appenders, perG = 4, 8
+			acked := make([][]bool, appenders)
+			var wg sync.WaitGroup
+			for g := 0; g < appenders; g++ {
+				acked[g] = make([]bool, perG)
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						price := 1 + g*perG + i
+						err := st.AppendIngest(map[int]inference.PriceAggregate{price: {N: 1, Total: 1}}, 1)
+						if err == nil {
+							acked[g][i] = true
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if st.Err() == nil {
+				t.Skipf("trial %d: budget %d never tripped (all %d appends fit)", trial, budget, appenders*perG)
+			}
+			st.Close()
+
+			st2, err := Open(dir, Options{NoSync: true})
+			if err != nil {
+				t.Fatalf("reopen after mid-batch crash: %v", err)
+			}
+			defer st2.Close()
+			state := stateOf(t, st2)
+			ackedN := uint64(0)
+			for g := range acked {
+				for i, ok := range acked[g] {
+					if !ok {
+						continue
+					}
+					ackedN++
+					price := 1 + g*perG + i
+					if state.Aggs[price].N != 1 {
+						t.Errorf("acknowledged append (price %d) lost in recovery", price)
+					}
+				}
+			}
+			if state.Records < ackedN {
+				t.Errorf("recovered %d records < %d acknowledged", state.Records, ackedN)
+			}
+			if state.Records > appenders*perG {
+				t.Errorf("recovered %d records > %d ever attempted", state.Records, appenders*perG)
+			}
+		})
+	}
+}
+
+// TestGroupCommitAutoCompactsUnderConcurrency: the SnapshotEvery
+// cadence must keep firing when appends land in batches, and the
+// compacted directory must recover every record.
+func TestGroupCommitAutoCompactsUnderConcurrency(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SnapshotEvery: 8})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const appenders, perG = 4, 10
+	var wg sync.WaitGroup
+	for g := 0; g < appenders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				price := 1 + g*perG + i
+				if err := st.AppendIngest(map[int]inference.PriceAggregate{price: {N: 1, Total: 1}}, 1); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	m := st.Metrics()
+	if m.Compactions < 1 {
+		t.Fatalf("no compaction after %d batched appends with SnapshotEvery=8: %+v", m.Appends, m)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	state := stateOf(t, reopen(t, dir))
+	if state.Records != appenders*perG {
+		t.Fatalf("recovered %d records, want %d", state.Records, appenders*perG)
+	}
+}

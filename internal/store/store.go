@@ -9,6 +9,13 @@
 //
 // Durability contract: an append returns only after the framed record
 // has been written and fsync'd (Options.NoSync relaxes this for tests).
+// Concurrent appends group-commit: they batch into one frame-write and
+// one shared fsync (Options.GroupCommitWindow tunes or disables the
+// batching), which preserves the contract — every batch member waits on
+// that fsync — while a busy fleet stops paying one fsync per record.
+// Batch frames are written in sequence order, so a crash mid-batch
+// recovers a gapless prefix: acknowledged appends are never lost and a
+// batch never recovers with holes.
 // Every SnapshotEvery appends — and on the serving layer's
 // drain-then-snapshot shutdown — Compact writes the full materialized
 // State to snapshot.json.tmp, fsyncs it, atomically renames it over
@@ -29,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"hputune/internal/campaign"
 	"hputune/internal/inference"
@@ -64,6 +72,27 @@ type Options struct {
 	// WrapWAL, when set, wraps the WAL's writer — the fault-injection
 	// seam the crash-recovery tests use to tear appends mid-frame.
 	WrapWAL func(io.Writer) io.Writer
+	// GroupCommitWindow controls how concurrent appends share WAL
+	// write+fsync work:
+	//
+	//	 0 (default): opportunistic group commit. Appends that arrive
+	//	   while a flush is in flight coalesce into the next batch and
+	//	   share its single write+fsync. A lone append still flushes
+	//	   immediately — an idle store adds no latency.
+	//	>0: the flush leader additionally lingers this long before
+	//	   writing, letting near-simultaneous appends join its batch at
+	//	   the price of that much append latency.
+	//	<0: group commit disabled; every append writes and fsyncs its
+	//	   own frame (the pre-batching reference write path, kept
+	//	   in-tree for parity checks).
+	//
+	// Every mode preserves the durability contract: an Append returns
+	// only after its own record's frame is written and fsync'd
+	// (NoSync relaxes the fsync as always). Batch members are framed
+	// in sequence order, so recovery after a crash mid-batch yields a
+	// gapless prefix — acknowledged appends are never lost, and a
+	// batch never recovers with holes.
+	GroupCommitWindow time.Duration
 }
 
 // Store is an open state directory: one WAL being appended plus the
@@ -81,6 +110,15 @@ type Store struct {
 	failed  error
 	closed  bool
 	buf     []byte
+
+	// Group-commit state (under mu). pending is the batch accepting new
+	// appends; flushing marks a leader mid write+fsync (it releases mu
+	// for the disk I/O, so followers queue into the next batch
+	// meanwhile); flushDone wakes Close and Compact once the leader is
+	// finished.
+	pending   *commitBatch
+	flushing  bool
+	flushDone sync.Cond
 
 	// Write-path counters for Metrics (under mu). walBytes tracks bytes
 	// written to the WAL since its last truncation, i.e. roughly the
@@ -136,6 +174,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.WrapWAL != nil {
 		s.w = opts.WrapWAL(f)
 	}
+	s.flushDone.L = &s.mu
 	return s, nil
 }
 
@@ -210,35 +249,139 @@ func (s *Store) fail(err error) error {
 	return s.failed
 }
 
-// append frames, writes, fsyncs and applies one record.
+// commitBatch is one group-commit unit: the concatenated frames of
+// every append that joined it, flushed with a single write+fsync. done
+// closes once the flush settled either way; err is the shared outcome.
+type commitBatch struct {
+	buf  []byte
+	n    int
+	done chan struct{}
+	err  error
+}
+
+// append frames and applies one record, then commits it: batched with
+// concurrent appends into one write+fsync (the group-commit path), or
+// alone when GroupCommitWindow < 0. Either way it returns only after
+// the record's frame is durable (NoSync relaxes the fsync).
 func (s *Store) append(typ string, data any) error {
 	raw, err := json.Marshal(data)
 	if err != nil {
 		return fmt.Errorf("store: encode %s record: %w", typ, err)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
 	if s.failed != nil {
-		return s.failed
+		err := s.failed
+		s.mu.Unlock()
+		return err
 	}
 	rec := Record{Seq: s.state.LastSeq + 1, Type: typ, Data: raw}
 	payload, err := json.Marshal(rec)
 	if err != nil {
+		s.mu.Unlock()
 		return fmt.Errorf("store: encode %s envelope: %w", typ, err)
 	}
 	// Apply before writing: a record the mirror rejects (a caller bug —
 	// say an archive of an unknown id) must never reach the disk, where
 	// it would poison every future replay. The inverse divergence — a
-	// write failure after a successful apply — leaves the mirror one
-	// record ahead of the disk, which is harmless: the store is sticky
-	// read-only from that point, so the mirror is never snapshotted, and
-	// the caller was told the record is not durable.
+	// write failure after a successful apply — leaves the mirror ahead
+	// of the disk, which is harmless: the store is sticky read-only from
+	// that point, so the mirror is never snapshotted (compaction only
+	// runs once every applied record is flushed), and the caller was
+	// told the record is not durable.
 	if err := s.state.Apply(rec); err != nil {
+		s.mu.Unlock()
 		return err
 	}
+	if s.opts.GroupCommitWindow < 0 {
+		defer s.mu.Unlock()
+		return s.writeOneLocked(typ, payload)
+	}
+
+	// Group commit. Enqueue this record's frame on the open batch; the
+	// first append to find no flush in flight leads it (and any batches
+	// queued behind it), the rest wait for their batch's shared fsync.
+	if s.pending == nil {
+		s.pending = &commitBatch{done: make(chan struct{})}
+	}
+	b := s.pending
+	b.buf = appendFrame(b.buf, payload)
+	b.n++
+	if s.flushing {
+		s.mu.Unlock()
+		<-b.done
+		return b.err
+	}
+	s.flushing = true
+	if w := s.opts.GroupCommitWindow; w > 0 && !s.opts.NoSync {
+		// Linger: give near-simultaneous appends time to join the batch.
+		// Pointless without an fsync to amortize, so NoSync skips it.
+		s.mu.Unlock()
+		time.Sleep(w)
+		s.mu.Lock()
+	}
+	for s.pending != nil && s.failed == nil {
+		cur := s.pending
+		s.pending = nil
+		// The leader flushes without mu — the batched frames are framed
+		// and sequenced already, and flushing excludes a second writer —
+		// so appends arriving during the disk I/O queue into the next
+		// batch instead of blocking on the disk.
+		s.mu.Unlock()
+		_, werr := s.w.Write(cur.buf)
+		var serr error
+		if werr == nil && !s.opts.NoSync {
+			serr = s.f.Sync()
+		}
+		s.mu.Lock()
+		switch {
+		case werr != nil:
+			cur.err = s.fail(fmt.Errorf("store: append record: %w", werr))
+		case serr != nil:
+			cur.err = s.fail(fmt.Errorf("store: fsync WAL: %w", serr))
+		default:
+			s.walBytes += int64(len(cur.buf))
+			if !s.opts.NoSync {
+				s.metFsyncs++
+			}
+			s.metAppends += uint64(cur.n)
+			s.appends += cur.n
+		}
+		close(cur.done)
+	}
+	// A batch that queued behind a failed flush never reaches the disk;
+	// its waiters get the sticky error (leaving them waiting would
+	// deadlock them against a permanently read-only store).
+	if s.failed != nil && s.pending != nil {
+		cur := s.pending
+		s.pending = nil
+		cur.err = s.failed
+		close(cur.done)
+	}
+	s.flushing = false
+	s.flushDone.Broadcast()
+	var cerr error
+	if s.failed == nil && s.appends >= s.opts.SnapshotEvery {
+		// Every applied record is flushed here (the drain loop emptied
+		// pending under a continuously held mu), so the snapshot never
+		// absorbs a record whose append could still fail.
+		if err := s.compactLocked(); err != nil {
+			cerr = s.fail(err)
+		}
+	}
+	s.mu.Unlock()
+	if b.err != nil {
+		return b.err
+	}
+	return cerr
+}
+
+// writeOneLocked is the unbatched reference write path (mu held): frame,
+// write and fsync exactly one record.
+func (s *Store) writeOneLocked(typ string, payload []byte) error {
 	s.buf = appendFrame(s.buf[:0], payload)
 	if _, err := s.w.Write(s.buf); err != nil {
 		return s.fail(fmt.Errorf("store: append %s record: %w", typ, err))
@@ -305,6 +448,12 @@ func (s *Store) AppendArchive(id string) error {
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Wait out an in-flight group-commit flush (the leader holds the WAL
+	// file, not mu, during its disk I/O): truncating the WAL under a
+	// half-written batch would corrupt it.
+	for s.flushing {
+		s.flushDone.Wait()
+	}
 	if s.closed {
 		return ErrClosed
 	}
@@ -415,6 +564,12 @@ func syncDir(dir string) error {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// A group-commit leader may be mid write+fsync without holding mu;
+	// closing the file under it would turn a clean flush into a spurious
+	// write failure.
+	for s.flushing {
+		s.flushDone.Wait()
+	}
 	if s.closed {
 		return nil
 	}

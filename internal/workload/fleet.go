@@ -123,9 +123,18 @@ func PaperCampaignFleet(seed uint64) ([]campaign.Config, error) {
 // BenchmarkCampaignFleet and the htbench campaign suite both drive it,
 // so their numbers stay comparable across the trajectory.
 func BenchCampaignFleet() []campaign.Config {
+	return BenchCampaignFleetSize(16, 8)
+}
+
+// BenchCampaignFleetSize is the parameterized form behind the htbench
+// scaling suites: campaigns copies of the benchmark campaign, each
+// running exactly rounds closed-loop rounds (the budget scales with the
+// round count so it never terminates a campaign early). Per-campaign
+// seeds derive from the index, so a fleet of any size is deterministic.
+func BenchCampaignFleetSize(campaigns, rounds int) []campaign.Config {
 	truth := pricing.Linear{K: 2, B: 0.5}
 	class := &market.TaskClass{Name: "t", Accept: truth, ProcRate: 2, Accuracy: 1}
-	cfgs := make([]campaign.Config, 16)
+	cfgs := make([]campaign.Config, campaigns)
 	for i := range cfgs {
 		cfgs[i] = campaign.Config{
 			Name: fmt.Sprintf("bench-%02d", i),
@@ -135,8 +144,8 @@ func BenchCampaignFleet() []campaign.Config {
 			},
 			Prior:       pricing.Linear{K: 1, B: 1},
 			RoundBudget: 1000,
-			Budget:      16000,
-			MaxRounds:   8,
+			Budget:      2000 * rounds,
+			MaxRounds:   rounds,
 			Epsilon:     0,
 			Seed:        uint64(i + 1),
 		}
