@@ -119,7 +119,11 @@ bench-smoke:
 # sub-10µs baselines skip the wall-time check entirely, it is timer
 # noise at smoke iteration counts; allocation drift has a 16-alloc
 # absolute slack so zero-alloc baselines stay guarded without flagging
-# single-alloc jitter).
+# single-alloc jitter). A cpus/GOMAXPROCS mismatch between baseline and
+# fresh environments skips that suite with a loud ::warning instead of
+# computing cross-core-count drift (garbage) or hard-failing (CI
+# permanently red until a re-record): re-record with bench-suite on the
+# comparison machine class to re-arm the gate.
 bench-compare:
 	@status=0; for s in $(BENCH_SUITES); do \
 		$(GO) run ./cmd/htbench -compare -max-ns-ratio 2.0 -max-alloc-ratio 1.5 \

@@ -25,7 +25,11 @@
 // on any baseline benchmark (ns/op ratio, allocs/op ratio) or dropped
 // one entirely; improvements never fail. ns/op drift needs a generous
 // bound when the two files come from different machine classes —
-// allocs/op is the stable cross-machine signal.
+// allocs/op is the stable cross-machine signal. When the two files
+// disagree on cpus/GOMAXPROCS no drift is computed at all: the compare
+// exits zero with a ::warning notice that the baseline needs
+// re-recording on the current machine class (cross-core-count numbers
+// measure the machine delta, not the code delta).
 //
 // -loadtest MULT is the graceful-degradation check: it floods an
 // in-process serving layer with MULT× more bulk clients than its

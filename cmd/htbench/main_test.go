@@ -170,6 +170,43 @@ func TestRunSuitesAndCompare(t *testing.T) {
 	}
 }
 
+// TestCompareEnvMismatchSkips pins the CI semantics of a core-count
+// mismatch: benchio.Compare hard-refuses (its own test pins that), but
+// runCompare — the `htbench -compare` / `make bench-compare` path —
+// downgrades the refusal to a skip-with-notice (nil error). Anything
+// else leaves the bench CI job deterministically red whenever the
+// runner's core count differs from the baseline recorder's, which is a
+// permanent state until someone re-records on the runner's machine
+// class.
+func TestCompareEnvMismatchSkips(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string, cpus int) string {
+		s := benchio.Suite{
+			Suite:       "solvers",
+			Package:     "p",
+			Description: "d",
+			Recorded:    "2026-08-07",
+			Commit:      "abc1234",
+			Environment: benchio.Environment{GOOS: "linux", GOARCH: "amd64", CPUs: cpus, GOMAXPROCS: cpus},
+			Benchmarks:  []benchio.Result{{Name: "RASolve", Iterations: 1, NsPerOp: 1e6, AllocsPerOp: 10}},
+		}
+		path := filepath.Join(dir, name)
+		if err := benchio.Write(path, s); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := mk("BENCH_base.json", 1)
+	fresh := mk("BENCH_fresh.json", 4)
+	if err := runCompare(base, fresh, 2.0, 1.5, 10000, 16); err != nil {
+		t.Errorf("env mismatch must skip-with-notice, not fail: %v", err)
+	}
+	// Matching environments still compare (and here, pass).
+	if err := runCompare(base, base, 2.0, 1.5, 10000, 16); err != nil {
+		t.Errorf("self-compare failed: %v", err)
+	}
+}
+
 // TestLoadTestSmall runs the degradation harness at a small multiplier
 // so every bound (envelope parity, zero starved rounds, p99) is
 // exercised in the ordinary test suite; CI's bench-smoke runs 10×.

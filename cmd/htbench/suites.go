@@ -323,7 +323,11 @@ var inferenceSuite = suiteDef{
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
 					if _, err := est.GroupPhase1Mean(g, 2); err != nil {
-						b.Fatal(err)
+						// Fatal must not be called off the benchmark goroutine
+						// (testing.FailNow is undefined there); Error + return
+						// fails the run and exits only this worker.
+						b.Error(err)
+						return
 					}
 				}
 			})

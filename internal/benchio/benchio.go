@@ -236,6 +236,24 @@ type Tolerance struct {
 	AllocFloor int64
 }
 
+// EnvMismatchError is Compare's refusal to diff suites whose
+// environments disagree on core count. It is a distinct type so callers
+// can separate "these files must not be compared" from a drift verdict:
+// the library always hard-errors, and the CI-facing compare command
+// (cmd/htbench -compare) downgrades exactly this error to a loud
+// skip-with-notice — a mismatched runner means the baselines need
+// re-recording on that machine class, not that the code regressed.
+type EnvMismatchError struct {
+	Baseline, Fresh Environment
+}
+
+func (e *EnvMismatchError) Error() string {
+	return fmt.Sprintf(
+		"benchio: environment mismatch: baseline cpus=%d gomaxprocs=%d vs fresh cpus=%d gomaxprocs=%d; "+
+			"cross-core-count comparisons are meaningless — re-record the baseline on this machine class",
+		e.Baseline.CPUs, e.Baseline.GOMAXPROCS, e.Fresh.CPUs, e.Fresh.GOMAXPROCS)
+}
+
 // Regression is one tolerance violation (or structural mismatch) found
 // by Compare.
 type Regression struct {
@@ -259,17 +277,15 @@ func (r Regression) String() string {
 // dropped coverage reads as a pass otherwise). Fresh benchmarks absent
 // from the baseline are ignored — adding coverage is not a regression.
 //
-// Compare refuses (with an error, before looking at any numbers) to
-// diff suites whose environments disagree on cpus or GOMAXPROCS: a
-// multi-core run against a single-core baseline measures the machine
-// delta, not the code delta, and a drift verdict either way is garbage.
-// Re-record the baseline on the comparison machine class instead.
+// Compare refuses (with an *EnvMismatchError, before looking at any
+// numbers) to diff suites whose environments disagree on cpus or
+// GOMAXPROCS: a multi-core run against a single-core baseline measures
+// the machine delta, not the code delta, and a drift verdict either way
+// is garbage. Re-record the baseline on the comparison machine class
+// instead.
 func Compare(baseline, fresh Suite, tol Tolerance) ([]Regression, error) {
 	if be, fe := baseline.Environment, fresh.Environment; be.CPUs != fe.CPUs || be.GOMAXPROCS != fe.GOMAXPROCS {
-		return nil, fmt.Errorf(
-			"benchio: environment mismatch: baseline cpus=%d gomaxprocs=%d vs fresh cpus=%d gomaxprocs=%d; "+
-				"cross-core-count comparisons are meaningless — re-record the baseline on this machine class",
-			be.CPUs, be.GOMAXPROCS, fe.CPUs, fe.GOMAXPROCS)
+		return nil, &EnvMismatchError{Baseline: be, Fresh: fe}
 	}
 	byName := make(map[string]Result, len(fresh.Benchmarks))
 	for _, b := range fresh.Benchmarks {

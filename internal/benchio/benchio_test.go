@@ -1,6 +1,7 @@
 package benchio
 
 import (
+	"errors"
 	"math"
 	"path/filepath"
 	"reflect"
@@ -163,6 +164,15 @@ func TestCompareRejectsEnvironmentMismatch(t *testing.T) {
 	regs, err := Compare(base, fresh, tol)
 	if err == nil || !strings.Contains(err.Error(), "environment mismatch") {
 		t.Fatalf("cpus mismatch not rejected: regs=%v err=%v", regs, err)
+	}
+	// The refusal is a typed error: the CI compare command keys its
+	// skip-with-notice downgrade on exactly this type.
+	var mismatch *EnvMismatchError
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("mismatch error is %T, want *EnvMismatchError", err)
+	}
+	if mismatch.Fresh.CPUs != fresh.Environment.CPUs {
+		t.Errorf("EnvMismatchError.Fresh.CPUs = %d, want %d", mismatch.Fresh.CPUs, fresh.Environment.CPUs)
 	}
 	if regs != nil {
 		t.Errorf("rejected comparison still produced regressions: %v", regs)

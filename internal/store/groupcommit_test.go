@@ -96,6 +96,63 @@ func TestGroupCommitBatchesFsyncs(t *testing.T) {
 	}
 }
 
+// TestStateWaitsForInFlightFlush pins the read side of the durability
+// contract under group commit: append applies a record to the mirror
+// before its batched fsync settles, so State must wait out the flush
+// rather than serve an append that is still unacknowledged (and whose
+// write could yet fail). The flush is parked on a gated writer; State,
+// called mid-flush, must not return until the gate opens — and when it
+// does, the record it shows is durable.
+func TestStateWaitsForInFlightFlush(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	st, err := Open(dir, Options{
+		WrapWAL: func(w io.Writer) io.Writer { return &blockingWriter{w: w, release: release} },
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	appendDone := make(chan error, 1)
+	go func() {
+		appendDone <- st.AppendIngest(map[int]inference.PriceAggregate{7: {N: 1, Total: 1}}, 1)
+	}()
+	// Wait until the leader is parked inside its Write (mu released,
+	// flushing set, record already applied to the mirror).
+	time.Sleep(50 * time.Millisecond)
+
+	stateDone := make(chan *State, 1)
+	go func() {
+		state, err := st.State()
+		if err != nil {
+			t.Errorf("State: %v", err)
+		}
+		stateDone <- state
+	}()
+	select {
+	case <-stateDone:
+		t.Fatal("State returned while the record's flush was still in flight")
+	case <-time.After(100 * time.Millisecond):
+		// Still blocked — the durable-read wait is holding.
+	}
+
+	close(release)
+	if err := <-appendDone; err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	select {
+	case state := <-stateDone:
+		if state.Aggs[7].N != 1 {
+			t.Errorf("post-flush State is missing the flushed record: %+v", state.Aggs[7])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("State still blocked after the flush settled")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestGroupCommitDisabledMatchesReference pins the parity discipline:
 // with GroupCommitWindow < 0 every append pays its own fsync, and a
 // sequential append history produces a byte-identical WAL on both

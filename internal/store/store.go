@@ -15,7 +15,9 @@
 // that fsync — while a busy fleet stops paying one fsync per record.
 // Batch frames are written in sequence order, so a crash mid-batch
 // recovers a gapless prefix: acknowledged appends are never lost and a
-// batch never recovers with holes.
+// batch never recovers with holes. Reads through State see only
+// durable records — State waits out an in-flight flush, so a reader is
+// never shown an append that a crash could still take back.
 // Every SnapshotEvery appends — and on the serving layer's
 // drain-then-snapshot shutdown — Compact writes the full materialized
 // State to snapshot.json.tmp, fsyncs it, atomically renames it over
@@ -231,10 +233,22 @@ func (s *Store) Err() error {
 }
 
 // State returns a deep copy of the materialized state (recovered plus
-// everything appended since).
+// everything appended since), containing only durable records: group
+// commit applies a record to the in-memory mirror before its batched
+// fsync settles, so State waits out any in-flight flush (like Compact
+// does) rather than serve appends that are still unacknowledged and
+// could yet fail — a crash must never roll back state a reader was
+// shown. The wait is bounded by one flush (GroupCommitWindow plus a
+// write+fsync). The one exception is a store already sticky-failed:
+// its mirror may be ahead of its disk, which is harmless because the
+// failure is surfaced on every append and the mirror is never
+// snapshotted.
 func (s *Store) State() (*State, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for s.flushing {
+		s.flushDone.Wait()
+	}
 	return s.state.clone()
 }
 
@@ -524,7 +538,12 @@ type Metrics struct {
 	Fsyncs      uint64 `json:"fsyncs"`
 	Compactions uint64 `json:"compactions"`
 	WALBytes    int64  `json:"walBytes"`
-	// LastSeq is the newest applied record sequence (gauge).
+	// LastSeq is the newest applied record sequence (gauge). It is a
+	// live reading, not a durability statement: under group commit a
+	// record is applied before its batched fsync settles, so LastSeq may
+	// run ahead of the durable log by the records of one in-flight flush
+	// (use State for a durable-only view; it waits the flush out —
+	// monitoring deliberately does not block on the disk).
 	LastSeq uint64 `json:"lastSeq"`
 	// Failed reports the sticky read-only state after a write failure.
 	Failed bool `json:"failed"`
