@@ -4,9 +4,9 @@
 GO ?= go
 
 # COVER_MIN is the total-coverage floor `make cover` enforces — pinned
-# just under the level at PR merge (81.8%) to absorb sub-point
+# just under the level at PR merge (82.7%) to absorb sub-point
 # platform variance; raise it as coverage grows, never lower it.
-COVER_MIN ?= 81.2
+COVER_MIN ?= 82.2
 
 .PHONY: all build test race bench lint fmt cover cover-check fuzz-smoke linkcheck doccheck docs bench-campaign bench-suite bench-smoke bench-compare bench-scaling
 
@@ -50,6 +50,7 @@ fuzz-smoke:
 	$(GO) test -race -run=NONE -fuzz=FuzzReadCSV -fuzztime=10s ./internal/trace
 	$(GO) test -race -run=NONE -fuzz=FuzzReadJSONL -fuzztime=10s ./internal/trace
 	$(GO) test -race -run=NONE -fuzz=FuzzWALDecode -fuzztime=10s ./internal/store
+	$(GO) test -race -run=NONE -fuzz=FuzzShipDecode -fuzztime=10s ./internal/cluster
 
 lint:
 	@diff=$$(gofmt -l .); \

@@ -1,0 +1,168 @@
+// Command htrouter fronts a cluster of htuned nodes with the same /v1
+// envelope API a single node serves: campaign starts scatter across the
+// nodes on a consistent-hash ring (fleet presets split per campaign),
+// ingest partitions by client identity, stateless solve and simulate
+// round-robin, and stats/metrics fan out into one cluster document.
+//
+// Usage:
+//
+//	htrouter -node n1=http://host1:8080 -node n2=http://host2:8080 ...
+//	         [-addr :8090] [-replica-dir DIR] [-poll D] [-health D]
+//	         [-failover N] [-vnodes N]
+//
+// Node names must be [a-zA-Z0-9_]+ — the router builds cluster-wide
+// campaign ids as "<node>-<id>", so '-' is reserved as the separator.
+//
+// With -replica-dir, the router runs one WAL-shipping follower per
+// node: each follower seeds a replica state directory from the node's
+// /v1/replication/state and appends the node's acknowledged WAL frames
+// (polled every -poll) verbatim, so every replica directory is a
+// crash-recoverable copy of its node. With -failover N, a node that
+// fails N consecutive health probes is replaced: its follower takes
+// one final poll, promotes the replica through the standard recovery
+// path (resuming the node's campaigns from their last acknowledged
+// round), and the router repoints the node's traffic at the promoted
+// server in-process.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"hputune/internal/cluster"
+	"hputune/internal/server"
+)
+
+// nodeFlags collects repeated -node name=url arguments.
+type nodeFlags []string
+
+func (f *nodeFlags) String() string { return strings.Join(*f, ",") }
+func (f *nodeFlags) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+// parseNodes splits -node entries into (name, url) pairs.
+func parseNodes(entries []string) ([][2]string, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("at least one -node name=url is required")
+	}
+	out := make([][2]string, 0, len(entries))
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		name, url, ok := strings.Cut(e, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("-node %q is not name=url", e)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("-node %q repeats name %q", e, name)
+		}
+		seen[name] = true
+		out = append(out, [2]string{name, strings.TrimSuffix(url, "/")})
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("htrouter: ")
+	addr := flag.String("addr", ":8090", "listen address")
+	var nodes nodeFlags
+	flag.Var(&nodes, "node", "cluster member as name=url (repeatable; name is [a-zA-Z0-9_]+)")
+	replicaDir := flag.String("replica-dir", "", "run one WAL-shipping follower per node, replicating into DIR/<name>; empty disables replication")
+	poll := flag.Duration("poll", 500*time.Millisecond, "follower WAL poll interval")
+	health := flag.Duration("health", time.Second, "node health probe interval")
+	failover := flag.Int("failover", 0, "promote a node's replica after N consecutive failed health probes (0 = never; requires -replica-dir)")
+	vnodes := flag.Int("vnodes", 0, "vnodes per node on the placement ring (0 = default 256)")
+	flag.Parse()
+
+	pairs, err := parseNodes(nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *failover > 0 && *replicaDir == "" {
+		log.Fatal("-failover requires -replica-dir")
+	}
+
+	cl := cluster.New(cluster.Config{Vnodes: *vnodes})
+	for _, p := range pairs {
+		if err := cl.AddNode(p[0], p[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rt := cluster.NewRouter(cl, nil)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	followers := make(map[string]*cluster.Follower)
+	if *replicaDir != "" {
+		for _, p := range pairs {
+			name, url := p[0], p[1]
+			f := cluster.NewFollower(name, filepath.Join(*replicaDir, name),
+				&cluster.HTTPFetch{Base: url, Client: &http.Client{Timeout: 10 * time.Second}},
+				cluster.FollowerOptions{})
+			followers[name] = f
+			go f.Run(ctx, *poll)
+		}
+	}
+
+	// Health monitor + failover: a node failing -failover consecutive
+	// probes is replaced by its promoted replica, served in-process on a
+	// loopback listener; the ring never moves, only the node's URL.
+	promote := func(name string) (string, error) {
+		f := followers[name]
+		if f == nil {
+			return "", fmt.Errorf("no follower for %s", name)
+		}
+		// One final poll closes the async window for records the node
+		// acknowledged but the ticker had not shipped yet; it fails if
+		// the node is fully dead, which is fine — the replica already
+		// holds everything shipped so far.
+		_ = f.Poll(ctx)
+		_, srv, err := f.Promote(server.Config{Node: name})
+		if err != nil {
+			return "", err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		go func() { _ = srv.Serve(ctx, ln) }()
+		rt.AddFailover()
+		return "http://" + ln.Addr().String(), nil
+	}
+	threshold := *failover
+	if *replicaDir == "" {
+		threshold = 0 // health flags only; nothing to promote
+	}
+	wd := cluster.NewWatchdog(cl, nil, threshold, promote, log.Printf)
+	go wd.Run(ctx, *health)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: rt.Handler()}
+	go func() {
+		<-ctx.Done()
+		stop()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+	}()
+	log.Printf("routing %d nodes on %s", len(pairs), ln.Addr())
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	log.Print("drained, bye")
+}

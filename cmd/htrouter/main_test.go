@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseNodes(t *testing.T) {
+	pairs, err := parseNodes([]string{"n1=http://a:8080", "n2=http://b:8080/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 || pairs[0] != [2]string{"n1", "http://a:8080"} || pairs[1] != [2]string{"n2", "http://b:8080"} {
+		t.Fatalf("pairs %v", pairs)
+	}
+	cases := []struct {
+		entries []string
+		want    string
+	}{
+		{nil, "at least one"},
+		{[]string{"n1"}, "not name=url"},
+		{[]string{"=http://a"}, "not name=url"},
+		{[]string{"n1="}, "not name=url"},
+		{[]string{"n1=http://a", "n1=http://b"}, "repeats name"},
+	}
+	for _, tc := range cases {
+		if _, err := parseNodes(tc.entries); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("parseNodes(%v): %v does not mention %q", tc.entries, err, tc.want)
+		}
+	}
+}

@@ -11,7 +11,7 @@
 //	htuned [-addr :8080] [-max-inflight N] [-workers N] [-cache-entries N]
 //	       [-max-campaigns N] [-state-dir DIR] [-snapshot-every N]
 //	       [-group-commit D] [-rate-limit R] [-rate-burst N]
-//	       [-bulk-share F] [-shed-cpu F] [-access-log]
+//	       [-bulk-share F] [-shed-cpu F] [-access-log] [-node NAME]
 //
 // Endpoints: POST /v1/solve, /v1/solve-heterogeneous, /v1/simulate,
 // /v1/ingest, /v1/campaigns; GET /v1/campaigns[/{id}], /v1/stats,
@@ -65,6 +65,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("htuned: ")
 	addr := flag.String("addr", ":8080", "listen address")
+	node := flag.String("node", "", "this process's cluster node name, reported by the replication endpoints (must match the htrouter -node entry; [a-zA-Z0-9_]+)")
 	maxInFlight := flag.Int("max-inflight", runtime.GOMAXPROCS(0), "concurrent solve/simulate requests admitted before 503")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker-pool size per admitted batch")
 	cacheEntries := flag.Int("cache-entries", 0, "estimator cache bound in entries (0 = default 65536)")
@@ -80,6 +81,7 @@ func main() {
 	flag.Parse()
 
 	cfg := hputune.ServerConfig{
+		Node:         *node,
 		MaxInFlight:  *maxInFlight,
 		Workers:      *workers,
 		CacheEntries: *cacheEntries,

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"hputune/internal/server"
+)
+
+// The router speaks the exact envelope dialect the nodes do — same
+// {"error":{...}} document, same codes via server.CodeForStatus — so a
+// client cannot tell a router-originated error from a node's.
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeEnvelope(w http.ResponseWriter, status int, code string, retry time.Duration, format string, args ...any) {
+	e := server.APIError{Code: code, Message: fmt.Sprintf(format, args...)}
+	if retry > 0 {
+		e.RetryAfterMS = int64((retry + time.Millisecond - 1) / time.Millisecond)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", (retry+time.Second-1)/time.Second))
+	}
+	writeJSON(w, status, server.ErrorEnvelope{Error: e})
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeEnvelope(w, status, server.CodeForStatus(status), 0, format, args...)
+}
+
+// maxInterceptBody caps how much of an intercepted plain-text error
+// body is preserved as the envelope message.
+const maxInterceptBody = 256
+
+// envelopeWriter mirrors the serving layer's response wrapper: any
+// non-JSON error reply — the ServeMux's own plain-text 404/405s —
+// is rewritten into the uniform envelope after the handler returns.
+type envelopeWriter struct {
+	rw          http.ResponseWriter
+	status      int
+	wrote       bool
+	intercept   bool
+	intercepted []byte
+}
+
+func (w *envelopeWriter) Header() http.Header { return w.rw.Header() }
+
+func (w *envelopeWriter) WriteHeader(status int) {
+	if w.wrote {
+		return
+	}
+	w.wrote = true
+	w.status = status
+	if status >= 400 && !strings.HasPrefix(w.rw.Header().Get("Content-Type"), "application/json") {
+		w.intercept = true
+		h := w.rw.Header()
+		h.Set("Content-Type", "application/json")
+		h.Del("Content-Length")
+	}
+	w.rw.WriteHeader(status)
+}
+
+func (w *envelopeWriter) Write(p []byte) (int, error) {
+	if !w.wrote {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.intercept {
+		if room := maxInterceptBody - len(w.intercepted); room > 0 {
+			if len(p) > room {
+				p = p[:room]
+			}
+			w.intercepted = append(w.intercepted, p...)
+		}
+		return len(p), nil
+	}
+	return w.rw.Write(p)
+}
+
+func (w *envelopeWriter) finish() {
+	if !w.intercept {
+		return
+	}
+	msg := strings.TrimSpace(string(w.intercepted))
+	if msg == "" {
+		msg = http.StatusText(w.status)
+	}
+	enc, err := json.Marshal(server.ErrorEnvelope{Error: server.APIError{Code: server.CodeForStatus(w.status), Message: msg}})
+	if err != nil {
+		return
+	}
+	_, _ = w.rw.Write(append(enc, '\n'))
+	w.intercept = false
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"hputune/internal/server"
+	"hputune/internal/store"
+)
+
+// HTTPFetch implements Fetch against a node's /v1/replication surface.
+type HTTPFetch struct {
+	// Base is the node's base URL (no trailing slash).
+	Base string
+	// Client is the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+}
+
+func (h *HTTPFetch) client() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return http.DefaultClient
+}
+
+// maxFetchBody bounds one replication reply: the served tail is at most
+// SnapshotEvery records of at most maxRecordBytes each in theory, but
+// any sane reply is far below this; the cap only stops a broken peer
+// from ballooning the follower.
+const maxFetchBody = 256 << 20
+
+func (h *HTTPFetch) get(ctx context.Context, url string) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := h.client().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxFetchBody))
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return raw, resp.StatusCode, nil
+}
+
+// State fetches the node's full durable snapshot.
+func (h *HTTPFetch) State(ctx context.Context) (*store.State, error) {
+	raw, status, err := h.get(ctx, h.Base+"/v1/replication/state")
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("cluster: GET /v1/replication/state: status %d: %s", status, clip(raw))
+	}
+	var doc server.ReplicationStateResponse
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("cluster: decode replication state: %w", err)
+	}
+	if doc.State == nil {
+		return nil, fmt.Errorf("cluster: replication state reply has no state")
+	}
+	return doc.State, nil
+}
+
+// WAL fetches the framed records after `from`; a 410 (code "compacted")
+// maps back to store.ErrCompacted so the follower re-seeds.
+func (h *HTTPFetch) WAL(ctx context.Context, from uint64) ([]byte, error) {
+	raw, status, err := h.get(ctx, h.Base+"/v1/replication/wal?from="+strconv.FormatUint(from, 10))
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusGone {
+		return nil, store.ErrCompacted
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("cluster: GET /v1/replication/wal: status %d: %s", status, clip(raw))
+	}
+	return raw, nil
+}
+
+// clip bounds an error-reply body for message embedding.
+func clip(raw []byte) string {
+	const max = 200
+	if len(raw) > max {
+		raw = raw[:max]
+	}
+	return string(raw)
+}

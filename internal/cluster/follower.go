@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"hputune/internal/server"
+	"hputune/internal/store"
+)
+
+// Follower keeps a byte-identical replica of one node's state
+// directory: it seeds the directory from the node's full snapshot, then
+// polls the node's durable WAL tail and appends the shipped frames
+// verbatim to the replica's wal.log. Because the bytes on disk are the
+// same bytes the primary acknowledged, promoting the replica is exactly
+// the store's normal crash-recovery path — store.Open plus
+// server.Recover — and resumes every in-flight campaign bit-identically
+// from its last acknowledged checkpoint.
+//
+// Replication is asynchronous: records the primary accepted but had not
+// yet served through /v1/replication/wal at the moment it died are not
+// on the replica. The drill suite closes that window by taking one
+// final poll against the dying node before promoting.
+type Follower struct {
+	node  string
+	dir   string
+	fetch Fetch
+	opts  FollowerOptions
+
+	mu       sync.Mutex
+	wal      *os.File
+	seeded   bool
+	promoted bool
+	lastSeq  uint64
+	shipped  uint64
+	resyncs  uint64
+}
+
+// Fetch abstracts the two replication reads so tests can inject faults
+// without a network; HTTPFetch is the production implementation.
+type Fetch interface {
+	// State fetches the node's full durable snapshot.
+	State(ctx context.Context) (*store.State, error)
+	// WAL fetches the framed records after sequence `from`, returning
+	// store.ErrCompacted when the node's tail no longer reaches back.
+	WAL(ctx context.Context, from uint64) ([]byte, error)
+}
+
+// FollowerOptions tunes a follower.
+type FollowerOptions struct {
+	// NoSync skips fsync on the replica WAL — test-only speed.
+	NoSync bool
+	// Store configures the store opened at promotion.
+	Store store.Options
+}
+
+// NewFollower builds a follower replicating `node` into dir.
+func NewFollower(node, dir string, fetch Fetch, opts FollowerOptions) *Follower {
+	return &Follower{node: node, dir: dir, fetch: fetch, opts: opts}
+}
+
+// ErrPromoted is returned by Poll after Promote: the replica has become
+// a live store and must not be appended to behind its back.
+var ErrPromoted = errors.New("cluster: follower already promoted")
+
+// sync (re-)seeds the replica from the node's full snapshot. Called
+// before the first poll and after a compaction outruns the cursor.
+func (f *Follower) syncLocked(ctx context.Context) error {
+	st, err := f.fetch.State(ctx)
+	if err != nil {
+		return fmt.Errorf("cluster: fetch state of %s: %w", f.node, err)
+	}
+	if f.wal != nil {
+		f.wal.Close()
+		f.wal = nil
+	}
+	if err := store.SeedDir(f.dir, st, store.Options{NoSync: f.opts.NoSync}); err != nil {
+		return err
+	}
+	w, err := os.OpenFile(store.WALPath(f.dir), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: open replica WAL: %w", err)
+	}
+	f.wal = w
+	f.lastSeq = st.LastSeq
+	f.seeded = true
+	return nil
+}
+
+// Poll ships one round: fetch the tail after the cursor, verify
+// contiguity, append the verified prefix verbatim, advance. On
+// ErrCompacted it re-seeds from the full snapshot once and retries.
+// A torn tail in the reply (a reply cut short mid-frame) keeps the
+// clean prefix and succeeds; corruption and contiguity breaks fail the
+// poll without advancing past the verified prefix.
+func (f *Follower) Poll(ctx context.Context) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.promoted {
+		return ErrPromoted
+	}
+	if !f.seeded {
+		if err := f.syncLocked(ctx); err != nil {
+			return err
+		}
+	}
+	raw, err := f.fetch.WAL(ctx, f.lastSeq)
+	if errors.Is(err, store.ErrCompacted) {
+		f.resyncs++
+		if err := f.syncLocked(ctx); err != nil {
+			return err
+		}
+		raw, err = f.fetch.WAL(ctx, f.lastSeq)
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: fetch WAL of %s: %w", f.node, err)
+	}
+	recs, good, derr := DecodeShip(raw, f.lastSeq)
+	var tail *store.TailError
+	if derr != nil && !errors.As(derr, &tail) {
+		// Corruption or a contiguity break: the prefix below `good` is
+		// still sound, but the poll must fail loudly.
+		if err := f.appendLocked(raw[:good], recs); err != nil {
+			return err
+		}
+		return fmt.Errorf("cluster: shipped WAL from %s: %w", f.node, derr)
+	}
+	return f.appendLocked(raw[:good], recs)
+}
+
+// appendLocked writes the verified raw prefix to the replica WAL and
+// advances the cursor. The primary's bytes land verbatim — re-encoding
+// could legally change JSON escaping, and the replica must be
+// byte-identical to what the primary acknowledged.
+func (f *Follower) appendLocked(raw []byte, recs []store.Record) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	if _, err := f.wal.Write(raw); err != nil {
+		return fmt.Errorf("cluster: append replica WAL: %w", err)
+	}
+	if !f.opts.NoSync {
+		if err := f.wal.Sync(); err != nil {
+			return fmt.Errorf("cluster: fsync replica WAL: %w", err)
+		}
+	}
+	f.lastSeq = recs[len(recs)-1].Seq
+	f.shipped += uint64(len(recs))
+	return nil
+}
+
+// Run polls on a fixed interval until ctx is canceled. Poll errors are
+// transient by design (the node may be mid-restart); they are counted
+// in Stats and the loop keeps going.
+func (f *Follower) Run(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_ = f.Poll(ctx)
+		}
+	}
+}
+
+// Promote turns the replica into a live server: the replica WAL is
+// closed, the directory is opened as a normal store, and server.Recover
+// replays it — the identical path a restarted primary takes. The
+// follower stops shipping permanently.
+func (f *Follower) Promote(cfg server.Config) (*store.Store, *server.Server, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.promoted {
+		return nil, nil, ErrPromoted
+	}
+	if !f.seeded {
+		return nil, nil, fmt.Errorf("cluster: promote %s: follower never synced", f.node)
+	}
+	if f.wal != nil {
+		if err := f.wal.Close(); err != nil {
+			return nil, nil, fmt.Errorf("cluster: close replica WAL: %w", err)
+		}
+		f.wal = nil
+	}
+	f.promoted = true
+	st, err := store.Open(f.dir, f.opts.Store)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := server.Recover(cfg, st)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return st, srv, nil
+}
+
+// FollowerStats is a point-in-time copy of a follower's counters.
+type FollowerStats struct {
+	// Node is the replicated node's name.
+	Node string `json:"node"`
+	// LastSeq is the replica's durable cursor.
+	LastSeq uint64 `json:"lastSeq"`
+	// Shipped counts records appended to the replica WAL.
+	Shipped uint64 `json:"shipped"`
+	// Resyncs counts full re-seeds forced by primary compaction.
+	Resyncs uint64 `json:"resyncs"`
+	// Promoted reports whether the replica became a live server.
+	Promoted bool `json:"promoted"`
+}
+
+// Stats snapshots the follower.
+func (f *Follower) Stats() FollowerStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FollowerStats{Node: f.node, LastSeq: f.lastSeq, Shipped: f.shipped, Resyncs: f.resyncs, Promoted: f.promoted}
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"hputune/internal/randx"
+)
+
+// Ring is a consistent-hash ring: each node owns vnodes points on a
+// 64-bit circle and a key belongs to the first point clockwise of its
+// hash. Adding or removing one node moves ~1/N of the keyspace, which
+// is the property the cluster needs to keep campaign placement stable
+// across membership changes. Not safe for concurrent use — Cluster
+// guards it.
+type Ring struct {
+	vnodes int
+	nodes  map[string]bool
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultVnodes balances placement uniformity against ring size: at
+// 256 vnodes/node the worst per-node skew over 10k keys stays near 10%
+// for 2–8 nodes (the property tests pin ±20%); 160 measured just past
+// 20% at 8 nodes.
+const DefaultVnodes = 256
+
+// NewRing builds an empty ring; vnodes <= 0 means DefaultVnodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]bool)}
+}
+
+// hashKey mixes a string onto the circle: FNV-1a collects the bytes,
+// the splitmix64 finalizer spreads them — FNV alone clusters the
+// sequential suffixes vnode labels have.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return randx.Mix64(h.Sum64())
+}
+
+// Add inserts a node's vnodes; adding a present node is a no-op, so
+// the ring's layout depends only on the membership set, never on the
+// order or repetition of Add calls.
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: hashKey(node + "#" + itoa(i)), node: node})
+	}
+	r.sortPoints()
+}
+
+// Remove deletes a node's vnodes; removing an absent node is a no-op.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// sortPoints orders by hash, breaking the (vanishingly rare) hash tie
+// by node name so the layout is deterministic.
+func (r *Ring) sortPoints() {
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Lookup returns the node owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point clockwise of the top of the circle
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the member set, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// itoa avoids strconv for the one hot loop that labels vnodes.
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

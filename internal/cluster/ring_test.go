@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys generates the shared key population for the property tests.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("campaign:%d:ring-prop", i)
+	}
+	return keys
+}
+
+func ringWith(vnodes int, names ...string) *Ring {
+	r := NewRing(vnodes)
+	for _, n := range names {
+		r.Add(n)
+	}
+	return r
+}
+
+func nodeNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%d", i)
+	}
+	return names
+}
+
+// TestRingUniformity pins the ISSUE's placement-quality bar: across 10k
+// keys every node's share stays within ±20% of the fair 1/N share, for
+// each cluster size the drills use.
+func TestRingUniformity(t *testing.T) {
+	keys := ringKeys(10000)
+	for _, n := range []int{2, 3, 5, 8} {
+		r := ringWith(0, nodeNames(n)...)
+		counts := make(map[string]int)
+		for _, k := range keys {
+			counts[r.Lookup(k)]++
+		}
+		fair := float64(len(keys)) / float64(n)
+		for _, name := range nodeNames(n) {
+			got := float64(counts[name])
+			if got < 0.8*fair || got > 1.2*fair {
+				t.Errorf("N=%d: %s owns %d of %d keys, outside ±20%% of fair %.0f", n, name, counts[name], len(keys), fair)
+			}
+		}
+	}
+}
+
+// TestRingMovementOnAdd pins the consistency property: adding one node
+// to N moves only keys that land on the new node, and roughly the fair
+// 1/(N+1) fraction of them.
+func TestRingMovementOnAdd(t *testing.T) {
+	keys := ringKeys(10000)
+	for _, n := range []int{2, 3, 5, 8} {
+		before := ringWith(0, nodeNames(n)...)
+		owners := make(map[string]string, len(keys))
+		for _, k := range keys {
+			owners[k] = before.Lookup(k)
+		}
+		after := ringWith(0, nodeNames(n)...)
+		after.Add("newcomer")
+		moved := 0
+		for _, k := range keys {
+			now := after.Lookup(k)
+			if now != owners[k] {
+				moved++
+				if now != "newcomer" {
+					t.Fatalf("N=%d: key %q moved %s -> %s, not to the new node", n, k, owners[k], now)
+				}
+			}
+		}
+		fair := float64(len(keys)) / float64(n+1)
+		if f := float64(moved); f < 0.5*fair || f > 2*fair {
+			t.Errorf("N=%d: add moved %d keys, fair share is %.0f", n, moved, fair)
+		}
+	}
+}
+
+// TestRingMovementOnRemove: removing a node moves exactly the keys it
+// owned, nothing else.
+func TestRingMovementOnRemove(t *testing.T) {
+	keys := ringKeys(10000)
+	for _, n := range []int{3, 5, 8} {
+		before := ringWith(0, nodeNames(n)...)
+		owners := make(map[string]string, len(keys))
+		for _, k := range keys {
+			owners[k] = before.Lookup(k)
+		}
+		victim := "node1"
+		after := ringWith(0, nodeNames(n)...)
+		after.Remove(victim)
+		for _, k := range keys {
+			now := after.Lookup(k)
+			if owners[k] == victim {
+				if now == victim {
+					t.Fatalf("N=%d: key %q still on removed node", n, k)
+				}
+			} else if now != owners[k] {
+				t.Fatalf("N=%d: key %q moved %s -> %s though %s was removed", n, k, owners[k], now, victim)
+			}
+		}
+	}
+}
+
+// TestRingDeterministicLayout: membership, not call order, decides
+// placement.
+func TestRingDeterministicLayout(t *testing.T) {
+	a := ringWith(64, "x", "y", "z")
+	b := ringWith(64, "z", "x", "y")
+	b.Add("x") // re-add is a no-op
+	for _, k := range ringKeys(1000) {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("key %q placed differently by build order: %s vs %s", k, a.Lookup(k), b.Lookup(k))
+		}
+	}
+}
+
+func TestRingEmptyAndNodes(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Lookup("anything"); got != "" {
+		t.Fatalf("empty ring returned %q", got)
+	}
+	r.Add("b")
+	r.Add("a")
+	if got := fmt.Sprint(r.Nodes()); got != "[a b]" {
+		t.Fatalf("nodes %s", got)
+	}
+	r.Remove("missing") // no-op
+	if got := r.Lookup("anything"); got != "a" && got != "b" {
+		t.Fatalf("lookup %q", got)
+	}
+}

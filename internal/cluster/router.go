@@ -1,0 +1,431 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hputune/internal/campaign"
+	"hputune/internal/server"
+	"hputune/internal/spec"
+	"hputune/internal/traffic"
+)
+
+// Router fronts a Cluster with the same /v1 envelope API each node
+// serves, so a client cannot tell one htuned from N:
+//
+//   - POST /v1/campaigns scatters the spec: each campaign in the
+//     document goes to the ring owner of its sub-spec, fleet presets
+//     are split per index, and the returned ids are prefixed
+//     "<node>-" so every later GET/DELETE routes back to the owner.
+//   - POST /v1/ingest partitions by client identity on the ring, so
+//     one client's trace stream always lands on one node's WAL.
+//   - POST /v1/solve, /v1/solve-heterogeneous and /v1/simulate are
+//     stateless and round-robin across the healthy pool.
+//   - GET /v1/stats and /v1/metrics fan out and return a cluster
+//     document: {"router": ..., "nodes": {name: node-reply}}.
+//
+// Error replies reuse the nodes' envelope codes verbatim; the router's
+// own failures (unknown node, unreachable node) carry the same shape.
+type Router struct {
+	cl     *Cluster
+	client *http.Client
+	mux    *http.ServeMux
+	hist   *traffic.HistogramSet
+
+	rr        atomic.Uint64
+	proxied   atomic.Uint64
+	scattered atomic.Uint64
+	failovers atomic.Uint64
+}
+
+// maxRouterBody mirrors the nodes' request byte cap.
+const maxRouterBody = 32 << 20
+
+// NewRouter builds a router over cl; client nil means a 30s-timeout
+// default.
+func NewRouter(cl *Cluster, client *http.Client) *Router {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	rt := &Router{cl: cl, client: client, mux: http.NewServeMux()}
+	var patterns []string
+	handle := func(pattern string, h http.HandlerFunc) {
+		rt.mux.HandleFunc(pattern, h)
+		patterns = append(patterns, pattern)
+	}
+	handle("POST /v1/solve", rt.roundRobin)
+	handle("POST /v1/solve-heterogeneous", rt.roundRobin)
+	handle("POST /v1/simulate", rt.roundRobin)
+	handle("POST /v1/ingest", rt.handleIngest)
+	handle("POST /v1/campaigns", rt.handleCampaignStart)
+	handle("GET /v1/campaigns", rt.handleCampaignList)
+	handle("GET /v1/campaigns/{id}", rt.handleCampaignByID)
+	handle("DELETE /v1/campaigns/{id}", rt.handleCampaignByID)
+	handle("GET /v1/stats", rt.handleFanout)
+	handle("GET /v1/metrics", rt.handleFanout)
+	handle("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	rt.hist = traffic.NewHistogramSet(patterns...)
+	return rt
+}
+
+// Handler wraps the mux with the byte cap, envelope interception for
+// the mux's own plain-text 404/405s, and the latency histograms.
+func (rt *Router) Handler() http.Handler {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ew := &envelopeWriter{rw: w}
+		_, pattern := rt.mux.Handler(r)
+		rt.mux.ServeHTTP(ew, r)
+		ew.finish()
+		rt.hist.Observe(pattern, time.Since(start))
+	})
+	return http.MaxBytesHandler(inner, maxRouterBody)
+}
+
+// forward proxies one request body to a node and copies the reply —
+// status, content type and body — back verbatim, so envelope replies
+// survive the hop untouched. An unreachable node becomes a 503 with
+// the overloaded code and a retry hint.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, node, path string, body []byte) {
+	status, _, raw, err := rt.call(r, node, path, body)
+	if err != nil {
+		writeEnvelope(w, http.StatusServiceUnavailable, server.CodeOverloaded, time.Second,
+			"node %q unreachable: %v", node, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(raw)
+}
+
+// call issues one node request and returns status, headers and body.
+func (rt *Router) call(r *http.Request, node, path string, body []byte) (int, http.Header, []byte, error) {
+	base, ok := rt.cl.NodeURL(node)
+	if !ok {
+		return 0, nil, nil, fmt.Errorf("unknown node")
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, base+path, rd)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	// The client identity must survive the hop: the nodes rate-limit
+	// and partition on it.
+	for _, h := range []string{"X-Client-ID", "X-Request-ID", "Content-Type"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxRouterBody+1))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	rt.proxied.Add(1)
+	return resp.StatusCode, resp.Header, raw, nil
+}
+
+// readBody drains the (capped) request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, ok := err.(*http.MaxBytesError); ok {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "read request body: %v", err)
+		return nil, false
+	}
+	return raw, true
+}
+
+// roundRobin sends stateless bulk work to the next healthy node.
+func (rt *Router) roundRobin(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	pool := rt.cl.Healthy()
+	if len(pool) == 0 {
+		writeEnvelope(w, http.StatusServiceUnavailable, server.CodeOverloaded, time.Second, "no healthy nodes")
+		return
+	}
+	node := pool[rt.rr.Add(1)%uint64(len(pool))]
+	rt.forward(w, r, node, r.URL.Path, body)
+}
+
+// handleIngest partitions trace batches by client identity: the same
+// client's stream always reaches the same node's estimator and WAL.
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	key := r.Header.Get("X-Client-ID")
+	if key == "" {
+		key = r.RemoteAddr
+	}
+	node := rt.cl.Place("ingest:" + key)
+	if node == "" {
+		writeEnvelope(w, http.StatusServiceUnavailable, server.CodeOverloaded, time.Second, "empty cluster")
+		return
+	}
+	rt.forward(w, r, node, "/v1/ingest", body)
+}
+
+// startDoc is the router's minimal view of a campaign-start document —
+// just enough structure to scatter it. Field validation stays on the
+// nodes; DisallowUnknownFields here only catches documents the scatter
+// would misroute.
+type startDoc struct {
+	Campaign  json.RawMessage   `json:"campaign"`
+	Campaigns []json.RawMessage `json:"campaigns"`
+	Fleet     *fleetDoc         `json:"fleet"`
+}
+
+type fleetDoc struct {
+	Preset string `json:"preset"`
+	Seed   uint64 `json:"seed"`
+	Index  *int   `json:"index"`
+}
+
+// subStart is one scattered unit: a single-campaign sub-document and
+// its placement key.
+type subStart struct {
+	doc []byte
+	key string
+}
+
+// scatter splits a start document into per-campaign sub-documents.
+func scatter(raw []byte) ([]subStart, error) {
+	var doc startDoc
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, err
+	}
+	kinds := 0
+	for _, present := range []bool{doc.Campaign != nil, doc.Campaigns != nil, doc.Fleet != nil} {
+		if present {
+			kinds++
+		}
+	}
+	if kinds != 1 {
+		return nil, fmt.Errorf(`exactly one of "campaign", "campaigns" or "fleet" must be set`)
+	}
+	switch {
+	case doc.Campaign != nil:
+		return []subStart{{doc: raw, key: "campaign:" + string(doc.Campaign)}}, nil
+	case doc.Campaigns != nil:
+		subs := make([]subStart, len(doc.Campaigns))
+		for i, c := range doc.Campaigns {
+			sub, err := json.Marshal(map[string]json.RawMessage{"campaign": c})
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = subStart{doc: sub, key: fmt.Sprintf("campaigns:%d:%s", i, c)}
+		}
+		return subs, nil
+	default:
+		if doc.Fleet.Index != nil {
+			return []subStart{{doc: raw, key: fmt.Sprintf("fleet:%s:%d:%d", doc.Fleet.Preset, doc.Fleet.Seed, *doc.Fleet.Index)}}, nil
+		}
+		// Expand the preset locally (the expansion is deterministic) only
+		// to learn its size, then ship one indexed sub-spec per campaign;
+		// each node re-expands its own index identically.
+		cfgs, err := spec.ParseCampaigns(raw, spec.BuildOpts{})
+		if err != nil {
+			return nil, err
+		}
+		subs := make([]subStart, len(cfgs))
+		for i := range cfgs {
+			sub, err := json.Marshal(map[string]any{"fleet": map[string]any{
+				"preset": doc.Fleet.Preset, "seed": doc.Fleet.Seed, "index": i,
+			}})
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = subStart{doc: sub, key: fmt.Sprintf("fleet:%s:%d:%d", doc.Fleet.Preset, doc.Fleet.Seed, i)}
+		}
+		return subs, nil
+	}
+}
+
+// handleCampaignStart scatters the document, starts each sub-campaign
+// on its ring owner, and replies with the cluster-wide prefixed ids.
+// On a partial failure the already-started campaigns are canceled and
+// the failing node's envelope is propagated verbatim.
+func (rt *Router) handleCampaignStart(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	subs, err := scatter(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "scatter campaign spec: %v", err)
+		return
+	}
+	if rt.cl.Place("probe") == "" {
+		writeEnvelope(w, http.StatusServiceUnavailable, server.CodeOverloaded, time.Second, "empty cluster")
+		return
+	}
+	var started []string // prefixed ids, in sub order
+	rollback := func() {
+		for _, id := range started {
+			node, rest, ok := splitID(id)
+			if !ok {
+				continue
+			}
+			req, err := http.NewRequest(http.MethodDelete, "", nil)
+			if err != nil {
+				continue
+			}
+			_, _, _, _ = rt.call(req, node, "/v1/campaigns/"+rest, nil)
+		}
+	}
+	for _, sub := range subs {
+		node := rt.cl.Place(sub.key)
+		status, _, raw, err := rt.call(r, node, "/v1/campaigns", sub.doc)
+		if err != nil {
+			rollback()
+			writeEnvelope(w, http.StatusServiceUnavailable, server.CodeOverloaded, time.Second,
+				"node %q unreachable: %v", node, err)
+			return
+		}
+		if status != http.StatusAccepted {
+			rollback()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			_, _ = w.Write(raw)
+			return
+		}
+		var reply server.CampaignStartResponse
+		if err := json.Unmarshal(raw, &reply); err != nil || len(reply.IDs) != 1 {
+			rollback()
+			writeError(w, http.StatusInternalServerError,
+				"node %q start reply %q did not carry exactly one id", node, raw)
+			return
+		}
+		started = append(started, node+"-"+reply.IDs[0])
+	}
+	rt.scattered.Add(uint64(len(started)))
+	writeJSON(w, http.StatusAccepted, server.CampaignStartResponse{IDs: started})
+}
+
+// splitID cuts a cluster-wide campaign id "<node>-<id>" at the first
+// '-' (node names cannot contain one).
+func splitID(id string) (node, rest string, ok bool) {
+	return strings.Cut(id, "-")
+}
+
+// handleCampaignByID routes GET and DELETE for one campaign back to
+// its owner and rewrites the reply id to the cluster-wide form.
+func (rt *Router) handleCampaignByID(w http.ResponseWriter, r *http.Request) {
+	full := r.PathValue("id")
+	node, rest, ok := splitID(full)
+	if !ok {
+		writeError(w, http.StatusNotFound, "campaign id %q has no node prefix", full)
+		return
+	}
+	if _, known := rt.cl.NodeURL(node); !known {
+		writeError(w, http.StatusNotFound, "unknown node %q in campaign id %q", node, full)
+		return
+	}
+	status, _, raw, err := rt.call(r, node, "/v1/campaigns/"+rest, nil)
+	if err != nil {
+		writeEnvelope(w, http.StatusServiceUnavailable, server.CodeOverloaded, time.Second,
+			"node %q unreachable: %v", node, err)
+		return
+	}
+	if status == http.StatusOK {
+		var reply server.CampaignGetResponse
+		if err := json.Unmarshal(raw, &reply); err == nil {
+			reply.ID = full
+			writeJSON(w, status, reply)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(raw)
+}
+
+// handleCampaignList fans out, prefixes every summary id, and merges.
+func (rt *Router) handleCampaignList(w http.ResponseWriter, r *http.Request) {
+	var all []campaign.Summary
+	for _, n := range rt.cl.Nodes() {
+		status, _, raw, err := rt.call(r, n.Name, "/v1/campaigns", nil)
+		if err != nil || status != http.StatusOK {
+			continue // a dead node's campaigns reappear after failover
+		}
+		var reply server.CampaignListResponse
+		if err := json.Unmarshal(raw, &reply); err != nil {
+			continue
+		}
+		for _, sum := range reply.Campaigns {
+			sum.ID = n.Name + "-" + sum.ID
+			all = append(all, sum)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	writeJSON(w, http.StatusOK, server.CampaignListResponse{Campaigns: all})
+}
+
+// RouterStats is the router's own counter block in the fan-out docs.
+type RouterStats struct {
+	// Proxied counts node requests issued.
+	Proxied uint64 `json:"proxied"`
+	// Scattered counts campaigns started through the scatter path.
+	Scattered uint64 `json:"scattered"`
+	// Failovers counts follower promotions (maintained by cmd/htrouter).
+	Failovers uint64 `json:"failovers"`
+	// Nodes is the membership view.
+	Nodes []NodeStatus `json:"nodes"`
+	// Endpoints are the router's own per-route latency histograms.
+	Endpoints map[string]traffic.HistogramSnapshot `json:"endpoints"`
+}
+
+// Stats snapshots the router.
+func (rt *Router) Stats() RouterStats {
+	return RouterStats{
+		Proxied:   rt.proxied.Load(),
+		Scattered: rt.scattered.Load(),
+		Failovers: rt.failovers.Load(),
+		Nodes:     rt.cl.Nodes(),
+		Endpoints: rt.hist.Snapshot(),
+	}
+}
+
+// AddFailover bumps the failover counter (cmd/htrouter calls it at
+// each promotion).
+func (rt *Router) AddFailover() { rt.failovers.Add(1) }
+
+// handleFanout serves GET /v1/stats and /v1/metrics as a cluster
+// document: the router's own counters plus each node's verbatim reply.
+func (rt *Router) handleFanout(w http.ResponseWriter, r *http.Request) {
+	nodes := make(map[string]json.RawMessage)
+	for _, n := range rt.cl.Nodes() {
+		status, _, raw, err := rt.call(r, n.Name, r.URL.Path, nil)
+		if err != nil || status != http.StatusOK {
+			continue
+		}
+		nodes[n.Name] = raw
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"router": rt.Stats(), "nodes": nodes})
+}

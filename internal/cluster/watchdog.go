@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Watchdog drives failover: it probes every node's health each tick,
+// counts consecutive failures, and once a node crosses the threshold
+// asks its promote callback for a replacement URL — the promoted
+// follower — and repoints the node's traffic there. The ring never
+// moves; campaigns keep their placement and ids across the swap.
+type Watchdog struct {
+	cl        *Cluster
+	client    *http.Client
+	threshold int
+	// promote turns a dead node's replica into a live server and
+	// returns its URL; an error leaves the node down and the watchdog
+	// retrying on later ticks.
+	promote func(name string) (string, error)
+	// onEvent, when non-nil, receives one line per state change.
+	onEvent func(format string, args ...any)
+
+	mu      sync.Mutex
+	strikes map[string]int
+}
+
+// NewWatchdog builds a watchdog over cl. threshold is the consecutive
+// failed probes before promotion (<= 0 disables promotion — the
+// watchdog then only maintains health flags); client nil means
+// http.DefaultClient; onEvent may be nil.
+func NewWatchdog(cl *Cluster, client *http.Client, threshold int, promote func(string) (string, error), onEvent func(string, ...any)) *Watchdog {
+	return &Watchdog{
+		cl: cl, client: client, threshold: threshold,
+		promote: promote, onEvent: onEvent,
+		strikes: make(map[string]int),
+	}
+}
+
+func (w *Watchdog) event(format string, args ...any) {
+	if w.onEvent != nil {
+		w.onEvent(format, args...)
+	}
+}
+
+// Tick runs one probe round and any promotions it triggers.
+func (w *Watchdog) Tick(ctx context.Context) {
+	failed := w.cl.CheckHealth(ctx, w.client)
+	down := make(map[string]bool, len(failed))
+	for _, name := range failed {
+		down[name] = true
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, n := range w.cl.Nodes() {
+		if !down[n.Name] {
+			w.strikes[n.Name] = 0
+			continue
+		}
+		w.strikes[n.Name]++
+		if w.threshold <= 0 || w.promote == nil || w.strikes[n.Name] < w.threshold || n.Promoted {
+			continue
+		}
+		w.event("node %s failed %d probes; promoting its replica", n.Name, w.strikes[n.Name])
+		url, err := w.promote(n.Name)
+		if err != nil {
+			w.event("promote %s: %v", n.Name, err)
+			continue
+		}
+		if err := w.cl.Repoint(n.Name, url); err != nil {
+			w.event("promote %s: %v", n.Name, err)
+			continue
+		}
+		w.event("node %s now served by its promoted replica on %s", n.Name, url)
+	}
+}
+
+// Run ticks on a fixed interval until ctx is canceled.
+func (w *Watchdog) Run(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			w.Tick(ctx)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"hputune/internal/randx"
+)
+
+// sampleMoments draws n values and returns the empirical mean and
+// variance.
+func sampleMoments(t *testing.T, d Distribution, n int, seed uint64) (mean, variance float64) {
+	t.Helper()
+	r := randx.New(seed)
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := d.Sample(r)
+		if v < 0 {
+			t.Fatalf("negative latency sample %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean = sum / float64(n)
+	variance = sumSq/float64(n) - mean*mean
+	return mean, variance
+}
+
+// TestSamplersMatchClosedFormMoments checks every sampler against its
+// own Mean/Var closed forms by Monte Carlo.
+func TestSamplersMatchClosedFormMoments(t *testing.T) {
+	exp, err := NewExponential(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	erl, err := NewErlang(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyp, err := NewHyperExponential([]float64{1, 3}, []float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		d    interface {
+			Distribution
+			Var() float64
+		}
+	}{
+		{"exponential", exp},
+		{"erlang", erl},
+		{"hyperexponential", hyp},
+	} {
+		const n = 200000
+		mean, variance := sampleMoments(t, tc.d, n, 11)
+		if want := tc.d.Mean(); math.Abs(mean-want) > 0.05*want+1e-3 {
+			t.Errorf("%s: sample mean %v, closed form %v", tc.name, mean, want)
+		}
+		if want := tc.d.Var(); math.Abs(variance-want) > 0.1*want+1e-3 {
+			t.Errorf("%s: sample variance %v, closed form %v", tc.name, variance, want)
+		}
+	}
+
+	// The log-normal exposes no Var; check its sampler against the
+	// textbook moments exp(mu+sigma²/2) and m²·(e^{sigma²}−1).
+	ln, err := NewLogNormal(0.2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, variance := sampleMoments(t, ln, 200000, 11)
+	if want := ln.Mean(); math.Abs(mean-want) > 0.05*want {
+		t.Errorf("lognormal: sample mean %v, closed form %v", mean, want)
+	}
+	if want := ln.Mean() * ln.Mean() * math.Expm1(ln.Sigma*ln.Sigma); math.Abs(variance-want) > 0.1*want {
+		t.Errorf("lognormal: sample variance %v, closed form %v", variance, want)
+	}
+}
+
+// TestPDFIsDerivativeOfCDF checks each density against a central
+// difference of its own CDF.
+func TestPDFIsDerivativeOfCDF(t *testing.T) {
+	exp, _ := NewExponential(1.5)
+	hyp, _ := NewHyperExponential([]float64{0.3, 0.7}, []float64{0.8, 5})
+	ln, _ := NewLogNormal(0, 0.8)
+	type pdfCDF interface {
+		PDF(t float64) float64
+		CDF(t float64) float64
+	}
+	for _, tc := range []struct {
+		name string
+		d    pdfCDF
+	}{
+		{"exponential", exp},
+		{"hyperexponential", hyp},
+		{"lognormal", ln},
+	} {
+		const h = 1e-5
+		for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+			want := (tc.d.CDF(x+h) - tc.d.CDF(x-h)) / (2 * h)
+			if got := tc.d.PDF(x); math.Abs(got-want) > 1e-4*(1+want) {
+				t.Errorf("%s: PDF(%v) = %v, CDF slope %v", tc.name, x, got, want)
+			}
+		}
+		// Below the support everything is flat zero.
+		if tc.d.PDF(-1) != 0 || tc.d.CDF(-1) != 0 {
+			t.Errorf("%s: density or mass below 0", tc.name)
+		}
+	}
+}
+
+// TestMaxOrderSamplerMatchesCDF draws max-of-n batches and compares the
+// empirical CDF at the median against F(t)^N.
+func TestMaxOrderSamplerMatchesCDF(t *testing.T) {
+	base, err := NewExponential(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaxOrder(5, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invert F(t)^5 = 0.5 for the reference point.
+	target := -math.Log(1 - math.Pow(0.5, 1.0/5))
+	if got := m.CDF(target); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("CDF at inverted median = %v, want 0.5", got)
+	}
+	r := randx.New(23)
+	const n = 100000
+	below := 0
+	for i := 0; i < n; i++ {
+		if m.Sample(r) <= target {
+			below++
+		}
+	}
+	if p := float64(below) / n; math.Abs(p-0.5) > 0.01 {
+		t.Fatalf("empirical CDF at median = %v, want 0.5±0.01", p)
+	}
+}
+
+// TestHypoexponentialVariance pins Var = Σ 1/λᵢ² for the series sum.
+func TestHypoexponentialVariance(t *testing.T) {
+	hypo, err := NewHypoexponential(1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 + 1.0/4 + 1.0/16
+	if got := hypo.Var(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", got, want)
+	}
+}

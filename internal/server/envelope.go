@@ -31,6 +31,10 @@ const (
 	// work (503 on campaign starts during shutdown); retrying against a
 	// live replica may succeed, retrying here will not.
 	CodeSuspended = "suspended"
+	// CodeCompacted: the requested WAL tail was compacted into a
+	// snapshot (410 on /v1/replication/wal); refetch the full state from
+	// /v1/replication/state and resume shipping from its sequence.
+	CodeCompacted = "compacted"
 	// CodeInternal: an unexpected server-side failure (5xx fallback).
 	CodeInternal = "internal"
 )
@@ -50,10 +54,13 @@ type ErrorEnvelope struct {
 	Error APIError `json:"error"`
 }
 
-// codeForStatus maps an HTTP status to its default error code — unique
+// CodeForStatus maps an HTTP status to its default error code — unique
 // except for 503, where capacity replies (overloaded) are written
 // explicitly and only drain-time replies fall through to this map.
-func codeForStatus(status int) string {
+// Exported for the cluster router, whose own errors (unknown node,
+// unreachable node) must carry the same envelope codes as the nodes it
+// fronts.
+func CodeForStatus(status int) string {
 	switch status {
 	case http.StatusBadRequest:
 		return CodeBadSpec
@@ -65,6 +72,8 @@ func codeForStatus(status int) string {
 		return CodeTooLarge
 	case http.StatusTooManyRequests:
 		return CodeRateLimited
+	case http.StatusGone:
+		return CodeCompacted
 	case http.StatusServiceUnavailable:
 		return CodeOverloaded
 	}
@@ -91,7 +100,7 @@ func writeEnvelope(w http.ResponseWriter, status int, code string, retry time.Du
 // retry hint; the status keeps its historical meaning (400 bad_spec,
 // 404 not_found, 413 too_large).
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeEnvelope(w, status, codeForStatus(status), 0, format, args...)
+	writeEnvelope(w, status, CodeForStatus(status), 0, format, args...)
 }
 
 // writeOverloaded writes the 503 capacity reply with a retry hint.
@@ -173,7 +182,7 @@ func (w *envelopeWriter) finish() {
 	if msg == "" {
 		msg = http.StatusText(w.status)
 	}
-	enc, err := json.Marshal(ErrorEnvelope{Error: APIError{Code: codeForStatus(w.status), Message: msg}})
+	enc, err := json.Marshal(ErrorEnvelope{Error: APIError{Code: CodeForStatus(w.status), Message: msg}})
 	if err != nil {
 		return
 	}

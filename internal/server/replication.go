@@ -1,0 +1,101 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"hputune/internal/store"
+)
+
+// Replication read surface. A cluster follower keeps a byte-identical
+// replica of this node's durable state by polling two endpoints:
+//
+//	GET /v1/replication/state          — the current snapshot State
+//	GET /v1/replication/wal?from=SEQ   — framed WAL records after SEQ
+//
+// The WAL reply is the store's durable tail encoded in the on-disk
+// frame format (length + CRC + JSON record), so a follower appends the
+// body verbatim to its own wal.log and the standard recovery path
+// replays it. Only acknowledged (fsynced) records are ever served;
+// a 410 with code "compacted" tells the follower the tail no longer
+// reaches back to its cursor and it must re-seed from /state.
+
+// nodeHeader carries the serving node's cluster name on replication
+// replies so a follower can detect it is polling the wrong process.
+const nodeHeader = "X-HT-Node"
+
+// lastSeqHeader reports the sequence of the last record in a WAL reply
+// (or the request's cursor when the reply is empty).
+const lastSeqHeader = "X-HT-Last-Seq"
+
+// ReplicationStateResponse is the GET /v1/replication/state document.
+type ReplicationStateResponse struct {
+	// Node is the serving node's cluster name (Config.Node).
+	Node string `json:"node"`
+	// LastSeq is the last durable WAL sequence folded into State.
+	LastSeq uint64 `json:"lastSeq"`
+	// State is the full durable snapshot; a follower seeds its replica
+	// directory from it and resumes WAL shipping at LastSeq.
+	State *store.State `json:"state"`
+}
+
+func (s *Server) handleReplicationState(w http.ResponseWriter, r *http.Request) {
+	if s.st == nil {
+		writeError(w, http.StatusNotFound, "no durable store on this node (start it with -state-dir)")
+		return
+	}
+	state, err := s.st.State()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "read state: %v", err)
+		return
+	}
+	w.Header().Set(nodeHeader, s.cfg.Node)
+	writeJSON(w, http.StatusOK, ReplicationStateResponse{
+		Node:    s.cfg.Node,
+		LastSeq: state.LastSeq,
+		State:   state,
+	})
+}
+
+func (s *Server) handleReplicationWAL(w http.ResponseWriter, r *http.Request) {
+	if s.st == nil {
+		writeError(w, http.StatusNotFound, "no durable store on this node (start it with -state-dir)")
+		return
+	}
+	from := uint64(0)
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "from=%q is not a sequence number", q)
+			return
+		}
+		from = v
+	}
+	recs, err := s.st.TailSince(from)
+	if err == store.ErrCompacted {
+		writeEnvelope(w, http.StatusGone, CodeCompacted, 0,
+			"WAL tail compacted past sequence %d; refetch /v1/replication/state", from)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "read WAL tail: %v", err)
+		return
+	}
+	var buf []byte
+	for _, rec := range recs {
+		buf, err = store.EncodeRecordFrame(buf, rec)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "encode record %d: %v", rec.Seq, err)
+			return
+		}
+	}
+	last := from
+	if n := len(recs); n > 0 {
+		last = recs[n-1].Seq
+	}
+	w.Header().Set(nodeHeader, s.cfg.Node)
+	w.Header().Set(lastSeqHeader, strconv.FormatUint(last, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
+}

@@ -144,6 +144,11 @@ type Config struct {
 	// limiting, CPU shedding, access logging. The zero value keeps the
 	// plain admission behavior.
 	Traffic TrafficConfig
+	// Node names this process within a cluster; the replication
+	// endpoints report it (body and X-HT-Node header) so a follower can
+	// verify which primary it is shipping from. Empty is fine for a
+	// standalone process.
+	Node string
 }
 
 // fitState is one immutable trace-inferred rate model; the current one
@@ -166,12 +171,10 @@ type Server struct {
 	mux        *http.ServeMux
 
 	// Traffic layer: per-client rate limiting, process load sampling,
-	// per-endpoint latency histograms (hist is read-only after New;
-	// histOther absorbs unmatched routes), and the access log.
+	// per-endpoint latency histograms, and the access log.
 	limiter      *traffic.Limiter
 	loadSampler  *traffic.LoadSampler
-	hist         map[string]*traffic.Histogram
-	histOther    *traffic.Histogram
+	hist         *traffic.HistogramSet
 	clientHeader string
 	accessLog    *log.Logger
 
@@ -230,11 +233,10 @@ func New(cfg Config) (*Server, error) {
 		s.clientHeader = defaultClientHeader
 	}
 	s.mux = http.NewServeMux()
-	s.hist = make(map[string]*traffic.Histogram)
-	s.histOther = &traffic.Histogram{}
+	var patterns []string
 	handle := func(pattern string, h http.HandlerFunc) {
 		s.mux.HandleFunc(pattern, h)
-		s.hist[pattern] = &traffic.Histogram{}
+		patterns = append(patterns, pattern)
 	}
 	handle("POST /v1/solve", s.handleSolve)
 	handle("POST /v1/solve-heterogeneous", s.handleSolveHeterogeneous)
@@ -249,6 +251,9 @@ func New(cfg Config) (*Server, error) {
 	handle("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	handle("GET /v1/replication/state", s.handleReplicationState)
+	handle("GET /v1/replication/wal", s.handleReplicationWAL)
+	s.hist = traffic.NewHistogramSet(patterns...)
 	return s, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -108,10 +109,13 @@ func (s *Server) clientKey(r *http.Request) string {
 }
 
 // rateLimitExempt excludes liveness and monitoring probes from rate
-// limiting: throttling the probes that diagnose an overload would be
-// self-defeating.
+// limiting — throttling the probes that diagnose an overload would be
+// self-defeating — and the replication reads, whose only client is a
+// cluster follower polling this node's WAL tail: rate-limiting the
+// replica's feed would turn client load into replication lag.
 func rateLimitExempt(path string) bool {
-	return path == "/v1/healthz" || path == "/v1/metrics"
+	return path == "/v1/healthz" || path == "/v1/metrics" ||
+		strings.HasPrefix(path, "/v1/replication/")
 }
 
 // middleware wraps the mux with the traffic layer, outermost first:
@@ -151,11 +155,7 @@ func (s *Server) middleware() http.Handler {
 
 // observe records one request duration under its route pattern.
 func (s *Server) observe(pattern string, d time.Duration) {
-	h := s.hist[pattern]
-	if h == nil {
-		h = s.histOther
-	}
-	h.Observe(d)
+	s.hist.Observe(pattern, d)
 }
 
 // MetricsSnapshot is the GET /v1/metrics document: per-endpoint latency
@@ -191,13 +191,8 @@ type MetricsSnapshot struct {
 // Metrics snapshots the full observability surface (the /v1/metrics
 // document) for embedders.
 func (s *Server) Metrics() MetricsSnapshot {
-	endpoints := make(map[string]traffic.HistogramSnapshot, len(s.hist)+1)
-	for pattern, h := range s.hist {
-		endpoints[pattern] = h.Snapshot()
-	}
-	endpoints["other"] = s.histOther.Snapshot()
 	return MetricsSnapshot{
-		Endpoints: endpoints,
+		Endpoints: s.hist.Snapshot(),
 		Admission: s.gate.Snapshot(),
 		RateLimit: s.limiter.Stats(),
 		Load:      s.loadSampler.Load(),

@@ -83,6 +83,13 @@ type FleetSpec struct {
 	Preset string `json:"preset"`
 	// Seed derives every campaign's seed in the preset.
 	Seed uint64 `json:"seed"`
+	// Index, when set, selects the single campaign at that position
+	// (0-based) of the expanded preset. The cluster router uses it to
+	// scatter one fleet document across nodes: each node re-expands the
+	// preset deterministically from the same seed and keeps exactly its
+	// slice, so the scattered campaigns are bit-identical to the ones a
+	// single node would have run.
+	Index *int `json:"index,omitempty"`
 }
 
 // campaignDoc is the top level of a campaign spec document.
@@ -148,13 +155,28 @@ func (s CampaignSpec) Build(opts BuildOpts) (campaign.Config, error) {
 	return cfg, nil
 }
 
-// buildFleet expands a named preset.
+// buildFleet expands a named preset, sliced to one campaign when the
+// spec pins an index.
 func buildFleet(f FleetSpec) ([]campaign.Config, error) {
+	var cfgs []campaign.Config
+	var err error
 	switch f.Preset {
 	case "paper":
-		return workload.PaperCampaignFleet(f.Seed)
+		cfgs, err = workload.PaperCampaignFleet(f.Seed)
+	default:
+		return nil, fmt.Errorf("unknown fleet preset %q (want \"paper\")", f.Preset)
 	}
-	return nil, fmt.Errorf("unknown fleet preset %q (want \"paper\")", f.Preset)
+	if err != nil {
+		return nil, err
+	}
+	if f.Index != nil {
+		i := *f.Index
+		if i < 0 || i >= len(cfgs) {
+			return nil, fmt.Errorf("fleet index %d outside [0, %d) for preset %q", i, len(cfgs), f.Preset)
+		}
+		cfgs = cfgs[i : i+1]
+	}
+	return cfgs, nil
 }
 
 // ParseCampaigns decodes a campaign spec document — exactly one of

@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -78,6 +79,35 @@ func TestParseCampaignFleetPreset(t *testing.T) {
 	}
 	if _, err := ParseCampaigns([]byte(`{"fleet": {"preset": "imaginary"}}`), BuildOpts{}); err == nil || !strings.Contains(err.Error(), "unknown fleet preset") {
 		t.Fatalf("unknown preset: %v", err)
+	}
+}
+
+// TestParseCampaignFleetIndex pins the router's scatter contract: a
+// fleet spec with an index expands to exactly the campaign a full
+// expansion would place at that position.
+func TestParseCampaignFleetIndex(t *testing.T) {
+	full, err := ParseCampaigns([]byte(`{"fleet": {"preset": "paper", "seed": 3}}`), BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		doc := fmt.Sprintf(`{"fleet": {"preset": "paper", "seed": 3, "index": %d}}`, i)
+		one, err := ParseCampaigns([]byte(doc), BuildOpts{})
+		if err != nil {
+			t.Fatalf("index %d: %v", i, err)
+		}
+		if len(one) != 1 {
+			t.Fatalf("index %d expanded to %d campaigns, want 1", i, len(one))
+		}
+		if one[0].Name != full[i].Name || one[0].Seed != full[i].Seed {
+			t.Fatalf("index %d: got %q seed %d, want %q seed %d", i, one[0].Name, one[0].Seed, full[i].Name, full[i].Seed)
+		}
+	}
+	for _, bad := range []int{-1, len(full)} {
+		doc := fmt.Sprintf(`{"fleet": {"preset": "paper", "seed": 3, "index": %d}}`, bad)
+		if _, err := ParseCampaigns([]byte(doc), BuildOpts{}); err == nil || !strings.Contains(err.Error(), "fleet index") {
+			t.Fatalf("index %d: %v", bad, err)
+		}
 	}
 }
 

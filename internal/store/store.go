@@ -51,12 +51,23 @@ const (
 	snapTmpName = "snapshot.json.tmp"
 )
 
+// WALPath returns the WAL file's path inside a state directory — the
+// file a cluster follower appends shipped frames to between SeedDir and
+// the Open that promotes the replica.
+func WALPath(dir string) string { return filepath.Join(dir, walName) }
+
 // DefaultSnapshotEvery is the auto-compaction cadence in appended
 // records when Options.SnapshotEvery is unset.
 const DefaultSnapshotEvery = 1024
 
 // ErrClosed rejects operations on a closed store.
 var ErrClosed = errors.New("store: closed")
+
+// ErrCompacted reports a TailSince request for records a compaction has
+// already absorbed into the snapshot: the WAL tail no longer reaches
+// back that far. A follower recovers by refetching the full state
+// (State) and resuming from its LastSeq.
+var ErrCompacted = errors.New("store: tail compacted past the requested sequence")
 
 // Options configures a store. The zero value is production-safe.
 type Options struct {
@@ -113,6 +124,18 @@ type Store struct {
 	closed  bool
 	buf     []byte
 
+	// Replication tail (under mu): the durable records since the last
+	// compaction, in sequence order — exactly the records a rebuilt
+	// replay of the current WAL would apply on top of the snapshot.
+	// tailBase is the sequence the snapshot pins; tail[i] has sequence
+	// tailBase+1+i (appends are gapless). Records enter the tail only
+	// after their flush settled (never records a crash could take back)
+	// and leave it when a compaction absorbs them into the snapshot, so
+	// the memory held is bounded by SnapshotEvery records. TailSince
+	// serves it to WAL-shipping followers.
+	tail     []Record
+	tailBase uint64
+
 	// Group-commit state (under mu). pending is the batch accepting new
 	// appends; flushing marks a leader mid write+fsync (it releases mu
 	// for the disk I/O, so followers queue into the next batch
@@ -154,7 +177,8 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	good, replayErr := replayWAL(f, state)
+	snapSeq := state.LastSeq
+	tail, good, replayErr := replayWAL(f, state)
 	if replayErr != nil {
 		var tail *TailError
 		if !errors.As(replayErr, &tail) {
@@ -171,7 +195,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, opts: opts, f: f, state: state}
+	s := &Store{dir: dir, opts: opts, f: f, state: state, tail: tail, tailBase: snapSeq}
 	s.w = io.Writer(f)
 	if opts.WrapWAL != nil {
 		s.w = opts.WrapWAL(f)
@@ -199,25 +223,28 @@ func loadSnapshot(path string) (*State, error) {
 
 // replayWAL folds the WAL into state, skipping records the snapshot
 // already absorbed (a crash between snapshot rename and WAL truncation
-// legitimately leaves them behind). It returns the byte offset just
-// past the last intact record.
-func replayWAL(r io.Reader, state *State) (int64, error) {
+// legitimately leaves them behind). It returns the applied records (the
+// recovered replication tail) and the byte offset just past the last
+// intact record.
+func replayWAL(r io.Reader, state *State) ([]Record, int64, error) {
 	d := NewReader(r)
 	snapSeq := state.LastSeq
+	var tail []Record
 	for {
 		rec, err := d.Next()
 		if err == io.EOF {
-			return d.Offset(), nil
+			return tail, d.Offset(), nil
 		}
 		if err != nil {
-			return d.Offset(), err
+			return tail, d.Offset(), err
 		}
 		if rec.Seq <= snapSeq {
 			continue // absorbed by the snapshot before the crash
 		}
 		if err := state.Apply(rec); err != nil {
-			return d.Offset(), err
+			return tail, d.Offset(), err
 		}
+		tail = append(tail, rec)
 	}
 }
 
@@ -252,6 +279,83 @@ func (s *Store) State() (*State, error) {
 	return s.state.clone()
 }
 
+// TailSince returns the durable records with sequence greater than seq,
+// in order — the WAL-shipping read a replication follower polls. Like
+// State it waits out an in-flight group-commit flush, so it never serves
+// a record that a crash could still take back; on a sticky-failed store
+// it keeps serving the durable prefix (shipping what did reach the disk
+// off a dying node is exactly the failover path). It returns
+// ErrCompacted when seq predates the tail's base — a compaction absorbed
+// the requested records into the snapshot — in which case the caller
+// refetches the full state instead.
+func (s *Store) TailSince(seq uint64) ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.flushing {
+		s.flushDone.Wait()
+	}
+	if seq < s.tailBase {
+		return nil, ErrCompacted
+	}
+	start := seq - s.tailBase
+	if start >= uint64(len(s.tail)) {
+		return nil, nil
+	}
+	// Copy the slice header range; the records themselves are immutable
+	// once appended.
+	out := make([]Record, len(s.tail)-int(start))
+	copy(out, s.tail[start:])
+	return out, nil
+}
+
+// SeedDir initializes (or resets) a state directory to hold exactly
+// state: the state is written as the directory's snapshot with the same
+// tmp-write + fsync + atomic-rename dance Compact uses, and any leftover
+// WAL is removed. A follower uses it to seed its replica from a
+// primary's full state before shipping WAL records on top; opening the
+// directory afterwards recovers a state deep-equal to the one given.
+func SeedDir(dir string, state *State, opts Options) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	raw, err := json.Marshal(state)
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	tmp := filepath.Join(dir, snapTmpName)
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if _, err := tf.Write(raw); err != nil {
+		tf.Close()
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if !opts.NoSync {
+		if err := tf.Sync(); err != nil {
+			tf.Close()
+			return fmt.Errorf("store: snapshot fsync: %w", err)
+		}
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapName)); err != nil {
+		return fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	// A stale WAL under the new snapshot would replay foreign records on
+	// top of it; the seeded state must stand alone.
+	if err := os.Remove(filepath.Join(dir, walName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: remove stale WAL: %w", err)
+	}
+	if !opts.NoSync {
+		if err := syncDir(dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // fail records the first write failure; the store is read-only after.
 func (s *Store) fail(err error) error {
 	if s.failed == nil {
@@ -271,6 +375,9 @@ type commitBatch struct {
 	n    int
 	done chan struct{}
 	err  error
+	// recs are the batch's applied records, promoted into the
+	// replication tail once the shared fsync settles.
+	recs []Record
 }
 
 // append frames and applies one record, then commits it: batched with
@@ -312,7 +419,7 @@ func (s *Store) append(typ string, data any) error {
 	}
 	if s.opts.GroupCommitWindow < 0 {
 		defer s.mu.Unlock()
-		return s.writeOneLocked(typ, payload)
+		return s.writeOneLocked(rec, payload)
 	}
 
 	// Group commit. Enqueue this record's frame on the open batch; the
@@ -324,6 +431,7 @@ func (s *Store) append(typ string, data any) error {
 	b := s.pending
 	b.buf = appendFrame(b.buf, payload)
 	b.n++
+	b.recs = append(b.recs, rec)
 	if s.flushing {
 		s.mu.Unlock()
 		<-b.done
@@ -363,6 +471,9 @@ func (s *Store) append(typ string, data any) error {
 			}
 			s.metAppends += uint64(cur.n)
 			s.appends += cur.n
+			// The batch is durable: its records join the replication tail
+			// (batches settle in sequence order, so the tail stays gapless).
+			s.tail = append(s.tail, cur.recs...)
 		}
 		close(cur.done)
 	}
@@ -395,10 +506,10 @@ func (s *Store) append(typ string, data any) error {
 
 // writeOneLocked is the unbatched reference write path (mu held): frame,
 // write and fsync exactly one record.
-func (s *Store) writeOneLocked(typ string, payload []byte) error {
+func (s *Store) writeOneLocked(rec Record, payload []byte) error {
 	s.buf = appendFrame(s.buf[:0], payload)
 	if _, err := s.w.Write(s.buf); err != nil {
-		return s.fail(fmt.Errorf("store: append %s record: %w", typ, err))
+		return s.fail(fmt.Errorf("store: append %s record: %w", rec.Type, err))
 	}
 	s.walBytes += int64(len(s.buf))
 	if !s.opts.NoSync {
@@ -409,6 +520,7 @@ func (s *Store) writeOneLocked(typ string, payload []byte) error {
 	}
 	s.metAppends++
 	s.appends++
+	s.tail = append(s.tail, rec)
 	if s.appends >= s.opts.SnapshotEvery {
 		if err := s.compactLocked(); err != nil {
 			return s.fail(err)
@@ -525,6 +637,10 @@ func (s *Store) compactLocked() error {
 	s.appends = 0
 	s.walBytes = 0
 	s.metCompactions++
+	// The snapshot absorbed every tail record; followers still behind it
+	// get ErrCompacted from TailSince and refetch the full state.
+	s.tail = nil
+	s.tailBase = s.state.LastSeq
 	return nil
 }
 

@@ -92,6 +92,22 @@ func (e *CorruptError) Error() string {
 	return fmt.Sprintf("store: corrupt WAL record at byte %d: %s", e.Offset, e.Cause)
 }
 
+// EncodeRecordFrame appends rec to buf in the WAL's on-disk framing
+// (length + CRC-32C + JSON envelope) and returns the extended buffer.
+// It is the wire encoding WAL shipping uses: a follower appends the
+// shipped frames verbatim to its replica WAL, so the replica replays
+// through the exact same Reader as a local recovery.
+func EncodeRecordFrame(buf []byte, rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode %s record frame: %w", rec.Type, err)
+	}
+	if len(payload) > maxRecordBytes {
+		return nil, fmt.Errorf("store: record frame %d bytes above the %d cap", len(payload), maxRecordBytes)
+	}
+	return appendFrame(buf, payload), nil
+}
+
 // appendFrame appends one framed payload to buf and returns it.
 func appendFrame(buf, payload []byte) []byte {
 	var hdr [frameHeaderSize]byte

@@ -1,0 +1,45 @@
+package traffic
+
+import "time"
+
+// HistogramSet labels one Histogram per route pattern plus an "other"
+// bucket for unmatched requests. The pattern set is fixed at
+// construction, so Observe is lock-free and the set is safe for
+// concurrent use; both the serving layer and the cluster router put one
+// in front of their muxes.
+type HistogramSet struct {
+	hist  map[string]*Histogram
+	other *Histogram
+}
+
+// NewHistogramSet builds a set with one histogram per pattern.
+func NewHistogramSet(patterns ...string) *HistogramSet {
+	s := &HistogramSet{
+		hist:  make(map[string]*Histogram, len(patterns)),
+		other: &Histogram{},
+	}
+	for _, p := range patterns {
+		s.hist[p] = &Histogram{}
+	}
+	return s
+}
+
+// Observe records one request duration under its route pattern;
+// unknown patterns (unmatched routes) pool under "other".
+func (s *HistogramSet) Observe(pattern string, d time.Duration) {
+	h := s.hist[pattern]
+	if h == nil {
+		h = s.other
+	}
+	h.Observe(d)
+}
+
+// Snapshot copies every histogram, keyed by pattern plus "other".
+func (s *HistogramSet) Snapshot() map[string]HistogramSnapshot {
+	out := make(map[string]HistogramSnapshot, len(s.hist)+1)
+	for p, h := range s.hist {
+		out[p] = h.Snapshot()
+	}
+	out["other"] = s.other.Snapshot()
+	return out
+}

@@ -1,0 +1,245 @@
+package hputune_test
+
+import (
+	"math"
+	"testing"
+
+	"hputune"
+)
+
+// TestDistributionSurface drives every distribution constructor the
+// robustness experiments re-export, plus the seeded sampler.
+func TestDistributionSurface(t *testing.T) {
+	exp, err := hputune.NewExponential(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hputune.NewErlang(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hputune.NewHyperExponential([]float64{0.5, 0.5}, []float64{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hputune.NewLogNormal(0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := hputune.LogNormalFromMoments(0.5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := ln.Mean(); math.Abs(m-0.5) > 1e-9 {
+		t.Errorf("LogNormalFromMoments mean = %v, want 0.5", m)
+	}
+	// The exponential's coefficient of variation is exactly 1.
+	cv, err := hputune.CoefficientOfVariation(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cv-1) > 1e-9 {
+		t.Errorf("exponential CV = %v, want 1", cv)
+	}
+
+	samples, err := hputune.SampleDistribution(exp, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 200 {
+		t.Fatalf("drew %d samples, want 200", len(samples))
+	}
+	for _, s := range samples {
+		if s < 0 {
+			t.Fatalf("negative latency sample %v", s)
+		}
+	}
+	if _, err := hputune.SampleDistribution(nil, 1, 0); err == nil || err.Error() == "" {
+		t.Fatal("nil distribution must be rejected with a message")
+	}
+}
+
+// heterogeneousProblem builds a Scenario III instance: two groups with
+// different processing rates.
+func heterogeneousProblem(budget int) hputune.Problem {
+	fast := &hputune.TaskType{Name: "fast", Accept: hputune.Linear{K: 1, B: 1}, ProcRate: 3}
+	slow := &hputune.TaskType{Name: "slow", Accept: hputune.Linear{K: 1, B: 1}, ProcRate: 1.5}
+	return hputune.Problem{
+		Groups: []hputune.Group{
+			{Type: fast, Tasks: 5, Reps: 3},
+			{Type: slow, Tasks: 5, Reps: 4},
+		},
+		Budget: budget,
+	}
+}
+
+// TestSolvePicksTheSolverForTheShape exercises the high-level Solve
+// entry point across the three scenario shapes the paper prescribes.
+func TestSolvePicksTheSolverForTheShape(t *testing.T) {
+	est := hputune.NewEstimator()
+
+	// One group: EA.
+	one := apiProblem(200)
+	a, err := hputune.Solve(est, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost() > 200 {
+		t.Fatalf("EA-shaped Solve overspent: %d > 200", a.Cost())
+	}
+
+	// Two groups, equal processing rates: RA.
+	typ := &hputune.TaskType{Name: "v", Accept: hputune.Linear{K: 1, B: 1}, ProcRate: 2}
+	ra := hputune.Problem{
+		Groups: []hputune.Group{
+			{Type: typ, Tasks: 5, Reps: 3},
+			{Type: typ, Tasks: 5, Reps: 5},
+		},
+		Budget: 160,
+	}
+	if _, err := hputune.Solve(est, ra); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different processing rates: HA.
+	if _, err := hputune.Solve(est, heterogeneousProblem(180)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Invalid instances are rejected before any solver runs, and a nil
+	// estimator gets a fresh one.
+	if _, err := hputune.Solve(nil, hputune.Problem{}); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+	if _, err := hputune.Solve(nil, apiProblem(200)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchSurface drives the concurrent batch wrappers and checks the
+// determinism contract: results are a pure function of the arguments,
+// independent of worker count.
+func TestBatchSurface(t *testing.T) {
+	problems := []hputune.Problem{heterogeneousProblem(180), heterogeneousProblem(220)}
+	res, err := hputune.SolveHeterogeneousBatch(nil, problems, hputune.BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("batch returned %d results, want 2", len(res))
+	}
+
+	items := make([]hputune.SimulateItem, len(problems))
+	for i, p := range problems {
+		a, err := res[i].Allocation(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = hputune.SimulateItem{Problem: p, Allocation: a}
+	}
+	lat1, err := hputune.SimulateBatch(items, hputune.PhaseOnHold, 300, 9, hputune.BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat4, err := hputune.SimulateBatch(items, hputune.PhaseOnHold, 300, 9, hputune.BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lat1 {
+		if lat1[i] != lat4[i] {
+			t.Fatalf("SimulateBatch not worker-count invariant at %d: %v vs %v", i, lat1[i], lat4[i])
+		}
+		if lat1[i] <= 0 {
+			t.Fatalf("non-positive latency %v", lat1[i])
+		}
+	}
+
+	p, a := items[0].Problem, items[0].Allocation
+	s1, err := hputune.SimulateJobLatencyParallel(p, a, hputune.PhaseOnHold, 400, 13, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := hputune.SimulateJobLatencyParallel(p, a, hputune.PhaseOnHold, 400, 13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s4 {
+		t.Fatalf("SimulateJobLatencyParallel drifted across worker counts: %v vs %v", s1, s4)
+	}
+}
+
+// TestAllocationAndDiagnosticsSurface covers the remaining allocation
+// helpers and the saturation diagnostic.
+func TestAllocationAndDiagnosticsSurface(t *testing.T) {
+	est := hputune.NewEstimator()
+	p := heterogeneousProblem(180)
+
+	norm, err := hputune.SolveHeterogeneousNorm(est, p, hputune.NormL2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := norm.Allocation(p); err != nil {
+		t.Fatal(err)
+	}
+
+	alloc, err := hputune.NewUniformAllocation(p, []int{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if price, ok := alloc.GroupPrice(1); !ok || price != 5 {
+		t.Fatalf("uniform allocation group 1 price = %d,%v; want 5,true", price, ok)
+	}
+	if _, err := hputune.NewUniformAllocation(p, []int{4}); err == nil {
+		t.Fatal("price-count mismatch accepted")
+	}
+
+	scan, err := hputune.SaturationScan(est, p.Groups[0], 12, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan.Curve) == 0 {
+		t.Fatal("saturation scan produced no curve")
+	}
+}
+
+// TestCrowdPlanningSurface covers the voting-plan and quality wrappers
+// of the crowd database layer.
+func TestCrowdPlanningSurface(t *testing.T) {
+	items, err := hputune.DotImages(6, 10, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sortPlan, err := hputune.PlanSortPairs(items, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 6 * 5 / 2; len(sortPlan.Tasks) != want {
+		t.Fatalf("sort plan has %d tasks, want %d pairs", len(sortPlan.Tasks), want)
+	}
+
+	filterPlan, err := hputune.PlanFilter(items, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filterPlan.Tasks) != len(items) {
+		t.Fatalf("filter plan has %d tasks, want one per item", len(filterPlan.Tasks))
+	}
+
+	policy := hputune.PriceByDifficulty(map[hputune.VoteDifficulty]int{
+		hputune.VoteEasy: 1, hputune.VoteMedium: 2, hputune.VoteHard: 3,
+	})
+	for _, task := range filterPlan.Tasks {
+		prices := policy(task)
+		if len(prices) != task.Reps {
+			t.Fatalf("policy emitted %d prices for %d reps", len(prices), task.Reps)
+		}
+		for _, pr := range prices {
+			if pr < 1 {
+				t.Fatalf("non-positive price %d", pr)
+			}
+		}
+	}
+
+	precision, recall := hputune.FilterQuality([]string{"a", "b", "c"}, []string{"b", "c", "d"})
+	if math.Abs(precision-2.0/3.0) > 1e-9 || math.Abs(recall-2.0/3.0) > 1e-9 {
+		t.Fatalf("FilterQuality = %v, %v; want 2/3, 2/3", precision, recall)
+	}
+}
