@@ -4,9 +4,9 @@
 GO ?= go
 
 # COVER_MIN is the total-coverage floor `make cover` enforces — pinned
-# just under the level at PR merge (82.7%) to absorb sub-point
+# just under the level at PR merge (82.9%) to absorb sub-point
 # platform variance; raise it as coverage grows, never lower it.
-COVER_MIN ?= 82.2
+COVER_MIN ?= 82.4
 
 .PHONY: all build test race bench lint fmt cover cover-check fuzz-smoke linkcheck doccheck docs bench-campaign bench-suite bench-smoke bench-compare bench-scaling
 
@@ -42,15 +42,16 @@ cover-check:
 		printf "total coverage %.1f%% meets the %.1f%% floor\n", t, min }'
 
 # fuzz smoke: run each fuzz target briefly so regressions in the trace
-# readers and the WAL decoder surface in CI without a long fuzzing
-# budget. Runs under -race: the WAL decoder feeds a concurrent store
-# and the cheap smoke budget is the one place fuzzing and the race
-# detector meet.
+# readers, the WAL decoder and the campaign spec parser surface in CI
+# without a long fuzzing budget. Runs under -race: the WAL decoder
+# feeds a concurrent store and the cheap smoke budget is the one place
+# fuzzing and the race detector meet.
 fuzz-smoke:
 	$(GO) test -race -run=NONE -fuzz=FuzzReadCSV -fuzztime=10s ./internal/trace
 	$(GO) test -race -run=NONE -fuzz=FuzzReadJSONL -fuzztime=10s ./internal/trace
 	$(GO) test -race -run=NONE -fuzz=FuzzWALDecode -fuzztime=10s ./internal/store
 	$(GO) test -race -run=NONE -fuzz=FuzzShipDecode -fuzztime=10s ./internal/cluster
+	$(GO) test -race -run=NONE -fuzz=FuzzParseCampaigns -fuzztime=10s ./internal/spec
 
 lint:
 	@diff=$$(gofmt -l .); \
@@ -79,7 +80,7 @@ docs: linkcheck doccheck
 # The standing benchmark subsystem (cmd/htbench + internal/benchio).
 # BENCH_SUITES lists the committed BENCH_<suite>.json baselines;
 # methodology and how to read them: docs/PERFORMANCE.md.
-BENCH_SUITES ?= campaign solvers market inference
+BENCH_SUITES ?= campaign solvers market inference crowddb
 BENCH_COMMIT ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 BENCH_FRESH_DIR ?= bench-fresh
 

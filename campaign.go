@@ -39,6 +39,23 @@ type (
 	CampaignRound = campaign.RoundSnapshot
 	// CampaignResult is a campaign's inspectable (live or final) state.
 	CampaignResult = campaign.Result
+	// CrowdQuery switches a campaign to the crowd-DB query executor: one
+	// full top-k or group-by query per round, priced per difficulty by
+	// the round's tuned allocation (Campaign.Query).
+	CrowdQuery = campaign.CrowdQuery
+	// DeadlineSLO imposes a per-round latency SLO checked by the [29]
+	// comparator before each solve (Campaign.Deadline).
+	DeadlineSLO = campaign.DeadlineSLO
+	// CampaignRetainerPool serves a share of each round's repetitions
+	// from a pre-paid standby pool (Campaign.Retainer). Distinct from
+	// RetainerPool, the comparator-side pool of package retainer.
+	CampaignRetainerPool = campaign.RetainerPool
+	// CampaignQueryInfo is a round's crowd-query outcome.
+	CampaignQueryInfo = campaign.QueryInfo
+	// CampaignSLOInfo is a round's deadline-SLO accounting.
+	CampaignSLOInfo = campaign.SLOInfo
+	// CampaignRetainerInfo is a round's retainer-pool accounting.
+	CampaignRetainerInfo = campaign.RetainerInfo
 )
 
 // RunCampaign drives one closed-loop campaign to a terminal status.
@@ -61,6 +78,15 @@ func RunCampaignFleet(ctx context.Context, est *Estimator, cfgs []Campaign, work
 // pool, quadratic model misfit). Deterministic in seed.
 func PaperCampaignFleet(seed uint64) ([]Campaign, error) {
 	return workload.PaperCampaignFleet(seed)
+}
+
+// CrowdQueryCampaignFleet builds the crowd-DB scenario fleet: four
+// campaigns that each run a full crowd query per round — tournament
+// top-k, sequential-discovery group-by, the top-k query under a
+// deadline SLO, and the top-k query with a retainer pool. Deterministic
+// in seed.
+func CrowdQueryCampaignFleet(seed uint64) ([]Campaign, error) {
+	return workload.CrowdQueryCampaignFleet(seed)
 }
 
 // Solve tunes an instance with the solver the paper prescribes for its

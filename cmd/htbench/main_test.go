@@ -87,11 +87,11 @@ func TestScalingSpeedupDerivation(t *testing.T) {
 	}
 }
 
-// TestSuiteRegistry pins the declared surface: the four committed
+// TestSuiteRegistry pins the declared surface: the five committed
 // baselines exist, every benchmark is named, and names are unique
 // within a suite (Compare matches by name).
 func TestSuiteRegistry(t *testing.T) {
-	want := map[string]bool{"campaign": true, "solvers": true, "market": true, "inference": true}
+	want := map[string]bool{"campaign": true, "solvers": true, "market": true, "inference": true, "crowddb": true}
 	for _, s := range suites {
 		if !want[s.name] {
 			t.Errorf("unregistered suite name %q", s.name)

@@ -8,11 +8,13 @@ import (
 
 	"hputune/internal/benchio"
 	"hputune/internal/campaign"
+	"hputune/internal/crowddb"
 	"hputune/internal/engine"
 	"hputune/internal/htuning"
 	"hputune/internal/inference"
 	"hputune/internal/market"
 	"hputune/internal/pricing"
+	"hputune/internal/randx"
 	"hputune/internal/workload"
 )
 
@@ -483,9 +485,89 @@ func buildScalingSuite() suiteDef {
 
 var scalingSuite = buildScalingSuite()
 
+// crowddbSuite measures the crowd-DB operator layer the crowd-query
+// campaigns execute every round: one full tournament top-k, one full
+// sequential-discovery group-by, and the whole 4-preset crowd fleet
+// closed loop (tune → query → fold per round, including the
+// deadline-SLO admission check and the retainer transform).
+var crowddbSuite = suiteDef{
+	name:        "crowddb",
+	pkg:         "hputune/internal/crowddb",
+	description: "crowd query operators on fixed datasets (32-item top-8 tournament, 24-item 4-class group-by; noisy default classes, uniform price 2) plus the 4-preset crowd campaign fleet closed loop",
+	benchmarks: []benchDef{
+		{name: "TopKQuery", rounds: 2, note: "32 items, k = 8: one elimination round plus the final full-pairwise round; one iteration = one full query", fn: func(b *testing.B) {
+			items, err := crowddb.DotImages(32, 10, 100, randx.New(3))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cs, err := crowddb.DefaultClassSet(pricing.Linear{K: 2, B: 0.5}, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exec := &crowddb.Executor{Classes: cs, Config: market.Config{Seed: 7}}
+			policy := crowddb.UniformPrice(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := exec.RunTopK(items, 8, 3, policy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rounds) != 2 {
+					b.Fatalf("tournament ran %d rounds, want 2", len(res.Rounds))
+				}
+			}
+		}},
+		{name: "GroupByQuery", note: "24 items, 4 latent classes: sequential-discovery phases (at most 5); one iteration = one full query", fn: func(b *testing.B) {
+			items, err := crowddb.CategorizedItems(24, []string{"bird", "boat", "bike", "barn"}, 10, 100, randx.New(5))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cs, err := crowddb.DefaultClassSet(pricing.Linear{K: 2, B: 0.5}, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exec := &crowddb.Executor{Classes: cs, Config: market.Config{Seed: 11}}
+			policy := crowddb.UniformPrice(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := exec.RunGroupBy(items, 3, policy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Clusters) < 4 {
+					b.Fatalf("group-by found %d clusters, want >= 4", len(res.Clusters))
+				}
+			}
+		}},
+		{name: "CrowdCampaignFleet", workers: 4, note: "workload.CrowdQueryCampaignFleet(1) to terminal statuses on a 4-worker pool; round counts are convergence-dependent but deterministic in the fleet seed; steady state (one warmup fleet run before the timer)", fn: func(b *testing.B) {
+			cfgs, err := workload.CrowdQueryCampaignFleet(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			est := htuning.NewEstimator()
+			ctx := context.Background()
+			if _, err := campaign.RunFleet(ctx, est, cfgs, 4); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := campaign.RunFleet(ctx, est, cfgs, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Status == campaign.StatusFailed || r.RoundsRun == 0 {
+						b.Fatalf("campaign %s: status %s after %d rounds", r.Name, r.Status, r.RoundsRun)
+					}
+				}
+			}
+		}},
+	},
+}
+
 // suites is the registry of the committed per-PR drift baselines, in the
 // order files are written; `-suite all` and bench-smoke run exactly
 // these. The scaling suite is registered separately (selectSuites finds
 // it by name) because its 10k-campaign cells are too heavy for the CI
 // smoke gate — `make bench-scaling` runs it on demand.
-var suites = []suiteDef{campaignSuite, solverSuite, marketSuite, inferenceSuite}
+var suites = []suiteDef{campaignSuite, solverSuite, marketSuite, inferenceSuite, crowddbSuite}

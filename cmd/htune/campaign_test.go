@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"hputune"
 	"hputune/internal/campaign"
 	"hputune/internal/server"
 )
@@ -163,6 +165,126 @@ func TestCampaignCLIServerParity(t *testing.T) {
 	for i := range cliPrices {
 		if cliPrices[i] != serverPrices[i] {
 			t.Fatalf("round %d allocations diverge: CLI %s, service %s", i, cliPrices[i], serverPrices[i])
+		}
+	}
+}
+
+// TestCrowdCampaignCLIServerParity extends the parity contract to the
+// crowd-DB executor family: the crowd fleet (tournament top-k,
+// sequential-discovery group-by, the deadline-SLO and retainer-pool
+// regimes) must produce byte-identical results through the library's
+// RunCampaignFleet and POST /v1/campaigns, and identical per-round
+// allocations through `htune -campaign`, all from one spec and seed.
+func TestCrowdCampaignCLIServerParity(t *testing.T) {
+	raw, err := os.ReadFile(td("crowdfleet.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Library reference: the same preset and seed the spec names.
+	cfgs, err := hputune.CrowdQueryCampaignFleet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := hputune.RunCampaignFleet(context.Background(), nil, cfgs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != 4 {
+		t.Fatalf("crowd fleet has %d campaigns, want 4", len(ref))
+	}
+	var refPrices []string
+	for _, res := range ref {
+		if res.Status == campaign.StatusFailed {
+			t.Fatalf("reference campaign %s failed: %s", res.Name, res.Reason)
+		}
+		for _, r := range res.Rounds {
+			if r.Query == nil {
+				t.Fatalf("campaign %s round %d has no query info", res.Name, r.Round)
+			}
+			refPrices = append(refPrices, fmt.Sprint(r.Prices))
+		}
+	}
+
+	// Service side: byte-identical full results, not just allocations.
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("start: status %d", resp.StatusCode)
+	}
+	var started struct {
+		IDs []string `json:"ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&started); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(started.IDs) != len(ref) {
+		t.Fatalf("service started %d campaigns, want %d", len(started.IDs), len(ref))
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for i, id := range started.IDs {
+		var res campaign.Result
+		for {
+			resp, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = json.NewDecoder(resp.Body).Decode(&res)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status.Terminal() {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("campaign %s stuck in %s", id, res.Status)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		got, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(ref[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("service result for %s diverged from the library run\n got  %s\n want %s", res.Name, got, want)
+		}
+	}
+
+	// CLI side: same spec, identical allocation stream, and the crowd
+	// extras printed per round.
+	code, out, errb := runCLI(t, "-campaign", "-spec", td("crowdfleet.json"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"query topk", "query groupby", "slo deadline=", "retainer workers="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	var cliPrices []string
+	for _, m := range priceLine.FindAllStringSubmatch(out, -1) {
+		cliPrices = append(cliPrices, m[1])
+	}
+	if len(cliPrices) == 0 || len(cliPrices) != len(refPrices) {
+		t.Fatalf("CLI printed %d rounds, reference ran %d", len(cliPrices), len(refPrices))
+	}
+	for i := range cliPrices {
+		if cliPrices[i] != refPrices[i] {
+			t.Fatalf("round %d allocations diverge: CLI %s, reference %s", i, cliPrices[i], refPrices[i])
 		}
 	}
 }

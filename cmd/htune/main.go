@@ -227,6 +227,18 @@ func runCampaigns(stdout, stderr io.Writer, specPath string, workers int) int {
 			case r.FitPending != "":
 				fmt.Fprintf(stdout, " fit pending")
 			}
+			if q := r.Query; q != nil {
+				fmt.Fprintf(stdout, " query %s phases=%d tasks=%d accuracy=%.4f quality=%.4f",
+					q.Kind, q.Phases, q.Tasks, q.Accuracy, q.Quality)
+			}
+			if s := r.SLO; s != nil {
+				fmt.Fprintf(stdout, " slo deadline=%.4f comparator=%d violated=%t",
+					s.Deadline, s.ComparatorCost, s.Violated)
+			}
+			if p := r.Retainer; p != nil {
+				fmt.Fprintf(stdout, " retainer workers=%d retained=%d fee=%d",
+					p.Workers, p.Retained, p.Fee)
+			}
 			fmt.Fprintln(stdout)
 		}
 	}

@@ -113,6 +113,44 @@ func ExampleCampaign() {
 	// round 1: prices [3 2]
 }
 
+// ExampleCrowdQuery runs a closed-loop crowd-query campaign: each
+// round, the tuned per-difficulty prices drive a tournament top-k over
+// a synthesized dataset instead of posting flat task groups, and the
+// observed acceptance timings from every tournament phase re-fit the
+// tuner's belief about the market.
+func ExampleCrowdQuery() {
+	cfg := hputune.Campaign{
+		Name: "crowd-topk",
+		Query: &hputune.CrowdQuery{
+			Kind:        "topk",
+			Items:       8,
+			K:           2,
+			Reps:        3,
+			DatasetSeed: 5,
+			Accept:      hputune.Linear{K: 2, B: 0.5}, // the market's real curve
+			ProcRate:    2,
+		},
+		Prior:       hputune.Linear{K: 1, B: 1}, // what the tuner believes
+		RoundBudget: 150,
+		Budget:      2500,
+		MaxRounds:   4,
+		Epsilon:     0.05,
+		Seed:        11,
+	}
+	res, err := hputune.RunCampaign(context.Background(), nil, cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s after %d rounds, spent %d\n", res.Status, res.RoundsRun, res.Spent)
+	last := res.Rounds[len(res.Rounds)-1]
+	fmt.Printf("final round: %s in %d phases, quality %.2f\n",
+		last.Query.Kind, last.Query.Phases, last.Query.Quality)
+	// Output:
+	// max-rounds after 4 rounds, spent 888
+	// final round: topk in 2 phases, quality 1.00
+}
+
 // ExampleSolveBatch tunes a batch of related instances on the
 // concurrent engine: one shared estimator memoizes the E[max]
 // integrals, so overlapping instances reuse each other's work, and the

@@ -85,8 +85,22 @@ type Config struct {
 	HistoryCap int
 	// Executor overrides the backend the allocations are executed
 	// against; nil uses the market simulator over Groups, Market and
-	// Drift. Real (non-simulated) backends implement this interface.
+	// Drift (or the crowd-query executor when Query is set). Real
+	// (non-simulated) backends implement this interface.
 	Executor Executor
+	// Query switches the campaign to the crowd-DB query executor: every
+	// round runs one full top-k or group-by query priced by the round's
+	// allocation. Groups must be empty — they are derived from the query
+	// plan's difficulty buckets. Mutually exclusive with Executor.
+	Query *CrowdQuery
+	// Deadline imposes a per-round latency SLO checked before each solve
+	// by the [29] comparator; inadmissible rounds terminate the campaign
+	// as StatusSLOInfeasible.
+	Deadline *DeadlineSLO
+	// Retainer routes a slice of every round's repetitions through a
+	// pre-paid standby pool, removing their on-hold phase and charging
+	// the pool fee against the budget.
+	Retainer *RetainerPool
 }
 
 // Defaults for Config zero values.
@@ -182,6 +196,16 @@ func (cfg Config) Validate() error {
 	if err := cfg.Drift.validate(cfg.Market); err != nil {
 		return err
 	}
+	if cfg.Deadline != nil {
+		if err := cfg.Deadline.validate(); err != nil {
+			return err
+		}
+	}
+	if cfg.Retainer != nil {
+		if err := cfg.Retainer.validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -209,6 +233,10 @@ const (
 	StatusCanceled Status = "canceled"
 	// StatusFailed hit a solver or executor error (see Result.Reason).
 	StatusFailed Status = "failed"
+	// StatusSLOInfeasible stopped because the deadline SLO's admission
+	// check found no price up to its scan ceiling meeting the latency
+	// SLO under the current belief.
+	StatusSLOInfeasible Status = "slo-infeasible"
 	// StatusSuspended was stopped by a shutdown that intends to resume
 	// it (see ErrSuspended): not terminal — a recovery restores the
 	// campaign from its last completed round and continues.
@@ -264,6 +292,12 @@ type RoundSnapshot struct {
 	Fit        *FitInfo `json:"fit,omitempty"`
 	FitPending string   `json:"fitPending,omitempty"`
 	FitDelta   float64  `json:"fitDelta"`
+	// Query is the round's crowd-query outcome (crowd-query campaigns).
+	Query *QueryInfo `json:"query,omitempty"`
+	// SLO is the round's deadline-SLO accounting (deadline campaigns).
+	SLO *SLOInfo `json:"slo,omitempty"`
+	// Retainer is the round's pool accounting (retainer campaigns).
+	Retainer *RetainerInfo `json:"retainer,omitempty"`
 }
 
 // Result is a campaign's inspectable state: live while running, final
@@ -398,6 +432,20 @@ type Campaign struct {
 // integrals — it only saves recomputation.
 func New(est *htuning.Estimator, cfg Config) (*Campaign, error) {
 	cfg = cfg.withDefaults()
+	var crowdExec *crowdExecutor
+	if cfg.Query != nil {
+		if cfg.Executor != nil {
+			return nil, fmt.Errorf("campaign: Query and Executor are mutually exclusive")
+		}
+		if len(cfg.Groups) != 0 {
+			return nil, fmt.Errorf("campaign: crowd-query campaigns derive groups from the query plan; Groups must be empty")
+		}
+		var err error
+		crowdExec, cfg.Groups, err = newCrowdExecutor(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -406,7 +454,14 @@ func New(est *htuning.Estimator, cfg Config) (*Campaign, error) {
 	}
 	exec := cfg.Executor
 	if exec == nil {
-		exec = newMarketExecutor(cfg)
+		if crowdExec != nil {
+			exec = crowdExec
+		} else {
+			exec = newMarketExecutor(cfg)
+			if cfg.Retainer != nil {
+				exec = &retainerExecutor{inner: exec, pool: *cfg.Retainer}
+			}
+		}
 	}
 	return &Campaign{
 		cfg:       cfg,
@@ -513,7 +568,7 @@ func (c *Campaign) Restore(chk Checkpoint, rounds []RoundSnapshot) error {
 	case "", StatusPending, StatusRunning, StatusSuspended:
 		// Non-terminal at the time the checkpoint was cut: resumable.
 		status = StatusPending
-	case StatusConverged, StatusBudgetExhausted, StatusMaxRounds, StatusCanceled, StatusFailed:
+	case StatusConverged, StatusBudgetExhausted, StatusMaxRounds, StatusCanceled, StatusFailed, StatusSLOInfeasible:
 	default:
 		return fmt.Errorf("campaign: checkpoint has unknown status %q", chk.Status)
 	}
@@ -787,8 +842,20 @@ func (c *Campaign) Run(ctx context.Context) (Result, error) {
 				fmt.Sprintf("remaining budget %d cannot fund a round (minimum %d)", remaining, c.cfg.minRoundCost())), nil
 		}
 
-		// (1) Tune: solve the round under the current belief.
+		// (1) Tune: solve the round under the current belief. A deadline
+		// campaign first runs the [29] comparator as its SLO admission
+		// check — a belief under which no price meets the SLO stops the
+		// loop before it spends a round that cannot succeed.
 		belief := c.belief()
+		var slo *SLOInfo
+		if c.cfg.Deadline != nil {
+			var admitErr error
+			slo, admitErr = c.deadlineAdmission(belief)
+			if admitErr != nil {
+				return c.finishJournal(StatusSLOInfeasible,
+					fmt.Sprintf("round %d: deadline SLO inadmissible under the current belief: %v", round, admitErr)), nil
+			}
+		}
 		p := c.roundProblem(belief, budget)
 		algo := solverFor(c.cfg.Groups)
 		var prices []int
@@ -829,6 +896,14 @@ func (c *Campaign) Run(ctx context.Context) (Result, error) {
 		}
 
 		// (3) Re-fit: fold the observed traces and publish atomically.
+		// Executors that spend beyond the solver's first-phase allocation
+		// (crowd queries, retainer fees) override the round's spend.
+		if obs.Spent != nil {
+			spent = *obs.Spent
+		}
+		if slo != nil {
+			slo.Violated = obs.Makespan > c.cfg.Deadline.Makespan
+		}
 		fit, pending, delta, first := c.fold(obs.Records)
 		snap := RoundSnapshot{
 			Round:      round,
@@ -842,6 +917,9 @@ func (c *Campaign) Run(ctx context.Context) (Result, error) {
 			Fit:        fit,
 			FitPending: pending,
 			FitDelta:   delta,
+			Query:      obs.Query,
+			SLO:        slo,
+			Retainer:   obs.Retainer,
 		}
 		c.record(snap)
 

@@ -1,0 +1,467 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"hputune/internal/crowddb"
+	"hputune/internal/deadline"
+	"hputune/internal/htuning"
+	"hputune/internal/market"
+	"hputune/internal/pricing"
+	"hputune/internal/randx"
+	"hputune/internal/retainer"
+)
+
+// CrowdQuery configures the crowd-DB query executor: instead of raw
+// market tasks, every round runs one full crowd query (a tournament
+// top-k or a sequential-discovery group-by) whose atomic voting tasks
+// are priced per difficulty bucket by the round's tuned allocation. The
+// campaign's Groups are derived from the query's first parallel phase —
+// one group per difficulty present, so the solver prices exactly the
+// operator workload the executor runs — and the observed on-hold
+// durations of every phase fold back into the campaign's fit.
+type CrowdQuery struct {
+	// Kind is the query operator: "topk" or "groupby".
+	Kind string
+	// Items is the synthesized dataset size (>= 2).
+	Items int
+	// K is the top-k cut (required for "topk", 1 <= K < Items).
+	K int
+	// Classes are the latent categories of a "groupby" dataset.
+	Classes []string
+	// Reps is the votes per atomic task; <= 0 means 3.
+	Reps int
+	// ValueLo and ValueHi bound the latent item values; both zero means
+	// [1, 100].
+	ValueLo, ValueHi int
+	// DatasetSeed synthesizes the dataset (fixed across rounds: the
+	// campaign re-runs the same query under re-tuned prices).
+	DatasetSeed uint64
+	// Accept is the marketplace's true base acceptance model, damped per
+	// difficulty by the crowddb class set; hidden from the tuner.
+	Accept pricing.RateModel
+	// ProcRate is the base processing rate, damped per difficulty.
+	ProcRate float64
+}
+
+// withDefaults returns q with documented defaults applied.
+func (q CrowdQuery) withDefaults() CrowdQuery {
+	if q.Reps <= 0 {
+		q.Reps = 3
+	}
+	if q.ValueLo == 0 && q.ValueHi == 0 {
+		q.ValueLo, q.ValueHi = 1, 100
+	}
+	return q
+}
+
+// validate reports whether the query (after defaults) is runnable.
+func (q CrowdQuery) validate() error {
+	switch q.Kind {
+	case "topk":
+		if q.K < 1 || q.K >= q.Items {
+			return fmt.Errorf("campaign: top-k query needs 1 <= k < items, got k=%d items=%d", q.K, q.Items)
+		}
+	case "groupby":
+		if len(q.Classes) == 0 {
+			return fmt.Errorf("campaign: group-by query needs at least one class")
+		}
+	default:
+		return fmt.Errorf("campaign: unknown query kind %q (want \"topk\" or \"groupby\")", q.Kind)
+	}
+	if q.Items < 2 {
+		return fmt.Errorf("campaign: query needs >= 2 items, got %d", q.Items)
+	}
+	if q.ValueLo > q.ValueHi {
+		return fmt.Errorf("campaign: query value range [%d, %d] is empty", q.ValueLo, q.ValueHi)
+	}
+	if q.Accept == nil {
+		return fmt.Errorf("campaign: query has no true acceptance model")
+	}
+	if !(q.ProcRate > 0) {
+		return fmt.Errorf("campaign: query processing rate %v must be positive", q.ProcRate)
+	}
+	return nil
+}
+
+// DeadlineSLO imposes a latency SLO on a campaign: before every round is
+// solved, the [29] comparator (deadline.MinCostForDeadlines) checks that
+// the SLO is attainable at all under the current belief — if no price up
+// to the scan ceiling meets it, the campaign terminates as
+// StatusSLOInfeasible instead of spending a round that cannot succeed.
+// The comparator's cost and the realized violation ride every round
+// snapshot, so the paper's baseline comparison falls out of the log.
+type DeadlineSLO struct {
+	// Makespan is the per-round latency SLO, in model clock units.
+	Makespan float64
+	// Confidence is the per-task acceptance probability the admission
+	// check demands within the SLO; 0 means 0.9.
+	Confidence float64
+	// MaxPrice is the admission check's price-scan ceiling; 0 means 64.
+	MaxPrice int
+}
+
+func (s DeadlineSLO) confidence() float64 {
+	if s.Confidence == 0 {
+		return 0.9
+	}
+	return s.Confidence
+}
+
+func (s DeadlineSLO) maxPrice() int {
+	if s.MaxPrice == 0 {
+		return 64
+	}
+	return s.MaxPrice
+}
+
+// validate reports whether the SLO (after defaults) is well formed.
+func (s DeadlineSLO) validate() error {
+	if !(s.Makespan > 0) || math.IsInf(s.Makespan, 0) {
+		return fmt.Errorf("campaign: deadline SLO makespan %v must be positive and finite", s.Makespan)
+	}
+	if c := s.confidence(); !(c > 0 && c < 1) {
+		return fmt.Errorf("campaign: deadline SLO confidence %v outside (0, 1)", c)
+	}
+	if s.maxPrice() < 1 {
+		return fmt.Errorf("campaign: deadline SLO max price %d below 1", s.MaxPrice)
+	}
+	return nil
+}
+
+// RetainerPool routes a slice of each round's repetitions through a
+// pre-paid standby pool (the Bernstein-style retainer model of package
+// retainer): retained repetitions skip the on-hold phase entirely, which
+// shifts the observed duration distribution the fit guard must survive,
+// and the pool's fee — Workers × Fee × round makespan, rounded up —
+// is charged against the campaign budget on top of task payments.
+type RetainerPool struct {
+	// Workers is the standby pool size, c >= 1.
+	Workers int
+	// ServiceRate is each retained worker's completion rate (> 0).
+	ServiceRate float64
+	// Fee is the retainer payment per worker per unit time (>= 0).
+	Fee float64
+	// Share is the fraction of repetitions served from the pool,
+	// in (0, 1].
+	Share float64
+}
+
+// validate reports whether the pool is usable.
+func (p RetainerPool) validate() error {
+	pool := retainer.Pool{Workers: p.Workers, ServiceRate: p.ServiceRate, Fee: p.Fee}
+	if err := pool.Validate(); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if !(p.Share > 0 && p.Share <= 1) {
+		return fmt.Errorf("campaign: retainer share %v outside (0, 1]", p.Share)
+	}
+	return nil
+}
+
+// QueryInfo records one round's crowd-query outcome in its snapshot.
+// All floats are finite, so snapshots keep round-tripping through JSON
+// bit-exactly.
+type QueryInfo struct {
+	// Kind is the executed operator ("topk" or "groupby").
+	Kind string `json:"kind"`
+	// Phases is how many sequential marketplace phases the query ran.
+	Phases int `json:"phases"`
+	// Tasks counts the atomic voting tasks decided across phases.
+	Tasks int `json:"tasks"`
+	// Paid is the crowd payment across phases (excluding retainer fees).
+	Paid int `json:"paid"`
+	// Accuracy is the fraction of decisions matching ground truth.
+	Accuracy float64 `json:"accuracy"`
+	// Quality is the operator's result quality: top-k precision against
+	// the true top-k, or the Rand index of the recovered clustering.
+	Quality float64 `json:"quality"`
+}
+
+// SLOInfo records one round's deadline-SLO accounting in its snapshot.
+type SLOInfo struct {
+	// Deadline is the configured per-round latency SLO.
+	Deadline float64 `json:"deadline"`
+	// ComparatorCost is what the [29] baseline would pay to meet the SLO
+	// for the round's workload under the belief the round was priced with.
+	ComparatorCost int `json:"comparatorCost"`
+	// Violated reports whether the realized makespan missed the SLO.
+	Violated bool `json:"violated"`
+}
+
+// RetainerInfo records one round's retainer-pool accounting in its
+// snapshot.
+type RetainerInfo struct {
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// Retained is how many repetitions the pool served (zero on-hold).
+	Retained int `json:"retained"`
+	// Fee is the pre-paid pool fee charged this round.
+	Fee int `json:"fee"`
+}
+
+// retainerSalt decorrelates the retainer's pool-assignment stream from
+// the round's market randomness (both derive from the round seed).
+const retainerSalt = 0x9e3779b97f4a7c15
+
+// retainerApply serves share of the records from the standby pool:
+// selected repetitions lose their on-hold phase (accepted the instant
+// they were posted, done earlier by the saved hold) and the phase
+// makespan is recomputed from the shifted completion times. Records
+// arrive in acceptance order, so the Bernoulli stream is deterministic
+// in (records, rng).
+func retainerApply(recs []market.RepRecord, share float64, rng *randx.Rand) (retained int, makespan float64) {
+	for i := range recs {
+		r := &recs[i]
+		if rng.Float64() < share {
+			hold := r.Accepted - r.PostedAt
+			if hold > 0 {
+				r.Accepted = r.PostedAt
+				r.Done -= hold
+			}
+			retained++
+		}
+		if r.Done > makespan {
+			makespan = r.Done
+		}
+	}
+	return retained, makespan
+}
+
+// retainerFee is the pool's pre-paid charge for holding Workers standby
+// workers over the round's makespan, rounded up to whole budget units.
+func retainerFee(p RetainerPool, makespan float64) int {
+	return int(math.Ceil(float64(p.Workers) * p.Fee * makespan))
+}
+
+// retainerExecutor wraps another executor with the retainer transform —
+// the path market campaigns take (the crowd executor applies the same
+// transform per phase itself, so multi-phase makespans stay correct).
+type retainerExecutor struct {
+	inner Executor
+	pool  RetainerPool
+}
+
+func (e *retainerExecutor) Execute(ctx context.Context, round int, p htuning.Problem, a htuning.Allocation, seed uint64) (Observation, error) {
+	obs, err := e.inner.Execute(ctx, round, p, a, seed)
+	if err != nil {
+		return obs, err
+	}
+	rng := randx.New(seed ^ retainerSalt)
+	retained, span := retainerApply(obs.Records, e.pool.Share, rng)
+	obs.Makespan = span
+	fee := retainerFee(e.pool, span)
+	spent := a.Cost() + fee
+	obs.Spent = &spent
+	obs.Retainer = &RetainerInfo{Workers: e.pool.Workers, Retained: retained, Fee: fee}
+	return obs, nil
+}
+
+// crowdExecutor executes rounds as full crowd-DB queries. It is
+// stateless across rounds — the dataset, class set and group shape are
+// fixed at construction and every Execute is a pure function of
+// (round allocation, seed) — which is what lets a recovery rebuild it
+// from the verbatim-persisted spec and resume bit-identically.
+type crowdExecutor struct {
+	q       CrowdQuery
+	items   crowddb.Dataset
+	classes *crowddb.ClassSet
+	// diffs maps each derived group index to its difficulty bucket; the
+	// allocation's per-group prices become the query's price policy.
+	diffs []crowddb.Difficulty
+	// truth is the ground-truth top-k id set ("topk" only).
+	truth []string
+	// pool, when set, applies the retainer transform per phase.
+	pool *RetainerPool
+}
+
+// newCrowdExecutor synthesizes the query dataset and derives the
+// campaign's groups from the query's first parallel phase: one group per
+// difficulty bucket present, sized by that bucket's task count. The
+// derived classes carry difficulty-damped processing rates, so crowd
+// campaigns route to the heterogeneous solver.
+func newCrowdExecutor(cfg Config) (*crowdExecutor, []Group, error) {
+	q := cfg.Query.withDefaults()
+	if err := q.validate(); err != nil {
+		return nil, nil, err
+	}
+	classes, err := crowddb.DefaultClassSet(q.Accept, q.ProcRate)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := randx.New(q.DatasetSeed)
+	var items crowddb.Dataset
+	if q.Kind == "groupby" {
+		items, err = crowddb.CategorizedItems(q.Items, q.Classes, q.ValueLo, q.ValueHi, r)
+	} else {
+		items, err = crowddb.DotImages(q.Items, q.ValueLo, q.ValueHi, r)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	var plan crowddb.Plan
+	switch q.Kind {
+	case "topk":
+		const podSize = 4
+		cut := 2 * q.K
+		if cut < podSize {
+			cut = podSize
+		}
+		size := podSize
+		if len(items) <= cut {
+			// The query goes straight to its final full-pairwise round.
+			size = len(items)
+		}
+		plan, _, err = crowddb.PlanTopKRound(items, 0, q.Reps, size)
+	case "groupby":
+		plan, err = crowddb.PlanGroupByPhase(items[1:], crowddb.Dataset{items[0]}, 0, q.Reps)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	counts := make(map[crowddb.Difficulty]int, 3)
+	for _, t := range plan.Tasks {
+		counts[t.Diff]++
+	}
+	var groups []Group
+	var diffs []crowddb.Difficulty
+	for _, d := range []crowddb.Difficulty{crowddb.Easy, crowddb.Medium, crowddb.Hard} {
+		n := counts[d]
+		if n == 0 {
+			continue
+		}
+		class, err := classes.Class(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		groups = append(groups, Group{Name: d.String(), Tasks: n, Reps: q.Reps, Class: class})
+		diffs = append(diffs, d)
+	}
+	e := &crowdExecutor{
+		q:       q,
+		items:   items,
+		classes: classes,
+		diffs:   diffs,
+		pool:    cfg.Retainer,
+	}
+	if q.Kind == "topk" {
+		e.truth = items.ByValue().IDs()[:q.K]
+	}
+	return e, groups, nil
+}
+
+// Execute runs the full query under the round's tuned per-difficulty
+// prices: every sequential phase is a marketplace run seeded from the
+// round seed, all phase records flow back for the re-fit, the realized
+// makespan accumulates across phases, and the query's actual payment
+// (plus any retainer fee) overrides the solver's believed first-phase
+// cost in the budget accounting.
+func (e *crowdExecutor) Execute(ctx context.Context, round int, p htuning.Problem, a htuning.Allocation, seed uint64) (Observation, error) {
+	if err := ctx.Err(); err != nil {
+		return Observation{}, err
+	}
+	prices := make(map[crowddb.Difficulty]int, len(e.diffs))
+	for gi, d := range e.diffs {
+		price, ok := a.GroupPrice(gi)
+		if !ok {
+			return Observation{}, fmt.Errorf("campaign: allocation has no group %d (difficulty %v)", gi, d)
+		}
+		prices[d] = price
+	}
+	policy := crowddb.PriceByDifficulty(prices)
+	exec := &crowddb.Executor{Classes: e.classes, Config: market.Config{Seed: seed}}
+
+	var phases []crowddb.PhaseOutcome
+	info := QueryInfo{Kind: e.q.Kind}
+	switch e.q.Kind {
+	case "topk":
+		res, err := exec.RunTopK(e.items, e.q.K, e.q.Reps, policy)
+		if err != nil {
+			return Observation{}, err
+		}
+		phases = res.Rounds
+		precision, _ := crowddb.FilterQuality(res.TopK, e.truth)
+		info.Quality = precision
+	case "groupby":
+		res, err := exec.RunGroupBy(e.items, e.q.Reps, policy)
+		if err != nil {
+			return Observation{}, err
+		}
+		phases = res.Phases
+		ri, err := crowddb.RandIndex(res.Clusters, e.items)
+		if err != nil {
+			return Observation{}, err
+		}
+		info.Quality = ri
+	}
+	if err := ctx.Err(); err != nil {
+		return Observation{}, err
+	}
+
+	var rng *randx.Rand
+	var ret RetainerInfo
+	if e.pool != nil {
+		rng = randx.New(seed ^ retainerSalt)
+		ret.Workers = e.pool.Workers
+	}
+	var obs Observation
+	correct, decisions := 0, 0
+	for _, ph := range phases {
+		if rng != nil {
+			n, span := retainerApply(ph.Records, e.pool.Share, rng)
+			ret.Retained += n
+			obs.Makespan += span
+		} else {
+			obs.Makespan += ph.Makespan
+		}
+		obs.Records = append(obs.Records, ph.Records...)
+		info.Paid += ph.Paid
+		info.Tasks += len(ph.Decisions)
+		for _, d := range ph.Decisions {
+			decisions++
+			if d.Correct() {
+				correct++
+			}
+		}
+	}
+	info.Phases = len(phases)
+	if decisions > 0 {
+		info.Accuracy = float64(correct) / float64(decisions)
+	}
+	spent := info.Paid
+	if e.pool != nil {
+		ret.Fee = retainerFee(*e.pool, obs.Makespan)
+		spent += ret.Fee
+		obs.Retainer = &ret
+	}
+	obs.Spent = &spent
+	obs.Query = &info
+	return obs, nil
+}
+
+// deadlineAdmission runs the [29] comparator as the round's SLO
+// admission check: under the belief the round is about to be priced
+// with, find the cheapest per-group price meeting the SLO — an error
+// means no price up to the scan ceiling does, and the campaign stops as
+// StatusSLOInfeasible rather than spend a round that cannot meet it.
+func (c *Campaign) deadlineAdmission(belief pricing.RateModel) (*SLOInfo, error) {
+	slo := c.cfg.Deadline
+	types := make([]htuning.TaskType, len(c.cfg.Groups))
+	tasks := make([]deadline.Task, len(c.cfg.Groups))
+	for i, g := range c.cfg.Groups {
+		types[i] = htuning.TaskType{Name: g.Name, Accept: belief, ProcRate: g.Class.ProcRate}
+		tasks[i] = deadline.Task{Type: &types[i], Deadline: slo.Makespan}
+	}
+	res, err := deadline.MinCostForDeadlines(tasks, slo.confidence(), slo.maxPrice())
+	if err != nil {
+		return nil, err
+	}
+	cost := 0
+	for i, g := range c.cfg.Groups {
+		// [29] posts every repetition in parallel at the per-task price.
+		cost += res.Prices[i] * g.Tasks * g.Reps
+	}
+	return &SLOInfo{Deadline: slo.Makespan, ComparatorCost: cost}, nil
+}

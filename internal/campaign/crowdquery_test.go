@@ -1,0 +1,301 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"hputune/internal/pricing"
+)
+
+// crowdCfg is a small, fast crowd-query campaign: an 8-item tournament
+// top-k whose two phases finish in a handful of marketplace events.
+func crowdCfg(seed uint64) Config {
+	return Config{
+		Name: "crowd-test",
+		Query: &CrowdQuery{
+			Kind:        "topk",
+			Items:       8,
+			K:           2,
+			Reps:        3,
+			DatasetSeed: 5,
+			Accept:      pricing.Linear{K: 2, B: 0.5},
+			ProcRate:    2,
+		},
+		Prior:       pricing.Linear{K: 1, B: 1},
+		RoundBudget: 150,
+		Budget:      2500,
+		MaxRounds:   4,
+		Epsilon:     0.05,
+		Seed:        seed,
+	}
+}
+
+func TestCrowdQueryConfigValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"query plus executor", func(c *Config) {
+			c.Executor = &blockingExecutor{}
+		}, "mutually exclusive"},
+		{"query plus groups", func(c *Config) {
+			c.Groups = []Group{{Name: "g", Tasks: 1, Reps: 1, Class: linClass("t", 2, 0.5, 2)}}
+		}, "Groups must be empty"},
+		{"unknown kind", func(c *Config) { c.Query.Kind = "join" }, "unknown query kind"},
+		{"k too large", func(c *Config) { c.Query.K = 8 }, "1 <= k < items"},
+		{"k missing", func(c *Config) { c.Query.K = 0 }, "1 <= k < items"},
+		{"groupby without classes", func(c *Config) {
+			c.Query.Kind = "groupby"
+			c.Query.Classes = nil
+		}, "at least one class"},
+		{"one item", func(c *Config) { c.Query.Items = 1; c.Query.K = 0 }, ""},
+		{"empty value range", func(c *Config) { c.Query.ValueLo = 9; c.Query.ValueHi = 3 }, "value range"},
+		{"no accept model", func(c *Config) { c.Query.Accept = nil }, "no true acceptance model"},
+		{"bad proc rate", func(c *Config) { c.Query.ProcRate = 0 }, "must be positive"},
+		{"bad deadline", func(c *Config) { c.Deadline = &DeadlineSLO{Makespan: -1} }, "makespan"},
+		{"bad confidence", func(c *Config) { c.Deadline = &DeadlineSLO{Makespan: 5, Confidence: 2} }, "confidence"},
+		{"bad max price", func(c *Config) { c.Deadline = &DeadlineSLO{Makespan: 5, MaxPrice: -3} }, "max price"},
+		{"retainer zero workers", func(c *Config) {
+			c.Retainer = &RetainerPool{ServiceRate: 1, Share: 0.5}
+		}, "worker"},
+		{"retainer share above one", func(c *Config) {
+			c.Retainer = &RetainerPool{Workers: 2, ServiceRate: 1, Share: 1.5}
+		}, "share"},
+		{"retainer share zero", func(c *Config) {
+			c.Retainer = &RetainerPool{Workers: 2, ServiceRate: 1}
+		}, "share"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := crowdCfg(1)
+			tc.mutate(&cfg)
+			_, err := New(nil, cfg)
+			if err == nil {
+				t.Fatal("invalid crowd config accepted")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCrowdQueryDerivedGroups: the solver prices exactly the workload
+// the first query phase posts — one group per difficulty present, task
+// counts matching the plan.
+func TestCrowdQueryDerivedGroups(t *testing.T) {
+	c, err := New(nil, crowdCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := c.cfg.Groups
+	if len(groups) == 0 {
+		t.Fatal("no groups derived from the query plan")
+	}
+	// 8 items, pods of 4: two pods × C(4,2) comparisons = 12 tasks.
+	total := 0
+	for _, g := range groups {
+		if g.Tasks < 1 || g.Reps != 3 {
+			t.Errorf("group %q: %d tasks × %d reps, want >= 1 × 3", g.Name, g.Tasks, g.Reps)
+		}
+		if g.Class == nil {
+			t.Fatalf("group %q has no market class", g.Name)
+		}
+		total += g.Tasks
+	}
+	if total != 12 {
+		t.Errorf("derived groups cover %d tasks, first phase posts 12", total)
+	}
+}
+
+// TestCrowdCampaignRunsToTerminal drives the two operators and both
+// pricing regimes end to end and checks the snapshot extras each regime
+// promises.
+func TestCrowdCampaignRunsToTerminal(t *testing.T) {
+	topk := crowdCfg(7)
+
+	groupby := crowdCfg(8)
+	groupby.Name = "crowd-test-groupby"
+	groupby.Query = &CrowdQuery{
+		Kind:        "groupby",
+		Items:       9,
+		Classes:     []string{"x", "y", "z"},
+		Reps:        3,
+		DatasetSeed: 6,
+		Accept:      pricing.Linear{K: 2, B: 0.5},
+		ProcRate:    2,
+	}
+
+	retained := crowdCfg(9)
+	retained.Name = "crowd-test-retainer"
+	retained.Retainer = &RetainerPool{Workers: 3, ServiceRate: 2, Fee: 0.5, Share: 0.5}
+
+	sloed := crowdCfg(10)
+	sloed.Name = "crowd-test-deadline"
+	sloed.Deadline = &DeadlineSLO{Makespan: 6}
+
+	for _, cfg := range []Config{topk, groupby, retained, sloed} {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(context.Background(), nil, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Status.Terminal() {
+				t.Fatalf("status %q not terminal", res.Status)
+			}
+			if res.RoundsRun == 0 {
+				t.Fatal("no rounds ran")
+			}
+			for i, snap := range res.Rounds {
+				if snap.Query == nil {
+					t.Fatalf("round %d has no query info", i)
+				}
+				if snap.Query.Phases < 2 || snap.Query.Tasks == 0 || snap.Query.Paid == 0 {
+					t.Errorf("round %d query info implausible: %+v", i, *snap.Query)
+				}
+				if snap.Query.Quality < 0 || snap.Query.Quality > 1 {
+					t.Errorf("round %d quality %v outside [0, 1]", i, snap.Query.Quality)
+				}
+				if cfg.Deadline != nil {
+					if snap.SLO == nil {
+						t.Fatalf("round %d of a deadline campaign has no SLO info", i)
+					}
+					if snap.SLO.Deadline != cfg.Deadline.Makespan || snap.SLO.ComparatorCost < 1 {
+						t.Errorf("round %d SLO info implausible: %+v", i, *snap.SLO)
+					}
+				} else if snap.SLO != nil {
+					t.Errorf("round %d carries SLO info without a deadline", i)
+				}
+				if cfg.Retainer != nil {
+					if snap.Retainer == nil {
+						t.Fatalf("round %d of a retainer campaign has no retainer info", i)
+					}
+					if snap.Retainer.Workers != cfg.Retainer.Workers || snap.Retainer.Retained == 0 {
+						t.Errorf("round %d retainer info implausible: %+v", i, *snap.Retainer)
+					}
+					// The fee is charged on top of crowd payments, and the
+					// snapshot's spent must say so.
+					if snap.Spent <= snap.Query.Paid {
+						t.Errorf("round %d spent %d does not include the pool fee above paid %d", i, snap.Spent, snap.Query.Paid)
+					}
+				} else if snap.Retainer != nil {
+					t.Errorf("round %d carries retainer info without a pool", i)
+				}
+			}
+		})
+	}
+}
+
+// TestCrowdSLOInfeasibleTerminal: an SLO no admissible price can meet
+// terminates the campaign as slo-infeasible before any round is spent,
+// and the terminal checkpoint restores.
+func TestCrowdSLOInfeasibleTerminal(t *testing.T) {
+	cfg := crowdCfg(11)
+	cfg.Deadline = &DeadlineSLO{Makespan: 0.0001, Confidence: 0.99, MaxPrice: 2}
+	j := &recJournal{}
+	c, err := New(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetJournal(j, "slo")
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusSLOInfeasible {
+		t.Fatalf("status %q, want %q", res.Status, StatusSLOInfeasible)
+	}
+	if res.RoundsRun != 0 || res.Spent != 0 {
+		t.Errorf("infeasible SLO still ran %d rounds and spent %d", res.RoundsRun, res.Spent)
+	}
+	if len(j.finished) != 1 {
+		t.Fatalf("journal recorded %d finishes, want 1", len(j.finished))
+	}
+	restored, err := New(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(j.finished[0].chk, nil); err != nil {
+		t.Fatalf("restoring the slo-infeasible terminal checkpoint: %v", err)
+	}
+	if got := asJSON(t, restored.Snapshot()); got != asJSON(t, res) {
+		t.Errorf("restored terminal snapshot diverged\n got  %s\n want %s", got, asJSON(t, res))
+	}
+}
+
+// TestCrowdCampaignDeterminism: a crowd campaign is a pure function of
+// (Config, Seed) in every regime, including the retainer's extra
+// randomness stream.
+func TestCrowdCampaignDeterminism(t *testing.T) {
+	retained := crowdCfg(21)
+	retained.Retainer = &RetainerPool{Workers: 3, ServiceRate: 2, Fee: 0.5, Share: 0.5}
+	for _, cfg := range []Config{crowdCfg(20), retained} {
+		a, err := Run(context.Background(), nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(context.Background(), nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if asJSON(t, a) != asJSON(t, b) {
+			t.Errorf("%s: two runs of one config diverged", cfg.Name)
+		}
+	}
+}
+
+// TestCrowdRestoreContinuationBitIdentical extends the recovery
+// contract to the crowd executor family: resuming a crowd-query
+// campaign (with and without a retainer pool) from any completed
+// round's checkpoint reproduces the uninterrupted run byte for byte.
+func TestCrowdRestoreContinuationBitIdentical(t *testing.T) {
+	retained := crowdCfg(31)
+	retained.Name = "crowd-test-retainer"
+	retained.Retainer = &RetainerPool{Workers: 3, ServiceRate: 2, Fee: 0.5, Share: 0.5}
+	for _, cfg := range []Config{crowdCfg(30), retained} {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			j := &recJournal{}
+			ref, err := New(nil, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.SetJournal(j, "ref")
+			refRes, err := ref.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if refRes.RoundsRun < 2 {
+				t.Fatalf("reference ran %d rounds; the test needs restorable middles", refRes.RoundsRun)
+			}
+			want := asJSON(t, refRes)
+			for k, ev := range j.rounds {
+				c, err := New(nil, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Restore(ev.chk, ev.ring); err != nil {
+					t.Fatalf("restore at round %d: %v", k, err)
+				}
+				if ev.chk.Status.Terminal() {
+					if got := asJSON(t, c.Snapshot()); got != want {
+						t.Fatalf("terminal restore diverged\n got  %s\n want %s", got, want)
+					}
+					continue
+				}
+				res, err := c.Run(context.Background())
+				if err != nil {
+					t.Fatalf("resumed run from round %d: %v", k, err)
+				}
+				if got := asJSON(t, res); got != want {
+					t.Fatalf("resume from round %d diverged\n got  %s\n want %s", k, got, want)
+				}
+			}
+		})
+	}
+}

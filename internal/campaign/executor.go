@@ -15,6 +15,17 @@ import (
 type Observation struct {
 	Records  []market.RepRecord
 	Makespan float64
+	// Spent, when non-nil, overrides the solver's allocation cost as the
+	// round's actual spend — multi-phase executors (the crowd-query
+	// executor) pay beyond the first-phase workload the tuner priced, and
+	// retainer campaigns add pool fees.
+	Spent *int
+	// Query carries the crowd-query outcome for the round snapshot; nil
+	// outside crowd-query campaigns.
+	Query *QueryInfo
+	// Retainer carries the retainer-pool accounting for the round
+	// snapshot; nil outside retainer campaigns.
+	Retainer *RetainerInfo
 }
 
 // Executor runs one round's allocation against a marketplace backend.

@@ -238,6 +238,33 @@ func TestClusterFleetMatchesReference(t *testing.T) {
 	}
 }
 
+// crowdFleetDoc is the crowd-DB query fleet: tournament top-k,
+// sequential-discovery group-by, a deadline-SLO campaign and a
+// retainer-pool campaign.
+const crowdFleetDoc = `{"fleet": {"preset": "crowd", "seed": 9}}`
+
+// TestClusterCrowdFleetMatchesReference extends the no-fault baseline
+// to the crowd-query executor family: all four crowd regimes scattered
+// across three nodes run the closed loop to terminal statuses with
+// every result byte-identical to the single-process reference.
+func TestClusterCrowdFleetMatchesReference(t *testing.T) {
+	ref := referenceResults(t, crowdFleetDoc)
+	_, rts, _ := drillCluster(t, drillNames, nil)
+	ids := startClusterFleet(t, rts.URL, crowdFleetDoc)
+	if len(ids) != len(ref) {
+		t.Fatalf("started %d campaigns, reference has %d", len(ids), len(ref))
+	}
+	got := waitAllTerminal(t, rts.URL, ids)
+	for i := range ref {
+		if got[i].Status == campaign.StatusFailed {
+			t.Fatalf("campaign %s failed: %s", ids[i], got[i].Reason)
+		}
+		if g, w := resultJSON(t, got[i]), resultJSON(t, ref[i]); g != w {
+			t.Fatalf("campaign %s diverged from reference\n got  %s\n want %s", ids[i], g, w)
+		}
+	}
+}
+
 // truncatingWriter tears the WAL after a byte budget — the injected
 // crash, identical in spirit to the server package's crash suite.
 type truncatingWriter struct {

@@ -55,6 +55,10 @@ type PhaseOutcome struct {
 	Decisions []Decision
 	Makespan  float64 // completion time of the phase's last task
 	Paid      int     // budget units spent
+	// Records holds every repetition's completion trace in acceptance
+	// order — the (price, on-hold) observations a tuner folds back into
+	// its price→rate fit.
+	Records []market.RepRecord
 }
 
 // Accuracy returns the fraction of decisions matching ground truth.
@@ -120,7 +124,7 @@ func (e *Executor) RunPlan(plan Plan, policy PricePolicy) (PhaseOutcome, error) 
 	if err != nil {
 		return PhaseOutcome{}, err
 	}
-	out := PhaseOutcome{Makespan: sim.Makespan()}
+	out := PhaseOutcome{Makespan: sim.Makespan(), Records: sim.AppendRecords(nil)}
 	for _, res := range results {
 		if len(res.Reps) == 0 {
 			continue

@@ -1,0 +1,312 @@
+package crowddb
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"hputune/internal/randx"
+)
+
+// Property tests: the crowd operators against brute-force references.
+// With perfect (accuracy-1) workers every vote equals its ground truth,
+// so the tournament and discovery outcomes must equal a reference that
+// replays the same elimination logic directly on the item values — any
+// divergence is an operator bug, not noise.
+
+// refRankPod is the brute-force pod ranking: pairwise "wins" from the
+// ground-truth comparisons (A wins when its value is strictly greater,
+// matching the VoteCompare truth convention), descending wins, id
+// ascending on ties.
+func refRankPod(pod Dataset) []string {
+	wins := make(map[string]int, len(pod))
+	for i := 0; i < len(pod); i++ {
+		for j := i + 1; j < len(pod); j++ {
+			if pod[i].Value > pod[j].Value {
+				wins[pod[i].ID]++
+			} else {
+				wins[pod[j].ID]++
+			}
+		}
+	}
+	ids := pod.IDs()
+	sort.SliceStable(ids, func(a, b int) bool {
+		if wins[ids[a]] != wins[ids[b]] {
+			return wins[ids[a]] > wins[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// refTopK replays the tournament with truthful votes: pods of 4, top
+// half advances, until at most max(2k, 4) survivors, then one full
+// pairwise round ranks the finalists.
+func refTopK(items Dataset, k int) []string {
+	if k >= len(items) {
+		return items.ByValue().IDs()
+	}
+	const podSize = 4
+	byID := make(map[string]Item, len(items))
+	for _, it := range items {
+		byID[it.ID] = it
+	}
+	survivors := append(Dataset(nil), items...)
+	cut := 2 * k
+	if cut < podSize {
+		cut = podSize
+	}
+	for len(survivors) > cut {
+		var next Dataset
+		for start := 0; start < len(survivors); start += podSize {
+			end := start + podSize
+			if end > len(survivors) {
+				end = len(survivors)
+			}
+			pod := survivors[start:end]
+			keep := (len(pod) + 1) / 2
+			for _, id := range refRankPod(pod)[:keep] {
+				next = append(next, byID[id])
+			}
+		}
+		survivors = next
+	}
+	return refRankPod(survivors)[:k]
+}
+
+// refGroupBy replays sequential discovery with truthful votes: per
+// phase, each unassigned item joins the pre-existing representative of
+// its own class; the first item matching none founds the next cluster
+// and the rest wait for the following phase.
+func refGroupBy(items Dataset) [][]string {
+	reps := Dataset{items[0]}
+	clusters := [][]string{{items[0].ID}}
+	unassigned := append(Dataset(nil), items[1:]...)
+	for len(unassigned) > 0 {
+		phaseReps := append(Dataset(nil), reps...)
+		var leftover Dataset
+		founded := false
+		for _, it := range unassigned {
+			ci := -1
+			for i, r := range phaseReps {
+				if it.Class == r.Class {
+					ci = i
+					break
+				}
+			}
+			switch {
+			case ci >= 0:
+				clusters[ci] = append(clusters[ci], it.ID)
+			case !founded:
+				clusters = append(clusters, []string{it.ID})
+				reps = append(reps, it)
+				founded = true
+			default:
+				leftover = append(leftover, it)
+			}
+		}
+		unassigned = leftover
+	}
+	return clusters
+}
+
+func TestTopKMatchesReferenceTournament(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		for _, n := range []int{5, 8, 11, 16, 23} {
+			items, err := DotImages(n, 10, 100, randx.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 2, n / 2} {
+				exec, err := perfectExecutor(seed * 101)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := exec.RunTopK(items, k, 3, UniformPrice(2))
+				if err != nil {
+					t.Fatalf("seed %d n %d k %d: %v", seed, n, k, err)
+				}
+				want := refTopK(items, k)
+				if !reflect.DeepEqual(res.TopK, want) {
+					t.Errorf("seed %d n %d k %d: top-k %v, reference %v", seed, n, k, res.TopK, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupByMatchesReferenceDiscovery(t *testing.T) {
+	classSets := [][]string{
+		{"bird", "boat"},
+		{"bird", "boat", "bike"},
+		{"a", "b", "c", "d", "e"},
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		for _, classes := range classSets {
+			for _, n := range []int{4, 9, 14} {
+				items, err := CategorizedItems(n, classes, 10, 100, randx.New(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				exec, err := perfectExecutor(seed * 103)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := exec.RunGroupBy(items, 3, UniformPrice(2))
+				if err != nil {
+					t.Fatalf("seed %d n %d: %v", seed, n, err)
+				}
+				want := refGroupBy(items)
+				if !reflect.DeepEqual(res.Clusters, want) {
+					t.Errorf("seed %d classes %v n %d: clusters %v, reference %v", seed, classes, n, res.Clusters, want)
+				}
+				// Phase count is bounded by latent categories + 1.
+				if len(res.Phases) > len(classes)+1 {
+					t.Errorf("seed %d n %d: %d phases for %d categories", seed, n, len(res.Phases), len(classes))
+				}
+			}
+		}
+	}
+}
+
+// TestPaidMatchesPolicyPricesExactly pins budget accounting: in the
+// default marketplace mode every posted repetition completes, so a
+// query's Paid must equal the sum of the policy's prices over every
+// repetition of every task — and the per-repetition records must carry
+// exactly those prices.
+func TestPaidMatchesPolicyPricesExactly(t *testing.T) {
+	prices := map[Difficulty]int{Easy: 2, Medium: 3, Hard: 5}
+	policy := PriceByDifficulty(prices)
+	checkPhase := func(t *testing.T, label string, out PhaseOutcome) {
+		t.Helper()
+		wantPaid := 0
+		for _, d := range out.Decisions {
+			if d.Votes != d.Task.Reps {
+				t.Errorf("%s: task got %d votes, posted %d repetitions", label, d.Votes, d.Task.Reps)
+			}
+			wantPaid += prices[d.Task.Diff] * d.Votes
+		}
+		if out.Paid != wantPaid {
+			t.Errorf("%s: paid %d, policy prices sum to %d", label, out.Paid, wantPaid)
+		}
+		recPaid := 0
+		for _, rec := range out.Records {
+			recPaid += rec.Price
+		}
+		if recPaid != out.Paid {
+			t.Errorf("%s: records carry %d units, phase paid %d", label, recPaid, out.Paid)
+		}
+	}
+
+	for seed := uint64(1); seed <= 4; seed++ {
+		items, err := DotImages(13, 10, 100, randx.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec, err := noisyExecutor(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topk, err := exec.RunTopK(items, 3, 3, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for i, out := range topk.Rounds {
+			checkPhase(t, fmt.Sprintf("seed %d top-k round %d", seed, i), out)
+			total += out.Paid
+		}
+		if topk.Paid() != total {
+			t.Errorf("seed %d: Paid() %d, rounds sum %d", seed, topk.Paid(), total)
+		}
+
+		cats, err := CategorizedItems(10, []string{"x", "y", "z"}, 10, 100, randx.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := exec.RunGroupBy(cats, 3, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total = 0
+		for i, out := range gb.Phases {
+			checkPhase(t, fmt.Sprintf("seed %d group-by phase %d", seed, i), out)
+			total += out.Paid
+		}
+		if gb.Paid() != total {
+			t.Errorf("seed %d: Paid() %d, phases sum %d", seed, gb.Paid(), total)
+		}
+	}
+
+	// A single explicit plan closes the loop against the plan itself:
+	// Paid == Σ_tasks Σ policy(task), computed before execution.
+	items, err := DotImages(12, 10, 100, randx.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanFilter(items, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, task := range plan.Tasks {
+		for _, p := range policy(task) {
+			want += p
+		}
+	}
+	exec, err := noisyExecutor(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.RunPlan(plan, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Paid != want {
+		t.Errorf("filter plan paid %d, policy sums to %d", out.Paid, want)
+	}
+}
+
+// TestAccuracyMonotoneInRepetitions checks the redundancy dividend: on
+// fixed seeds, mean decision accuracy (averaged across seeds) never
+// decreases as the per-task repetition count rises through odd values —
+// majority voting with above-chance workers can only gain from more
+// votes.
+func TestAccuracyMonotoneInRepetitions(t *testing.T) {
+	const seeds = 16
+	repsLevels := []int{1, 3, 5, 7}
+	means := make([]float64, len(repsLevels))
+	for ri, reps := range repsLevels {
+		sum := 0.0
+		for seed := uint64(1); seed <= seeds; seed++ {
+			items, err := DotImages(20, 10, 100, randx.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := PlanFilter(items, 50, reps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exec, err := noisyExecutor(seed * 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := exec.RunPlan(plan, UniformPrice(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += out.Accuracy()
+		}
+		means[ri] = sum / seeds
+	}
+	for i := 1; i < len(means); i++ {
+		if means[i] < means[i-1] {
+			t.Errorf("mean accuracy dropped from %.4f (reps %d) to %.4f (reps %d): %v",
+				means[i-1], repsLevels[i-1], means[i], repsLevels[i], means)
+		}
+	}
+	if means[len(means)-1] <= means[0] {
+		t.Errorf("no redundancy dividend: accuracy %v flat or falling across reps %v", means, repsLevels)
+	}
+}

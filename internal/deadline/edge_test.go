@@ -1,0 +1,64 @@
+package deadline
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestMinCostInfeasibleIdentifiesTask pins the failure mode a campaign's
+// SLO admission check relies on: when one task of a batch cannot meet
+// its deadline at any admissible price, the whole solve fails (no
+// partial price vector) and the error names the offending task.
+func TestMinCostInfeasibleIdentifiesTask(t *testing.T) {
+	tasks := []Task{
+		{Type: voteType(), Deadline: 5},
+		{Type: slowType(), Deadline: 0.0001},
+	}
+	res, err := MinCostForDeadlines(tasks, 0.99, 10)
+	if err == nil {
+		t.Fatalf("infeasible batch accepted: %+v", res)
+	}
+	if !strings.Contains(err.Error(), "task 1") || !strings.Contains(err.Error(), "slow-vote") {
+		t.Errorf("error %q does not identify task 1 (slow-vote)", err)
+	}
+	if len(res.Prices) != 0 {
+		t.Errorf("partial price vector %v returned alongside the error", res.Prices)
+	}
+}
+
+// TestMinCostFeasibilityBoundary brackets the exact deadline at which
+// maxPrice stops being enough: the threshold is d* = −ln(1−conf)/λ(max),
+// feasible (at exactly maxPrice) just above it, infeasible just below.
+func TestMinCostFeasibilityBoundary(t *testing.T) {
+	const (
+		conf     = 0.9
+		maxPrice = 10
+	)
+	rate := voteType().Accept.Rate(maxPrice)
+	boundary := -math.Log(1-conf) / rate
+
+	res, err := MinCostForDeadlines([]Task{{Type: voteType(), Deadline: boundary * (1 + 1e-9)}}, conf, maxPrice)
+	if err != nil {
+		t.Fatalf("deadline just above the boundary rejected: %v", err)
+	}
+	if res.Prices[0] != maxPrice {
+		t.Errorf("boundary deadline priced at %d, want maxPrice %d", res.Prices[0], maxPrice)
+	}
+	if _, err := MinCostForDeadlines([]Task{{Type: voteType(), Deadline: boundary * (1 - 1e-9)}}, conf, maxPrice); err == nil {
+		t.Error("deadline just below the boundary accepted")
+	}
+}
+
+// TestMinCostHighConfidenceTightensBoundary: raising the confidence with
+// the deadline fixed can flip a feasible instance infeasible — the knob
+// the crowd-deadline campaign preset exposes.
+func TestMinCostHighConfidenceTightensBoundary(t *testing.T) {
+	task := []Task{{Type: voteType(), Deadline: 0.3}}
+	if _, err := MinCostForDeadlines(task, 0.9, 10); err != nil {
+		t.Fatalf("moderate confidence infeasible: %v", err)
+	}
+	if _, err := MinCostForDeadlines(task, 1-1e-9, 10); err == nil {
+		t.Error("near-certain confidence accepted at the same deadline and price cap")
+	}
+}

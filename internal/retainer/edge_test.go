@@ -1,0 +1,126 @@
+package retainer
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge behavior at the boundaries the closed forms are most fragile at:
+// a single server, utilization approaching 1, and budgets that land
+// exactly on a pool's expected cost.
+
+func TestErlangCSingleServerEqualsUtilization(t *testing.T) {
+	// For c = 1 the Erlang-C formula collapses to the M/M/1 result: an
+	// arrival waits iff the server is busy, with probability ρ = a.
+	for _, a := range []float64{0.01, 0.25, 0.5, 0.9, 0.999} {
+		got, err := ErlangC(1, a)
+		if err != nil {
+			t.Fatalf("a = %v: %v", a, err)
+		}
+		if math.Abs(got-a) > 1e-12 {
+			t.Errorf("C(1, %v) = %v, want exactly the utilization", a, got)
+		}
+	}
+}
+
+func TestErlangCApproachesOneAtSaturation(t *testing.T) {
+	for _, c := range []int{1, 2, 8, 64} {
+		a := float64(c) * (1 - 1e-9)
+		got, err := ErlangC(c, a)
+		if err != nil {
+			t.Fatalf("c = %d: %v", c, err)
+		}
+		if got > 1 {
+			t.Errorf("C(%d, %v) = %v above 1: not a probability", c, a, got)
+		}
+		if got < 1-1e-6 {
+			t.Errorf("C(%d, %v) = %v, want → 1 at saturation", c, a, got)
+		}
+	}
+}
+
+func TestErlangCMonotoneInLoad(t *testing.T) {
+	const c = 4
+	prev := 0.0
+	for _, a := range []float64{0.5, 1, 2, 3, 3.9, 3.999} {
+		got, err := ErlangC(c, a)
+		if err != nil {
+			t.Fatalf("a = %v: %v", a, err)
+		}
+		if got <= prev {
+			t.Errorf("C(%d, %v) = %v not above C at lighter load %v", c, a, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestSteadyStateWaitDivergesAtSaturation(t *testing.T) {
+	p := Pool{Workers: 2, ServiceRate: 1, Fee: 0.1, TaskPayment: 1}
+	cap := float64(p.Workers) * p.ServiceRate
+	// The wait must grow without bound as λ → cμ ...
+	prev := 0.0
+	for _, frac := range []float64{0.5, 0.9, 0.99, 0.999999} {
+		w, err := SteadyStateWait(p, cap*frac)
+		if err != nil {
+			t.Fatalf("λ = %v: %v", cap*frac, err)
+		}
+		if w <= prev {
+			t.Errorf("wait %v at λ = %v not above %v at lighter load", w, cap*frac, prev)
+		}
+		prev = w
+	}
+	if prev < 1e5 {
+		t.Errorf("wait %v at 99.9999%% utilization: expected divergence", prev)
+	}
+	// ... and the formula must refuse λ at or above capacity rather than
+	// return a negative "wait".
+	if _, err := SteadyStateWait(p, cap); err == nil {
+		t.Error("λ = cμ accepted")
+	}
+	if _, err := SteadyStateWait(p, cap*1.5); err == nil {
+		t.Error("λ above capacity accepted")
+	}
+}
+
+func TestOptimizePoolSizeExactBudgetBoundary(t *testing.T) {
+	const (
+		n           = 20
+		serviceRate = 2.0
+		fee         = 0.5
+		taskPayment = 1.0
+		maxWorkers  = 8
+	)
+	oneCost, err := BatchCost(Pool{Workers: 1, ServiceRate: serviceRate, Fee: fee, TaskPayment: taskPayment}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget exactly equal to the single-worker cost is feasible: the
+	// constraint is cost <= budget, not strict.
+	choice, err := OptimizePoolSize(n, oneCost, serviceRate, fee, taskPayment, maxWorkers)
+	if err != nil {
+		t.Fatalf("budget == single-worker cost rejected: %v", err)
+	}
+	if choice.Pool.Workers != 1 {
+		t.Errorf("budget %v admits only 1 worker, chose %d", oneCost, choice.Pool.Workers)
+	}
+	if choice.Cost > oneCost {
+		t.Errorf("chosen cost %v above budget %v", choice.Cost, oneCost)
+	}
+	// One ulp below the single-worker cost nothing fits.
+	if _, err := OptimizePoolSize(n, math.Nextafter(oneCost, 0), serviceRate, fee, taskPayment, maxWorkers); err == nil {
+		t.Error("budget below the cheapest pool accepted")
+	}
+	// A budget exactly on a larger pool's cost unlocks that pool, and the
+	// optimizer takes it: makespan is decreasing in workers here.
+	twoCost, err := BatchCost(Pool{Workers: 2, ServiceRate: serviceRate, Fee: fee, TaskPayment: taskPayment}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	choice, err = OptimizePoolSize(n, twoCost, serviceRate, fee, taskPayment, maxWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Pool.Workers != 2 {
+		t.Errorf("budget %v covers 2 workers, chose %d", twoCost, choice.Pool.Workers)
+	}
+}

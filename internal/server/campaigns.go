@@ -21,6 +21,9 @@ const (
 	maxFleetCampaigns = 64
 	// maxCampaignRounds bounds one campaign's round deadline.
 	maxCampaignRounds = 4096
+	// maxQueryItems bounds a crowd-query campaign's dataset: every round
+	// replans the whole query, so items² bounds the per-round vote count.
+	maxQueryItems = 2048
 )
 
 // checkCampaignLimits enforces the service ceilings on one campaign,
@@ -35,6 +38,17 @@ func checkCampaignLimits(i int, cfg campaign.Config) error {
 	}
 	if cfg.RoundBudget > 0 && cfg.RoundBudget*len(cfg.Groups) > maxProblemWork {
 		return fmt.Errorf("campaign %d: round budget %d × %d groups above the %d-step service limit", i, cfg.RoundBudget, len(cfg.Groups), maxProblemWork)
+	}
+	if q := cfg.Query; q != nil {
+		// Crowd-query campaigns derive their groups inside campaign.New,
+		// so the per-group loop below never sees them; bound the query
+		// shape directly instead.
+		if q.Items > maxQueryItems {
+			return fmt.Errorf("campaign %d: query over %d items above the %d-item service limit", i, q.Items, maxQueryItems)
+		}
+		if q.Reps > maxProblemReps {
+			return fmt.Errorf("campaign %d: query with %d votes per task above the %d-repetition service limit", i, q.Reps, maxProblemReps)
+		}
 	}
 	reps := 0
 	for _, g := range cfg.Groups {

@@ -39,10 +39,22 @@ const crashFleetDoc = `{"campaigns":[
    "groups":[{"name":"g3","tasks":40,"reps":3,"procRate":2,"true":{"kind":"linear","k":2.2,"b":0.4}}]}
 ]}`
 
+// crowdCrashFleetDoc is the crowd-DB flavor of the suite: the four
+// crowd presets (top-k, group-by, deadline SLO, retainer pool), whose
+// recovery path must rebuild the crowd executors from the verbatim spec
+// and resume byte-identically.
+const crowdCrashFleetDoc = `{"fleet":{"preset":"crowd","seed":5}}`
+
 // referenceFleet runs the crash fleet uninterrupted, in-process.
 func referenceFleet(t *testing.T) []campaign.Result {
 	t.Helper()
-	cfgs, err := spec.ParseCampaigns([]byte(crashFleetDoc), spec.BuildOpts{})
+	return referenceFleetDoc(t, crashFleetDoc)
+}
+
+// referenceFleetDoc runs any fleet doc uninterrupted, in-process.
+func referenceFleetDoc(t *testing.T, doc string) []campaign.Result {
+	t.Helper()
+	cfgs, err := spec.ParseCampaigns([]byte(doc), spec.BuildOpts{})
 	if err != nil {
 		t.Fatalf("parse fleet: %v", err)
 	}
@@ -169,13 +181,37 @@ func (tw *truncatingWriter) Write(p []byte) (int, error) {
 // recovered rounds replayed from the WAL and the rounds the resumed
 // process re-executes must line up exactly.
 func TestCrashRecoveryResumesByteIdentical(t *testing.T) {
-	ref := referenceFleet(t)
+	trials := 5
+	if testing.Short() {
+		trials = 2
+	}
+	runCrashRecoveryDrill(t, crashFleetDoc, referenceFleet(t), 1337, trials)
+}
 
+// TestCrowdCrashRecoveryResumesByteIdentical runs the same randomized
+// kill-mid-fleet drill over the crowd-DB fleet: a WAL torn mid-campaign
+// plus recovery must rebuild the crowd-query executors (synthesized
+// datasets, derived groups, the retainer pool's decorrelated assignment
+// stream) purely from the journaled verbatim spec and land on the
+// uninterrupted fleet's bytes.
+func TestCrowdCrashRecoveryResumesByteIdentical(t *testing.T) {
+	trials := 3
+	if testing.Short() {
+		trials = 1
+	}
+	runCrashRecoveryDrill(t, crowdCrashFleetDoc, referenceFleetDoc(t, crowdCrashFleetDoc), 4242, trials)
+}
+
+// runCrashRecoveryDrill tears the WAL at randomized byte boundaries
+// while doc's fleet runs, discards the "process", recovers the torn
+// directory into a fresh server and requires every campaign the WAL
+// knew about to finish byte-identical to ref.
+func runCrashRecoveryDrill(t *testing.T, doc string, ref []campaign.Result, rngSeed int64, trials int) {
 	// Probe pass: full run with no fault, to size the WAL and to pin
 	// that a store-backed server matches the reference exactly.
 	probeDir := t.TempDir()
 	_, probeSrv, probeTS := recoverTestServer(t, probeDir, store.Options{})
-	probeIDs := startFleetAndWait(t, probeSrv, probeTS, crashFleetDoc)
+	probeIDs := startFleetAndWait(t, probeSrv, probeTS, doc)
 	for i, id := range probeIDs {
 		if got, want := resultJSON(t, getResult(t, probeTS, id)), resultJSON(t, ref[i]); got != want {
 			t.Fatalf("store-backed run diverged from reference at %s\n got  %s\n want %s", id, got, want)
@@ -190,11 +226,7 @@ func TestCrashRecoveryResumesByteIdentical(t *testing.T) {
 		t.Fatalf("probe WAL only %d bytes; fleet too small for meaningful crash points", walSize)
 	}
 
-	rng := rand.New(rand.NewSource(1337))
-	trials := 5
-	if testing.Short() {
-		trials = 2
-	}
+	rng := rand.New(rand.NewSource(rngSeed))
 	resumed := 0
 	for trial := 0; trial < trials; trial++ {
 		// Random crash boundary across the whole WAL, skewed away from
@@ -206,7 +238,7 @@ func TestCrashRecoveryResumesByteIdentical(t *testing.T) {
 			st1, srv1, ts1 := recoverTestServer(t, dir, store.Options{
 				WrapWAL: func(w io.Writer) io.Writer { return &truncatingWriter{w: w, budget: budget} },
 			})
-			startFleetAndWait(t, srv1, ts1, crashFleetDoc)
+			startFleetAndWait(t, srv1, ts1, doc)
 			if st1.Err() == nil {
 				t.Fatalf("WAL budget %d never tripped (full WAL is %d)", budget, walSize)
 			}

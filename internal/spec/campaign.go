@@ -33,7 +33,31 @@ import (
 // The per-group "true" model is the simulated market's actual behaviour;
 // the tuner prices rounds with "prior" until observed traces re-fit it.
 // Presets: {"fleet": {"preset": "paper", "seed": 1}} expands to the
-// paper's scenario fleet (workload.PaperCampaignFleet).
+// paper's scenario fleet (workload.PaperCampaignFleet) and
+// {"fleet": {"preset": "crowd", "seed": 1}} to the crowd-DB query fleet
+// (workload.CrowdQueryCampaignFleet).
+//
+// Crowd-query campaigns set "executor": "crowdquery" and describe the
+// query instead of groups (groups are derived from the query plan):
+//
+//	{
+//	  "campaign": {
+//	    "name": "topk", "executor": "crowdquery",
+//	    "roundBudget": 300, "rounds": 8, "seed": 7,
+//	    "prior": {"kind": "linear", "k": 1, "b": 1},
+//	    "query": {"kind": "topk", "items": 16, "k": 4, "reps": 3,
+//	              "datasetSeed": 11, "procRate": 2,
+//	              "true": {"kind": "linear", "k": 2, "b": 0.5}},
+//	    "deadline": {"makespan": 6, "confidence": 0.9, "maxPrice": 64},
+//	    "retainer": {"workers": 4, "serviceRate": 2, "fee": 0.5,
+//	                 "share": 0.5}
+//	  }
+//	}
+//
+// "deadline" and "retainer" are optional regimes on any campaign kind:
+// the former terminates the loop as slo-infeasible when no price can
+// meet the latency SLO under the current belief, the latter serves a
+// share of repetitions from a pre-paid standby pool.
 
 // CampaignGroup is the JSON shape of one campaign task group.
 type CampaignGroup struct {
@@ -46,6 +70,46 @@ type CampaignGroup struct {
 	True Model `json:"true"`
 	// Accuracy is the simulated worker answer accuracy; default 1.
 	Accuracy float64 `json:"accuracy"`
+}
+
+// CampaignQuery is the JSON shape of a crowd-DB query workload
+// (campaign.CrowdQuery): the operator a crowd-query campaign runs every
+// round.
+type CampaignQuery struct {
+	// Kind is "topk" or "groupby".
+	Kind  string `json:"kind"`
+	Items int    `json:"items"`
+	// K is the top-k cut (required for "topk").
+	K int `json:"k"`
+	// Classes are the latent categories of a "groupby" dataset.
+	Classes []string `json:"classes"`
+	Reps    int      `json:"reps"`
+	ValueLo int      `json:"valueLo"`
+	ValueHi int      `json:"valueHi"`
+	// DatasetSeed synthesizes the query's item set.
+	DatasetSeed uint64 `json:"datasetSeed"`
+	// True is the marketplace's actual base acceptance behaviour (hidden
+	// from the tuner), damped per difficulty bucket.
+	True Model `json:"true"`
+	// ProcRate is the base processing rate, damped per difficulty.
+	ProcRate float64 `json:"procRate"`
+}
+
+// CampaignDeadline is the JSON shape of a latency SLO
+// (campaign.DeadlineSLO).
+type CampaignDeadline struct {
+	Makespan   float64 `json:"makespan"`
+	Confidence float64 `json:"confidence"`
+	MaxPrice   int     `json:"maxPrice"`
+}
+
+// CampaignRetainer is the JSON shape of a retainer pool
+// (campaign.RetainerPool).
+type CampaignRetainer struct {
+	Workers     int     `json:"workers"`
+	ServiceRate float64 `json:"serviceRate"`
+	Fee         float64 `json:"fee"`
+	Share       float64 `json:"share"`
 }
 
 // CampaignDrift is the JSON shape of a drift: kind "rate", "shock" or
@@ -74,12 +138,21 @@ type CampaignSpec struct {
 	AbandonRate float64        `json:"abandonRate"`
 	Drift       *CampaignDrift `json:"drift"`
 	HistoryCap  int            `json:"historyCap"`
+	// Executor is "market" (default) or "crowdquery" (requires query,
+	// forbids groups).
+	Executor string         `json:"executor"`
+	Query    *CampaignQuery `json:"query"`
+	// Deadline and Retainer are optional campaign regimes (see the
+	// package comment above).
+	Deadline *CampaignDeadline `json:"deadline"`
+	Retainer *CampaignRetainer `json:"retainer"`
 }
 
 // FleetSpec names a predefined campaign fleet.
 type FleetSpec struct {
 	// Preset is the fleet name; "paper" is the Fig-2/Fig-5c scenario
-	// fleet with drifted variants.
+	// fleet with drifted variants, "crowd" the crowd-DB query fleet
+	// (top-k, group-by, deadline-SLO, retainer-pool).
 	Preset string `json:"preset"`
 	// Seed derives every campaign's seed in the preset.
 	Seed uint64 `json:"seed"`
@@ -128,6 +201,52 @@ func (s CampaignSpec) Build(opts BuildOpts) (campaign.Config, error) {
 		return campaign.Config{}, fmt.Errorf("prior: %w", err)
 	}
 	cfg.Prior = prior
+	switch s.Executor {
+	case "", "market":
+		if s.Query != nil {
+			return campaign.Config{}, fmt.Errorf("\"query\" needs \"executor\": \"crowdquery\"")
+		}
+	case "crowdquery":
+		if s.Query == nil {
+			return campaign.Config{}, fmt.Errorf("executor \"crowdquery\" needs a \"query\"")
+		}
+		if len(s.Groups) > 0 {
+			return campaign.Config{}, fmt.Errorf("crowd-query campaigns derive groups from the query plan: drop \"groups\"")
+		}
+		truth, err := s.Query.True.Build(s.Name+"-query", opts)
+		if err != nil {
+			return campaign.Config{}, fmt.Errorf("query: true model: %w", err)
+		}
+		cfg.Query = &campaign.CrowdQuery{
+			Kind:        s.Query.Kind,
+			Items:       s.Query.Items,
+			K:           s.Query.K,
+			Classes:     s.Query.Classes,
+			Reps:        s.Query.Reps,
+			ValueLo:     s.Query.ValueLo,
+			ValueHi:     s.Query.ValueHi,
+			DatasetSeed: s.Query.DatasetSeed,
+			Accept:      truth,
+			ProcRate:    s.Query.ProcRate,
+		}
+	default:
+		return campaign.Config{}, fmt.Errorf("unknown executor %q (want \"market\" or \"crowdquery\")", s.Executor)
+	}
+	if s.Deadline != nil {
+		cfg.Deadline = &campaign.DeadlineSLO{
+			Makespan:   s.Deadline.Makespan,
+			Confidence: s.Deadline.Confidence,
+			MaxPrice:   s.Deadline.MaxPrice,
+		}
+	}
+	if s.Retainer != nil {
+		cfg.Retainer = &campaign.RetainerPool{
+			Workers:     s.Retainer.Workers,
+			ServiceRate: s.Retainer.ServiceRate,
+			Fee:         s.Retainer.Fee,
+			Share:       s.Retainer.Share,
+		}
+	}
 	for i, g := range s.Groups {
 		truth, err := g.True.Build(g.Name, opts)
 		if err != nil {
@@ -163,8 +282,10 @@ func buildFleet(f FleetSpec) ([]campaign.Config, error) {
 	switch f.Preset {
 	case "paper":
 		cfgs, err = workload.PaperCampaignFleet(f.Seed)
+	case "crowd":
+		cfgs, err = workload.CrowdQueryCampaignFleet(f.Seed)
 	default:
-		return nil, fmt.Errorf("unknown fleet preset %q (want \"paper\")", f.Preset)
+		return nil, fmt.Errorf("unknown fleet preset %q (want \"paper\" or \"crowd\")", f.Preset)
 	}
 	if err != nil {
 		return nil, err

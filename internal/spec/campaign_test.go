@@ -143,3 +143,130 @@ func TestSolveParseHintsAtCampaigns(t *testing.T) {
 		t.Fatalf("Parse on a campaign spec: %v", err)
 	}
 }
+
+const crowdCampaign = `{
+  "campaign": {
+    "name": "tk", "executor": "crowdquery",
+    "roundBudget": 300, "budget": 6000, "rounds": 8, "epsilon": 0.05, "seed": 4,
+    "prior": {"kind": "linear", "k": 1, "b": 1},
+    "query": {"kind": "topk", "items": 16, "k": 4, "reps": 3, "datasetSeed": 11,
+              "true": {"kind": "linear", "k": 2, "b": 0.5}, "procRate": 2},
+    "deadline": {"makespan": 6, "confidence": 0.9, "maxPrice": 64},
+    "retainer": {"workers": 4, "serviceRate": 2, "fee": 0.5, "share": 0.5}
+  }
+}`
+
+func TestParseCrowdQueryCampaign(t *testing.T) {
+	cfgs, err := ParseCampaigns([]byte(crowdCampaign), BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfgs[0]
+	q := cfg.Query
+	if q == nil {
+		t.Fatal("no query translated")
+	}
+	if q.Kind != "topk" || q.Items != 16 || q.K != 4 || q.Reps != 3 || q.DatasetSeed != 11 ||
+		q.ProcRate != 2 || q.Accept.Name() != "2p+0.5" {
+		t.Fatalf("query %+v (accept %q)", *q, q.Accept.Name())
+	}
+	if cfg.Deadline == nil || *cfg.Deadline != (campaign.DeadlineSLO{Makespan: 6, Confidence: 0.9, MaxPrice: 64}) {
+		t.Fatalf("deadline %+v", cfg.Deadline)
+	}
+	if cfg.Retainer == nil || *cfg.Retainer != (campaign.RetainerPool{Workers: 4, ServiceRate: 2, Fee: 0.5, Share: 0.5}) {
+		t.Fatalf("retainer %+v", cfg.Retainer)
+	}
+	if len(cfg.Groups) != 0 {
+		t.Fatalf("spec-level groups %+v on a crowd-query campaign", cfg.Groups)
+	}
+	// The parsed config must be accepted verbatim by the engine, which
+	// derives the groups from the query plan.
+	c, err := campaign.New(nil, cfg)
+	if err != nil {
+		t.Fatalf("campaign.New: %v", err)
+	}
+	_ = c
+}
+
+func TestParseCrowdQueryRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"query without executor", `{"campaign": {"name": "x",
+		   "prior": {"kind": "linear", "k": 1, "b": 1},
+		   "query": {"kind": "topk", "items": 4, "k": 1, "true": {"kind": "linear", "k": 1, "b": 1}, "procRate": 1}}}`,
+			`"query" needs "executor": "crowdquery"`},
+		{"query with market executor", `{"campaign": {"name": "x", "executor": "market",
+		   "prior": {"kind": "linear", "k": 1, "b": 1},
+		   "query": {"kind": "topk", "items": 4, "k": 1, "true": {"kind": "linear", "k": 1, "b": 1}, "procRate": 1}}}`,
+			`"query" needs "executor": "crowdquery"`},
+		{"crowdquery without query", `{"campaign": {"name": "x", "executor": "crowdquery",
+		   "prior": {"kind": "linear", "k": 1, "b": 1}}}`,
+			`executor "crowdquery" needs a "query"`},
+		{"crowdquery with groups", `{"campaign": {"name": "x", "executor": "crowdquery",
+		   "prior": {"kind": "linear", "k": 1, "b": 1},
+		   "query": {"kind": "topk", "items": 4, "k": 1, "true": {"kind": "linear", "k": 1, "b": 1}, "procRate": 1},
+		   "groups": [{"name": "g", "tasks": 1, "reps": 1, "procRate": 1, "true": {"kind": "linear", "k": 1, "b": 1}}]}}`,
+			`drop "groups"`},
+		{"unknown executor", `{"campaign": {"name": "x", "executor": "teleport",
+		   "prior": {"kind": "linear", "k": 1, "b": 1}}}`,
+			"unknown executor"},
+		{"bad query true model", `{"campaign": {"name": "x", "executor": "crowdquery",
+		   "prior": {"kind": "linear", "k": 1, "b": 1},
+		   "query": {"kind": "topk", "items": 4, "k": 1, "true": {"kind": "nope"}, "procRate": 1}}}`,
+			"query: true model"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseCampaigns([]byte(tc.doc), BuildOpts{}); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseCrowdFleetPreset: the "crowd" preset expands to the four
+// crowd-DB campaigns and slices by index exactly like "paper" — the
+// property the cluster router's scatter relies on.
+func TestParseCrowdFleetPreset(t *testing.T) {
+	full, err := ParseCampaigns([]byte(`{"fleet": {"preset": "crowd", "seed": 3}}`), BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 4 {
+		t.Fatalf("crowd preset has %d campaigns, want 4", len(full))
+	}
+	wantNames := []string{"crowd-topk", "crowd-groupby", "crowd-deadline", "crowd-retainer"}
+	for i, cfg := range full {
+		if cfg.Name != wantNames[i] {
+			t.Errorf("campaign %d named %q, want %q", i, cfg.Name, wantNames[i])
+		}
+		if cfg.Query == nil {
+			t.Errorf("campaign %q has no query", cfg.Name)
+		}
+	}
+	if full[2].Deadline == nil {
+		t.Error("crowd-deadline has no SLO")
+	}
+	if full[3].Retainer == nil {
+		t.Error("crowd-retainer has no pool")
+	}
+	for i := range full {
+		doc := fmt.Sprintf(`{"fleet": {"preset": "crowd", "seed": 3, "index": %d}}`, i)
+		one, err := ParseCampaigns([]byte(doc), BuildOpts{})
+		if err != nil {
+			t.Fatalf("index %d: %v", i, err)
+		}
+		if len(one) != 1 || one[0].Name != full[i].Name || one[0].Seed != full[i].Seed {
+			t.Fatalf("index %d: got %+v, want %q seed %d", i, one, full[i].Name, full[i].Seed)
+		}
+	}
+	for _, bad := range []int{-1, 4} {
+		doc := fmt.Sprintf(`{"fleet": {"preset": "crowd", "seed": 3, "index": %d}}`, bad)
+		if _, err := ParseCampaigns([]byte(doc), BuildOpts{}); err == nil || !strings.Contains(err.Error(), "fleet index") {
+			t.Fatalf("index %d: %v", bad, err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseCampaigns hammers the campaign spec parser — the surface
+// both `htune -campaign` and POST /v1/campaigns expose to untrusted
+// bytes — with three invariants:
+//
+//  1. no panic, ever: every failure is a classified error value;
+//  2. parsing is deterministic: the same bytes parse to the same
+//     configs or the same error, twice;
+//  3. strict-parse fixed point: any accepted document, re-marshaled
+//     from its decoded form, parses again to identical configs — the
+//     canonicalized spec the WAL persists verbatim means exactly what
+//     the original bytes meant.
+func FuzzParseCampaigns(f *testing.F) {
+	seeds := []string{
+		// The shapes the engine documents, including every crowd-query
+		// regime this parser gates.
+		`{"campaign":{"name":"c","roundBudget":100,"budget":1000,"rounds":4,"epsilon":0.05,"seed":7,
+		  "prior":{"kind":"linear","k":1,"b":1},
+		  "groups":[{"name":"g","tasks":10,"reps":3,"procRate":2,"true":{"kind":"linear","k":2,"b":0.5}}]}}`,
+		`{"campaign":{"name":"tk","executor":"crowdquery","roundBudget":300,"budget":6000,"rounds":8,"epsilon":0.05,
+		  "prior":{"kind":"linear","k":1,"b":1},
+		  "query":{"kind":"topk","items":16,"k":4,"reps":3,"datasetSeed":11,"true":{"kind":"linear","k":2,"b":0.5},"procRate":2}}}`,
+		`{"campaign":{"name":"gb","executor":"crowdquery","roundBudget":150,"budget":4000,"rounds":8,"epsilon":0.05,
+		  "prior":{"kind":"linear","k":1,"b":1},
+		  "query":{"kind":"groupby","items":12,"classes":["bird","boat","bike"],"reps":3,"datasetSeed":12,"true":{"kind":"linear","k":2,"b":0.5},"procRate":2}}}`,
+		`{"campaign":{"name":"dl","executor":"crowdquery","roundBudget":300,"budget":6000,"rounds":8,
+		  "prior":{"kind":"linear","k":1,"b":1},
+		  "query":{"kind":"topk","items":16,"k":4,"true":{"kind":"linear","k":2,"b":0.5},"procRate":2},
+		  "deadline":{"makespan":6,"confidence":0.9,"maxPrice":64}}}`,
+		`{"campaign":{"name":"rt","executor":"crowdquery","roundBudget":300,"budget":6000,"rounds":8,
+		  "prior":{"kind":"linear","k":1,"b":1},
+		  "query":{"kind":"topk","items":16,"k":4,"true":{"kind":"linear","k":2,"b":0.5},"procRate":2},
+		  "retainer":{"workers":4,"serviceRate":2,"fee":0.5,"share":0.5}}}`,
+		`{"campaigns":[{"name":"a","roundBudget":100,"budget":400,"rounds":2,
+		  "prior":{"kind":"linear","k":1,"b":1},
+		  "groups":[{"name":"g","tasks":5,"reps":2,"procRate":2,"true":{"kind":"linear","k":2,"b":0.5}}]}]}`,
+		`{"fleet":{"preset":"paper","seed":1}}`,
+		`{"fleet":{"preset":"crowd","seed":3}}`,
+		`{"fleet":{"preset":"crowd","seed":3,"index":2}}`,
+		// Rejection shapes: redirect hints, mutual exclusions, junk.
+		`{"campaign":{"name":"x","executor":"market","query":{"kind":"topk","items":4,"k":1}}}`,
+		`{"campaign":{"name":"x","executor":"crowdquery","groups":[{"name":"g"}],
+		  "query":{"kind":"topk","items":4,"k":1,"true":{"kind":"linear","k":1,"b":1},"procRate":1}}}`,
+		`{"campaign":{"name":"x","executor":"teleport"}}`,
+		`{"campaign":{"name":"x","drift":{"kind":"rate","factor":0.9}},"fleet":{"preset":"paper"}}`,
+		`{"budget":100,"groups":[]}`,
+		`{"fleet":{"preset":"nope","seed":1}}`,
+		`{"fleet":{"preset":"crowd","seed":3,"index":-1}}`,
+		`{"fleet":{"preset":"crowd","seed":3,"index":99}}`,
+		`{}`,
+		``,
+		`null`,
+		`{"campaign":null}`,
+		`{"campaigns":[]}`,
+		`[1,2,3]`,
+		"{\"campaign\":{}} trailing",
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	opts := BuildOpts{}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		cfgs, err := ParseCampaigns(raw, opts)
+		cfgs2, err2 := ParseCampaigns(raw, opts)
+		if (err == nil) != (err2 == nil) || (err != nil && err.Error() != err2.Error()) {
+			t.Fatalf("non-deterministic parse: %v vs %v", err, err2)
+		}
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty error message")
+			}
+			return
+		}
+		if !reflect.DeepEqual(cfgs, cfgs2) {
+			t.Fatal("non-deterministic configs from one input")
+		}
+		// Strict-parse fixed point through the document's decoded form.
+		var doc campaignDoc
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&doc); err != nil {
+			t.Fatalf("accepted input no longer decodes: %v", err)
+		}
+		canon, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		cfgsCanon, err := ParseCampaigns(canon, opts)
+		if err != nil {
+			t.Fatalf("canonicalized document rejected: %v\ncanon: %s", err, canon)
+		}
+		if !reflect.DeepEqual(cfgs, cfgsCanon) {
+			t.Fatalf("canonicalization changed meaning\n raw   %s\n canon %s", raw, canon)
+		}
+	})
+}

@@ -115,6 +115,82 @@ func PaperCampaignFleet(seed uint64) ([]campaign.Config, error) {
 	return fleet, nil
 }
 
+// CrowdQueryCampaignFleet builds the crowd-DB scenario fleet: four
+// campaigns that each run a full crowd query per round — the closed
+// loop pricing real query operators instead of raw market tasks. The
+// presets cover the two operators and the two pricing regimes the
+// related work contrasts with H-Tuning:
+//
+//   - crowd-topk: a 16-item tournament top-k (k = 4), per-difficulty
+//     pricing re-tuned round by round;
+//   - crowd-groupby: a 12-item, 3-category group-by with
+//     sequential-discovery phases;
+//   - crowd-deadline: the top-k query under a latency SLO, with the
+//     [29] comparator as the per-round admission check and baseline;
+//   - crowd-retainer: the top-k query with half the repetitions served
+//     from a pre-paid standby pool — the on-hold distribution shifts
+//     toward zero, the regime change the fit guard must survive (rounds
+//     may legitimately report fitPending until both regimes are
+//     represented across the price levels).
+//
+// Campaign seeds derive from seed in fleet order; dataset seeds are
+// fixed per preset, so the query workloads are identical across fleet
+// seeds and only the marketplace randomness varies.
+func CrowdQueryCampaignFleet(seed uint64) ([]campaign.Config, error) {
+	seeds := randx.New(seed)
+	truth := pricing.Linear{K: 2, B: 0.5}
+	topk := &campaign.CrowdQuery{
+		Kind:        "topk",
+		Items:       16,
+		K:           4,
+		Reps:        3,
+		DatasetSeed: 11,
+		Accept:      truth,
+		ProcRate:    2.0,
+	}
+	base := campaign.Config{
+		Prior:       pricing.Linear{K: 1, B: 1},
+		RoundBudget: 300,
+		Budget:      6000,
+		MaxRounds:   8,
+		Epsilon:     0.05,
+	}
+
+	tk := base
+	tk.Name = "crowd-topk"
+	tk.Query = topk
+
+	gb := base
+	gb.Name = "crowd-groupby"
+	gb.Query = &campaign.CrowdQuery{
+		Kind:        "groupby",
+		Items:       12,
+		Classes:     []string{"bird", "boat", "bike"},
+		Reps:        3,
+		DatasetSeed: 12,
+		Accept:      truth,
+		ProcRate:    2.0,
+	}
+	gb.RoundBudget = 150
+	gb.Budget = 4000
+
+	dl := base
+	dl.Name = "crowd-deadline"
+	dl.Query = topk
+	dl.Deadline = &campaign.DeadlineSLO{Makespan: 6, Confidence: 0.9, MaxPrice: 64}
+
+	rt := base
+	rt.Name = "crowd-retainer"
+	rt.Query = topk
+	rt.Retainer = &campaign.RetainerPool{Workers: 4, ServiceRate: 2, Fee: 0.5, Share: 0.5}
+
+	fleet := []campaign.Config{tk, gb, dl, rt}
+	for i := range fleet {
+		fleet[i].Seed = seeds.Uint64()
+	}
+	return fleet, nil
+}
+
 // BenchCampaignFleet builds the BENCH_campaign.json workload: 16
 // campaigns that each run exactly 8 full closed-loop rounds (epsilon 0
 // on a stationary two-price market never converges, the budget outlasts

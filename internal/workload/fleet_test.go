@@ -99,3 +99,114 @@ func TestPaperCampaignFleetRuns(t *testing.T) {
 		t.Fatalf("only %d campaigns converged; the stationary scenarios should", converged)
 	}
 }
+
+func TestCrowdQueryCampaignFleetShape(t *testing.T) {
+	cfgs, err := CrowdQueryCampaignFleet(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 4 {
+		t.Fatalf("crowd fleet has %d campaigns, want 4", len(cfgs))
+	}
+	names := map[string]bool{}
+	seeds := map[uint64]bool{}
+	kinds := map[string]int{}
+	for i, cfg := range cfgs {
+		if names[cfg.Name] {
+			t.Fatalf("duplicate campaign name %q", cfg.Name)
+		}
+		names[cfg.Name] = true
+		if seeds[cfg.Seed] {
+			t.Fatalf("campaign %d reuses a seed", i)
+		}
+		seeds[cfg.Seed] = true
+		if cfg.Query == nil {
+			t.Fatalf("campaign %q has no crowd query", cfg.Name)
+		}
+		kinds[cfg.Query.Kind]++
+		// Every preset must be runnable as-is.
+		if _, err := campaign.New(nil, cfg); err != nil {
+			t.Fatalf("campaign %q invalid: %v", cfg.Name, err)
+		}
+	}
+	if kinds["topk"] == 0 || kinds["groupby"] == 0 {
+		t.Fatalf("fleet misses an operator: %v", kinds)
+	}
+	sloed, retained := 0, 0
+	for _, cfg := range cfgs {
+		if cfg.Deadline != nil {
+			sloed++
+		}
+		if cfg.Retainer != nil {
+			retained++
+		}
+	}
+	if sloed == 0 || retained == 0 {
+		t.Fatalf("fleet misses a regime: %d deadline, %d retainer", sloed, retained)
+	}
+}
+
+func TestCrowdQueryCampaignFleetDeterministic(t *testing.T) {
+	a, err := CrowdQueryCampaignFleet(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrowdQueryCampaignFleet(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Seed != b[i].Seed || a[i].Name != b[i].Name {
+			t.Fatalf("fleet build not deterministic at %d", i)
+		}
+	}
+	// Dataset seeds are fixed per preset: the query workload is shared
+	// across fleet seeds, only marketplace randomness varies.
+	other, err := CrowdQueryCampaignFleet(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other[0].Seed == a[0].Seed {
+		t.Fatal("different fleet seeds produced the same campaign seed")
+	}
+	if other[0].Query.DatasetSeed != a[0].Query.DatasetSeed {
+		t.Fatal("dataset seed varies with the fleet seed")
+	}
+}
+
+// TestCrowdQueryCampaignFleetRuns drives the crowd fleet closed loop to
+// terminal states: all four presets must stop for a designed reason
+// (convergence, budget, or the round deadline — never a failure), with
+// the regime extras present in their snapshots.
+func TestCrowdQueryCampaignFleetRuns(t *testing.T) {
+	cfgs, err := CrowdQueryCampaignFleet(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := campaign.RunFleet(context.Background(), nil, cfgs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if !r.Status.Terminal() {
+			t.Errorf("campaign %q finished non-terminal: %s", r.Name, r.Status)
+		}
+		if r.Status == campaign.StatusFailed {
+			t.Errorf("campaign %q failed: %s", r.Name, r.Reason)
+		}
+		if r.RoundsRun == 0 {
+			t.Errorf("campaign %q ran no rounds", r.Name)
+		}
+		for _, snap := range r.Rounds {
+			if snap.Query == nil {
+				t.Fatalf("campaign %q round %d has no query info", r.Name, snap.Round)
+			}
+			if cfgs[i].Deadline != nil && snap.SLO == nil {
+				t.Errorf("campaign %q round %d misses SLO info", r.Name, snap.Round)
+			}
+			if cfgs[i].Retainer != nil && snap.Retainer == nil {
+				t.Errorf("campaign %q round %d misses retainer info", r.Name, snap.Round)
+			}
+		}
+	}
+}
