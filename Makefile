@@ -51,6 +51,7 @@ fuzz-smoke:
 	$(GO) test -race -run=NONE -fuzz=FuzzReadJSONL -fuzztime=10s ./internal/trace
 	$(GO) test -race -run=NONE -fuzz=FuzzWALDecode -fuzztime=10s ./internal/store
 	$(GO) test -race -run=NONE -fuzz=FuzzShipDecode -fuzztime=10s ./internal/cluster
+	$(GO) test -race -run=NONE -fuzz=FuzzAggregatesDecode -fuzztime=10s ./internal/cluster
 	$(GO) test -race -run=NONE -fuzz=FuzzParseCampaigns -fuzztime=10s ./internal/spec
 
 lint:

@@ -8,7 +8,7 @@
 //
 //	htrouter -node n1=http://host1:8080 -node n2=http://host2:8080 ...
 //	         [-addr :8090] [-replica-dir DIR] [-poll D] [-health D]
-//	         [-failover N] [-vnodes N]
+//	         [-failover N] [-vnodes N] [-merge D]
 //
 // Node names must be [a-zA-Z0-9_]+ — the router builds cluster-wide
 // campaign ids as "<node>-<id>", so '-' is reserved as the separator.
@@ -22,7 +22,18 @@
 // one final poll, promotes the replica through the standard recovery
 // path (resuming the node's campaigns from their last acknowledged
 // round), and the router repoints the node's traffic at the promoted
-// server in-process.
+// server in-process. While a node is down but not yet promoted, GET
+// reads for its campaigns, stats and metrics are served from its
+// replica, labeled stale (X-HT-Stale header, "stale" body fields);
+// writes keep answering 503 until promotion.
+//
+// With -merge D, the router runs the cluster's fit exchange every D:
+// it pulls each node's durable ingest aggregates (additive sufficient
+// statistics), merges them, fits the union, and pushes the merged model
+// to every node through the same guarded publish path a local re-fit
+// takes — so a "fitted" solve prices identically no matter which node
+// answers, and identically to one process that ingested every
+// partition's records.
 package main
 
 import (
@@ -40,6 +51,7 @@ import (
 
 	"hputune/internal/cluster"
 	"hputune/internal/server"
+	"hputune/internal/store"
 )
 
 // nodeFlags collects repeated -node name=url arguments.
@@ -83,6 +95,7 @@ func main() {
 	health := flag.Duration("health", time.Second, "node health probe interval")
 	failover := flag.Int("failover", 0, "promote a node's replica after N consecutive failed health probes (0 = never; requires -replica-dir)")
 	vnodes := flag.Int("vnodes", 0, "vnodes per node on the placement ring (0 = default 256)")
+	merge := flag.Duration("merge", 2*time.Second, "cross-node fit exchange interval: pull every node's aggregates, fit the union, push the merged model back (0 disables — each node then serves a fit over its own partition only)")
 	flag.Parse()
 
 	pairs, err := parseNodes(nodes)
@@ -114,6 +127,20 @@ func main() {
 			followers[name] = f
 			go f.Run(ctx, *poll)
 		}
+		// Stale-allowed reads: while a node is down but not yet promoted,
+		// its GET surface is answered from the replica, clearly labeled.
+		rt.SetReplicaSource(func(name string) (*store.State, error) {
+			f := followers[name]
+			if f == nil {
+				return nil, fmt.Errorf("no follower for %s", name)
+			}
+			return f.ReplicaState()
+		})
+	}
+
+	if *merge > 0 {
+		mg := cluster.NewMerger(cl, nil, log.Printf)
+		go mg.Run(ctx, *merge)
 	}
 
 	// Health monitor + failover: a node failing -failover consecutive

@@ -47,6 +47,15 @@
 // so staggered appends share it too — trading bounded ack latency for
 // fewer fsyncs under load. Every append still returns only after its
 // record is durable.
+//
+// Under an htrouter cluster the process additionally serves the
+// replication surface (rate-limit exempt): GET /v1/replication/state
+// and /wal feed the router's WAL-shipping follower, GET
+// /v1/replication/aggregates exports this node's ingest partition as
+// additive sufficient statistics, and POST /v1/replication/fit accepts
+// the router's cluster-merged model through the same slope/rate guard a
+// local re-fit passes, journaling it so recovery (and a promoted
+// replica) restores the merged fit bit-identically.
 package main
 
 import (

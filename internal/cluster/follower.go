@@ -169,6 +169,34 @@ func (f *Follower) Run(ctx context.Context, interval time.Duration) {
 	}
 }
 
+// ReplicaState materializes the replica's current durable state without
+// promoting it: the snapshot and WAL are read from the replica
+// directory exactly as recovery would (store.Inspect), leaving the
+// shipping WAL handle untouched. It backs the router's stale-allowed
+// reads while a node is down but not yet promoted. After Promote the
+// replica is a live store that must not be read behind its back, so
+// ErrPromoted is returned (the router should be talking to the promoted
+// server by then anyway).
+func (f *Follower) ReplicaState() (*store.State, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.promoted {
+		return nil, ErrPromoted
+	}
+	if !f.seeded {
+		return nil, fmt.Errorf("cluster: replica of %s never synced", f.node)
+	}
+	rep, err := store.Inspect(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: read replica of %s: %w", f.node, err)
+	}
+	if !rep.Clean() || rep.State == nil {
+		return nil, fmt.Errorf("cluster: replica of %s is not readable (snapshot: %v, corrupt: %v, apply: %v)",
+			f.node, rep.SnapshotErr, rep.Corrupt, rep.ApplyErr)
+	}
+	return rep.State, nil
+}
+
 // Promote turns the replica into a live server: the replica WAL is
 // closed, the directory is opened as a normal store, and server.Recover
 // replays it — the identical path a restarted primary takes. The

@@ -1,0 +1,469 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hputune/internal/inference"
+	"hputune/internal/pricing"
+	"hputune/internal/server"
+	"hputune/internal/trace"
+	"hputune/internal/workload"
+)
+
+// The merger suite is this PR's correctness proof: ingest partitions by
+// client identity, so before the fit exchange each node's published
+// model covers only its own slice of the trace stream — a "fitted"
+// solve answered by different nodes priced differently. After one
+// exchange round every node must serve a fit bit-identical to a single
+// process that ingested the concatenated trace, and the bit-identity
+// must survive killing a node mid-exchange and promoting its replica.
+
+// mergerPrices/mergerClients shape the parity workload: enough clients
+// that the ring spreads them, dyadic durations so float sums are exact
+// in any partition order (see workload.DyadicTrace).
+var (
+	mergerPrices  = []int{2, 4, 6, 8}
+	mergerClients = []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
+)
+
+// ingestClientTrace posts one client's deterministic trace through the
+// given URL with the client's identity header set.
+func ingestClientTrace(t *testing.T, url, client string) {
+	t.Helper()
+	recs := workload.DyadicTrace(client, mergerPrices, 8)
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, recs); err != nil {
+		t.Fatalf("encode trace: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/ingest", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.DefaultClientHeader, client)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest %s: status %d", client, resp.StatusCode)
+	}
+}
+
+// referenceFit ingests every client's trace, concatenated, into one
+// in-memory server and returns its published fit.
+func referenceFit(t *testing.T) pricing.Linear {
+	t.Helper()
+	ref, err := server.New(server.Config{Node: "ref"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ref.Close)
+	ts := httptest.NewServer(ref.Handler())
+	t.Cleanup(ts.Close)
+	for _, c := range mergerClients {
+		ingestClientTrace(t, ts.URL, c)
+	}
+	fit, ok := ref.Fit()
+	if !ok {
+		t.Fatal("reference server published no fit")
+	}
+	return fit
+}
+
+// sameFit reports bit-identity of two linear models.
+func sameFit(a, b pricing.Linear) bool {
+	return math.Float64bits(a.K) == math.Float64bits(b.K) &&
+		math.Float64bits(a.B) == math.Float64bits(b.B)
+}
+
+// fittedSolveDoc prices against the node's current published fit.
+const fittedSolveDoc = `{"budget": 60, "groups": [
+  {"name": "g", "tasks": 6, "reps": 2, "procRate": 2.0,
+   "model": {"kind": "fitted"}}]}`
+
+// TestClusterMergedFitMatchesReference is the acceptance parity test:
+// disjoint client partitions ingested through the router diverge per
+// node (the bug), then one merger tick publishes a fit bit-identical to
+// the single-process reference on every node, and a "fitted" solve
+// through the router answers byte-identically to the reference no
+// matter which node takes it.
+func TestClusterMergedFitMatchesReference(t *testing.T) {
+	want := referenceFit(t)
+
+	cl, _, rts, nodes := newTestCluster(t, 3)
+	for _, c := range mergerClients {
+		ingestClientTrace(t, rts.URL, c)
+	}
+	touched := 0
+	for _, n := range nodes {
+		if n.srv.Metrics().Serve.Ingests > 0 {
+			touched++
+		}
+	}
+	if touched < 2 {
+		t.Fatalf("all clients landed on one node; partition parity proves nothing")
+	}
+	// The divergence under test: at least one node's own-partition fit
+	// differs from the whole-trace reference before any exchange.
+	diverged := 0
+	for _, n := range nodes {
+		if fit, ok := n.srv.Fit(); ok && !sameFit(fit, want) {
+			diverged++
+		}
+	}
+	if diverged == 0 {
+		t.Fatalf("every per-partition fit already equals the reference; the workload exercises nothing")
+	}
+
+	mg := NewMerger(cl, nil, t.Logf)
+	if err := mg.Tick(context.Background()); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	for _, n := range nodes {
+		fit, ok := n.srv.Fit()
+		if !ok {
+			t.Fatalf("node %s has no fit after the exchange", n.name)
+		}
+		if !sameFit(fit, want) {
+			t.Fatalf("node %s fit %v/%v diverges from reference %v/%v",
+				n.name, fit.K, fit.B, want.K, want.B)
+		}
+	}
+	st := mg.Stats()
+	if st.Merges != 1 || st.Pushes != 3 || st.PushFailures != 0 {
+		t.Fatalf("merger stats %+v, want 1 merge and 3 pushes", st)
+	}
+
+	// Byte-identical pricing: the same fitted solve through the router
+	// (round-robin hits every node) and against the reference fit.
+	refSrv, err := server.New(server.Config{Node: "refsolve"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(refSrv.Close)
+	refTS := httptest.NewServer(refSrv.Handler())
+	t.Cleanup(refTS.Close)
+	for _, c := range mergerClients {
+		ingestClientTrace(t, refTS.URL, c)
+	}
+	_, wantBody := postDoc(t, refTS.URL+"/v1/solve", fittedSolveDoc)
+	for i := 0; i < 3; i++ {
+		resp, got := postDoc(t, rts.URL+"/v1/solve", fittedSolveDoc)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fitted solve %d: status %d: %s", i, resp.StatusCode, got)
+		}
+		if string(got) != string(wantBody) {
+			t.Fatalf("fitted solve %d diverged\n got  %s\n want %s", i, got, wantBody)
+		}
+	}
+}
+
+// TestClusterMergedFitSurvivesNodeKillMidExchange kills a node between
+// exchange rounds: the tick that finds it dead must abort without
+// publishing a partial-union fit, the survivors keep serving the merged
+// model, and the promoted replica restores the merged fit and its
+// durable aggregates bit-identically, so the next tick over the healed
+// cluster still equals the single-process reference.
+func TestClusterMergedFitSurvivesNodeKillMidExchange(t *testing.T) {
+	want := referenceFit(t)
+
+	cl, rts, nodes := drillCluster(t, drillNames, nil)
+	for _, n := range nodes {
+		stop := pollFollower(n.fol)
+		defer stop()
+	}
+	for _, c := range mergerClients {
+		ingestClientTrace(t, rts.URL, c)
+	}
+	mg := NewMerger(cl, nil, t.Logf)
+	if err := mg.Tick(context.Background()); err != nil {
+		t.Fatalf("first Tick: %v", err)
+	}
+	for _, name := range drillNames {
+		fit, ok := nodes[name].srv.Fit()
+		if !ok || !sameFit(fit, want) {
+			t.Fatalf("node %s fit after first exchange != reference", name)
+		}
+	}
+
+	// Let the followers ship the merged-fit records before the kill.
+	victim := "n1"
+	v := nodes[victim]
+	waitFor(t, 30*time.Second, "followers caught up", func() bool {
+		for _, name := range drillNames {
+			if nodes[name].fol.Stats().LastSeq < nodes[name].st.Metrics().LastSeq {
+				return false
+			}
+		}
+		return true
+	})
+	killNode(t, v)
+
+	// Mid-exchange kill: the pull phase fails on the dead node, the tick
+	// aborts, and nothing was pushed anywhere — survivors keep the exact
+	// merged fit from before.
+	if err := mg.Tick(context.Background()); err == nil {
+		t.Fatal("Tick with a dead node returned nil; a partial-union fit may have been published")
+	}
+	if st := mg.Stats(); st.Skipped == 0 {
+		t.Fatalf("stats %+v: the aborted tick was not counted as skipped", st)
+	}
+	for _, name := range drillNames {
+		if name == victim {
+			continue
+		}
+		fit, ok := nodes[name].srv.Fit()
+		if !ok || !sameFit(fit, want) {
+			t.Fatalf("survivor %s fit changed across the aborted exchange", name)
+		}
+	}
+
+	// Promotion replays the shipped WAL — including the merged-fit
+	// record — through the standard recovery path.
+	st2, srv2, err := v.fol.Promote(server.Config{Node: victim})
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	defer st2.Close()
+	fit, ok := srv2.Fit()
+	if !ok {
+		t.Fatal("promoted replica lost the merged fit")
+	}
+	if !sameFit(fit, want) {
+		t.Fatalf("promoted replica fit %v/%v != reference %v/%v", fit.K, fit.B, want.K, want.B)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if err := cl.Repoint(victim, ts2.URL); err != nil {
+		t.Fatalf("repoint: %v", err)
+	}
+
+	// The healed cluster's next exchange runs over the replica's durable
+	// aggregates and still lands exactly on the reference.
+	if err := mg.Tick(context.Background()); err != nil {
+		t.Fatalf("Tick after promotion: %v", err)
+	}
+	for _, name := range drillNames {
+		srv := nodes[name].srv
+		if name == victim {
+			srv = srv2
+		}
+		fit, ok := srv.Fit()
+		if !ok || !sameFit(fit, want) {
+			t.Fatalf("node %s fit after promotion exchange != reference", name)
+		}
+	}
+}
+
+// TestMergedFitPushIsGuarded pins the publish guard on the exchange
+// path: a merged fit with a negative slope (or a non-positive rate at
+// price 1) must be refused with the node's previous fit kept live, in
+// both the in-memory and durable publish paths.
+func TestMergedFitPushIsGuarded(t *testing.T) {
+	srv, err := server.New(server.Config{Node: "n0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	post := func(body string) (server.MergedFitResponse, int) {
+		t.Helper()
+		resp, raw := postDoc(t, ts.URL+"/v1/replication/fit", body)
+		var doc server.MergedFitResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				t.Fatalf("decode reply: %v: %s", err, raw)
+			}
+		}
+		return doc, resp.StatusCode
+	}
+
+	if doc, status := post(`{"fit":{"slope":-0.5,"intercept":2,"r2":1,"se":0,"n":4,"prices":2}}`); status != 200 || doc.Published || doc.FitPending == "" {
+		t.Fatalf("negative slope: status %d, doc %+v; want kept-previous-fit reply", status, doc)
+	}
+	if doc, status := post(`{"fit":{"slope":0.1,"intercept":-5,"r2":1,"se":0,"n":4,"prices":2}}`); status != 200 || doc.Published {
+		t.Fatalf("non-positive rate at price 1: status %d, doc %+v", status, doc)
+	}
+	if _, status := post(`{"fit":{"slope":0.1,"intercept":0.5,"r2":1,"se":0,"n":1,"prices":1}}`); status != 400 {
+		t.Fatalf("degenerate fit: status %d, want 400", status)
+	}
+	if _, status := post(`{"fit":{"slope":0.1},"bogus":1}`); status != 400 {
+		t.Fatalf("unknown field: status %d, want 400", status)
+	}
+	if _, ok := srv.Fit(); ok {
+		t.Fatal("a refused merged fit was published")
+	}
+
+	if doc, status := post(`{"fit":{"slope":0.25,"intercept":0.5,"r2":0.99,"se":0.01,"n":8,"prices":4},"sources":{"n0":7}}`); status != 200 || !doc.Published {
+		t.Fatalf("legal fit: status %d, doc %+v", status, doc)
+	}
+	fit, ok := srv.Fit()
+	if !ok || fit.K != 0.25 || fit.B != 0.5 {
+		t.Fatalf("published fit %v %v", fit, ok)
+	}
+}
+
+// TestDecodeAggregates pins the exchange codec's validation: a payload
+// that decodes as JSON but violates the aggregate invariants must be
+// rejected before it can poison the cluster-wide merged fit.
+func TestDecodeAggregates(t *testing.T) {
+	good := server.ReplicationAggregatesResponse{
+		Node: "n0", Version: 9, Records: 10,
+		Aggs: map[int]inference.PriceAggregate{2: {N: 4, Total: 8.5}, 5: {N: 6, Total: 3.25}},
+	}
+	raw, err := json.Marshal(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := DecodeAggregates(raw)
+	if err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	if doc.Node != "n0" || doc.Version != 9 || len(doc.Aggs) != 2 || doc.Aggs[2] != good.Aggs[2] {
+		t.Fatalf("round-trip lost data: %+v", doc)
+	}
+
+	bad := []struct {
+		name, body string
+	}{
+		{"not json", `]`},
+		{"unknown field", `{"node":"x","version":1,"records":1,"aggs":{},"extra":1}`},
+		{"trailing data", `{"node":"x","version":1,"records":1,"aggs":{}} {}`},
+		{"price zero", `{"node":"x","version":1,"records":1,"aggs":{"0":{"N":1,"Total":1}}}`},
+		{"negative price", `{"node":"x","version":1,"records":1,"aggs":{"-3":{"N":1,"Total":1}}}`},
+		{"negative count", `{"node":"x","version":1,"records":1,"aggs":{"2":{"N":-1,"Total":1}}}`},
+		{"negative total", `{"node":"x","version":1,"records":1,"aggs":{"2":{"N":1,"Total":-0.5}}}`},
+		{"counts exceed records", `{"node":"x","version":1,"records":3,"aggs":{"2":{"N":2,"Total":1},"4":{"N":2,"Total":1}}}`},
+	}
+	for _, tc := range bad {
+		if _, err := DecodeAggregates([]byte(tc.body)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// FuzzAggregatesDecode drives arbitrary bytes through the exchange
+// codec: it must never panic, and anything it accepts must satisfy the
+// invariants the merger relies on (legal prices, finite non-negative
+// aggregates, counts within the reported record total).
+func FuzzAggregatesDecode(f *testing.F) {
+	good := server.ReplicationAggregatesResponse{
+		Node: "n0", Version: 3, Records: 6,
+		Aggs: map[int]inference.PriceAggregate{2: {N: 3, Total: 4.5}, 7: {N: 3, Total: 1.25}},
+	}
+	if raw, err := json.Marshal(good); err == nil {
+		f.Add(raw)
+	}
+	f.Add([]byte(`{"node":"x","version":1,"records":1,"aggs":{}}`))
+	f.Add([]byte(`{"node":"x","version":1,"records":1,"aggs":{"2":{"N":-1,"Total":1}}}`))
+	f.Add([]byte(`{"aggs":{"0":{"N":1,"Total":-1}}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := DecodeAggregates(data)
+		if err != nil {
+			if !strings.Contains(err.Error(), "cluster:") {
+				t.Fatalf("error %v lost the package prefix", err)
+			}
+			return
+		}
+		var total uint64
+		for price, agg := range doc.Aggs {
+			if price < 1 {
+				t.Fatalf("accepted price %d", price)
+			}
+			if agg.N < 0 || !(agg.Total >= 0) || math.IsInf(agg.Total, 1) {
+				t.Fatalf("accepted aggregate %+v at price %d", agg, price)
+			}
+			total += uint64(agg.N)
+		}
+		if total > doc.Records {
+			t.Fatalf("accepted %d observations over %d records", total, doc.Records)
+		}
+		// An accepted document is a legal FitAggregates input: the fit may
+		// be degenerate (fewer than two priced levels) but must not panic.
+		_, _ = inference.FitAggregates(doc.Aggs)
+	})
+}
+
+// TestMergerRunLogsAbortTransitionsOnce pins Run's log discipline: an
+// unreachable partition logs one abort event on the first failing tick
+// — not one per tick, an outage spanning the whole failover window
+// would flood the log at the exchange interval — and one recovery event
+// once a tick succeeds again. (The repointed node is empty, so the tick
+// "succeeds" via the fewer-than-two-prices skip: still a nil Tick, which
+// is the recovery signal an operator cares about.)
+func TestMergerRunLogsAbortTransitionsOnce(t *testing.T) {
+	cl := New(Config{})
+	if err := cl.AddNode("n0", "http://127.0.0.1:9"); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []string
+	mg := NewMerger(cl, nil, func(format string, args ...any) {
+		mu.Lock()
+		events = append(events, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	})
+	count := func(sub string) int {
+		mu.Lock()
+		defer mu.Unlock()
+		n := 0
+		for _, e := range events {
+			if strings.Contains(e, sub) {
+				n++
+			}
+		}
+		return n
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); mg.Run(ctx, time.Millisecond) }()
+
+	waitFor(t, 30*time.Second, "three aborted ticks", func() bool {
+		return mg.Stats().Skipped >= 3
+	})
+	if got := count("fit exchange aborted"); got != 1 {
+		t.Fatalf("want exactly 1 abort event after >= 3 failed ticks, got %d", got)
+	}
+
+	srv, err := server.New(server.Config{Node: "n0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if err := cl.Repoint("n0", ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "recovery event", func() bool {
+		return count("fit exchange recovered") >= 1
+	})
+	cancel()
+	<-done
+	if got := count("fit exchange recovered"); got != 1 {
+		t.Fatalf("want exactly 1 recovery event, got %d", got)
+	}
+	if got := count("fit exchange aborted"); got != 1 {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("abort event repeated across identical failures: got %d\n%s", got, strings.Join(events, "\n"))
+	}
+}

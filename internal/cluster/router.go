@@ -14,6 +14,7 @@ import (
 	"hputune/internal/campaign"
 	"hputune/internal/server"
 	"hputune/internal/spec"
+	"hputune/internal/store"
 	"hputune/internal/traffic"
 )
 
@@ -39,10 +40,16 @@ type Router struct {
 	mux    *http.ServeMux
 	hist   *traffic.HistogramSet
 
-	rr        atomic.Uint64
-	proxied   atomic.Uint64
-	scattered atomic.Uint64
-	failovers atomic.Uint64
+	// replica, when set (SetReplicaSource), materializes a node's
+	// follower replica state for stale-allowed reads while the node is
+	// down but not yet promoted.
+	replica func(node string) (*store.State, error)
+
+	rr         atomic.Uint64
+	proxied    atomic.Uint64
+	scattered  atomic.Uint64
+	failovers  atomic.Uint64
+	staleReads atomic.Uint64
 }
 
 // maxRouterBody mirrors the nodes' request byte cap.
@@ -122,10 +129,20 @@ func (rt *Router) call(r *http.Request, node, path string, body []byte) (int, ht
 		return 0, nil, nil, err
 	}
 	// The client identity must survive the hop: the nodes rate-limit
-	// and partition on it.
-	for _, h := range []string{"X-Client-ID", "X-Request-ID", "Content-Type"} {
+	// and partition on it. Header-less clients get their resolved
+	// identity (remote host, port stripped) stamped on — otherwise every
+	// such client would share one node-side rate bucket keyed by the
+	// router's own address, and one noisy client could exhaust the
+	// cluster's whole budget for everyone behind the proxy. A
+	// caller-supplied value is forwarded verbatim.
+	for _, h := range []string{server.DefaultClientHeader, "X-Request-ID", "Content-Type"} {
 		if v := r.Header.Get(h); v != "" {
 			req.Header.Set(h, v)
+		}
+	}
+	if req.Header.Get(server.DefaultClientHeader) == "" {
+		if key := server.ResolveClientKey(r, ""); key != "" {
+			req.Header.Set(server.DefaultClientHeader, key)
 		}
 	}
 	resp, err := rt.client.Do(req)
@@ -172,15 +189,17 @@ func (rt *Router) roundRobin(w http.ResponseWriter, r *http.Request) {
 
 // handleIngest partitions trace batches by client identity: the same
 // client's stream always reaches the same node's estimator and WAL.
+// The identity is the shared server rule — header when present, else
+// the remote host with the port stripped. Using the raw remote address
+// here would hand a header-less client a fresh ephemeral port (hence a
+// fresh placement) per TCP connection, splitting its stream across
+// nodes.
 func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body, ok := readBody(w, r)
 	if !ok {
 		return
 	}
-	key := r.Header.Get("X-Client-ID")
-	if key == "" {
-		key = r.RemoteAddr
-	}
+	key := server.ResolveClientKey(r, "")
 	node := rt.cl.Place("ingest:" + key)
 	if node == "" {
 		writeEnvelope(w, http.StatusServiceUnavailable, server.CodeOverloaded, time.Second, "empty cluster")
@@ -334,8 +353,60 @@ func splitID(id string) (node, rest string, ok bool) {
 	return strings.Cut(id, "-")
 }
 
+// SetReplicaSource installs the stale-read hook: a function that
+// materializes the named node's follower replica state (and fails when
+// there is no usable replica — never synced, already promoted, or
+// unreadable). With it set, GET reads for a node that cannot be reached
+// are served from its replica, clearly labeled stale; writes keep
+// failing with 503 until the watchdog promotes the replica.
+func (rt *Router) SetReplicaSource(src func(node string) (*store.State, error)) {
+	rt.replica = src
+}
+
+// replicaState resolves a node's replica state for a stale read, or nil
+// when stale serving is not possible (no source configured, the node
+// was already promoted, or the replica is unreadable).
+func (rt *Router) replicaState(node string) *store.State {
+	if rt.replica == nil {
+		return nil
+	}
+	st, err := rt.replica(node)
+	if err != nil || st == nil {
+		return nil
+	}
+	return st
+}
+
+// staleHeader labels every reply served from a follower replica rather
+// than the owning node.
+const staleHeader = "X-HT-Stale"
+
+// replicaResult rebuilds a campaign's Result view from its durable
+// replica state — the same mapping a promoted server's Restore applies:
+// the checkpoint carries every scalar, the retained rounds ride beside
+// it, and convergence is a function of the status.
+func replicaResult(cs *store.CampaignState) campaign.Result {
+	chk := cs.Checkpoint
+	return campaign.Result{
+		Name:          chk.Name,
+		Status:        chk.Status,
+		Reason:        chk.Reason,
+		RoundsRun:     chk.RoundsRun,
+		DroppedRounds: chk.Dropped,
+		Rounds:        cs.Rounds,
+		Spent:         chk.Spent,
+		Remaining:     chk.Remaining,
+		Converged:     chk.Status == campaign.StatusConverged,
+		Fit:           chk.Fit,
+		TotalMakespan: chk.TotalMakespan,
+	}
+}
+
 // handleCampaignByID routes GET and DELETE for one campaign back to
-// its owner and rewrites the reply id to the cluster-wide form.
+// its owner and rewrites the reply id to the cluster-wide form. When
+// the owner is unreachable, a GET falls back to the node's follower
+// replica (stale-labeled); a DELETE still fails — writes wait for
+// promotion.
 func (rt *Router) handleCampaignByID(w http.ResponseWriter, r *http.Request) {
 	full := r.PathValue("id")
 	node, rest, ok := splitID(full)
@@ -349,6 +420,12 @@ func (rt *Router) handleCampaignByID(w http.ResponseWriter, r *http.Request) {
 	}
 	status, _, raw, err := rt.call(r, node, "/v1/campaigns/"+rest, nil)
 	if err != nil {
+		if r.Method == http.MethodGet {
+			if st := rt.replicaState(node); st != nil {
+				rt.serveReplicaCampaign(w, st, node, full, rest)
+				return
+			}
+		}
 		writeEnvelope(w, http.StatusServiceUnavailable, server.CodeOverloaded, time.Second,
 			"node %q unreachable: %v", node, err)
 		return
@@ -366,13 +443,58 @@ func (rt *Router) handleCampaignByID(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(raw)
 }
 
+// serveReplicaCampaign answers a campaign GET from a node's follower
+// replica: correct as of the replica's last shipped record, labeled
+// stale in both the body and the X-HT-Stale header.
+func (rt *Router) serveReplicaCampaign(w http.ResponseWriter, st *store.State, node, full, rest string) {
+	cs, ok := st.Campaigns[rest]
+	if !ok {
+		// A finished campaign may have been archived out of live state.
+		for i := range st.Archived {
+			if st.Archived[i].ID == rest {
+				cs = &store.CampaignState{Checkpoint: st.Archived[i].Checkpoint, Rounds: st.Archived[i].Rounds}
+				ok = true
+				break
+			}
+		}
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q on node %q's replica (stale read; the node itself is unreachable)", rest, node)
+		return
+	}
+	rt.staleReads.Add(1)
+	w.Header().Set(staleHeader, node)
+	writeJSON(w, http.StatusOK, server.CampaignGetResponse{ID: full, Stale: true, Result: replicaResult(cs)})
+}
+
 // handleCampaignList fans out, prefixes every summary id, and merges.
+// Unreachable nodes contribute their follower replicas' campaigns
+// instead (when a replica source is configured), with the node named in
+// staleNodes so a reader knows which summaries may trail.
 func (rt *Router) handleCampaignList(w http.ResponseWriter, r *http.Request) {
 	var all []campaign.Summary
+	var stale []string
 	for _, n := range rt.cl.Nodes() {
 		status, _, raw, err := rt.call(r, n.Name, "/v1/campaigns", nil)
 		if err != nil || status != http.StatusOK {
-			continue // a dead node's campaigns reappear after failover
+			// The node is down: list its replica's view until promotion
+			// brings the campaigns back live.
+			if st := rt.replicaState(n.Name); st != nil {
+				for _, id := range sortedStateCampaignIDs(st) {
+					cs := st.Campaigns[id]
+					all = append(all, campaign.Summary{
+						ID:        n.Name + "-" + id,
+						Name:      cs.Checkpoint.Name,
+						Status:    cs.Checkpoint.Status,
+						RoundsRun: cs.Checkpoint.RoundsRun,
+						Spent:     cs.Checkpoint.Spent,
+						Converged: cs.Checkpoint.Status == campaign.StatusConverged,
+					})
+				}
+				rt.staleReads.Add(1)
+				stale = append(stale, n.Name)
+			}
+			continue
 		}
 		var reply server.CampaignListResponse
 		if err := json.Unmarshal(raw, &reply); err != nil {
@@ -384,7 +506,21 @@ func (rt *Router) handleCampaignList(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
-	writeJSON(w, http.StatusOK, server.CampaignListResponse{Campaigns: all})
+	if len(stale) > 0 {
+		w.Header().Set(staleHeader, strings.Join(stale, ","))
+	}
+	writeJSON(w, http.StatusOK, server.CampaignListResponse{Campaigns: all, StaleNodes: stale})
+}
+
+// sortedStateCampaignIDs orders a replica state's campaign ids for a
+// deterministic listing.
+func sortedStateCampaignIDs(st *store.State) []string {
+	ids := make([]string, 0, len(st.Campaigns))
+	for id := range st.Campaigns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // RouterStats is the router's own counter block in the fan-out docs.
@@ -395,6 +531,9 @@ type RouterStats struct {
 	Scattered uint64 `json:"scattered"`
 	// Failovers counts follower promotions (maintained by cmd/htrouter).
 	Failovers uint64 `json:"failovers"`
+	// StaleReads counts reads served from follower replicas while their
+	// nodes were down but not yet promoted.
+	StaleReads uint64 `json:"staleReads"`
 	// Nodes is the membership view.
 	Nodes []NodeStatus `json:"nodes"`
 	// Endpoints are the router's own per-route latency histograms.
@@ -404,11 +543,12 @@ type RouterStats struct {
 // Stats snapshots the router.
 func (rt *Router) Stats() RouterStats {
 	return RouterStats{
-		Proxied:   rt.proxied.Load(),
-		Scattered: rt.scattered.Load(),
-		Failovers: rt.failovers.Load(),
-		Nodes:     rt.cl.Nodes(),
-		Endpoints: rt.hist.Snapshot(),
+		Proxied:    rt.proxied.Load(),
+		Scattered:  rt.scattered.Load(),
+		Failovers:  rt.failovers.Load(),
+		StaleReads: rt.staleReads.Load(),
+		Nodes:      rt.cl.Nodes(),
+		Endpoints:  rt.hist.Snapshot(),
 	}
 }
 
@@ -416,13 +556,39 @@ func (rt *Router) Stats() RouterStats {
 // each promotion).
 func (rt *Router) AddFailover() { rt.failovers.Add(1) }
 
+// staleNodeDoc is an unreachable node's entry in the stats/metrics
+// fan-out when its follower replica could stand in: a durable-state
+// summary, explicitly labeled — not the node's own counters, which died
+// with the process.
+type staleNodeDoc struct {
+	Stale bool `json:"stale"`
+	// LastSeq is the replica's durable cursor; Records and Campaigns
+	// summarize the replicated state behind it.
+	LastSeq   uint64 `json:"lastSeq"`
+	Records   uint64 `json:"records"`
+	Campaigns int    `json:"campaigns"`
+	Archived  int    `json:"archived"`
+}
+
 // handleFanout serves GET /v1/stats and /v1/metrics as a cluster
 // document: the router's own counters plus each node's verbatim reply.
+// An unreachable node contributes a stale-labeled summary of its
+// follower replica instead of silently vanishing from the document.
 func (rt *Router) handleFanout(w http.ResponseWriter, r *http.Request) {
 	nodes := make(map[string]json.RawMessage)
 	for _, n := range rt.cl.Nodes() {
 		status, _, raw, err := rt.call(r, n.Name, r.URL.Path, nil)
 		if err != nil || status != http.StatusOK {
+			if st := rt.replicaState(n.Name); st != nil {
+				doc, merr := json.Marshal(staleNodeDoc{
+					Stale: true, LastSeq: st.LastSeq, Records: st.Records,
+					Campaigns: len(st.Campaigns), Archived: len(st.Archived),
+				})
+				if merr == nil {
+					rt.staleReads.Add(1)
+					nodes[n.Name] = doc
+				}
+			}
 			continue
 		}
 		nodes[n.Name] = raw

@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hputune/internal/server"
+	"hputune/internal/store"
+)
+
+// TestRouterServesReplicaReadsWhileNodeDown pins the stale-read window:
+// while a node is down but its replica has not been promoted, GET reads
+// for its campaigns, the cluster list and the stats/metrics fan-outs
+// are answered from the follower replica and labeled stale; writes keep
+// failing 503. After promotion the replica refuses back-door reads.
+func TestRouterServesReplicaReadsWhileNodeDown(t *testing.T) {
+	n := newDrillNode(t, "n0", nil)
+	cl := New(Config{})
+	if err := cl.AddNode("n0", n.ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(cl, nil)
+	rt.SetReplicaSource(func(name string) (*store.State, error) {
+		if name != "n0" {
+			return nil, fmt.Errorf("no follower for %s", name)
+		}
+		return n.fol.ReplicaState()
+	})
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+
+	ids := startClusterFleet(t, rts.URL, routerCampaignDoc)
+	if len(ids) != 1 {
+		t.Fatalf("started %v", ids)
+	}
+	id := ids[0]
+	live := waitAllTerminal(t, rts.URL, ids)[0]
+	if err := n.fol.Poll(context.Background()); err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+	n.srv.Close()
+	n.ts.Close()
+
+	// GET by id: served from the replica, labeled in header and body,
+	// with the result the live node last acknowledged.
+	resp, err := http.Get(rts.URL + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale get: status %d: %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("X-HT-Stale") != "n0" {
+		t.Fatalf("stale get: header %q, want n0", resp.Header.Get("X-HT-Stale"))
+	}
+	var got server.CampaignGetResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("decode: %v: %s", err, raw)
+	}
+	if !got.Stale || got.ID != id {
+		t.Fatalf("stale get: %+v", got)
+	}
+	if g, w := resultJSON(t, got.Result), resultJSON(t, live); g != w {
+		t.Fatalf("replica result diverged from the last live read\n got  %s\n want %s", g, w)
+	}
+
+	// Unknown campaigns 404 with a stale-read note, not 503.
+	if _, status := routerResult(t, rts.URL, "n0-c999"); status != http.StatusNotFound {
+		t.Fatalf("unknown id on replica: status %d, want 404", status)
+	}
+
+	// The cluster list names the stale node and still lists its campaign.
+	resp2, err := http.Get(rts.URL + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list server.CampaignListResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get("X-HT-Stale") != "n0" {
+		t.Fatalf("stale list header %q", resp2.Header.Get("X-HT-Stale"))
+	}
+	if len(list.StaleNodes) != 1 || list.StaleNodes[0] != "n0" {
+		t.Fatalf("staleNodes %v", list.StaleNodes)
+	}
+	found := false
+	for _, sum := range list.Campaigns {
+		if sum.ID == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("campaign %s missing from stale list %v", id, list.Campaigns)
+	}
+
+	// Stats/metrics fan-outs carry a stale replica summary for the node.
+	for _, path := range []string{"/v1/stats", "/v1/metrics"} {
+		resp3, err := http.Get(rts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Nodes map[string]json.RawMessage `json:"nodes"`
+		}
+		if err := json.NewDecoder(resp3.Body).Decode(&doc); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp3.Body.Close()
+		var nodeDoc struct {
+			Stale   bool   `json:"stale"`
+			LastSeq uint64 `json:"lastSeq"`
+		}
+		if err := json.Unmarshal(doc.Nodes["n0"], &nodeDoc); err != nil || !nodeDoc.Stale || nodeDoc.LastSeq == 0 {
+			t.Fatalf("%s: stale node doc %s (err %v)", path, doc.Nodes["n0"], err)
+		}
+	}
+
+	// Writes do not fall back: a DELETE to the dead node stays 503.
+	req, err := http.NewRequest(http.MethodDelete, rts.URL+"/v1/campaigns/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp4.Body)
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("delete on dead node: status %d, want 503", resp4.StatusCode)
+	}
+
+	if rt.Stats().StaleReads == 0 {
+		t.Fatal("stale reads were served but not counted")
+	}
+
+	// After promotion the replica is a live store; the back-door read
+	// path must refuse, leaving only the 503 until the router repoints.
+	if _, _, err := n.fol.Promote(server.Config{Node: "n0"}); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if _, status := routerResult(t, rts.URL, id); status != http.StatusServiceUnavailable {
+		t.Fatalf("get after promotion without repoint: status %d, want 503", status)
+	}
+}
+
+// TestRouterSameHostSharesIngestPlacement pins the client-identity
+// satellite: two distinct TCP connections from the same host with no
+// client header must resolve to the same identity (host, port
+// stripped) and so ingest to the same node — the raw remote address
+// would hand each connection a fresh ephemeral port and scatter one
+// client's stream across the ring.
+func TestRouterSameHostSharesIngestPlacement(t *testing.T) {
+	_, _, rts, nodes := newTestCluster(t, 3)
+	ingest := `{"TaskID": "t1", "Rep": 1, "Price": 1, "PostedAt": 0, "Accepted": 0.5, "Done": 1, "WorkerID": 1, "Correct": true}`
+	for i := 0; i < 4; i++ {
+		// A fresh transport per request forces a fresh connection, hence a
+		// fresh ephemeral source port.
+		tr := &http.Transport{DisableKeepAlives: true}
+		client := &http.Client{Transport: tr}
+		resp, err := client.Post(rts.URL+"/v1/ingest", "application/json", strings.NewReader(ingest))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		tr.CloseIdleConnections()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d: status %d", i, resp.StatusCode)
+		}
+	}
+	owners := 0
+	for _, n := range nodes {
+		if c := n.srv.Metrics().Serve.Ingests; c > 0 {
+			owners++
+			if c != 4 {
+				t.Fatalf("node %s saw %d of 4 same-host ingests", n.name, c)
+			}
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("one host's stream landed on %d nodes, want 1", owners)
+	}
+}
+
+// TestRouterStampsClientIdentityOnForward pins the forwarding
+// satellite: the router stamps the resolved client identity onto
+// node-bound requests, so node-side per-client rate accounting sees
+// the real clients, not one shared bucket keyed by the router's own
+// address. A caller-supplied header must survive verbatim.
+func TestRouterStampsClientIdentityOnForward(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Node:    "n0",
+		Traffic: server.TrafficConfig{RatePerClient: 1000, RateBurst: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	cl := New(Config{})
+	if err := cl.AddNode("n0", ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(cl, nil)
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+
+	ingest := `{"TaskID": "t1", "Rep": 1, "Price": 1, "PostedAt": 0, "Accepted": 0.5, "Done": 1, "WorkerID": 1, "Correct": true}`
+	send := func(clientID string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, rts.URL+"/v1/ingest", strings.NewReader(ingest))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if clientID != "" {
+			req.Header.Set(server.DefaultClientHeader, clientID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest as %q: status %d", clientID, resp.StatusCode)
+		}
+	}
+	for _, id := range []string{"alice", "bob", "carol"} {
+		send(id)
+		send(id) // repeats reuse the same bucket
+	}
+	send("") // header-less: stamped with the caller's host
+	send("")
+
+	// 3 named clients + 1 host identity = 4 buckets. Without stamping,
+	// every header-less request would collapse into a bucket keyed by
+	// the router's raw address — and with the old raw-RemoteAddr rule,
+	// each connection would mint a new one.
+	if got := srv.Metrics().RateLimit.Clients; got != 4 {
+		t.Fatalf("node tracks %d rate-limit clients, want 4 (alice, bob, carol, caller host)", got)
+	}
+}

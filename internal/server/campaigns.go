@@ -151,6 +151,11 @@ func (s *Server) startFleet(raw []byte, opts spec.BuildOpts, cfgs []campaign.Con
 // CampaignGetResponse is the GET /v1/campaigns/{id} reply.
 type CampaignGetResponse struct {
 	ID string `json:"id"`
+	// Stale marks a reply served from a follower replica instead of the
+	// owning node (cluster router only, while the owner is down but not
+	// yet promoted): correct as of the replica's last shipped record,
+	// possibly behind the dead node's final acknowledged rounds.
+	Stale bool `json:"stale,omitempty"`
 	campaign.Result
 }
 
@@ -167,6 +172,11 @@ func (s *Server) handleCampaignGet(w http.ResponseWriter, r *http.Request) {
 // CampaignListResponse is the GET /v1/campaigns reply.
 type CampaignListResponse struct {
 	Campaigns []campaign.Summary `json:"campaigns"`
+	// StaleNodes names nodes whose campaigns were listed from their
+	// follower replicas (cluster router only, while those nodes are down
+	// but not yet promoted); their summaries may trail the dead node's
+	// final acknowledged rounds.
+	StaleNodes []string `json:"staleNodes,omitempty"`
 }
 
 func (s *Server) handleCampaignList(w http.ResponseWriter, r *http.Request) {

@@ -160,6 +160,23 @@ type fitState struct {
 	prices int
 }
 
+// guardFit validates one candidate rate model against the contract
+// every solver assumes (positive, non-decreasing rate for c >= 1) and
+// returns its publishable state, or the fitPending reason the caller
+// reports while keeping the previous fit live. Both the local ingest
+// re-fit and the cluster's merged-fit push publish through this guard,
+// so a noisy partition can no more poison the cluster model than a
+// noisy trace can poison a standalone node's.
+func guardFit(fit numeric.LinearFit, prices int) (*fitState, string) {
+	model := pricing.Linear{K: fit.Slope, B: fit.Intercept}
+	if fit.Slope < 0 || !(model.Rate(1) > 0) {
+		return nil, fmt.Sprintf(
+			"fit %s violates the rate-model contract (need slope >= 0 and a positive rate at price 1); keeping the previous fit",
+			fit)
+	}
+	return &fitState{model: model, fit: fit, prices: prices}, ""
+}
+
 // Server implements the HTTP API. Create with New; it is safe for
 // concurrent use by any number of requests.
 type Server struct {
@@ -230,7 +247,7 @@ func New(cfg Config) (*Server, error) {
 		accessLog:    tc.AccessLog,
 	}
 	if s.clientHeader == "" {
-		s.clientHeader = defaultClientHeader
+		s.clientHeader = DefaultClientHeader
 	}
 	s.mux = http.NewServeMux()
 	var patterns []string
@@ -253,6 +270,8 @@ func New(cfg Config) (*Server, error) {
 	})
 	handle("GET /v1/replication/state", s.handleReplicationState)
 	handle("GET /v1/replication/wal", s.handleReplicationWAL)
+	handle("GET /v1/replication/aggregates", s.handleReplicationAggregates)
+	handle("POST /v1/replication/fit", s.handleReplicationFit)
 	s.hist = traffic.NewHistogramSet(patterns...)
 	return s, nil
 }
@@ -722,16 +741,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// No usable fit yet (e.g. observations at fewer than two price
 		// levels): keep serving the previous fit, tell the client why.
 		resp.FitPending = err.Error()
-	} else if model := (pricing.Linear{K: res.Fit.Slope, B: res.Fit.Intercept}); res.Fit.Slope < 0 || !(model.Rate(1) > 0) {
+	} else if cand, reason := guardFit(res.Fit, len(res.Prices)); cand == nil {
 		// A noisy trace can least-squares into a decreasing or
 		// non-positive rate line, which violates the RateModel contract
 		// every solver assumes (positive, non-decreasing for c >= 1).
 		// Keep the previous fit live rather than publish a broken one.
-		resp.FitPending = fmt.Sprintf(
-			"fit %s violates the rate-model contract (need slope >= 0 and a positive rate at price 1); keeping the previous fit",
-			res.Fit)
+		resp.FitPending = reason
 	} else {
-		published = &fitState{model: model, fit: res.Fit, prices: len(res.Prices)}
+		published = cand
 		s.fit.Store(published)
 		resp.Fit = &FitInfo{Slope: res.Fit.Slope, Intercept: res.Fit.Intercept, R2: res.Fit.R2, Prices: published.prices}
 	}

@@ -53,9 +53,10 @@ type TrafficConfig struct {
 	AccessLog *log.Logger
 }
 
-// defaultClientHeader identifies clients when TrafficConfig.ClientHeader
-// is unset.
-const defaultClientHeader = "X-Client-ID"
+// DefaultClientHeader identifies clients when TrafficConfig.ClientHeader
+// is unset. Exported for the cluster router, which resolves the same
+// identity for ring placement and stamps it on forwarded requests.
+const DefaultClientHeader = "X-Client-ID"
 
 // requestIDHeader carries the request identity; accepted from the
 // client or generated, echoed on every response, logged.
@@ -95,10 +96,19 @@ func printableASCII(s string) bool {
 	return true
 }
 
-// clientKey is the rate-limit and log identity of a request: the
-// configured client header when present, else the remote host.
-func (s *Server) clientKey(r *http.Request) string {
-	if id := r.Header.Get(s.clientHeader); id != "" && len(id) <= 256 {
+// ResolveClientKey is the one client-identity rule shared by every
+// layer that partitions or budgets by client — this server's rate
+// limiter and the cluster router's ingest placement: the client header
+// when present (and sanely bounded), else the host part of the remote
+// address. The port is always stripped — an ephemeral port would give
+// the same client a fresh identity per TCP connection, splitting its
+// stream across ring placements and rate buckets. header empty means
+// DefaultClientHeader.
+func ResolveClientKey(r *http.Request, header string) string {
+	if header == "" {
+		header = DefaultClientHeader
+	}
+	if id := r.Header.Get(header); id != "" && len(id) <= 256 {
 		return id
 	}
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
@@ -106,6 +116,11 @@ func (s *Server) clientKey(r *http.Request) string {
 		return r.RemoteAddr
 	}
 	return host
+}
+
+// clientKey is the rate-limit and log identity of a request.
+func (s *Server) clientKey(r *http.Request) string {
+	return ResolveClientKey(r, s.clientHeader)
 }
 
 // rateLimitExempt excludes liveness and monitoring probes from rate

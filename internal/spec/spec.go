@@ -66,7 +66,10 @@ type Problem struct {
 // BuildOpts resolves spec constructs that need out-of-band context.
 type BuildOpts struct {
 	// Fitted backs the "fitted" model kind — the htuned service passes
-	// its current trace-inferred rate model here. When nil, "fitted"
+	// its current trace-inferred rate model here. In a cluster this is
+	// the merged model the router's fit exchange published from the
+	// union of every node's ingest partition, so a "fitted" spec prices
+	// identically regardless of which node solves it. When nil, "fitted"
 	// specs are rejected with an explanatory error.
 	Fitted pricing.RateModel
 }

@@ -26,6 +26,18 @@ type FitRecord struct {
 	Prices    int     `json:"prices"`
 }
 
+// MergedFitRecord is one cluster-merged fit publication: the fit
+// itself — restored on replay exactly like a locally inferred one —
+// plus the per-node aggregate versions (each partition's durable WAL
+// sequence) it was computed from, so an operator can audit which
+// partition states fed a published model.
+type MergedFitRecord struct {
+	Fit FitRecord `json:"fit"`
+	// Sources maps node name → the aggregate version (WAL sequence) the
+	// merger pulled from that node when it computed this fit.
+	Sources map[string]uint64 `json:"sources,omitempty"`
+}
+
 // FittedModel pins the linear model a fleet's "fitted" spec kind
 // resolved against at start time, so recovery rebuilds the exact same
 // campaign configs no matter what the live fit has since become.
@@ -135,6 +147,8 @@ func (st *State) Apply(rec Record) error {
 		err = st.applyIngest(rec.Data)
 	case TypeFit:
 		err = st.applyFit(rec.Data)
+	case TypeMergedFit:
+		err = st.applyMergedFit(rec.Data)
 	case TypeFleet:
 		err = st.applyFleet(rec.Data)
 	case TypeRound:
@@ -186,6 +200,23 @@ func (st *State) applyFit(data json.RawMessage) error {
 		return err
 	}
 	st.Fit = &f
+	return nil
+}
+
+func (st *State) applyMergedFit(data json.RawMessage) error {
+	var d MergedFitRecord
+	if err := json.Unmarshal(data, &d); err != nil {
+		return err
+	}
+	// The guard at publish time admitted only finite, contract-keeping
+	// fits; a non-finite parameter here means the record did not come
+	// through that path and must not become the served model.
+	for _, v := range []float64{d.Fit.Slope, d.Fit.Intercept, d.Fit.R2, d.Fit.SE} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("merged fit parameter %v is not finite", v)
+		}
+	}
+	st.Fit = &d.Fit
 	return nil
 }
 

@@ -540,6 +540,14 @@ func (s *Store) AppendFit(fit FitRecord) error {
 	return s.append(TypeFit, fit)
 }
 
+// AppendMergedFit logs one cluster-merged fit publication: a model the
+// cross-node merger computed over the union of every partition's
+// aggregates, with the per-node aggregate versions it consumed. Replay
+// restores it as the served fit exactly like AppendFit's records.
+func (s *Store) AppendMergedFit(fit FitRecord, sources map[string]uint64) error {
+	return s.append(TypeMergedFit, MergedFitRecord{Fit: fit, Sources: sources})
+}
+
 // AppendFleet logs a started campaign fleet: the verbatim spec document
 // it was parsed from, the manager-assigned ids in spec order, and the
 // pinned "fitted" model (nil when no fit backed the parse).

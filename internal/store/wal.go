@@ -50,6 +50,12 @@ const (
 	// the last fit record rather than re-fitting, preserving the
 	// "keep the previous fit on a contract violation" semantics.
 	TypeFit = "fit"
+	// TypeMergedFit publishes one cluster-merged rate model: a fit the
+	// cross-node merger computed over the union of every partition's
+	// aggregates and pushed through the same guarded publish path as a
+	// local fit. Replay restores it exactly like TypeFit, so a recovered
+	// (or promoted) node serves the merged model bit-identically.
+	TypeMergedFit = "mergedfit"
 	// TypeFleet starts a campaign fleet: the verbatim spec document,
 	// the assigned campaign ids, and the pinned "fitted" model.
 	TypeFleet = "fleet"

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"hputune/internal/market"
+)
+
+// DyadicTrace builds a deterministic synthetic trace for one client:
+// perPrice repetition records at every price in prices, with on-hold
+// durations that are exact dyadic rationals (multiples of 1/4). Dyadic
+// durations make floating-point sums of any subset exact, so the same
+// records ingested in any order — or partitioned across cluster nodes
+// and merged as sufficient statistics — produce bit-identical per-price
+// totals and therefore a bit-identical fit. That is what cluster/single
+// -process parity tests and benchmarks need from a trace: determinism
+// down to the last ULP, not realism.
+//
+// Durations decrease with price (workers accept better-paid tasks
+// faster), so the MLE rates increase with price and the least-squares
+// line through them has the positive slope the published-fit guard
+// demands. The client name seeds a constant per-client offset (its
+// "patience"), so different clients' partitions carry genuinely
+// different per-price means — a fit over one client subset differs
+// from a fit over the whole population, which is exactly the
+// divergence the cluster fit exchange exists to close.
+func DyadicTrace(client string, prices []int, perPrice int) []market.RepRecord {
+	h := fnv.New32a()
+	h.Write([]byte(client))
+	phase := int(h.Sum32() % 4)
+	recs := make([]market.RepRecord, 0, len(prices)*perPrice)
+	t := 0.0
+	for _, p := range prices {
+		// Base on-hold shrinks by 1/2 per price unit and carries the
+		// client's constant 1/4-step offset; the jitter term cycles
+		// through {0, 1/4, 2/4, 3/4}. Everything is a multiple of 1/4,
+		// hence exactly representable.
+		base := 16.0 - 0.5*float64(p) + 0.25*float64(phase)
+		if base < 1 {
+			base = 1
+		}
+		for j := 0; j < perPrice; j++ {
+			jitter := 0.25 * float64(j%4)
+			d := base + jitter
+			recs = append(recs, market.RepRecord{
+				TaskID:   fmt.Sprintf("%s-p%d-t%d", client, p, j),
+				Rep:      1,
+				Price:    p,
+				PostedAt: t,
+				Accepted: t + d,
+				Done:     t + d + 1,
+				WorkerID: j + 1,
+				Correct:  true,
+			})
+			t += 32 // dyadic stride keeps every timestamp exact too
+		}
+	}
+	return recs
+}
